@@ -1,0 +1,1 @@
+bench/experiments.ml: Driver List Printf String Workloads Zapc Zapc_apps Zapc_codec Zapc_msg Zapc_pod Zapc_sim Zapc_simnet Zapc_simos

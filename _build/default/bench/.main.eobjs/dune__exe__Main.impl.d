@@ -1,0 +1,1 @@
+bench/main.ml: Array Driver Experiments Micro Printf Sys Zapc_apps Zapc_sim

@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Array Bechamel Benchmark Driver Hashtbl Instance List Measure Printf Staged String Test Time Toolkit Zapc_codec Zapc_sim Zapc_simnet

@@ -1,0 +1,1 @@
+bench/workloads.ml: Bytes Char Int32 Printf String Zapc_codec Zapc_sim Zapc_simnet Zapc_simos

@@ -1,0 +1,195 @@
+(* Shared machinery for the experiment harness: cluster construction, the
+   Base-vs-ZapC run modes, paper-scale application parameter sets, node
+   sweeps and placements, and the checkpoint/restart measurement loops. *)
+
+module Simtime = Zapc_sim.Simtime
+module Engine = Zapc_sim.Engine
+module Stats = Zapc_sim.Stats
+module Value = Zapc_codec.Value
+module Kernel = Zapc_simos.Kernel
+module Kconfig = Zapc_simos.Kconfig
+module Proc = Zapc_simos.Proc
+module Pod = Zapc_pod.Pod
+module Cluster = Zapc.Cluster
+module Manager = Zapc.Manager
+module Protocol = Zapc.Protocol
+module Params = Zapc.Params
+module Launch = Zapc_msg.Launch
+
+type app_kind = Cpi | Bt | Bratu | Povray
+
+let all_apps = [ Cpi; Bt; Bratu; Povray ]
+let app_label = function Cpi -> "CPI" | Bt -> "BT/NAS" | Bratu -> "PETSc-Bratu" | Povray -> "POV-Ray"
+let program_of = function Cpi -> "cpi" | Bt -> "bt_nas" | Bratu -> "bratu" | Povray -> "povray"
+
+(* Paper-scale parameter sets: per-operation virtual costs are calibrated so
+   single-node completion is about a virtual minute, and the per-rank memory
+   models reproduce the paper's image-size scaling (CPI 16->7 MB, PETSc
+   145->24 MB, BT 340->35 MB, POV-Ray ~10 MB constant). *)
+let app_args = function
+  | Cpi ->
+    Zapc_apps.Cpi.params_to_value
+      { Zapc_apps.Cpi.intervals = 2_000_000; chunks = 10; ns_per_interval = 30_000;
+        mem_base = 6_000_000; mem_scaled = 10_000_000 }
+  | Bt ->
+    Zapc_apps.Bt_nas.params_to_value
+      { Zapc_apps.Bt_nas.g = 384; iters = 150; ns_per_cell = 2_700;
+        mem_base = 20_000_000; mem_scaled = 320_000_000 }
+  | Bratu ->
+    Zapc_apps.Bratu.params_to_value
+      { Zapc_apps.Bratu.g = 256; lambda = 6.0; max_iters = 250; tol = 1e-12;
+        check_every = 10; ns_per_cell = 3_600; mem_base = 15_000_000;
+        mem_scaled = 130_000_000 }
+  | Povray ->
+    Zapc_apps.Povray.params_to_value
+      { Zapc_apps.Povray.width = 480; height = 360; block_rows = 6;
+        ns_per_pixel = 350_000; mem_each = 10_000_000 }
+
+(* the paper's sweeps: 1,2,4,8,16 nodes; BT needs square counts *)
+let node_counts = function Bt -> [ 1; 4; 9; 16 ] | Cpi | Bratu | Povray -> [ 1; 2; 4; 8; 16 ]
+
+(* 16 "nodes" = 8 dual-CPU blades with one pod per CPU (paper section 6) *)
+let topology n =
+  if n <= 9 then (n, 1, List.init n (fun i -> i))
+  else (8, 2, List.init n (fun i -> i mod 8))
+
+type run_mode = Base | Zapc_mode
+
+let params_for mode =
+  match mode with
+  | Base ->
+    (* vanilla: no pod interposition cost *)
+    { Params.default with
+      Params.kconfig = { Kconfig.default with Kconfig.virt_overhead = Simtime.zero } }
+  | Zapc_mode -> Params.default
+
+type run_env = {
+  cluster : Cluster.t;
+  app : Launch.app;
+  node_count : int;
+}
+
+let launch_app ?(params = Params.default) ?(seed = 42) kind n : run_env =
+  Zapc_apps.Registry.register_all ();
+  let node_count, cpus, placement = topology n in
+  let cluster = Cluster.make ~seed ~cpus ~params ~node_count () in
+  let app =
+    Launch.launch cluster ~name:(program_of kind) ~program:(program_of kind) ~placement
+      ~app_args:(app_args kind) ()
+  in
+  { cluster; app; node_count }
+
+(* completion time (virtual seconds) of one run *)
+let completion_run ?(seed = 42) kind n mode : float =
+  let env = launch_app ~params:(params_for mode) ~seed kind n in
+  let t = Launch.wait_done env.cluster env.app in
+  Simtime.to_sec t
+
+(* --- checkpoint/restart measurement (Figure 6 methodology) --- *)
+
+type ckpt_series = {
+  ckpt_times : Stats.t;  (* ms, manager invocation -> all done *)
+  net_ckpt_times : Stats.t;  (* ms, per-agent network-state save *)
+  max_image : Stats.t;  (* MB: largest pod image, averaged over checkpoints *)
+  net_bytes : Stats.t;  (* bytes of network-state data per pod *)
+  restart_time : float;  (* ms, restart from the mid-run checkpoint *)
+  restart_conn : Stats.t;  (* ms, per-agent connectivity recovery *)
+  restart_net : Stats.t;  (* ms, per-agent network-state restore *)
+  completion : float;  (* s, with the 10 checkpoints included *)
+}
+
+let items_for cluster (app : Launch.app) ~prefix =
+  List.map
+    (fun (p : Pod.t) ->
+      let node =
+        match Zapc_simnet.Fabric.node_of_ip (Cluster.fabric cluster) p.rip with
+        | Some n -> n
+        | None -> 0
+      in
+      { Manager.ci_node = node; ci_pod = p.pod_id;
+        ci_dest = Protocol.U_storage (Printf.sprintf "%s.pod%d" prefix p.pod_id) })
+    app.Launch.pods
+
+(* Run the application taking [count] evenly spaced checkpoints (the paper
+   takes ten per execution), then restart from the middle image and measure
+   the restart. *)
+let checkpoint_run ?(seed = 42) ?(count = 10) kind n : ckpt_series =
+  (* a first run estimates the completion time so checkpoints spread evenly *)
+  let base_t = completion_run ~seed kind n Zapc_mode in
+  let env = launch_app ~seed kind n in
+  let cluster = env.cluster in
+  let ckpt_times = Stats.create () in
+  let net_ckpt_times = Stats.create () in
+  let max_image = Stats.create () in
+  let net_bytes = Stats.create () in
+  let mid = (count + 1) / 2 in
+  let mid_prefix = ref "" in
+  for i = 1 to count do
+    let at = Simtime.sec (base_t *. float_of_int i /. float_of_int (count + 1)) in
+    Engine.schedule_at (Cluster.engine cluster) ~at (fun () ->
+        if (not (Launch.is_done env.app)) && not (Manager.busy (Cluster.manager cluster))
+        then begin
+          let prefix = Printf.sprintf "ck%d" i in
+          if i = mid then mid_prefix := prefix;
+          Manager.checkpoint (Cluster.manager cluster)
+            ~items:(items_for cluster env.app ~prefix)
+            ~resume:true
+            ~on_done:(fun r ->
+              if r.Manager.r_ok then begin
+                Stats.add ckpt_times (Simtime.to_ms r.Manager.r_duration);
+                let largest =
+                  List.fold_left
+                    (fun acc (_, st) -> max acc st.Protocol.st_image_bytes)
+                    0 r.Manager.r_stats
+                in
+                Stats.add max_image (float_of_int largest /. 1e6);
+                List.iter
+                  (fun (_, st) ->
+                    Stats.add net_ckpt_times (Simtime.to_ms st.Protocol.st_net_time);
+                    Stats.add net_bytes (float_of_int st.Protocol.st_net_bytes))
+                  r.Manager.r_stats
+              end)
+        end)
+  done;
+  let completion = Simtime.to_sec (Launch.wait_done cluster env.app) in
+  (* restart from the mid-run image on the same nodes (paper section 6.2);
+     the image is already in (shared) memory *)
+  let restart_time, restart_conn, restart_net =
+    if String.equal !mid_prefix "" then (nan, Stats.create (), Stats.create ())
+    else begin
+      List.iter Pod.destroy env.app.Launch.pods;
+      let items =
+        List.map2
+          (fun (p : Pod.t) node ->
+            { Manager.ri_node = node; ri_pod = p.pod_id;
+              ri_uri = Protocol.U_storage (Printf.sprintf "%s.pod%d" !mid_prefix p.pod_id) })
+          env.app.Launch.pods
+          (let _, _, placement = topology n in
+           placement)
+      in
+      let r = Cluster.restart_sync cluster ~items in
+      let conn = Stats.create () and net = Stats.create () in
+      List.iter
+        (fun (_, st) ->
+          Stats.add conn (Simtime.to_ms st.Protocol.st_conn_time);
+          Stats.add net (Simtime.to_ms st.Protocol.st_net_time))
+        r.Manager.r_stats;
+      let t = if r.Manager.r_ok then Simtime.to_ms r.Manager.r_duration else nan in
+      (* stop the restored run: the measurement is done *)
+      List.iter
+        (fun (p : Pod.t) -> match Pod.find p.pod_id with Some pod -> Pod.destroy pod | None -> ())
+        env.app.Launch.pods;
+      (t, conn, net)
+    end
+  in
+  { ckpt_times; net_ckpt_times; max_image; net_bytes; restart_time; restart_conn;
+    restart_net; completion }
+
+(* --- output helpers --- *)
+
+let hr = String.make 78 '-'
+
+let section title =
+  Printf.printf "\n%s\n%s\n%s\n" hr title hr
+
+let row fmt = Printf.printf fmt

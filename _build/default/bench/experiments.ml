@@ -1,0 +1,337 @@
+(* Reproduction of every table and figure in the paper's evaluation
+   (section 6), plus the ablations called out in DESIGN.md.  Each function
+   prints the same rows/series the paper reports; shapes (who wins, how
+   things scale) are the claim, not absolute numbers. *)
+
+module Simtime = Zapc_sim.Simtime
+module Engine = Zapc_sim.Engine
+module Stats = Zapc_sim.Stats
+module Value = Zapc_codec.Value
+module Kernel = Zapc_simos.Kernel
+module Proc = Zapc_simos.Proc
+module Pod = Zapc_pod.Pod
+module Cluster = Zapc.Cluster
+module Manager = Zapc.Manager
+module Protocol = Zapc.Protocol
+module Params = Zapc.Params
+module Launch = Zapc_msg.Launch
+open Driver
+
+(* ------------------------------------------------------------------ *)
+(* Figure 5: application completion times, Base vs ZapC                *)
+(* ------------------------------------------------------------------ *)
+
+let fig5 () =
+  section
+    "FIG-5  Application completion times: vanilla (Base) vs ZapC pods\n\
+    \       (paper: ZapC is almost indistinguishable from vanilla Linux)";
+  row "%-12s %6s %12s %12s %10s\n" "app" "nodes" "base (s)" "zapc (s)" "overhead";
+  List.iter
+    (fun kind ->
+      List.iter
+        (fun n ->
+          let base = completion_run kind n Base in
+          let zapc = completion_run kind n Zapc_mode in
+          row "%-12s %6d %12.2f %12.2f %9.2f%%\n" (app_label kind) n base zapc
+            ((zapc -. base) /. base *. 100.0))
+        (node_counts kind);
+      print_newline ())
+    all_apps
+
+(* variance over seeds (paper section 6.1: std-dev grows to ~5%) *)
+let fig5_variance () =
+  section "TXT-VAR  Completion-time variance across runs (5 seeds, ZapC)";
+  row "%-12s %6s %12s %10s\n" "app" "nodes" "mean (s)" "stddev";
+  List.iter
+    (fun kind ->
+      List.iter
+        (fun n ->
+          let st = Stats.create () in
+          for seed = 1 to 5 do
+            Stats.add st (completion_run ~seed:(42 + (seed * 1000)) kind n Zapc_mode)
+          done;
+          row "%-12s %6d %12.2f %9.2f%%\n" (app_label kind) n (Stats.mean st)
+            (Stats.stddev st /. Stats.mean st *. 100.0))
+        [ List.hd (node_counts kind); List.hd (List.rev (node_counts kind)) ])
+    [ Cpi; Bt ]
+
+(* ------------------------------------------------------------------ *)
+(* Figure 6: checkpoint-restart measurements                           *)
+(* ------------------------------------------------------------------ *)
+
+let fig6_series : (app_kind * int * ckpt_series) list ref = ref []
+
+let collect_fig6 () =
+  if !fig6_series = [] then
+    fig6_series :=
+      List.concat_map
+        (fun kind ->
+          List.map (fun n -> (kind, n, checkpoint_run kind n)) (node_counts kind))
+        all_apps
+
+let fig6a () =
+  collect_fig6 ();
+  section
+    "FIG-6a  Average checkpoint time (Manager invocation -> all pods done)\n\
+    \        (paper: subsecond, 100-300 ms across apps; includes writing the\n\
+    \        image to memory, excludes the flush to disk)";
+  row "%-12s %6s %14s %10s %10s\n" "app" "nodes" "ckpt avg (ms)" "stddev" "max";
+  List.iter
+    (fun (kind, n, s) ->
+      row "%-12s %6d %14.1f %10.1f %10.1f\n" (app_label kind) n (Stats.mean s.ckpt_times)
+        (Stats.stddev s.ckpt_times) (Stats.max s.ckpt_times))
+    !fig6_series
+
+let fig6b () =
+  collect_fig6 ();
+  section
+    "FIG-6b  Restart time from the mid-run checkpoint (image preloaded)\n\
+    \        (paper: subsecond, 200-700 ms; restart > checkpoint because the\n\
+    \        network connections must be re-established)";
+  row "%-12s %6s %14s %12s %12s\n" "app" "nodes" "restart (ms)" "conn (ms)" "net (ms)";
+  List.iter
+    (fun (kind, n, s) ->
+      row "%-12s %6d %14.1f %12.1f %12.1f\n" (app_label kind) n s.restart_time
+        (Stats.max s.restart_conn) (Stats.max s.restart_net))
+    !fig6_series
+
+let fig6c () =
+  collect_fig6 ();
+  section
+    "FIG-6c  Checkpoint image size: largest pod, averaged over 10 checkpoints\n\
+    \        (paper: CPI 16->7 MB, PETSc 145->24 MB, BT 340->35 MB as nodes\n\
+    \        grow; POV-Ray roughly constant ~10 MB)";
+  row "%-12s %6s %16s\n" "app" "nodes" "image (MB)";
+  List.iter
+    (fun (kind, n, s) ->
+      row "%-12s %6d %16.1f\n" (app_label kind) n (Stats.mean s.max_image))
+    !fig6_series
+
+let netstate () =
+  collect_fig6 ();
+  section
+    "TXT-NET  Network-state share of the checkpoint\n\
+    \         (paper: network-state checkpoint < 10 ms -- 3-10%% of the total;\n\
+    \         network-state data only 100s of bytes to a few KB per pod)";
+  row "%-12s %6s %14s %12s %16s\n" "app" "nodes" "net ckpt (ms)" "of total" "net bytes avg";
+  List.iter
+    (fun (kind, n, s) ->
+      let frac =
+        if Stats.mean s.ckpt_times > 0.0 then
+          Stats.mean s.net_ckpt_times /. Stats.mean s.ckpt_times *. 100.0
+        else 0.0
+      in
+      row "%-12s %6d %14.3f %11.1f%% %16.0f\n" (app_label kind) n
+        (Stats.mean s.net_ckpt_times) frac (Stats.mean s.net_bytes))
+    !fig6_series
+
+(* ------------------------------------------------------------------ *)
+(* Ablations                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* ABL-1: the single-synchronization design.  ZapC overlaps the standalone
+   checkpoint with the Manager round-trip; the serial variant waits for
+   'continue' first. *)
+let ablation_serial () =
+  section
+    "ABL-1  Network-state-first + overlapped standalone checkpoint vs a\n\
+    \       serial barrier before the standalone checkpoint (paper section 4).\n\
+    \       The overlap hides the Manager synchronization round-trip, so the\n\
+    \       saving equals roughly the control-plane RTT; shown for the\n\
+    \       cluster-local Manager and for a distant/loaded one.";
+  row "%-12s %6s %12s %16s %14s %10s\n" "app" "nodes" "ctrl RTT" "overlapped (ms)"
+    "serial (ms)" "saving";
+  List.iter
+    (fun (kind, n, ctrl_latency, label) ->
+      let measure serial =
+        let params =
+          { Params.default with Params.serial_ckpt = serial; ctrl_latency;
+            cost_jitter = 0.0 }
+        in
+        let env = launch_app ~params kind n in
+        Cluster.run env.cluster ~until:(Simtime.sec 2.0) ();
+        let r =
+          Cluster.checkpoint_sync env.cluster
+            ~items:(items_for env.cluster env.app ~prefix:"abl1")
+            ~resume:true
+        in
+        if r.Manager.r_ok then Simtime.to_ms r.Manager.r_duration else nan
+      in
+      let fast = measure false in
+      let slow = measure true in
+      row "%-12s %6d %12s %16.1f %14.1f %7.1fms\n" (app_label kind) n label fast slow
+        (slow -. fast))
+    [ (Cpi, 4, Simtime.us 120, "120us"); (Bt, 4, Simtime.us 120, "120us");
+      (Cpi, 8, Simtime.ms 5, "5ms"); (Bt, 4, Simtime.ms 5, "5ms");
+      (Bratu, 8, Simtime.ms 20, "20ms") ]
+
+(* ABL-2: send-queue redirection during migration (paper section 5): the
+   queue travels once, inside the peer's checkpoint stream, instead of being
+   retransmitted after restart. *)
+let ablation_redirect () =
+  Workloads.register ();
+  section
+    "ABL-2  Send-queue redirection on migration (paper section 5 optimization)\n\
+    \       bulk transfer with ~deep queues, checkpointed mid-stream";
+  row "%-18s %14s %18s\n" "mode" "restart (ms)" "bytes re-sent";
+  let run_case redirect =
+    let params = { Params.default with Params.redirect_sendq = redirect } in
+    Zapc_apps.Registry.register_all ();
+    let cluster = Cluster.make ~seed:7 ~params ~node_count:4 () in
+    let sink_pod = Cluster.create_pod cluster ~node_idx:0 ~name:"sink" in
+    let sender_pod = Cluster.create_pod cluster ~node_idx:1 ~name:"sender" in
+    Cluster.link_pods [ sink_pod; sender_pod ];
+    let _sink = Pod.spawn sink_pod ~program:"bench.bulk_sink" ~args:(Value.Int 6200) in
+    let _sender =
+      Pod.spawn sender_pod ~program:"bench.bulk_sender"
+        ~args:
+          (Value.assoc
+             [ ("dst", Value.int sink_pod.Pod.vip); ("port", Value.int 6200);
+               ("chunks", Value.int 64) ])
+    in
+    (* sender floods; sink drains slowly: big queues by 100 ms *)
+    Cluster.run cluster ~until:(Simtime.ms 100) ();
+    let r =
+      Cluster.checkpoint_sync cluster
+        ~items:
+          [ { Manager.ci_node = 0; ci_pod = sink_pod.Pod.pod_id;
+              ci_dest = Protocol.U_storage "abl2.sink" };
+            { Manager.ci_node = 1; ci_pod = sender_pod.Pod.pod_id;
+              ci_dest = Protocol.U_storage "abl2.sender" } ]
+        ~resume:false
+    in
+    assert r.Manager.r_ok;
+    let bytes_before = Zapc_simnet.Fabric.bytes_delivered (Cluster.fabric cluster) in
+    let rr =
+      Cluster.restart_sync cluster
+        ~items:
+          [ { Manager.ri_node = 2; ri_pod = sink_pod.Pod.pod_id;
+              ri_uri = Protocol.U_storage "abl2.sink" };
+            { Manager.ri_node = 3; ri_pod = sender_pod.Pod.pod_id;
+              ri_uri = Protocol.U_storage "abl2.sender" } ]
+    in
+    let bytes_after = Zapc_simnet.Fabric.bytes_delivered (Cluster.fabric cluster) in
+    ( (if rr.Manager.r_ok then Simtime.to_ms rr.Manager.r_duration else nan),
+      bytes_after - bytes_before )
+  in
+  let t_off, b_off = run_case false in
+  let t_on, b_on = run_case true in
+  row "%-18s %14.1f %18d\n" "resend (baseline)" t_off b_off;
+  row "%-18s %14.1f %18d\n" "redirected" t_on b_on;
+  row "-> the redirected variant moves %.0f%% fewer bytes during restart\n"
+    ((1.0 -. (float_of_int b_on /. float_of_int b_off)) *. 100.0)
+
+(* ABL-3: peek-based receive-queue capture (the Cruz-style approach the
+   paper criticises) silently loses the urgent byte; ZapC's read-inject
+   extraction does not. *)
+let ablation_peek () =
+  Workloads.register ();
+  section
+    "ABL-3  Receive-queue capture method: ZapC read-inject vs peek (Cruz-style)\n\
+    \       checkpoint taken with stream data + an urgent byte pending";
+  row "%-18s %-40s\n" "mode" "receiver observation after restart";
+  let logged = ref [] in
+  let run_case peek =
+    logged := [];
+    let params = { Params.default with Params.peek_mode = peek } in
+    Zapc_apps.Registry.register_all ();
+    let cluster = Cluster.make ~seed:5 ~params ~node_count:4 () in
+    for i = 0 to 3 do
+      Kernel.set_logger (Cluster.node cluster i).Cluster.n_kernel (fun _ _ m ->
+          logged := m :: !logged)
+    done;
+    let rpod = Cluster.create_pod cluster ~node_idx:0 ~name:"oobr" in
+    let spod = Cluster.create_pod cluster ~node_idx:1 ~name:"oobs" in
+    Cluster.link_pods [ rpod; spod ];
+    let _r = Pod.spawn rpod ~program:"bench.oob_recv" ~args:(Value.Int 6300) in
+    let _s =
+      Pod.spawn spod ~program:"bench.oob_send"
+        ~args:(Value.assoc [ ("dst", Value.int rpod.Pod.vip); ("port", Value.int 6300) ])
+    in
+    (* data + urgent byte are queued at the receiver while it sleeps *)
+    Cluster.run cluster ~until:(Simtime.ms 60) ();
+    let r =
+      Cluster.checkpoint_sync cluster
+        ~items:
+          [ { Manager.ci_node = 0; ci_pod = rpod.Pod.pod_id;
+              ci_dest = Protocol.U_storage "abl3.r" };
+            { Manager.ci_node = 1; ci_pod = spod.Pod.pod_id;
+              ci_dest = Protocol.U_storage "abl3.s" } ]
+        ~resume:false
+    in
+    assert r.Manager.r_ok;
+    let rr =
+      Cluster.restart_sync cluster
+        ~items:
+          [ { Manager.ri_node = 2; ri_pod = rpod.Pod.pod_id;
+              ri_uri = Protocol.U_storage "abl3.r" };
+            { Manager.ri_node = 3; ri_pod = spod.Pod.pod_id;
+              ri_uri = Protocol.U_storage "abl3.s" } ]
+    in
+    assert rr.Manager.r_ok;
+    Cluster.run_until cluster ~timeout:(Simtime.sec 60.0) (fun () ->
+        List.exists
+          (fun m -> String.length m >= 7 && String.equal (String.sub m 0 7) "oob got")
+          !logged);
+    List.find
+      (fun m -> String.length m >= 7 && String.equal (String.sub m 0 7) "oob got")
+      !logged
+  in
+  let proper = run_case false in
+  let peeked = run_case true in
+  row "%-18s %-40s\n" "read-inject (ZapC)" proper;
+  row "%-18s %-40s\n" "peek (Cruz-style)" peeked
+
+let ablations () =
+  ablation_serial ();
+  ablation_redirect ();
+  ablation_peek ()
+
+(* ------------------------------------------------------------------ *)
+(* Figure-2 timeline and storage-flush methodology                     *)
+(* ------------------------------------------------------------------ *)
+
+let timeline () =
+  section
+    "FIG-2  Coordinated checkpoint timeline (BT/NAS on 4 nodes): the single\n\
+    \       synchronization point — 'continue' lands DURING the standalone\n\
+    \       checkpoints; network stays blocked only until both conditions hold";
+  let env = launch_app Bt 4 in
+  let tr = Cluster.enable_trace env.cluster in
+  Cluster.run env.cluster ~until:(Simtime.sec 2.0) ();
+  let r =
+    Cluster.checkpoint_sync env.cluster ~items:(items_for env.cluster env.app ~prefix:"tl")
+      ~resume:true
+  in
+  if r.Manager.r_ok then print_string (Zapc.Trace.render_checkpoint tr)
+
+let storage_flush () =
+  section
+    "STORAGE  Image flush to shared storage (excluded from checkpoint time,\n\
+    \         per the paper's methodology; shown here for completeness at the\n\
+    \         SAN's 180 MB/s)";
+  row "%-12s %6s %12s %14s\n" "app" "nodes" "image (MB)" "flush (ms)";
+  List.iter
+    (fun (kind, n) ->
+      let env = launch_app kind n in
+      Cluster.run env.cluster ~until:(Simtime.sec 2.0) ();
+      let prefix = "flush" in
+      let r =
+        Cluster.checkpoint_sync env.cluster ~items:(items_for env.cluster env.app ~prefix)
+          ~resume:true
+      in
+      if r.Manager.r_ok then begin
+        let storage = Cluster.storage env.cluster in
+        let largest_key, largest =
+          List.fold_left
+            (fun (bk, bs) (pod, st) ->
+              if st.Protocol.st_image_bytes > bs then
+                (Printf.sprintf "%s.pod%d" prefix pod, st.Protocol.st_image_bytes)
+              else (bk, bs))
+            ("", 0) r.Manager.r_stats
+        in
+        let t = Zapc.Storage.flush_time storage largest_key in
+        row "%-12s %6d %12.1f %14.1f\n" (app_label kind) n
+          (float_of_int largest /. 1e6) (Simtime.to_ms t)
+      end)
+    [ (Cpi, 4); (Bt, 1); (Bt, 4); (Bratu, 4); (Povray, 4) ]

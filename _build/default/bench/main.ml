@@ -1,0 +1,50 @@
+(* Experiment harness entry point.
+
+   Usage: bench/main.exe [fig5|fig6a|fig6b|fig6c|netstate|variance|ablation|micro|all|quick]
+
+   Each experiment regenerates the corresponding table/figure of the paper
+   (see DESIGN.md's experiment index and EXPERIMENTS.md for the comparison
+   against the published results). *)
+
+let usage () =
+  print_endline
+    "usage: main.exe [fig5|fig6a|fig6b|fig6c|netstate|variance|ablation|timeline|storage|micro|all|quick]"
+
+let () =
+  let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  Zapc_apps.Registry.register_all ();
+  match what with
+  | "fig5" -> Experiments.fig5 ()
+  | "variance" -> Experiments.fig5_variance ()
+  | "fig6a" -> Experiments.fig6a ()
+  | "fig6b" -> Experiments.fig6b ()
+  | "fig6c" -> Experiments.fig6c ()
+  | "netstate" -> Experiments.netstate ()
+  | "ablation" -> Experiments.ablations ()
+  | "timeline" -> Experiments.timeline ()
+  | "storage" -> Experiments.storage_flush ()
+  | "micro" -> Micro.run ()
+  | "all" ->
+    Experiments.fig5 ();
+    Experiments.fig6a ();
+    Experiments.fig6b ();
+    Experiments.fig6c ();
+    Experiments.netstate ();
+    Experiments.fig5_variance ();
+    Experiments.ablations ();
+    Experiments.timeline ();
+    Experiments.storage_flush ();
+    Micro.run ()
+  | "quick" ->
+    (* smoke: one app, one size, one checkpoint series *)
+    let open Driver in
+    section "QUICK  smoke run: BT/NAS on 4 nodes";
+    let base = completion_run Bt 4 Base in
+    let zapc = completion_run Bt 4 Zapc_mode in
+    Printf.printf "completion base=%.2fs zapc=%.2fs\n" base zapc;
+    let s = checkpoint_run ~count:4 Bt 4 in
+    Printf.printf "ckpt avg=%.1fms image=%.1fMB restart=%.1fms\n"
+      (Zapc_sim.Stats.mean s.ckpt_times)
+      (Zapc_sim.Stats.mean s.max_image)
+      s.restart_time
+  | _ -> usage ()

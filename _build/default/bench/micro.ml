@@ -1,0 +1,101 @@
+(* Wall-clock microbenchmarks (Bechamel) of the core operations the
+   simulator and the checkpoint path are built from. *)
+
+open Bechamel
+open Toolkit
+module Simtime = Zapc_sim.Simtime
+module Engine = Zapc_sim.Engine
+module Value = Zapc_codec.Value
+module Wire = Zapc_codec.Wire
+module Sockbuf = Zapc_simnet.Sockbuf
+module Pheap = Zapc_sim.Pheap
+
+let sample_value =
+  Value.assoc
+    [ ("grid", Value.F64s (Array.init 512 float_of_int));
+      ("meta", Value.List (List.init 32 (fun i -> Value.Int i)));
+      ("name", Value.Str "pod-image-sample");
+      ("nested", Value.Assoc [ ("a", Value.Tag ("x", Value.Int 1)) ]) ]
+
+let encoded_sample = Wire.encode sample_value
+
+let t_encode =
+  Test.make ~name:"wire.encode" (Staged.stage (fun () -> ignore (Wire.encode sample_value)))
+
+let t_decode =
+  Test.make ~name:"wire.decode" (Staged.stage (fun () -> ignore (Wire.decode encoded_sample)))
+
+let t_sockbuf =
+  Test.make ~name:"sockbuf.push/pop-1KB"
+    (Staged.stage (fun () ->
+         let b = Sockbuf.create () in
+         for _ = 1 to 8 do
+           Sockbuf.push b (String.make 128 'x')
+         done;
+         while not (Sockbuf.is_empty b) do
+           ignore (Sockbuf.pop b 100)
+         done))
+
+let t_heap =
+  Test.make ~name:"pheap.push/pop-64"
+    (Staged.stage (fun () ->
+         let h = Pheap.create () in
+         for i = 63 downto 0 do
+           Pheap.push h ~key:i i
+         done;
+         let rec drain () = match Pheap.pop h with Some _ -> drain () | None -> () in
+         drain ()))
+
+let t_engine =
+  Test.make ~name:"engine.1000-events"
+    (Staged.stage (fun () ->
+         let e = Engine.create () in
+         for i = 1 to 1000 do
+           Engine.schedule e ~delay:(Simtime.ns i) (fun () -> ())
+         done;
+         Engine.run e))
+
+(* one full simulated TCP echo: handshake, payload both ways, teardown *)
+let t_tcp =
+  Test.make ~name:"sim.tcp-echo"
+    (Staged.stage (fun () ->
+         let engine = Engine.create () in
+         let fabric = Zapc_simnet.Fabric.create engine in
+         let ns0 = Zapc_simnet.Netstack.create ~node:0 fabric in
+         let ns1 = Zapc_simnet.Netstack.create ~node:1 fabric in
+         let ip0 = Zapc_simnet.Addr.make_ip 10 0 0 1 in
+         let ip1 = Zapc_simnet.Addr.make_ip 10 0 0 2 in
+         Zapc_simnet.Netstack.add_ip ns0 ip0;
+         Zapc_simnet.Netstack.add_ip ns1 ip1;
+         let listener = Zapc_simnet.Netstack.new_socket ns1 Zapc_simnet.Socket.Stream in
+         ignore (Zapc_simnet.Netstack.bind ns1 listener { Zapc_simnet.Addr.ip = ip1; port = 80 });
+         ignore (Zapc_simnet.Netstack.listen ns1 listener 4);
+         let client = Zapc_simnet.Netstack.new_socket ns0 Zapc_simnet.Socket.Stream in
+         ignore (Zapc_simnet.Netstack.connect_start ns0 client { Zapc_simnet.Addr.ip = ip1; port = 80 });
+         Engine.run engine;
+         ignore (Zapc_simnet.Tcp.send_data client "ping");
+         Engine.run engine))
+
+let tests = [ t_encode; t_decode; t_sockbuf; t_heap; t_engine; t_tcp ]
+
+let run () =
+  Driver.section "MICRO  Wall-clock microbenchmarks of core operations (Bechamel)";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~kde:(Some 500) ()
+  in
+  Printf.printf "%-24s %16s\n" "benchmark" "ns/run";
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let results = Analyze.all ols Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name r ->
+          match Analyze.OLS.estimates r with
+          | Some (est :: _) -> Printf.printf "%-24s %16.1f\n" name est
+          | Some [] | None -> Printf.printf "%-24s %16s\n" name "n/a")
+        results)
+    tests

@@ -1,0 +1,237 @@
+(* zapc-cli: drive the simulated ZapC cluster from the command line.
+
+     zapc-cli run --app bt --ranks 4 --nodes 4 [--snapshot-at MS] [--restart-on 2,3]
+     zapc-cli migrate --app cpi --ranks 2 --from 0,1 --to 2,3 --at MS
+     zapc-cli apps
+     zapc-cli params
+*)
+
+module Simtime = Zapc_sim.Simtime
+module Value = Zapc_codec.Value
+module Kernel = Zapc_simos.Kernel
+module Proc = Zapc_simos.Proc
+module Pod = Zapc_pod.Pod
+module Cluster = Zapc.Cluster
+module Manager = Zapc.Manager
+module Protocol = Zapc.Protocol
+module Launch = Zapc_msg.Launch
+open Cmdliner
+
+let app_conv =
+  let parse s =
+    match s with
+    | "cpi" | "bt" | "bt_nas" | "bratu" | "povray" -> Ok s
+    | _ -> Error (`Msg "unknown app (cpi|bt|bratu|povray)")
+  in
+  Arg.conv (parse, Format.pp_print_string)
+
+let program_of = function "bt" -> "bt_nas" | s -> s
+
+let args_of app scale =
+  let s = max 1 scale in
+  match program_of app with
+  | "cpi" ->
+    Zapc_apps.Cpi.params_to_value
+      { Zapc_apps.Cpi.default_params with intervals = 400_000 * s; chunks = 10 }
+  | "bt_nas" ->
+    Zapc_apps.Bt_nas.params_to_value
+      { Zapc_apps.Bt_nas.default_params with g = 96 * s; iters = 30 }
+  | "bratu" ->
+    Zapc_apps.Bratu.params_to_value
+      { Zapc_apps.Bratu.default_params with g = 64 * s; max_iters = 60 }
+  | "povray" ->
+    Zapc_apps.Povray.params_to_value
+      { Zapc_apps.Povray.default_params with width = 160 * s; height = 96 * s }
+  | _ -> Value.Unit
+
+let setup_cluster ~nodes ~cpus ~seed =
+  Zapc_apps.Registry.register_all ();
+  let cluster = Cluster.make ~seed ~cpus ~params:Zapc.Params.default ~node_count:nodes () in
+  for i = 0 to nodes - 1 do
+    Kernel.set_logger (Cluster.node cluster i).Cluster.n_kernel (fun k _ m ->
+        Printf.printf "[%9.2f ms | node%d] %s\n%!" (Simtime.to_ms (Kernel.now k))
+          k.Kernel.node_id m)
+  done;
+  cluster
+
+let parse_node_list s =
+  String.split_on_char ',' s |> List.filter (fun x -> x <> "") |> List.map int_of_string
+
+let ranks_of_app program pod_ids =
+  List.concat_map
+    (fun id ->
+      match Pod.find id with
+      | None -> []
+      | Some pod ->
+        List.filter_map
+          (fun (_, (p : Proc.t)) ->
+            if String.equal (Zapc_simos.Program.name_of p.Proc.inst) program then Some p
+            else None)
+          (Pod.members pod))
+    pod_ids
+
+(* --- run --- *)
+
+let run_cmd app ranks nodes cpus scale seed snapshot_at restart_on =
+  let cluster = setup_cluster ~nodes ~cpus ~seed in
+  let placement = List.init ranks (fun r -> r mod nodes) in
+  let program = program_of app in
+  let appl =
+    Launch.launch cluster ~name:app ~program ~placement ~app_args:(args_of app scale) ()
+  in
+  Printf.printf "launched %s with %d ranks on %d nodes\n%!" app ranks nodes;
+  (match snapshot_at with
+   | None -> ignore (Launch.wait_done cluster appl)
+   | Some ms ->
+     Cluster.run cluster ~until:(Simtime.ms ms) ();
+     if Launch.is_done appl then
+       print_endline "application finished before the snapshot time"
+     else begin
+       let r = Cluster.snapshot cluster ~pods:appl.Launch.pods ~key_prefix:"cli" in
+       Printf.printf "snapshot: ok=%b duration=%.1fms\n%!" r.Manager.r_ok
+         (Simtime.to_ms r.Manager.r_duration);
+       List.iter
+         (fun (pod, st) ->
+           Printf.printf "  pod%d: image=%.1fMB net=%.2fms sockets=%d procs=%d\n%!" pod
+             (float_of_int st.Protocol.st_image_bytes /. 1e6)
+             (Simtime.to_ms st.Protocol.st_net_time)
+             st.Protocol.st_sockets st.Protocol.st_procs)
+         r.Manager.r_stats;
+       match restart_on with
+       | None -> ignore (Launch.wait_done cluster appl)
+       | Some targets ->
+         let targets = parse_node_list targets in
+         ignore (Launch.wait_done cluster appl);
+         Printf.printf "restarting the snapshot on nodes %s\n%!"
+           (String.concat "," (List.map string_of_int targets));
+         let targets_padded =
+           List.init ranks (fun i -> List.nth targets (i mod List.length targets))
+         in
+         let rr =
+           Cluster.restart_app cluster ~pod_ids:(Launch.pod_ids appl)
+             ~target_nodes:targets_padded ~key_prefix:"cli"
+         in
+         Printf.printf "restart: ok=%b duration=%.1fms\n%!" rr.Manager.r_ok
+           (Simtime.to_ms rr.Manager.r_duration);
+         let rks = ranks_of_app program (Launch.pod_ids appl) in
+         Cluster.run_until cluster ~timeout:(Simtime.sec 36000.0) (fun () ->
+             List.for_all (fun (p : Proc.t) -> p.Proc.exit_code <> None) rks)
+     end);
+  Printf.printf "done at %.1f ms (virtual); %d engine events\n%!"
+    (Simtime.to_ms (Cluster.now cluster))
+    (Zapc_sim.Engine.events_processed (Cluster.engine cluster))
+
+(* --- migrate --- *)
+
+let migrate_cmd app ranks nodes cpus scale seed at to_ =
+  let cluster = setup_cluster ~nodes ~cpus ~seed in
+  let placement = List.init ranks (fun r -> r mod nodes) in
+  let program = program_of app in
+  let appl =
+    Launch.launch cluster ~name:app ~program ~placement ~app_args:(args_of app scale) ()
+  in
+  Cluster.run cluster ~until:(Simtime.ms at) ();
+  if Launch.is_done appl then print_endline "application finished before the migration"
+  else begin
+    let targets = parse_node_list to_ in
+    let targets = List.init ranks (fun i -> List.nth targets (i mod List.length targets)) in
+    let where (p : Pod.t) =
+      match Zapc_simnet.Fabric.node_of_ip (Cluster.fabric cluster) p.rip with
+      | Some n -> n
+      | None -> 0
+    in
+    let items =
+      List.map2
+        (fun (p : Pod.t) dst ->
+          { Manager.ci_node = where p; ci_pod = p.pod_id; ci_dest = Protocol.U_node dst })
+        appl.Launch.pods targets
+    in
+    let ck = Cluster.checkpoint_sync cluster ~items ~resume:false in
+    Printf.printf "stream checkpoint: ok=%b duration=%.1fms\n%!" ck.Manager.r_ok
+      (Simtime.to_ms ck.Manager.r_duration);
+    let ritems =
+      List.map2
+        (fun id dst -> { Manager.ri_node = dst; ri_pod = id; ri_uri = Protocol.U_node dst })
+        (Launch.pod_ids appl) targets
+    in
+    let rr = Cluster.restart_sync cluster ~items:ritems in
+    Printf.printf "restart: ok=%b duration=%.1fms\n%!" rr.Manager.r_ok
+      (Simtime.to_ms rr.Manager.r_duration);
+    let rks = ranks_of_app program (Launch.pod_ids appl) in
+    Cluster.run_until cluster ~timeout:(Simtime.sec 36000.0) (fun () ->
+        List.for_all (fun (p : Proc.t) -> p.Proc.exit_code <> None) rks)
+  end;
+  Printf.printf "done at %.1f ms (virtual)\n%!" (Simtime.to_ms (Cluster.now cluster))
+
+(* --- timeline --- *)
+
+let timeline_cmd app ranks nodes cpus scale seed at =
+  let cluster = setup_cluster ~nodes ~cpus ~seed in
+  let tr = Cluster.enable_trace cluster in
+  let placement = List.init ranks (fun r -> r mod nodes) in
+  let program = program_of app in
+  let appl =
+    Launch.launch cluster ~name:app ~program ~placement ~app_args:(args_of app scale) ()
+  in
+  Cluster.run cluster ~until:(Simtime.ms at) ();
+  if Launch.is_done appl then print_endline "application finished before the snapshot"
+  else begin
+    let r = Cluster.snapshot cluster ~pods:appl.Launch.pods ~key_prefix:"tl" in
+    Printf.printf "snapshot ok=%b duration=%.1fms\n\n%!" r.Manager.r_ok
+      (Simtime.to_ms r.Manager.r_duration);
+    print_string (Zapc.Trace.render_checkpoint tr)
+  end
+
+(* --- info --- *)
+
+let apps_cmd () =
+  print_endline "available applications:";
+  print_endline "  cpi     parallel computation of pi (compute-bound, small allreduces)";
+  print_endline "  bt      BT/NAS-style block-tridiagonal solver (heavy halo exchange)";
+  print_endline "  bratu   PETSc-style nonlinear PDE solver (moderate communication)";
+  print_endline "  povray  master/worker ray tracer (CPU-bound, small messages)"
+
+let params_cmd () =
+  let p = Zapc.Params.default in
+  let t v = Format.asprintf "%a" Simtime.pp v in
+  Printf.printf "fabric: latency=%s bandwidth=%.0e bps\n" (t p.fabric.latency)
+    p.fabric.bandwidth_bps;
+  Printf.printf "control: latency=%s\n" (t p.ctrl_latency);
+  Printf.printf "memory bandwidth (images): %.1f GB/s\n" (p.mem_bw /. 1e9);
+  Printf.printf "checkpoint fixed: %s  restore fixed: %s\n" (t p.ckpt_fixed)
+    (t p.restore_fixed);
+  Printf.printf "cost jitter: +-%.0f%%\n" (p.cost_jitter *. 100.0)
+
+(* --- cmdliner wiring --- *)
+
+let app_t = Arg.(value & opt app_conv "cpi" & info [ "app"; "a" ] ~doc:"Application to run.")
+let ranks_t = Arg.(value & opt int 2 & info [ "ranks"; "r" ] ~doc:"Number of MPI ranks (pods).")
+let nodes_t = Arg.(value & opt int 4 & info [ "nodes"; "n" ] ~doc:"Cluster size.")
+let cpus_t = Arg.(value & opt int 1 & info [ "cpus" ] ~doc:"CPUs per node.")
+let scale_t = Arg.(value & opt int 1 & info [ "scale" ] ~doc:"Problem size multiplier.")
+let seed_t = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Simulation seed.")
+
+let snapshot_t =
+  Arg.(value & opt (some int) None & info [ "snapshot-at" ] ~doc:"Take a snapshot at MS (virtual).")
+
+let restart_on_t =
+  Arg.(value & opt (some string) None
+       & info [ "restart-on" ] ~doc:"After completion, restart the snapshot on NODES (comma separated).")
+
+let at_t = Arg.(value & opt int 10 & info [ "at" ] ~doc:"Migrate at MS (virtual).")
+let to_t = Arg.(required & opt (some string) None & info [ "to" ] ~doc:"Target NODES (comma separated).")
+
+let run_term = Term.(const run_cmd $ app_t $ ranks_t $ nodes_t $ cpus_t $ scale_t $ seed_t $ snapshot_t $ restart_on_t)
+let migrate_term = Term.(const migrate_cmd $ app_t $ ranks_t $ nodes_t $ cpus_t $ scale_t $ seed_t $ at_t $ to_t)
+let timeline_term = Term.(const timeline_cmd $ app_t $ ranks_t $ nodes_t $ cpus_t $ scale_t $ seed_t $ at_t)
+
+let cmds =
+  [ Cmd.v (Cmd.info "run" ~doc:"Run a distributed application (optionally snapshot + restart).") run_term;
+    Cmd.v (Cmd.info "migrate" ~doc:"Live-migrate a running application to other nodes.") migrate_term;
+    Cmd.v (Cmd.info "timeline" ~doc:"Render the Figure-2 coordinated-checkpoint timeline.") timeline_term;
+    Cmd.v (Cmd.info "apps" ~doc:"List available applications.") Term.(const apps_cmd $ const ());
+    Cmd.v (Cmd.info "params" ~doc:"Show the default cost-model parameters.") Term.(const params_cmd $ const ()) ]
+
+let () =
+  let doc = "transparent coordinated checkpoint-restart on a simulated cluster (ZapC)" in
+  exit (Cmd.eval (Cmd.group (Cmd.info "zapc-cli" ~doc) cmds))

@@ -1,0 +1,1 @@
+examples/fault_recovery.ml: List Printf String Zapc Zapc_apps Zapc_msg Zapc_pod Zapc_sim Zapc_simnet Zapc_simos

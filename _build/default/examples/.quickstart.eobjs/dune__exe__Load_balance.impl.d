@@ -1,0 +1,1 @@
+examples/load_balance.ml: List Printf String Zapc Zapc_apps Zapc_msg Zapc_pod Zapc_sim Zapc_simnet Zapc_simos

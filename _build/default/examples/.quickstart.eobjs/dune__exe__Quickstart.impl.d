@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array List Printf String Zapc Zapc_apps Zapc_msg Zapc_pod Zapc_sim Zapc_simos

@@ -1,0 +1,1 @@
+examples/rolling_maintenance.mli:

@@ -1,0 +1,86 @@
+(* Fault recovery with the periodic-checkpoint service: snapshot a running
+   distributed application on a schedule; when a node dies, recover the
+   whole application from the last good epoch on the surviving nodes —
+   losing only the work since that snapshot (the paper's headline use case
+   for checkpoint-restart on clusters).
+
+   Run with:  dune exec examples/fault_recovery.exe *)
+
+module Simtime = Zapc_sim.Simtime
+module Engine = Zapc_sim.Engine
+module Kernel = Zapc_simos.Kernel
+module Proc = Zapc_simos.Proc
+module Pod = Zapc_pod.Pod
+module Cluster = Zapc.Cluster
+module Manager = Zapc.Manager
+module Periodic = Zapc.Periodic
+module Launch = Zapc_msg.Launch
+
+let () =
+  Zapc_apps.Registry.register_all ();
+  let cluster = Cluster.make ~params:Zapc.Params.default ~node_count:4 () in
+  for i = 0 to 3 do
+    Kernel.set_logger (Cluster.node cluster i).Cluster.n_kernel (fun k _ m ->
+        Printf.printf "  [%8.1f ms | node%d] %s\n%!" (Simtime.to_ms (Kernel.now k))
+          k.Kernel.node_id m)
+  done;
+  let app =
+    Launch.launch cluster ~name:"bt" ~program:"bt_nas" ~placement:[ 0; 1 ]
+      ~app_args:
+        (Zapc_apps.Bt_nas.params_to_value
+           { Zapc_apps.Bt_nas.default_params with g = 256; iters = 1200 })
+      ()
+  in
+  print_endline "BT/NAS on nodes 0,1; periodic snapshots every 250 ms (keep last 2)";
+
+  let svc =
+    Periodic.start cluster ~pods:app.Launch.pods ~prefix:"epoch"
+      ~period:(Simtime.ms 250) ~keep:2 ()
+  in
+  Periodic.set_on_epoch svc (fun e r ->
+      if r.Manager.r_ok then
+        Printf.printf "  -- epoch %d snapshotted in %.1f ms\n%!" e
+          (Simtime.to_ms r.Manager.r_duration));
+
+  (* node 1 crashes mid-run *)
+  Engine.schedule_at (Cluster.engine cluster) ~at:(Simtime.ms 800) (fun () ->
+      Printf.printf "  !! node 1 crashes at %.1f ms\n%!"
+        (Simtime.to_ms (Cluster.now cluster));
+      List.iter
+        (fun (p : Pod.t) ->
+          match Zapc_simnet.Fabric.node_of_ip (Cluster.fabric cluster) p.rip with
+          | Some 1 -> Pod.destroy p
+          | Some _ | None -> ())
+        app.Launch.pods);
+
+  Cluster.run cluster ~until:(Simtime.ms 820) ();
+  (* let any in-flight checkpoint settle, then recover *)
+  Cluster.run_until cluster ~timeout:(Simtime.sec 10.0) (fun () ->
+      not (Manager.busy (Cluster.manager cluster)));
+  Printf.printf "last good epoch: %d (completed %d, skipped %d)\n%!"
+    (Periodic.last_good svc) (Periodic.completed svc) (Periodic.skipped svc);
+
+  let r = Periodic.recover svc ~target_nodes:[ 2; 3 ] in
+  Printf.printf "recovery restart on nodes 2,3: ok=%b in %.1f ms\n%!" r.Manager.r_ok
+    (Simtime.to_ms r.Manager.r_duration);
+
+  let ranks =
+    List.concat_map
+      (fun (p : Pod.t) ->
+        match Pod.find p.pod_id with
+        | None -> []
+        | Some pod ->
+          List.filter_map
+            (fun (_, (pr : Proc.t)) ->
+              if String.equal (Zapc_simos.Program.name_of pr.Proc.inst) "bt_nas" then
+                Some pr
+              else None)
+            (Pod.members pod))
+      app.Launch.pods
+  in
+  Cluster.run_until cluster ~timeout:(Simtime.sec 3600.0) (fun () ->
+      List.for_all (fun (p : Proc.t) -> p.Proc.exit_code <> None) ranks);
+  Printf.printf
+    "recovered run finished at %.1f ms — only the work after epoch %d was redone\n%!"
+    (Simtime.to_ms (Cluster.now cluster))
+    (Periodic.last_good svc)

@@ -1,0 +1,87 @@
+(* Dynamic load balancing (paper section 1): two applications start crammed
+   onto the same node; ZapC migrates one of them to idle nodes mid-run and
+   both finish sooner than they would have sharing a CPU.
+
+   Run with:  dune exec examples/load_balance.exe *)
+
+module Simtime = Zapc_sim.Simtime
+module Fabric = Zapc_simnet.Fabric
+module Kernel = Zapc_simos.Kernel
+module Proc = Zapc_simos.Proc
+module Pod = Zapc_pod.Pod
+module Cluster = Zapc.Cluster
+module Manager = Zapc.Manager
+module Protocol = Zapc.Protocol
+module Launch = Zapc_msg.Launch
+
+let cpi_args =
+  Zapc_apps.Cpi.params_to_value
+    { Zapc_apps.Cpi.default_params with intervals = 1_000_000; chunks = 10;
+      ns_per_interval = 50_000 }
+
+(* run the contended scenario; if [migrate] is set, move app B to the idle
+   nodes at 5 ms *)
+let run_scenario ~migrate =
+  Zapc_apps.Registry.register_all ();
+  let cluster = Cluster.make ~params:Zapc.Params.default ~node_count:4 () in
+  (* both 2-rank applications squeezed onto nodes 0 and 0 (sharing CPUs) *)
+  let app_a = Launch.launch cluster ~name:"jobA" ~program:"cpi" ~placement:[ 0; 1 ] ~app_args:cpi_args () in
+  let app_b = Launch.launch cluster ~name:"jobB" ~program:"cpi" ~placement:[ 0; 1 ] ~app_args:cpi_args () in
+  Cluster.run cluster ~until:(Simtime.ms 5) ();
+  if migrate then begin
+    let where (p : Pod.t) =
+      match Fabric.node_of_ip (Cluster.fabric cluster) p.rip with Some n -> n | None -> 0
+    in
+    let targets = [ 2; 3 ] in
+    let items =
+      List.map2
+        (fun (p : Pod.t) dst ->
+          { Manager.ci_node = where p; ci_pod = p.pod_id; ci_dest = Protocol.U_node dst })
+        app_b.Launch.pods targets
+    in
+    let ck = Cluster.checkpoint_sync cluster ~items ~resume:false in
+    assert ck.Manager.r_ok;
+    let ritems =
+      List.map2
+        (fun id dst -> { Manager.ri_node = dst; ri_pod = id; ri_uri = Protocol.U_node dst })
+        (Launch.pod_ids app_b) targets
+    in
+    let rr = Cluster.restart_sync cluster ~items:ritems in
+    assert rr.Manager.r_ok
+  end;
+  (* wait for app A (and B's restarted ranks) to finish *)
+  ignore (Launch.wait_done cluster app_a);
+  let a_done = Launch.completion_time app_a in
+  let b_ranks =
+    if not migrate then app_b.Launch.ranks
+    else
+      List.concat_map
+        (fun id ->
+          match Pod.find id with
+          | None -> []
+          | Some pod ->
+            List.filter_map
+              (fun (_, (p : Proc.t)) ->
+                if String.equal (Zapc_simos.Program.name_of p.Proc.inst) "cpi" then Some p
+                else None)
+              (Pod.members pod))
+        (Launch.pod_ids app_b)
+  in
+  Cluster.run_until cluster ~timeout:(Simtime.sec 1200.0) (fun () ->
+      List.for_all (fun (p : Proc.t) -> p.Proc.exit_code <> None) b_ranks);
+  let b_done =
+    List.fold_left
+      (fun acc (p : Proc.t) ->
+        match p.Proc.exit_time with Some t -> Simtime.max acc t | None -> acc)
+      Simtime.zero b_ranks
+  in
+  (Simtime.to_ms a_done, Simtime.to_ms b_done)
+
+let () =
+  print_endline "two 2-rank CPI jobs sharing nodes 0,1:";
+  let a0, b0 = run_scenario ~migrate:false in
+  Printf.printf "  without migration: job A %.1f ms, job B %.1f ms\n%!" a0 b0;
+  let a1, b1 = run_scenario ~migrate:true in
+  Printf.printf "  with job B migrated to idle nodes 2,3 at t=5ms: job A %.1f ms, job B %.1f ms\n%!"
+    a1 b1;
+  Printf.printf "  speedup: job A %.2fx, job B %.2fx\n%!" (a0 /. a1) (b0 /. b1)

@@ -1,0 +1,92 @@
+(* Live migration with direct streaming (paper section 4): checkpoint data
+   flows straight from the source Agents to the destination Agents, never
+   touching secondary storage, and an application on N nodes is reshaped
+   onto M < N nodes (pods are the unit of migration, so a dual-CPU node can
+   absorb two of them).
+
+   Here: BT/NAS runs on 4 single-pod nodes and is migrated, mid-run, onto 2
+   dual-CPU nodes — 2 pods each.
+
+   Run with:  dune exec examples/migration.exe *)
+
+module Simtime = Zapc_sim.Simtime
+module Fabric = Zapc_simnet.Fabric
+module Kernel = Zapc_simos.Kernel
+module Proc = Zapc_simos.Proc
+module Pod = Zapc_pod.Pod
+module Cluster = Zapc.Cluster
+module Manager = Zapc.Manager
+module Protocol = Zapc.Protocol
+module Launch = Zapc_msg.Launch
+
+let () =
+  Zapc_apps.Registry.register_all ();
+  (* nodes 0-3: uniprocessor "source" blades; nodes 4-5: dual-CPU targets *)
+  let cluster = Cluster.make ~params:Zapc.Params.default ~node_count:6 ~cpus:2 () in
+  for i = 0 to 5 do
+    Kernel.set_logger (Cluster.node cluster i).Cluster.n_kernel (fun k _ m ->
+        Printf.printf "  [%8.1f ms | node%d] %s\n%!" (Simtime.to_ms (Kernel.now k))
+          k.Kernel.node_id m)
+  done;
+  let app =
+    Launch.launch cluster ~name:"bt" ~program:"bt_nas" ~placement:[ 0; 1; 2; 3 ]
+      ~app_args:
+        (Zapc_apps.Bt_nas.params_to_value
+           { Zapc_apps.Bt_nas.default_params with g = 256; iters = 400 })
+      ()
+  in
+  print_endline "BT/NAS running on nodes 0-3 (one pod per node)...";
+  Cluster.run cluster ~until:(Simtime.ms 20) ();
+
+  (* migrate: checkpoint each pod streamed directly to its destination Agent
+     (pods 0,1 -> node 4; pods 2,3 -> node 5), destroying the sources *)
+  let targets = [ 4; 4; 5; 5 ] in
+  let where (p : Pod.t) =
+    match Fabric.node_of_ip (Cluster.fabric cluster) p.rip with Some n -> n | None -> -1
+  in
+  let items =
+    List.map2
+      (fun (p : Pod.t) dst ->
+        { Manager.ci_node = where p; ci_pod = p.pod_id; ci_dest = Protocol.U_node dst })
+      app.Launch.pods targets
+  in
+  print_endline "streaming checkpoints to nodes 4,5 (no secondary storage)...";
+  let ck = Cluster.checkpoint_sync cluster ~items ~resume:false in
+  Printf.printf "checkpoint+stream: ok=%b in %.1f ms\n%!" ck.Manager.r_ok
+    (Simtime.to_ms ck.Manager.r_duration);
+
+  let ritems =
+    List.map2
+      (fun id dst -> { Manager.ri_node = dst; ri_pod = id; ri_uri = Protocol.U_node dst })
+      (Launch.pod_ids app) targets
+  in
+  let rr = Cluster.restart_sync cluster ~items:ritems in
+  Printf.printf "restart on 2 dual-CPU nodes: ok=%b in %.1f ms\n%!" rr.Manager.r_ok
+    (Simtime.to_ms rr.Manager.r_duration);
+
+  (* show where everything lives now *)
+  List.iter
+    (fun id ->
+      match Pod.find id with
+      | Some pod -> Printf.printf "  pod %d now on node %d\n%!" id (where pod)
+      | None -> Printf.printf "  pod %d missing!\n%!" id)
+    (Launch.pod_ids app);
+
+  (* run the migrated application to completion *)
+  let ranks =
+    List.concat_map
+      (fun id ->
+        match Pod.find id with
+        | None -> []
+        | Some pod ->
+          List.filter_map
+            (fun (_, (p : Proc.t)) ->
+              if String.equal (Zapc_simos.Program.name_of p.Proc.inst) "bt_nas" then Some p
+              else None)
+            (Pod.members pod))
+      (Launch.pod_ids app)
+  in
+  Cluster.run_until cluster ~timeout:(Simtime.sec 1200.0) (fun () ->
+      List.for_all (fun (p : Proc.t) -> p.Proc.exit_code <> None) ranks);
+  Printf.printf "migrated run finished at %.1f ms (virtual)\n%!"
+    (Simtime.to_ms (Cluster.now cluster))

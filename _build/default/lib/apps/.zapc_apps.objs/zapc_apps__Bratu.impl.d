@@ -1,0 +1,1 @@
+lib/apps/bratu.ml: Array Printf Stdlib Zapc_codec Zapc_msg Zapc_sim Zapc_simos

@@ -1,0 +1,1 @@
+lib/apps/bratu.mli: Zapc_codec

@@ -1,0 +1,1 @@
+lib/apps/bt_nas.mli: Zapc_codec

@@ -1,0 +1,1 @@
+lib/apps/cpi.ml: Array Float Printf Stdlib Zapc_codec Zapc_msg Zapc_sim Zapc_simos

@@ -1,0 +1,1 @@
+lib/apps/cpi.mli: Zapc_codec

@@ -1,0 +1,1 @@
+lib/apps/pipeline.ml: Char List Printf Stdlib String Zapc_codec Zapc_sim Zapc_simos

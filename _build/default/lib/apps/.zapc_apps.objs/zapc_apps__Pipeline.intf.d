@@ -1,0 +1,1 @@
+lib/apps/pipeline.mli: Zapc_codec

@@ -1,0 +1,1 @@
+lib/apps/povray.ml: Bytes Char Int32 Printf Scene Stdlib String Zapc_codec Zapc_msg Zapc_sim Zapc_simos

@@ -1,0 +1,1 @@
+lib/apps/povray.mli: Zapc_codec

@@ -1,0 +1,1 @@
+lib/apps/registry.ml: Bratu Bt_nas Cpi Pipeline Povray Zapc_msg

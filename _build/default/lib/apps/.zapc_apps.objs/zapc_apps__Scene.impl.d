@@ -1,0 +1,1 @@
+lib/apps/scene.ml: Bytes Char Float List

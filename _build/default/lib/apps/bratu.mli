@@ -1,0 +1,24 @@
+(** PETSc-style Bratu (SFI — solid fuel ignition) solver: the nonlinear PDE
+    -lap(u) = lambda e^u on the unit square, discretized on a distributed 2D
+    array (row partition with ghost rows) and solved by damped nonlinear
+    Jacobi relaxation.  One halo exchange per sweep plus a residual
+    allreduce every few sweeps — the paper's "moderate level of
+    communication" profile. *)
+
+type params = {
+  g : int;
+  lambda : float;
+  max_iters : int;
+  tol : float;
+  check_every : int;  (** residual allreduce cadence *)
+  ns_per_cell : int;
+  mem_base : int;
+  mem_scaled : int;
+}
+
+val default_params : params
+val params_to_value : params -> Zapc_codec.Value.t
+val params_of_value : Zapc_codec.Value.t -> params
+
+val register : unit -> unit
+(** Register program ["bratu"]. *)

@@ -1,0 +1,276 @@
+(* BT/NAS-like workload: iterative block-tridiagonal solver on a 2D grid,
+   row-partitioned across ranks.  Each iteration exchanges halo rows with
+   both neighbours (substantial communication, like the NAS BT benchmark)
+   and then performs real numeric work: a Thomas tridiagonal solve along
+   every row followed by a vertical relaxation against the neighbour rows.
+
+   The paper runs BT on square process counts (1, 4, 9, 16); this
+   implementation accepts any count (the benches use the paper's). *)
+
+module Value = Zapc_codec.Value
+module Simtime = Zapc_sim.Simtime
+module Program = Zapc_simos.Program
+module Syscall = Zapc_simos.Syscall
+module Mpi = Zapc_msg.Mpi
+module Floats = Zapc_msg.Floats
+
+let tag_halo = 7
+
+type params = {
+  g : int;  (* global grid is g x g *)
+  iters : int;
+  ns_per_cell : int;
+  mem_base : int;
+  mem_scaled : int;
+}
+
+let default_params =
+  { g = 192; iters = 30; ns_per_cell = 55; mem_base = 20_000_000;
+    mem_scaled = 320_000_000 }
+
+let params_to_value p =
+  Value.assoc
+    [ ("g", Value.int p.g); ("iters", Value.int p.iters);
+      ("ns_per_cell", Value.int p.ns_per_cell); ("mem_base", Value.int p.mem_base);
+      ("mem_scaled", Value.int p.mem_scaled) ]
+
+let params_of_value v =
+  {
+    g = Value.to_int (Value.field "g" v);
+    iters = Value.to_int (Value.field "iters" v);
+    ns_per_cell = Value.to_int (Value.field "ns_per_cell" v);
+    mem_base = Value.to_int (Value.field "mem_base" v);
+    mem_scaled = Value.to_int (Value.field "mem_scaled" v);
+  }
+
+type ex_step = Send_up | Send_down | Recv_up | Recv_down
+
+type phase =
+  | Boot
+  | Initing
+  | Exchange of int * ex_step  (* iteration, sub-step *)
+  | Computing of int
+  | Reducing
+  | Done_phase
+
+module P = struct
+  type state = {
+    comm : Mpi.comm;
+    params : params;
+    mutable phase : phase;
+    mutable mpi : Mpi.pending option;
+    mutable u : float array;  (* (rows + 2) * g, with ghost rows 0 and rows+1 *)
+    rows : int;  (* interior rows owned by this rank *)
+    mutable checksum : float;
+  }
+
+  let name = "bt_nas"
+
+  let local_rows ~g ~size ~rank =
+    let base = g / size and extra = g mod size in
+    base + (if rank < extra then 1 else 0)
+
+  let start args =
+    let rank, size, vips, port, app = Mpi.parse_args args in
+    let comm = Mpi.make ~rank ~size ~vips ~port in
+    let params = params_of_value app in
+    let rows = local_rows ~g:params.g ~size ~rank in
+    let u =
+      Array.init
+        ((rows + 2) * params.g)
+        (fun i ->
+          (* deterministic nontrivial initial field *)
+          let x = float_of_int (i mod params.g) /. float_of_int params.g in
+          let y = float_of_int (i / params.g) /. float_of_int (rows + 2) in
+          sin (3.0 *. x) *. cos (2.0 *. y) +. (0.01 *. float_of_int rank))
+    in
+    { comm; params; phase = Boot; mpi = None; u; rows; checksum = 0.0 }
+
+  let g s = s.params.g
+  let row s r = Array.sub s.u (r * g s) (g s)
+  let set_row s r data = Array.blit data 0 s.u (r * g s) (g s)
+  let has_up s = s.comm.rank > 0
+  let has_down s = s.comm.rank < s.comm.size - 1
+
+  (* One sweep of real numeric work: Thomas solves along x, then vertical
+     relaxation.  Returns the compute action that charges virtual time. *)
+  let compute_sweep s =
+    let gg = g s in
+    let a = -1.0 and b = 4.0 and c = -1.0 in
+    let cp = Array.make gg 0.0 and dp = Array.make gg 0.0 in
+    for r = 1 to s.rows do
+      let base = r * gg in
+      (* Thomas algorithm: solve tri(a,b,c) x = u_row *)
+      cp.(0) <- c /. b;
+      dp.(0) <- s.u.(base) /. b;
+      for i = 1 to gg - 1 do
+        let m = b -. (a *. cp.(i - 1)) in
+        cp.(i) <- c /. m;
+        dp.(i) <- (s.u.(base + i) -. (a *. dp.(i - 1))) /. m
+      done;
+      s.u.(base + gg - 1) <- dp.(gg - 1);
+      for i = gg - 2 downto 0 do
+        s.u.(base + i) <- dp.(i) -. (cp.(i) *. s.u.(base + i + 1))
+      done
+    done;
+    (* vertical relaxation against neighbour rows (uses the halos) *)
+    for r = 1 to s.rows do
+      let base = r * gg in
+      let up = (r - 1) * gg and dn = (r + 1) * gg in
+      for i = 0 to gg - 1 do
+        s.u.(base + i) <- (0.5 *. s.u.(base + i)) +. (0.25 *. (s.u.(up + i) +. s.u.(dn + i)))
+      done
+    done;
+    Program.Compute
+      (Simtime.ns (Stdlib.max 1 (s.rows * gg * s.params.ns_per_cell)))
+
+  let enter_mpi s (pending, act) =
+    s.mpi <- Some pending;
+    act
+
+  (* advance the halo-exchange machine; sends both boundary rows, then
+     receives both ghost rows *)
+  let rec exchange s it (stp : ex_step) : Program.action =
+    s.phase <- Exchange (it, stp);
+    match stp with
+    | Send_up ->
+      if has_up s then
+        enter_mpi s
+          (Mpi.send s.comm ~peer:(s.comm.rank - 1) ~tag:tag_halo
+             (Floats.pack (row s 1)))
+      else exchange s it Send_down
+    | Send_down ->
+      if has_down s then
+        enter_mpi s
+          (Mpi.send s.comm ~peer:(s.comm.rank + 1) ~tag:tag_halo
+             (Floats.pack (row s s.rows)))
+      else exchange s it Recv_up
+    | Recv_up ->
+      if has_up s then
+        enter_mpi s (Mpi.recv s.comm ~src:(s.comm.rank - 1) ~tag:tag_halo)
+      else exchange s it Recv_down
+    | Recv_down ->
+      if has_down s then
+        enter_mpi s (Mpi.recv s.comm ~src:(s.comm.rank + 1) ~tag:tag_halo)
+      else begin
+        s.phase <- Computing it;
+        compute_sweep s
+      end
+
+  let local_checksum s =
+    let acc = ref 0.0 in
+    for r = 1 to s.rows do
+      for i = 0 to g s - 1 do
+        let v = s.u.((r * g s) + i) in
+        acc := !acc +. (v *. v)
+      done
+    done;
+    !acc
+
+  let rec continue s (r : Mpi.result) : Program.action =
+    match (s.phase, r) with
+    | _, Mpi.R_fail msg ->
+      s.phase <- Done_phase;
+      Program.Sys (Syscall.Log ("bt_nas: MPI failure: " ^ msg))
+    | Initing, _ -> exchange s 0 Send_up
+    | Exchange (it, Send_up), _ -> exchange s it Send_down
+    | Exchange (it, Send_down), _ -> exchange s it Recv_up
+    | Exchange (it, Recv_up), Mpi.R_msg { data; _ } ->
+      set_row s 0 (Floats.unpack data);
+      exchange s it Recv_down
+    | Exchange (it, Recv_down), Mpi.R_msg { data; _ } ->
+      set_row s (s.rows + 1) (Floats.unpack data);
+      s.phase <- Computing it;
+      compute_sweep s
+    | Reducing, Mpi.R_floats totals ->
+      s.checksum <- totals.(0);
+      s.phase <- Done_phase;
+      if s.comm.rank = 0 then
+        Program.Sys
+          (Syscall.Log (Printf.sprintf "bt_nas: checksum %.6e after %d iters" s.checksum
+                          s.params.iters))
+      else Program.Exit 0
+    | (Boot | Exchange _ | Computing _ | Reducing | Done_phase), _ ->
+      continue s (Mpi.R_fail "unexpected MPI result")
+
+  let step s (outcome : Syscall.outcome) =
+    match s.mpi with
+    | Some pending ->
+      (match Mpi.step s.comm pending outcome with
+       | `Again (p, act) ->
+         s.mpi <- Some p;
+         (s, act)
+       | `Done r ->
+         s.mpi <- None;
+         (s, continue s r))
+    | None ->
+      (match s.phase with
+       | Boot ->
+         (match outcome with
+          | Syscall.Started ->
+            let mem = s.params.mem_base + (s.params.mem_scaled / s.comm.size) in
+            (s, Program.Sys (Syscall.Mem_alloc ("bt.rss", mem)))
+          | _ ->
+            s.phase <- Initing;
+            (s, enter_mpi s (Mpi.init s.comm)))
+       | Computing it ->
+         (* sweep finished *)
+         let it' = it + 1 in
+         if it' < s.params.iters then (s, exchange s it' Send_up)
+         else begin
+           s.phase <- Reducing;
+           (s, enter_mpi s (Mpi.allreduce_sum s.comm [| local_checksum s |]))
+         end
+       | Exchange _ -> (s, exchange s 0 Send_up)
+       | Initing | Reducing -> (s, Program.Exit 1)
+       | Done_phase -> (s, Program.Exit 0))
+
+  let ex_to_int = function Send_up -> 0 | Send_down -> 1 | Recv_up -> 2 | Recv_down -> 3
+
+  let ex_of_int = function
+    | 0 -> Send_up
+    | 1 -> Send_down
+    | 2 -> Recv_up
+    | _ -> Recv_down
+
+  let phase_to_value = function
+    | Boot -> Value.Tag ("boot", Value.Unit)
+    | Initing -> Value.Tag ("initing", Value.Unit)
+    | Exchange (it, stp) -> Value.Tag ("exchange", Value.List [ Value.Int it; Value.Int (ex_to_int stp) ])
+    | Computing it -> Value.Tag ("computing", Value.Int it)
+    | Reducing -> Value.Tag ("reducing", Value.Unit)
+    | Done_phase -> Value.Tag ("done", Value.Unit)
+
+  let phase_of_value v =
+    match Value.to_tag v with
+    | "boot", _ -> Boot
+    | "initing", _ -> Initing
+    | "exchange", Value.List [ Value.Int it; Value.Int stp ] -> Exchange (it, ex_of_int stp)
+    | "computing", it -> Computing (Value.to_int it)
+    | "reducing", _ -> Reducing
+    | "done", _ -> Done_phase
+    | t, _ -> Value.decode_error "bt phase %s" t
+
+  let to_value s =
+    Value.assoc
+      [ ("comm", Mpi.comm_to_value s.comm);
+        ("params", params_to_value s.params);
+        ("phase", phase_to_value s.phase);
+        ("mpi", Value.option Mpi.pending_to_value s.mpi);
+        ("u", Value.f64s s.u);
+        ("rows", Value.int s.rows);
+        ("checksum", Value.float s.checksum) ]
+
+  let of_value v =
+    {
+      comm = Mpi.comm_of_value (Value.field "comm" v);
+      params = params_of_value (Value.field "params" v);
+      phase = phase_of_value (Value.field "phase" v);
+      mpi = Value.to_option Mpi.pending_of_value (Value.field "mpi" v);
+      u = Value.to_f64s (Value.field "u" v);
+      rows = Value.to_int (Value.field "rows" v);
+      checksum = Value.to_float (Value.field "checksum" v);
+    }
+end
+
+let register () = Program.register_if_absent (module P : Program.S)

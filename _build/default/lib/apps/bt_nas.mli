@@ -1,0 +1,21 @@
+(** BT/NAS-like workload: an iterative block-tridiagonal solver on a 2D
+    grid, row-partitioned across ranks.  Each iteration exchanges halo rows
+    with both neighbours (substantial communication, like the NAS BT
+    benchmark) and performs real numeric work — a Thomas tridiagonal solve
+    along every row followed by a vertical relaxation.  Rank 0 logs a
+    checksum, which restart-transparency tests compare bit-for-bit. *)
+
+type params = {
+  g : int;  (** global grid is g x g *)
+  iters : int;
+  ns_per_cell : int;
+  mem_base : int;
+  mem_scaled : int;
+}
+
+val default_params : params
+val params_to_value : params -> Zapc_codec.Value.t
+val params_of_value : Zapc_codec.Value.t -> params
+
+val register : unit -> unit
+(** Register program ["bt_nas"]; the paper runs it on square node counts. *)

@@ -1,0 +1,19 @@
+(** CPI: parallel computation of pi by numeric integration of 4/(1+x^2) —
+    the MPICH-2 example application of the paper.  Mostly computation-bound
+    with one small allreduce per chunk of intervals; the integral is really
+    computed (rank 0 logs the value and its error). *)
+
+type params = {
+  intervals : int;  (** total integration intervals *)
+  chunks : int;  (** compute/allreduce rounds *)
+  ns_per_interval : int;  (** virtual compute cost per interval *)
+  mem_base : int;  (** resident bytes regardless of scale *)
+  mem_scaled : int;  (** bytes divided across ranks *)
+}
+
+val default_params : params
+val params_to_value : params -> Zapc_codec.Value.t
+val params_of_value : Zapc_codec.Value.t -> params
+
+val register : unit -> unit
+(** Register program ["cpi"]; launch with {!Zapc_msg.Mpi.std_args}. *)

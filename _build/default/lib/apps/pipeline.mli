@@ -1,0 +1,20 @@
+(** A shell-style pipeline inside one pod: producer | filter | consumer.
+
+    Three processes connected by two in-kernel pipes with inherited
+    descriptors — the process-group + IPC shape Zap's pod checkpointing was
+    designed for.  Mid-stream checkpoints capture pipe buffers and blocked
+    readers/writers; the consumer logs a record count and digest at EOF,
+    which transparency tests compare bit-for-bit. *)
+
+type params = {
+  lines : int;  (** records emitted by the producer *)
+  keep : int;  (** the filter keeps every [keep]-th record *)
+  ns_per_line : int;  (** producer compute cost per record *)
+}
+
+val default_params : params
+val params_to_value : params -> Zapc_codec.Value.t
+val params_of_value : Zapc_codec.Value.t -> params
+
+val register : unit -> unit
+(** Register programs ["pipeline"] (the driver) and its three stages. *)

@@ -1,0 +1,23 @@
+(** POV-Ray-style distributed ray tracing — the paper's PVM workload.
+
+    Rank 0 is the master holding the framebuffer and the queue of pixel-row
+    blocks; workers request blocks, trace them for real ({!Scene}), and
+    return pixels.  CPU-intensive with small frequent messages; memory is
+    roughly constant per endpoint, which is why the paper's POV-Ray
+    checkpoint image does not shrink with more nodes.  The master logs a
+    framebuffer checksum that is independent of work distribution. *)
+
+type params = {
+  width : int;
+  height : int;
+  block_rows : int;  (** rows per work unit *)
+  ns_per_pixel : int;
+  mem_each : int;
+}
+
+val default_params : params
+val params_to_value : params -> Zapc_codec.Value.t
+val params_of_value : Zapc_codec.Value.t -> params
+
+val register : unit -> unit
+(** Register program ["povray"]; single-rank runs render locally. *)

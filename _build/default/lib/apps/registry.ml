@@ -1,0 +1,11 @@
+(* Program registry bootstrap: register every simulated program exactly
+   once.  Call this before spawning or restoring any process (tests,
+   benches, examples and the CLI all do). *)
+
+let register_all () =
+  Zapc_msg.Daemon.register ();
+  Cpi.register ();
+  Bt_nas.register ();
+  Bratu.register ();
+  Povray.register ();
+  Pipeline.register ()

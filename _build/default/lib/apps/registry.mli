@@ -1,0 +1,6 @@
+(** Program registry bootstrap. *)
+
+val register_all : unit -> unit
+(** Register every simulated program (the four workloads plus the per-pod
+    daemon) exactly once.  Call before spawning or restoring processes —
+    the analogue of the binaries being present on shared storage. *)

@@ -1,0 +1,130 @@
+(* A small but real ray tracer (the POV-Ray stand-in's rendering kernel):
+   spheres and a checkered ground plane, one point light, Phong shading,
+   hard shadows, one level of reflection.  Pixels are really traced; the
+   simulation charges virtual CPU time per pixel on top. *)
+
+type vec = { x : float; y : float; z : float }
+
+let v3 x y z = { x; y; z }
+let ( +| ) a b = v3 (a.x +. b.x) (a.y +. b.y) (a.z +. b.z)
+let ( -| ) a b = v3 (a.x -. b.x) (a.y -. b.y) (a.z -. b.z)
+let ( *| ) s a = v3 (s *. a.x) (s *. a.y) (s *. a.z)
+let dot a b = (a.x *. b.x) +. (a.y *. b.y) +. (a.z *. b.z)
+let norm a = sqrt (dot a a)
+
+let unit a =
+  let n = norm a in
+  if n = 0.0 then a else (1.0 /. n) *| a
+
+type sphere = { center : vec; radius : float; albedo : float; reflect : float }
+
+type t = {
+  spheres : sphere list;
+  light : vec;
+  eye : vec;
+  plane_y : float;
+}
+
+let default =
+  {
+    spheres =
+      [ { center = v3 0.0 0.6 3.0; radius = 1.0; albedo = 0.9; reflect = 0.35 };
+        { center = v3 (-1.6) 0.2 4.2; radius = 0.7; albedo = 0.7; reflect = 0.1 };
+        { center = v3 1.7 0.0 2.2; radius = 0.5; albedo = 0.8; reflect = 0.5 } ];
+    light = v3 (-4.0) 6.0 (-2.0);
+    eye = v3 0.0 1.0 (-2.5);
+    plane_y = -0.6;
+  }
+
+type hit = { t : float; point : vec; normal : vec; albedo : float; reflect : float }
+
+let hit_sphere ~orig ~dir (s : sphere) : hit option =
+  let oc = orig -| s.center in
+  let b = dot oc dir in
+  let c = dot oc oc -. (s.radius *. s.radius) in
+  let disc = (b *. b) -. c in
+  if disc < 0.0 then None
+  else
+    let sq = sqrt disc in
+    let t = if -.b -. sq > 1e-4 then -.b -. sq else -.b +. sq in
+    if t < 1e-4 then None
+    else
+      let point = orig +| (t *| dir) in
+      Some { t; point; normal = unit (point -| s.center); albedo = s.albedo;
+             reflect = s.reflect }
+
+let hit_plane scene ~orig ~dir : hit option =
+  if Float.abs dir.y < 1e-9 then None
+  else
+    let t = (scene.plane_y -. orig.y) /. dir.y in
+    if t < 1e-4 then None
+    else
+      let point = orig +| (t *| dir) in
+      let check =
+        let u = int_of_float (Float.round (point.x *. 2.0)) in
+        let w = int_of_float (Float.round (point.z *. 2.0)) in
+        if (u + w) land 1 = 0 then 0.85 else 0.25
+      in
+      Some { t; point; normal = v3 0.0 1.0 0.0; albedo = check; reflect = 0.05 }
+
+let closest_hit scene ~orig ~dir : hit option =
+  let candidates =
+    hit_plane scene ~orig ~dir :: List.map (hit_sphere ~orig ~dir) scene.spheres
+  in
+  List.fold_left
+    (fun best h ->
+      match (best, h) with
+      | None, h -> h
+      | Some b, Some h' when h'.t < b.t -> Some h'
+      | Some _, _ -> best)
+    None candidates
+
+let in_shadow scene point light_dir dist =
+  List.exists
+    (fun s ->
+      match hit_sphere ~orig:point ~dir:light_dir s with
+      | Some h -> h.t < dist
+      | None -> false)
+    scene.spheres
+
+let rec shade scene ~orig ~dir depth : float =
+  match closest_hit scene ~orig ~dir with
+  | None -> 0.08 +. (0.12 *. Float.abs dir.y) (* sky *)
+  | Some h ->
+    let to_light = scene.light -| h.point in
+    let dist = norm to_light in
+    let ldir = unit to_light in
+    let shadowed = in_shadow scene h.point ldir dist in
+    let diffuse = if shadowed then 0.0 else Float.max 0.0 (dot h.normal ldir) in
+    let spec =
+      if shadowed then 0.0
+      else
+        let refl = (2.0 *. dot h.normal ldir *| h.normal) -| ldir in
+        Float.max 0.0 (dot refl (unit (orig -| h.point))) ** 24.0
+    in
+    let base = (h.albedo *. ((0.15 +. (0.75 *. diffuse)) +. (0.4 *. spec))) in
+    if depth > 0 && h.reflect > 0.01 then
+      let rdir = unit (dir -| (2.0 *. dot dir h.normal *| h.normal)) in
+      ((1.0 -. h.reflect) *. base) +. (h.reflect *. shade scene ~orig:h.point ~dir:rdir (depth - 1))
+    else base
+
+let trace_pixel scene ~width ~height px py : int =
+  let fw = float_of_int width and fh = float_of_int height in
+  let u = ((float_of_int px +. 0.5) /. fw *. 2.0) -. 1.0 in
+  let v = 1.0 -. (2.0 *. (float_of_int py +. 0.5) /. fh) in
+  let aspect = fw /. fh in
+  let dir = unit (v3 (u *. aspect) v 1.4) in
+  let lum = shade scene ~orig:scene.eye ~dir 1 in
+  let c = int_of_float (255.0 *. Float.min 1.0 (Float.max 0.0 lum)) in
+  c
+
+(* Render rows [y0, y0+rows) into a byte string of width*rows pixels. *)
+let render_block scene ~width ~height ~y0 ~rows : string =
+  let b = Bytes.create (width * rows) in
+  for dy = 0 to rows - 1 do
+    for x = 0 to width - 1 do
+      Bytes.set b ((dy * width) + x)
+        (Char.chr (trace_pixel scene ~width ~height x (y0 + dy)))
+    done
+  done;
+  Bytes.unsafe_to_string b

@@ -1,0 +1,1 @@
+lib/ckpt/image.ml: Format String Zapc_codec

@@ -1,0 +1,1 @@
+lib/ckpt/image.mli: Format Zapc_codec

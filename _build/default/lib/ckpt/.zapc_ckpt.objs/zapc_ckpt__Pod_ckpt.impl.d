@@ -1,0 +1,1 @@
+lib/ckpt/pod_ckpt.ml: Array Hashtbl Int List Stdlib Zapc_codec Zapc_netckpt Zapc_pod Zapc_sim Zapc_simnet Zapc_simos

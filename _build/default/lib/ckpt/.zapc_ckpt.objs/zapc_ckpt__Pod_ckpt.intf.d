@@ -1,0 +1,1 @@
+lib/ckpt/pod_ckpt.mli: Zapc_codec Zapc_netckpt Zapc_pod Zapc_simnet Zapc_simos

@@ -1,0 +1,32 @@
+(* Serialized checkpoint images.
+
+   An image is the Wire encoding of a pod image Value plus a small logical
+   header.  [logical_size] is what a real checkpointer would have written:
+   the structured state plus the modelled address-space bytes (the
+   simulation stores memory as region descriptors, see DESIGN.md). *)
+
+module Value = Zapc_codec.Value
+module Wire = Zapc_codec.Wire
+
+type t = {
+  pod_id : int;
+  name : string;
+  encoded : string;  (* Wire-encoded pod image *)
+  logical_size : int;
+}
+
+let of_pod_image (image : Value.t) =
+  let encoded = Wire.encode image in
+  let memory_bytes = Value.to_int (Value.field "memory_bytes" image) in
+  {
+    pod_id = Value.to_int (Value.field "pod_id" image);
+    name = Value.to_str (Value.field "name" image);
+    encoded;
+    logical_size = String.length encoded + memory_bytes;
+  }
+
+let to_pod_image (t : t) : Value.t = Wire.decode t.encoded
+
+let pp ppf t =
+  Format.fprintf ppf "image(%s#%d, %d bytes logical, %d encoded)" t.name t.pod_id
+    t.logical_size (String.length t.encoded)

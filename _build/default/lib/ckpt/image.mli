@@ -1,0 +1,19 @@
+(** Serialized checkpoint images.
+
+    An image is the Wire encoding of a pod-image Value plus a logical-size
+    header.  [logical_size] is what a real checkpointer would have written:
+    the structured state plus the modelled address-space bytes (the
+    simulation stores memory as region descriptors — see DESIGN.md). *)
+
+module Value = Zapc_codec.Value
+
+type t = {
+  pod_id : int;
+  name : string;
+  encoded : string;  (** Wire-encoded pod image *)
+  logical_size : int;
+}
+
+val of_pod_image : Value.t -> t
+val to_pod_image : t -> Value.t
+val pp : Format.formatter -> t -> unit

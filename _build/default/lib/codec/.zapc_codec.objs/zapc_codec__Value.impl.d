@@ -1,0 +1,1 @@
+lib/codec/value.ml: Array Float Format List String

@@ -1,0 +1,1 @@
+lib/codec/value.mli: Format

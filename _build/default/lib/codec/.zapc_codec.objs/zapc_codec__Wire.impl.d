@@ -1,0 +1,1 @@
+lib/codec/wire.ml: Array Buffer Char Int64 List String Value

@@ -1,0 +1,1 @@
+lib/codec/wire.mli: Buffer Value

@@ -1,0 +1,180 @@
+let format_version = 2
+let magic = "ZPC1"
+
+(* Node tags.  Ints are split into small non-negative (inline) and LEB128
+   zigzag forms to keep typical images compact. *)
+let t_unit = 0x00
+let t_false = 0x01
+let t_true = 0x02
+let t_int = 0x03
+let t_float = 0x04
+let t_str = 0x05
+let t_f64s = 0x06
+let t_list = 0x07
+let t_assoc = 0x08
+let t_tag = 0x09
+let t_smallint = 0x80 (* 0x80 + n for n in [0,0x7f) *)
+
+let put_varint buf n =
+  (* LEB128 on the zigzag encoding so negative ints stay short.  The zigzag
+     pattern is treated as a raw 63-bit word: [lsr] shifts in zeros, so the
+     loop terminates even for patterns with the top bit set (e.g. min_int). *)
+  let z = (n lsl 1) lxor (n asr 62) in
+  let rec go z =
+    if z land lnot 0x7f = 0 then Buffer.add_char buf (Char.chr (z land 0x7f))
+    else begin
+      Buffer.add_char buf (Char.chr (0x80 lor (z land 0x7f)));
+      go (z lsr 7)
+    end
+  in
+  go z
+
+let get_varint s off =
+  let rec go acc shift off =
+    if off >= String.length s then Value.decode_error "truncated varint";
+    let b = Char.code s.[off] in
+    let acc = acc lor ((b land 0x7f) lsl shift) in
+    if b land 0x80 = 0 then (acc, off + 1) else go acc (shift + 7) (off + 1)
+  in
+  let z, off = go 0 0 off in
+  let n = (z lsr 1) lxor (-(z land 1)) in
+  (n, off)
+
+let rec encode_raw buf (v : Value.t) =
+  match v with
+  | Unit -> Buffer.add_char buf (Char.chr t_unit)
+  | Bool false -> Buffer.add_char buf (Char.chr t_false)
+  | Bool true -> Buffer.add_char buf (Char.chr t_true)
+  | Int n ->
+    if n >= 0 && n < 0x7f then Buffer.add_char buf (Char.chr (t_smallint + n))
+    else begin
+      Buffer.add_char buf (Char.chr t_int);
+      put_varint buf n
+    end
+  | Float f ->
+    Buffer.add_char buf (Char.chr t_float);
+    Buffer.add_int64_le buf (Int64.bits_of_float f)
+  | Str s ->
+    Buffer.add_char buf (Char.chr t_str);
+    put_varint buf (String.length s);
+    Buffer.add_string buf s
+  | F64s a ->
+    Buffer.add_char buf (Char.chr t_f64s);
+    put_varint buf (Array.length a);
+    Array.iter (fun f -> Buffer.add_int64_le buf (Int64.bits_of_float f)) a
+  | List xs ->
+    Buffer.add_char buf (Char.chr t_list);
+    put_varint buf (List.length xs);
+    List.iter (encode_raw buf) xs
+  | Assoc kvs ->
+    Buffer.add_char buf (Char.chr t_assoc);
+    put_varint buf (List.length kvs);
+    List.iter
+      (fun (k, v) ->
+        put_varint buf (String.length k);
+        Buffer.add_string buf k;
+        encode_raw buf v)
+      kvs
+  | Tag (name, v) ->
+    Buffer.add_char buf (Char.chr t_tag);
+    put_varint buf (String.length name);
+    Buffer.add_string buf name;
+    encode_raw buf v
+
+let need s off n =
+  if off + n > String.length s then Value.decode_error "truncated stream at %d" off
+
+let get_f64 s off =
+  need s off 8;
+  let bits = String.get_int64_le s off in
+  (Int64.float_of_bits bits, off + 8)
+
+let get_str s off =
+  let n, off = get_varint s off in
+  if n < 0 then Value.decode_error "negative length";
+  need s off n;
+  (String.sub s off n, off + n)
+
+let rec decode_raw s off : Value.t * int =
+  need s off 1;
+  let tag = Char.code s.[off] in
+  let off = off + 1 in
+  if tag >= t_smallint then (Value.Int (tag - t_smallint), off)
+  else if tag = t_unit then (Value.Unit, off)
+  else if tag = t_false then (Value.Bool false, off)
+  else if tag = t_true then (Value.Bool true, off)
+  else if tag = t_int then
+    let n, off = get_varint s off in
+    (Value.Int n, off)
+  else if tag = t_float then
+    let f, off = get_f64 s off in
+    (Value.Float f, off)
+  else if tag = t_str then
+    let str, off = get_str s off in
+    (Value.Str str, off)
+  else if tag = t_f64s then begin
+    let n, off = get_varint s off in
+    if n < 0 then Value.decode_error "negative f64s length";
+    need s off (8 * n);
+    let a = Array.make n 0.0 in
+    let off = ref off in
+    for i = 0 to n - 1 do
+      let f, o = get_f64 s !off in
+      a.(i) <- f;
+      off := o
+    done;
+    (Value.F64s a, !off)
+  end
+  else if tag = t_list then begin
+    let n, off = get_varint s off in
+    if n < 0 then Value.decode_error "negative list length";
+    let rec go acc off i =
+      if i = 0 then (List.rev acc, off)
+      else
+        let v, off = decode_raw s off in
+        go (v :: acc) off (i - 1)
+    in
+    let xs, off = go [] off n in
+    (Value.List xs, off)
+  end
+  else if tag = t_assoc then begin
+    let n, off = get_varint s off in
+    if n < 0 then Value.decode_error "negative assoc length";
+    let rec go acc off i =
+      if i = 0 then (List.rev acc, off)
+      else
+        let k, off = get_str s off in
+        let v, off = decode_raw s off in
+        go ((k, v) :: acc) off (i - 1)
+    in
+    let kvs, off = go [] off n in
+    (Value.Assoc kvs, off)
+  end
+  else if tag = t_tag then begin
+    let name, off = get_str s off in
+    let v, off = decode_raw s off in
+    (Value.Tag (name, v), off)
+  end
+  else Value.decode_error "unknown wire tag 0x%02x at %d" tag (off - 1)
+
+let encode v =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf magic;
+  Buffer.add_char buf (Char.chr format_version);
+  encode_raw buf v;
+  Buffer.contents buf
+
+let decode s =
+  if String.length s < 5 then Value.decode_error "stream too short";
+  if not (String.equal (String.sub s 0 4) magic) then Value.decode_error "bad magic";
+  let version = Char.code s.[4] in
+  if version <> format_version then
+    Value.decode_error "format version mismatch: got %d, want %d" version format_version;
+  let v, off = decode_raw s 5 in
+  if off <> String.length s then Value.decode_error "trailing garbage at %d" off;
+  v
+
+let encoded_size v =
+  let buf = Buffer.create 256 in
+  encode_raw buf v;
+  Buffer.length buf

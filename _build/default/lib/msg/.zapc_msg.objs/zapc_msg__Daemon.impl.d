@@ -1,0 +1,1 @@
+lib/msg/daemon.ml: Zapc_codec Zapc_sim Zapc_simos

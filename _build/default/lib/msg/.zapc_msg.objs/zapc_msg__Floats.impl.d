@@ -1,0 +1,1 @@
+lib/msg/floats.ml: Array Bytes Int64 String

@@ -1,0 +1,1 @@
+lib/msg/frame.ml: Bytes Int32 List String

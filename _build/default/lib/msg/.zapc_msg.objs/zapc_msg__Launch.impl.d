@@ -1,0 +1,1 @@
+lib/msg/launch.ml: Array Daemon List Mpi Printf Zapc Zapc_codec Zapc_pod Zapc_sim Zapc_simnet Zapc_simos

@@ -1,0 +1,1 @@
+lib/msg/launch.mli: Zapc Zapc_codec Zapc_pod Zapc_sim Zapc_simos

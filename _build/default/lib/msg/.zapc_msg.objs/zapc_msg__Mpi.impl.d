@@ -1,0 +1,1 @@
+lib/msg/mpi.ml: Array Bytes Floats Frame Int Int32 List String Zapc_codec Zapc_sim Zapc_simnet Zapc_simos

@@ -1,0 +1,1 @@
+lib/msg/mpi.mli: Zapc_codec Zapc_simos

@@ -1,0 +1,6 @@
+(** The per-pod daemon process (the mpd/pvmd analogue): each pod runs one in
+    addition to its application endpoint, as on the paper's testbed, so
+    multi-process checkpoint-restart is always exercised. *)
+
+val register : unit -> unit
+(** Register program ["mpd"] (idempotent). *)

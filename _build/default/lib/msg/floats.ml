@@ -1,0 +1,18 @@
+(* Packed little-endian float64 payloads for message passing. *)
+
+let pack (a : float array) : string =
+  let b = Bytes.create (8 * Array.length a) in
+  Array.iteri (fun i f -> Bytes.set_int64_le b (8 * i) (Int64.bits_of_float f)) a;
+  Bytes.unsafe_to_string b
+
+let unpack (s : string) : float array =
+  let n = String.length s / 8 in
+  Array.init n (fun i -> Int64.float_of_bits (String.get_int64_le s (8 * i)))
+
+let add_into ~(acc : float array) (other : float array) =
+  Array.iteri (fun i v -> if i < Array.length acc then acc.(i) <- acc.(i) +. v) other
+
+let sum_packed a b =
+  let fa = unpack a and fb = unpack b in
+  add_into ~acc:fa fb;
+  pack fa

@@ -1,0 +1,10 @@
+(** Packed little-endian float64 payloads for message passing. *)
+
+val pack : float array -> string
+val unpack : string -> float array
+
+val add_into : acc:float array -> float array -> unit
+(** Elementwise [acc.(i) <- acc.(i) +. other.(i)] over the common prefix. *)
+
+val sum_packed : string -> string -> string
+(** Elementwise sum of two packed arrays (reduction combiner). *)

@@ -1,0 +1,29 @@
+(* Message framing over the byte-stream sockets: 12-byte header
+   (payload length, tag, source rank), then the payload. *)
+
+let header_bytes = 12
+
+let encode ~src ~tag payload =
+  let b = Bytes.create (header_bytes + String.length payload) in
+  Bytes.set_int32_le b 0 (Int32.of_int (String.length payload));
+  Bytes.set_int32_le b 4 (Int32.of_int tag);
+  Bytes.set_int32_le b 8 (Int32.of_int src);
+  Bytes.blit_string payload 0 b header_bytes (String.length payload);
+  Bytes.unsafe_to_string b
+
+(* Parse as many complete frames as [buf] holds.
+   Returns (frames in arrival order, remaining bytes). *)
+let parse buf =
+  let rec go off acc =
+    let avail = String.length buf - off in
+    if avail < header_bytes then (List.rev acc, String.sub buf off avail)
+    else
+      let len = Int32.to_int (String.get_int32_le buf off) in
+      let tag = Int32.to_int (String.get_int32_le buf (off + 4)) in
+      let src = Int32.to_int (String.get_int32_le buf (off + 8)) in
+      if avail < header_bytes + len then (List.rev acc, String.sub buf off avail)
+      else
+        let payload = String.sub buf (off + header_bytes) len in
+        go (off + header_bytes + len) ((src, tag, payload) :: acc)
+  in
+  go 0 []

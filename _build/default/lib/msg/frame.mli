@@ -1,0 +1,10 @@
+(** Message framing over byte-stream sockets: a 12-byte header (payload
+    length, tag, source rank) followed by the payload.  [parse] tolerates
+    arbitrary re-chunking by the transport. *)
+
+val header_bytes : int
+val encode : src:int -> tag:int -> string -> string
+
+val parse : string -> (int * int * string) list * string
+(** All complete frames in arrival order as (src, tag, payload), plus the
+    unconsumed tail. *)

@@ -1,0 +1,753 @@
+(* An MPI-like message-passing library for simulated programs (the
+   MPICH-2/PVM analogue of the paper's workloads).
+
+   Every operation is a *resumable state machine*: the application embeds a
+   [pending] value in its own (checkpointable) program state, issues the
+   returned action, and feeds each syscall outcome back through [step] until
+   the operation completes.  Because both [comm] and [pending] round-trip
+   through Value, a process can be checkpointed at any instant — including
+   halfway through a collective — and restarted transparently.
+
+   Wire format: framed messages (Frame) over one TCP connection per peer
+   pair, established eagerly at init (rank r connects to all lower ranks and
+   accepts from all higher ranks; peers are identified by their virtual
+   address, which the pod namespace keeps stable across migration).
+   Collectives use binomial trees. *)
+
+module Value = Zapc_codec.Value
+module Simtime = Zapc_sim.Simtime
+module Addr = Zapc_simnet.Addr
+module Socket = Zapc_simnet.Socket
+module Errno = Zapc_simnet.Errno
+module Program = Zapc_simos.Program
+module Syscall = Zapc_simos.Syscall
+
+let tag_up = 1_000_000
+let tag_down = 1_000_001
+let tag_scatter = 1_000_002
+let any_src = -1
+let recv_chunk = 65536
+let lib_overhead = Program.Compute (Simtime.us 2)
+
+type comm = {
+  rank : int;
+  size : int;
+  vips : int array;  (* rank -> virtual address *)
+  port : int;
+  mutable listen_fd : int;
+  fds : int array;  (* rank -> connected fd, -1 if none *)
+  rxbuf : string array;  (* per-peer partial frame bytes *)
+  mutable inbox : (int * int * string) list;  (* (src, tag, payload), FIFO *)
+}
+
+let make ~rank ~size ~vips ~port =
+  {
+    rank;
+    size;
+    vips;
+    port;
+    listen_fd = -1;
+    fds = Array.make size (-1);
+    rxbuf = Array.make size "";
+    inbox = [];
+  }
+
+let rank_of_vip comm ip =
+  let n = Array.length comm.vips in
+  let rec go i = if i >= n then None else if comm.vips.(i) = ip then Some i else go (i + 1) in
+  go 0
+
+let rank_of_fd comm fd =
+  let n = Array.length comm.fds in
+  let rec go i = if i >= n then None else if comm.fds.(i) = fd then Some i else go (i + 1) in
+  go 0
+
+let feed comm peer bytes =
+  let frames, rest = Frame.parse (comm.rxbuf.(peer) ^ bytes) in
+  comm.rxbuf.(peer) <- rest;
+  if frames <> [] then comm.inbox <- comm.inbox @ frames
+
+let any_tag = -1
+
+let take_inbox comm ~src ~tag =
+  let rec go acc = function
+    | [] -> None
+    | ((s, tg, _) as m) :: rest
+      when (src = any_src || s = src) && (tag = any_tag || tg = tag) ->
+      comm.inbox <- List.rev_append acc rest;
+      Some m
+    | m :: rest -> go (m :: acc) rest
+  in
+  go [] comm.inbox
+
+(* ------------------------------------------------------------------ *)
+(* Pending operations                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type prim =
+  | Psend of { peer : int; rem : string }
+  | Precv of { src : int; tag : int; reading : int (* rank being Recv'd, -1 none *) }
+
+type prim_result =
+  | Punit
+  | Pmsg of int * int * string
+  | Pfail of string
+
+type coll_kind = Kbarrier | Kreduce | Kbcast | Kallreduce | Kgather
+
+type coll_phase =
+  | Up of int  (* gather phase, advancing at mask *)
+  | Up_recv of int  (* waiting for a child's contribution *)
+  | Up_sent  (* waiting for the send-to-parent to finish *)
+  | Down_wait  (* waiting for the parent's broadcast *)
+  | Down of int  (* scatter phase, advancing at mask *)
+  | Down_sent of int
+  | Fin
+
+type coll = {
+  kind : coll_kind;
+  root : int;
+  mutable ph : coll_phase;
+  mutable acc : string;
+  mutable inner : prim option;
+}
+
+type init_phase =
+  | I_socket
+  | I_sockopt
+  | I_bind
+  | I_listen
+  | I_conn_new of int  (* next rank to connect to *)
+  | I_conn_wait of int
+  | I_conn_close of int
+  | I_conn_sleep of int
+  | I_accepting of int  (* connections still expected *)
+  | I_done
+
+type init_st = { mutable iph : init_phase; mutable tmp_fd : int }
+
+type scatter_st = {
+  sc_root : int;
+  mutable sc_remaining : (int * string) list;  (* root: (rank, piece) to send *)
+  mutable sc_own : string;
+  mutable sc_inner : prim option;
+}
+
+type pending =
+  | P_prim of prim
+  | P_coll of coll
+  | P_init of init_st
+  | P_scatter of scatter_st
+
+type result =
+  | R_ok
+  | R_msg of { src : int; tag : int; data : string }
+  | R_floats of float array
+  | R_gather of (int * string) list
+  | R_fail of string
+
+(* ------------------------------------------------------------------ *)
+(* Primitive machines                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let send_action comm peer rem = Program.Sys (Syscall.Send (comm.fds.(peer), rem))
+
+let poll_action comm =
+  let reqs =
+    Array.to_list comm.fds
+    |> List.filter (fun fd -> fd >= 0)
+    |> List.map (fun fd -> { Syscall.pfd = fd; want_read = true; want_write = false })
+  in
+  Program.Sys (Syscall.Poll (reqs, None))
+
+let recv_action comm src =
+  Program.Sys (Syscall.Recv (comm.fds.(src), recv_chunk, Socket.plain_recv))
+
+(* choose the next action for a receive that found nothing in the inbox *)
+let recv_issue comm src tag : prim * Program.action =
+  if src = any_src then (Precv { src; tag; reading = -1 }, poll_action comm)
+  else (Precv { src; tag; reading = src }, recv_action comm src)
+
+let prim_step comm (p : prim) (outcome : Syscall.outcome) :
+  [ `Again of prim * Program.action | `Done of prim_result ] =
+  match p with
+  | Psend { peer; rem } ->
+    (match outcome with
+     | Syscall.Ret (Syscall.Rint n) ->
+       let rem' = if n >= String.length rem then "" else String.sub rem n (String.length rem - n) in
+       if rem' = "" then `Done Punit
+       else `Again (Psend { peer; rem = rem' }, send_action comm peer rem')
+     | Syscall.Err Errno.EINTR | Syscall.Err Errno.EAGAIN | Syscall.Started
+     | Syscall.Done_compute ->
+       `Again (p, send_action comm peer rem)
+     | Syscall.Err e -> `Done (Pfail (Errno.to_string e))
+     | Syscall.Ret _ -> `Done (Pfail "send: unexpected return"))
+  | Precv { src; tag; reading } ->
+    let check_or_issue () =
+      match take_inbox comm ~src ~tag with
+      | Some (s, tg, payload) -> `Done (Pmsg (s, tg, payload))
+      | None ->
+        if src = any_src && not (Array.exists (fun fd -> fd >= 0) comm.fds) then
+          `Done (Pfail "all peers closed")
+        else
+          let p', act = recv_issue comm src tag in
+          `Again (p', act)
+    in
+    (match outcome with
+     | Syscall.Started | Syscall.Done_compute -> check_or_issue ()
+     | Syscall.Ret (Syscall.Rdata "") ->
+       (* the peer closed its end.  For an any-source receive this is a
+          normal departure (e.g. a finished worker): stop polling that fd
+          and keep waiting on the others.  For a directed receive it is
+          fatal. *)
+       if reading >= 0 then begin
+         comm.fds.(reading) <- -1;
+         if src = any_src then check_or_issue ()
+         else `Done (Pfail "peer closed connection")
+       end
+       else `Done (Pfail "peer closed connection")
+     | Syscall.Ret (Syscall.Rdata data) ->
+       if reading >= 0 then begin
+         feed comm reading data;
+         check_or_issue ()
+       end
+       else `Done (Pfail "recv: no fd context")
+     | Syscall.Ret (Syscall.Rpoll evs) ->
+       let readable =
+         List.filter_map
+           (fun (fd, (ev : Socket.poll_events)) ->
+             if ev.readable || ev.hangup then rank_of_fd comm fd else None)
+           evs
+       in
+       (match readable with
+        | q :: _ -> `Again (Precv { src; tag; reading = q }, recv_action comm q)
+        | [] -> check_or_issue ())
+     | Syscall.Err Errno.EINTR | Syscall.Err Errno.EAGAIN -> check_or_issue ()
+     | Syscall.Err e -> `Done (Pfail (Errno.to_string e))
+     | Syscall.Ret _ -> `Done (Pfail "recv: unexpected return"))
+
+(* ------------------------------------------------------------------ *)
+(* Collectives (binomial trees)                                        *)
+(* ------------------------------------------------------------------ *)
+
+let lsb v = v land (-v)
+
+let top_mask size =
+  let rec go m = if m * 2 < size then go (m * 2) else m in
+  if size <= 1 then 0 else go 1
+
+(* gather-phase combination *)
+let combine c payload =
+  match c.kind with
+  | Kbarrier -> ()
+  | Kreduce | Kallreduce -> c.acc <- Floats.sum_packed c.acc payload
+  | Kgather -> c.acc <- c.acc ^ payload
+  | Kbcast -> ()
+
+let piece ~rank data =
+  let b = Bytes.create 8 in
+  Bytes.set_int32_le b 0 (Int32.of_int rank);
+  Bytes.set_int32_le b 4 (Int32.of_int (String.length data));
+  Bytes.unsafe_to_string b ^ data
+
+let parse_pieces s =
+  let rec go off acc =
+    if off + 8 > String.length s then List.rev acc
+    else
+      let rank = Int32.to_int (String.get_int32_le s off) in
+      let len = Int32.to_int (String.get_int32_le s (off + 4)) in
+      let data = String.sub s (off + 8) len in
+      go (off + 8 + len) ((rank, data) :: acc)
+  in
+  go 0 [] |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let coll_result comm c : result =
+  match c.kind with
+  | Kbarrier -> R_ok
+  | Kreduce -> if comm.rank = c.root then R_floats (Floats.unpack c.acc) else R_ok
+  | Kallreduce -> R_floats (Floats.unpack c.acc)
+  | Kbcast -> R_msg { src = c.root; tag = tag_down; data = c.acc }
+  | Kgather -> if comm.rank = c.root then R_gather (parse_pieces c.acc) else R_ok
+
+(* Advance the collective machine to its next primitive (or completion).
+   Only called when no primitive is in flight. *)
+let rec coll_advance comm c : [ `Act of prim * Program.action | `Fin of result ] =
+  let size = comm.size in
+  let vrank = (comm.rank - c.root + size) mod size in
+  let real v = (v + c.root) mod size in
+  match c.ph with
+  | Up mask ->
+    if size = 1 || mask >= size then begin
+      (* subtree accumulation complete at the root *)
+      (match c.kind with
+       | Kbarrier | Kallreduce -> c.ph <- Down (top_mask size)
+       | Kreduce | Kgather -> c.ph <- Fin
+       | Kbcast -> c.ph <- Fin);
+      coll_advance comm c
+    end
+    else if vrank land mask <> 0 then begin
+      c.ph <- Up_sent;
+      let peer = real (vrank - mask) in
+      let frame = Frame.encode ~src:comm.rank ~tag:tag_up c.acc in
+      `Act (Psend { peer; rem = frame }, send_action comm peer frame)
+    end
+    else if vrank + mask < size then begin
+      c.ph <- Up_recv mask;
+      let peer = real (vrank + mask) in
+      let p, act = recv_issue comm peer tag_up in
+      (* inbox may already hold it; go through the uniform path *)
+      (match take_inbox comm ~src:peer ~tag:tag_up with
+       | Some (_, _, payload) ->
+         combine c payload;
+         c.ph <- Up (mask lsl 1);
+         coll_advance comm c
+       | None -> `Act (p, act))
+    end
+    else begin
+      c.ph <- Up (mask lsl 1);
+      coll_advance comm c
+    end
+  | Down_wait ->
+    (* waiting for the parent's scatter-phase message *)
+    let parent = real (vrank - lsb vrank) in
+    (match take_inbox comm ~src:parent ~tag:tag_down with
+     | Some (_, _, payload) ->
+       c.acc <- payload;
+       c.ph <- Down (lsb vrank asr 1);
+       coll_advance comm c
+     | None ->
+       let p, act = recv_issue comm parent tag_down in
+       `Act (p, act))
+  | Up_recv _ | Up_sent | Down_sent _ ->
+    invalid_arg "coll_advance: primitive still pending"
+  | Down mask ->
+    if mask < 1 then begin
+      c.ph <- Fin;
+      coll_advance comm c
+    end
+    else if vrank land mask = 0 && vrank + mask < size then begin
+      c.ph <- Down_sent mask;
+      let peer = real (vrank + mask) in
+      let frame = Frame.encode ~src:comm.rank ~tag:tag_down c.acc in
+      `Act (Psend { peer; rem = frame }, send_action comm peer frame)
+    end
+    else begin
+      c.ph <- Down (mask asr 1);
+      coll_advance comm c
+    end
+  | Fin -> `Fin (coll_result comm c)
+
+(* prim completion inside a collective *)
+let coll_on_prim_done comm c (pr : prim_result) :
+  [ `Continue | `Failed of string ] =
+  match pr with
+  | Pfail msg -> `Failed msg
+  | Punit -> (
+    (* a send finished *)
+    match c.ph with
+    | Up_sent -> (
+      match c.kind with
+      | Kreduce | Kgather ->
+        c.ph <- Fin;
+        `Continue
+      | Kbarrier | Kallreduce ->
+        c.ph <- Down_wait;
+        `Continue
+      | Kbcast ->
+        c.ph <- Fin;
+        `Continue)
+    | Down_sent mask ->
+      c.ph <- Down (mask asr 1);
+      `Continue
+    | Up _ | Up_recv _ | Down_wait | Down _ | Fin -> `Failed "collective: stray send")
+  | Pmsg (_, _, payload) -> (
+    (* a receive finished *)
+    match c.ph with
+    | Up_recv mask ->
+      combine c payload;
+      c.ph <- Up (mask lsl 1);
+      `Continue
+    | Down_wait ->
+      let vrank = (comm.rank - c.root + comm.size) mod comm.size in
+      c.acc <- payload;
+      c.ph <- Down (lsb vrank asr 1);
+      `Continue
+    | Up _ | Up_sent | Down _ | Down_sent _ | Fin -> `Failed "collective: stray recv")
+
+(* ------------------------------------------------------------------ *)
+(* Init machine                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let init_step comm (st : init_st) (outcome : Syscall.outcome) :
+  [ `Again of pending * Program.action | `Done of result ] =
+  let again act = `Again (P_init st, act) in
+  let fail msg = `Done (R_fail msg) in
+  let next_after_listen () =
+    if comm.rank > 0 then begin
+      st.iph <- I_conn_new 0;
+      again (Program.Sys (Syscall.Sock_create Socket.Stream))
+    end
+    else begin
+      let expected = comm.size - 1 - comm.rank in
+      if expected = 0 then `Done R_ok
+      else begin
+        st.iph <- I_accepting expected;
+        again (Program.Sys (Syscall.Accept comm.listen_fd))
+      end
+    end
+  in
+  match (st.iph, outcome) with
+  | I_socket, (Syscall.Started | Syscall.Done_compute) ->
+    again (Program.Sys (Syscall.Sock_create Socket.Stream))
+  | I_socket, Syscall.Ret (Syscall.Rint fd) ->
+    comm.listen_fd <- fd;
+    st.iph <- I_sockopt;
+    again
+      (Program.Sys (Syscall.Setsockopt (fd, Zapc_simnet.Sockopt.SO_REUSEADDR, 1)))
+  | I_sockopt, Syscall.Ret _ ->
+    st.iph <- I_bind;
+    again
+      (Program.Sys (Syscall.Bind (comm.listen_fd, { Addr.ip = Addr.any; port = comm.port })))
+  | I_bind, Syscall.Ret _ ->
+    st.iph <- I_listen;
+    again (Program.Sys (Syscall.Listen (comm.listen_fd, comm.size + 4)))
+  | I_bind, Syscall.Err e -> fail ("bind: " ^ Errno.to_string e)
+  | I_listen, Syscall.Ret _ -> next_after_listen ()
+  | I_conn_new target, Syscall.Ret (Syscall.Rint fd) ->
+    st.tmp_fd <- fd;
+    st.iph <- I_conn_wait target;
+    again
+      (Program.Sys
+         (Syscall.Connect (fd, { Addr.ip = comm.vips.(target); port = comm.port })))
+  | I_conn_wait target, Syscall.Ret _ ->
+    comm.fds.(target) <- st.tmp_fd;
+    let target' = target + 1 in
+    if target' < comm.rank then begin
+      st.iph <- I_conn_new target';
+      again (Program.Sys (Syscall.Sock_create Socket.Stream))
+    end
+    else begin
+      let expected = comm.size - 1 - comm.rank in
+      if expected = 0 then `Done R_ok
+      else begin
+        st.iph <- I_accepting expected;
+        again (Program.Sys (Syscall.Accept comm.listen_fd))
+      end
+    end
+  | I_conn_wait target, Syscall.Err _ ->
+    (* peer not listening yet (or transient failure): retry with backoff *)
+    st.iph <- I_conn_close target;
+    again (Program.Sys (Syscall.Close st.tmp_fd))
+  | I_conn_close target, (Syscall.Ret _ | Syscall.Err _) ->
+    st.iph <- I_conn_sleep target;
+    again (Program.Sys (Syscall.Nanosleep (Simtime.ms 20)))
+  | I_conn_sleep target, (Syscall.Ret _ | Syscall.Err _) ->
+    st.iph <- I_conn_new target;
+    again (Program.Sys (Syscall.Sock_create Socket.Stream))
+  | I_accepting expected, Syscall.Ret (Syscall.Raccept (fd, peer)) ->
+    (match rank_of_vip comm peer.Addr.ip with
+     | Some q -> comm.fds.(q) <- fd
+     | None -> () (* unknown peer: ignore (connection will idle) *));
+    if expected <= 1 then `Done R_ok
+    else begin
+      st.iph <- I_accepting (expected - 1);
+      again (Program.Sys (Syscall.Accept comm.listen_fd))
+    end
+  | I_accepting _, Syscall.Err e -> fail ("accept: " ^ Errno.to_string e)
+  | I_done, _ -> `Done R_ok
+  | _, Syscall.Err e -> fail ("init: " ^ Errno.to_string e)
+  | _, (Syscall.Started | Syscall.Done_compute) -> again lib_overhead
+  | _, Syscall.Ret _ -> fail "init: unexpected return"
+
+(* ------------------------------------------------------------------ *)
+(* Public entry points                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let init _comm : pending * Program.action =
+  (P_init { iph = I_socket; tmp_fd = -1 }, lib_overhead)
+
+let send comm ~peer ~tag data : pending * Program.action =
+  let frame = Frame.encode ~src:comm.rank ~tag data in
+  (P_prim (Psend { peer; rem = frame }), send_action comm peer frame)
+
+let recv _comm ~src ~tag : pending * Program.action =
+  (P_prim (Precv { src; tag; reading = -1 }), lib_overhead)
+
+let mk_coll kind ~root acc : pending * Program.action =
+  (P_coll { kind; root; ph = Up 1; acc; inner = None }, lib_overhead)
+
+let barrier _comm : pending * Program.action = mk_coll Kbarrier ~root:0 ""
+
+let reduce_sum _comm ~root (a : float array) : pending * Program.action =
+  mk_coll Kreduce ~root (Floats.pack a)
+
+let allreduce_sum _comm (a : float array) : pending * Program.action =
+  mk_coll Kallreduce ~root:0 (Floats.pack a)
+
+let bcast comm ~root data : pending * Program.action =
+  let ph = if comm.rank = root then Down (top_mask comm.size) else Down_wait in
+  let c = { kind = Kbcast; root; ph; acc = (if comm.rank = root then data else ""); inner = None } in
+  (P_coll c, lib_overhead)
+
+let gather comm ~root data : pending * Program.action =
+  mk_coll Kgather ~root (piece ~rank:comm.rank data)
+
+(* Scatter: the root hands piece [i] to rank [i] (linear sends — scatters
+   are small and rare in the paper's workloads); completes with [R_msg]
+   carrying the local piece everywhere. *)
+let scatter comm ~root (pieces : string list) : pending * Program.action =
+  if comm.rank = root then begin
+    let indexed = List.mapi (fun i p -> (i, p)) pieces in
+    let own = match List.nth_opt pieces root with Some p -> p | None -> "" in
+    let remaining = List.filter (fun (i, _) -> i <> root) indexed in
+    (P_scatter { sc_root = root; sc_remaining = remaining; sc_own = own; sc_inner = None },
+     lib_overhead)
+  end
+  else
+    (P_scatter { sc_root = root; sc_remaining = []; sc_own = ""; sc_inner = None },
+     lib_overhead)
+
+let rec step comm (p : pending) (outcome : Syscall.outcome) :
+  [ `Again of pending * Program.action | `Done of result ] =
+  match p with
+  | P_init st -> init_step comm st outcome
+  | P_scatter st ->
+    (match st.sc_inner with
+     | Some prim ->
+       (match prim_step comm prim outcome with
+        | `Again (prim', act) ->
+          st.sc_inner <- Some prim';
+          `Again (P_scatter st, act)
+        | `Done (Pfail msg) -> `Done (R_fail msg)
+        | `Done (Pmsg (src, tag, data)) ->
+          (* non-root: our piece arrived *)
+          `Done (R_msg { src; tag; data })
+        | `Done Punit ->
+          st.sc_inner <- None;
+          step comm (P_scatter st) Syscall.Done_compute)
+     | None ->
+       if comm.rank = st.sc_root then (
+         match st.sc_remaining with
+         | [] ->
+           `Done (R_msg { src = st.sc_root; tag = tag_scatter; data = st.sc_own })
+         | (peer, data) :: rest ->
+           st.sc_remaining <- rest;
+           let frame = Frame.encode ~src:comm.rank ~tag:tag_scatter data in
+           st.sc_inner <- Some (Psend { peer; rem = frame });
+           `Again (P_scatter st, send_action comm peer frame))
+       else begin
+         match take_inbox comm ~src:st.sc_root ~tag:tag_scatter with
+         | Some (src, tag, data) -> `Done (R_msg { src; tag; data })
+         | None ->
+           let prim, act = recv_issue comm st.sc_root tag_scatter in
+           st.sc_inner <- Some prim;
+           `Again (P_scatter st, act)
+       end)
+  | P_prim prim ->
+    (match prim_step comm prim outcome with
+     | `Again (prim', act) -> `Again (P_prim prim', act)
+     | `Done Punit -> `Done R_ok
+     | `Done (Pmsg (src, tag, data)) -> `Done (R_msg { src; tag; data })
+     | `Done (Pfail msg) -> `Done (R_fail msg))
+  | P_coll c ->
+    (match c.inner with
+     | Some prim ->
+       (match prim_step comm prim outcome with
+        | `Again (prim', act) ->
+          c.inner <- Some prim';
+          `Again (P_coll c, act)
+        | `Done pr ->
+          c.inner <- None;
+          (match coll_on_prim_done comm c pr with
+           | `Failed msg -> `Done (R_fail msg)
+           | `Continue -> step comm (P_coll c) Syscall.Done_compute))
+     | None ->
+       (match coll_advance comm c with
+        | `Fin r -> `Done r
+        | `Act (prim, act) ->
+          c.inner <- Some prim;
+          `Again (P_coll c, act)))
+
+(* ------------------------------------------------------------------ *)
+(* Serialization                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let comm_to_value c =
+  Value.assoc
+    [ ("rank", Value.int c.rank);
+      ("size", Value.int c.size);
+      ("vips", Value.list Value.int (Array.to_list c.vips));
+      ("port", Value.int c.port);
+      ("listen_fd", Value.int c.listen_fd);
+      ("fds", Value.list Value.int (Array.to_list c.fds));
+      ("rxbuf", Value.list Value.str (Array.to_list c.rxbuf));
+      ("inbox",
+       Value.list
+         (fun (s, t, d) -> Value.List [ Value.Int s; Value.Int t; Value.Str d ])
+         c.inbox) ]
+
+let comm_of_value v =
+  let ints f = Array.of_list (Value.to_list Value.to_int (Value.field f v)) in
+  {
+    rank = Value.to_int (Value.field "rank" v);
+    size = Value.to_int (Value.field "size" v);
+    vips = ints "vips";
+    port = Value.to_int (Value.field "port" v);
+    listen_fd = Value.to_int (Value.field "listen_fd" v);
+    fds = ints "fds";
+    rxbuf = Array.of_list (Value.to_list Value.to_str (Value.field "rxbuf" v));
+    inbox =
+      Value.to_list
+        (fun m ->
+          match m with
+          | Value.List [ Value.Int s; Value.Int t; Value.Str d ] -> (s, t, d)
+          | _ -> Value.decode_error "inbox entry")
+        (Value.field "inbox" v);
+  }
+
+let prim_to_value = function
+  | Psend { peer; rem } -> Value.Tag ("send", Value.List [ Value.Int peer; Value.Str rem ])
+  | Precv { src; tag; reading } ->
+    Value.Tag ("recv", Value.List [ Value.Int src; Value.Int tag; Value.Int reading ])
+
+let prim_of_value v =
+  match Value.to_tag v with
+  | "send", Value.List [ Value.Int peer; Value.Str rem ] -> Psend { peer; rem }
+  | "recv", Value.List [ Value.Int src; Value.Int tag; Value.Int reading ] ->
+    Precv { src; tag; reading }
+  | t, _ -> Value.decode_error "prim %s" t
+
+let kind_to_string = function
+  | Kbarrier -> "barrier"
+  | Kreduce -> "reduce"
+  | Kbcast -> "bcast"
+  | Kallreduce -> "allreduce"
+  | Kgather -> "gather"
+
+let kind_of_string = function
+  | "barrier" -> Kbarrier
+  | "reduce" -> Kreduce
+  | "bcast" -> Kbcast
+  | "allreduce" -> Kallreduce
+  | "gather" -> Kgather
+  | s -> Value.decode_error "coll kind %s" s
+
+let phase_to_value = function
+  | Up m -> Value.Tag ("up", Value.Int m)
+  | Up_recv m -> Value.Tag ("up_recv", Value.Int m)
+  | Up_sent -> Value.Tag ("up_sent", Value.Unit)
+  | Down_wait -> Value.Tag ("down_wait", Value.Unit)
+  | Down m -> Value.Tag ("down", Value.Int m)
+  | Down_sent m -> Value.Tag ("down_sent", Value.Int m)
+  | Fin -> Value.Tag ("fin", Value.Unit)
+
+let phase_of_value v =
+  match Value.to_tag v with
+  | "up", m -> Up (Value.to_int m)
+  | "up_recv", m -> Up_recv (Value.to_int m)
+  | "up_sent", _ -> Up_sent
+  | "down_wait", _ -> Down_wait
+  | "down", m -> Down (Value.to_int m)
+  | "down_sent", m -> Down_sent (Value.to_int m)
+  | "fin", _ -> Fin
+  | t, _ -> Value.decode_error "coll phase %s" t
+
+let init_phase_to_value = function
+  | I_socket -> Value.Tag ("socket", Value.Unit)
+  | I_sockopt -> Value.Tag ("sockopt", Value.Unit)
+  | I_bind -> Value.Tag ("bind", Value.Unit)
+  | I_listen -> Value.Tag ("listen", Value.Unit)
+  | I_conn_new t -> Value.Tag ("conn_new", Value.Int t)
+  | I_conn_wait t -> Value.Tag ("conn_wait", Value.Int t)
+  | I_conn_close t -> Value.Tag ("conn_close", Value.Int t)
+  | I_conn_sleep t -> Value.Tag ("conn_sleep", Value.Int t)
+  | I_accepting n -> Value.Tag ("accepting", Value.Int n)
+  | I_done -> Value.Tag ("done", Value.Unit)
+
+let init_phase_of_value v =
+  match Value.to_tag v with
+  | "socket", _ -> I_socket
+  | "sockopt", _ -> I_sockopt
+  | "bind", _ -> I_bind
+  | "listen", _ -> I_listen
+  | "conn_new", t -> I_conn_new (Value.to_int t)
+  | "conn_wait", t -> I_conn_wait (Value.to_int t)
+  | "conn_close", t -> I_conn_close (Value.to_int t)
+  | "conn_sleep", t -> I_conn_sleep (Value.to_int t)
+  | "accepting", n -> I_accepting (Value.to_int n)
+  | "done", _ -> I_done
+  | t, _ -> Value.decode_error "init phase %s" t
+
+let pending_to_value = function
+  | P_prim p -> Value.Tag ("prim", prim_to_value p)
+  | P_scatter st ->
+    Value.Tag
+      ( "scatter",
+        Value.assoc
+          [ ("root", Value.int st.sc_root);
+            ("remaining",
+             Value.list (fun (i, d) -> Value.List [ Value.Int i; Value.Str d ]) st.sc_remaining);
+            ("own", Value.str st.sc_own);
+            ("inner", Value.option prim_to_value st.sc_inner) ] )
+  | P_init st ->
+    Value.Tag
+      ("init", Value.List [ init_phase_to_value st.iph; Value.Int st.tmp_fd ])
+  | P_coll c ->
+    Value.Tag
+      ( "coll",
+        Value.assoc
+          [ ("kind", Value.str (kind_to_string c.kind));
+            ("root", Value.int c.root);
+            ("ph", phase_to_value c.ph);
+            ("acc", Value.str c.acc);
+            ("inner", Value.option prim_to_value c.inner) ] )
+
+let pending_of_value v =
+  match Value.to_tag v with
+  | "prim", p -> P_prim (prim_of_value p)
+  | "scatter", c ->
+    P_scatter
+      {
+        sc_root = Value.to_int (Value.field "root" c);
+        sc_remaining =
+          Value.to_list
+            (fun m ->
+              match m with
+              | Value.List [ Value.Int i; Value.Str d ] -> (i, d)
+              | _ -> Value.decode_error "scatter piece")
+            (Value.field "remaining" c);
+        sc_own = Value.to_str (Value.field "own" c);
+        sc_inner = Value.to_option prim_of_value (Value.field "inner" c);
+      }
+  | "init", Value.List [ ph; Value.Int tmp_fd ] ->
+    P_init { iph = init_phase_of_value ph; tmp_fd }
+  | "coll", c ->
+    P_coll
+      {
+        kind = kind_of_string (Value.to_str (Value.field "kind" c));
+        root = Value.to_int (Value.field "root" c);
+        ph = phase_of_value (Value.field "ph" c);
+        acc = Value.to_str (Value.field "acc" c);
+        inner = Value.to_option prim_of_value (Value.field "inner" c);
+      }
+  | t, _ -> Value.decode_error "pending %s" t
+
+(* ------------------------------------------------------------------ *)
+(* Standard argument plumbing for MPI-style programs                   *)
+(* ------------------------------------------------------------------ *)
+
+let std_args ~rank ~size ~vips ~port ~app =
+  Value.assoc
+    [ ("rank", Value.int rank);
+      ("size", Value.int size);
+      ("vips", Value.list Value.int (Array.to_list vips));
+      ("port", Value.int port);
+      ("app", app) ]
+
+let parse_args v =
+  let rank = Value.to_int (Value.field "rank" v) in
+  let size = Value.to_int (Value.field "size" v) in
+  let vips = Array.of_list (Value.to_list Value.to_int (Value.field "vips" v)) in
+  let port = Value.to_int (Value.field "port" v) in
+  let app = Value.field "app" v in
+  (rank, size, vips, port, app)

@@ -1,0 +1,1 @@
+lib/netckpt/meta.ml: List Zapc_codec Zapc_simnet

@@ -1,0 +1,1 @@
+lib/netckpt/meta.mli: Zapc_codec Zapc_simnet

@@ -1,0 +1,1 @@
+lib/netckpt/net_ckpt.ml: Array Hashtbl Int List Meta Queue Sock_state Zapc_codec Zapc_pod Zapc_simnet Zapc_simos

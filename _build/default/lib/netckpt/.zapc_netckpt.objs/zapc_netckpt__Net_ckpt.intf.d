@@ -1,0 +1,1 @@
+lib/netckpt/net_ckpt.mli: Hashtbl Meta Sock_state Zapc_codec Zapc_pod Zapc_simnet

@@ -1,0 +1,1 @@
+lib/netckpt/sock_state.ml: Buffer Char List Meta Option Queue String Zapc_codec Zapc_pod Zapc_simnet

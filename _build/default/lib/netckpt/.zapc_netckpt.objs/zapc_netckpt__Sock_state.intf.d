@@ -1,0 +1,1 @@
+lib/netckpt/sock_state.mli: Meta Zapc_codec Zapc_pod Zapc_simnet

@@ -1,0 +1,91 @@
+(* Pod-level network-state checkpoint: enumerate every socket reachable from
+   the pod's processes (including established connections still waiting in
+   accept queues), save each one, and build the pod's meta-data table.
+
+   This runs while the pod is suspended and its network is blocked, so the
+   state cannot change underneath it (paper section 5). *)
+
+module Value = Zapc_codec.Value
+module Socket = Zapc_simnet.Socket
+module Fdtable = Zapc_simos.Fdtable
+module Proc = Zapc_simos.Proc
+module Pod = Zapc_pod.Pod
+
+type inventory = {
+  sockets : Socket.t array;  (* deterministic order (by socket id) *)
+  queued_on : (int, int) Hashtbl.t;  (* socket index -> listener index *)
+}
+
+let index_of inv (s : Socket.t) =
+  let n = Array.length inv.sockets in
+  let rec go i =
+    if i >= n then None else if inv.sockets.(i).id = s.id then Some i else go (i + 1)
+  in
+  go 0
+
+let collect (pod : Pod.t) : inventory =
+  let seen = Hashtbl.create 16 in
+  let add s = if not (Hashtbl.mem seen s.Socket.id) then Hashtbl.replace seen s.id s in
+  List.iter
+    (fun (_, (p : Proc.t)) ->
+      Fdtable.iter p.fds (fun _ e ->
+          match e with
+          | Fdtable.Fsock s -> add s
+          | Fdtable.Fpipe_r _ | Fdtable.Fpipe_w _ | Fdtable.Fgm _ -> ()))
+    (Pod.members pod);
+  (* connections established but not yet accepted belong to the network
+     state too: they live on listeners' accept queues *)
+  Hashtbl.iter
+    (fun _ (s : Socket.t) -> if Socket.is_listening s then Queue.iter add s.accept_q)
+    (Hashtbl.copy seen);
+  let sockets =
+    Hashtbl.fold (fun _ s acc -> s :: acc) seen []
+    |> List.sort (fun (a : Socket.t) b -> Int.compare a.id b.id)
+    |> Array.of_list
+  in
+  let inv = { sockets; queued_on = Hashtbl.create 4 } in
+  Array.iteri
+    (fun li (s : Socket.t) ->
+      if Socket.is_listening s then
+        Queue.iter
+          (fun child ->
+            match index_of inv child with
+            | Some ci -> Hashtbl.replace inv.queued_on ci li
+            | None -> ())
+          s.accept_q)
+    sockets;
+  inv
+
+type result = {
+  images : Sock_state.image array;
+  meta : Meta.pod_meta;
+  net_bytes : int;  (* payload bytes saved from queues *)
+  image_bytes : int;  (* encoded size of the network-state section *)
+  socket_count : int;
+}
+
+let checkpoint ?(mode = Sock_state.Read_inject) (pod : Pod.t) : result =
+  let inv = collect pod in
+  let images =
+    Array.mapi
+      (fun i s ->
+        let im = Sock_state.save ~mode ~ns:pod.ns s in
+        { im with Sock_state.queued_on = Hashtbl.find_opt inv.queued_on i })
+      inv.sockets
+  in
+  let entries =
+    Array.to_list
+      (Array.mapi (fun i s -> Sock_state.meta_entry ~sock_ref:i s images.(i)) inv.sockets)
+    |> List.filter_map (fun x -> x)
+  in
+  let meta = { Meta.pm_pod = pod.pod_id; pm_vip = pod.vip; pm_entries = entries } in
+  let net_bytes = Array.fold_left (fun acc im -> acc + Sock_state.bytes_saved im) 0 images in
+  let image_bytes =
+    Array.fold_left (fun acc im -> acc + Sock_state.image_size im) 0 images
+    + Meta.size_bytes meta
+  in
+  { images; meta; net_bytes; image_bytes; socket_count = Array.length images }
+
+let images_to_value images = Value.list Sock_state.to_value (Array.to_list images)
+
+let images_of_value v = Array.of_list (Value.to_list Sock_state.of_value v)

@@ -1,0 +1,29 @@
+(** Pod-level network-state checkpoint: enumerate every socket reachable
+    from the pod's processes — including established connections still
+    waiting in accept queues — save each one, and build the pod's meta-data
+    table.  Runs while the pod is suspended and its network blocked, so the
+    state cannot change underneath it (paper section 5). *)
+
+module Value = Zapc_codec.Value
+module Socket = Zapc_simnet.Socket
+module Pod = Zapc_pod.Pod
+
+type inventory = {
+  sockets : Socket.t array;  (** deterministic order (by socket id) *)
+  queued_on : (int, int) Hashtbl.t;  (** socket index -> listener index *)
+}
+
+val collect : Pod.t -> inventory
+val index_of : inventory -> Socket.t -> int option
+
+type result = {
+  images : Sock_state.image array;
+  meta : Meta.pod_meta;
+  net_bytes : int;  (** payload bytes saved from queues *)
+  image_bytes : int;  (** encoded size of the network-state section *)
+  socket_count : int;
+}
+
+val checkpoint : ?mode:Sock_state.mode -> Pod.t -> result
+val images_to_value : Sock_state.image array -> Value.t
+val images_of_value : Value.t -> Sock_state.image array

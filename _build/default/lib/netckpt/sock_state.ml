@@ -1,0 +1,265 @@
+(* Per-socket state save and restore (paper section 5).
+
+   A socket's state has three parts: parameters, data queues, and minimal
+   protocol-specific state.
+
+   - Parameters: the *whole* option table is saved (getsockopt-style) and
+     reapplied on restore.
+   - Receive queue: extracted with the paper's read-and-reinject technique —
+     data is drained through the socket's own recvmsg dispatch entry (which
+     also drains any alternate queue left from a previous restart, in
+     order), saved, and immediately deposited back through the alternate
+     receive queue, so a continued (snapshot) run still reads it first.
+     A deliberately flawed [Peek] mode reproduces the Cruz-style approach
+     the paper criticises: it looks at the queue non-destructively and
+     therefore misses the out-of-band byte.
+   - Send queue: the in-kernel unacknowledged data (acked..sent, i.e. the
+     retransmission queue) plus buffered-unsent data, read without side
+     effects.
+   - Protocol state: only the three sequence numbers sent/recv/acked (the
+     necessary-and-sufficient set proved in section 5); they go into the
+     meta-data entry, not here. *)
+
+module Value = Zapc_codec.Value
+module Addr = Zapc_simnet.Addr
+module Socket = Zapc_simnet.Socket
+module Sockopt = Zapc_simnet.Sockopt
+module Sockbuf = Zapc_simnet.Sockbuf
+module Tcp = Zapc_simnet.Tcp
+module Namespace = Zapc_pod.Namespace
+
+type mode = Read_inject | Peek
+
+type image = {
+  kind : Socket.kind;
+  local : Addr.t option;  (* virtual *)
+  remote : Addr.t option;  (* virtual *)
+  hl : [ `Conn of Meta.conn_state | `Listener of int | `Plain ];
+  opts : Value.t;
+  recv_data : string;
+  oob : char option;
+  send_data : string;
+  dgrams : (Addr.t * string) list;  (* virtual source addresses *)
+  queued_on : int option;  (* index of the listener whose accept queue held us *)
+  nonblock_pending : bool;
+}
+
+let kind_to_value = function
+  | Socket.Stream -> Value.Tag ("stream", Value.Unit)
+  | Socket.Dgram -> Value.Tag ("dgram", Value.Unit)
+  | Socket.Raw p -> Value.Tag ("raw", Value.Int p)
+
+let kind_of_value v =
+  match Value.to_tag v with
+  | "stream", _ -> Socket.Stream
+  | "dgram", _ -> Socket.Dgram
+  | "raw", p -> Socket.Raw (Value.to_int p)
+  | t, _ -> Value.decode_error "socket kind %s" t
+
+let hl_to_value = function
+  | `Conn st -> Value.Tag ("conn", Value.Str (Meta.conn_state_to_string st))
+  | `Listener backlog -> Value.Tag ("listener", Value.Int backlog)
+  | `Plain -> Value.Tag ("plain", Value.Unit)
+
+let hl_of_value v =
+  match Value.to_tag v with
+  | "conn", s -> `Conn (Meta.conn_state_of_string (Value.to_str s))
+  | "listener", b -> `Listener (Value.to_int b)
+  | "plain", _ -> `Plain
+  | t, _ -> Value.decode_error "hl state %s" t
+
+let to_value (im : image) =
+  Value.assoc
+    [ ("kind", kind_to_value im.kind);
+      ("local", Value.option Addr.to_value im.local);
+      ("remote", Value.option Addr.to_value im.remote);
+      ("hl", hl_to_value im.hl);
+      ("opts", im.opts);
+      ("recv", Value.str im.recv_data);
+      ("oob", Value.option (fun c -> Value.int (Char.code c)) im.oob);
+      ("send", Value.str im.send_data);
+      ("dgrams", Value.list (Value.pair Addr.to_value Value.str) im.dgrams);
+      ("queued_on", Value.option Value.int im.queued_on) ]
+
+let of_value v : image =
+  {
+    kind = kind_of_value (Value.field "kind" v);
+    local = Value.to_option Addr.of_value (Value.field "local" v);
+    remote = Value.to_option Addr.of_value (Value.field "remote" v);
+    hl = hl_of_value (Value.field "hl" v);
+    opts = Value.field "opts" v;
+    recv_data = Value.to_str (Value.field "recv" v);
+    oob =
+      Value.to_option (fun c -> Char.chr (Value.to_int c land 0xff)) (Value.field "oob" v);
+    send_data = Value.to_str (Value.field "send" v);
+    dgrams = Value.to_list (Value.to_pair Addr.of_value Value.to_str) (Value.field "dgrams" v);
+    queued_on = Value.to_option Value.to_int (Value.field "queued_on" v);
+    nonblock_pending = false;
+  }
+
+(* High-level connection state classification from the TCP machine. *)
+let classify (s : Socket.t) : [ `Conn of Meta.conn_state | `Listener of int | `Plain ] =
+  match s.kind with
+  | Socket.Dgram | Socket.Raw _ -> `Plain
+  | Socket.Stream ->
+    (match s.tcb with
+     | None -> `Plain
+     | Some tcb ->
+       (match tcb.st with
+        | Socket.St_listen -> `Listener s.backlog
+        | Socket.St_syn_sent | Socket.St_syn_received -> `Conn Meta.Connecting
+        | Socket.St_established ->
+          if tcb.fin_queued || tcb.fin_sent then `Conn Meta.Half_out else `Conn Meta.Full
+        | Socket.St_fin_wait_1 | Socket.St_fin_wait_2 ->
+          if tcb.fin_rcvd then `Conn Meta.Closed_data else `Conn Meta.Half_out
+        | Socket.St_close_wait ->
+          if tcb.fin_queued || tcb.fin_sent then `Conn Meta.Closed_data
+          else `Conn Meta.Half_in
+        | Socket.St_closing | Socket.St_last_ack | Socket.St_time_wait
+        | Socket.St_closed -> `Conn Meta.Closed_data))
+
+(* Drain the receive queue through the socket's dispatch vector and reinject
+   it via the alternate queue.  Draining through recvmsg (not by poking at
+   buffers) is what guarantees we also pick up data a previous restart
+   parked in the alternate queue, in the right order. *)
+let extract_recv_queue (s : Socket.t) ~(mode : mode) =
+  match mode with
+  | Peek ->
+    (* Cruz-style: non-destructive peek of the main queue only.  Misses the
+       OOB byte (and would miss Linux backlog data); kept as a baseline. *)
+    Socket.recv_queue_contents s
+  | Read_inject ->
+    let buf = Buffer.create 256 in
+    let continue = ref true in
+    while !continue do
+      match s.dispatch.d_recvmsg s Socket.plain_recv max_int with
+      | Socket.Rv_data "" -> continue := false
+      | Socket.Rv_data d -> Buffer.add_string buf d
+      | Socket.Rv_from (_, d) -> Buffer.add_string buf d
+      | Socket.Rv_eof | Socket.Rv_block | Socket.Rv_err _ -> continue := false
+    done;
+    let data = Buffer.contents buf in
+    Socket.install_altqueue s data;
+    data
+
+let save ?(mode = Read_inject) ~(ns : Namespace.t) (s : Socket.t) : image =
+  let virt a = Namespace.translate_addr_in ns a in
+  let hl = classify s in
+  let recv_data =
+    match s.kind with
+    | Socket.Stream -> extract_recv_queue s ~mode
+    | Socket.Dgram | Socket.Raw _ -> ""
+  in
+  let oob = match mode with Peek -> None | Read_inject -> s.oob_byte in
+  let send_data =
+    match hl with
+    | `Conn (Meta.Full | Meta.Half_out | Meta.Half_in | Meta.Closed_data) ->
+      Socket.unacked_data s ^ Socket.unsent_data s
+    | `Conn Meta.Connecting | `Listener _ | `Plain -> ""
+  in
+  let dgrams =
+    match s.kind with
+    | Socket.Dgram | Socket.Raw _ ->
+      Queue.fold (fun acc (from, d) -> (virt from, d) :: acc) [] s.dgrams |> List.rev
+    | Socket.Stream -> []
+  in
+  {
+    kind = s.kind;
+    local = Option.map virt s.local;
+    remote = Option.map virt s.remote;
+    hl;
+    opts = Sockopt.to_value s.opts;
+    recv_data;
+    oob;
+    send_data;
+    dgrams;
+    queued_on = None;
+    nonblock_pending = false;
+  }
+
+(* Meta entry for an established-ish stream socket. *)
+let meta_entry ~sock_ref (s : Socket.t) (im : image) : Meta.entry option =
+  match (im.hl, im.local, im.remote) with
+  | `Conn st, Some local, Some remote ->
+    let sent, recv, acked =
+      match s.tcb with
+      | Some tcb -> (tcb.snd_nxt, tcb.rcv_nxt, tcb.snd_una)
+      | None -> (0, 0, 0)
+    in
+    Some
+      {
+        Meta.local;
+        remote;
+        state = st;
+        role = (if s.born_by_accept then Meta.Accept else Meta.Connect);
+        sent;
+        recv;
+        acked;
+        sock_ref;
+      }
+  | (`Conn _ | `Listener _ | `Plain), _, _ -> None
+
+(* --- restore --- *)
+
+(* Discard from the saved send-queue data the prefix the peer has already
+   received (Figure 4): overlap = peer_recv - acked. *)
+let trim_overlap ~acked ~peer_recv data =
+  let overlap = peer_recv - acked in
+  if overlap <= 0 then data
+  else if overlap >= String.length data then ""
+  else String.sub data overlap (String.length data - overlap)
+
+(* Apply saved parameters to a (re-established) socket. *)
+let restore_options (s : Socket.t) (im : image) =
+  let saved = Sockopt.of_value im.opts in
+  Sockopt.copy_into ~src:saved ~dst:s.opts
+
+(* Restore the state of a connection that has been re-established by the
+   Agent: options, receive queue (via the alternate queue + interposition),
+   urgent byte, send queue (trimmed and resent through the new connection),
+   and half-close status. *)
+let restore_connection (s : Socket.t) (im : image) ~send_data =
+  restore_options s im;
+  Tcp.refresh_keepalive s;
+  Socket.install_altqueue s im.recv_data;
+  s.oob_byte <- im.oob;
+  if String.length send_data > 0 then begin
+    (* Push straight into the send buffer: restores must not be lossy even
+       when the saved queue exceeds SO_SNDBUF. *)
+    Sockbuf.push s.sendq send_data;
+    Tcp.output s
+  end;
+  (match im.hl with
+   | `Conn (Meta.Half_out | Meta.Closed_data) -> Tcp.shutdown_write s
+   | `Conn (Meta.Full | Meta.Half_in | Meta.Connecting) | `Listener _ | `Plain -> ());
+  (match im.hl with
+   | `Conn Meta.Closed_data ->
+     s.shut_rd <- false (* data still readable; EOF comes from restored FIN *)
+   | `Conn _ | `Listener _ | `Plain -> ())
+
+(* Restore an endpoint whose peer no longer exists: no connection is
+   created; remaining data is readable, then EOF. *)
+let restore_orphan (s : Socket.t) (im : image) =
+  restore_options s im;
+  Socket.install_altqueue s im.recv_data;
+  s.oob_byte <- im.oob;
+  s.shut_rd <- true;
+  s.shut_wr <- true
+
+(* Restore a datagram/raw socket: queue contents are injected directly —
+   they are reread before any post-restart traffic because the application
+   only resumes afterwards. *)
+let restore_dgrams ~(ns : Namespace.t) (s : Socket.t) (im : image) =
+  restore_options s im;
+  List.iter
+    (fun (from, d) ->
+      ignore ns;
+      Queue.add (from, d) s.dgrams;
+      s.dgram_bytes <- s.dgram_bytes + String.length d)
+    im.dgrams
+
+let bytes_saved (im : image) =
+  String.length im.recv_data + String.length im.send_data
+  + List.fold_left (fun acc (_, d) -> acc + String.length d) 0 im.dgrams
+
+let image_size (im : image) = Zapc_codec.Wire.encoded_size (to_value im)

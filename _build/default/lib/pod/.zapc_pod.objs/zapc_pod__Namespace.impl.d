@@ -1,0 +1,1 @@
+lib/pod/namespace.ml: Hashtbl Int List Zapc_codec Zapc_simnet

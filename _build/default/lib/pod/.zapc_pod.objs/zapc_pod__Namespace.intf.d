@@ -1,0 +1,1 @@
+lib/pod/namespace.mli: Hashtbl Zapc_codec Zapc_simnet

@@ -1,0 +1,1 @@
+lib/pod/pod.ml: Format Hashtbl List Namespace Printf String Zapc_sim Zapc_simnet Zapc_simos

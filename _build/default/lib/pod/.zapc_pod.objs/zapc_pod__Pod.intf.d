@@ -1,0 +1,1 @@
+lib/pod/pod.mli: Format Namespace Zapc_codec Zapc_sim Zapc_simnet Zapc_simos

@@ -1,0 +1,71 @@
+(* The pod's virtual private namespace.
+
+   Resource identifiers visible to processes inside a pod are virtual: PIDs
+   and network addresses stay constant for the life of the application, and
+   the namespace remaps them to the real identifiers of whatever node the
+   pod currently runs on.  This is what decouples the application from the
+   host and makes migration to nodes with different PID spaces and IP
+   subnets possible (paper section 3). *)
+
+module Value = Zapc_codec.Value
+module Addr = Zapc_simnet.Addr
+
+type t = {
+  vpid_to_rpid : (int, int) Hashtbl.t;
+  rpid_to_vpid : (int, int) Hashtbl.t;
+  mutable next_vpid : int;
+  (* vip -> rip for every pod of the application (installed by the Agent,
+     rewritten on migration); and the reverse map. *)
+  mutable vip_to_rip : (Addr.ip * Addr.ip) list;
+}
+
+let create () =
+  { vpid_to_rpid = Hashtbl.create 8; rpid_to_vpid = Hashtbl.create 8; next_vpid = 1;
+    vip_to_rip = [] }
+
+(* --- PIDs --- *)
+
+let fresh_vpid t rpid =
+  let vpid = t.next_vpid in
+  t.next_vpid <- t.next_vpid + 1;
+  Hashtbl.replace t.vpid_to_rpid vpid rpid;
+  Hashtbl.replace t.rpid_to_vpid rpid vpid;
+  vpid
+
+let bind_vpid t ~vpid ~rpid =
+  Hashtbl.replace t.vpid_to_rpid vpid rpid;
+  Hashtbl.replace t.rpid_to_vpid rpid vpid;
+  if vpid >= t.next_vpid then t.next_vpid <- vpid + 1
+
+let rpid_of_vpid t vpid = Hashtbl.find_opt t.vpid_to_rpid vpid
+let vpid_of_rpid t rpid = Hashtbl.find_opt t.rpid_to_vpid rpid
+
+let forget_rpid t rpid =
+  match vpid_of_rpid t rpid with
+  | None -> ()
+  | Some vpid ->
+    Hashtbl.remove t.rpid_to_vpid rpid;
+    Hashtbl.remove t.vpid_to_rpid vpid
+
+let vpids t =
+  Hashtbl.fold (fun vpid _ acc -> vpid :: acc) t.vpid_to_rpid [] |> List.sort Int.compare
+
+(* --- network addresses --- *)
+
+let set_vip_map t map = t.vip_to_rip <- map
+
+let rip_of_vip t vip =
+  match List.assoc_opt vip t.vip_to_rip with Some rip -> rip | None -> vip
+
+let vip_of_rip t rip =
+  match List.find_opt (fun (_, r) -> Addr.equal_ip r rip) t.vip_to_rip with
+  | Some (v, _) -> v
+  | None -> rip
+
+let translate_addr_out t (a : Addr.t) = { a with Addr.ip = rip_of_vip t a.ip }
+let translate_addr_in t (a : Addr.t) = { a with Addr.ip = vip_of_rip t a.ip }
+
+let to_value t =
+  Value.assoc
+    [ ("next_vpid", Value.Int t.next_vpid);
+      ("vpids", Value.list Value.int (vpids t)) ]

@@ -1,0 +1,44 @@
+(** The pod's virtual private namespace (paper section 3).
+
+    Identifiers visible inside a pod are virtual: PIDs and network addresses
+    stay constant for the life of the application while the namespace remaps
+    them to the real identifiers of whatever node the pod currently runs on.
+    This decouples applications from the host and makes migration to nodes
+    with different PID spaces and IP subnets possible. *)
+
+module Addr = Zapc_simnet.Addr
+
+type t = {
+  vpid_to_rpid : (int, int) Hashtbl.t;
+  rpid_to_vpid : (int, int) Hashtbl.t;
+  mutable next_vpid : int;
+  mutable vip_to_rip : (Addr.ip * Addr.ip) list;
+}
+
+val create : unit -> t
+
+(** {1 PIDs} *)
+
+val fresh_vpid : t -> int -> int
+(** [fresh_vpid t rpid] assigns the next virtual pid to a real pid. *)
+
+val bind_vpid : t -> vpid:int -> rpid:int -> unit
+(** Restore path: re-establish a checkpointed vpid binding. *)
+
+val rpid_of_vpid : t -> int -> int option
+val vpid_of_rpid : t -> int -> int option
+val forget_rpid : t -> int -> unit
+val vpids : t -> int list
+
+(** {1 Network addresses} *)
+
+val set_vip_map : t -> (Addr.ip * Addr.ip) list -> unit
+
+val rip_of_vip : t -> Addr.ip -> Addr.ip
+(** Unknown addresses pass through unchanged (out-of-cluster traffic is out
+    of scope, per the paper). *)
+
+val vip_of_rip : t -> Addr.ip -> Addr.ip
+val translate_addr_out : t -> Addr.t -> Addr.t
+val translate_addr_in : t -> Addr.t -> Addr.t
+val to_value : t -> Zapc_codec.Value.t

@@ -1,0 +1,81 @@
+(** Pods (PrOcess Domains): the thin virtualization layer (paper section 3).
+
+    A pod encapsulates the processes of one application endpoint, gives them
+    a virtual private namespace — PIDs, network addresses, optionally time —
+    and is the unit of checkpoint, migration and restart.  Virtualization is
+    implemented purely by system-call interposition (a {!Zapc_simos.Proc.filter}
+    installed on every member process), so the underlying kernel runs
+    unmodified, mirroring ZapC's loadable-kernel-module design.
+
+    The virtual address ([vip]) never changes; the real address ([rip]) is
+    re-allocated on whatever node currently hosts the pod, and the namespace
+    map (installed by the Agent, rewritten on migration) translates between
+    them in both directions. *)
+
+module Simtime = Zapc_sim.Simtime
+module Addr = Zapc_simnet.Addr
+module Kernel = Zapc_simos.Kernel
+module Proc = Zapc_simos.Proc
+
+type t = {
+  pod_id : int;  (** global, stable across migrations *)
+  name : string;
+  vip : Addr.ip;  (** the address applications see; never changes *)
+  mutable rip : Addr.ip;  (** the real address on the current node *)
+  mutable kernel : Kernel.t;
+  ns : Namespace.t;
+  mutable time_bias : Simtime.t;  (** added to reported clocks after restart *)
+  mutable virtualize_time : bool;
+  mutable frozen : bool;
+}
+
+val create : pod_id:int -> name:string -> vip:Addr.ip -> rip:Addr.ip -> Kernel.t -> t
+(** Create an empty pod: attaches [rip] to the node's network stack and
+    registers the pod in the global live-pod registry. *)
+
+val find : int -> t option
+(** Look up a live pod by id (a pod lives on exactly one node at a time). *)
+
+val set_vip_map : t -> (Addr.ip * Addr.ip) list -> unit
+(** Install the application-wide virtual->real address map; the pod's own
+    entry is always included. *)
+
+val adopt : t -> Proc.t -> unit
+(** Bring a process into the pod: assign the next vpid, install the
+    interposition filter. *)
+
+val adopt_with_vpid : t -> Proc.t -> vpid:int -> unit
+(** Restore path: re-bind a process to its checkpointed vpid. *)
+
+val spawn : t -> program:string -> args:Zapc_codec.Value.t -> Proc.t
+(** Spawn a registered program directly inside the pod. *)
+
+val members : t -> (int * Proc.t) list
+(** Live member processes, ordered by vpid. *)
+
+val member_count : t -> int
+
+val suspend : t -> unit
+(** SIGSTOP every member (checkpoint step 1; the network block is done
+    separately by the Agent through netfilter). *)
+
+val resume : t -> unit
+
+val destroy : t -> unit
+(** Kill members, release the real address, drop from the registry (after
+    migration, or on abort). *)
+
+val apply_time_bias : t -> saved_clock:Simtime.t -> current_clock:Simtime.t -> unit
+(** Time virtualization (paper section 5): bias reported clocks by
+    checkpoint-time minus restart-time so application-level timeout
+    mechanisms do not fire spuriously.  No-op if [virtualize_time] is off. *)
+
+val total_memory : t -> int
+
+val fs_root : t -> string
+(** The pod's chroot-style directory on the shared file system; the syscall
+    filter prefixes every member file path with it.  It follows the pod
+    (not the node), so files remain reachable after migration without being
+    part of the checkpoint image. *)
+
+val pp : Format.formatter -> t -> unit

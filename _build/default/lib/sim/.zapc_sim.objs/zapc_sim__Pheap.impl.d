@@ -1,0 +1,1 @@
+lib/sim/pheap.ml: Array

@@ -1,0 +1,44 @@
+exception Deadlock of string
+
+type t = {
+  mutable clock : Simtime.t;
+  queue : (unit -> unit) Pheap.t;
+  rng : Rng.t;
+  mutable processed : int;
+}
+
+let create ?(seed = 42) () =
+  { clock = Simtime.zero; queue = Pheap.create (); rng = Rng.create ~seed; processed = 0 }
+
+let now t = t.clock
+let rng t = t.rng
+
+let schedule_at t ~at fn =
+  let at = if Simtime.compare at t.clock < 0 then t.clock else at in
+  Pheap.push t.queue ~key:at fn
+
+let schedule t ~delay fn = schedule_at t ~at:(Simtime.add t.clock delay) fn
+
+let run ?until ?max_events t =
+  let budget = ref (match max_events with None -> max_int | Some n -> n) in
+  let continue = ref true in
+  while !continue && !budget > 0 do
+    match Pheap.peek_key t.queue with
+    | None -> continue := false
+    | Some key ->
+      (match until with
+       | Some limit when Simtime.compare key limit > 0 ->
+         t.clock <- limit;
+         continue := false
+       | _ ->
+         (match Pheap.pop t.queue with
+          | None -> continue := false
+          | Some (at, fn) ->
+            t.clock <- at;
+            t.processed <- t.processed + 1;
+            decr budget;
+            fn ()))
+  done
+
+let pending t = Pheap.length t.queue
+let events_processed t = t.processed

@@ -1,0 +1,31 @@
+(** Discrete-event simulation engine.
+
+    A single engine drives an entire simulated cluster: the virtual clock
+    advances to the timestamp of each scheduled event in turn and the event's
+    callback runs to completion (callbacks may schedule further events).
+    Determinism: ties in timestamps fire in scheduling order. *)
+
+type t
+
+val create : ?seed:int -> unit -> t
+val now : t -> Simtime.t
+val rng : t -> Rng.t
+
+val schedule : t -> delay:Simtime.t -> (unit -> unit) -> unit
+(** Run the callback [delay] after the current virtual time. *)
+
+val schedule_at : t -> at:Simtime.t -> (unit -> unit) -> unit
+
+val run : ?until:Simtime.t -> ?max_events:int -> t -> unit
+(** Process events until the queue is empty, [until] is reached, or
+    [max_events] have fired.  Raises [Stalled] never — an empty queue simply
+    stops. *)
+
+val pending : t -> int
+(** Number of queued events. *)
+
+val events_processed : t -> int
+
+exception Deadlock of string
+(** Raised by [run_until_quiescent] helpers elsewhere when forward progress
+    is required but the queue drained unexpectedly. *)

@@ -1,0 +1,20 @@
+type t = int
+
+let zero = 0
+let ns n = n
+let us n = n * 1_000
+let ms n = n * 1_000_000
+let sec f = int_of_float (f *. 1e9)
+let add = ( + )
+let sub = ( - )
+let max = Stdlib.max
+let compare = Int.compare
+let to_ms t = float_of_int t /. 1e6
+let to_us t = float_of_int t /. 1e3
+let to_sec t = float_of_int t /. 1e9
+
+let pp ppf t =
+  if t < 1_000 then Format.fprintf ppf "%dns" t
+  else if t < 1_000_000 then Format.fprintf ppf "%.1fus" (to_us t)
+  else if t < 1_000_000_000 then Format.fprintf ppf "%.2fms" (to_ms t)
+  else Format.fprintf ppf "%.3fs" (to_sec t)

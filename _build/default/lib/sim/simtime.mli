@@ -1,0 +1,18 @@
+(** Virtual time, in integer nanoseconds since simulation start. *)
+
+type t = int
+
+val zero : t
+val ns : int -> t
+val us : int -> t
+val ms : int -> t
+val sec : float -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val max : t -> t -> t
+val compare : t -> t -> int
+val to_ms : t -> float
+val to_us : t -> float
+val to_sec : t -> float
+val pp : Format.formatter -> t -> unit
+(** Human-readable: picks ns/us/ms/s unit automatically. *)

@@ -1,0 +1,37 @@
+type t = {
+  mutable n : int;
+  mutable sum : float;
+  mutable sumsq : float;
+  mutable mn : float;
+  mutable mx : float;
+}
+
+let create () = { n = 0; sum = 0.0; sumsq = 0.0; mn = infinity; mx = neg_infinity }
+
+let add t x =
+  t.n <- t.n + 1;
+  t.sum <- t.sum +. x;
+  t.sumsq <- t.sumsq +. (x *. x);
+  if x < t.mn then t.mn <- x;
+  if x > t.mx then t.mx <- x
+
+let count t = t.n
+let mean t = if t.n = 0 then 0.0 else t.sum /. float_of_int t.n
+
+let stddev t =
+  if t.n < 2 then 0.0
+  else
+    let m = mean t in
+    let var = (t.sumsq /. float_of_int t.n) -. (m *. m) in
+    sqrt (Stdlib.max 0.0 var)
+
+let min t = t.mn
+let max t = t.mx
+
+let of_list xs =
+  let t = create () in
+  List.iter (add t) xs;
+  t
+
+let pp_ms ppf t =
+  Format.fprintf ppf "%.1f ± %.1f ms [%.1f..%.1f]" (mean t) (stddev t) t.mn t.mx

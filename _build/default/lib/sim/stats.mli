@@ -1,0 +1,15 @@
+(** Small running-statistics accumulator for experiment reporting
+    (mean, standard deviation, min, max over repeated runs). *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val mean : t -> float
+val stddev : t -> float
+val min : t -> float
+val max : t -> float
+val of_list : float list -> t
+val pp_ms : Format.formatter -> t -> unit
+(** Render as "mean ± stddev ms [min..max]" where samples are milliseconds. *)

@@ -1,0 +1,1 @@
+lib/simnet/errno.ml: Format

@@ -1,0 +1,1 @@
+lib/simnet/errno.mli: Format

@@ -1,0 +1,1 @@
+lib/simnet/fabric.ml: Addr Hashtbl Netfilter Option Packet Stdlib Zapc_sim

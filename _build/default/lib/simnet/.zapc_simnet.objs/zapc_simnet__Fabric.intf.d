@@ -1,0 +1,1 @@
+lib/simnet/fabric.mli: Addr Netfilter Packet Zapc_sim

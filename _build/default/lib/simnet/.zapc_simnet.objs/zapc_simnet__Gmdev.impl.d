@@ -1,0 +1,1 @@
+lib/simnet/gmdev.ml: Addr Bytes Errno Hashtbl Int32 List Packet Queue String Zapc_codec Zapc_sim

@@ -1,0 +1,1 @@
+lib/simnet/gmdev.mli: Addr Errno Packet Queue Zapc_codec

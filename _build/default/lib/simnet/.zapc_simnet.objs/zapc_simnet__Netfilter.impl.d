@@ -1,0 +1,1 @@
+lib/simnet/netfilter.ml: Addr Hashtbl Packet

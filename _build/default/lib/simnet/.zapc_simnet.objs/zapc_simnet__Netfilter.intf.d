@@ -1,0 +1,1 @@
+lib/simnet/netfilter.mli: Addr Packet

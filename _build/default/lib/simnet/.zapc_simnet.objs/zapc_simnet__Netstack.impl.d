@@ -1,0 +1,1 @@
+lib/simnet/netstack.ml: Addr Errno Fabric Gmdev Hashtbl List Option Packet Queue Socket Sockopt Stdlib String Tcp Zapc_sim

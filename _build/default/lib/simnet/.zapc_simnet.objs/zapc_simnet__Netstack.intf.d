@@ -1,0 +1,1 @@
+lib/simnet/netstack.mli: Addr Errno Fabric Packet Socket

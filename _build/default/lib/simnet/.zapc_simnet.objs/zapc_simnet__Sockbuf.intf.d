@@ -1,0 +1,1 @@
+lib/simnet/sockbuf.mli:

@@ -1,0 +1,1 @@
+lib/simnet/socket.ml: Addr Buffer Errno Format List Packet Queue Sockbuf Sockopt Stdlib String Zapc_sim

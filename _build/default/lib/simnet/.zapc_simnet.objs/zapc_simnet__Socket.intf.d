@@ -1,0 +1,1 @@
+lib/simnet/socket.mli: Addr Errno Format Packet Queue Sockbuf Sockopt Zapc_sim

@@ -1,0 +1,1 @@
+lib/simnet/sockopt.ml: Hashtbl List String Zapc_codec

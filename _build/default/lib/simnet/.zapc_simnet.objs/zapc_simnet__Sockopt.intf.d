@@ -1,0 +1,1 @@
+lib/simnet/sockopt.mli: Hashtbl Zapc_codec

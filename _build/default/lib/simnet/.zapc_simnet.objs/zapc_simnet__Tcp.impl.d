@@ -1,0 +1,1 @@
+lib/simnet/tcp.ml: Addr Errno List Packet Queue Sockbuf Socket Sockopt Stdlib String Zapc_sim

@@ -1,0 +1,1 @@
+lib/simnet/tcp.mli: Addr Errno Packet Socket Zapc_sim

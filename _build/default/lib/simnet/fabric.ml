@@ -1,0 +1,114 @@
+module Simtime = Zapc_sim.Simtime
+module Engine = Zapc_sim.Engine
+module Rng = Zapc_sim.Rng
+
+type config = {
+  latency : Simtime.t;
+  bandwidth_bps : float;
+  jitter : Simtime.t;
+  loss_prob : float;
+}
+
+let default_config =
+  { latency = Simtime.us 40; bandwidth_bps = 1e9; jitter = Simtime.us 5; loss_prob = 0.0 }
+
+type nic = { mutable tx_free_at : Simtime.t }
+
+type t = {
+  engine : Engine.t;
+  mutable cfg : config;
+  nf : Netfilter.t;
+  handlers : (Addr.ip, int * (Packet.t -> unit)) Hashtbl.t;
+  nics : (int, nic) Hashtbl.t;
+  rng : Rng.t;
+  mutable delivered : int;
+  mutable bytes : int;
+  mutable dropped : int;
+}
+
+let create ?(config = default_config) engine =
+  {
+    engine;
+    cfg = config;
+    nf = Netfilter.create ();
+    handlers = Hashtbl.create 64;
+    nics = Hashtbl.create 16;
+    rng = Rng.split (Engine.rng engine);
+    delivered = 0;
+    bytes = 0;
+    dropped = 0;
+  }
+
+let engine t = t.engine
+let netfilter t = t.nf
+let config t = t.cfg
+let set_loss_prob t p = t.cfg <- { t.cfg with loss_prob = p }
+
+let nic_of t node =
+  match Hashtbl.find_opt t.nics node with
+  | Some n -> n
+  | None ->
+    let n = { tx_free_at = Simtime.zero } in
+    Hashtbl.replace t.nics node n;
+    n
+
+let attach t ~node ip handler = Hashtbl.replace t.handlers ip (node, handler)
+let detach t ip = Hashtbl.remove t.handlers ip
+let node_of_ip t ip = Option.map fst (Hashtbl.find_opt t.handlers ip)
+
+let serialization_time t size_bytes =
+  let bits = float_of_int (size_bytes * 8) in
+  Simtime.ns (int_of_float (bits /. t.cfg.bandwidth_bps *. 1e9))
+
+let rst_reply (p : Packet.t) (seg : Packet.tcp_seg) : Packet.t =
+  let flags = { Packet.no_flags with rst = true; ack = true } in
+  {
+    Packet.src = p.dst;
+    dst = p.src;
+    body =
+      Packet.Tcp_seg
+        { seq = 0; ack_no = seg.seq + 1; flags; window = 0; urg_ptr = 0; payload = "" };
+  }
+
+let rec deliver t (p : Packet.t) =
+  if not (Netfilter.permits t.nf p) then t.dropped <- t.dropped + 1
+  else
+    match Hashtbl.find_opt t.handlers p.dst.ip with
+    | Some (_node, handler) ->
+      t.delivered <- t.delivered + 1;
+      t.bytes <- t.bytes + Packet.size p;
+      handler p
+    | None ->
+      t.dropped <- t.dropped + 1;
+      (match p.body with
+       | Packet.Tcp_seg seg when seg.flags.syn && not seg.flags.rst -> send t (rst_reply p seg)
+       | Packet.Tcp_seg _ | Packet.Udp_dgram _ | Packet.Raw_ip _ -> ())
+
+and send t (p : Packet.t) =
+  if not (Netfilter.permits t.nf p) then t.dropped <- t.dropped + 1
+  else if t.cfg.loss_prob > 0.0 && Rng.bool t.rng t.cfg.loss_prob then
+    t.dropped <- t.dropped + 1
+  else begin
+    let now = Engine.now t.engine in
+    let ser = serialization_time t (Packet.size p) in
+    let tx_start =
+      match Hashtbl.find_opt t.handlers p.src.ip with
+      | Some (node, _) ->
+        let nic = nic_of t node in
+        let s = Simtime.max now nic.tx_free_at in
+        nic.tx_free_at <- Simtime.add s ser;
+        s
+      | None -> now
+    in
+    let jitter =
+      if Simtime.compare t.cfg.jitter Simtime.zero > 0 then
+        Simtime.ns (Rng.int t.rng (Stdlib.max 1 t.cfg.jitter))
+      else Simtime.zero
+    in
+    let arrive = Simtime.add (Simtime.add (Simtime.add tx_start ser) t.cfg.latency) jitter in
+    Engine.schedule_at t.engine ~at:arrive (fun () -> deliver t p)
+  end
+
+let packets_delivered t = t.delivered
+let bytes_delivered t = t.bytes
+let packets_dropped t = t.dropped + Netfilter.drop_count t.nf

@@ -1,0 +1,55 @@
+(** Per-node network stack: socket creation, binding, port allocation,
+    connection demultiplexing, and packet input from the fabric.
+
+    The kernel ({!Zapc_simos.Kernel}) calls in here to implement socket
+    system calls; the ZapC Agent calls in directly when reconstructing
+    connections at restart. *)
+
+
+type t
+
+val create : node:int -> Fabric.t -> t
+val new_socket : t -> Socket.kind -> Socket.t
+val register_estab : t -> Socket.t -> unit
+val unregister : t -> Socket.t -> unit
+val on_packet : t -> Packet.t -> unit
+
+(** {1 Addresses} *)
+
+val add_ip : t -> Addr.ip -> unit
+(** Attach an address (host or pod) to this node and the fabric. *)
+
+val remove_ip : t -> Addr.ip -> unit
+val default_ip : t -> Addr.ip option
+val has_ip : t -> Addr.ip -> bool
+val alloc_port : t -> int -> Addr.ip -> int
+
+(** {1 Socket operations (system-call back-ends)} *)
+
+val bind : t -> Socket.t -> Addr.t -> (unit, Errno.t) result
+(** Port 0 allocates an ephemeral port; a concrete port conflicting with an
+    existing binding yields [EADDRINUSE] (unless SO_REUSEADDR). *)
+
+val listen : t -> Socket.t -> int -> (unit, Errno.t) result
+val auto_bind : t -> Socket.t -> (unit, Errno.t) result
+
+val connect_start : t -> Socket.t -> Addr.t -> (unit, Errno.t) result
+(** Stream: auto-bind (honouring [src_hint]), register for demux, begin the
+    TCP handshake.  Datagram/raw: set the default peer and re-register under
+    the connected 4-tuple. *)
+
+val accept_take : Socket.t -> Socket.t option
+(** Pop one established connection off a listener's accept queue. *)
+
+val sendto : t -> Socket.t -> Addr.t -> string -> (int, Errno.t) result
+val close : t -> Socket.t -> unit
+
+val set_gm_handler : t -> (Packet.t -> string -> unit) -> unit
+(** Kernel-bypass device hook: Raw-IP packets with {!Gmdev.gm_proto} are
+    handed to the device instead of the raw-socket path. *)
+
+val send_packet : t -> Packet.t -> unit
+(** Raw transmit onto the fabric (used by the GM device). *)
+
+val socket_count : t -> int
+val established_count : t -> int

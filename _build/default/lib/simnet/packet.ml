@@ -1,0 +1,60 @@
+(* On-the-wire units carried by the fabric.  TCP segments carry the fields
+   the protocol engine needs (sequence/ack numbers, flags, window, urgent
+   pointer); UDP and raw IP are opaque payloads. *)
+
+type tcp_flags = {
+  syn : bool;
+  ack : bool;
+  fin : bool;
+  rst : bool;
+  urg : bool;
+}
+
+let no_flags = { syn = false; ack = false; fin = false; rst = false; urg = false }
+
+type tcp_seg = {
+  seq : int;
+  ack_no : int;
+  flags : tcp_flags;
+  window : int;
+  urg_ptr : int;  (* offset just past the urgent byte, relative to [seq] *)
+  payload : string;
+}
+
+type body =
+  | Tcp_seg of tcp_seg
+  | Udp_dgram of string
+  | Raw_ip of int * string  (* protocol number, payload *)
+
+type t = { src : Addr.t; dst : Addr.t; body : body }
+
+let header_bytes = function
+  | Tcp_seg _ -> 40 (* IP + TCP headers *)
+  | Udp_dgram _ -> 28
+  | Raw_ip _ -> 20
+
+let payload_bytes = function
+  | Tcp_seg seg -> String.length seg.payload
+  | Udp_dgram d -> String.length d
+  | Raw_ip (_, d) -> String.length d
+
+let size t = header_bytes t.body + payload_bytes t.body
+
+let pp_flags ppf f =
+  let put c b = if b then Format.pp_print_char ppf c in
+  put 'S' f.syn;
+  put 'A' f.ack;
+  put 'F' f.fin;
+  put 'R' f.rst;
+  put 'U' f.urg
+
+let pp ppf t =
+  match t.body with
+  | Tcp_seg seg ->
+    Format.fprintf ppf "TCP %a>%a [%a] seq=%d ack=%d len=%d" Addr.pp t.src Addr.pp t.dst
+      pp_flags seg.flags seg.seq seg.ack_no (String.length seg.payload)
+  | Udp_dgram d ->
+    Format.fprintf ppf "UDP %a>%a len=%d" Addr.pp t.src Addr.pp t.dst (String.length d)
+  | Raw_ip (proto, d) ->
+    Format.fprintf ppf "RAW %a>%a proto=%d len=%d" Addr.pp t.src Addr.pp t.dst proto
+      (String.length d)

@@ -1,0 +1,81 @@
+(* Byte-stream socket buffer: a deque of string chunks with O(1) length.
+   Used for TCP receive queues, send queues, and the alternate receive queue
+   installed at restart.  Supports non-destructive reads ("peek" mode) and
+   whole-content extraction for checkpointing. *)
+
+type t = {
+  chunks : string Queue.t;
+  mutable front_off : int;  (* bytes of the head chunk already consumed *)
+  mutable len : int;
+}
+
+let create () = { chunks = Queue.create (); front_off = 0; len = 0 }
+let length t = t.len
+let is_empty t = t.len = 0
+
+let push t s =
+  if String.length s > 0 then begin
+    Queue.add s t.chunks;
+    t.len <- t.len + String.length s
+  end
+
+(* Read up to [n] bytes; destructive iff [consume]. *)
+let read t ~consume n =
+  let n = min n t.len in
+  if n = 0 then ""
+  else begin
+    let buf = Buffer.create n in
+    if consume then begin
+      let remaining = ref n in
+      while !remaining > 0 do
+        let head = Queue.peek t.chunks in
+        let avail = String.length head - t.front_off in
+        let take = min avail !remaining in
+        Buffer.add_substring buf head t.front_off take;
+        remaining := !remaining - take;
+        if take = avail then begin
+          ignore (Queue.pop t.chunks);
+          t.front_off <- 0
+        end
+        else t.front_off <- t.front_off + take
+      done;
+      t.len <- t.len - n
+    end
+    else begin
+      (* Non-destructive scan. *)
+      let remaining = ref n in
+      let first = ref true in
+      Queue.iter
+        (fun chunk ->
+          if !remaining > 0 then begin
+            let off = if !first then t.front_off else 0 in
+            first := false;
+            let avail = String.length chunk - off in
+            let take = min avail !remaining in
+            Buffer.add_substring buf chunk off take;
+            remaining := !remaining - take
+          end
+          else first := false)
+        t.chunks
+    end;
+    Buffer.contents buf
+  end
+
+let pop t n = read t ~consume:true n
+let peek t n = read t ~consume:false n
+
+let drop t n =
+  let n = min n t.len in
+  ignore (pop t n)
+
+let contents t = peek t t.len
+
+let clear t =
+  Queue.clear t.chunks;
+  t.front_off <- 0;
+  t.len <- 0
+
+let of_string s =
+  let t = create () in
+  push t s;
+  t

@@ -1,0 +1,23 @@
+(** Byte-stream socket buffer: a deque of string chunks with O(1) length.
+    Used for TCP receive queues, send queues, pipes, and the alternate
+    receive queue installed at restart.  Supports non-destructive reads
+    ("peek" mode) and whole-content extraction for checkpointing. *)
+
+type t
+
+val create : unit -> t
+val length : t -> int
+val is_empty : t -> bool
+val push : t -> string -> unit
+
+val read : t -> consume:bool -> int -> string
+(** Up to [n] bytes from the front; destructive iff [consume]. *)
+
+val pop : t -> int -> string
+val peek : t -> int -> string
+val drop : t -> int -> unit
+val contents : t -> string
+(** The whole buffered content, non-destructively (checkpoint path). *)
+
+val clear : t -> unit
+val of_string : string -> t

@@ -1,0 +1,88 @@
+(* Socket and protocol options, exposed through getsockopt/setsockopt-style
+   accessors.  The checkpoint saves the *entire* table (paper section 5: "For
+   correctness, the entire set of the parameters is included in the saved
+   state"), so restores reproduce behaviour bit-for-bit without knowing which
+   options an application cares about. *)
+
+module Value = Zapc_codec.Value
+
+type key =
+  | SO_RCVBUF
+  | SO_SNDBUF
+  | SO_REUSEADDR
+  | SO_KEEPALIVE
+  | SO_LINGER
+  | SO_OOBINLINE
+  | SO_BROADCAST
+  | SO_PRIORITY
+  | SO_RCVTIMEO
+  | SO_SNDTIMEO
+  | SO_NONBLOCK  (* O_NONBLOCK, kept here for uniform save/restore *)
+  | TCP_NODELAY
+  | TCP_MAXSEG
+  | TCP_KEEPIDLE
+  | TCP_KEEPINTVL
+  | TCP_KEEPCNT
+  | TCP_STDURG
+  | IP_TTL
+  | IP_TOS
+
+let all_keys =
+  [ SO_RCVBUF; SO_SNDBUF; SO_REUSEADDR; SO_KEEPALIVE; SO_LINGER; SO_OOBINLINE;
+    SO_BROADCAST; SO_PRIORITY; SO_RCVTIMEO; SO_SNDTIMEO; SO_NONBLOCK; TCP_NODELAY;
+    TCP_MAXSEG; TCP_KEEPIDLE; TCP_KEEPINTVL; TCP_KEEPCNT; TCP_STDURG; IP_TTL; IP_TOS ]
+
+let key_name = function
+  | SO_RCVBUF -> "SO_RCVBUF"
+  | SO_SNDBUF -> "SO_SNDBUF"
+  | SO_REUSEADDR -> "SO_REUSEADDR"
+  | SO_KEEPALIVE -> "SO_KEEPALIVE"
+  | SO_LINGER -> "SO_LINGER"
+  | SO_OOBINLINE -> "SO_OOBINLINE"
+  | SO_BROADCAST -> "SO_BROADCAST"
+  | SO_PRIORITY -> "SO_PRIORITY"
+  | SO_RCVTIMEO -> "SO_RCVTIMEO"
+  | SO_SNDTIMEO -> "SO_SNDTIMEO"
+  | SO_NONBLOCK -> "SO_NONBLOCK"
+  | TCP_NODELAY -> "TCP_NODELAY"
+  | TCP_MAXSEG -> "TCP_MAXSEG"
+  | TCP_KEEPIDLE -> "TCP_KEEPIDLE"
+  | TCP_KEEPINTVL -> "TCP_KEEPINTVL"
+  | TCP_KEEPCNT -> "TCP_KEEPCNT"
+  | TCP_STDURG -> "TCP_STDURG"
+  | IP_TTL -> "IP_TTL"
+  | IP_TOS -> "IP_TOS"
+
+let key_of_name s =
+  match List.find_opt (fun k -> String.equal (key_name k) s) all_keys with
+  | Some k -> k
+  | None -> Value.decode_error "unknown socket option %s" s
+
+let default = function
+  | SO_RCVBUF -> 262144
+  | SO_SNDBUF -> 262144
+  | TCP_MAXSEG -> 1448
+  | TCP_KEEPIDLE -> 7200
+  | TCP_KEEPINTVL -> 75
+  | TCP_KEEPCNT -> 9
+  | IP_TTL -> 64
+  | SO_REUSEADDR | SO_KEEPALIVE | SO_LINGER | SO_OOBINLINE | SO_BROADCAST
+  | SO_PRIORITY | SO_RCVTIMEO | SO_SNDTIMEO | SO_NONBLOCK | TCP_NODELAY
+  | TCP_STDURG | IP_TOS -> 0
+
+type table = (key, int) Hashtbl.t
+
+let create () : table = Hashtbl.create 8
+let get (t : table) k = match Hashtbl.find_opt t k with Some v -> v | None -> default k
+let set (t : table) k v = Hashtbl.replace t k v
+
+let to_value (t : table) =
+  let kvs = List.map (fun k -> (key_name k, Value.Int (get t k))) all_keys in
+  Value.Assoc kvs
+
+let of_value v : table =
+  let t = create () in
+  List.iter (fun (name, v) -> set t (key_of_name name) (Value.to_int v)) (Value.to_assoc v);
+  t
+
+let copy_into ~src ~dst = Hashtbl.iter (fun k v -> Hashtbl.replace dst k v) src

@@ -1,0 +1,615 @@
+(* TCP protocol engine over Socket.t.
+
+   A deliberately real implementation: three-way handshake, cumulative
+   acknowledgements, retransmission with exponential backoff and fast
+   retransmit, flow control from the advertised window, a small AIMD
+   congestion window, out-of-order reassembly, FIN teardown through the full
+   state machine, RST handling, and single-byte urgent data (BSD OOB
+   semantics).  The checkpoint-restart mechanism depends on the PCB fields
+   [snd_nxt]/[rcv_nxt]/[snd_una] and on the retransmission queue holding
+   exactly the acked..sent data, so those invariants are maintained
+   carefully. *)
+
+module Simtime = Zapc_sim.Simtime
+module Rng = Zapc_sim.Rng
+open Socket
+
+let initial_rto = Simtime.ms 200
+let max_rto = Simtime.sec 3.0
+let max_retries = 15
+let time_wait_delay = Simtime.ms 500
+let max_cwnd_mss = 64
+let max_ooo_entries = 512
+let handshake_retries = 8
+
+let fresh_tcb ~iss =
+  {
+    st = St_closed;
+    iss;
+    irs = 0;
+    snd_una = iss;
+    snd_nxt = iss;
+    rcv_nxt = 0;
+    snd_wnd = 65535;
+    cwnd = 10 * 1448;
+    rto = initial_rto;
+    rto_armed = false;
+    rto_gen = 0;
+    ooo = [];
+    retx = Queue.create ();
+    dup_acks = 0;
+    fin_rcvd = false;
+    fin_queued = false;
+    fin_sent = false;
+    adv_wnd = 65535;
+    retransmits = 0;
+    ka_last = 0;
+    ka_probes = 0;
+    ka_gen = 0;
+  }
+
+let random_iss s = 1 + Rng.int s.netctx.nc_rng 0x0FFFFFFF
+
+let the_tcb s =
+  match s.tcb with Some tcb -> tcb | None -> invalid_arg "Tcp: not a stream socket"
+
+let addr_pair s =
+  match (s.local, s.remote) with
+  | Some l, Some r -> (l, r)
+  | _ -> invalid_arg "Tcp: socket not fully addressed"
+
+(* Emit one segment.  Every segment except the very first SYN carries an ACK
+   of [rcv_nxt] and our current advertised window. *)
+let emit s ?(payload = "") ?(syn = false) ?(fin = false) ?(urg = false) ?(rst = false)
+    ?(with_ack = true) ~seq () =
+  let tcb = the_tcb s in
+  let local, remote = addr_pair s in
+  let window = advertised_window s in
+  tcb.adv_wnd <- window;
+  let flags = { Packet.syn; ack = with_ack; fin; rst; urg } in
+  let urg_ptr = if urg then seq + String.length payload else 0 in
+  let seg =
+    { Packet.seq; ack_no = (if with_ack then tcb.rcv_nxt else 0); flags; window; urg_ptr;
+      payload }
+  in
+  s.netctx.nc_tx { Packet.src = local; dst = remote; body = Packet.Tcp_seg seg }
+
+let retx_len item = String.length item.rx_payload + (if item.rx_fin then 1 else 0)
+
+(* --- retransmission timer --- *)
+
+let rec arm_rto s =
+  let tcb = the_tcb s in
+  tcb.rto_gen <- tcb.rto_gen + 1;
+  tcb.rto_armed <- true;
+  let gen = tcb.rto_gen in
+  s.netctx.nc_schedule tcb.rto (fun () -> on_rto s gen)
+
+and disarm_rto s =
+  let tcb = the_tcb s in
+  tcb.rto_gen <- tcb.rto_gen + 1;
+  tcb.rto_armed <- false
+
+and on_rto s gen =
+  let tcb = the_tcb s in
+  if tcb.rto_armed && tcb.rto_gen = gen && not (Queue.is_empty tcb.retx) then begin
+    let item = Queue.peek tcb.retx in
+    item.rx_retries <- item.rx_retries + 1;
+    tcb.retransmits <- tcb.retransmits + 1;
+    if item.rx_retries > max_retries then abort_connection s Errno.ETIMEDOUT
+    else begin
+      emit s ~payload:item.rx_payload ~fin:item.rx_fin ~urg:item.rx_urg ~seq:item.rx_seq ();
+      tcb.rto <- Simtime.max initial_rto (min (2 * tcb.rto) max_rto);
+      tcb.cwnd <- Stdlib.max (2 * mss s) (tcb.cwnd / 2);
+      arm_rto s
+    end
+  end
+
+and abort_connection s err =
+  let tcb = the_tcb s in
+  tcb.st <- St_closed;
+  disarm_rto s;
+  Queue.clear tcb.retx;
+  if s.err = None then s.err <- Some err;
+  s.netctx.nc_unregister s;
+  wake_all s
+
+(* --- sending --- *)
+
+and output s =
+  let tcb = the_tcb s in
+  (match tcb.st with
+   | St_established | St_close_wait | St_fin_wait_1 | St_closing | St_last_ack ->
+     let m = mss s in
+     let continue = ref true in
+     while !continue do
+       let in_flight = tcb.snd_nxt - tcb.snd_una in
+       let window = min tcb.snd_wnd tcb.cwnd - in_flight in
+       let avail = Sockbuf.length s.sendq in
+       if avail = 0 || window <= 0 then continue := false
+       else begin
+         let take = min m (min window avail) in
+         let payload = Sockbuf.pop s.sendq take in
+         let item =
+           { rx_seq = tcb.snd_nxt; rx_payload = payload; rx_fin = false; rx_urg = false;
+             rx_retries = 0 }
+         in
+         Queue.add item tcb.retx;
+         emit s ~payload ~seq:tcb.snd_nxt ();
+         tcb.snd_nxt <- tcb.snd_nxt + String.length payload;
+         if not tcb.rto_armed then arm_rto s;
+         wake_writers s
+       end
+     done;
+     (* Zero-window persist: if data is stuck behind a closed window and
+        nothing is outstanding, push one probe byte past the window. *)
+     let in_flight = tcb.snd_nxt - tcb.snd_una in
+     if
+       Sockbuf.length s.sendq > 0 && in_flight = 0 && min tcb.snd_wnd tcb.cwnd = 0
+       && Queue.is_empty tcb.retx
+     then begin
+       let payload = Sockbuf.pop s.sendq 1 in
+       let item =
+         { rx_seq = tcb.snd_nxt; rx_payload = payload; rx_fin = false; rx_urg = false;
+           rx_retries = 0 }
+       in
+       Queue.add item tcb.retx;
+       emit s ~payload ~seq:tcb.snd_nxt ();
+       tcb.snd_nxt <- tcb.snd_nxt + 1;
+       if not tcb.rto_armed then arm_rto s
+     end;
+     maybe_send_fin s
+   | St_closed | St_listen | St_syn_sent | St_syn_received | St_fin_wait_2 | St_time_wait
+     -> ())
+
+and maybe_send_fin s =
+  let tcb = the_tcb s in
+  if
+    tcb.fin_queued && (not tcb.fin_sent)
+    && Sockbuf.is_empty s.sendq
+    && tcb.snd_nxt - tcb.snd_una = Queue.fold (fun acc i -> acc + retx_len i) 0 tcb.retx
+  then begin
+    let item =
+      { rx_seq = tcb.snd_nxt; rx_payload = ""; rx_fin = true; rx_urg = false; rx_retries = 0 }
+    in
+    Queue.add item tcb.retx;
+    emit s ~fin:true ~seq:tcb.snd_nxt ();
+    tcb.snd_nxt <- tcb.snd_nxt + 1;
+    tcb.fin_sent <- true;
+    (match tcb.st with
+     | St_established -> tcb.st <- St_fin_wait_1
+     | St_close_wait -> tcb.st <- St_last_ack
+     | St_closed | St_listen | St_syn_sent | St_syn_received | St_fin_wait_1
+     | St_fin_wait_2 | St_closing | St_last_ack | St_time_wait -> ());
+    if not tcb.rto_armed then arm_rto s
+  end
+
+(* Application write path: buffer as much as fits in the send buffer, then
+   try to transmit.  Returns the number of bytes accepted (0 = would block),
+   or an error if the connection cannot carry data. *)
+let send_data s data : (int, Errno.t) result =
+  match s.tcb with
+  | None -> Error Errno.ENOTCONN
+  | Some tcb ->
+    (match tcb.st with
+     | St_established | St_close_wait ->
+       if s.shut_wr then Error Errno.EPIPE
+       else begin
+         let space = sendq_space s in
+         if space = 0 then Ok 0
+         else begin
+           let take = min space (String.length data) in
+           Sockbuf.push s.sendq (String.sub data 0 take);
+           output s;
+           Ok take
+         end
+       end
+     | St_syn_sent | St_syn_received -> Ok 0 (* not yet connected: block *)
+     | St_closed | St_listen | St_fin_wait_1 | St_fin_wait_2 | St_closing | St_last_ack
+     | St_time_wait ->
+       Error (match s.err with Some e -> e | None -> Errno.EPIPE))
+
+(* Single-byte urgent data (BSD OOB).  Sent as its own one-byte segment with
+   URG set; it occupies sequence space like ordinary data. *)
+let send_oob s byte : (unit, Errno.t) result =
+  match s.tcb with
+  | None -> Error Errno.ENOTCONN
+  | Some tcb ->
+    (match tcb.st with
+     | St_established | St_close_wait ->
+       let payload = String.make 1 byte in
+       let item =
+         { rx_seq = tcb.snd_nxt; rx_payload = payload; rx_fin = false; rx_urg = true;
+           rx_retries = 0 }
+       in
+       Queue.add item tcb.retx;
+       emit s ~payload ~urg:true ~seq:tcb.snd_nxt ();
+       tcb.snd_nxt <- tcb.snd_nxt + 1;
+       if not tcb.rto_armed then arm_rto s;
+       Ok ()
+     | St_closed | St_listen | St_syn_sent | St_syn_received | St_fin_wait_1
+     | St_fin_wait_2 | St_closing | St_last_ack | St_time_wait -> Error Errno.EPIPE)
+
+(* --- connection establishment --- *)
+
+let rec handshake_timer s gen tries =
+  let tcb = the_tcb s in
+  if tcb.rto_gen = gen then
+    match tcb.st with
+    | St_syn_sent | St_syn_received ->
+      if tries > handshake_retries then abort_connection s Errno.ETIMEDOUT
+      else begin
+        (match tcb.st with
+         | St_syn_sent -> emit s ~syn:true ~with_ack:false ~seq:tcb.iss ()
+         | St_syn_received -> emit s ~syn:true ~seq:tcb.iss ()
+         | St_closed | St_listen | St_established | St_fin_wait_1 | St_fin_wait_2
+         | St_close_wait | St_closing | St_last_ack | St_time_wait -> ());
+        arm_handshake s gen (tries + 1)
+      end
+    | St_closed | St_listen | St_established | St_fin_wait_1 | St_fin_wait_2
+    | St_close_wait | St_closing | St_last_ack | St_time_wait -> ()
+
+and arm_handshake s gen tries =
+  s.netctx.nc_schedule initial_rto (fun () -> handshake_timer s gen tries)
+
+let connect s =
+  (* local/remote must be set by the stack before calling *)
+  let iss = random_iss s in
+  let tcb = fresh_tcb ~iss in
+  tcb.st <- St_syn_sent;
+  tcb.snd_nxt <- iss + 1;
+  s.tcb <- Some tcb;
+  emit s ~syn:true ~with_ack:false ~seq:iss ();
+  tcb.rto_gen <- tcb.rto_gen + 1;
+  arm_handshake s tcb.rto_gen 1
+
+let listen s backlog =
+  let tcb = fresh_tcb ~iss:0 in
+  tcb.st <- St_listen;
+  s.tcb <- Some tcb;
+  s.backlog <- Stdlib.max 1 backlog
+
+(* --- closing --- *)
+
+let shutdown_write s =
+  match s.tcb with
+  | None -> ()
+  | Some tcb ->
+    if not s.shut_wr then begin
+      s.shut_wr <- true;
+      match tcb.st with
+      | St_established | St_close_wait ->
+        tcb.fin_queued <- true;
+        output s
+      | St_syn_sent -> abort_connection s Errno.EPIPE
+      | St_closed | St_listen | St_syn_received | St_fin_wait_1 | St_fin_wait_2
+      | St_closing | St_last_ack | St_time_wait -> ()
+    end
+
+let enter_time_wait s =
+  let tcb = the_tcb s in
+  tcb.st <- St_time_wait;
+  disarm_rto s;
+  s.netctx.nc_schedule time_wait_delay (fun () ->
+      if tcb.st = St_time_wait then begin
+        tcb.st <- St_closed;
+        s.netctx.nc_unregister s
+      end)
+
+let close s =
+  s.closed <- true;
+  match s.tcb with
+  | None -> ()
+  | Some tcb ->
+    (match tcb.st with
+     | St_listen ->
+       (* Reset connections waiting in the accept queue. *)
+       Queue.iter (fun child -> abort_connection child Errno.ECONNRESET) s.accept_q;
+       Queue.clear s.accept_q;
+       tcb.st <- St_closed;
+       s.netctx.nc_unregister s
+     | St_syn_sent | St_syn_received ->
+       tcb.st <- St_closed;
+       disarm_rto s;
+       s.netctx.nc_unregister s
+     | St_established | St_close_wait ->
+       s.shut_rd <- true;
+       shutdown_write s
+     | St_closed -> s.netctx.nc_unregister s
+     | St_fin_wait_1 | St_fin_wait_2 | St_closing | St_last_ack | St_time_wait -> ())
+
+(* --- receive path --- *)
+
+let insert_ooo tcb seq payload urg =
+  if List.length tcb.ooo < max_ooo_entries then begin
+    let rec ins = function
+      | [] -> [ (seq, payload, urg) ]
+      | ((s0, _, _) as e0) :: rest as l ->
+        if seq < s0 then (seq, payload, urg) :: l
+        else if seq = s0 then l (* duplicate *)
+        else e0 :: ins rest
+    in
+    tcb.ooo <- ins tcb.ooo
+  end
+
+let deliver_stream s data =
+  if String.length data > 0 then begin
+    Sockbuf.push s.recvq data;
+    wake_readers s
+  end
+
+(* Accept a data segment: urgent single-byte segments go to the OOB side
+   channel (our senders emit OOB as dedicated 1-byte segments); ordinary
+   payload joins the stream at rcv_nxt; anything ahead of rcv_nxt waits in
+   the reassembly buffer, keeping its URG marking. *)
+let rec accept_segment s tcb seq payload urg =
+  let len = String.length payload in
+  if len > 0 then begin
+    if urg && len = 1 && not (oob_inline s) then begin
+      if seq = tcb.rcv_nxt then begin
+        tcb.rcv_nxt <- tcb.rcv_nxt + 1;
+        s.oob_byte <- Some payload.[0];
+        wake_readers s;
+        drain_ooo s tcb
+      end
+      else if seq > tcb.rcv_nxt then insert_ooo tcb seq payload true
+      (* else: duplicate, ignore *)
+    end
+    else if seq = tcb.rcv_nxt then begin
+      tcb.rcv_nxt <- tcb.rcv_nxt + len;
+      deliver_stream s payload;
+      drain_ooo s tcb
+    end
+    else if seq < tcb.rcv_nxt && seq + len > tcb.rcv_nxt then begin
+      (* partial duplicate: deliver the new tail *)
+      let fresh = String.sub payload (tcb.rcv_nxt - seq) (seq + len - tcb.rcv_nxt) in
+      tcb.rcv_nxt <- seq + len;
+      deliver_stream s fresh;
+      drain_ooo s tcb
+    end
+    else if seq > tcb.rcv_nxt then insert_ooo tcb seq payload urg
+    (* else: pure duplicate, ignore *)
+  end
+
+and drain_ooo s tcb =
+  match tcb.ooo with
+  | (seq, payload, urg) :: rest when seq <= tcb.rcv_nxt ->
+    tcb.ooo <- rest;
+    accept_segment s tcb seq payload urg;
+    drain_ooo s tcb
+  | _ -> ()
+
+(* --- keepalive (paper section 5: TCP_KEEPALIVE timers are protocol state) ---
+
+   When SO_KEEPALIVE is set on an established connection, an idle period of
+   TCP_KEEPIDLE seconds triggers probes every TCP_KEEPINTVL seconds; after
+   TCP_KEEPCNT unanswered probes the connection is reset with ETIMEDOUT.
+   The probe is the classic out-of-window empty segment (seq = snd_nxt - 1),
+   which the peer answers with a pure ACK.  Any activity resets the idle
+   clock; the option itself is saved and restored by the checkpoint, and
+   restores call [refresh_keepalive] to re-arm the timer. *)
+
+let keepalive_enabled s = Sockopt.get s.opts Sockopt.SO_KEEPALIVE <> 0
+
+let rec keepalive_tick s gen =
+  match s.tcb with
+  | None -> ()
+  | Some tcb ->
+    if gen = tcb.ka_gen && keepalive_enabled s then (
+      match tcb.st with
+      | St_established | St_close_wait | St_fin_wait_1 | St_fin_wait_2 ->
+        let now = s.netctx.nc_now () in
+        let keepidle = Simtime.sec (float_of_int (Stdlib.max 1 (Sockopt.get s.opts Sockopt.TCP_KEEPIDLE))) in
+        let keepintvl = Simtime.sec (float_of_int (Stdlib.max 1 (Sockopt.get s.opts Sockopt.TCP_KEEPINTVL))) in
+        let keepcnt = Stdlib.max 1 (Sockopt.get s.opts Sockopt.TCP_KEEPCNT) in
+        let idle = Simtime.sub now tcb.ka_last in
+        if Simtime.compare idle keepidle >= 0 then begin
+          if tcb.ka_probes >= keepcnt then abort_connection s Errno.ETIMEDOUT
+          else begin
+            tcb.ka_probes <- tcb.ka_probes + 1;
+            emit s ~seq:(tcb.snd_nxt - 1) ();
+            s.netctx.nc_schedule keepintvl (fun () -> keepalive_tick s gen)
+          end
+        end
+        else
+          s.netctx.nc_schedule (Simtime.sub keepidle idle) (fun () -> keepalive_tick s gen)
+      | St_closed | St_listen | St_syn_sent | St_syn_received | St_closing | St_last_ack
+      | St_time_wait -> ())
+
+(* (Re-)arm the keepalive timer; idempotent via the generation counter.
+   Called when a connection reaches Established and by network-state
+   restore after re-applying socket options. *)
+let refresh_keepalive s =
+  match s.tcb with
+  | None -> ()
+  | Some tcb ->
+    tcb.ka_gen <- tcb.ka_gen + 1;
+    tcb.ka_last <- s.netctx.nc_now ();
+    tcb.ka_probes <- 0;
+    if keepalive_enabled s then
+      s.netctx.nc_schedule
+        (Simtime.sec (float_of_int (Stdlib.max 1 (Sockopt.get s.opts Sockopt.TCP_KEEPIDLE))))
+        (fun () -> keepalive_tick s tcb.ka_gen)
+
+let send_pure_ack s = emit s ~seq:(the_tcb s).snd_nxt ()
+
+(* ACK bookkeeping shared by all synchronized states. *)
+let process_ack s tcb ack_no window had_payload =
+  tcb.snd_wnd <- window;
+  if ack_no > tcb.snd_una && ack_no <= tcb.snd_nxt then begin
+    tcb.snd_una <- ack_no;
+    tcb.dup_acks <- 0;
+    tcb.rto <- initial_rto;
+    (* Drop fully acknowledged items from the retransmission queue. *)
+    let continue = ref true in
+    while !continue && not (Queue.is_empty tcb.retx) do
+      let item = Queue.peek tcb.retx in
+      if item.rx_seq + retx_len item <= tcb.snd_una then ignore (Queue.pop tcb.retx)
+      else continue := false
+    done;
+    tcb.cwnd <- min (tcb.cwnd + mss s) (max_cwnd_mss * mss s);
+    if Queue.is_empty tcb.retx then disarm_rto s else arm_rto s;
+    wake_writers s
+  end
+  else if ack_no = tcb.snd_una && not had_payload && not (Queue.is_empty tcb.retx) then begin
+    tcb.dup_acks <- tcb.dup_acks + 1;
+    if tcb.dup_acks = 3 then begin
+      let item = Queue.peek tcb.retx in
+      tcb.retransmits <- tcb.retransmits + 1;
+      emit s ~payload:item.rx_payload ~fin:item.rx_fin ~urg:item.rx_urg ~seq:item.rx_seq ();
+      tcb.cwnd <- Stdlib.max (2 * mss s) (tcb.cwnd / 2)
+    end
+  end
+
+let all_sent_acked tcb = tcb.snd_una = tcb.snd_nxt
+
+(* Main segment input for a socket in any synchronized (non-listen) state. *)
+let on_segment s (seg : Packet.tcp_seg) =
+  match s.tcb with
+  | None -> ()
+  | Some tcb ->
+    if seg.flags.rst then begin
+      let err =
+        match tcb.st with St_syn_sent -> Errno.ECONNREFUSED | _ -> Errno.ECONNRESET
+      in
+      (match tcb.st with
+       | St_closed | St_time_wait -> ()
+       | _ -> abort_connection s err)
+    end
+    else begin
+      match tcb.st with
+      | St_syn_sent ->
+        if seg.flags.syn && seg.flags.ack && seg.ack_no = tcb.snd_nxt then begin
+          tcb.irs <- seg.seq;
+          tcb.rcv_nxt <- seg.seq + 1;
+          tcb.snd_una <- seg.ack_no;
+          tcb.snd_wnd <- seg.window;
+          tcb.st <- St_established;
+          tcb.rto_gen <- tcb.rto_gen + 1;  (* cancel handshake timer *)
+          refresh_keepalive s;
+          send_pure_ack s;
+          wake_all s;
+          output s
+        end
+        else if seg.flags.syn && not seg.flags.ack then begin
+          (* simultaneous open: not modeled; reset *)
+          abort_connection s Errno.ECONNRESET
+        end
+      | St_syn_received ->
+        if seg.flags.ack && seg.ack_no = tcb.snd_nxt then begin
+          tcb.st <- St_established;
+          tcb.snd_wnd <- seg.window;
+          tcb.snd_una <- seg.ack_no;
+          tcb.rto_gen <- tcb.rto_gen + 1;
+          refresh_keepalive s;
+          (* surface on the listener's accept queue *)
+          (match s.parent with
+           | Some parent when is_listening parent ->
+             parent.pending_children <- Stdlib.max 0 (parent.pending_children - 1);
+             Queue.add s parent.accept_q;
+             wake_readers parent
+           | Some _ | None -> ());
+          (* the ACK may carry data *)
+          if String.length seg.payload > 0 then begin
+            accept_segment s tcb seg.seq seg.payload seg.flags.urg;
+            send_pure_ack s
+          end
+        end
+        else if seg.flags.syn then
+          (* retransmitted SYN: re-send SYN+ACK *)
+          emit s ~syn:true ~seq:tcb.iss ()
+      | St_established | St_fin_wait_1 | St_fin_wait_2 | St_close_wait | St_closing
+      | St_last_ack | St_time_wait ->
+        (* any activity feeds the keepalive idle clock *)
+        tcb.ka_last <- s.netctx.nc_now ();
+        tcb.ka_probes <- 0;
+        let had_payload = String.length seg.payload > 0 in
+        if seg.flags.ack then process_ack s tcb seg.ack_no seg.window had_payload;
+        (* payload (incl. urgent handling) *)
+        let ooo_before = List.length tcb.ooo in
+        if had_payload && not s.shut_rd then
+          accept_segment s tcb seg.seq seg.payload seg.flags.urg
+        else if had_payload && s.shut_rd then begin
+          (* data after shutdown(RD): consume sequence space silently *)
+          if seg.seq = tcb.rcv_nxt then tcb.rcv_nxt <- tcb.rcv_nxt + String.length seg.payload
+        end;
+        (* FIN *)
+        let fin_now = seg.flags.fin && seg.seq + String.length seg.payload = tcb.rcv_nxt in
+        if fin_now && not tcb.fin_rcvd then begin
+          tcb.fin_rcvd <- true;
+          tcb.rcv_nxt <- tcb.rcv_nxt + 1;
+          (match tcb.st with
+           | St_established -> tcb.st <- St_close_wait
+           | St_fin_wait_1 ->
+             if all_sent_acked tcb then enter_time_wait s else tcb.st <- St_closing
+           | St_fin_wait_2 -> enter_time_wait s
+           | St_closed | St_listen | St_syn_sent | St_syn_received | St_close_wait
+           | St_closing | St_last_ack | St_time_wait -> ());
+          wake_readers s
+        end;
+        (* state transitions completed by ACK of our FIN *)
+        if tcb.fin_sent && all_sent_acked tcb then begin
+          match tcb.st with
+          | St_fin_wait_1 -> tcb.st <- St_fin_wait_2
+          | St_closing -> enter_time_wait s
+          | St_last_ack ->
+            tcb.st <- St_closed;
+            disarm_rto s;
+            s.netctx.nc_unregister s
+          | St_closed | St_listen | St_syn_sent | St_syn_received | St_established
+          | St_fin_wait_2 | St_close_wait | St_time_wait -> ()
+        end;
+        (* acknowledge anything that consumed sequence space or arrived out
+           of order *)
+        let ooo_grew = List.length tcb.ooo > ooo_before in
+        let probe = (not had_payload) && (not seg.flags.syn) && (not seg.flags.fin)
+                    && seg.seq < tcb.rcv_nxt in
+        if (had_payload || fin_now || ooo_grew || probe) && tcb.st <> St_closed then
+          send_pure_ack s;
+        if seg.flags.ack then output s
+      | St_closed -> ()
+      | St_listen -> () (* handled by on_listener_segment *)
+    end
+
+(* SYN arriving at a listening socket: create the child connection
+   (SYN queue), reply SYN+ACK; it reaches the accept queue when the
+   handshake completes. *)
+let on_listener_segment s (src : Addr.t) (dst : Addr.t) (seg : Packet.tcp_seg) =
+  if seg.flags.syn && not seg.flags.ack then begin
+    if Queue.length s.accept_q + s.pending_children >= s.backlog then () (* drop *)
+    else begin
+      let child = s.netctx.nc_new_socket Stream in
+      Sockopt.copy_into ~src:s.opts ~dst:child.opts;
+      Sockopt.set child.opts Sockopt.SO_NONBLOCK 0;
+      child.local <- Some dst;
+      child.remote <- Some src;
+      child.parent <- Some s;
+      child.born_by_accept <- true;
+      let iss = random_iss child in
+      let tcb = fresh_tcb ~iss in
+      tcb.st <- St_syn_received;
+      tcb.irs <- seg.seq;
+      tcb.rcv_nxt <- seg.seq + 1;
+      tcb.snd_nxt <- iss + 1;
+      tcb.snd_wnd <- seg.window;
+      child.tcb <- Some tcb;
+      s.pending_children <- s.pending_children + 1;
+      child.netctx.nc_register_estab child;
+      emit child ~syn:true ~seq:iss ();
+      tcb.rto_gen <- tcb.rto_gen + 1;
+      arm_handshake child tcb.rto_gen 1
+    end
+  end
+
+(* Receiver-side window update: called after the application drains the
+   receive queue, so a sender stalled on a zero window resumes. *)
+let after_app_read s =
+  match s.tcb with
+  | None -> ()
+  | Some tcb ->
+    (match tcb.st with
+     | St_established | St_fin_wait_1 | St_fin_wait_2 ->
+       let w = advertised_window s in
+       if tcb.adv_wnd < mss s && w >= mss s then send_pure_ack s
+     | St_closed | St_listen | St_syn_sent | St_syn_received | St_close_wait
+     | St_closing | St_last_ack | St_time_wait -> ())

@@ -1,0 +1,1 @@
+lib/simos/fdtable.ml: Hashtbl Pipe Zapc_simnet

@@ -1,0 +1,1 @@
+lib/simos/fdtable.mli: Pipe Zapc_simnet

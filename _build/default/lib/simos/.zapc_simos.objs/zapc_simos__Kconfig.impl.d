@@ -1,0 +1,1 @@
+lib/simos/kconfig.ml: Zapc_sim

@@ -1,0 +1,1 @@
+lib/simos/kconfig.mli: Zapc_sim

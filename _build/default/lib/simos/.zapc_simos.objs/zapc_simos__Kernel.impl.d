@@ -1,0 +1,1 @@
+lib/simos/kernel.ml: Fdtable Hashtbl Kconfig List Memory Option Pipe Proc Program Queue Signal Simfs Stdlib String Syscall Zapc_sim Zapc_simnet

@@ -1,0 +1,1 @@
+lib/simos/kernel.mli: Hashtbl Kconfig Proc Program Queue Signal Simfs Zapc_codec Zapc_sim Zapc_simnet

@@ -1,0 +1,1 @@
+lib/simos/memory.ml: Hashtbl List String Zapc_codec

@@ -1,0 +1,1 @@
+lib/simos/memory.mli: Zapc_codec

@@ -1,0 +1,1 @@
+lib/simos/pipe.ml: List Stdlib String Zapc_simnet

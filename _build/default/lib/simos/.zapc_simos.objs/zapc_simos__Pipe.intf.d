@@ -1,0 +1,1 @@
+lib/simos/pipe.mli: Zapc_simnet

@@ -1,0 +1,1 @@
+lib/simos/proc.mli: Fdtable Format Memory Program Syscall Zapc_sim

@@ -1,0 +1,1 @@
+lib/simos/program.ml: Hashtbl Syscall Zapc_codec Zapc_sim

@@ -1,0 +1,1 @@
+lib/simos/program.mli: Syscall Zapc_codec Zapc_sim

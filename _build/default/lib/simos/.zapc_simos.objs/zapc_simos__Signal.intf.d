@@ -1,0 +1,1 @@
+lib/simos/signal.mli: Format

@@ -1,0 +1,1 @@
+lib/simos/simfs.ml: Hashtbl List String Zapc_codec

@@ -1,0 +1,1 @@
+lib/simos/syscall.ml: Char Format List Signal String Zapc_codec Zapc_sim Zapc_simnet

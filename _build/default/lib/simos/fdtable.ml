@@ -1,0 +1,54 @@
+(* Per-process file descriptor table.  Entries reference shared kernel
+   objects (sockets, pipe ends); spawn copies the parent's table so children
+   share the underlying objects, like fork(2). *)
+
+module Socket = Zapc_simnet.Socket
+
+type entry =
+  | Fsock of Socket.t
+  | Fpipe_r of Pipe.t
+  | Fpipe_w of Pipe.t
+  | Fgm of Zapc_simnet.Gmdev.port  (* kernel-bypass messaging port *)
+
+type t = {
+  entries : (int, entry) Hashtbl.t;
+  mutable next_fd : int;
+}
+
+let create () = { entries = Hashtbl.create 8; next_fd = 3 }
+
+let add t entry =
+  let fd = t.next_fd in
+  t.next_fd <- t.next_fd + 1;
+  Hashtbl.replace t.entries fd entry;
+  fd
+
+let add_at t fd entry =
+  Hashtbl.replace t.entries fd entry;
+  if fd >= t.next_fd then t.next_fd <- fd + 1
+
+let find t fd = Hashtbl.find_opt t.entries fd
+let remove t fd = Hashtbl.remove t.entries fd
+
+let socket t fd =
+  match find t fd with
+  | Some (Fsock s) -> Some s
+  | Some (Fpipe_r _ | Fpipe_w _ | Fgm _) | None -> None
+
+let fold t f acc = Hashtbl.fold f t.entries acc
+let iter t f = Hashtbl.iter f t.entries
+let cardinal t = Hashtbl.length t.entries
+
+(* Copy for spawn: shares the underlying objects and bumps pipe end
+   refcounts.  Socket sharing needs no per-object count here because the
+   kernel tracks socket fd references itself. *)
+let copy t =
+  let t' = { entries = Hashtbl.copy t.entries; next_fd = t.next_fd } in
+  Hashtbl.iter
+    (fun _ e ->
+      match e with
+      | Fpipe_r p -> p.Pipe.rd_refs <- p.Pipe.rd_refs + 1
+      | Fpipe_w p -> p.Pipe.wr_refs <- p.Pipe.wr_refs + 1
+      | Fsock _ | Fgm _ -> ())
+    t.entries;
+  t'

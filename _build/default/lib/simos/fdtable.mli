@@ -1,0 +1,30 @@
+(** Per-process file descriptor table.  Entries reference shared kernel
+    objects (sockets, pipe ends); spawn copies the parent's table so
+    children share the underlying objects, like fork(2). *)
+
+module Socket = Zapc_simnet.Socket
+
+type entry =
+  | Fsock of Socket.t
+  | Fpipe_r of Pipe.t
+  | Fpipe_w of Pipe.t
+  | Fgm of Zapc_simnet.Gmdev.port  (** kernel-bypass messaging port *)
+
+type t
+
+val create : unit -> t
+val add : t -> entry -> int
+val add_at : t -> int -> entry -> unit
+(** Restore path: re-install an entry at its checkpointed descriptor
+    number. *)
+
+val find : t -> int -> entry option
+val remove : t -> int -> unit
+val socket : t -> int -> Socket.t option
+val fold : t -> (int -> entry -> 'a -> 'a) -> 'a -> 'a
+val iter : t -> (int -> entry -> unit) -> unit
+val cardinal : t -> int
+
+val copy : t -> t
+(** Share the underlying objects and bump pipe-end reference counts (socket
+    sharing is counted by the kernel). *)

@@ -1,0 +1,28 @@
+(* Kernel cost model.  These constants put virtual-time prices on the
+   operations the checkpoint-restart path exercises; defaults are calibrated
+   to the paper's hardware class (3 GHz Xeon blades, CLUSTER 2005 era). *)
+
+module Simtime = Zapc_sim.Simtime
+
+type t = {
+  syscall_cost : Simtime.t;       (* fixed entry/exit cost of a system call *)
+  context_switch : Simtime.t;
+  quantum : Simtime.t;            (* scheduler time slice *)
+  signal_cost : Simtime.t;        (* deliver one signal *)
+  virt_overhead : Simtime.t;      (* extra per-syscall cost of pod interposition *)
+  spawn_cost : Simtime.t;
+  mem_copy_bps : float;           (* checkpoint/restore memory bandwidth, bytes/s *)
+  cpu_scale : float;              (* relative CPU speed; Compute is divided by it *)
+}
+
+let default =
+  {
+    syscall_cost = Simtime.ns 800;
+    context_switch = Simtime.us 2;
+    quantum = Simtime.ms 5;
+    signal_cost = Simtime.us 4;
+    virt_overhead = Simtime.ns 250;
+    spawn_cost = Simtime.us 120;
+    mem_copy_bps = 1.5e9;
+    cpu_scale = 1.0;
+  }

@@ -1,0 +1,20 @@
+(** Kernel cost model: virtual-time prices for the operations the
+    checkpoint-restart path exercises.  Defaults are calibrated to the
+    paper's hardware class (3 GHz Xeon blades, 2005). *)
+
+module Simtime = Zapc_sim.Simtime
+
+type t = {
+  syscall_cost : Simtime.t;  (** fixed entry/exit cost of a system call *)
+  context_switch : Simtime.t;
+  quantum : Simtime.t;  (** scheduler time slice *)
+  signal_cost : Simtime.t;  (** deliver one signal *)
+  virt_overhead : Simtime.t;
+      (** extra per-syscall cost of pod interposition — what the paper's
+          Figure 5 measures *)
+  spawn_cost : Simtime.t;
+  mem_copy_bps : float;  (** checkpoint/restore memory bandwidth, bytes/s *)
+  cpu_scale : float;  (** relative CPU speed; Compute durations divide by it *)
+}
+
+val default : t

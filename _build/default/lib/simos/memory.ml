@@ -1,0 +1,43 @@
+(* Per-process memory accounting.
+
+   Programs declare their working set through mem_alloc/mem_free; the
+   checkpoint charges these bytes to the pod image (a real checkpointer
+   writes the address space — here the *computational* state travels in the
+   program's Value encoding, and regions model the footprint of the
+   application at the paper's scale, e.g. BT/NAS's hundreds of MB). *)
+
+module Value = Zapc_codec.Value
+
+type t = {
+  regions : (string, int) Hashtbl.t;
+  mutable total : int;
+  mutable peak : int;
+}
+
+let create () = { regions = Hashtbl.create 8; total = 0; peak = 0 }
+
+let alloc t name size =
+  let old = match Hashtbl.find_opt t.regions name with Some s -> s | None -> 0 in
+  Hashtbl.replace t.regions name size;
+  t.total <- t.total - old + size;
+  if t.total > t.peak then t.peak <- t.total
+
+let free t name =
+  match Hashtbl.find_opt t.regions name with
+  | None -> ()
+  | Some s ->
+    Hashtbl.remove t.regions name;
+    t.total <- t.total - s
+
+let total t = t.total
+let peak t = t.peak
+
+let to_value t =
+  let kvs = Hashtbl.fold (fun k v acc -> (k, Value.Int v) :: acc) t.regions [] in
+  let kvs = List.sort (fun (a, _) (b, _) -> String.compare a b) kvs in
+  Value.Assoc kvs
+
+let of_value v =
+  let t = create () in
+  List.iter (fun (k, sz) -> alloc t k (Value.to_int sz)) (Value.to_assoc v);
+  t

@@ -1,0 +1,19 @@
+(** Per-process memory accounting.
+
+    Programs declare their working set through the mem_alloc/mem_free system
+    calls; checkpoint images charge these bytes as the process's address
+    space (see DESIGN.md: computational state itself travels in the
+    program's Value encoding). *)
+
+type t
+
+val create : unit -> t
+
+val alloc : t -> string -> int -> unit
+(** [alloc t name size] creates or resizes the named region. *)
+
+val free : t -> string -> unit
+val total : t -> int
+val peak : t -> int
+val to_value : t -> Zapc_codec.Value.t
+val of_value : Zapc_codec.Value.t -> t

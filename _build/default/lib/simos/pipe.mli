@@ -1,0 +1,32 @@
+(** Unidirectional in-kernel pipes: the interprocess-communication resource
+    (besides sockets) that pod checkpoints must capture.  Reference counts
+    track how many fd-table entries point at each end. *)
+
+module Sockbuf = Zapc_simnet.Sockbuf
+
+type t = {
+  id : int;
+  buf : Sockbuf.t;
+  capacity : int;
+  mutable rd_refs : int;
+  mutable wr_refs : int;
+  mutable rd_waiters : (unit -> unit) list;
+  mutable wr_waiters : (unit -> unit) list;
+}
+
+val default_capacity : int
+val create : id:int -> t
+val space : t -> int
+
+type rres = Pdata of string | Peof | Pblock
+
+val read : t -> int -> rres
+
+type wres = Pwrote of int | Pepipe | Pwblock
+
+val write : t -> string -> wres
+val after_read : t -> unit
+val close_read : t -> unit
+val close_write : t -> unit
+val wake_readers : t -> unit
+val wake_writers : t -> unit

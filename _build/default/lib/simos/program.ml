@@ -1,0 +1,63 @@
+(* Simulated programs.
+
+   A program is an explicit transition system: [step state outcome] consumes
+   the result of the previous action and produces the next.  The whole
+   execution context — including the control point — lives in [state], which
+   must round-trip through Value.  This is what makes processes
+   transparently checkpointable in the simulation: the kernel can save
+   (program name, encoded state, pending syscall) at any instant, exactly as
+   a real kernel-level checkpointer saves the address space and task state.
+
+   Programs are looked up by name in a global registry at spawn and restart
+   time, the analogue of re-executing the binary from (shared) storage. *)
+
+module Value = Zapc_codec.Value
+module Simtime = Zapc_sim.Simtime
+
+type action =
+  | Compute of Simtime.t  (* occupy a CPU for this much virtual time *)
+  | Sys of Syscall.t
+  | Exit of int
+
+module type S = sig
+  type state
+
+  val name : string
+  val start : Value.t -> state
+  val step : state -> Syscall.outcome -> state * action
+  val to_value : state -> Value.t
+  val of_value : Value.t -> state
+end
+
+type instance = Inst : (module S with type state = 's) * 's ref -> instance
+
+let registry : (string, (module S)) Hashtbl.t = Hashtbl.create 32
+
+let register (module P : S) =
+  if Hashtbl.mem registry P.name then
+    invalid_arg ("Program.register: duplicate program " ^ P.name);
+  Hashtbl.replace registry P.name (module P : S)
+
+let register_if_absent (module P : S) =
+  if not (Hashtbl.mem registry P.name) then Hashtbl.replace registry P.name (module P : S)
+
+let lookup name : (module S) option = Hashtbl.find_opt registry name
+
+let spawn name args : instance =
+  match lookup name with
+  | None -> invalid_arg ("Program.spawn: unknown program " ^ name)
+  | Some (module P : S) -> Inst ((module P), ref (P.start args))
+
+let restore name state_v : instance =
+  match lookup name with
+  | None -> invalid_arg ("Program.restore: unknown program " ^ name)
+  | Some (module P : S) -> Inst ((module P), ref (P.of_value state_v))
+
+let step_instance (Inst ((module P), st)) outcome : action =
+  let state', action = P.step !st outcome in
+  st := state';
+  action
+
+let snapshot (Inst ((module P), st)) : string * Value.t = (P.name, P.to_value !st)
+
+let name_of (Inst ((module P), _)) = P.name

@@ -1,0 +1,15 @@
+(* Process signals.  ZapC relies on SIGSTOP/SIGCONT to freeze and thaw the
+   processes of a pod around a checkpoint, and on SIGKILL to tear a pod down
+   after migration. *)
+
+type t = Sigstop | Sigcont | Sigkill | Sigterm | Sigusr1 | Sigusr2
+
+let to_string = function
+  | Sigstop -> "SIGSTOP"
+  | Sigcont -> "SIGCONT"
+  | Sigkill -> "SIGKILL"
+  | Sigterm -> "SIGTERM"
+  | Sigusr1 -> "SIGUSR1"
+  | Sigusr2 -> "SIGUSR2"
+
+let pp ppf s = Format.pp_print_string ppf (to_string s)

@@ -1,0 +1,9 @@
+(** Process signals.  ZapC relies on SIGSTOP/SIGCONT to freeze and thaw the
+    processes of a pod around a checkpoint and SIGKILL to tear a pod down
+    after migration; SIGTERM terminates (default action); SIGUSR1/2 are
+    ignored. *)
+
+type t = Sigstop | Sigcont | Sigkill | Sigterm | Sigusr1 | Sigusr2
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

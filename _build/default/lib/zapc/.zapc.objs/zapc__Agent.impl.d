@@ -1,0 +1,1 @@
+lib/zapc/agent.ml: Array Control Hashtbl List Logs Option Params Printf Protocol Queue Stdlib Storage String Trace Zapc_ckpt Zapc_codec Zapc_netckpt Zapc_pod Zapc_sim Zapc_simnet Zapc_simos

@@ -1,0 +1,1 @@
+lib/zapc/agent.mli: Params Protocol Storage Trace Zapc_netckpt Zapc_pod Zapc_simnet Zapc_simos

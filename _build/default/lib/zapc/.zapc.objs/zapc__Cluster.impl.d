@@ -1,0 +1,1 @@
+lib/zapc/cluster.ml: Agent Array Control List Manager Option Params Printf Protocol Storage Trace Zapc_netckpt Zapc_pod Zapc_sim Zapc_simnet Zapc_simos

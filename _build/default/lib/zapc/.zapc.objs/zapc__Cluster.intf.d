@@ -1,0 +1,1 @@
+lib/zapc/cluster.mli: Agent Manager Params Storage Trace Zapc_pod Zapc_sim Zapc_simnet Zapc_simos

@@ -1,0 +1,1 @@
+lib/zapc/control.ml: List Zapc_sim

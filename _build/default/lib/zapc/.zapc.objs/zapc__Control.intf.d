@@ -1,0 +1,1 @@
+lib/zapc/control.mli: Zapc_sim

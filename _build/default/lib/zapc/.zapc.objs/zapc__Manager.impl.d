@@ -1,0 +1,1 @@
+lib/zapc/manager.ml: Array Control Hashtbl List Option Params Printf Protocol Result Storage String Trace Zapc_ckpt Zapc_netckpt Zapc_sim Zapc_simnet

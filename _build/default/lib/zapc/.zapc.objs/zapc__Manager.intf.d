@@ -1,0 +1,1 @@
+lib/zapc/manager.mli: Params Protocol Storage Trace Zapc_netckpt Zapc_sim Zapc_simnet

@@ -1,0 +1,1 @@
+lib/zapc/params.ml: Zapc_sim Zapc_simnet Zapc_simos

@@ -1,0 +1,1 @@
+lib/zapc/periodic.ml: Cluster List Manager Printf Protocol Storage Zapc_pod Zapc_sim Zapc_simnet

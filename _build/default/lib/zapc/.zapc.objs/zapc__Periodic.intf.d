@@ -1,0 +1,1 @@
+lib/zapc/periodic.mli: Cluster Manager Zapc_pod Zapc_sim

@@ -1,0 +1,1 @@
+lib/zapc/protocol.ml: Control List Printf String Zapc_ckpt Zapc_netckpt Zapc_sim Zapc_simnet

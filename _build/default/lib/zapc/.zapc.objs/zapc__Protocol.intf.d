@@ -1,0 +1,1 @@
+lib/zapc/protocol.mli: Control Zapc_netckpt Zapc_sim Zapc_simnet

@@ -1,0 +1,1 @@
+lib/zapc/storage.ml: Hashtbl List String Zapc_ckpt Zapc_sim

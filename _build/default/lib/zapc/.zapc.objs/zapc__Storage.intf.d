@@ -1,0 +1,1 @@
+lib/zapc/storage.mli: Zapc_ckpt Zapc_sim

@@ -1,0 +1,1 @@
+lib/zapc/trace.ml: Buffer Int List Printf String Zapc_sim

@@ -1,0 +1,1 @@
+lib/zapc/trace.mli: Zapc_sim

@@ -1,0 +1,730 @@
+(* The ZapC Agent: one per cluster node.
+
+   Executes the node-local sides of the coordinated checkpoint (Figure 1)
+   and restart (Figure 3) protocols.  Checkpoint: suspend the pod and block
+   its network, save the network state first, report the meta-data, run the
+   standalone pod checkpoint without waiting, and only gate the final
+   unblock/resume on the Manager's 'continue' — the protocol's single
+   synchronization point.  Restart: create an empty pod, re-establish the
+   network connectivity with two concurrent tasks (acceptor + connector, so
+   no ordering can deadlock), restore the network state, then run the
+   standalone restart and let the pod resume immediately. *)
+
+module Simtime = Zapc_sim.Simtime
+module Engine = Zapc_sim.Engine
+module Value = Zapc_codec.Value
+module Addr = Zapc_simnet.Addr
+module Socket = Zapc_simnet.Socket
+module Netstack = Zapc_simnet.Netstack
+module Netfilter = Zapc_simnet.Netfilter
+module Fabric = Zapc_simnet.Fabric
+module Errno = Zapc_simnet.Errno
+module Kernel = Zapc_simos.Kernel
+module Pod = Zapc_pod.Pod
+module Namespace = Zapc_pod.Namespace
+module Meta = Zapc_netckpt.Meta
+module Sock_state = Zapc_netckpt.Sock_state
+module Net_ckpt = Zapc_netckpt.Net_ckpt
+module Pod_ckpt = Zapc_ckpt.Pod_ckpt
+module Image = Zapc_ckpt.Image
+
+let src = Logs.Src.create "zapc.agent" ~doc:"ZapC agent"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type ckpt_op = {
+  co_pod : Pod.t;
+  co_dest : Protocol.uri;
+  co_resume : bool;
+  co_started : Simtime.t;
+  mutable co_continue : bool;
+  mutable co_standalone_done : bool;
+  mutable co_result : Pod_ckpt.checkpoint_result option;
+  mutable co_net_time : Simtime.t;
+  mutable co_finalizing : bool;
+  mutable co_aborted : bool;
+}
+
+type restore_op = {
+  ro_pod : Pod.t;
+  ro_image : Value.t;
+  ro_entries : Meta.restart_entry list;
+  ro_extra_altq : (int * string) list;
+  ro_skip_sendq : bool;
+  ro_sock_imgs : Sock_state.image array;
+  ro_my_meta : Meta.pod_meta;
+  ro_sockets : (int, Socket.t) Hashtbl.t;  (* sock_ref -> live socket *)
+  ro_started : Simtime.t;
+  mutable ro_conn_started : Simtime.t;
+  mutable ro_conn_done : Simtime.t;
+  mutable ro_net_done : Simtime.t;
+  mutable ro_pending_conns : int;
+  mutable ro_temp_listeners : Socket.t list;
+  mutable ro_aborted : bool;
+}
+
+type t = {
+  node : int;
+  kernel : Kernel.t;
+  fabric : Fabric.t;
+  engine : Engine.t;
+  params : Params.t;
+  storage : Storage.t;
+  mutable chan : Protocol.channel option;
+  pods : (int, Pod.t) Hashtbl.t;
+  streamed : (int, Image.t) Hashtbl.t;  (* images received by direct migration *)
+  ckpts : (int, ckpt_op) Hashtbl.t;
+  restores : (int, restore_op) Hashtbl.t;
+  rng : Zapc_sim.Rng.t;
+  mutable trace : Trace.t option;
+  mutable peer_agents : (int -> t option);  (* resolve agents for streaming *)
+}
+
+let create ~node ~params ~storage ~fabric kernel =
+  {
+    node;
+    kernel;
+    fabric;
+    engine = Kernel.engine kernel;
+    params;
+    storage;
+    chan = None;
+    pods = Hashtbl.create 4;
+    streamed = Hashtbl.create 4;
+    ckpts = Hashtbl.create 4;
+    restores = Hashtbl.create 4;
+    rng = Zapc_sim.Rng.split (Engine.rng (Kernel.engine kernel));
+    trace = None;
+    peer_agents = (fun _ -> None);
+  }
+
+let set_trace t tr = t.trace <- Some tr
+
+let trace t ~pod what =
+  match t.trace with
+  | Some tr -> Trace.record tr ~time:(Engine.now t.engine) ~pod what
+  | None -> ()
+
+let register_pod t pod = Hashtbl.replace t.pods pod.Pod.pod_id pod
+let forget_pod t pod_id = Hashtbl.remove t.pods pod_id
+let find_pod t pod_id = Hashtbl.find_opt t.pods pod_id
+
+let send_to_manager t msg =
+  match t.chan with
+  | Some ch -> Control.send_up ch ~bytes:(Protocol.to_manager_bytes msg) msg
+  | None -> ()
+
+let report_failure t pod_id detail =
+  send_to_manager t
+    (Protocol.M_done
+       { node = t.node; pod_id; ok = false; detail; stats = Protocol.zero_stats })
+
+let after t delay fn = Engine.schedule t.engine ~delay fn
+let nf t = Fabric.netfilter t.fabric
+
+(* Agent-side costs carry uniform jitter (background load, cache state);
+   the paper's checkpoint-time std-devs are 10-60% of the average. *)
+let jittered t cost =
+  let j = t.params.cost_jitter in
+  if j <= 0.0 then cost
+  else
+    let f = 1.0 +. Zapc_sim.Rng.float t.rng (2.0 *. j) -. j in
+    Simtime.ns (int_of_float (float_of_int cost *. f))
+
+(* (node, pod_id) -> parked restart continuation awaiting a streamed image *)
+let parked : (int * int, unit -> unit) Hashtbl.t = Hashtbl.create 8
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint (Figure 1, Agent side)                                   *)
+(* ------------------------------------------------------------------ *)
+
+let rec start_checkpoint t ~pod_id ~dest ~resume =
+  match find_pod t pod_id with
+  | None -> report_failure t pod_id "no such pod"
+  | Some pod when Pod.member_count pod = 0 ->
+    (* a pod whose processes have all died has nothing consistent to save;
+       refusing keeps a coordinated checkpoint from recording a partially
+       dead application as a good recovery point *)
+    report_failure t pod_id "pod has no live processes"
+  | Some pod ->
+    let op =
+      { co_pod = pod; co_dest = dest; co_resume = resume; co_started = Engine.now t.engine;
+        co_continue = false; co_standalone_done = false; co_result = None;
+        co_net_time = Simtime.zero; co_finalizing = false; co_aborted = false }
+    in
+    Hashtbl.replace t.ckpts pod_id op;
+    (* step 1: suspend the pod, block its network *)
+    let suspend_cost =
+      Simtime.add
+        (Params.scale t.params.kconfig.signal_cost (Pod.member_count pod))
+        t.params.netfilter_cost
+    in
+    after t suspend_cost (fun () ->
+        if not op.co_aborted then begin
+          Pod.suspend pod;
+          Netfilter.block (nf t) pod.rip;
+          trace t ~pod:pod.pod_id "suspended";
+          ckpt_network t op
+        end)
+
+(* step 2: network-state checkpoint; 2a: report meta-data *)
+and ckpt_network t op =
+  let t0 = Engine.now t.engine in
+  let mode = if t.params.peek_mode then Sock_state.Peek else Sock_state.Read_inject in
+  let net = Net_ckpt.checkpoint ~mode op.co_pod in
+  let cost =
+    jittered t
+      (Simtime.add t.params.net_ckpt_fixed
+         (Simtime.add
+            (Params.scale t.params.per_socket_ckpt net.socket_count)
+            (Params.copy_time ~bps:t.params.mem_bw net.image_bytes)))
+  in
+  after t cost (fun () ->
+      if not op.co_aborted then begin
+        op.co_net_time <- Simtime.sub (Engine.now t.engine) t0;
+        trace t ~pod:op.co_pod.pod_id "net_ckpt_done";
+        send_to_manager t
+          (Protocol.M_meta
+             { node = t.node; pod_id = op.co_pod.pod_id; meta = net.meta;
+               meta_bytes = Meta.size_bytes net.meta });
+        trace t ~pod:op.co_pod.pod_id "meta_sent";
+        if t.params.serial_ckpt then
+          (* ablation: wait for 'continue' before the standalone checkpoint *)
+          wait_continue_then t op (fun () -> ckpt_standalone t op net)
+        else ckpt_standalone t op net
+      end)
+
+and wait_continue_then t op fn =
+  if op.co_continue then fn ()
+  else after t (Simtime.us 50) (fun () -> if not op.co_aborted then wait_continue_then t op fn)
+
+(* step 3: standalone pod checkpoint, overlapped with the Manager sync *)
+and ckpt_standalone t op net =
+  let mode = if t.params.peek_mode then Sock_state.Peek else Sock_state.Read_inject in
+  let res = Pod_ckpt.checkpoint ~mode ~net op.co_pod in
+  let cost =
+    jittered t
+      (Simtime.add t.params.ckpt_fixed
+         (Simtime.add
+            (Params.scale t.params.per_proc_ckpt res.proc_count)
+            (Params.copy_time ~bps:t.params.mem_bw (Pod_ckpt.logical_size res))))
+  in
+  after t cost (fun () ->
+      if not op.co_aborted then begin
+        op.co_result <- Some res;
+        op.co_standalone_done <- true;
+        trace t ~pod:op.co_pod.pod_id "standalone_done";
+        maybe_finalize_ckpt t op
+      end)
+
+(* steps 3a/4/4a: unblock and finish only after the standalone checkpoint is
+   done AND the Manager's 'continue' has arrived (the single sync point) *)
+and maybe_finalize_ckpt t op =
+  if op.co_standalone_done && op.co_continue && (not op.co_finalizing)
+     && not op.co_aborted
+  then begin
+    op.co_finalizing <- true;
+    (* optional file-system snapshot, taken "immediately prior to
+       reactivating the pod" (paper section 4): copy the pod's subtree on
+       the shared store; its cost extends the pause *)
+    let fs_delay =
+      if not t.params.fs_snapshot then Simtime.zero
+      else begin
+        let key =
+          match op.co_dest with
+          | Protocol.U_storage k -> k
+          | Protocol.U_node n -> Printf.sprintf "stream-node%d.pod%d" n op.co_pod.pod_id
+        in
+        let copied =
+          Zapc_simos.Simfs.snapshot_subtree (Kernel.fs t.kernel)
+            ~src_prefix:(Pod.fs_root op.co_pod)
+            ~dst_prefix:("/snapshots/" ^ key)
+        in
+        Params.copy_time ~bps:t.params.storage_bps copied
+      end
+    in
+    after t fs_delay (fun () -> finalize_ckpt t op)
+  end
+
+and finalize_ckpt t op =
+  if not op.co_aborted then begin
+    let pod = op.co_pod in
+    let res = Option.get op.co_result in
+    Netfilter.unblock (nf t) pod.rip;
+    let image = Image.of_pod_image res.image in
+    (match op.co_dest with
+     | Protocol.U_storage key -> Storage.put t.storage key image
+     | Protocol.U_node target ->
+       (* direct migration: stream the image to the receiving Agent without
+          touching secondary storage *)
+       stream_image t ~target ~image);
+    (if op.co_resume then begin
+       Pod.resume pod;
+       trace t ~pod:pod.pod_id "resumed"
+     end
+     else begin
+       Pod.destroy pod;
+       forget_pod t pod.pod_id;
+       trace t ~pod:pod.pod_id "destroyed"
+     end);
+    Hashtbl.remove t.ckpts pod.pod_id;
+    let stats =
+      {
+        Protocol.st_net_time = op.co_net_time;
+        st_local_time = Simtime.sub (Engine.now t.engine) op.co_started;
+        st_conn_time = Simtime.zero;
+        st_image_bytes = image.Image.logical_size;
+        st_net_bytes = res.net_result.image_bytes;
+        st_sockets = res.net_result.socket_count;
+        st_procs = res.proc_count;
+      }
+    in
+    send_to_manager t
+      (Protocol.M_done { node = t.node; pod_id = pod.pod_id; ok = true; detail = ""; stats })
+  end
+
+and stream_image t ~target ~image =
+  match t.peer_agents target with
+  | None -> Log.err (fun m -> m "no agent on node %d to stream to" target)
+  | Some peer ->
+    let delay =
+      Simtime.add t.params.ctrl_latency
+        (Params.copy_time ~bps:t.params.fabric.bandwidth_bps image.Image.logical_size)
+    in
+    after t delay (fun () ->
+        Hashtbl.replace peer.streamed image.Image.pod_id image;
+        (* a restart command may already be parked waiting for this image *)
+        try_start_parked_restart peer image.Image.pod_id)
+
+and try_start_parked_restart t pod_id =
+  match Hashtbl.find_opt parked (t.node, pod_id) with
+  | Some k ->
+    Hashtbl.remove parked (t.node, pod_id);
+    k ()
+  | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Restart (Figure 3, Agent side)                                      *)
+(* ------------------------------------------------------------------ *)
+
+and start_restart t ~pod_id ~name ~vip ~rip ~uri ~entries ~vip_map ~extra_altq ~skip_sendq
+  =
+  let with_image fn =
+    match uri with
+    | Protocol.U_storage key ->
+      (match Storage.get t.storage key with
+       | Some image -> fn image
+       | None -> report_failure t pod_id ("no image at " ^ key))
+    | Protocol.U_node _ ->
+      (match Hashtbl.find_opt t.streamed pod_id with
+       | Some image -> fn image
+       | None ->
+         (* image still in flight: park the restart until it lands *)
+         Hashtbl.replace parked (t.node, pod_id) (fun () ->
+             match Hashtbl.find_opt t.streamed pod_id with
+             | Some image -> fn image
+             | None -> report_failure t pod_id "streamed image lost"))
+  in
+  with_image (fun image ->
+      let image_v = Image.to_pod_image image in
+      after t t.params.pod_create_cost (fun () ->
+          (* step 1: create a new (empty) pod *)
+          let pod = Pod.create ~pod_id ~name ~vip ~rip t.kernel in
+          pod.virtualize_time <- t.params.virtualize_time;
+          Pod.set_vip_map pod vip_map;
+          register_pod t pod;
+          let op =
+            {
+              ro_pod = pod;
+              ro_image = image_v;
+              ro_entries = entries;
+              ro_extra_altq = extra_altq;
+              ro_skip_sendq = skip_sendq;
+              ro_sock_imgs = Pod_ckpt.sockets_of_image image_v;
+              ro_my_meta = Pod_ckpt.meta_of_image image_v;
+              ro_sockets = Hashtbl.create 8;
+              ro_started = Engine.now t.engine;
+              ro_conn_started = Engine.now t.engine;
+              ro_conn_done = Engine.now t.engine;
+              ro_net_done = Engine.now t.engine;
+              ro_pending_conns = 0;
+              ro_temp_listeners = [];
+              ro_aborted = false;
+            }
+          in
+          Hashtbl.replace t.restores pod_id op;
+          trace t ~pod:pod_id "pod_created";
+          restore_connectivity t op))
+
+(* step 2: recover network connectivity — listeners first, then the two
+   concurrent tasks.  All addresses here are real (translated through the
+   pod's freshly installed namespace map). *)
+and restore_connectivity t op =
+  let pod = op.ro_pod in
+  let ns = pod.Pod.ns in
+  let net = Kernel.netstack t.kernel in
+  op.ro_conn_started <- Engine.now t.engine;
+  (* restore listening sockets (they also serve the acceptor task) *)
+  Array.iteri
+    (fun i (im : Sock_state.image) ->
+      match im.hl with
+      | `Listener backlog ->
+        let s = Netstack.new_socket net Socket.Stream in
+        s.src_hint <- Some pod.rip;
+        Sock_state.restore_options s im;
+        let local = Namespace.translate_addr_out ns (Option.get im.local) in
+        let local =
+          if Addr.equal_ip local.ip Addr.any then { local with Addr.ip = pod.rip }
+          else local
+        in
+        (match Netstack.bind net s local with
+         | Ok () -> ignore (Netstack.listen net s (Stdlib.max 1 backlog))
+         | Error e ->
+           Log.err (fun m -> m "restart: bind listener failed: %s" (Errno.to_string e)));
+        Hashtbl.replace op.ro_sockets i s
+      | `Conn _ | `Plain -> ())
+    op.ro_sock_imgs;
+  (* split the schedule *)
+  let conn_entries =
+    List.filter (fun (e : Meta.restart_entry) -> not e.ri_orphan) op.ro_entries
+  in
+  op.ro_pending_conns <- List.length conn_entries;
+  let accepts, connects =
+    List.partition (fun (e : Meta.restart_entry) -> e.ri_role = Meta.Accept) conn_entries
+  in
+  if op.ro_pending_conns = 0 then connectivity_done t op
+  else begin
+    run_acceptor_task t op accepts;
+    run_connector_task t op connects
+  end
+
+and conn_established t op (e : Meta.restart_entry) (s : Socket.t) =
+  Hashtbl.replace op.ro_sockets e.ri_sock_ref s;
+  op.ro_pending_conns <- op.ro_pending_conns - 1;
+  if op.ro_pending_conns = 0 && not op.ro_aborted then connectivity_done t op
+
+(* One thread of execution handles incoming connection requests... *)
+and run_acceptor_task t op accepts =
+  if accepts <> [] then begin
+    let pod = op.ro_pod in
+    let ns = pod.Pod.ns in
+    let net = Kernel.netstack t.kernel in
+    (* group expected peers by local port; reuse restored app listeners when
+       they exist, otherwise create temporary ones *)
+    let by_port = Hashtbl.create 4 in
+    List.iter
+      (fun (e : Meta.restart_entry) ->
+        let l = Hashtbl.find_opt by_port e.ri_local.port in
+        Hashtbl.replace by_port e.ri_local.port (e :: Option.value l ~default:[]))
+      accepts;
+    Hashtbl.iter
+      (fun port entries ->
+        let listener =
+          let found = ref None in
+          Hashtbl.iter
+            (fun _ (s : Socket.t) ->
+              if Socket.is_listening s then
+                match s.local with
+                | Some l when l.port = port -> found := Some s
+                | Some _ | None -> ())
+            op.ro_sockets;
+          match !found with
+          | Some s -> s
+          | None ->
+            let s = Netstack.new_socket net Socket.Stream in
+            s.src_hint <- Some pod.rip;
+            (match Netstack.bind net s { Addr.ip = pod.rip; port } with
+             | Ok () -> ignore (Netstack.listen net s 64)
+             | Error e ->
+               Log.err (fun m ->
+                   m "restart: temp listener bind failed: %s" (Errno.to_string e)));
+            op.ro_temp_listeners <- s :: op.ro_temp_listeners;
+            s
+        in
+        let expected = ref entries in
+        let rec pump () =
+          if (not op.ro_aborted) && !expected <> [] then
+            match Netstack.accept_take listener with
+            | Some child ->
+              let remote = Option.get child.Socket.remote in
+              (match
+                 List.partition
+                   (fun (e : Meta.restart_entry) ->
+                     let want = Namespace.translate_addr_out ns e.ri_remote in
+                     Addr.equal want remote)
+                   !expected
+               with
+               | matched :: _, rest ->
+                 expected := rest;
+                 child.born_by_accept <- true;
+                 conn_established t op matched child
+               | [], _ ->
+                 (* unexpected connection during recovery: drop it *)
+                 Netstack.close net child);
+              pump ()
+            | None -> Socket.wait_readable listener pump
+        in
+        pump ())
+      by_port
+  end
+
+(* ...and the other establishes connections to remote pods (with retry:
+   the peer Agent may not have its listeners up yet). *)
+and run_connector_task t op connects =
+  let pod = op.ro_pod in
+  let ns = pod.Pod.ns in
+  let net = Kernel.netstack t.kernel in
+  let connect_one (e : Meta.restart_entry) =
+    let dst = Namespace.translate_addr_out ns e.ri_remote in
+    let rec attempt tries =
+      if (not op.ro_aborted) && tries < 200 then begin
+        let s = Netstack.new_socket net Socket.Stream in
+        s.src_hint <- Some pod.rip;
+        (* preserve the original source port (paper section 4) *)
+        let local = { Addr.ip = pod.rip; port = e.ri_local.port } in
+        match Netstack.bind net s local with
+        | Error _ -> after t (Simtime.ms 5) (fun () -> attempt (tries + 1))
+        | Ok () ->
+          (match Netstack.connect_start net s dst with
+           | Error _ -> after t (Simtime.ms 5) (fun () -> attempt (tries + 1))
+           | Ok () ->
+             let rec check () =
+               if not op.ro_aborted then
+                 match s.tcb with
+                 | Some tcb ->
+                   (match tcb.st with
+                    | Socket.St_established ->
+                      s.born_by_accept <- false;
+                      conn_established t op e s
+                    | Socket.St_syn_sent | Socket.St_syn_received ->
+                      Socket.wait_writable s check
+                    | Socket.St_closed ->
+                      Netstack.close net s;
+                      after t (Simtime.ms 10) (fun () -> attempt (tries + 1))
+                    | Socket.St_listen | Socket.St_fin_wait_1 | Socket.St_fin_wait_2
+                    | Socket.St_close_wait | Socket.St_closing | Socket.St_last_ack
+                    | Socket.St_time_wait -> Socket.wait_writable s check)
+                 | None -> ()
+             in
+             check ())
+      end
+      else if not op.ro_aborted then begin
+        op.ro_aborted <- true;
+        report_failure t pod.Pod.pod_id "connection recovery failed"
+      end
+    in
+    attempt 0
+  in
+  List.iter connect_one connects
+
+and connectivity_done t op =
+  op.ro_conn_done <- Engine.now t.engine;
+  trace t ~pod:op.ro_pod.pod_id "conns_recovered";
+  (* retire temporary listeners *)
+  let net = Kernel.netstack t.kernel in
+  List.iter (fun s -> Netstack.close net s) op.ro_temp_listeners;
+  op.ro_temp_listeners <- [];
+  restore_network_state t op
+
+(* step 3: restore the network state of every socket *)
+and restore_network_state t op =
+  let pod = op.ro_pod in
+  let ns = pod.Pod.ns in
+  let net = Kernel.netstack t.kernel in
+  let acked_of ref_ =
+    match
+      List.find_opt (fun (e : Meta.entry) -> e.sock_ref = ref_) op.ro_my_meta.pm_entries
+    with
+    | Some e -> e.acked
+    | None -> 0
+  in
+  let bytes = ref 0 in
+  (* established connections *)
+  List.iter
+    (fun (e : Meta.restart_entry) ->
+      if not e.ri_orphan then
+        match Hashtbl.find_opt op.ro_sockets e.ri_sock_ref with
+        | None -> ()
+        | Some s ->
+          let im = op.ro_sock_imgs.(e.ri_sock_ref) in
+          let send_data =
+            if op.ro_skip_sendq then ""
+            else
+              Sock_state.trim_overlap ~acked:(acked_of e.ri_sock_ref)
+                ~peer_recv:e.ri_peer_recv im.send_data
+          in
+          bytes := !bytes + String.length im.recv_data + String.length send_data;
+          Sock_state.restore_connection s im ~send_data
+      else begin
+        (* orphan: peer endpoint is gone; restore detached with its data *)
+        let s = Netstack.new_socket net Socket.Stream in
+        let im = op.ro_sock_imgs.(e.ri_sock_ref) in
+        bytes := !bytes + String.length im.recv_data;
+        Sock_state.restore_orphan s im;
+        Hashtbl.replace op.ro_sockets e.ri_sock_ref s
+      end)
+    op.ro_entries;
+  (* redirected peer send-queues are appended to the alternate queue *)
+  List.iter
+    (fun (ref_, data) ->
+      match Hashtbl.find_opt op.ro_sockets ref_ with
+      | Some s ->
+        bytes := !bytes + String.length data;
+        Socket.append_altqueue s data
+      | None -> ())
+    op.ro_extra_altq;
+  (* datagram/raw sockets, connecting sockets, accept-queue re-insertion *)
+  Array.iteri
+    (fun i (im : Sock_state.image) ->
+      match im.hl with
+      | `Plain when im.kind <> Socket.Stream ->
+        let s = Netstack.new_socket net im.kind in
+        s.src_hint <- Some pod.rip;
+        (match im.local with
+         | Some l ->
+           let real = Namespace.translate_addr_out ns l in
+           let real =
+             if Addr.equal_ip real.ip Addr.any then { real with Addr.ip = pod.rip }
+             else real
+           in
+           ignore (Netstack.bind net s real)
+         | None -> ());
+        (match im.remote with
+         | Some r -> ignore (Netstack.connect_start net s (Namespace.translate_addr_out ns r))
+         | None -> ());
+        Sock_state.restore_dgrams ~ns s im;
+        bytes := !bytes + Sock_state.bytes_saved im;
+        Hashtbl.replace op.ro_sockets i s
+      | `Plain ->
+        (* unconnected stream socket *)
+        let s = Netstack.new_socket net Socket.Stream in
+        s.src_hint <- Some pod.rip;
+        Sock_state.restore_options s im;
+        Hashtbl.replace op.ro_sockets i s
+      | `Conn Meta.Connecting ->
+        (* transient connection: the blocked connect re-executes on resume *)
+        let s = Netstack.new_socket net Socket.Stream in
+        s.src_hint <- Some pod.rip;
+        Sock_state.restore_options s im;
+        Hashtbl.replace op.ro_sockets i s
+      | `Conn _ | `Listener _ -> ())
+    op.ro_sock_imgs;
+  (* re-insert never-accepted connections into their listener's queue *)
+  Array.iteri
+    (fun i (im : Sock_state.image) ->
+      match im.queued_on with
+      | Some li ->
+        (match (Hashtbl.find_opt op.ro_sockets i, Hashtbl.find_opt op.ro_sockets li) with
+         | Some child, Some listener ->
+           Queue.add child listener.accept_q;
+           Socket.wake_readers listener
+         | _ -> ())
+      | None -> ())
+    op.ro_sock_imgs;
+  let cost =
+    jittered t
+      (Simtime.add t.params.net_restore_fixed
+         (Simtime.add
+            (Params.scale t.params.per_socket_restore (Array.length op.ro_sock_imgs))
+            (Params.copy_time ~bps:t.params.mem_bw !bytes)))
+  in
+  after t cost (fun () ->
+      if not op.ro_aborted then begin
+        op.ro_net_done <- Engine.now t.engine;
+        trace t ~pod:op.ro_pod.pod_id "net_restored";
+        restore_standalone t op
+      end)
+
+(* step 4: standalone restart, then resume without further delay *)
+and restore_standalone t op =
+  let pod = op.ro_pod in
+  let socket_of_ref i = Hashtbl.find_opt op.ro_sockets i in
+  let procs = Pod_ckpt.restore_processes pod op.ro_image ~socket_of_ref in
+  let mem_bytes = Pod_ckpt.memory_bytes_of_image op.ro_image in
+  let image_bytes = Zapc_codec.Wire.encoded_size op.ro_image + mem_bytes in
+  let cost =
+    jittered t
+      (Simtime.add t.params.restore_fixed
+         (Simtime.add
+            (Params.scale t.params.per_proc_restore (List.length procs))
+            (Params.copy_time ~bps:t.params.mem_bw image_bytes)))
+  in
+  after t cost (fun () ->
+      if not op.ro_aborted then begin
+        Pod.resume pod;
+        trace t ~pod:pod.pod_id "restart_resumed";
+        Hashtbl.remove t.restores pod.pod_id;
+        let stats =
+          {
+            Protocol.st_net_time = Simtime.sub op.ro_net_done op.ro_conn_done;
+            st_local_time = Simtime.sub (Engine.now t.engine) op.ro_started;
+            st_conn_time = Simtime.sub op.ro_conn_done op.ro_conn_started;
+            st_image_bytes = image_bytes;
+            st_net_bytes = 0;
+            st_sockets = Array.length op.ro_sock_imgs;
+            st_procs = List.length procs;
+          }
+        in
+        send_to_manager t
+          (Protocol.M_done
+             { node = t.node; pod_id = pod.pod_id; ok = true; detail = ""; stats })
+      end)
+
+(* ------------------------------------------------------------------ *)
+(* Abort paths (Manager failure / explicit abort)                      *)
+(* ------------------------------------------------------------------ *)
+
+let abort_checkpoint t pod_id =
+  match Hashtbl.find_opt t.ckpts pod_id with
+  | None -> ()
+  | Some op ->
+    op.co_aborted <- true;
+    Netfilter.unblock (nf t) op.co_pod.rip;
+    Pod.resume op.co_pod;
+    Hashtbl.remove t.ckpts pod_id
+
+let abort_restart t pod_id =
+  match Hashtbl.find_opt t.restores pod_id with
+  | None -> ()
+  | Some op ->
+    op.ro_aborted <- true;
+    Pod.destroy op.ro_pod;
+    forget_pod t pod_id;
+    Hashtbl.remove t.restores pod_id
+
+let abort_all t =
+  let cks = Hashtbl.fold (fun k _ acc -> k :: acc) t.ckpts [] in
+  List.iter (abort_checkpoint t) cks;
+  let rss = Hashtbl.fold (fun k _ acc -> k :: acc) t.restores [] in
+  List.iter (abort_restart t) rss
+
+(* ------------------------------------------------------------------ *)
+(* Wiring                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let handle_command t (msg : Protocol.to_agent) =
+  match msg with
+  | Protocol.A_checkpoint { pod_id; dest; resume } ->
+    start_checkpoint t ~pod_id ~dest ~resume
+  | Protocol.A_continue { pod_id } ->
+    (match Hashtbl.find_opt t.ckpts pod_id with
+     | Some op ->
+       op.co_continue <- true;
+       trace t ~pod:pod_id "continue_received";
+       maybe_finalize_ckpt t op
+     | None -> ())
+  | Protocol.A_abort { pod_id } ->
+    abort_checkpoint t pod_id;
+    abort_restart t pod_id
+  | Protocol.A_restart { pod_id; name; vip; rip; uri; entries; vip_map; extra_altq;
+                         skip_sendq } ->
+    start_restart t ~pod_id ~name ~vip ~rip ~uri ~entries ~vip_map ~extra_altq ~skip_sendq
+
+let attach_channel t (ch : Protocol.channel) =
+  t.chan <- Some ch;
+  Control.set_down_handler ch (fun msg -> handle_command t msg);
+  (* a broken Manager connection aborts every in-flight operation and lets
+     the application resume (paper section 4) *)
+  Control.on_break ch (fun () -> abort_all t)
+
+let set_peer_resolver t fn = t.peer_agents <- fn

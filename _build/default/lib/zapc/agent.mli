@@ -1,0 +1,59 @@
+(** The ZapC Agent: one per cluster node; executes the node-local sides of
+    the coordinated checkpoint (Figure 1) and restart (Figure 3) protocols.
+
+    Checkpoint: suspend the pod and block its network, save the network
+    state first, report the meta-data, run the standalone pod checkpoint
+    {e without waiting}, and gate only the final unblock/resume on the
+    Manager's 'continue'.  Restart: create an empty pod, re-establish
+    connectivity with two concurrent tasks (acceptor + connector — no
+    topology can deadlock), restore the network state, run the standalone
+    restart, and let the pod resume without further delay.
+
+    Commands normally arrive over the attached control channel; the direct
+    entry points below exist for tests. *)
+
+module Kernel = Zapc_simos.Kernel
+module Fabric = Zapc_simnet.Fabric
+module Pod = Zapc_pod.Pod
+module Meta = Zapc_netckpt.Meta
+module Addr = Zapc_simnet.Addr
+
+type t
+
+val create :
+  node:int -> params:Params.t -> storage:Storage.t -> fabric:Fabric.t -> Kernel.t -> t
+
+val attach_channel : t -> Protocol.channel -> unit
+(** Wire the Manager connection; a broken channel aborts every in-flight
+    operation and lets the applications resume (paper section 4). *)
+
+val set_peer_resolver : t -> (int -> t option) -> unit
+(** How to reach other Agents for direct migration streaming. *)
+
+val set_trace : t -> Trace.t -> unit
+(** Record the phase boundaries of this Agent's operations (Figure 2). *)
+
+val register_pod : t -> Pod.t -> unit
+val forget_pod : t -> int -> unit
+val find_pod : t -> int -> Pod.t option
+
+val handle_command : t -> Protocol.to_agent -> unit
+
+val start_checkpoint : t -> pod_id:int -> dest:Protocol.uri -> resume:bool -> unit
+
+val start_restart :
+  t ->
+  pod_id:int ->
+  name:string ->
+  vip:Addr.ip ->
+  rip:Addr.ip ->
+  uri:Protocol.uri ->
+  entries:Meta.restart_entry list ->
+  vip_map:(Addr.ip * Addr.ip) list ->
+  extra_altq:(int * string) list ->
+  skip_sendq:bool ->
+  unit
+
+val abort_checkpoint : t -> int -> unit
+val abort_restart : t -> int -> unit
+val abort_all : t -> unit

@@ -1,0 +1,182 @@
+(* Cluster assembly: the engine, the fabric, shared storage, N nodes (each a
+   kernel + an Agent), the Manager, and address allocation.  This is the
+   simulation analogue of the paper's testbed: blades on a Gigabit switch
+   with a SAN, one Agent per node, the Manager running alongside. *)
+
+module Simtime = Zapc_sim.Simtime
+module Engine = Zapc_sim.Engine
+module Addr = Zapc_simnet.Addr
+module Fabric = Zapc_simnet.Fabric
+module Netstack = Zapc_simnet.Netstack
+module Kernel = Zapc_simos.Kernel
+module Proc = Zapc_simos.Proc
+module Pod = Zapc_pod.Pod
+
+type node = {
+  n_idx : int;
+  n_kernel : Kernel.t;
+  n_agent : Agent.t;
+  n_host_ip : Addr.ip;
+  mutable n_rip_seq : int;
+}
+
+type t = {
+  engine : Engine.t;
+  fabric : Fabric.t;
+  storage : Storage.t;
+  params : Params.t;
+  nodes : node array;
+  manager : Manager.t;
+  mutable next_pod_id : int;
+  mutable next_vip_seq : int;
+}
+
+let make ?(seed = 42) ?(cpus = 1) ~params ~node_count () =
+  let engine = Engine.create ~seed () in
+  let fabric = Fabric.create ~config:params.Params.fabric engine in
+  let storage = Storage.create ~bps:params.Params.storage_bps engine in
+  (* one SAN-backed file system mounted by every node *)
+  let shared_fs = Zapc_simos.Simfs.create () in
+  let nodes =
+    Array.init node_count (fun i ->
+        let kernel =
+          Kernel.create ~config:params.Params.kconfig ~cpus
+            ~hostname:(Printf.sprintf "node%d" i) ~node_id:i fabric
+        in
+        let host_ip = Addr.make_ip 192 168 1 (i + 1) in
+        Netstack.add_ip (Kernel.netstack kernel) host_ip;
+        Kernel.set_fs kernel shared_fs;
+        let agent = Agent.create ~node:i ~params ~storage ~fabric kernel in
+        { n_idx = i; n_kernel = kernel; n_agent = agent; n_host_ip = host_ip; n_rip_seq = 0 })
+  in
+  let alloc_rip node_idx =
+    let n = nodes.(node_idx) in
+    n.n_rip_seq <- n.n_rip_seq + 1;
+    Addr.make_ip 172 16 n.n_idx (10 + n.n_rip_seq)
+  in
+  let manager = Manager.create ~engine ~params ~storage ~alloc_rip in
+  let t =
+    { engine; fabric; storage; params; nodes; manager; next_pod_id = 1; next_vip_seq = 0 }
+  in
+  Array.iter
+    (fun n ->
+      let ch =
+        Control.create ~engine ~latency:params.Params.ctrl_latency ~bps:params.Params.ctrl_bps
+      in
+      Manager.attach_agent manager ~node:n.n_idx ch;
+      Agent.attach_channel n.n_agent ch;
+      Agent.set_peer_resolver n.n_agent (fun idx ->
+          if idx >= 0 && idx < Array.length nodes then Some nodes.(idx).n_agent else None))
+    nodes;
+  t
+
+let engine t = t.engine
+let manager t = t.manager
+let storage t = t.storage
+let fabric t = t.fabric
+let node t i = t.nodes.(i)
+let node_count t = Array.length t.nodes
+let now t = Engine.now t.engine
+
+let alloc_vip t =
+  t.next_vip_seq <- t.next_vip_seq + 1;
+  Addr.make_ip 10 77 (t.next_vip_seq / 250) (1 + (t.next_vip_seq mod 250))
+
+let alloc_rip t node_idx =
+  let n = t.nodes.(node_idx) in
+  n.n_rip_seq <- n.n_rip_seq + 1;
+  Addr.make_ip 172 16 n.n_idx (10 + n.n_rip_seq)
+
+(* Create an (empty) pod on a node and register it with the node's Agent and
+   with the Manager's pod-info cache. *)
+let create_pod t ~node_idx ~name =
+  let pod_id = t.next_pod_id in
+  t.next_pod_id <- t.next_pod_id + 1;
+  let vip = alloc_vip t in
+  let rip = alloc_rip t node_idx in
+  let n = t.nodes.(node_idx) in
+  let pod = Pod.create ~pod_id ~name ~vip ~rip n.n_kernel in
+  pod.Pod.virtualize_time <- t.params.virtualize_time;
+  Agent.register_pod n.n_agent pod;
+  Manager.remember_pod t.manager ~pod_id ~name ~vip
+    { Zapc_netckpt.Meta.pm_pod = pod_id; pm_vip = vip; pm_entries = [] };
+  pod
+
+(* Attach a fresh protocol trace to the Manager and every Agent. *)
+let enable_trace t =
+  let tr = Trace.create () in
+  Manager.set_trace t.manager tr;
+  Array.iter (fun n -> Agent.set_trace n.n_agent tr) t.nodes;
+  tr
+
+(* Install the application-wide virtual address map on a group of pods that
+   form one distributed application. *)
+let link_pods pods =
+  let map = List.map (fun (p : Pod.t) -> (p.vip, p.rip)) pods in
+  List.iter (fun p -> Pod.set_vip_map p map) pods
+
+(* --- running --- *)
+
+let run t ?until ?max_events () = Engine.run ?until ?max_events t.engine
+
+exception Timeout of string
+
+(* Advance the simulation until [pred] holds; the engine is event-driven, so
+   we re-check after every batch of events. *)
+let run_until t ?(timeout = Simtime.sec 3600.0) pred =
+  let deadline = Simtime.add (Engine.now t.engine) timeout in
+  let rec go () =
+    if pred () then ()
+    else if Simtime.compare (Engine.now t.engine) deadline >= 0 then
+      raise (Timeout "Cluster.run_until")
+    else if Engine.pending t.engine = 0 then
+      raise (Timeout "Cluster.run_until: simulation quiescent but predicate false")
+    else begin
+      Engine.run ~max_events:64 ~until:deadline t.engine;
+      go ()
+    end
+  in
+  go ()
+
+let procs_exited procs = List.for_all (fun (p : Proc.t) -> p.exit_code <> None) procs
+
+(* --- synchronous wrappers over the Manager's callback API --- *)
+
+let checkpoint_sync t ~items ~resume =
+  let result = ref None in
+  Manager.checkpoint t.manager ~items ~resume ~on_done:(fun r -> result := Some r);
+  run_until t (fun () -> !result <> None);
+  Option.get !result
+
+let restart_sync t ~items =
+  let result = ref None in
+  Manager.restart t.manager ~items ~on_done:(fun r -> result := Some r);
+  run_until t (fun () -> !result <> None);
+  Option.get !result
+
+(* Take a snapshot of an application: checkpoint all its pods to storage and
+   let them keep running. *)
+let snapshot t ~(pods : Pod.t list) ~key_prefix =
+  let items =
+    List.map
+      (fun (p : Pod.t) ->
+        let node_idx =
+          match Fabric.node_of_ip t.fabric p.rip with Some n -> n | None -> -1
+        in
+        { Manager.ci_node = node_idx; ci_pod = p.pod_id;
+          ci_dest = Protocol.U_storage (Printf.sprintf "%s.pod%d" key_prefix p.pod_id) })
+      pods
+  in
+  checkpoint_sync t ~items ~resume:true
+
+(* Restart an application from storage onto the given nodes (same or
+   different from the originals). *)
+let restart_app t ~(pod_ids : int list) ~(target_nodes : int list) ~key_prefix =
+  let items =
+    List.map2
+      (fun pod_id node ->
+        { Manager.ri_node = node; ri_pod = pod_id;
+          ri_uri = Protocol.U_storage (Printf.sprintf "%s.pod%d" key_prefix pod_id) })
+      pod_ids target_nodes
+  in
+  restart_sync t ~items

@@ -1,0 +1,78 @@
+(** Cluster assembly: the engine, fabric, shared storage, N nodes (kernel +
+    Agent each), the Manager, and address allocation — the simulation
+    analogue of the paper's testbed (blades on a Gigabit switch with a SAN,
+    one Agent per node, the Manager alongside). *)
+
+module Simtime = Zapc_sim.Simtime
+module Engine = Zapc_sim.Engine
+module Addr = Zapc_simnet.Addr
+module Fabric = Zapc_simnet.Fabric
+module Kernel = Zapc_simos.Kernel
+module Proc = Zapc_simos.Proc
+module Pod = Zapc_pod.Pod
+
+type node = {
+  n_idx : int;
+  n_kernel : Kernel.t;
+  n_agent : Agent.t;
+  n_host_ip : Addr.ip;
+  mutable n_rip_seq : int;
+}
+
+type t
+
+val make : ?seed:int -> ?cpus:int -> params:Params.t -> node_count:int -> unit -> t
+
+val engine : t -> Engine.t
+val manager : t -> Manager.t
+val storage : t -> Storage.t
+val fabric : t -> Fabric.t
+val node : t -> int -> node
+val node_count : t -> int
+val now : t -> Simtime.t
+
+val alloc_vip : t -> Addr.ip
+(** Fresh virtual address (10.77.0.0/16 pool, disjoint from real subnets). *)
+
+val alloc_rip : t -> int -> Addr.ip
+(** Fresh real address on the given node (172.16.<node>.0/24). *)
+
+val create_pod : t -> node_idx:int -> name:string -> Pod.t
+(** Create an empty pod on a node, registered with its Agent and the
+    Manager's pod-info cache. *)
+
+val link_pods : Pod.t list -> unit
+(** Install the application-wide virtual address map on a pod group. *)
+
+val enable_trace : t -> Trace.t
+(** Attach a fresh protocol trace to the Manager and every Agent; returns it
+    for rendering/assertions ({!Trace.render_checkpoint}). *)
+
+(** {1 Running the simulation} *)
+
+val run : t -> ?until:Simtime.t -> ?max_events:int -> unit -> unit
+
+exception Timeout of string
+
+val run_until : t -> ?timeout:Simtime.t -> (unit -> bool) -> unit
+(** Advance until the predicate holds.
+    @raise Timeout if the deadline passes or the simulation goes quiescent
+    with the predicate still false. *)
+
+val procs_exited : Proc.t list -> bool
+
+(** {1 Synchronous wrappers over the Manager} *)
+
+val checkpoint_sync :
+  t -> items:Manager.ckpt_item list -> resume:bool -> Manager.op_result
+
+val restart_sync : t -> items:Manager.restart_item list -> Manager.op_result
+
+val snapshot : t -> pods:Pod.t list -> key_prefix:string -> Manager.op_result
+(** Checkpoint all pods of an application to storage keys
+    ["<prefix>.pod<id>"] and let them keep running. *)
+
+val restart_app :
+  t -> pod_ids:int list -> target_nodes:int list -> key_prefix:string -> Manager.op_result
+(** Restart an application from storage onto the given nodes (same or
+    different from the originals). *)

@@ -1,0 +1,308 @@
+(* The ZapC Manager: the front-end client that orchestrates coordinated
+   checkpoint and restart (Figures 1 and 3).
+
+   Checkpoint: broadcast 'checkpoint', gather the meta-data from every
+   Agent, broadcast 'continue' (the single synchronization point), gather
+   the completion statuses.  Restart: merge the meta-data into a new
+   connectivity map (substituting the destination addresses), derive the
+   connect/accept schedule, broadcast 'restart' with the per-pod
+   instructions, gather statuses.
+
+   The Manager keeps its Agent channels open for the whole operation; a
+   broken channel aborts the operation on both sides. *)
+
+module Simtime = Zapc_sim.Simtime
+module Engine = Zapc_sim.Engine
+module Addr = Zapc_simnet.Addr
+module Meta = Zapc_netckpt.Meta
+module Sock_state = Zapc_netckpt.Sock_state
+module Image = Zapc_ckpt.Image
+module Pod_ckpt = Zapc_ckpt.Pod_ckpt
+
+type ckpt_item = {
+  ci_node : int;
+  ci_pod : int;
+  ci_dest : Protocol.uri;
+}
+
+type restart_item = {
+  ri_node : int;
+  ri_pod : int;
+  ri_uri : Protocol.uri;
+}
+
+type op_result = {
+  r_ok : bool;
+  r_detail : string;
+  r_duration : Simtime.t;  (* invocation -> all Agents reported done *)
+  r_stats : (int * Protocol.agent_stats) list;  (* per pod *)
+  r_metas : Meta.pod_meta list;
+}
+
+(* cached per-pod facts learned during checkpoints, enabling restarts of
+   streamed images (whose bytes the Manager never sees) *)
+type pod_info = { pi_vip : Addr.ip; pi_name : string; pi_meta : Meta.pod_meta }
+
+type pending = {
+  mutable p_wait_meta : int list;  (* pods still to report meta *)
+  mutable p_wait_done : int list;
+  mutable p_stats : (int * Protocol.agent_stats) list;
+  mutable p_metas : Meta.pod_meta list;
+  mutable p_failed : string option;
+  p_items : (int * int) list;  (* (pod, node) *)
+  p_started : Simtime.t;
+  p_kind : [ `Checkpoint | `Restart ];
+  p_done : op_result -> unit;
+}
+
+type t = {
+  engine : Engine.t;
+  params : Params.t;
+  storage : Storage.t;
+  channels : (int, Protocol.channel) Hashtbl.t;  (* node -> channel *)
+  alloc_rip : int -> Addr.ip;
+  infos : (int, pod_info) Hashtbl.t;
+  mutable trace : Trace.t option;
+  mutable current : pending option;
+}
+
+let create ~engine ~params ~storage ~alloc_rip =
+  { engine; params; storage; channels = Hashtbl.create 8; alloc_rip;
+    infos = Hashtbl.create 16; trace = None; current = None }
+
+let set_trace t tr = t.trace <- Some tr
+
+let trace t what =
+  match t.trace with
+  | Some tr -> Trace.record tr ~time:(Engine.now t.engine) ~pod:(-1) what
+  | None -> ()
+
+let channel_to t node =
+  match Hashtbl.find_opt t.channels node with
+  | Some ch -> ch
+  | None -> invalid_arg (Printf.sprintf "Manager: no agent channel for node %d" node)
+
+let send t node msg = Control.send_down (channel_to t node) ~bytes:(Protocol.to_agent_bytes msg) msg
+
+let remember_pod t ~pod_id ~name ~vip meta =
+  Hashtbl.replace t.infos pod_id { pi_vip = vip; pi_name = name; pi_meta = meta }
+
+let finish t result =
+  match t.current with
+  | None -> ()
+  | Some p ->
+    t.current <- None;
+    p.p_done result
+
+let fail_op t detail =
+  match t.current with
+  | None -> ()
+  | Some p ->
+    if p.p_failed = None then begin
+      p.p_failed <- Some detail;
+      (* abort everyone still involved *)
+      List.iter (fun (pod, node) -> send t node (Protocol.A_abort { pod_id = pod })) p.p_items;
+      finish t
+        { r_ok = false; r_detail = detail;
+          r_duration = Simtime.sub (Engine.now t.engine) p.p_started;
+          r_stats = p.p_stats; r_metas = p.p_metas }
+    end
+
+let on_agent_message t (msg : Protocol.to_manager) =
+  match t.current with
+  | None -> ()
+  | Some p ->
+    (match msg with
+     | Protocol.M_meta { pod_id; meta; _ } ->
+       p.p_metas <- meta :: p.p_metas;
+       p.p_wait_meta <- List.filter (fun id -> id <> pod_id) p.p_wait_meta;
+       (match Hashtbl.find_opt t.infos pod_id with
+        | Some info -> Hashtbl.replace t.infos pod_id { info with pi_meta = meta }
+        | None -> ());
+       (* step 3 of Figure 1: when every Agent has reported its meta-data,
+          tell them all to continue *)
+       if p.p_wait_meta = [] && p.p_kind = `Checkpoint then begin
+         trace t "continue_broadcast";
+         List.iter
+           (fun (pod, node) -> send t node (Protocol.A_continue { pod_id = pod }))
+           p.p_items
+       end
+     | Protocol.M_done { pod_id; ok; detail; stats; _ } ->
+       if not ok then fail_op t (Printf.sprintf "pod %d: %s" pod_id detail)
+       else begin
+         p.p_stats <- (pod_id, stats) :: p.p_stats;
+         p.p_wait_done <- List.filter (fun id -> id <> pod_id) p.p_wait_done;
+         if p.p_wait_done = [] && (p.p_kind = `Restart || p.p_wait_meta = []) then
+           finish t
+             { r_ok = true; r_detail = "";
+               r_duration = Simtime.sub (Engine.now t.engine) p.p_started;
+               r_stats = p.p_stats; r_metas = p.p_metas }
+       end)
+
+let attach_agent t ~node (ch : Protocol.channel) =
+  Hashtbl.replace t.channels node ch;
+  Control.set_up_handler ch (fun msg -> on_agent_message t msg);
+  Control.on_break ch (fun () -> fail_op t (Printf.sprintf "agent on node %d failed" node))
+
+(* failure injection for tests and demos: sever the control connection to
+   one Agent (both sides then abort, per section 4) *)
+let break_channel t ~node =
+  match Hashtbl.find_opt t.channels node with
+  | Some ch -> Control.break ch
+  | None -> ()
+
+(* --- checkpoint --- *)
+
+let checkpoint t ~(items : ckpt_item list) ~(resume : bool) ~(on_done : op_result -> unit)
+  =
+  if t.current <> None then invalid_arg "Manager: operation already in progress";
+  let p =
+    {
+      p_wait_meta = List.map (fun i -> i.ci_pod) items;
+      p_wait_done = List.map (fun i -> i.ci_pod) items;
+      p_stats = [];
+      p_metas = [];
+      p_failed = None;
+      p_items = List.map (fun i -> (i.ci_pod, i.ci_node)) items;
+      p_started = Engine.now t.engine;
+      p_kind = `Checkpoint;
+      p_done = on_done;
+    }
+  in
+  t.current <- Some p;
+  trace t "ckpt_broadcast";
+  List.iter
+    (fun i ->
+      send t i.ci_node (Protocol.A_checkpoint { pod_id = i.ci_pod; dest = i.ci_dest; resume }))
+    items
+
+(* --- restart --- *)
+
+(* Collect (meta, vip, name, image option) for one restart item. *)
+let pod_facts t (item : restart_item) =
+  match item.ri_uri with
+  | Protocol.U_storage key ->
+    (match Storage.get t.storage key with
+     | None -> Error (Printf.sprintf "no image at %s" key)
+     | Some image ->
+       let v = Image.to_pod_image image in
+       Ok
+         ( Pod_ckpt.meta_of_image v,
+           Pod_ckpt.vip_of_image v,
+           Pod_ckpt.name_of_image v,
+           Some v ))
+  | Protocol.U_node _ ->
+    (match Hashtbl.find_opt t.infos item.ri_pod with
+     | None -> Error (Printf.sprintf "no cached meta for streamed pod %d" item.ri_pod)
+     | Some info -> Ok (info.pi_meta, info.pi_vip, info.pi_name, None))
+
+(* The send-queue redirection optimization (paper section 5): instead of
+   resending each send queue over the re-established connection, merge it
+   into the *peer's* checkpoint stream so it travels once.  Requires access
+   to the images, so it applies to storage-based restarts. *)
+let redirected_altq ~metas ~images (pod_id : int) (entries : Meta.restart_entry list) =
+  let find_meta vip =
+    List.find_opt (fun (pm : Meta.pod_meta) -> Addr.equal_ip pm.pm_vip vip) metas
+  in
+  List.filter_map
+    (fun (e : Meta.restart_entry) ->
+      if e.ri_orphan then None
+      else
+        match find_meta e.ri_remote.ip with
+        | None -> None
+        | Some peer_meta ->
+          (match
+             ( List.find_opt
+                 (fun (pe : Meta.entry) ->
+                   Addr.equal pe.local e.ri_remote && Addr.equal pe.remote e.ri_local)
+                 peer_meta.pm_entries,
+               List.assoc_opt peer_meta.pm_pod images )
+           with
+           | Some peer_entry, Some peer_image ->
+             let peer_socks = Pod_ckpt.sockets_of_image peer_image in
+             let im = peer_socks.(peer_entry.sock_ref) in
+             let my_recv =
+               (* my rcv_nxt = what I already have of the peer's stream *)
+               match
+                 List.find_opt
+                   (fun (pm : Meta.pod_meta) -> pm.pm_pod = pod_id)
+                   metas
+               with
+               | Some my_meta ->
+                 (match
+                    List.find_opt
+                      (fun (me : Meta.entry) -> me.sock_ref = e.ri_sock_ref)
+                      my_meta.pm_entries
+                  with
+                  | Some me -> me.recv
+                  | None -> peer_entry.acked)
+               | None -> peer_entry.acked
+             in
+             let data =
+               Sock_state.trim_overlap ~acked:peer_entry.acked ~peer_recv:my_recv
+                 im.Sock_state.send_data
+             in
+             if String.length data = 0 then None else Some (e.ri_sock_ref, data)
+           | _, _ -> None))
+    entries
+
+let restart t ~(items : restart_item list) ~(on_done : op_result -> unit) =
+  if t.current <> None then invalid_arg "Manager: operation already in progress";
+  let facts = List.map (fun i -> (i, pod_facts t i)) items in
+  match List.find_opt (fun (_, f) -> Result.is_error f) facts with
+  | Some (_, Error msg) ->
+    on_done
+      { r_ok = false; r_detail = msg; r_duration = Simtime.zero; r_stats = []; r_metas = [] }
+  | Some (_, Ok _) | None ->
+    let facts =
+      List.map
+        (fun (i, f) -> match f with Ok x -> (i, x) | Error _ -> assert false)
+        facts
+    in
+    let metas = List.map (fun (_, (m, _, _, _)) -> m) facts in
+    let images =
+      List.filter_map
+        (fun (i, (_, _, _, img)) -> Option.map (fun v -> (i.ri_pod, v)) img)
+        facts
+    in
+    (* the new connectivity map: virtual addresses -> destination reals *)
+    let vip_map =
+      List.map (fun (i, (_, vip, _, _)) -> (vip, t.alloc_rip i.ri_node)) facts
+    in
+    let schedule = Meta.build_schedule metas in
+    let redirect =
+      t.params.redirect_sendq && List.length images = List.length items
+    in
+    let p =
+      {
+        p_wait_meta = [];
+        p_wait_done = List.map (fun i -> i.ri_pod) items;
+        p_stats = [];
+        p_metas = metas;
+        p_failed = None;
+        p_items = List.map (fun i -> (i.ri_pod, i.ri_node)) items;
+        p_started = Engine.now t.engine;
+        p_kind = `Restart;
+        p_done = on_done;
+      }
+    in
+    t.current <- Some p;
+    List.iter2
+      (fun item (i, (_, vip, name, _)) ->
+        assert (item == i);
+        let entries =
+          match List.assoc_opt item.ri_pod schedule with Some e -> e | None -> []
+        in
+        let extra_altq =
+          if redirect then redirected_altq ~metas ~images item.ri_pod entries else []
+        in
+        let rip =
+          match List.assoc_opt vip vip_map with Some r -> r | None -> vip
+        in
+        send t item.ri_node
+          (Protocol.A_restart
+             { pod_id = item.ri_pod; name; vip; rip; uri = item.ri_uri; entries; vip_map;
+               extra_altq; skip_sendq = redirect }))
+      items facts
+
+let busy t = t.current <> None

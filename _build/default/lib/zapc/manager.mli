@@ -1,0 +1,74 @@
+(** The ZapC Manager: the front-end client that orchestrates coordinated
+    checkpoint and restart (paper Figures 1 and 3).
+
+    Checkpoint: broadcast 'checkpoint', gather the meta-data from every
+    Agent, broadcast 'continue' (the protocol's single synchronization
+    point), gather completion statuses.  Restart: merge the meta-data into a
+    new connectivity map (substituting destination addresses), derive the
+    connect/accept schedule, broadcast 'restart' with per-pod instructions,
+    gather statuses.  A broken Agent channel aborts the operation on both
+    sides and the application resumes.
+
+    One operation runs at a time ({!busy}). *)
+
+module Simtime = Zapc_sim.Simtime
+module Engine = Zapc_sim.Engine
+module Addr = Zapc_simnet.Addr
+module Meta = Zapc_netckpt.Meta
+
+type ckpt_item = {
+  ci_node : int;
+  ci_pod : int;
+  ci_dest : Protocol.uri;
+}
+(** One <<node, pod, URI>> tuple of a checkpoint request. *)
+
+type restart_item = {
+  ri_node : int;  (** destination node (may differ from the original) *)
+  ri_pod : int;
+  ri_uri : Protocol.uri;
+}
+
+type op_result = {
+  r_ok : bool;
+  r_detail : string;
+  r_duration : Simtime.t;  (** invocation -> all Agents reported done *)
+  r_stats : (int * Protocol.agent_stats) list;  (** per pod *)
+  r_metas : Meta.pod_meta list;
+}
+
+type t
+
+val create :
+  engine:Engine.t ->
+  params:Params.t ->
+  storage:Storage.t ->
+  alloc_rip:(int -> Addr.ip) ->
+  t
+(** [alloc_rip node] must yield a fresh real address on [node] (used to
+    build the restart connectivity map before pods are created). *)
+
+val attach_agent : t -> node:int -> Protocol.channel -> unit
+
+val set_trace : t -> Trace.t -> unit
+(** Record broadcast/synchronization instants (Figure 2). *)
+
+val remember_pod : t -> pod_id:int -> name:string -> vip:Addr.ip -> Meta.pod_meta -> unit
+(** Seed the per-pod fact cache (updated by checkpoint meta reports); this
+    is what allows restarting directly-streamed images whose bytes the
+    Manager never sees. *)
+
+val checkpoint :
+  t -> items:ckpt_item list -> resume:bool -> on_done:(op_result -> unit) -> unit
+(** [resume = true] takes a snapshot (pods continue afterwards);
+    [resume = false] is the migration path (pods are destroyed and their
+    images shipped to the URI destinations).
+    @raise Invalid_argument if an operation is already in progress. *)
+
+val restart : t -> items:restart_item list -> on_done:(op_result -> unit) -> unit
+
+val busy : t -> bool
+
+val break_channel : t -> node:int -> unit
+(** Failure injection (tests/demos): sever the control connection to one
+    Agent; both sides abort gracefully per paper section 4. *)

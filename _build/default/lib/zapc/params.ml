@@ -1,0 +1,72 @@
+(* Global configuration of a simulated ZapC cluster: the fabric and kernel
+   cost models plus the checkpoint-restart specific knobs and the ablation
+   switches. *)
+
+module Simtime = Zapc_sim.Simtime
+module Fabric = Zapc_simnet.Fabric
+module Kconfig = Zapc_simos.Kconfig
+
+type t = {
+  fabric : Fabric.config;
+  kconfig : Kconfig.t;
+  (* Manager <-> Agent control plane *)
+  ctrl_latency : Simtime.t;
+  ctrl_bps : float;
+  (* checkpoint-restart cost model *)
+  per_proc_ckpt : Simtime.t;  (* fixed kernel work to save one process *)
+  per_proc_restore : Simtime.t;
+  per_socket_ckpt : Simtime.t;
+  per_socket_restore : Simtime.t;
+  net_ckpt_fixed : Simtime.t;  (* walk socket tables, sync with netfilter *)
+  net_restore_fixed : Simtime.t;
+  netfilter_cost : Simtime.t;  (* install/remove the block rules *)
+  ckpt_fixed : Simtime.t;  (* per-pod quiesce + kernel-object enumeration *)
+  restore_fixed : Simtime.t;  (* per-pod image validation + object re-creation *)
+  pod_create_cost : Simtime.t;
+  mem_bw : float;  (* image write/read bandwidth to memory, bytes/s *)
+  storage_bps : float;  (* SAN flush bandwidth (not in checkpoint time) *)
+  cost_jitter : float;
+  (* relative uniform jitter on agent-side costs, modelling background
+     activity and cache effects (the paper reports checkpoint-time std-devs
+     of 10-60% of the average) *)
+  fs_snapshot : bool;
+  (* take a file-system snapshot of the pod's directory immediately prior
+     to reactivating it (paper section 4); the copy cost extends the pause *)
+  (* design switches (ablations) *)
+  redirect_sendq : bool;  (* merge send queues into the peer's ckpt stream *)
+  serial_ckpt : bool;  (* barrier before the standalone checkpoint (OFF in ZapC) *)
+  peek_mode : bool;  (* Cruz-style receive-queue capture (flawed baseline) *)
+  virtualize_time : bool;
+}
+
+let default =
+  {
+    fabric = Fabric.default_config;
+    kconfig = Kconfig.default;
+    ctrl_latency = Simtime.us 120;
+    ctrl_bps = 1e9;
+    per_proc_ckpt = Simtime.us 400;
+    per_proc_restore = Simtime.us 700;
+    per_socket_ckpt = Simtime.us 400;
+    per_socket_restore = Simtime.ms 3;
+    net_ckpt_fixed = Simtime.us 2500;
+    net_restore_fixed = Simtime.ms 8;
+    netfilter_cost = Simtime.us 30;
+    ckpt_fixed = Simtime.ms 85;
+    restore_fixed = Simtime.ms 160;
+    pod_create_cost = Simtime.ms 2;
+    mem_bw = 1.5e9;
+    storage_bps = 180e6;
+    cost_jitter = 0.35;
+    fs_snapshot = false;
+    redirect_sendq = false;
+    serial_ckpt = false;
+    peek_mode = false;
+    virtualize_time = true;
+  }
+
+(* Virtual time to copy [bytes] at [bps]. *)
+let copy_time ~bps bytes =
+  Simtime.ns (int_of_float (float_of_int bytes /. bps *. 1e9))
+
+let scale t k = Simtime.ns (t * k)

@@ -1,0 +1,111 @@
+(* Periodic checkpoint service: the paper's fault-resilience use case as a
+   reusable facility.  Snapshots a set of pods every [period] under rotating
+   storage keys, remembers the last epoch that completed successfully, and
+   can recover the whole application from it onto a new set of nodes.
+
+   Epochs that would overlap a still-running Manager operation are skipped
+   (checkpoints must not queue up behind a slow one); old images beyond
+   [keep] epochs are pruned from storage. *)
+
+module Simtime = Zapc_sim.Simtime
+module Engine = Zapc_sim.Engine
+module Pod = Zapc_pod.Pod
+
+type t = {
+  cluster : Cluster.t;
+  pods : Pod.t list;
+  prefix : string;
+  period : Simtime.t;
+  keep : int;
+  mutable epoch : int;
+  mutable last_good : int;
+  mutable completed : int;
+  mutable skipped : int;
+  mutable stopped : bool;
+  mutable on_epoch : int -> Manager.op_result -> unit;
+}
+
+let key t epoch = Printf.sprintf "%s.e%d" t.prefix epoch
+
+let items_for t epoch =
+  List.map
+    (fun (p : Pod.t) ->
+      let node =
+        match Zapc_simnet.Fabric.node_of_ip (Cluster.fabric t.cluster) p.rip with
+        | Some n -> n
+        | None -> 0
+      in
+      { Manager.ci_node = node; ci_pod = p.pod_id;
+        ci_dest = Protocol.U_storage (Printf.sprintf "%s.pod%d" (key t epoch) p.pod_id) })
+    t.pods
+
+let prune t epoch =
+  if epoch > t.keep then begin
+    let storage = Cluster.storage t.cluster in
+    List.iter
+      (fun (p : Pod.t) ->
+        Storage.remove storage
+          (Printf.sprintf "%s.pod%d" (key t (epoch - t.keep)) p.pod_id))
+      t.pods
+  end
+
+(* a useful epoch needs every pod of the application intact *)
+let pods_alive t =
+  List.for_all
+    (fun (p : Pod.t) -> Pod.find p.pod_id <> None && Pod.member_count p > 0)
+    t.pods
+
+let rec tick t =
+  Engine.schedule (Cluster.engine t.cluster) ~delay:t.period (fun () ->
+      if not t.stopped then begin
+        if not (pods_alive t) then t.stopped <- true
+        else if Manager.busy (Cluster.manager t.cluster) then begin
+          t.skipped <- t.skipped + 1;
+          tick t
+        end
+        else begin
+          t.epoch <- t.epoch + 1;
+          let epoch = t.epoch in
+          Manager.checkpoint (Cluster.manager t.cluster) ~items:(items_for t epoch)
+            ~resume:true
+            ~on_done:(fun r ->
+              if r.Manager.r_ok && not t.stopped then begin
+                t.last_good <- epoch;
+                t.completed <- t.completed + 1;
+                prune t epoch
+              end;
+              t.on_epoch epoch r);
+          tick t
+        end
+      end)
+
+let start cluster ~pods ~prefix ~period ?(keep = 2) () =
+  let t =
+    { cluster; pods; prefix; period; keep; epoch = 0; last_good = 0; completed = 0;
+      skipped = 0; stopped = false; on_epoch = (fun _ _ -> ()) }
+  in
+  tick t;
+  t
+
+let stop t = t.stopped <- true
+let last_good t = t.last_good
+let completed t = t.completed
+let skipped t = t.skipped
+let set_on_epoch t fn = t.on_epoch <- fn
+
+(* Recover the application from the last good epoch onto [target_nodes]
+   (surviving pods are torn down first). *)
+let recover t ~target_nodes =
+  if t.last_good = 0 then
+    { Manager.r_ok = false; r_detail = "no completed snapshot"; r_duration = Simtime.zero;
+      r_stats = []; r_metas = [] }
+  else begin
+    stop t;
+    List.iter
+      (fun (p : Pod.t) ->
+        match Pod.find p.pod_id with Some pod -> Pod.destroy pod | None -> ())
+      t.pods;
+    Cluster.restart_app t.cluster
+      ~pod_ids:(List.map (fun (p : Pod.t) -> p.Pod.pod_id) t.pods)
+      ~target_nodes ~key_prefix:(key t t.last_good)
+  end

@@ -1,0 +1,35 @@
+(** Periodic checkpoint service: the paper's fault-resilience use case as a
+    reusable facility.
+
+    Snapshots a pod group every [period] under rotating storage keys,
+    remembers the last epoch that completed, prunes images older than [keep]
+    epochs, and can {!recover} the whole application from the last good
+    epoch onto a new set of nodes.  Epochs that would overlap a running
+    Manager operation are skipped, not queued. *)
+
+module Simtime = Zapc_sim.Simtime
+module Pod = Zapc_pod.Pod
+
+type t
+
+val start :
+  Cluster.t ->
+  pods:Pod.t list ->
+  prefix:string ->
+  period:Simtime.t ->
+  ?keep:int ->
+  unit ->
+  t
+(** Begin ticking; stops by itself once no pod of the group is alive. *)
+
+val stop : t -> unit
+val last_good : t -> int
+(** Last epoch whose coordinated checkpoint completed (0 = none yet). *)
+
+val completed : t -> int
+val skipped : t -> int
+val set_on_epoch : t -> (int -> Manager.op_result -> unit) -> unit
+
+val recover : t -> target_nodes:int list -> Manager.op_result
+(** Stop the service, destroy any surviving pods, restart from the last
+    good epoch on [target_nodes]. *)

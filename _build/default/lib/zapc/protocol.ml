@@ -1,0 +1,73 @@
+(* Wire protocol between the Manager and the Agents (Figures 1 and 3).
+
+   A user request names the application as a list of <<node, pod, URI>>
+   tuples; a URI is either a shared-storage key or the address of a
+   receiving Agent (direct migration streaming, paper section 4). *)
+
+module Simtime = Zapc_sim.Simtime
+module Addr = Zapc_simnet.Addr
+module Meta = Zapc_netckpt.Meta
+module Image = Zapc_ckpt.Image
+
+type uri =
+  | U_storage of string  (* key in the shared storage *)
+  | U_node of int  (* stream directly to the Agent on this node *)
+
+let uri_to_string = function
+  | U_storage k -> "file://" ^ k
+  | U_node n -> Printf.sprintf "agent://node%d" n
+
+(* --- per-operation statistics reported by Agents --- *)
+
+type agent_stats = {
+  st_net_time : Simtime.t;  (* network-state save/restore time *)
+  st_local_time : Simtime.t;  (* total local operation time *)
+  st_conn_time : Simtime.t;  (* restart: connectivity recovery time *)
+  st_image_bytes : int;  (* logical image size *)
+  st_net_bytes : int;  (* network-state bytes (queues + meta) *)
+  st_sockets : int;
+  st_procs : int;
+}
+
+let zero_stats =
+  { st_net_time = 0; st_local_time = 0; st_conn_time = 0; st_image_bytes = 0;
+    st_net_bytes = 0; st_sockets = 0; st_procs = 0 }
+
+(* --- messages --- *)
+
+type to_agent =
+  | A_checkpoint of { pod_id : int; dest : uri; resume : bool }
+  | A_continue of { pod_id : int }
+  | A_abort of { pod_id : int }
+  | A_restart of {
+      pod_id : int;
+      name : string;
+      vip : Addr.ip;
+      rip : Addr.ip;  (* pre-allocated real address on the target node *)
+      uri : uri;
+      entries : Meta.restart_entry list;
+      vip_map : (Addr.ip * Addr.ip) list;
+      extra_altq : (int * string) list;  (* sock_ref -> redirected peer data *)
+      skip_sendq : bool;  (* send queues were redirected; do not resend *)
+    }
+
+type to_manager =
+  | M_meta of { node : int; pod_id : int; meta : Meta.pod_meta; meta_bytes : int }
+  | M_done of { node : int; pod_id : int; ok : bool; detail : string; stats : agent_stats }
+
+(* Rough message sizes for the control-plane cost model. *)
+let to_agent_bytes = function
+  | A_checkpoint _ -> 64
+  | A_continue _ -> 16
+  | A_abort _ -> 16
+  | A_restart r ->
+    128
+    + (List.length r.entries * 64)
+    + (List.length r.vip_map * 8)
+    + List.fold_left (fun acc (_, d) -> acc + String.length d) 0 r.extra_altq
+
+let to_manager_bytes = function
+  | M_meta m -> 32 + m.meta_bytes
+  | M_done _ -> 64
+
+type channel = (to_manager, to_agent) Control.t

@@ -1,0 +1,56 @@
+(** Wire protocol between the Manager and the Agents (Figures 1 and 3).
+
+    A user request names the application as a list of <<node, pod, URI>>
+    tuples; a URI is either a shared-storage key or the address of a
+    receiving Agent (direct migration streaming, paper section 4). *)
+
+module Simtime = Zapc_sim.Simtime
+module Addr = Zapc_simnet.Addr
+module Meta = Zapc_netckpt.Meta
+
+type uri =
+  | U_storage of string  (** key in the shared storage *)
+  | U_node of int  (** stream directly to the Agent on this node *)
+
+val uri_to_string : uri -> string
+
+type agent_stats = {
+  st_net_time : Simtime.t;  (** network-state save/restore time *)
+  st_local_time : Simtime.t;  (** total local operation time *)
+  st_conn_time : Simtime.t;  (** restart: connectivity recovery time *)
+  st_image_bytes : int;  (** logical image size *)
+  st_net_bytes : int;  (** encoded network-state section size *)
+  st_sockets : int;
+  st_procs : int;
+}
+
+val zero_stats : agent_stats
+
+type to_agent =
+  | A_checkpoint of { pod_id : int; dest : uri; resume : bool }
+  | A_continue of { pod_id : int }  (** the single synchronization point *)
+  | A_abort of { pod_id : int }
+  | A_restart of {
+      pod_id : int;
+      name : string;
+      vip : Addr.ip;
+      rip : Addr.ip;  (** pre-allocated real address on the target node *)
+      uri : uri;
+      entries : Meta.restart_entry list;
+      vip_map : (Addr.ip * Addr.ip) list;  (** the new connectivity map *)
+      extra_altq : (int * string) list;
+          (** sock_ref -> redirected peer send-queue data (section 5
+              optimization) *)
+      skip_sendq : bool;  (** send queues were redirected; do not resend *)
+    }
+
+type to_manager =
+  | M_meta of { node : int; pod_id : int; meta : Meta.pod_meta; meta_bytes : int }
+  | M_done of { node : int; pod_id : int; ok : bool; detail : string; stats : agent_stats }
+
+val to_agent_bytes : to_agent -> int
+(** Approximate message size for the control-plane cost model. *)
+
+val to_manager_bytes : to_manager -> int
+
+type channel = (to_manager, to_agent) Control.t

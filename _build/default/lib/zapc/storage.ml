@@ -1,0 +1,42 @@
+(* Shared storage infrastructure (the SAN/NAS of the paper's cluster).
+
+   Checkpoint images are written to memory during the checkpoint (that cost
+   is part of the checkpoint time) and can be flushed to shared storage
+   afterwards, which every node can read — this is what lets a restart
+   happen on a different set of nodes.  Flushing is deliberately *not* part
+   of the checkpoint latency, matching the paper's measurement methodology. *)
+
+module Simtime = Zapc_sim.Simtime
+module Engine = Zapc_sim.Engine
+module Image = Zapc_ckpt.Image
+
+type t = {
+  engine : Engine.t;
+  bps : float;
+  latency : Simtime.t;
+  images : (string, Image.t) Hashtbl.t;
+  mutable bytes_written : int;
+}
+
+let create ?(bps = 180e6) ?(latency = Simtime.us 500) engine =
+  { engine; bps; latency; images = Hashtbl.create 16; bytes_written = 0 }
+
+let put t key image =
+  Hashtbl.replace t.images key image;
+  t.bytes_written <- t.bytes_written + image.Image.logical_size
+
+let get t key = Hashtbl.find_opt t.images key
+let mem t key = Hashtbl.mem t.images key
+let remove t key = Hashtbl.remove t.images key
+
+(* Model the asynchronous flush of an already-stored image to disk. *)
+let flush_time t key =
+  match get t key with
+  | None -> Simtime.zero
+  | Some image ->
+    Simtime.add t.latency
+      (Simtime.ns (int_of_float (float_of_int image.Image.logical_size /. t.bps *. 1e9)))
+
+let flush t key ~on_done = Engine.schedule t.engine ~delay:(flush_time t key) on_done
+
+let keys t = Hashtbl.fold (fun k _ acc -> k :: acc) t.images [] |> List.sort String.compare

@@ -1,0 +1,25 @@
+(** Shared storage (the SAN/NAS of the paper's cluster).
+
+    Checkpoint images are written to memory during the checkpoint (that cost
+    is part of the checkpoint time) and can be flushed to shared storage
+    afterwards; flushing is deliberately {e not} part of the checkpoint
+    latency, matching the paper's methodology.  Every node reads the same
+    store, which is what allows restarting on a different set of nodes. *)
+
+module Simtime = Zapc_sim.Simtime
+module Engine = Zapc_sim.Engine
+module Image = Zapc_ckpt.Image
+
+type t
+
+val create : ?bps:float -> ?latency:Simtime.t -> Engine.t -> t
+val put : t -> string -> Image.t -> unit
+val get : t -> string -> Image.t option
+val mem : t -> string -> bool
+val remove : t -> string -> unit
+
+val flush_time : t -> string -> Simtime.t
+(** Virtual time to flush the named image to disk at the SAN bandwidth. *)
+
+val flush : t -> string -> on_done:(unit -> unit) -> unit
+val keys : t -> string list

@@ -1,0 +1,68 @@
+(* Protocol tracing: records the phase boundaries of coordinated
+   checkpoint/restart operations so the Figure-2 timeline of the paper can
+   be rendered (and asserted on) — in particular that the standalone
+   checkpoint overlaps the Manager synchronization and that unblock waits
+   for both. *)
+
+module Simtime = Zapc_sim.Simtime
+
+type event = {
+  ev_time : Simtime.t;
+  ev_pod : int;  (* -1 for Manager-level events *)
+  ev_what : string;
+}
+
+type t = { mutable events : event list; mutable enabled : bool }
+
+let create () = { events = []; enabled = true }
+
+let record t ~time ~pod what =
+  if t.enabled then t.events <- { ev_time = time; ev_pod = pod; ev_what = what } :: t.events
+
+let events t = List.rev t.events
+let clear t = t.events <- []
+
+let find t ~pod what =
+  List.find_opt (fun e -> e.ev_pod = pod && String.equal e.ev_what what) (events t)
+
+let pods t =
+  List.sort_uniq Int.compare
+    (List.filter_map (fun e -> if e.ev_pod >= 0 then Some e.ev_pod else None) (events t))
+
+(* Render the coordinated-checkpoint timeline (one line per pod, phases as
+   offsets from the Manager's invocation), in the spirit of Figure 2. *)
+let render_checkpoint t : string =
+  let buf = Buffer.create 512 in
+  let t0 =
+    match find t ~pod:(-1) "ckpt_broadcast" with
+    | Some e -> e.ev_time
+    | None -> (match events t with e :: _ -> e.ev_time | [] -> Simtime.zero)
+  in
+  let off time = Simtime.to_ms (Simtime.sub time t0) in
+  let phase pod what =
+    match find t ~pod what with Some e -> Some (off e.ev_time) | None -> None
+  in
+  let fmt = function Some v -> Printf.sprintf "%7.2f" v | None -> "      -" in
+  Buffer.add_string buf
+    "checkpoint timeline (ms after Manager broadcast; Figure 2 of the paper)\n";
+  Buffer.add_string buf
+    (Printf.sprintf "%-6s %7s %7s %7s %7s %7s %7s\n" "pod" "suspnd" "netck" "meta"
+       "standa" "contin" "resume");
+  List.iter
+    (fun pod ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-6d %s %s %s %s %s %s\n" pod
+           (fmt (phase pod "suspended"))
+           (fmt (phase pod "net_ckpt_done"))
+           (fmt (phase pod "meta_sent"))
+           (fmt (phase pod "standalone_done"))
+           (fmt (phase pod "continue_received"))
+           (fmt (phase pod "resumed"))))
+    (pods t);
+  (match find t ~pod:(-1) "continue_broadcast" with
+   | Some e ->
+     Buffer.add_string buf
+       (Printf.sprintf "manager: all meta-data received, 'continue' sent at %7.2f\n"
+          (off e.ev_time))
+   | None -> ());
+  Buffer.contents buf

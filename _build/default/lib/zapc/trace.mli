@@ -1,0 +1,24 @@
+(** Protocol tracing: phase boundaries of coordinated checkpoint/restart
+    operations, for rendering (and asserting on) the paper's Figure-2
+    timeline — in particular that the standalone checkpoint overlaps the
+    Manager synchronization and that resume gates on both conditions. *)
+
+module Simtime = Zapc_sim.Simtime
+
+type event = {
+  ev_time : Simtime.t;
+  ev_pod : int;  (** -1 for Manager-level events *)
+  ev_what : string;
+}
+
+type t
+
+val create : unit -> t
+val record : t -> time:Simtime.t -> pod:int -> string -> unit
+val events : t -> event list
+val clear : t -> unit
+val find : t -> pod:int -> string -> event option
+val pods : t -> int list
+
+val render_checkpoint : t -> string
+(** One line per pod with phase offsets (ms) from the Manager broadcast. *)

@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Float Lazy List Option Printf QCheck QCheck_alcotest Scanf String Zapc Zapc_apps Zapc_codec Zapc_msg Zapc_pod Zapc_sim Zapc_simos

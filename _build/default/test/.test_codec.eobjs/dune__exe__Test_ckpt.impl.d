@@ -1,0 +1,1 @@
+test/test_ckpt.ml: Alcotest List Option String Zapc_ckpt Zapc_codec Zapc_netckpt Zapc_pod Zapc_sim Zapc_simnet Zapc_simos

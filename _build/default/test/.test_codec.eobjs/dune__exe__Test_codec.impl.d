@@ -1,0 +1,1 @@
+test/test_codec.ml: Alcotest Array Bytes Char Float Gen List QCheck QCheck_alcotest String Zapc_codec

@@ -1,0 +1,1 @@
+test/test_msg.ml: Alcotest Array Float List Printf QCheck QCheck_alcotest String Zapc Zapc_apps Zapc_codec Zapc_msg Zapc_pod Zapc_sim Zapc_simos

@@ -1,0 +1,1 @@
+test/test_pod.ml: Alcotest List Printf String Zapc_codec Zapc_pod Zapc_sim Zapc_simnet Zapc_simos

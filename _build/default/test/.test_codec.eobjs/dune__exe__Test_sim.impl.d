@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Int List QCheck QCheck_alcotest Zapc_sim

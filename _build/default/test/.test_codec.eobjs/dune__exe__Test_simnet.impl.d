@@ -1,0 +1,1 @@
+test/test_simnet.ml: Alcotest Buffer Char Gen Int List Option Printf QCheck QCheck_alcotest Queue String Zapc_sim Zapc_simnet

@@ -1,0 +1,1 @@
+test/test_simos.ml: Alcotest List Printf String Zapc_codec Zapc_sim Zapc_simnet Zapc_simos

@@ -1,0 +1,1 @@
+test/test_zapc.ml: Alcotest Array Bytes Int Int32 List Option Printf String Zapc Zapc_apps Zapc_codec Zapc_msg Zapc_netckpt Zapc_pod Zapc_sim Zapc_simnet Zapc_simos

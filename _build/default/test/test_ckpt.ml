@@ -1,0 +1,370 @@
+(* Unit tests for the checkpoint layers: socket-state save/restore (the
+   read-and-reinject extraction, the flawed peek baseline, overlap fix-up),
+   meta-data classification and scheduling, and pod image round-trips. *)
+
+module Simtime = Zapc_sim.Simtime
+module Engine = Zapc_sim.Engine
+module Value = Zapc_codec.Value
+module Addr = Zapc_simnet.Addr
+module Fabric = Zapc_simnet.Fabric
+module Netstack = Zapc_simnet.Netstack
+module Socket = Zapc_simnet.Socket
+module Sockbuf = Zapc_simnet.Sockbuf
+module Sockopt = Zapc_simnet.Sockopt
+module Tcp = Zapc_simnet.Tcp
+module Errno = Zapc_simnet.Errno
+module Kernel = Zapc_simos.Kernel
+module Proc = Zapc_simos.Proc
+module Program = Zapc_simos.Program
+module Syscall = Zapc_simos.Syscall
+module Namespace = Zapc_pod.Namespace
+module Pod = Zapc_pod.Pod
+module Meta = Zapc_netckpt.Meta
+module Sock_state = Zapc_netckpt.Sock_state
+module Net_ckpt = Zapc_netckpt.Net_ckpt
+module Pod_ckpt = Zapc_ckpt.Pod_ckpt
+module Image = Zapc_ckpt.Image
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+let tstr = Alcotest.string
+
+type env = {
+  engine : Engine.t;
+  fabric : Fabric.t;
+  ns0 : Netstack.t;
+  ns1 : Netstack.t;
+  ip0 : Addr.ip;
+  ip1 : Addr.ip;
+}
+
+let setup () =
+  let engine = Engine.create ~seed:21 () in
+  let fabric = Fabric.create engine in
+  let ns0 = Netstack.create ~node:0 fabric in
+  let ns1 = Netstack.create ~node:1 fabric in
+  let ip0 = Addr.make_ip 172 16 0 1 and ip1 = Addr.make_ip 172 16 1 1 in
+  Netstack.add_ip ns0 ip0;
+  Netstack.add_ip ns1 ip1;
+  { engine; fabric; ns0; ns1; ip0; ip1 }
+
+let run env = Engine.run ~max_events:200_000 env.engine
+
+let establish ?(port = 7100) env =
+  let listener = Netstack.new_socket env.ns1 Socket.Stream in
+  (match Netstack.bind env.ns1 listener { Addr.ip = env.ip1; port } with
+   | Ok () -> ()
+   | Error e -> Alcotest.failf "bind: %s" (Errno.to_string e));
+  ignore (Netstack.listen env.ns1 listener 8);
+  let client = Netstack.new_socket env.ns0 Socket.Stream in
+  (match Netstack.connect_start env.ns0 client { Addr.ip = env.ip1; port } with
+   | Ok () -> ()
+   | Error e -> Alcotest.failf "connect: %s" (Errno.to_string e));
+  run env;
+  let server = Option.get (Netstack.accept_take listener) in
+  (listener, client, server)
+
+let plain_ns = Namespace.create ()
+
+let recv_str s =
+  match s.Socket.dispatch.d_recvmsg s Socket.plain_recv (1 lsl 20) with
+  | Socket.Rv_data d -> d
+  | _ -> "<none>"
+
+(* --- overlap fix-up (Figure 4) --- *)
+
+let test_trim_overlap () =
+  check tstr "no overlap" "abcd" (Sock_state.trim_overlap ~acked:100 ~peer_recv:100 "abcd");
+  check tstr "partial" "cd" (Sock_state.trim_overlap ~acked:100 ~peer_recv:102 "abcd");
+  check tstr "all" "" (Sock_state.trim_overlap ~acked:100 ~peer_recv:104 "abcd");
+  check tstr "beyond" "" (Sock_state.trim_overlap ~acked:100 ~peer_recv:200 "abcd");
+  check tstr "negative clamps" "abcd" (Sock_state.trim_overlap ~acked:100 ~peer_recv:50 "abcd")
+
+(* --- classification --- *)
+
+let test_classify () =
+  let env = setup () in
+  let listener, client, server = establish env in
+  check tbool "listener" true (Sock_state.classify listener = `Listener 8);
+  check tbool "established full" true (Sock_state.classify client = `Conn Meta.Full);
+  Tcp.shutdown_write client;
+  check tbool "half out after shutdown" true
+    (Sock_state.classify client = `Conn Meta.Half_out);
+  run env;
+  check tbool "peer half in" true (Sock_state.classify server = `Conn Meta.Half_in);
+  let fresh = Netstack.new_socket env.ns0 Socket.Stream in
+  check tbool "plain" true (Sock_state.classify fresh = `Plain);
+  ignore (Netstack.connect_start env.ns0 fresh { Addr.ip = env.ip1; port = 7100 });
+  check tbool "connecting" true (Sock_state.classify fresh = `Conn Meta.Connecting)
+
+(* --- receive-queue extraction --- *)
+
+let test_read_inject_preserves_data () =
+  let env = setup () in
+  let _, client, server = establish env in
+  ignore (Tcp.send_data client "queued data");
+  (match Tcp.send_oob client '?' with Ok () -> () | Error _ -> Alcotest.fail "oob");
+  run env;
+  let im = Sock_state.save ~ns:plain_ns server in
+  check tstr "captured queue" "queued data" im.Sock_state.recv_data;
+  check tbool "captured oob" true (im.Sock_state.oob = Some '?');
+  (* read-inject: a continued run still reads the data, in order *)
+  check tbool "interposed" true server.Socket.dispatch.interposed;
+  check tstr "data intact for continued run" "queued data" (recv_str server);
+  (* a second checkpoint right away captures the same bytes (from the alt
+     queue this time) *)
+  Socket.install_altqueue server "queued data";
+  let im2 = Sock_state.save ~ns:plain_ns server in
+  check tstr "second checkpoint sees same data" "queued data" im2.Sock_state.recv_data
+
+let test_peek_mode_misses_oob () =
+  let env = setup () in
+  let _, client, server = establish env in
+  ignore (Tcp.send_data client "visible");
+  (match Tcp.send_oob client '!' with Ok () -> () | Error _ -> Alcotest.fail "oob");
+  run env;
+  let im = Sock_state.save ~mode:Sock_state.Peek ~ns:plain_ns server in
+  (* the Cruz-style peek captures the stream but LOSES the urgent byte *)
+  check tstr "stream captured" "visible" im.Sock_state.recv_data;
+  check tbool "oob lost" true (im.Sock_state.oob = None);
+  (* whereas the proper extraction gets both *)
+  let im2 = Sock_state.save ~ns:plain_ns server in
+  check tbool "read-inject captures oob" true (im2.Sock_state.oob = Some '!')
+
+let test_send_queue_capture () =
+  let env = setup () in
+  let _, client, _server = establish env in
+  (* block the peer so our sent data stays unacknowledged *)
+  Zapc_simnet.Netfilter.block (Fabric.netfilter env.fabric) env.ip1;
+  ignore (Tcp.send_data client "unacked payload");
+  Engine.run ~until:(Simtime.add (Engine.now env.engine) (Simtime.ms 10)) env.engine;
+  let im = Sock_state.save ~ns:plain_ns client in
+  check tstr "send queue = acked..sent + unsent" "unacked payload" im.Sock_state.send_data;
+  let tcb = Option.get client.Socket.tcb in
+  check tbool "pcb numbers consistent" true
+    (tcb.Socket.snd_nxt - tcb.Socket.snd_una = String.length "unacked payload")
+
+let test_socket_image_roundtrip () =
+  let env = setup () in
+  let _, client, _ = establish env in
+  ignore (Tcp.send_data client "x");
+  run env;
+  let im = Sock_state.save ~ns:plain_ns client in
+  let v = Sock_state.to_value im in
+  let im' = Sock_state.of_value v in
+  check tbool "roundtrip" true (Value.equal v (Sock_state.to_value im'))
+
+let test_restore_connection_applies_state () =
+  let env = setup () in
+  let _, client, server = establish env in
+  Sockopt.set client.Socket.opts Sockopt.TCP_NODELAY 1;
+  ignore (Tcp.send_data client "abc");
+  run env;
+  let im = Sock_state.save ~ns:plain_ns server in
+  (* "re-establish" on a fresh pair and restore *)
+  let _, c2, s2 = establish ~port:7200 env in
+  Sock_state.restore_connection s2 im ~send_data:"resend me";
+  run env;
+  check tstr "altq data first" "abc" (recv_str s2);
+  check tstr "resent send queue arrives at peer" "resend me" (recv_str c2);
+  ignore client
+
+(* --- meta / schedule --- *)
+
+let mk_entry ~lip ~lport ~rip ~rport ~state ~role ~sent ~recv ~acked ~ref_ =
+  { Meta.local = { Addr.ip = lip; port = lport };
+    remote = { Addr.ip = rip; port = rport };
+    state; role; sent; recv; acked; sock_ref = ref_ }
+
+let test_schedule_pairing () =
+  let via = 101 and vib = 102 in
+  let ma =
+    { Meta.pm_pod = 1; pm_vip = via;
+      pm_entries =
+        [ mk_entry ~lip:via ~lport:5000 ~rip:vib ~rport:33000 ~state:Meta.Full
+            ~role:Meta.Accept ~sent:500 ~recv:200 ~acked:450 ~ref_:0 ] }
+  in
+  let mb =
+    { Meta.pm_pod = 2; pm_vip = vib;
+      pm_entries =
+        [ mk_entry ~lip:vib ~lport:33000 ~rip:via ~rport:5000 ~state:Meta.Full
+            ~role:Meta.Connect ~sent:200 ~recv:480 ~acked:180 ~ref_:0 ] }
+  in
+  let sched = Meta.build_schedule [ ma; mb ] in
+  let ea = List.assoc 1 sched and eb = List.assoc 2 sched in
+  (match (ea, eb) with
+   | [ a ], [ b ] ->
+     check tbool "a accepts" true (a.Meta.ri_role = Meta.Accept);
+     check tbool "b connects" true (b.Meta.ri_role = Meta.Connect);
+     check tbool "not orphans" true ((not a.Meta.ri_orphan) && not b.Meta.ri_orphan);
+     (* each side gets the peer's recv for overlap trimming *)
+     check tint "a sees b.recv" 480 a.Meta.ri_peer_recv;
+     check tint "b sees a.recv" 200 b.Meta.ri_peer_recv
+   | _ -> Alcotest.fail "wrong schedule shape")
+
+let test_schedule_orphan_and_connecting () =
+  let via = 101 and vib = 102 in
+  let ma =
+    { Meta.pm_pod = 1; pm_vip = via;
+      pm_entries =
+        [ mk_entry ~lip:via ~lport:5000 ~rip:vib ~rport:44000 ~state:Meta.Half_in
+            ~role:Meta.Accept ~sent:10 ~recv:20 ~acked:10 ~ref_:0;
+          mk_entry ~lip:via ~lport:39000 ~rip:vib ~rport:6000 ~state:Meta.Connecting
+            ~role:Meta.Connect ~sent:0 ~recv:0 ~acked:0 ~ref_:1 ] }
+  in
+  (* pod 2 reports nothing: its endpoints are gone *)
+  let mb = { Meta.pm_pod = 2; pm_vip = vib; pm_entries = [] } in
+  let sched = Meta.build_schedule [ ma; mb ] in
+  (match List.assoc 1 sched with
+   | [ e ] ->
+     check tbool "orphan" true e.Meta.ri_orphan;
+     check tint "only non-connecting survive" 0 e.Meta.ri_sock_ref
+   | l -> Alcotest.failf "expected 1 entry, got %d" (List.length l))
+
+let test_schedule_shared_source_port () =
+  (* two connections born from the same listening socket on pod 1 port 5000:
+     both must be re-accepted on pod 1's side (paper section 4) *)
+  let via = 101 and vib = 102 and vic = 103 in
+  let ma =
+    { Meta.pm_pod = 1; pm_vip = via;
+      pm_entries =
+        [ mk_entry ~lip:via ~lport:5000 ~rip:vib ~rport:33001 ~state:Meta.Full
+            ~role:Meta.Accept ~sent:1 ~recv:1 ~acked:1 ~ref_:0;
+          mk_entry ~lip:via ~lport:5000 ~rip:vic ~rport:33002 ~state:Meta.Full
+            ~role:Meta.Accept ~sent:2 ~recv:2 ~acked:2 ~ref_:1 ] }
+  in
+  let mb =
+    { Meta.pm_pod = 2; pm_vip = vib;
+      pm_entries =
+        [ mk_entry ~lip:vib ~lport:33001 ~rip:via ~rport:5000 ~state:Meta.Full
+            ~role:Meta.Connect ~sent:1 ~recv:1 ~acked:1 ~ref_:0 ] }
+  in
+  let mc =
+    { Meta.pm_pod = 3; pm_vip = vic;
+      pm_entries =
+        [ mk_entry ~lip:vic ~lport:33002 ~rip:via ~rport:5000 ~state:Meta.Full
+            ~role:Meta.Connect ~sent:1 ~recv:1 ~acked:1 ~ref_:0 ] }
+  in
+  let sched = Meta.build_schedule [ ma; mb; mc ] in
+  List.iter
+    (fun e -> check tbool "pod1 accepts all" true (e.Meta.ri_role = Meta.Accept))
+    (List.assoc 1 sched);
+  List.iter
+    (fun e -> check tbool "peers connect" true (e.Meta.ri_role = Meta.Connect))
+    (List.assoc 2 sched @ List.assoc 3 sched)
+
+let test_meta_value_roundtrip () =
+  let m =
+    { Meta.pm_pod = 9; pm_vip = 170;
+      pm_entries =
+        [ mk_entry ~lip:170 ~lport:1 ~rip:171 ~rport:2 ~state:Meta.Closed_data
+            ~role:Meta.Connect ~sent:11 ~recv:22 ~acked:33 ~ref_:4 ] }
+  in
+  let v = Meta.to_value m in
+  let m' = Meta.of_value v in
+  check tbool "roundtrip" true (Value.equal v (Meta.to_value m'))
+
+(* --- pod-level image --- *)
+
+module Memhog = struct
+  type state = int
+
+  let name = "ckpttest.memhog"
+  let start _ = 0
+
+  let step phase (_ : Syscall.outcome) =
+    match phase with
+    | 0 -> (1, Zapc_simos.Program.Sys (Syscall.Mem_alloc ("big", 1_000_000)))
+    | 1 -> (2, Zapc_simos.Program.Sys (Syscall.Nanosleep (Simtime.sec 50.0)))
+    | _ -> (2, Zapc_simos.Program.Exit 0)
+
+  let to_value p = Value.Int p
+  let of_value = Value.to_int
+end
+
+let () = Program.register_if_absent (module Memhog : Program.S)
+
+let test_pod_checkpoint_image () =
+  let engine = Engine.create ~seed:9 () in
+  let fabric = Fabric.create engine in
+  let k = Kernel.create ~node_id:0 fabric in
+  let pod =
+    Pod.create ~pod_id:77 ~name:"imgtest" ~vip:(Addr.make_ip 10 1 0 9)
+      ~rip:(Addr.make_ip 172 16 0 9) k
+  in
+  let p = Pod.spawn pod ~program:"ckpttest.memhog" ~args:Value.Unit in
+  Engine.run ~until:(Simtime.ms 5) ~max_events:10000 engine;
+  Pod.suspend pod;
+  let res = Pod_ckpt.checkpoint pod in
+  check tint "memory accounted" 1_000_000 res.Pod_ckpt.memory_bytes;
+  check tint "one process" 1 res.Pod_ckpt.proc_count;
+  check tbool "logical size > memory" true (Pod_ckpt.logical_size res > 1_000_000);
+  (* serialize / reload *)
+  let img = Image.of_pod_image res.Pod_ckpt.image in
+  let v = Image.to_pod_image img in
+  check tint "pod id" 77 (Pod_ckpt.pod_id_of_image v);
+  check tstr "name" "imgtest" (Pod_ckpt.name_of_image v);
+  (* restore into a fresh pod on a different kernel *)
+  let k2 = Kernel.create ~node_id:1 fabric in
+  let pod2 =
+    Pod.create ~pod_id:78 ~name:"imgtest" ~vip:(Addr.make_ip 10 1 0 9)
+      ~rip:(Addr.make_ip 172 16 1 9) k2
+  in
+  let procs = Pod_ckpt.restore_processes pod2 v ~socket_of_ref:(fun _ -> None) in
+  (match procs with
+   | [ p2 ] ->
+     check tbool "restored stopped" true (p2.Proc.rstate = Proc.Stopped);
+     check tbool "pending syscall restored" true
+       (match p2.Proc.pending_sys with Some (Syscall.Nanosleep _) -> true | _ -> false);
+     check tint "memory restored" 1_000_000 (Zapc_simos.Memory.total p2.Proc.mem);
+     check tbool "vpid preserved" true
+       (Namespace.vpid_of_rpid pod2.Pod.ns p2.Proc.pid = Some 1);
+     (* resume: the restored process finishes its sleep then exits *)
+     Pod.resume pod2;
+     Engine.run ~max_events:500_000 engine;
+     check tbool "runs to completion" true (p2.Proc.exit_code = Some 0)
+   | _ -> Alcotest.fail "expected one restored process");
+  ignore p
+
+let test_block_deadline_relative () =
+  (* a process checkpointed mid-sleep resumes with the *remaining* time *)
+  let engine = Engine.create ~seed:9 () in
+  let fabric = Fabric.create engine in
+  let k = Kernel.create ~node_id:0 fabric in
+  let pod =
+    Pod.create ~pod_id:79 ~name:"sleepy" ~vip:(Addr.make_ip 10 1 0 8)
+      ~rip:(Addr.make_ip 172 16 0 8) k
+  in
+  let _p = Pod.spawn pod ~program:"ckpttest.memhog" ~args:Value.Unit in
+  (* memhog sleeps 50 s; checkpoint at 10 s *)
+  Engine.run ~until:(Simtime.sec 10.0) ~max_events:100000 engine;
+  Pod.suspend pod;
+  let res = Pod_ckpt.checkpoint pod in
+  let v = res.Pod_ckpt.image in
+  let proc_v = List.hd (Value.to_list (fun x -> x) (Value.field "procs" v)) in
+  (match Value.to_option Value.to_int (Value.field "block_remaining" proc_v) with
+   | Some rem ->
+     check tbool "remaining ~40s" true
+       (rem > Simtime.sec 39.0 && rem <= Simtime.sec 41.0)
+   | None -> Alcotest.fail "no block deadline saved")
+
+let () =
+  Alcotest.run "ckpt"
+    [ ( "sock_state",
+        [ Alcotest.test_case "overlap trim" `Quick test_trim_overlap;
+          Alcotest.test_case "classify" `Quick test_classify;
+          Alcotest.test_case "read-inject" `Quick test_read_inject_preserves_data;
+          Alcotest.test_case "peek misses oob" `Quick test_peek_mode_misses_oob;
+          Alcotest.test_case "send queue" `Quick test_send_queue_capture;
+          Alcotest.test_case "image roundtrip" `Quick test_socket_image_roundtrip;
+          Alcotest.test_case "restore connection" `Quick test_restore_connection_applies_state ]
+      );
+      ( "meta",
+        [ Alcotest.test_case "pairing" `Quick test_schedule_pairing;
+          Alcotest.test_case "orphan + connecting" `Quick test_schedule_orphan_and_connecting;
+          Alcotest.test_case "shared source port" `Quick test_schedule_shared_source_port;
+          Alcotest.test_case "value roundtrip" `Quick test_meta_value_roundtrip ] );
+      ( "pod image",
+        [ Alcotest.test_case "checkpoint/restore" `Quick test_pod_checkpoint_image;
+          Alcotest.test_case "relative deadlines" `Quick test_block_deadline_relative ] ) ]

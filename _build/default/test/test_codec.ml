@@ -1,0 +1,180 @@
+(* Unit and property tests for the portable checkpoint format. *)
+
+module Value = Zapc_codec.Value
+module Wire = Zapc_codec.Wire
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+let tstr = Alcotest.string
+
+let roundtrip v = Wire.decode (Wire.encode v)
+
+let test_scalars () =
+  List.iter
+    (fun v -> check tbool "roundtrip" true (Value.equal v (roundtrip v)))
+    [ Value.Unit; Value.Bool true; Value.Bool false; Value.Int 0; Value.Int 1;
+      Value.Int (-1); Value.Int max_int; Value.Int min_int; Value.Int 126; Value.Int 127;
+      Value.Float 0.0; Value.Float (-1.5); Value.Float Float.pi; Value.Float nan;
+      Value.Str ""; Value.Str "hello"; Value.Str (String.make 10000 'x') ]
+
+let test_nan_roundtrip () =
+  match roundtrip (Value.Float nan) with
+  | Value.Float f -> check tbool "nan" true (Float.is_nan f)
+  | _ -> Alcotest.fail "not a float"
+
+let test_composites () =
+  let v =
+    Value.assoc
+      [ ("a", Value.List [ Value.Int 1; Value.Str "x"; Value.Unit ]);
+        ("b", Value.Tag ("variant", Value.Bool true));
+        ("c", Value.F64s [| 1.0; -2.5; 3e40 |]);
+        ("d", Value.Assoc [ ("nested", Value.List []) ]) ]
+  in
+  check tbool "roundtrip" true (Value.equal v (roundtrip v))
+
+let test_deep_nesting () =
+  let rec build n acc = if n = 0 then acc else build (n - 1) (Value.List [ acc ]) in
+  let v = build 500 (Value.Int 42) in
+  check tbool "deep" true (Value.equal v (roundtrip v))
+
+let test_bad_magic () =
+  Alcotest.check_raises "bad magic" (Value.Decode_error "bad magic") (fun () ->
+      ignore (Wire.decode "XXXX\002\000"))
+
+let test_version_mismatch () =
+  let s = Wire.encode Value.Unit in
+  let s = String.sub s 0 4 ^ "\255" ^ String.sub s 5 (String.length s - 5) in
+  match Wire.decode s with
+  | exception Value.Decode_error _ -> ()
+  | _ -> Alcotest.fail "expected version mismatch"
+
+let test_truncation () =
+  let s = Wire.encode (Value.Str "hello world, a longer string") in
+  for cut = 5 to String.length s - 1 do
+    match Wire.decode (String.sub s 0 cut) with
+    | exception Value.Decode_error _ -> ()
+    | _ -> Alcotest.failf "truncation at %d not detected" cut
+  done
+
+let test_trailing_garbage () =
+  let s = Wire.encode Value.Unit ^ "junk" in
+  match Wire.decode s with
+  | exception Value.Decode_error _ -> ()
+  | _ -> Alcotest.fail "trailing garbage not detected"
+
+let test_field_access () =
+  let v = Value.assoc [ ("x", Value.Int 1); ("y", Value.Str "s") ] in
+  check tint "field x" 1 (Value.to_int (Value.field "x" v));
+  check tstr "field y" "s" (Value.to_str (Value.field "y" v));
+  check tbool "field_opt none" true (Value.field_opt "z" v = None);
+  Alcotest.check_raises "missing field" (Value.Decode_error "missing field z") (fun () ->
+      ignore (Value.field "z" v))
+
+let test_option_pair () =
+  let v = Value.option Value.int (Some 3) in
+  check tbool "some" true (Value.to_option Value.to_int v = Some 3);
+  let v = Value.option Value.int None in
+  check tbool "none" true (Value.to_option Value.to_int v = None);
+  let v = Value.pair Value.int Value.str (7, "z") in
+  check tbool "pair" true (Value.to_pair Value.to_int Value.to_str v = (7, "z"))
+
+let test_encoded_size () =
+  let v = Value.Str (String.make 100 'a') in
+  let sz = Wire.encoded_size v in
+  check tint "encoded size" (String.length (Wire.encode v) - 5) sz
+
+let test_smallint_boundary () =
+  (* 0..126 use the inline encoding; make sure the boundary is exact *)
+  List.iter
+    (fun n ->
+      match roundtrip (Value.Int n) with
+      | Value.Int n' -> check tint "int" n n'
+      | _ -> Alcotest.fail "not an int")
+    [ 0; 1; 125; 126; 127; 128; 255; 16384 ]
+
+(* --- properties --- *)
+
+let value_gen =
+  let open QCheck.Gen in
+  sized (fun size ->
+      fix
+        (fun self n ->
+          let leaf =
+            oneof
+              [ return Value.Unit;
+                map (fun b -> Value.Bool b) bool;
+                map (fun i -> Value.Int i) int;
+                map (fun f -> Value.Float f) float;
+                map (fun s -> Value.Str s) string_small;
+                map (fun l -> Value.F64s (Array.of_list l)) (small_list float) ]
+          in
+          if n <= 0 then leaf
+          else
+            oneof
+              [ leaf;
+                map (fun l -> Value.List l) (list_size (int_bound 4) (self (n / 2)));
+                map
+                  (fun l -> Value.Assoc l)
+                  (list_size (int_bound 4)
+                     (pair string_small (self (n / 2))));
+                map2 (fun s v -> Value.Tag (s, v)) string_small (self (n / 2)) ])
+        (min size 6))
+
+let arbitrary_value = QCheck.make value_gen
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"wire roundtrip is identity" ~count:500 arbitrary_value (fun v ->
+      Value.equal v (roundtrip v))
+
+let prop_size =
+  QCheck.Test.make ~name:"encoded_size matches encode" ~count:200 arbitrary_value
+    (fun v -> Wire.encoded_size v = String.length (Wire.encode v) - 5)
+
+let prop_estimate_upper =
+  QCheck.Test.make ~name:"size_estimate bounds encoded size" ~count:200 arbitrary_value
+    (fun v -> Wire.encoded_size v <= Value.size_estimate v + 8)
+
+(* fuzz: the decoder must reject arbitrary bytes with Decode_error, never
+   crash or loop (checkpoint images may be corrupted in transit) *)
+let prop_decode_never_crashes =
+  QCheck.Test.make ~name:"decoder total on arbitrary bytes" ~count:500
+    QCheck.(string_of_size Gen.(int_bound 200))
+    (fun junk ->
+      match Wire.decode junk with
+      | _ -> true
+      | exception Value.Decode_error _ -> true)
+
+(* fuzz: bit-flipping a valid image either decodes (flip hit a payload
+   byte) or raises Decode_error — nothing else *)
+let prop_bitflip_safe =
+  QCheck.Test.make ~name:"bit flips are detected or benign" ~count:300
+    QCheck.(pair arbitrary_value (pair small_nat small_nat))
+    (fun (v, (pos, bit)) ->
+      let s = Bytes.of_string (Wire.encode v) in
+      let pos = pos mod Bytes.length s in
+      Bytes.set s pos (Char.chr (Char.code (Bytes.get s pos) lxor (1 lsl (bit mod 8))));
+      match Wire.decode (Bytes.to_string s) with
+      | _ -> true
+      | exception Value.Decode_error _ -> true)
+
+let () =
+  Alcotest.run "codec"
+    [ ( "wire",
+        [ Alcotest.test_case "scalars" `Quick test_scalars;
+          Alcotest.test_case "nan" `Quick test_nan_roundtrip;
+          Alcotest.test_case "composites" `Quick test_composites;
+          Alcotest.test_case "deep nesting" `Quick test_deep_nesting;
+          Alcotest.test_case "bad magic" `Quick test_bad_magic;
+          Alcotest.test_case "version mismatch" `Quick test_version_mismatch;
+          Alcotest.test_case "truncation" `Quick test_truncation;
+          Alcotest.test_case "trailing garbage" `Quick test_trailing_garbage;
+          Alcotest.test_case "smallint boundary" `Quick test_smallint_boundary ] );
+      ( "value",
+        [ Alcotest.test_case "field access" `Quick test_field_access;
+          Alcotest.test_case "option/pair" `Quick test_option_pair;
+          Alcotest.test_case "encoded size" `Quick test_encoded_size ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_roundtrip; prop_size; prop_estimate_upper; prop_decode_never_crashes;
+            prop_bitflip_safe ] ) ]

@@ -1,0 +1,420 @@
+(* Tests for the pod virtualization layer: virtual PID and address
+   namespaces, system-call interposition, suspend/resume, and time
+   virtualization. *)
+
+module Simtime = Zapc_sim.Simtime
+module Engine = Zapc_sim.Engine
+module Value = Zapc_codec.Value
+module Addr = Zapc_simnet.Addr
+module Fabric = Zapc_simnet.Fabric
+module Socket = Zapc_simnet.Socket
+module Kernel = Zapc_simos.Kernel
+module Proc = Zapc_simos.Proc
+module Program = Zapc_simos.Program
+module Signal = Zapc_simos.Signal
+module Syscall = Zapc_simos.Syscall
+module Namespace = Zapc_pod.Namespace
+module Pod = Zapc_pod.Pod
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+
+let logged : string list ref = ref []
+
+type env = { engine : Engine.t; fabric : Fabric.t; k0 : Kernel.t; k1 : Kernel.t }
+
+let next_pod_id = ref 1000
+
+let make_env () =
+  let engine = Engine.create ~seed:5 () in
+  let fabric = Fabric.create engine in
+  let k0 = Kernel.create ~node_id:0 fabric in
+  let k1 = Kernel.create ~node_id:1 fabric in
+  let log k = Kernel.set_logger k (fun _ _ m -> logged := m :: !logged) in
+  log k0;
+  log k1;
+  logged := [];
+  { engine; fabric; k0; k1 }
+
+let fresh_pod env ?(kernel = env.k0) ~vip_last ~rip_last () =
+  incr next_pod_id;
+  Pod.create ~pod_id:!next_pod_id
+    ~name:(Printf.sprintf "pod%d" !next_pod_id)
+    ~vip:(Addr.make_ip 10 1 0 vip_last)
+    ~rip:(Addr.make_ip 172 16 0 rip_last)
+    kernel
+
+let run env = Engine.run ~max_events:500_000 env.engine
+
+(* --- programs --- *)
+
+module Pid_logger = struct
+  type state = int
+
+  let name = "podtest.pid_logger"
+  let start _ = 0
+
+  let step phase (outcome : Syscall.outcome) =
+    match (phase, outcome) with
+    | 0, _ -> (1, Program.Sys Syscall.Getpid)
+    | 1, Syscall.Ret (Syscall.Rint pid) ->
+      (2, Program.Sys (Syscall.Log (Printf.sprintf "pid=%d" pid)))
+    | _, _ -> (2, Program.Exit 0)
+
+  let to_value p = Value.Int p
+  let of_value = Value.to_int
+end
+
+module Long_sleeper = struct
+  type state = int
+
+  let name = "podtest.long_sleeper"
+  let start _ = 0
+
+  let step phase (_ : Syscall.outcome) =
+    match phase with
+    | 0 -> (1, Program.Sys (Syscall.Nanosleep (Simtime.sec 100.0)))
+    | _ -> (1, Program.Exit 0)
+
+  let to_value p = Value.Int p
+  let of_value = Value.to_int
+end
+
+module Killer = struct
+  type state = int * int  (* phase, target vpid *)
+
+  let name = "podtest.killer"
+  let start args = (0, Value.to_int args)
+
+  let step (phase, target) (outcome : Syscall.outcome) =
+    match (phase, outcome) with
+    | 0, _ -> ((1, target), Program.Sys (Syscall.Kill (target, Signal.Sigkill)))
+    | 1, Syscall.Ret _ -> ((2, target), Program.Sys (Syscall.Log "killed"))
+    | 1, Syscall.Err e ->
+      ((2, target), Program.Sys (Syscall.Log ("kill failed: " ^ Zapc_simnet.Errno.to_string e)))
+    | _, _ -> ((2, target), Program.Exit 0)
+
+  let to_value (a, b) = Value.List [ Value.Int a; Value.Int b ]
+
+  let of_value = function
+    | Value.List [ Value.Int a; Value.Int b ] -> (a, b)
+    | _ -> failwith "bad"
+end
+
+(* listens on a port inside its pod, accepts one connection, logs the
+   peer's (virtual) address and the received data *)
+module Podserver = struct
+  type state = int * int  (* phase, fd *)
+
+  let name = "podtest.server"
+  let start _ = (0, -1)
+
+  let step (phase, fd) (outcome : Syscall.outcome) =
+    match (phase, outcome) with
+    | 0, _ -> ((1, fd), Program.Sys (Syscall.Sock_create Socket.Stream))
+    | 1, Syscall.Ret (Syscall.Rint fd) ->
+      ((2, fd), Program.Sys (Syscall.Bind (fd, { Addr.ip = Addr.any; port = 4242 })))
+    | 2, _ -> ((3, fd), Program.Sys (Syscall.Listen (fd, 4)))
+    | 3, _ -> ((4, fd), Program.Sys (Syscall.Accept fd))
+    | 4, Syscall.Ret (Syscall.Raccept (cfd, peer)) ->
+      ( (5, cfd),
+        Program.Sys (Syscall.Log (Printf.sprintf "peer=%s" (Addr.ip_to_string peer.Addr.ip))) )
+    | 5, _ -> ((6, fd), Program.Sys (Syscall.Recv (fd, 100, Socket.plain_recv)))
+    | 6, Syscall.Ret (Syscall.Rdata d) -> ((7, fd), Program.Sys (Syscall.Log ("got: " ^ d)))
+    | _, _ -> ((7, fd), Program.Exit 0)
+
+  let to_value (a, b) = Value.List [ Value.Int a; Value.Int b ]
+
+  let of_value = function
+    | Value.List [ Value.Int a; Value.Int b ] -> (a, b)
+    | _ -> failwith "bad"
+end
+
+module Podclient = struct
+  type state = int * int * int  (* phase, fd, server vip *)
+
+  let name = "podtest.client"
+  let start args = (0, -1, Value.to_int args)
+
+  let step (phase, fd, vip) (outcome : Syscall.outcome) =
+    match (phase, outcome) with
+    | 0, _ -> ((1, fd, vip), Program.Sys (Syscall.Sock_create Socket.Stream))
+    | 1, Syscall.Ret (Syscall.Rint fd) ->
+      ((2, fd, vip), Program.Sys (Syscall.Connect (fd, { Addr.ip = vip; port = 4242 })))
+    | 2, Syscall.Ret _ -> ((3, fd, vip), Program.Sys (Syscall.Send (fd, "virtual hello")))
+    | 2, Syscall.Err e ->
+      ((4, fd, vip), Program.Sys (Syscall.Log ("connect failed: " ^ Zapc_simnet.Errno.to_string e)))
+    | 3, _ -> ((4, fd, vip), Program.Sys (Syscall.Getsockname fd))
+    | 4, Syscall.Ret (Syscall.Raddr a) ->
+      ((5, fd, vip), Program.Sys (Syscall.Log (Printf.sprintf "myaddr=%s" (Addr.ip_to_string a.Addr.ip))))
+    | _, _ -> ((5, fd, vip), Program.Exit 0)
+
+  let to_value (a, b, c) = Value.List [ Value.Int a; Value.Int b; Value.Int c ]
+
+  let of_value = function
+    | Value.List [ Value.Int a; Value.Int b; Value.Int c ] -> (a, b, c)
+    | _ -> failwith "bad"
+end
+
+(* writes a file in its (chrooted) namespace and lists what it sees *)
+module Fs_writer = struct
+  type state = int * string  (* phase, payload *)
+
+  let name = "podtest.fs_writer"
+  let start args = (0, Value.to_str args)
+
+  let step (phase, payload) (outcome : Syscall.outcome) =
+    match (phase, outcome) with
+    | 0, _ -> ((1, payload), Program.Sys (Syscall.Fs_put ("/data.txt", payload)))
+    | 1, _ -> ((2, payload), Program.Sys (Syscall.Fs_get "/data.txt"))
+    | 2, Syscall.Ret (Syscall.Rdata d) ->
+      ((3, payload), Program.Sys (Syscall.Log ("read: " ^ d)))
+    | 3, _ -> ((4, payload), Program.Sys (Syscall.Fs_list "/"))
+    | 4, Syscall.Ret (Syscall.Rnames names) ->
+      ((5, payload), Program.Sys (Syscall.Log ("ls: " ^ String.concat "," names)))
+    | _, _ -> ((5, payload), Program.Exit 0)
+
+  let to_value (p, s) = Value.List [ Value.Int p; Value.Str s ]
+
+  let of_value = function
+    | Value.List [ Value.Int p; Value.Str s ] -> (p, s)
+    | _ -> failwith "bad"
+end
+
+module Clock_logger = struct
+  type state = int
+
+  let name = "podtest.clock"
+  let start _ = 0
+
+  let step phase (outcome : Syscall.outcome) =
+    match (phase, outcome) with
+    | 0, _ -> (1, Program.Sys Syscall.Clock_gettime)
+    | 1, Syscall.Ret (Syscall.Rtime t) ->
+      (2, Program.Sys (Syscall.Log (Printf.sprintf "clock=%d" t)))
+    | _, _ -> (2, Program.Exit 0)
+
+  let to_value p = Value.Int p
+  let of_value = Value.to_int
+end
+
+let registered = ref false
+
+let register_programs () =
+  if not !registered then begin
+    registered := true;
+    List.iter Program.register_if_absent
+      [ (module Pid_logger : Program.S); (module Long_sleeper : Program.S);
+        (module Killer : Program.S); (module Podserver : Program.S);
+        (module Podclient : Program.S); (module Clock_logger : Program.S);
+        (module Fs_writer : Program.S) ]
+  end
+
+(* --- namespace unit tests --- *)
+
+let test_namespace_pids () =
+  let ns = Namespace.create () in
+  let v1 = Namespace.fresh_vpid ns 501 in
+  let v2 = Namespace.fresh_vpid ns 502 in
+  check tint "first vpid" 1 v1;
+  check tint "second vpid" 2 v2;
+  check tbool "rpid lookup" true (Namespace.rpid_of_vpid ns 1 = Some 501);
+  check tbool "vpid lookup" true (Namespace.vpid_of_rpid ns 502 = Some 2);
+  Namespace.forget_rpid ns 501;
+  check tbool "forgotten" true (Namespace.rpid_of_vpid ns 1 = None);
+  Namespace.bind_vpid ns ~vpid:7 ~rpid:900;
+  check tbool "explicit bind" true (Namespace.vpid_of_rpid ns 900 = Some 7);
+  let v3 = Namespace.fresh_vpid ns 903 in
+  check tbool "next_vpid advanced past bound" true (v3 > 7)
+
+let test_namespace_addrs () =
+  let ns = Namespace.create () in
+  let vip = Addr.make_ip 10 1 0 1 and rip = Addr.make_ip 172 16 0 5 in
+  Namespace.set_vip_map ns [ (vip, rip) ];
+  check tbool "out" true
+    (Addr.equal (Namespace.translate_addr_out ns { Addr.ip = vip; port = 80 })
+       { Addr.ip = rip; port = 80 });
+  check tbool "in" true
+    (Addr.equal (Namespace.translate_addr_in ns { Addr.ip = rip; port = 81 })
+       { Addr.ip = vip; port = 81 });
+  (* unknown addresses pass through unchanged *)
+  let other = Addr.make_ip 8 8 8 8 in
+  check tbool "unknown unchanged" true
+    (Addr.equal_ip (Namespace.translate_addr_out ns { Addr.ip = other; port = 1 }).Addr.ip other)
+
+(* --- pod behaviour --- *)
+
+let test_getpid_virtualized () =
+  register_programs ();
+  let env = make_env () in
+  let pod = fresh_pod env ~vip_last:1 ~rip_last:1 () in
+  let _p1 = Pod.spawn pod ~program:"podtest.pid_logger" ~args:Value.Unit in
+  let _p2 = Pod.spawn pod ~program:"podtest.pid_logger" ~args:Value.Unit in
+  run env;
+  (* both report their vpids (1 and 2), not the host pids (which are >= 100) *)
+  check tbool "vpid 1" true (List.mem "pid=1" !logged);
+  check tbool "vpid 2" true (List.mem "pid=2" !logged)
+
+let test_kill_by_vpid () =
+  register_programs ();
+  let env = make_env () in
+  let pod = fresh_pod env ~vip_last:1 ~rip_last:1 () in
+  let victim = Pod.spawn pod ~program:"podtest.long_sleeper" ~args:Value.Unit in
+  (* victim got vpid 1 *)
+  let _killer = Pod.spawn pod ~program:"podtest.killer" ~args:(Value.Int 1) in
+  run env;
+  check tbool "killed log" true (List.mem "killed" !logged);
+  check tbool "victim dead" true (victim.Proc.exit_code = Some 137)
+
+let test_kill_unknown_vpid_esrch () =
+  register_programs ();
+  let env = make_env () in
+  let pod = fresh_pod env ~vip_last:1 ~rip_last:1 () in
+  let _killer = Pod.spawn pod ~program:"podtest.killer" ~args:(Value.Int 99) in
+  run env;
+  check tbool "esrch" true (List.mem "kill failed: ESRCH" !logged)
+
+let test_virtual_addresses_end_to_end () =
+  register_programs ();
+  let env = make_env () in
+  let pa = fresh_pod env ~kernel:env.k0 ~vip_last:1 ~rip_last:1 () in
+  let pb = fresh_pod env ~kernel:env.k1 ~vip_last:2 ~rip_last:2 () in
+  (* the rip of pb lives on node 1 even though both pods share subnet 172.16.0 *)
+  pb.Pod.rip <- Addr.make_ip 172 16 1 2;
+  (* recreate registration under the corrected rip *)
+  Zapc_simnet.Netstack.remove_ip (Kernel.netstack env.k1) (Addr.make_ip 172 16 0 2);
+  Zapc_simnet.Netstack.add_ip (Kernel.netstack env.k1) pb.Pod.rip;
+  let map = [ (pa.Pod.vip, pa.Pod.rip); (pb.Pod.vip, pb.Pod.rip) ] in
+  Pod.set_vip_map pa map;
+  Pod.set_vip_map pb map;
+  let _server = Pod.spawn pb ~program:"podtest.server" ~args:Value.Unit in
+  let _client = Pod.spawn pa ~program:"podtest.client" ~args:(Value.Int pb.Pod.vip) in
+  run env;
+  (* the server saw the client's VIRTUAL address *)
+  check tbool "server sees peer vip" true
+    (List.mem ("peer=" ^ Addr.ip_to_string pa.Pod.vip) !logged);
+  check tbool "payload" true (List.mem "got: virtual hello" !logged);
+  (* the client's own address reads back as its vip *)
+  check tbool "client sees own vip" true
+    (List.mem ("myaddr=" ^ Addr.ip_to_string pa.Pod.vip) !logged)
+
+let test_suspend_resume () =
+  register_programs ();
+  let env = make_env () in
+  let pod = fresh_pod env ~vip_last:1 ~rip_last:1 () in
+  let p = Pod.spawn pod ~program:"podtest.pid_logger" ~args:Value.Unit in
+  Engine.schedule env.engine ~delay:Simtime.zero (fun () -> Pod.suspend pod);
+  Engine.run ~until:(Simtime.ms 10) ~max_events:10000 env.engine;
+  check tbool "frozen, not exited" true (p.Proc.exit_code = None);
+  Pod.resume pod;
+  run env;
+  check tbool "exited after resume" true (p.Proc.exit_code = Some 0)
+
+let test_destroy () =
+  register_programs ();
+  let env = make_env () in
+  let pod = fresh_pod env ~vip_last:1 ~rip_last:1 () in
+  let p = Pod.spawn pod ~program:"podtest.long_sleeper" ~args:Value.Unit in
+  Engine.run ~until:(Simtime.ms 1) ~max_events:10000 env.engine;
+  Pod.destroy pod;
+  run env;
+  check tbool "member killed" true (p.Proc.exit_code = Some 137);
+  check tbool "unregistered" true (Pod.find pod.Pod.pod_id = None);
+  check tbool "rip detached" true (Fabric.node_of_ip env.fabric pod.Pod.rip = None)
+
+let test_time_virtualization () =
+  register_programs ();
+  let env = make_env () in
+  let pod = fresh_pod env ~vip_last:1 ~rip_last:1 () in
+  (* pretend a checkpoint happened at t=500ms and we restarted at t=0 *)
+  Pod.apply_time_bias pod ~saved_clock:(Simtime.ms 500) ~current_clock:Simtime.zero;
+  let _p = Pod.spawn pod ~program:"podtest.clock" ~args:Value.Unit in
+  run env;
+  let t =
+    List.find_map
+      (fun s ->
+        if String.length s > 6 && String.equal (String.sub s 0 6) "clock=" then
+          Some (int_of_string (String.sub s 6 (String.length s - 6)))
+        else None)
+      !logged
+  in
+  match t with
+  | Some t -> check tbool "clock continues from checkpoint" true (t >= Simtime.ms 500)
+  | None -> Alcotest.fail "no clock log"
+
+let test_time_virtualization_off () =
+  register_programs ();
+  let env = make_env () in
+  let pod = fresh_pod env ~vip_last:1 ~rip_last:1 () in
+  pod.Pod.virtualize_time <- false;
+  Pod.apply_time_bias pod ~saved_clock:(Simtime.ms 500) ~current_clock:Simtime.zero;
+  let _p = Pod.spawn pod ~program:"podtest.clock" ~args:Value.Unit in
+  run env;
+  let t =
+    List.find_map
+      (fun s ->
+        if String.length s > 6 && String.equal (String.sub s 0 6) "clock=" then
+          Some (int_of_string (String.sub s 6 (String.length s - 6)))
+        else None)
+      !logged
+  in
+  match t with
+  | Some t -> check tbool "absolute time when disabled" true (t < Simtime.ms 500)
+  | None -> Alcotest.fail "no clock log"
+
+let test_fs_namespace_isolation () =
+  register_programs ();
+  let env = make_env () in
+  (* both kernels mount the same shared file system *)
+  let shared = Zapc_simos.Simfs.create () in
+  Kernel.set_fs env.k0 shared;
+  Kernel.set_fs env.k1 shared;
+  let pa = fresh_pod env ~kernel:env.k0 ~vip_last:1 ~rip_last:1 () in
+  let pb = fresh_pod env ~kernel:env.k1 ~vip_last:2 ~rip_last:2 () in
+  let _ = Pod.spawn pa ~program:"podtest.fs_writer" ~args:(Value.Str "alpha") in
+  let _ = Pod.spawn pb ~program:"podtest.fs_writer" ~args:(Value.Str "beta") in
+  run env;
+  (* each pod reads back its own content under the same virtual path *)
+  check tbool "pod A sees its data" true (List.mem "read: alpha" !logged);
+  check tbool "pod B sees its data" true (List.mem "read: beta" !logged);
+  (* listings are un-chrooted: pods see "/data.txt", not their real prefix *)
+  check tbool "ls unchrooted" true (List.mem "ls: /data.txt" !logged);
+  (* on the real store the files live under distinct pod roots *)
+  check tbool "A's file" true
+    (Zapc_simos.Simfs.get shared (Pod.fs_root pa ^ "/data.txt") = Some "alpha");
+  check tbool "B's file" true
+    (Zapc_simos.Simfs.get shared (Pod.fs_root pb ^ "/data.txt") = Some "beta")
+
+let test_members_ordering () =
+  register_programs ();
+  let env = make_env () in
+  let pod = fresh_pod env ~vip_last:1 ~rip_last:1 () in
+  let a = Pod.spawn pod ~program:"podtest.long_sleeper" ~args:Value.Unit in
+  let b = Pod.spawn pod ~program:"podtest.long_sleeper" ~args:Value.Unit in
+  let members = Pod.members pod in
+  check tint "two members" 2 (List.length members);
+  (match members with
+   | [ (v1, p1); (v2, p2) ] ->
+     check tint "vpid order" 1 v1;
+     check tint "vpid order 2" 2 v2;
+     check tbool "procs match" true (p1 == a && p2 == b)
+   | _ -> Alcotest.fail "bad members")
+
+let () =
+  Alcotest.run "pod"
+    [ ( "namespace",
+        [ Alcotest.test_case "pids" `Quick test_namespace_pids;
+          Alcotest.test_case "addresses" `Quick test_namespace_addrs ] );
+      ( "virtualization",
+        [ Alcotest.test_case "getpid" `Quick test_getpid_virtualized;
+          Alcotest.test_case "kill by vpid" `Quick test_kill_by_vpid;
+          Alcotest.test_case "kill unknown vpid" `Quick test_kill_unknown_vpid_esrch;
+          Alcotest.test_case "virtual addresses e2e" `Quick test_virtual_addresses_end_to_end;
+          Alcotest.test_case "time virtualization" `Quick test_time_virtualization;
+          Alcotest.test_case "time virtualization off" `Quick test_time_virtualization_off ] );
+      ( "lifecycle",
+        [ Alcotest.test_case "suspend/resume" `Quick test_suspend_resume;
+          Alcotest.test_case "destroy" `Quick test_destroy;
+          Alcotest.test_case "fs namespace isolation" `Quick test_fs_namespace_isolation;
+          Alcotest.test_case "members" `Quick test_members_ordering ] ) ]

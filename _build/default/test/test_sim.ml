@@ -1,0 +1,177 @@
+(* Tests for the discrete-event engine, heap, RNG and time arithmetic. *)
+
+module Simtime = Zapc_sim.Simtime
+module Pheap = Zapc_sim.Pheap
+module Engine = Zapc_sim.Engine
+module Rng = Zapc_sim.Rng
+module Stats = Zapc_sim.Stats
+
+let check = Alcotest.check
+let tint = Alcotest.int
+let tbool = Alcotest.bool
+
+(* --- heap --- *)
+
+let test_heap_order () =
+  let h = Pheap.create () in
+  List.iter (fun k -> Pheap.push h ~key:k k) [ 5; 3; 8; 1; 9; 2; 7 ];
+  let out = ref [] in
+  let rec drain () =
+    match Pheap.pop h with
+    | Some (_, v) ->
+      out := v :: !out;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "sorted" [ 1; 2; 3; 5; 7; 8; 9 ] (List.rev !out)
+
+let test_heap_fifo_ties () =
+  let h = Pheap.create () in
+  List.iteri (fun i name -> Pheap.push h ~key:(i mod 2) name) [ "a"; "b"; "c"; "d"; "e" ];
+  (* keys: a=0 b=1 c=0 d=1 e=0; expect a,c,e (fifo at key 0) then b,d *)
+  let out = ref [] in
+  let rec drain () =
+    match Pheap.pop h with
+    | Some (_, v) ->
+      out := v :: !out;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list string)) "fifo ties" [ "a"; "c"; "e"; "b"; "d" ] (List.rev !out)
+
+let prop_heap_sorted =
+  QCheck.Test.make ~name:"heap pops in key order" ~count:200
+    QCheck.(list small_int)
+    (fun keys ->
+      let h = Pheap.create () in
+      List.iter (fun k -> Pheap.push h ~key:k k) keys;
+      let rec drain acc =
+        match Pheap.pop h with Some (k, _) -> drain (k :: acc) | None -> List.rev acc
+      in
+      let out = drain [] in
+      out = List.sort Int.compare keys)
+
+(* --- engine --- *)
+
+let test_engine_ordering () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.schedule e ~delay:(Simtime.ms 5) (fun () -> log := 5 :: !log);
+  Engine.schedule e ~delay:(Simtime.ms 1) (fun () -> log := 1 :: !log);
+  Engine.schedule e ~delay:(Simtime.ms 3) (fun () -> log := 3 :: !log);
+  Engine.run e;
+  Alcotest.(check (list int)) "order" [ 1; 3; 5 ] (List.rev !log);
+  check tint "clock" (Simtime.ms 5) (Engine.now e)
+
+let test_engine_until () =
+  let e = Engine.create () in
+  let fired = ref 0 in
+  for i = 1 to 10 do
+    Engine.schedule e ~delay:(Simtime.ms i) (fun () -> incr fired)
+  done;
+  Engine.run ~until:(Simtime.ms 5) e;
+  check tint "fired by 5ms" 5 !fired;
+  check tint "clock stopped" (Simtime.ms 5) (Engine.now e);
+  Engine.run e;
+  check tint "all fired" 10 !fired
+
+let test_engine_nested_schedule () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  let rec tick n =
+    if n > 0 then begin
+      incr count;
+      Engine.schedule e ~delay:(Simtime.us 10) (fun () -> tick (n - 1))
+    end
+  in
+  Engine.schedule e ~delay:Simtime.zero (fun () -> tick 100);
+  Engine.run e;
+  check tint "nested" 100 !count
+
+let test_engine_past_schedule_clamped () =
+  let e = Engine.create () in
+  let at = ref (-1) in
+  Engine.schedule e ~delay:(Simtime.ms 2) (fun () ->
+      (* scheduling "in the past" clamps to now *)
+      Engine.schedule_at e ~at:Simtime.zero (fun () -> at := Engine.now e));
+  Engine.run e;
+  check tint "clamped" (Simtime.ms 2) !at
+
+let test_max_events () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  let rec forever () =
+    incr count;
+    Engine.schedule e ~delay:(Simtime.us 1) forever
+  in
+  Engine.schedule e ~delay:Simtime.zero (fun () -> forever ());
+  Engine.run ~max_events:50 e;
+  check tint "bounded" 50 !count
+
+(* --- rng determinism --- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create ~seed:7 and b = Rng.create ~seed:7 in
+  for _ = 1 to 100 do
+    check tint "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create ~seed:7 in
+  let c = Rng.split a in
+  let xs = List.init 50 (fun _ -> Rng.int a 1000) in
+  let ys = List.init 50 (fun _ -> Rng.int c 1000) in
+  check tbool "streams differ" true (xs <> ys)
+
+let prop_rng_bounds =
+  QCheck.Test.make ~name:"rng int in bounds" ~count:200
+    QCheck.(pair small_int (int_range 1 1000))
+    (fun (seed, n) ->
+      let r = Rng.create ~seed in
+      let x = Rng.int r n in
+      x >= 0 && x < n)
+
+let prop_rng_float_bounds =
+  QCheck.Test.make ~name:"rng float in bounds" ~count:200 QCheck.small_int (fun seed ->
+      let r = Rng.create ~seed in
+      let x = Rng.float r 2.5 in
+      x >= 0.0 && x < 2.5)
+
+(* --- stats --- *)
+
+let test_stats () =
+  let s = Stats.of_list [ 1.0; 2.0; 3.0; 4.0 ] in
+  Alcotest.(check (float 1e-9)) "mean" 2.5 (Stats.mean s);
+  Alcotest.(check (float 1e-6)) "stddev" (sqrt 1.25) (Stats.stddev s);
+  Alcotest.(check (float 1e-9)) "min" 1.0 (Stats.min s);
+  Alcotest.(check (float 1e-9)) "max" 4.0 (Stats.max s);
+  check tint "count" 4 (Stats.count s)
+
+let test_time_units () =
+  check tint "us" 1_000 (Simtime.us 1);
+  check tint "ms" 1_000_000 (Simtime.ms 1);
+  check tint "sec" 1_000_000_000 (Simtime.sec 1.0);
+  Alcotest.(check (float 1e-9)) "to_ms" 1.5 (Simtime.to_ms (Simtime.us 1500))
+
+let () =
+  Alcotest.run "sim"
+    [ ( "heap",
+        [ Alcotest.test_case "order" `Quick test_heap_order;
+          Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
+          QCheck_alcotest.to_alcotest prop_heap_sorted ] );
+      ( "engine",
+        [ Alcotest.test_case "ordering" `Quick test_engine_ordering;
+          Alcotest.test_case "until" `Quick test_engine_until;
+          Alcotest.test_case "nested" `Quick test_engine_nested_schedule;
+          Alcotest.test_case "past clamped" `Quick test_engine_past_schedule_clamped;
+          Alcotest.test_case "max events" `Quick test_max_events ] );
+      ( "rng",
+        [ Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "split" `Quick test_rng_split_independent;
+          QCheck_alcotest.to_alcotest prop_rng_bounds;
+          QCheck_alcotest.to_alcotest prop_rng_float_bounds ] );
+      ( "stats",
+        [ Alcotest.test_case "moments" `Quick test_stats;
+          Alcotest.test_case "time units" `Quick test_time_units ] ) ]

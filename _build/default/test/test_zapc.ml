@@ -1,0 +1,1091 @@
+(* End-to-end tests of the coordinated checkpoint-restart protocol:
+   snapshots of running distributed applications, restarts on the same and
+   on different nodes, direct migration streaming, ring topologies
+   (deadlock-free connection recovery), UDP semantics across checkpoints,
+   failure handling, and the protocol's timing structure. *)
+
+module Simtime = Zapc_sim.Simtime
+module Engine = Zapc_sim.Engine
+module Value = Zapc_codec.Value
+module Addr = Zapc_simnet.Addr
+module Socket = Zapc_simnet.Socket
+module Kernel = Zapc_simos.Kernel
+module Proc = Zapc_simos.Proc
+module Program = Zapc_simos.Program
+module Syscall = Zapc_simos.Syscall
+module Pod = Zapc_pod.Pod
+module Cluster = Zapc.Cluster
+module Manager = Zapc.Manager
+module Protocol = Zapc.Protocol
+module Params = Zapc.Params
+module Launch = Zapc_msg.Launch
+module Mpi = Zapc_msg.Mpi
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+
+let logged : string list ref = ref []
+
+let make_cluster ?(params = Params.default) ?(nodes = 4) ?(cpus = 1) ?(seed = 42) () =
+  Zapc_apps.Registry.register_all ();
+  let cluster = Cluster.make ~seed ~cpus ~params ~node_count:nodes () in
+  logged := [];
+  for i = 0 to nodes - 1 do
+    Kernel.set_logger (Cluster.node cluster i).Cluster.n_kernel (fun _ _ m ->
+        logged := m :: !logged)
+  done;
+  cluster
+
+let has_log prefix =
+  List.exists
+    (fun s -> String.length s >= String.length prefix
+              && String.equal (String.sub s 0 (String.length prefix)) prefix)
+    !logged
+
+let find_log prefix =
+  List.find_opt
+    (fun s -> String.length s >= String.length prefix
+              && String.equal (String.sub s 0 (String.length prefix)) prefix)
+    !logged
+
+(* --- dedicated test programs --- *)
+
+(* Token ring over a CYCLE of TCP connections (each endpoint both connects
+   and accepts), the topology the paper uses to motivate the two-task
+   connection recovery.  Written against the raw syscall interface. *)
+module Ring = struct
+  type phase =
+    | Listen_sock | Listen_bind | Listen_listen
+    | Conn_new | Conn_wait | Conn_close | Conn_sleep
+    | Accept_prev
+    | Start_token
+    | Recv_tok | Fwd_tok of int
+    | Done_ring
+
+  type state = {
+    rank : int;
+    size : int;
+    vips : int array;
+    port : int;
+    limit : int;
+    mutable ph : phase;
+    mutable lfd : int;
+    mutable sendfd : int;  (* to (rank+1) mod size *)
+    mutable recvfd : int;  (* from (rank-1+size) mod size *)
+    mutable buf : string;
+  }
+
+  let name = "test.ring"
+
+  let start args =
+    let rank = Value.to_int (Value.field "rank" args) in
+    let size = Value.to_int (Value.field "size" args) in
+    let vips = Array.of_list (Value.to_list Value.to_int (Value.field "vips" args)) in
+    let port = Value.to_int (Value.field "port" args) in
+    let limit = Value.to_int (Value.field "limit" args) in
+    { rank; size; vips; port; limit; ph = Listen_sock; lfd = -1; sendfd = -1;
+      recvfd = -1; buf = "" }
+
+  let u32 n =
+    let b = Bytes.create 4 in
+    Bytes.set_int32_le b 0 (Int32.of_int n);
+    Bytes.unsafe_to_string b
+
+  let step s (outcome : Syscall.outcome) =
+    let next = s.vips.((s.rank + 1) mod s.size) in
+    match (s.ph, outcome) with
+    | Listen_sock, _ ->
+      s.ph <- Listen_bind;
+      (s, Program.Sys (Syscall.Sock_create Socket.Stream))
+    | Listen_bind, Syscall.Ret (Syscall.Rint fd) ->
+      s.lfd <- fd;
+      s.ph <- Listen_listen;
+      (s, Program.Sys (Syscall.Bind (fd, { Addr.ip = Addr.any; port = s.port })))
+    | Listen_listen, _ ->
+      s.ph <- Conn_new;
+      (s, Program.Sys (Syscall.Listen (s.lfd, 4)))
+    | Conn_new, _ ->
+      s.ph <- Conn_wait;
+      (s, Program.Sys (Syscall.Sock_create Socket.Stream))
+    | Conn_wait, Syscall.Ret (Syscall.Rint fd) ->
+      s.sendfd <- fd;
+      (s, Program.Sys (Syscall.Connect (fd, { Addr.ip = next; port = s.port })))
+    | Conn_wait, Syscall.Ret Syscall.Rnone ->
+      s.ph <- Accept_prev;
+      (s, Program.Sys (Syscall.Accept s.lfd))
+    | Conn_wait, Syscall.Err _ ->
+      s.ph <- Conn_close;
+      (s, Program.Sys (Syscall.Close s.sendfd))
+    | Conn_close, _ ->
+      s.ph <- Conn_sleep;
+      (s, Program.Sys (Syscall.Nanosleep (Simtime.ms 15)))
+    | Conn_sleep, _ ->
+      s.ph <- Conn_new;
+      (s, Program.Sys Syscall.Getpid)
+    | Accept_prev, Syscall.Ret (Syscall.Raccept (fd, _)) ->
+      s.recvfd <- fd;
+      if s.rank = 0 then begin
+        s.ph <- Start_token;
+        (s, Program.Sys Syscall.Getpid)
+      end
+      else begin
+        s.ph <- Recv_tok;
+        (s, Program.Sys (Syscall.Recv (s.recvfd, 4, Socket.plain_recv)))
+      end
+    | Start_token, _ ->
+      s.ph <- Recv_tok;
+      (* fire the first token, then wait for it to come around *)
+      (s, Program.Sys (Syscall.Send (s.sendfd, u32 1)))
+    | Recv_tok, Syscall.Ret (Syscall.Rint _) ->
+      (s, Program.Sys (Syscall.Recv (s.recvfd, 4, Socket.plain_recv)))
+    | Recv_tok, Syscall.Ret (Syscall.Rdata "") ->
+      (* predecessor closed before the final token reached us *)
+      (s, Program.Exit 3)
+    | Recv_tok, Syscall.Ret (Syscall.Rdata d) ->
+      s.buf <- s.buf ^ d;
+      if String.length s.buf >= 4 then begin
+        let v = Int32.to_int (String.get_int32_le s.buf 0) in
+        s.buf <- String.sub s.buf 4 (String.length s.buf - 4);
+        if v >= s.limit + s.size - 1 then begin
+          s.ph <- Done_ring;
+          (s, Program.Sys (Syscall.Log (Printf.sprintf "ring done v=%d rank=%d" v s.rank)))
+        end
+        else begin
+          (* forward; the Fwd_tok continuation finishes us once the token
+             has passed the limit (each rank forwards the final token once,
+             so every rank terminates) *)
+          s.ph <- Fwd_tok (v + 1);
+          (s, Program.Sys (Syscall.Send (s.sendfd, u32 (v + 1))))
+        end
+      end
+      else (s, Program.Sys (Syscall.Recv (s.recvfd, 4, Socket.plain_recv)))
+    | Fwd_tok v, _ ->
+      if v >= s.limit then begin
+        s.ph <- Done_ring;
+        (s, Program.Sys (Syscall.Log (Printf.sprintf "ring done v=%d rank=%d" v s.rank)))
+      end
+      else begin
+        s.ph <- Recv_tok;
+        (s, Program.Sys (Syscall.Recv (s.recvfd, 4, Socket.plain_recv)))
+      end
+    | Done_ring, _ -> (s, Program.Exit 0)
+    | _, Syscall.Err _ -> (s, Program.Exit 1)
+    | _, _ -> (s, Program.Exit 2)
+
+  let phase_to_int = function
+    | Listen_sock -> 0 | Listen_bind -> 1 | Listen_listen -> 2 | Conn_new -> 3
+    | Conn_wait -> 4 | Conn_close -> 5 | Conn_sleep -> 6 | Accept_prev -> 7
+    | Start_token -> 8 | Recv_tok -> 9 | Fwd_tok _ -> 10 | Done_ring -> 11
+
+  let phase_arg = function Fwd_tok v -> v | _ -> 0
+
+  let int_to_phase i arg =
+    match i with
+    | 0 -> Listen_sock | 1 -> Listen_bind | 2 -> Listen_listen | 3 -> Conn_new
+    | 4 -> Conn_wait | 5 -> Conn_close | 6 -> Conn_sleep | 7 -> Accept_prev
+    | 8 -> Start_token | 9 -> Recv_tok | 10 -> Fwd_tok arg | _ -> Done_ring
+
+  let to_value s =
+    Value.assoc
+      [ ("rank", Value.int s.rank); ("size", Value.int s.size);
+        ("vips", Value.list Value.int (Array.to_list s.vips));
+        ("port", Value.int s.port); ("limit", Value.int s.limit);
+        ("ph", Value.int (phase_to_int s.ph)); ("ph_arg", Value.int (phase_arg s.ph));
+        ("lfd", Value.int s.lfd); ("sendfd", Value.int s.sendfd);
+        ("recvfd", Value.int s.recvfd); ("buf", Value.str s.buf) ]
+
+  let of_value v =
+    {
+      rank = Value.to_int (Value.field "rank" v);
+      size = Value.to_int (Value.field "size" v);
+      vips = Array.of_list (Value.to_list Value.to_int (Value.field "vips" v));
+      port = Value.to_int (Value.field "port" v);
+      limit = Value.to_int (Value.field "limit" v);
+      ph = int_to_phase (Value.to_int (Value.field "ph" v)) (Value.to_int (Value.field "ph_arg" v));
+      lfd = Value.to_int (Value.field "lfd" v);
+      sendfd = Value.to_int (Value.field "sendfd" v);
+      recvfd = Value.to_int (Value.field "recvfd" v);
+      buf = Value.to_str (Value.field "buf" v);
+    }
+end
+
+(* UDP chatter: both peers send [count] sequence-numbered datagrams and
+   collect whatever arrives; exits after an idle timeout.  Used to check
+   the paper's UDP semantics across checkpoints: queued datagrams are
+   preserved, in-flight ones may be lost, nothing is ever duplicated. *)
+module Udp_chat = struct
+  type phase = Mk_sock | Bind_sock | Loop | Closing
+
+  type state = {
+    rank : int;
+    vips : int array;
+    port : int;
+    count : int;
+    mutable ph : phase;
+    mutable fd : int;
+    mutable sent : int;
+    mutable got : int list;  (* received sequence numbers, newest first *)
+    mutable idle : int;
+  }
+
+  let name = "test.udp_chat"
+
+  let start args =
+    let rank = Value.to_int (Value.field "rank" args) in
+    let vips = Array.of_list (Value.to_list Value.to_int (Value.field "vips" args)) in
+    let port = Value.to_int (Value.field "port" args) in
+    let count = Value.to_int (Value.field "count" args) in
+    { rank; vips; port; count; ph = Mk_sock; fd = -1; sent = 0; got = []; idle = 0 }
+
+  let u32 n =
+    let b = Bytes.create 4 in
+    Bytes.set_int32_le b 0 (Int32.of_int n);
+    Bytes.unsafe_to_string b
+
+  let peer s = s.vips.(1 - s.rank)
+
+  let step s (outcome : Syscall.outcome) =
+    match (s.ph, outcome) with
+    | Mk_sock, _ ->
+      s.ph <- Bind_sock;
+      (s, Program.Sys (Syscall.Sock_create Socket.Dgram))
+    | Bind_sock, Syscall.Ret (Syscall.Rint fd) ->
+      s.fd <- fd;
+      s.ph <- Loop;
+      (s, Program.Sys (Syscall.Bind (fd, { Addr.ip = Addr.any; port = s.port })))
+    | Loop, _ ->
+      (* alternate: send next datagram (if any), then poll-receive *)
+      (match outcome with
+       | Syscall.Ret (Syscall.Rfrom (_, d)) when String.length d = 4 ->
+         s.got <- Int32.to_int (String.get_int32_le d 0) :: s.got;
+         s.idle <- 0
+       | Syscall.Err Zapc_simnet.Errno.EAGAIN -> s.idle <- s.idle + 1
+       | _ -> ());
+      if s.sent < s.count then begin
+        s.sent <- s.sent + 1;
+        ( s,
+          Program.Sys
+            (Syscall.Sendto (s.fd, { Addr.ip = peer s; port = s.port }, u32 s.sent)) )
+      end
+      else if s.idle > 200 then begin
+        s.ph <- Closing;
+        ( s,
+          Program.Sys
+            (Syscall.Log
+               (Printf.sprintf "udp rank=%d got=%d dup=%b" s.rank (List.length s.got)
+                  (List.length s.got <> List.length (List.sort_uniq Int.compare s.got)))) )
+      end
+      else begin
+        (* wait a bit for more datagrams *)
+        s.idle <- s.idle + 1;
+        ( s,
+          Program.Sys
+            (Syscall.Recvfrom (s.fd, 100, { Socket.peek = false; oob = false; dontwait = true })) )
+      end
+    | Closing, _ -> (s, Program.Exit 0)
+    | Bind_sock, _ -> (s, Program.Exit 1)
+
+  let ph_to_int = function Mk_sock -> 0 | Bind_sock -> 1 | Loop -> 2 | Closing -> 3
+  let int_to_ph = function 0 -> Mk_sock | 1 -> Bind_sock | 2 -> Loop | _ -> Closing
+
+  let to_value s =
+    Value.assoc
+      [ ("rank", Value.int s.rank);
+        ("vips", Value.list Value.int (Array.to_list s.vips));
+        ("port", Value.int s.port); ("count", Value.int s.count);
+        ("ph", Value.int (ph_to_int s.ph)); ("fd", Value.int s.fd);
+        ("sent", Value.int s.sent); ("got", Value.list Value.int s.got);
+        ("idle", Value.int s.idle) ]
+
+  let of_value v =
+    {
+      rank = Value.to_int (Value.field "rank" v);
+      vips = Array.of_list (Value.to_list Value.to_int (Value.field "vips" v));
+      port = Value.to_int (Value.field "port" v);
+      count = Value.to_int (Value.field "count" v);
+      ph = int_to_ph (Value.to_int (Value.field "ph" v));
+      fd = Value.to_int (Value.field "fd" v);
+      sent = Value.to_int (Value.field "sent" v);
+      got = Value.to_list Value.to_int (Value.field "got" v);
+      idle = Value.to_int (Value.field "idle" v);
+    }
+end
+
+(* Sets an application-level alarm (the paper's timeout mechanism), sleeps
+   through a checkpoint/restart, then reports how much alarm remains and what
+   the virtual clock says — time virtualization must keep both continuous. *)
+module Alarm_prog = struct
+  type state = int
+
+  let name = "test.alarm"
+  let start _ = 0
+
+  let step phase (outcome : Syscall.outcome) =
+    match (phase, outcome) with
+    | 0, _ -> (1, Program.Sys (Syscall.Alarm_set (Simtime.ms 500)))
+    | 1, _ -> (2, Program.Sys (Syscall.Nanosleep (Simtime.ms 200)))
+    | 2, _ -> (3, Program.Sys Syscall.Alarm_remaining)
+    | 3, Syscall.Ret (Syscall.Rtime rem) ->
+      (4, Program.Sys (Syscall.Log (Printf.sprintf "alarm_rem=%d" rem)))
+    | 4, _ -> (5, Program.Sys Syscall.Clock_gettime)
+    | 5, Syscall.Ret (Syscall.Rtime t) ->
+      (6, Program.Sys (Syscall.Log (Printf.sprintf "clock=%d" t)))
+    | _, _ -> (6, Program.Exit 0)
+
+  let to_value p = Value.Int p
+  let of_value = Value.to_int
+end
+
+(* Stop-and-wait ping over the kernel-bypass (Myrinet/GM-style) device:
+   unreliable transport, so lost messages (e.g. in flight during a
+   checkpoint) are retried after a poll timeout — the usual discipline of
+   libraries built on GM. *)
+module Gm_ping = struct
+  type phase = Open | Sending of int | Waiting of int | Reading of int | Done_gm
+
+  type state = {
+    peer : int;  (* pong's vip *)
+    count : int;
+    mutable ph : phase;
+    mutable fd : int;
+  }
+
+  let name = "test.gm_ping"
+
+  let start args =
+    { peer = Value.to_int (Value.field "peer" args);
+      count = Value.to_int (Value.field "count" args); ph = Open; fd = -1 }
+
+  let u32 n =
+    let b = Bytes.create 4 in
+    Bytes.set_int32_le b 0 (Int32.of_int n);
+    Bytes.unsafe_to_string b
+
+  let send_action s n =
+    Program.Sys (Syscall.Gm_send (s.fd, { Addr.ip = s.peer; port = 7 }, u32 n))
+
+  let step s (outcome : Syscall.outcome) =
+    match (s.ph, outcome) with
+    | Open, Syscall.Ret (Syscall.Rint fd) ->
+      s.fd <- fd;
+      s.ph <- Sending 1;
+      (s, send_action s 1)
+    | Open, _ -> (s, Program.Sys (Syscall.Gm_open { Addr.ip = Addr.any; port = 0 }))
+    | Sending n, _ ->
+      s.ph <- Waiting n;
+      ( s,
+        Program.Sys
+          (Syscall.Poll
+             ( [ { Syscall.pfd = s.fd; want_read = true; want_write = false } ],
+               Some (Simtime.ms 50) )) )
+    | Waiting n, Syscall.Ret (Syscall.Rpoll []) ->
+      (* echo lost (unreliable transport): retry *)
+      s.ph <- Sending n;
+      (s, send_action s n)
+    | Waiting n, Syscall.Ret (Syscall.Rpoll _) ->
+      s.ph <- Reading n;
+      (s, Program.Sys (Syscall.Gm_recv s.fd))
+    | Reading n, Syscall.Ret (Syscall.Rfrom (_, d)) ->
+      let v = Int32.to_int (String.get_int32_le d 0) in
+      if v < n then begin
+        (* stale duplicate echo: keep going *)
+        s.ph <- Sending n;
+        (s, send_action s n)
+      end
+      else if n >= s.count then begin
+        s.ph <- Done_gm;
+        (s, Program.Sys (Syscall.Log (Printf.sprintf "gm done n=%d" n)))
+      end
+      else begin
+        s.ph <- Sending (n + 1);
+        (s, send_action s (n + 1))
+      end
+    | Done_gm, _ -> (s, Program.Exit 0)
+    | _, Syscall.Err _ -> (s, Program.Exit 1)
+    | _, _ -> (s, Program.Exit 2)
+
+  let ph_to_value = function
+    | Open -> Value.List [ Value.Int 0; Value.Int 0 ]
+    | Sending n -> Value.List [ Value.Int 1; Value.Int n ]
+    | Waiting n -> Value.List [ Value.Int 2; Value.Int n ]
+    | Reading n -> Value.List [ Value.Int 3; Value.Int n ]
+    | Done_gm -> Value.List [ Value.Int 4; Value.Int 0 ]
+
+  let ph_of_value v =
+    match v with
+    | Value.List [ Value.Int 0; _ ] -> Open
+    | Value.List [ Value.Int 1; Value.Int n ] -> Sending n
+    | Value.List [ Value.Int 2; Value.Int n ] -> Waiting n
+    | Value.List [ Value.Int 3; Value.Int n ] -> Reading n
+    | _ -> Done_gm
+
+  let to_value s =
+    Value.assoc
+      [ ("peer", Value.int s.peer); ("count", Value.int s.count);
+        ("ph", ph_to_value s.ph); ("fd", Value.int s.fd) ]
+
+  let of_value v =
+    { peer = Value.to_int (Value.field "peer" v);
+      count = Value.to_int (Value.field "count" v);
+      ph = ph_of_value (Value.field "ph" v);
+      fd = Value.to_int (Value.field "fd" v) }
+end
+
+module Gm_pong = struct
+  type state = { mutable ph : int; mutable fd : int }
+
+  let name = "test.gm_pong"
+  let start _ = { ph = 0; fd = -1 }
+
+  let step s (outcome : Syscall.outcome) =
+    match (s.ph, outcome) with
+    | 0, _ ->
+      s.ph <- 1;
+      (s, Program.Sys (Syscall.Gm_open { Addr.ip = Addr.any; port = 7 }))
+    | 1, Syscall.Ret (Syscall.Rint fd) ->
+      s.fd <- fd;
+      s.ph <- 2;
+      (s, Program.Sys (Syscall.Gm_recv fd))
+    | 2, Syscall.Ret (Syscall.Rfrom (src, d)) ->
+      s.ph <- 3;
+      (s, Program.Sys (Syscall.Gm_send (s.fd, src, d)))
+    | 3, _ ->
+      s.ph <- 2;
+      (s, Program.Sys (Syscall.Gm_recv s.fd))
+    | _, _ -> (s, Program.Exit 1)
+
+  let to_value s = Value.List [ Value.Int s.ph; Value.Int s.fd ]
+
+  let of_value = function
+    | Value.List [ Value.Int ph; Value.Int fd ] -> { ph; fd }
+    | _ -> failwith "bad"
+end
+
+let () =
+  Program.register_if_absent (module Ring : Program.S);
+  Program.register_if_absent (module Udp_chat : Program.S);
+  Program.register_if_absent (module Alarm_prog : Program.S);
+  Program.register_if_absent (module Gm_ping : Program.S);
+  Program.register_if_absent (module Gm_pong : Program.S)
+
+(* launch [n] pods on the given nodes running a raw (non-Mpi) program *)
+let launch_raw cluster ~name ~program ~placement ~mk_args =
+  let pods =
+    List.mapi
+      (fun r node ->
+        Cluster.create_pod cluster ~node_idx:node ~name:(Printf.sprintf "%s-%d" name r))
+      placement
+  in
+  Cluster.link_pods pods;
+  let vips = List.map (fun (p : Pod.t) -> p.vip) pods in
+  let procs = List.mapi (fun r pod -> Pod.spawn pod ~program ~args:(mk_args r vips)) pods in
+  (pods, procs)
+
+let exited procs = List.for_all (fun (p : Proc.t) -> p.Proc.exit_code <> None) procs
+
+let bt_args g iters =
+  Zapc_apps.Bt_nas.params_to_value { Zapc_apps.Bt_nas.default_params with g; iters }
+
+(* ranks of a restarted app: collect the program's processes from the
+   re-created pods *)
+let restarted_ranks pod_ids program =
+  List.concat_map
+    (fun id ->
+      match Pod.find id with
+      | None -> []
+      | Some pod ->
+        List.filter_map
+          (fun (_, (pr : Proc.t)) ->
+            if String.equal (Program.name_of pr.Proc.inst) program then Some pr else None)
+          (Pod.members pod))
+    pod_ids
+
+(* ------------------------------------------------------------------ *)
+
+let test_snapshot_then_continue () =
+  let cluster = make_cluster () in
+  let app =
+    Launch.launch cluster ~name:"bt" ~program:"bt_nas" ~placement:[ 0; 1 ]
+      ~app_args:(bt_args 96 30) ()
+  in
+  Cluster.run cluster ~until:(Simtime.ms 5) ();
+  let r = Cluster.snapshot cluster ~pods:app.Launch.pods ~key_prefix:"snap" in
+  check tbool "snapshot ok" true r.Manager.r_ok;
+  check tint "two metas" 2 (List.length r.Manager.r_metas);
+  check tint "two stats" 2 (List.length r.Manager.r_stats);
+  (* the application continues and completes correctly after the snapshot *)
+  ignore (Launch.wait_done cluster app);
+  check tbool "checksum logged" true (has_log "bt_nas: checksum");
+  (* network-state time is a small fraction of the total (paper section 6) *)
+  List.iter
+    (fun (_, st) ->
+      check tbool "net time < local time" true
+        (st.Protocol.st_net_time < st.Protocol.st_local_time))
+    r.Manager.r_stats
+
+let test_restart_on_other_nodes_same_result () =
+  let cluster = make_cluster () in
+  let app =
+    Launch.launch cluster ~name:"bt" ~program:"bt_nas" ~placement:[ 0; 1 ]
+      ~app_args:(bt_args 96 30) ()
+  in
+  Cluster.run cluster ~until:(Simtime.ms 5) ();
+  let r = Cluster.snapshot cluster ~pods:app.Launch.pods ~key_prefix:"snap2" in
+  check tbool "snapshot ok" true r.Manager.r_ok;
+  ignore (Launch.wait_done cluster app);
+  let reference = Option.get (find_log "bt_nas: checksum") in
+  logged := [];
+  (* restart the snapshot on different nodes *)
+  let rr =
+    Cluster.restart_app cluster ~pod_ids:(Launch.pod_ids app) ~target_nodes:[ 2; 3 ]
+      ~key_prefix:"snap2"
+  in
+  check tbool "restart ok" true rr.Manager.r_ok;
+  let ranks = restarted_ranks (Launch.pod_ids app) "bt_nas" in
+  check tint "both ranks restored" 2 (List.length ranks);
+  Cluster.run_until cluster ~timeout:(Simtime.sec 1200.0) (fun () -> exited ranks);
+  (* bit-identical result from the restarted computation *)
+  check tbool "same checksum" true (List.mem reference !logged);
+  (* the restored pods live on the new nodes *)
+  List.iter
+    (fun id ->
+      let pod = Option.get (Pod.find id) in
+      match Zapc_simnet.Fabric.node_of_ip (Cluster.fabric cluster) pod.Pod.rip with
+      | Some n -> check tbool "on node 2 or 3" true (n = 2 || n = 3)
+      | None -> Alcotest.fail "pod rip unattached")
+    (Launch.pod_ids app)
+
+let test_migration_streaming () =
+  let cluster = make_cluster () in
+  let app =
+    Launch.launch cluster ~name:"bt" ~program:"bt_nas" ~placement:[ 0; 1 ]
+      ~app_args:(bt_args 96 30) ()
+  in
+  Cluster.run cluster ~until:(Simtime.ms 5) ();
+  (* checkpoint streamed directly to the destination Agents, no storage *)
+  let items =
+    List.map2
+      (fun (p : Pod.t) target ->
+        { Manager.ci_node = (match Zapc_simnet.Fabric.node_of_ip (Cluster.fabric cluster) p.rip with Some n -> n | None -> -1);
+          ci_pod = p.pod_id; ci_dest = Protocol.U_node target })
+      app.Launch.pods [ 2; 3 ]
+  in
+  let r = Cluster.checkpoint_sync cluster ~items ~resume:false in
+  check tbool "migrate checkpoint ok" true r.Manager.r_ok;
+  (* source pods are destroyed *)
+  check tbool "sources gone" true
+    (List.for_all (fun id -> Pod.find id = None) (Launch.pod_ids app));
+  (* restart from the streamed images *)
+  let ritems =
+    List.map2
+      (fun id target ->
+        { Manager.ri_node = target; ri_pod = id; ri_uri = Protocol.U_node target })
+      (Launch.pod_ids app) [ 2; 3 ]
+  in
+  let rr = Cluster.restart_sync cluster ~items:ritems in
+  check tbool "restart ok" true rr.Manager.r_ok;
+  let ranks = restarted_ranks (Launch.pod_ids app) "bt_nas" in
+  check tint "ranks" 2 (List.length ranks);
+  Cluster.run_until cluster ~timeout:(Simtime.sec 1200.0) (fun () -> exited ranks);
+  check tbool "completes after migration" true (has_log "bt_nas: checksum")
+
+let test_ring_restart () =
+  let cluster = make_cluster ~nodes:4 () in
+  let placement = [ 0; 1; 2 ] in
+  let pods, procs =
+    launch_raw cluster ~name:"ring" ~program:"test.ring" ~placement
+      ~mk_args:(fun r vips ->
+        Value.assoc
+          [ ("rank", Value.int r); ("size", Value.int 3);
+            ("vips", Value.list Value.int vips); ("port", Value.int 4400);
+            ("limit", Value.int 5000) ])
+  in
+  (* let the ring get going, then snapshot mid-token *)
+  Cluster.run cluster ~until:(Simtime.ms 40) ();
+  check tbool "still running" true (not (exited procs));
+  let r = Cluster.snapshot cluster ~pods ~key_prefix:"ring" in
+  check tbool "ring snapshot ok" true r.Manager.r_ok;
+  (* every pod has both a connect-role and an accept-role endpoint *)
+  List.iter
+    (fun (pm : Zapc_netckpt.Meta.pod_meta) ->
+      let roles = List.map (fun e -> e.Zapc_netckpt.Meta.role) pm.pm_entries in
+      check tbool "has accept" true (List.mem Zapc_netckpt.Meta.Accept roles);
+      check tbool "has connect" true (List.mem Zapc_netckpt.Meta.Connect roles))
+    r.Manager.r_metas;
+  (* kill the originals, restart the ring on fresh nodes; recovery must not
+     deadlock even though the connection graph is a cycle *)
+  List.iter Pod.destroy pods;
+  let pod_ids = List.map (fun (p : Pod.t) -> p.Pod.pod_id) pods in
+  let rr =
+    Cluster.restart_app cluster ~pod_ids ~target_nodes:[ 3; 3; 3 ] ~key_prefix:"ring"
+  in
+  check tbool "ring restart ok" true rr.Manager.r_ok;
+  let ranks = restarted_ranks pod_ids "test.ring" in
+  check tint "three restored" 3 (List.length ranks);
+  Cluster.run_until cluster ~timeout:(Simtime.sec 600.0) (fun () -> exited ranks);
+  check tbool "token completed" true (has_log "ring done v=5000");
+  List.iter (fun (p : Proc.t) -> check tbool "clean exit" true (p.exit_code = Some 0)) ranks
+
+let test_udp_across_checkpoint () =
+  let cluster = make_cluster () in
+  let pods, procs =
+    launch_raw cluster ~name:"udp" ~program:"test.udp_chat" ~placement:[ 0; 1 ]
+      ~mk_args:(fun r vips ->
+        Value.assoc
+          [ ("rank", Value.int r); ("vips", Value.list Value.int vips);
+            ("port", Value.int 4500); ("count", Value.int 3000) ])
+  in
+  Cluster.run cluster ~until:(Simtime.ms 2) ();
+  let r = Cluster.snapshot cluster ~pods ~key_prefix:"udp" in
+  check tbool "snapshot ok" true r.Manager.r_ok;
+  Cluster.run_until cluster ~timeout:(Simtime.sec 600.0) (fun () -> exited procs);
+  (* both peers finished; no duplicated datagrams (loss is acceptable) *)
+  check tbool "rank0 done" true (has_log "udp rank=0");
+  check tbool "rank1 done" true (has_log "udp rank=1");
+  check tbool "no duplicates" true
+    (List.for_all
+       (fun s ->
+         not (String.length s >= 3 && String.equal (String.sub s 0 3) "udp")
+         || not
+              (String.length s > 9
+               && String.equal (String.sub s (String.length s - 9) 9) "dup=true"))
+       !logged)
+
+let test_manager_failure_aborts () =
+  let cluster = make_cluster () in
+  let app =
+    Launch.launch cluster ~name:"bt" ~program:"bt_nas" ~placement:[ 0; 1 ]
+      ~app_args:(bt_args 96 25) ()
+  in
+  Cluster.run cluster ~until:(Simtime.ms 5) ();
+  (* begin a checkpoint, then sever one Agent's control connection while the
+     operation is in flight *)
+  let result = ref None in
+  let items =
+    List.map
+      (fun (p : Pod.t) ->
+        { Manager.ci_node = (match Zapc_simnet.Fabric.node_of_ip (Cluster.fabric cluster) p.rip with Some n -> n | None -> -1);
+          ci_pod = p.pod_id; ci_dest = Protocol.U_storage "doomed" })
+      app.Launch.pods
+  in
+  Manager.checkpoint (Cluster.manager cluster) ~items ~resume:true ~on_done:(fun r ->
+      result := Some r);
+  Engine.schedule (Cluster.engine cluster) ~delay:(Simtime.ms 20) (fun () ->
+      Manager.break_channel (Cluster.manager cluster) ~node:0);
+  Cluster.run_until cluster (fun () -> !result <> None);
+  (* the operation aborts... *)
+  check tbool "operation failed" true (not (Option.get !result).Manager.r_ok);
+  (* ...and the application resumes gracefully and still completes correctly
+     (paper section 4: "the operation will be gracefully aborted, and the
+     application will resume its execution") *)
+  ignore (Launch.wait_done cluster app);
+  check tbool "app completed after abort" true (has_log "bt_nas: checksum")
+
+let test_checkpoint_completes_without_failure () =
+  let cluster = make_cluster () in
+  let app =
+    Launch.launch cluster ~name:"bt" ~program:"bt_nas" ~placement:[ 0; 1 ]
+      ~app_args:(bt_args 96 25) ()
+  in
+  Cluster.run cluster ~until:(Simtime.ms 5) ();
+  let r = Cluster.snapshot cluster ~pods:app.Launch.pods ~key_prefix:"ok" in
+  check tbool "completed" true r.Manager.r_ok;
+  ignore (Launch.wait_done cluster app);
+  check tbool "app completed" true (has_log "bt_nas: checksum")
+
+let test_agent_channel_break () =
+  let params = Params.default in
+  Zapc_apps.Registry.register_all ();
+  let engine = Engine.create ~seed:1 () in
+  let ch = Zapc.Control.create ~engine ~latency:(Simtime.us 100) ~bps:1e9 in
+  let got = ref [] in
+  Zapc.Control.set_up_handler ch (fun m -> got := m :: !got);
+  Zapc.Control.on_break ch (fun () -> got := "broken" :: !got);
+  Zapc.Control.send_up ch ~bytes:10 "hello";
+  Engine.run engine;
+  Alcotest.(check (list string)) "delivered" [ "hello" ] !got;
+  Zapc.Control.send_up ch ~bytes:10 "in-flight";
+  Zapc.Control.break ch;
+  Engine.run engine;
+  (* in-flight message dropped; both sides notified *)
+  check tbool "break notified" true (List.mem "broken" !got);
+  check tbool "in-flight dropped" true (not (List.mem "in-flight" !got));
+  ignore params
+
+let test_restart_missing_image_fails_cleanly () =
+  let cluster = make_cluster () in
+  let r =
+    Cluster.restart_sync cluster
+      ~items:[ { Manager.ri_node = 0; ri_pod = 999; ri_uri = Protocol.U_storage "absent" } ]
+  in
+  check tbool "fails" true (not r.Manager.r_ok)
+
+let test_two_pods_per_node_dual_cpu () =
+  (* the paper's 16-node configuration: dual-CPU nodes, one pod per CPU *)
+  let cluster = make_cluster ~nodes:2 ~cpus:2 () in
+  let app =
+    Launch.launch cluster ~name:"bt" ~program:"bt_nas" ~placement:[ 0; 0; 1; 1 ]
+      ~app_args:(bt_args 96 25) ()
+  in
+  Cluster.run cluster ~until:(Simtime.ms 5) ();
+  let r = Cluster.snapshot cluster ~pods:app.Launch.pods ~key_prefix:"dual" in
+  check tbool "snapshot of 4 pods on 2 nodes" true r.Manager.r_ok;
+  check tint "four pods" 4 (List.length r.Manager.r_stats);
+  ignore (Launch.wait_done cluster app);
+  check tbool "completes" true (has_log "bt_nas: checksum")
+
+(* checkpoint the restarted application AGAIN and restart it elsewhere: the
+   second checkpoint must re-extract data parked in alternate receive queues
+   by the first restore, and the end result must still be identical *)
+let test_double_restart_chain () =
+  let cluster = make_cluster () in
+  let app =
+    Launch.launch cluster ~name:"bt" ~program:"bt_nas" ~placement:[ 0; 1 ]
+      ~app_args:(bt_args 96 40) ()
+  in
+  ignore (Launch.wait_done cluster app);
+  let reference = Option.get (find_log "bt_nas: checksum") in
+  (* same workload, interrupted twice *)
+  let cluster = make_cluster () in
+  let app =
+    Launch.launch cluster ~name:"bt" ~program:"bt_nas" ~placement:[ 0; 1 ]
+      ~app_args:(bt_args 96 40) ()
+  in
+  Cluster.run cluster ~until:(Simtime.ms 6) ();
+  let r1 = Cluster.snapshot cluster ~pods:app.Launch.pods ~key_prefix:"hop1" in
+  check tbool "first snapshot" true r1.Manager.r_ok;
+  List.iter Pod.destroy app.Launch.pods;
+  let rr1 =
+    Cluster.restart_app cluster ~pod_ids:(Launch.pod_ids app) ~target_nodes:[ 2; 3 ]
+      ~key_prefix:"hop1"
+  in
+  check tbool "first restart" true rr1.Manager.r_ok;
+  (* run a little, then snapshot the RESTARTED pods and move them again *)
+  Cluster.run cluster ~until:(Simtime.add (Cluster.now cluster) (Simtime.ms 6)) ();
+  let pods2 = List.filter_map Pod.find (Launch.pod_ids app) in
+  check tint "pods alive after first restart" 2 (List.length pods2);
+  let r2 = Cluster.snapshot cluster ~pods:pods2 ~key_prefix:"hop2" in
+  check tbool "second snapshot" true r2.Manager.r_ok;
+  List.iter Pod.destroy pods2;
+  let rr2 =
+    Cluster.restart_app cluster ~pod_ids:(Launch.pod_ids app) ~target_nodes:[ 1; 0 ]
+      ~key_prefix:"hop2"
+  in
+  check tbool "second restart" true rr2.Manager.r_ok;
+  Cluster.run_until cluster ~timeout:(Simtime.sec 2400.0) (fun () ->
+      find_log "bt_nas: checksum" <> None);
+  check tbool "identical result after two hops" true (List.mem reference !logged)
+
+(* restart over a lossy fabric: connection recovery and the send-queue
+   resend ride on real TCP, so retransmission must absorb the loss *)
+let test_restart_with_packet_loss () =
+  let cluster = make_cluster () in
+  let app =
+    Launch.launch cluster ~name:"bt" ~program:"bt_nas" ~placement:[ 0; 1 ]
+      ~app_args:(bt_args 96 30) ()
+  in
+  Cluster.run cluster ~until:(Simtime.ms 6) ();
+  let r = Cluster.snapshot cluster ~pods:app.Launch.pods ~key_prefix:"lossy" in
+  check tbool "snapshot" true r.Manager.r_ok;
+  ignore (Launch.wait_done cluster app);
+  let reference = Option.get (find_log "bt_nas: checksum") in
+  logged := [];
+  Zapc_simnet.Fabric.set_loss_prob (Cluster.fabric cluster) 0.03;
+  let rr =
+    Cluster.restart_app cluster ~pod_ids:(Launch.pod_ids app) ~target_nodes:[ 2; 3 ]
+      ~key_prefix:"lossy"
+  in
+  check tbool "restart over lossy fabric" true rr.Manager.r_ok;
+  Cluster.run_until cluster ~timeout:(Simtime.sec 2400.0) (fun () ->
+      find_log "bt_nas: checksum" <> None);
+  check tbool "identical result despite loss" true (List.mem reference !logged)
+
+(* the application-level timeout mechanism survives a checkpoint/restart
+   with a long down-time in between: the alarm's remaining time and the
+   virtual clock both continue as if the gap never happened *)
+let test_alarm_and_clock_across_restart () =
+  let cluster = make_cluster () in
+  let pod = Cluster.create_pod cluster ~node_idx:0 ~name:"alarmpod" in
+  Cluster.link_pods [ pod ];
+  let _p = Pod.spawn pod ~program:"test.alarm" ~args:Value.unit in
+  (* checkpoint mid-sleep at 100 ms *)
+  Cluster.run cluster ~until:(Simtime.ms 100) ();
+  let r = Cluster.snapshot cluster ~pods:[ pod ] ~key_prefix:"alarm" in
+  check tbool "snapshot" true r.Manager.r_ok;
+  Pod.destroy pod;
+  (* a long outage: restart only at t=5s *)
+  Cluster.run cluster ~until:(Simtime.sec 5.0) ();
+  let rr =
+    Cluster.restart_app cluster ~pod_ids:[ pod.Pod.pod_id ] ~target_nodes:[ 2 ]
+      ~key_prefix:"alarm"
+  in
+  check tbool "restart" true rr.Manager.r_ok;
+  Cluster.run_until cluster ~timeout:(Simtime.sec 60.0) (fun () ->
+      find_log "clock=" <> None);
+  (* the alarm was set to 500 ms at ~0 and checked at ~200 ms of app time:
+     ~300 ms must remain — it must NOT have expired during the 5 s outage *)
+  (match find_log "alarm_rem=" with
+   | Some line ->
+     let rem = int_of_string (String.sub line 10 (String.length line - 10)) in
+     check tbool "alarm not expired" true (rem > Simtime.ms 200 && rem <= Simtime.ms 400)
+   | None -> Alcotest.fail "no alarm log");
+  (* and the virtual clock hides the outage: it reads ~200 ms, not ~5 s *)
+  match find_log "clock=" with
+  | Some line ->
+    let t = int_of_string (String.sub line 6 (String.length line - 6)) in
+    check tbool "clock continuous" true (t < Simtime.ms 400)
+  | None -> Alcotest.fail "no clock log"
+
+let test_checkpoint_timing_structure () =
+  let cluster = make_cluster () in
+  let app =
+    Launch.launch cluster ~name:"bt" ~program:"bt_nas" ~placement:[ 0; 1 ]
+      ~app_args:(bt_args 128 30) ()
+  in
+  Cluster.run cluster ~until:(Simtime.ms 5) ();
+  let r = Cluster.snapshot cluster ~pods:app.Launch.pods ~key_prefix:"timing" in
+  check tbool "ok" true r.Manager.r_ok;
+  List.iter
+    (fun (_, st) ->
+      (* network-state checkpoint well under 10ms, a small fraction of the
+         local time (paper: 3-10%) *)
+      check tbool "net ckpt < 10ms" true (st.Protocol.st_net_time < Simtime.ms 10);
+      check tbool "images nonempty" true (st.Protocol.st_image_bytes > 1_000_000);
+      check tbool "procs = app + daemon" true (st.Protocol.st_procs = 2))
+    r.Manager.r_stats;
+  (* total duration includes agent work plus control round-trips *)
+  check tbool "duration covers agent local time" true
+    (List.for_all
+       (fun (_, st) -> r.Manager.r_duration >= st.Protocol.st_local_time)
+       r.Manager.r_stats)
+
+(* N -> M reshaping (paper section 3: "ZapC can migrate a distributed
+   application running on N cluster nodes to run on M cluster nodes, where
+   generally N != M"): 4 pods from 4 nodes consolidated onto 2, then the
+   result must still be exact *)
+let test_n_to_m_consolidation () =
+  let cluster = make_cluster ~nodes:4 () in
+  let app =
+    Launch.launch cluster ~name:"bt" ~program:"bt_nas" ~placement:[ 0; 1; 2; 3 ]
+      ~app_args:(bt_args 96 40) ()
+  in
+  ignore (Launch.wait_done cluster app);
+  let reference = Option.get (find_log "bt_nas: checksum") in
+  let cluster = make_cluster ~nodes:4 () in
+  let app =
+    Launch.launch cluster ~name:"bt" ~program:"bt_nas" ~placement:[ 0; 1; 2; 3 ]
+      ~app_args:(bt_args 96 40) ()
+  in
+  Cluster.run cluster ~until:(Simtime.ms 6) ();
+  let r = Cluster.snapshot cluster ~pods:app.Launch.pods ~key_prefix:"ntom" in
+  check tbool "snapshot" true r.Manager.r_ok;
+  List.iter Pod.destroy app.Launch.pods;
+  (* two pods per node on nodes 0 and 1 *)
+  let rr =
+    Cluster.restart_app cluster ~pod_ids:(Launch.pod_ids app) ~target_nodes:[ 0; 0; 1; 1 ]
+      ~key_prefix:"ntom"
+  in
+  check tbool "restart 4 pods on 2 nodes" true rr.Manager.r_ok;
+  List.iter
+    (fun id ->
+      let pod = Option.get (Pod.find id) in
+      match Zapc_simnet.Fabric.node_of_ip (Cluster.fabric cluster) pod.Pod.rip with
+      | Some n -> check tbool "consolidated" true (n = 0 || n = 1)
+      | None -> Alcotest.fail "pod unattached")
+    (Launch.pod_ids app);
+  Cluster.run_until cluster ~timeout:(Simtime.sec 2400.0) (fun () ->
+      find_log "bt_nas: checksum" <> None);
+  check tbool "identical result on half the nodes" true (List.mem reference !logged)
+
+(* the periodic-checkpoint service: rotating epochs, pruning, and recovery
+   of the whole application from the last good epoch after a crash *)
+let test_periodic_service_recovery () =
+  let cluster = make_cluster () in
+  let app =
+    Launch.launch cluster ~name:"bt" ~program:"bt_nas" ~placement:[ 0; 1 ]
+      ~app_args:(bt_args 256 1500) ()
+  in
+  ignore (Launch.wait_done cluster app);
+  let reference = Option.get (find_log "bt_nas: checksum") in
+  (* fresh run with the service ticking every 200 ms *)
+  let cluster = make_cluster () in
+  let app =
+    Launch.launch cluster ~name:"bt" ~program:"bt_nas" ~placement:[ 0; 1 ]
+      ~app_args:(bt_args 256 1500) ()
+  in
+  let svc =
+    Zapc.Periodic.start cluster ~pods:app.Launch.pods ~prefix:"svc"
+      ~period:(Simtime.ms 200) ~keep:2 ()
+  in
+  Cluster.run cluster ~until:(Simtime.ms 900) ();
+  check tbool "app still running at crash time" true (not (Launch.is_done app));
+  check tbool "epochs completed" true (Zapc.Periodic.last_good svc >= 2);
+  (* pruning: only the last [keep] epochs remain in storage *)
+  let keys = Zapc.Storage.keys (Cluster.storage cluster) in
+  let epoch_keys =
+    List.filter
+      (fun k -> String.length k >= 3 && String.equal (String.sub k 0 3) "svc")
+      keys
+  in
+  check tbool "old epochs pruned" true (List.length epoch_keys <= 2 * 2);
+  (* node 0 crashes; recover on fresh nodes from the last good epoch *)
+  List.iter
+    (fun (p : Pod.t) ->
+      match Zapc_simnet.Fabric.node_of_ip (Cluster.fabric cluster) p.rip with
+      | Some 0 -> Pod.destroy p
+      | Some _ | None -> ())
+    app.Launch.pods;
+  Cluster.run_until cluster ~timeout:(Simtime.sec 10.0) (fun () ->
+      not (Manager.busy (Cluster.manager cluster)));
+  let r = Zapc.Periodic.recover svc ~target_nodes:[ 2; 3 ] in
+  check tbool "recovery ok" true r.Manager.r_ok;
+  Cluster.run_until cluster ~timeout:(Simtime.sec 2400.0) (fun () ->
+      find_log "bt_nas: checksum" <> None);
+  check tbool "identical result after recovery" true (List.mem reference !logged)
+
+(* the Myrinet/GM extension (paper section 5): kernel-bypass messaging
+   whose device-resident port state is extracted and reinstated across a
+   migration; in-flight messages drop (unreliable) and the library's
+   timeout-retry absorbs the loss *)
+let test_gm_checkpoint_migration () =
+  let cluster = make_cluster () in
+  (* launched manually: ping and pong run different programs *)
+  let pong_pod = Cluster.create_pod cluster ~node_idx:0 ~name:"gm-pong" in
+  let ping_pod = Cluster.create_pod cluster ~node_idx:1 ~name:"gm-ping" in
+  Cluster.link_pods [ pong_pod; ping_pod ];
+  let pong = Pod.spawn pong_pod ~program:"test.gm_pong" ~args:Value.unit in
+  let ping =
+    Pod.spawn ping_pod ~program:"test.gm_ping"
+      ~args:
+        (Value.assoc
+           [ ("peer", Value.int pong_pod.Pod.vip); ("count", Value.int 600) ])
+  in
+  Cluster.run cluster ~until:(Simtime.ms 5) ();
+  check tbool "mid-run" true (ping.Proc.exit_code = None);
+  (* checkpoint both, destroy, restart on nodes 2 and 3 *)
+  let r = Cluster.snapshot cluster ~pods:[ pong_pod; ping_pod ] ~key_prefix:"gm" in
+  check tbool "snapshot ok" true r.Manager.r_ok;
+  List.iter Pod.destroy [ pong_pod; ping_pod ];
+  let rr =
+    Cluster.restart_app cluster
+      ~pod_ids:[ pong_pod.Pod.pod_id; ping_pod.Pod.pod_id ]
+      ~target_nodes:[ 2; 3 ] ~key_prefix:"gm"
+  in
+  check tbool "restart ok" true rr.Manager.r_ok;
+  Cluster.run_until cluster ~timeout:(Simtime.sec 600.0) (fun () -> has_log "gm done");
+  check tbool "all exchanges completed" true (has_log "gm done n=600");
+  ignore pong
+
+(* determinism: the entire cluster — kernels, TCP, protocol — is a
+   deterministic function of the seed; two identical runs agree on every
+   observable, event for event *)
+let test_determinism () =
+  let run () =
+    let cluster = make_cluster ~seed:1234 () in
+    let app =
+      Launch.launch cluster ~name:"bt" ~program:"bt_nas" ~placement:[ 0; 1 ]
+        ~app_args:(bt_args 96 30) ()
+    in
+    Cluster.run cluster ~until:(Simtime.ms 5) ();
+    let r = Cluster.snapshot cluster ~pods:app.Launch.pods ~key_prefix:"det" in
+    let t = Launch.wait_done cluster app in
+    (Simtime.to_sec t, r.Manager.r_duration,
+     List.sort compare (List.map (fun (p, st) -> (p, st.Protocol.st_image_bytes)) r.Manager.r_stats),
+     Option.get (find_log "bt_nas: checksum"))
+  in
+  let a = run () in
+  let b = run () in
+  check tbool "bit-for-bit reproducible" true (a = b)
+
+(* the Figure-2 timeline: the standalone checkpoint overlaps the Manager
+   synchronization, and resume waits for BOTH the local standalone
+   checkpoint and the Manager's 'continue' *)
+let test_figure2_timeline () =
+  let cluster = make_cluster () in
+  let tr = Cluster.enable_trace cluster in
+  let app =
+    Launch.launch cluster ~name:"bt" ~program:"bt_nas" ~placement:[ 0; 1 ]
+      ~app_args:(bt_args 128 30) ()
+  in
+  Cluster.run cluster ~until:(Simtime.ms 5) ();
+  let r = Cluster.snapshot cluster ~pods:app.Launch.pods ~key_prefix:"fig2" in
+  check tbool "ok" true r.Manager.r_ok;
+  let time pod what =
+    match Zapc.Trace.find tr ~pod what with
+    | Some e -> e.Zapc.Trace.ev_time
+    | None -> Alcotest.failf "missing trace event %s for pod %d" what pod
+  in
+  List.iter
+    (fun (p : Pod.t) ->
+      let id = p.pod_id in
+      (* phases happen in Figure-1 order *)
+      check tbool "suspend before net ckpt" true (time id "suspended" <= time id "net_ckpt_done");
+      check tbool "net ckpt before meta" true (time id "net_ckpt_done" <= time id "meta_sent");
+      (* the Manager's continue arrives DURING the standalone checkpoint:
+         this is the overlap the network-state-first ordering buys *)
+      check tbool "continue overlaps standalone" true
+        (time id "continue_received" < time id "standalone_done");
+      (* resume gates on both conditions *)
+      check tbool "resume after standalone" true
+        (time id "resumed" >= time id "standalone_done");
+      check tbool "resume after continue" true
+        (time id "resumed" >= time id "continue_received"))
+    app.Launch.pods;
+  (* the rendering is printable and mentions every pod *)
+  let s = Zapc.Trace.render_checkpoint tr in
+  check tbool "render nonempty" true (String.length s > 100);
+  ignore (Launch.wait_done cluster app)
+
+let test_serial_ablation_slower () =
+  let run_mode serial =
+    let params =
+      { Params.default with Params.serial_ckpt = serial; cost_jitter = 0.0 }
+    in
+    let cluster = make_cluster ~params () in
+    let app =
+      Launch.launch cluster ~name:"bt" ~program:"bt_nas" ~placement:[ 0; 1 ]
+        ~app_args:(bt_args 128 30) ()
+    in
+    Cluster.run cluster ~until:(Simtime.ms 5) ();
+    let r = Cluster.snapshot cluster ~pods:app.Launch.pods ~key_prefix:"abl" in
+    check tbool "ok" true r.Manager.r_ok;
+    r.Manager.r_duration
+  in
+  let overlapped = run_mode false in
+  let serial = run_mode true in
+  check tbool "overlapped checkpoint is not slower" true (overlapped <= serial)
+
+let () =
+  Alcotest.run "zapc"
+    [ ( "coordinated",
+        [ Alcotest.test_case "snapshot then continue" `Quick test_snapshot_then_continue;
+          Alcotest.test_case "restart elsewhere, same result" `Quick
+            test_restart_on_other_nodes_same_result;
+          Alcotest.test_case "migration streaming" `Quick test_migration_streaming;
+          Alcotest.test_case "ring topology restart" `Quick test_ring_restart;
+          Alcotest.test_case "udp across checkpoint" `Quick test_udp_across_checkpoint;
+          Alcotest.test_case "dual-cpu, two pods per node" `Quick
+            test_two_pods_per_node_dual_cpu;
+          Alcotest.test_case "double restart chain" `Quick test_double_restart_chain;
+          Alcotest.test_case "restart with packet loss" `Quick
+            test_restart_with_packet_loss;
+          Alcotest.test_case "alarm + clock across restart" `Quick
+            test_alarm_and_clock_across_restart;
+          Alcotest.test_case "periodic service + recovery" `Quick
+            test_periodic_service_recovery;
+          Alcotest.test_case "gm (kernel-bypass) migration" `Quick
+            test_gm_checkpoint_migration;
+          Alcotest.test_case "N-to-M consolidation" `Quick test_n_to_m_consolidation ] );
+      ( "protocol",
+        [ Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "timing structure" `Quick test_checkpoint_timing_structure;
+          Alcotest.test_case "figure-2 timeline" `Quick test_figure2_timeline;
+          Alcotest.test_case "serial ablation" `Quick test_serial_ablation_slower;
+          Alcotest.test_case "agent failure aborts gracefully" `Quick
+            test_manager_failure_aborts;
+          Alcotest.test_case "checkpoint completes" `Quick
+            test_checkpoint_completes_without_failure;
+          Alcotest.test_case "control channel break" `Quick test_agent_channel_break;
+          Alcotest.test_case "missing image fails cleanly" `Quick
+            test_restart_missing_image_fails_cleanly ] ) ]
