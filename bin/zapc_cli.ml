@@ -54,8 +54,20 @@ let setup_cluster ~nodes ~cpus ~seed =
   done;
   cluster
 
-let parse_node_list s =
-  String.split_on_char ',' s |> List.filter (fun x -> x <> "") |> List.map int_of_string
+let parse_node_list ~nodes s =
+  let l =
+    String.split_on_char ',' s |> List.filter (fun x -> x <> "") |> List.map int_of_string
+  in
+  (match List.find_opt (fun n -> n < 0 || n >= nodes) l with
+   | Some n ->
+     Printf.eprintf "zapc-cli: node %d is outside the cluster (0..%d)\n%!" n (nodes - 1);
+     exit 2
+   | None -> ());
+  if l = [] then begin
+    Printf.eprintf "zapc-cli: empty node list\n%!";
+    exit 2
+  end;
+  l
 
 let ranks_of_app program pod_ids =
   List.concat_map
@@ -100,7 +112,7 @@ let run_cmd app ranks nodes cpus scale seed snapshot_at restart_on =
        match restart_on with
        | None -> ignore (Launch.wait_done cluster appl)
        | Some targets ->
-         let targets = parse_node_list targets in
+         let targets = parse_node_list ~nodes targets in
          ignore (Launch.wait_done cluster appl);
          Printf.printf "restarting the snapshot on nodes %s\n%!"
            (String.concat "," (List.map string_of_int targets));
@@ -133,7 +145,7 @@ let migrate_cmd app ranks nodes cpus scale seed at to_ =
   Cluster.run cluster ~until:(Simtime.ms at) ();
   if Launch.is_done appl then print_endline "application finished before the migration"
   else begin
-    let targets = parse_node_list to_ in
+    let targets = parse_node_list ~nodes to_ in
     let targets = List.init ranks (fun i -> List.nth targets (i mod List.length targets)) in
     let where (p : Pod.t) =
       match Zapc_simnet.Fabric.node_of_ip (Cluster.fabric cluster) p.rip with

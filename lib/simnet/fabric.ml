@@ -43,6 +43,16 @@ let engine t = t.engine
 let netfilter t = t.nf
 let config t = t.cfg
 let set_loss_prob t p = t.cfg <- { t.cfg with loss_prob = p }
+let set_latency t l = t.cfg <- { t.cfg with latency = l }
+let set_config t cfg = t.cfg <- cfg
+
+let ips_of_node t node =
+  Hashtbl.fold (fun ip (n, _) acc -> if n = node then ip :: acc else acc) t.handlers []
+  |> List.sort Int.compare
+
+(* Failure injection: a node vanishing from the network (NIC detach / power
+   loss).  Packets in flight to its addresses are dropped on delivery. *)
+let detach_node t node = List.iter (fun ip -> Hashtbl.remove t.handlers ip) (ips_of_node t node)
 
 let nic_of t node =
   match Hashtbl.find_opt t.nics node with

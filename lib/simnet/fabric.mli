@@ -23,6 +23,18 @@ val netfilter : t -> Netfilter.t
 val config : t -> config
 val set_loss_prob : t -> float -> unit
 
+val set_latency : t -> Zapc_sim.Simtime.t -> unit
+(** Failure injection: change the one-way latency (congestion spikes). *)
+
+val set_config : t -> config -> unit
+
+val ips_of_node : t -> int -> Addr.ip list
+(** All addresses currently attached on a node, sorted. *)
+
+val detach_node : t -> int -> unit
+(** Failure injection: detach every address of a node at once (NIC detach /
+    power loss); packets in flight to them are dropped on delivery. *)
+
 val attach : t -> node:int -> Addr.ip -> (Packet.t -> unit) -> unit
 (** Bind [ip] to a receive handler on [node]; all addresses of one node share
     that node's NIC for serialization. *)

@@ -653,3 +653,9 @@ let alive_count k =
   Hashtbl.fold (fun _ p acc -> if Proc.is_alive p then acc + 1 else acc) k.procs 0
 
 let remove_proc k pid = Hashtbl.remove k.procs pid
+
+(* Failure injection: node power loss.  Every live process dies as if
+   SIGKILLed; nothing gets a chance to clean up. *)
+let crash k =
+  let live = Hashtbl.fold (fun _ p acc -> if Proc.is_alive p then p :: acc else acc) k.procs [] in
+  List.iter (fun p -> terminate k p 137) live

@@ -46,6 +46,10 @@ val processes : t -> Proc.t list
 val alive_count : t -> int
 val remove_proc : t -> int -> unit
 
+val crash : t -> unit
+(** Failure injection: node power loss.  Every live process terminates as
+    if SIGKILLed (exit code 137); no cleanup code runs. *)
+
 val set_logger : t -> (t -> Proc.t -> string -> unit) -> unit
 (** Receives every Log system call. *)
 

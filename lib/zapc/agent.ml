@@ -135,6 +135,42 @@ let jittered t cost =
 let parked : (int * int, unit -> unit) Hashtbl.t = Hashtbl.create 8
 
 (* ------------------------------------------------------------------ *)
+(* Abort paths (Manager failure / explicit abort / timeouts)           *)
+(* ------------------------------------------------------------------ *)
+
+(* Both aborts are idempotent: a second call (say an explicit A_abort after
+   a channel break already cleaned up) finds nothing and does nothing. *)
+
+let abort_checkpoint t pod_id =
+  match Hashtbl.find_opt t.ckpts pod_id with
+  | None -> ()
+  | Some op ->
+    op.co_aborted <- true;
+    Netfilter.unblock (nf t) op.co_pod.rip;
+    Pod.resume op.co_pod;
+    trace t ~pod:pod_id "ckpt_aborted";
+    Hashtbl.remove t.ckpts pod_id
+
+let abort_restart t pod_id =
+  (* a restart parked waiting for a streamed image has no restore_op yet;
+     dropping the parked continuation is the whole abort *)
+  Hashtbl.remove parked (t.node, pod_id);
+  match Hashtbl.find_opt t.restores pod_id with
+  | None -> ()
+  | Some op ->
+    op.ro_aborted <- true;
+    Pod.destroy op.ro_pod;
+    forget_pod t pod_id;
+    trace t ~pod:pod_id "restart_aborted";
+    Hashtbl.remove t.restores pod_id
+
+let abort_all t =
+  let cks = Hashtbl.fold (fun k _ acc -> k :: acc) t.ckpts [] in
+  List.iter (abort_checkpoint t) cks;
+  let rss = Hashtbl.fold (fun k _ acc -> k :: acc) t.restores [] in
+  List.iter (abort_restart t) rss
+
+(* ------------------------------------------------------------------ *)
 (* Checkpoint (Figure 1, Agent side)                                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -188,11 +224,25 @@ and ckpt_network t op =
              { node = t.node; pod_id = op.co_pod.pod_id; meta = net.meta;
                meta_bytes = Meta.size_bytes net.meta });
         trace t ~pod:op.co_pod.pod_id "meta_sent";
+        arm_continue_timeout t op;
         if t.params.serial_ckpt then
           (* ablation: wait for 'continue' before the standalone checkpoint *)
           wait_continue_then t op (fun () -> ckpt_standalone t op net)
         else ckpt_standalone t op net
       end)
+
+(* The meta-data is out; if the Manager's 'continue' never arrives (hung
+   Manager, or a control channel that is stalled without being broken) the
+   pod must not stay suspended forever.  Abort our side and let it resume;
+   the failure report is best-effort — the Manager may be gone. *)
+and arm_continue_timeout t op =
+  if Simtime.compare t.params.phase_timeout Simtime.zero > 0 then
+    after t t.params.phase_timeout (fun () ->
+        match Hashtbl.find_opt t.ckpts op.co_pod.pod_id with
+        | Some op' when op' == op && (not op.co_continue) && not op.co_aborted ->
+          abort_checkpoint t op.co_pod.pod_id;
+          report_failure t op.co_pod.pod_id "timed out waiting for continue"
+        | Some _ | None -> ())
 
 and wait_continue_then t op fn =
   if op.co_continue then fn ()
@@ -252,12 +302,24 @@ and finalize_ckpt t op =
     let res = Option.get op.co_result in
     Netfilter.unblock (nf t) pod.rip;
     let image = Image.of_pod_image res.image in
-    (match op.co_dest with
-     | Protocol.U_storage key -> Storage.put t.storage key image
-     | Protocol.U_node target ->
-       (* direct migration: stream the image to the receiving Agent without
-          touching secondary storage *)
-       stream_image t ~target ~image);
+    let stored =
+      match op.co_dest with
+      | Protocol.U_storage key -> Storage.put t.storage key image
+      | Protocol.U_node target ->
+        (* direct migration: stream the image to the receiving Agent without
+           touching secondary storage *)
+        stream_image t ~target ~image;
+        Ok ()
+    in
+    match stored with
+    | Error reason ->
+      (* the image went nowhere, so the pod must survive even on the
+         migration path — resume unconditionally and report the failure *)
+      Pod.resume pod;
+      trace t ~pod:pod.pod_id "resumed";
+      Hashtbl.remove t.ckpts pod.pod_id;
+      report_failure t pod.pod_id (Printf.sprintf "storage write failed: %s" reason)
+    | Ok () ->
     (if op.co_resume then begin
        Pod.resume pod;
        trace t ~pod:pod.pod_id "resumed"
@@ -671,34 +733,6 @@ and restore_standalone t op =
       end)
 
 (* ------------------------------------------------------------------ *)
-(* Abort paths (Manager failure / explicit abort)                      *)
-(* ------------------------------------------------------------------ *)
-
-let abort_checkpoint t pod_id =
-  match Hashtbl.find_opt t.ckpts pod_id with
-  | None -> ()
-  | Some op ->
-    op.co_aborted <- true;
-    Netfilter.unblock (nf t) op.co_pod.rip;
-    Pod.resume op.co_pod;
-    Hashtbl.remove t.ckpts pod_id
-
-let abort_restart t pod_id =
-  match Hashtbl.find_opt t.restores pod_id with
-  | None -> ()
-  | Some op ->
-    op.ro_aborted <- true;
-    Pod.destroy op.ro_pod;
-    forget_pod t pod_id;
-    Hashtbl.remove t.restores pod_id
-
-let abort_all t =
-  let cks = Hashtbl.fold (fun k _ acc -> k :: acc) t.ckpts [] in
-  List.iter (abort_checkpoint t) cks;
-  let rss = Hashtbl.fold (fun k _ acc -> k :: acc) t.restores [] in
-  List.iter (abort_restart t) rss
-
-(* ------------------------------------------------------------------ *)
 (* Wiring                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -728,3 +762,11 @@ let attach_channel t (ch : Protocol.channel) =
   Control.on_break ch (fun () -> abort_all t)
 
 let set_peer_resolver t fn = t.peer_agents <- fn
+
+let node t = t.node
+
+let live_pods t =
+  Hashtbl.fold (fun _ p acc -> p :: acc) t.pods []
+  |> List.sort (fun (a : Pod.t) (b : Pod.t) -> Int.compare a.pod_id b.pod_id)
+
+let busy t = Hashtbl.length t.ckpts > 0 || Hashtbl.length t.restores > 0

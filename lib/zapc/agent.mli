@@ -55,5 +55,19 @@ val start_restart :
   unit
 
 val abort_checkpoint : t -> int -> unit
+(** Idempotent: unblocks the pod's network, resumes it, drops the op. *)
+
 val abort_restart : t -> int -> unit
+(** Idempotent: destroys the half-restored pod (or drops a parked restart
+    that is still waiting for its streamed image). *)
+
 val abort_all : t -> unit
+
+val node : t -> int
+
+val live_pods : t -> Pod.t list
+(** Every pod registered with this Agent, sorted by id (fault injection
+    kills these on a node crash; the chaos harness audits them). *)
+
+val busy : t -> bool
+(** An in-flight checkpoint or restart operation exists. *)

@@ -5,7 +5,13 @@
    and prompt breakage detection.  Both are modelled here: messages are
    delivered after latency + size/bandwidth, and [break] fires the
    registered failure callbacks on both sides so either party can abort
-   gracefully (paper section 4). *)
+   gracefully (paper section 4).
+
+   Each direction can additionally be [pause]d: messages still arrive but
+   queue up un-delivered until [resume] — a hung or badly overloaded peer
+   process whose TCP connection stays healthy.  This is the failure mode a
+   broken-channel abort does NOT cover, and the one the Manager's per-phase
+   timeouts exist for. *)
 
 module Simtime = Zapc_sim.Simtime
 module Engine = Zapc_sim.Engine
@@ -17,6 +23,10 @@ type ('up, 'down) t = {
   mutable up_handler : 'up -> unit;  (* messages arriving at the Manager *)
   mutable down_handler : 'down -> unit;  (* messages arriving at the Agent *)
   mutable broken : bool;
+  mutable up_paused : bool;
+  mutable down_paused : bool;
+  up_buf : 'up Queue.t;  (* delivery arrived while the direction was paused *)
+  down_buf : 'down Queue.t;
   mutable on_break : (unit -> unit) list;
   mutable up_count : int;
   mutable down_count : int;
@@ -30,6 +40,10 @@ let create ~engine ~latency ~bps =
     up_handler = (fun _ -> ());
     down_handler = (fun _ -> ());
     broken = false;
+    up_paused = false;
+    down_paused = false;
+    up_buf = Queue.create ();
+    down_buf = Queue.create ();
     on_break = [];
     up_count = 0;
     down_count = 0;
@@ -46,19 +60,38 @@ let send_up t ~bytes msg =
   if not t.broken then begin
     t.up_count <- t.up_count + 1;
     Engine.schedule t.engine ~delay:(transfer_delay t bytes) (fun () ->
-        if not t.broken then t.up_handler msg)
+        if not t.broken then
+          if t.up_paused then Queue.add msg t.up_buf else t.up_handler msg)
   end
 
 let send_down t ~bytes msg =
   if not t.broken then begin
     t.down_count <- t.down_count + 1;
     Engine.schedule t.engine ~delay:(transfer_delay t bytes) (fun () ->
-        if not t.broken then t.down_handler msg)
+        if not t.broken then
+          if t.down_paused then Queue.add msg t.down_buf else t.down_handler msg)
   end
+
+let pause_up t = t.up_paused <- true
+let pause_down t = t.down_paused <- true
+
+let resume_up t =
+  t.up_paused <- false;
+  while (not t.broken) && (not t.up_paused) && not (Queue.is_empty t.up_buf) do
+    t.up_handler (Queue.pop t.up_buf)
+  done
+
+let resume_down t =
+  t.down_paused <- false;
+  while (not t.broken) && (not t.down_paused) && not (Queue.is_empty t.down_buf) do
+    t.down_handler (Queue.pop t.down_buf)
+  done
 
 let break t =
   if not t.broken then begin
     t.broken <- true;
+    Queue.clear t.up_buf;
+    Queue.clear t.down_buf;
     (* both endpoints notice the broken connection after one latency *)
     Engine.schedule t.engine ~delay:t.latency (fun () ->
         List.iter (fun fn -> fn ()) (List.rev t.on_break))

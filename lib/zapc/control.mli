@@ -24,3 +24,16 @@ val send_up : ('up, 'down) t -> bytes:int -> 'up -> unit
 val send_down : ('up, 'down) t -> bytes:int -> 'down -> unit
 val break : ('up, 'down) t -> unit
 val is_broken : ('up, 'down) t -> bool
+
+(** {1 Failure injection: hung / slow endpoints}
+
+    Pausing a direction models a hung or overloaded peer whose TCP
+    connection stays healthy: messages keep arriving but queue up
+    un-delivered until the direction is resumed (then they drain in order).
+    Unlike {!break}, no failure callback fires — detecting this condition is
+    the job of the Manager's per-phase timeouts. *)
+
+val pause_up : ('up, 'down) t -> unit
+val pause_down : ('up, 'down) t -> unit
+val resume_up : ('up, 'down) t -> unit
+val resume_down : ('up, 'down) t -> unit

@@ -33,7 +33,8 @@ type restart_item = {
 
 type op_result = {
   r_ok : bool;
-  r_detail : string;
+  r_failure : Protocol.failure option;  (* None iff r_ok *)
+  r_detail : string;  (* human-readable rendering of r_failure *)
   r_duration : Simtime.t;  (* invocation -> all Agents reported done *)
   r_stats : (int * Protocol.agent_stats) list;  (* per pod *)
   r_metas : Meta.pod_meta list;
@@ -48,10 +49,11 @@ type pending = {
   mutable p_wait_done : int list;
   mutable p_stats : (int * Protocol.agent_stats) list;
   mutable p_metas : Meta.pod_meta list;
-  mutable p_failed : string option;
+  mutable p_failed : Protocol.failure option;
   p_items : (int * int) list;  (* (pod, node) *)
   p_started : Simtime.t;
   p_kind : [ `Checkpoint | `Restart ];
+  p_gen : int;  (* guards stale timeout closures *)
   p_done : op_result -> unit;
 }
 
@@ -64,11 +66,12 @@ type t = {
   infos : (int, pod_info) Hashtbl.t;
   mutable trace : Trace.t option;
   mutable current : pending option;
+  mutable gen : int;  (* bumped per operation *)
 }
 
 let create ~engine ~params ~storage ~alloc_rip =
   { engine; params; storage; channels = Hashtbl.create 8; alloc_rip;
-    infos = Hashtbl.create 16; trace = None; current = None }
+    infos = Hashtbl.create 16; trace = None; current = None; gen = 0 }
 
 let set_trace t tr = t.trace <- Some tr
 
@@ -94,19 +97,57 @@ let finish t result =
     t.current <- None;
     p.p_done result
 
-let fail_op t detail =
+let fail_op t failure =
   match t.current with
   | None -> ()
   | Some p ->
     if p.p_failed = None then begin
-      p.p_failed <- Some detail;
-      (* abort everyone still involved *)
-      List.iter (fun (pod, node) -> send t node (Protocol.A_abort { pod_id = pod })) p.p_items;
+      p.p_failed <- Some failure;
+      (* abort everyone still involved; skip nodes whose channel is gone
+         (the abort path must itself survive a broken channel) *)
+      List.iter
+        (fun (pod, node) ->
+          match Hashtbl.find_opt t.channels node with
+          | Some ch when not (Control.is_broken ch) ->
+            Control.send_down ch
+              ~bytes:(Protocol.to_agent_bytes (Protocol.A_abort { pod_id = pod }))
+              (Protocol.A_abort { pod_id = pod })
+          | Some _ | None -> ())
+        p.p_items;
       finish t
-        { r_ok = false; r_detail = detail;
+        { r_ok = false; r_failure = Some failure;
+          r_detail = Protocol.failure_to_string failure;
           r_duration = Simtime.sub (Engine.now t.engine) p.p_started;
           r_stats = p.p_stats; r_metas = p.p_metas }
     end
+
+(* Per-phase watchdog (paper section 4 only aborts on *broken* channels; a
+   hung-but-connected Agent would stall the protocol forever without this).
+   The generation counter keeps a stale timer from touching a later
+   operation that reuses pod ids. *)
+let arm_phase_timeout t (p : pending) (phase : Protocol.phase) =
+  if Simtime.compare t.params.phase_timeout Simtime.zero > 0 then
+    Engine.schedule_at t.engine
+      ~at:(Simtime.add (Engine.now t.engine) t.params.phase_timeout)
+      (fun () ->
+        match t.current with
+        | Some p' when p' == p && p'.p_gen = p.p_gen ->
+          let waiting =
+            match phase with
+            | Protocol.Ph_meta -> p'.p_wait_meta
+            | Protocol.Ph_done -> p'.p_wait_done
+          in
+          (* only fire if the guarded phase is still incomplete *)
+          let stuck =
+            match phase with
+            | Protocol.Ph_meta -> p'.p_wait_meta <> []
+            | Protocol.Ph_done -> p'.p_wait_done <> []
+          in
+          if stuck then begin
+            trace t (Printf.sprintf "phase_timeout:%s" (Protocol.phase_to_string phase));
+            fail_op t (Protocol.F_timeout { phase; waiting })
+          end
+        | Some _ | None -> ())
 
 let on_agent_message t (msg : Protocol.to_manager) =
   match t.current with
@@ -125,16 +166,22 @@ let on_agent_message t (msg : Protocol.to_manager) =
          trace t "continue_broadcast";
          List.iter
            (fun (pod, node) -> send t node (Protocol.A_continue { pod_id = pod }))
-           p.p_items
+           p.p_items;
+         arm_phase_timeout t p Protocol.Ph_done
        end
      | Protocol.M_done { pod_id; ok; detail; stats; _ } ->
-       if not ok then fail_op t (Printf.sprintf "pod %d: %s" pod_id detail)
+       if not ok then begin
+         let node =
+           match List.assoc_opt pod_id p.p_items with Some n -> n | None -> -1
+         in
+         fail_op t (Protocol.F_agent { node; pod_id; detail })
+       end
        else begin
          p.p_stats <- (pod_id, stats) :: p.p_stats;
          p.p_wait_done <- List.filter (fun id -> id <> pod_id) p.p_wait_done;
          if p.p_wait_done = [] && (p.p_kind = `Restart || p.p_wait_meta = []) then
            finish t
-             { r_ok = true; r_detail = "";
+             { r_ok = true; r_failure = None; r_detail = "";
                r_duration = Simtime.sub (Engine.now t.engine) p.p_started;
                r_stats = p.p_stats; r_metas = p.p_metas }
        end)
@@ -142,7 +189,7 @@ let on_agent_message t (msg : Protocol.to_manager) =
 let attach_agent t ~node (ch : Protocol.channel) =
   Hashtbl.replace t.channels node ch;
   Control.set_up_handler ch (fun msg -> on_agent_message t msg);
-  Control.on_break ch (fun () -> fail_op t (Printf.sprintf "agent on node %d failed" node))
+  Control.on_break ch (fun () -> fail_op t (Protocol.F_channel { node }))
 
 (* failure injection for tests and demos: sever the control connection to
    one Agent (both sides then abort, per section 4) *)
@@ -151,11 +198,15 @@ let break_channel t ~node =
   | Some ch -> Control.break ch
   | None -> ()
 
+let agent_channel t ~node = Hashtbl.find_opt t.channels node
+let agent_nodes t = Hashtbl.fold (fun n _ acc -> n :: acc) t.channels [] |> List.sort Int.compare
+
 (* --- checkpoint --- *)
 
 let checkpoint t ~(items : ckpt_item list) ~(resume : bool) ~(on_done : op_result -> unit)
   =
   if t.current <> None then invalid_arg "Manager: operation already in progress";
+  t.gen <- t.gen + 1;
   let p =
     {
       p_wait_meta = List.map (fun i -> i.ci_pod) items;
@@ -166,6 +217,7 @@ let checkpoint t ~(items : ckpt_item list) ~(resume : bool) ~(on_done : op_resul
       p_items = List.map (fun i -> (i.ci_pod, i.ci_node)) items;
       p_started = Engine.now t.engine;
       p_kind = `Checkpoint;
+      p_gen = t.gen;
       p_done = on_done;
     }
   in
@@ -174,7 +226,8 @@ let checkpoint t ~(items : ckpt_item list) ~(resume : bool) ~(on_done : op_resul
   List.iter
     (fun i ->
       send t i.ci_node (Protocol.A_checkpoint { pod_id = i.ci_pod; dest = i.ci_dest; resume }))
-    items
+    items;
+  arm_phase_timeout t p Protocol.Ph_meta
 
 (* --- restart --- *)
 
@@ -252,7 +305,8 @@ let restart t ~(items : restart_item list) ~(on_done : op_result -> unit) =
   match List.find_opt (fun (_, f) -> Result.is_error f) facts with
   | Some (_, Error msg) ->
     on_done
-      { r_ok = false; r_detail = msg; r_duration = Simtime.zero; r_stats = []; r_metas = [] }
+      { r_ok = false; r_failure = Some (Protocol.F_missing_image msg); r_detail = msg;
+        r_duration = Simtime.zero; r_stats = []; r_metas = [] }
   | Some (_, Ok _) | None ->
     let facts =
       List.map
@@ -273,6 +327,7 @@ let restart t ~(items : restart_item list) ~(on_done : op_result -> unit) =
     let redirect =
       t.params.redirect_sendq && List.length images = List.length items
     in
+    t.gen <- t.gen + 1;
     let p =
       {
         p_wait_meta = [];
@@ -283,10 +338,12 @@ let restart t ~(items : restart_item list) ~(on_done : op_result -> unit) =
         p_items = List.map (fun i -> (i.ri_pod, i.ri_node)) items;
         p_started = Engine.now t.engine;
         p_kind = `Restart;
+        p_gen = t.gen;
         p_done = on_done;
       }
     in
     t.current <- Some p;
+    arm_phase_timeout t p Protocol.Ph_done;
     List.iter2
       (fun item (i, (_, vip, name, _)) ->
         assert (item == i);

@@ -31,7 +31,8 @@ type restart_item = {
 
 type op_result = {
   r_ok : bool;
-  r_detail : string;
+  r_failure : Protocol.failure option;  (** [None] iff [r_ok] *)
+  r_detail : string;  (** human-readable rendering of [r_failure] *)
   r_duration : Simtime.t;  (** invocation -> all Agents reported done *)
   r_stats : (int * Protocol.agent_stats) list;  (** per pod *)
   r_metas : Meta.pod_meta list;
@@ -72,3 +73,9 @@ val busy : t -> bool
 val break_channel : t -> node:int -> unit
 (** Failure injection (tests/demos): sever the control connection to one
     Agent; both sides abort gracefully per paper section 4. *)
+
+val agent_channel : t -> node:int -> Protocol.channel option
+(** The control channel to one node's Agent (fault injection hooks in). *)
+
+val agent_nodes : t -> int list
+(** Nodes with an attached Agent, sorted. *)

@@ -29,6 +29,12 @@ type t = {
   (* relative uniform jitter on agent-side costs, modelling background
      activity and cache effects (the paper reports checkpoint-time std-devs
      of 10-60% of the average) *)
+  phase_timeout : Simtime.t;
+  (* how long the Manager waits in each protocol phase (meta-gather,
+     completion-gather) before aborting the operation, and how long an Agent
+     holds a suspended pod waiting for 'continue' before aborting on its
+     side.  A broken channel aborts promptly on its own; the timeout covers
+     hung-but-connected peers.  Zero disables timeouts. *)
   fs_snapshot : bool;
   (* take a file-system snapshot of the pod's directory immediately prior
      to reactivating it (paper section 4); the copy cost extends the pause *)
@@ -58,6 +64,7 @@ let default =
     mem_bw = 1.5e9;
     storage_bps = 180e6;
     cost_jitter = 0.35;
+    phase_timeout = Simtime.sec 60.0;
     fs_snapshot = false;
     redirect_sendq = false;
     serial_ckpt = false;

@@ -97,7 +97,9 @@ let set_on_epoch t fn = t.on_epoch <- fn
    (surviving pods are torn down first). *)
 let recover t ~target_nodes =
   if t.last_good = 0 then
-    { Manager.r_ok = false; r_detail = "no completed snapshot"; r_duration = Simtime.zero;
+    { Manager.r_ok = false;
+      r_failure = Some (Protocol.F_missing_image "no completed snapshot");
+      r_detail = "no completed snapshot"; r_duration = Simtime.zero;
       r_stats = []; r_metas = [] }
   else begin
     stop t;

@@ -5,6 +5,7 @@
    receiving Agent (direct migration streaming, paper section 4). *)
 
 module Simtime = Zapc_sim.Simtime
+module Value = Zapc_codec.Value
 module Addr = Zapc_simnet.Addr
 module Meta = Zapc_netckpt.Meta
 module Image = Zapc_ckpt.Image
@@ -16,6 +17,34 @@ type uri =
 let uri_to_string = function
   | U_storage k -> "file://" ^ k
   | U_node n -> Printf.sprintf "agent://node%d" n
+
+(* --- structured failure reasons --- *)
+
+(* The two wait phases of a coordinated operation as the Manager sees them:
+   gathering meta-data reports, then gathering completion statuses (restart
+   only has the latter). *)
+type phase = Ph_meta | Ph_done
+
+let phase_to_string = function
+  | Ph_meta -> "meta-gather"
+  | Ph_done -> "completion-gather"
+
+type failure =
+  | F_agent of { node : int; pod_id : int; detail : string }
+      (* an Agent reported the operation failed on its side *)
+  | F_channel of { node : int }  (* a Manager<->Agent channel broke *)
+  | F_timeout of { phase : phase; waiting : int list }
+      (* a per-phase timeout expired with these pods still unreported *)
+  | F_missing_image of string  (* restart precondition failed *)
+
+let failure_to_string = function
+  | F_agent { node; pod_id; detail } ->
+    Printf.sprintf "pod %d (node %d): %s" pod_id node detail
+  | F_channel { node } -> Printf.sprintf "control channel to node %d broke" node
+  | F_timeout { phase; waiting } ->
+    Printf.sprintf "%s phase timed out waiting for pods [%s]" (phase_to_string phase)
+      (String.concat "," (List.map string_of_int waiting))
+  | F_missing_image msg -> msg
 
 (* --- per-operation statistics reported by Agents --- *)
 
@@ -69,5 +98,112 @@ let to_agent_bytes = function
 let to_manager_bytes = function
   | M_meta m -> 32 + m.meta_bytes
   | M_done _ -> 64
+
+(* --- Value codecs ---
+
+   Control messages share the checkpoint images' portable intermediate
+   format, so a Manager and an Agent built from different kernels (or a
+   message relayed through storage) agree on the bytes.  Round-tripping is
+   property-tested in test/test_codec.ml. *)
+
+let uri_to_value = function
+  | U_storage k -> Value.tag "storage" (Value.str k)
+  | U_node n -> Value.tag "node" (Value.int n)
+
+let uri_of_value v =
+  match Value.to_tag v with
+  | "storage", k -> U_storage (Value.to_str k)
+  | "node", n -> U_node (Value.to_int n)
+  | tag, _ -> Value.decode_error "bad uri tag %s" tag
+
+let stats_to_value st =
+  Value.assoc
+    [ ("net_time", Value.int st.st_net_time);
+      ("local_time", Value.int st.st_local_time);
+      ("conn_time", Value.int st.st_conn_time);
+      ("image_bytes", Value.int st.st_image_bytes);
+      ("net_bytes", Value.int st.st_net_bytes);
+      ("sockets", Value.int st.st_sockets);
+      ("procs", Value.int st.st_procs) ]
+
+let stats_of_value v =
+  let i k = Value.to_int (Value.field k v) in
+  { st_net_time = i "net_time"; st_local_time = i "local_time";
+    st_conn_time = i "conn_time"; st_image_bytes = i "image_bytes";
+    st_net_bytes = i "net_bytes"; st_sockets = i "sockets"; st_procs = i "procs" }
+
+let to_agent_to_value = function
+  | A_checkpoint { pod_id; dest; resume } ->
+    Value.tag "checkpoint"
+      (Value.assoc
+         [ ("pod", Value.int pod_id); ("dest", uri_to_value dest);
+           ("resume", Value.bool resume) ])
+  | A_continue { pod_id } -> Value.tag "continue" (Value.int pod_id)
+  | A_abort { pod_id } -> Value.tag "abort" (Value.int pod_id)
+  | A_restart { pod_id; name; vip; rip; uri; entries; vip_map; extra_altq; skip_sendq } ->
+    Value.tag "restart"
+      (Value.assoc
+         [ ("pod", Value.int pod_id); ("name", Value.str name);
+           ("vip", Value.int vip); ("rip", Value.int rip);
+           ("uri", uri_to_value uri);
+           ("entries", Value.list Meta.restart_entry_to_value entries);
+           ("vip_map", Value.list (Value.pair Value.int Value.int) vip_map);
+           ("extra_altq", Value.list (Value.pair Value.int Value.str) extra_altq);
+           ("skip_sendq", Value.bool skip_sendq) ])
+
+let to_agent_of_value v =
+  match Value.to_tag v with
+  | "checkpoint", b ->
+    A_checkpoint
+      { pod_id = Value.to_int (Value.field "pod" b);
+        dest = uri_of_value (Value.field "dest" b);
+        resume = Value.to_bool (Value.field "resume" b) }
+  | "continue", b -> A_continue { pod_id = Value.to_int b }
+  | "abort", b -> A_abort { pod_id = Value.to_int b }
+  | "restart", b ->
+    A_restart
+      { pod_id = Value.to_int (Value.field "pod" b);
+        name = Value.to_str (Value.field "name" b);
+        vip = Value.to_int (Value.field "vip" b);
+        rip = Value.to_int (Value.field "rip" b);
+        uri = uri_of_value (Value.field "uri" b);
+        entries = Value.to_list Meta.restart_entry_of_value (Value.field "entries" b);
+        vip_map =
+          Value.to_list (Value.to_pair Value.to_int Value.to_int) (Value.field "vip_map" b);
+        extra_altq =
+          Value.to_list (Value.to_pair Value.to_int Value.to_str)
+            (Value.field "extra_altq" b);
+        skip_sendq = Value.to_bool (Value.field "skip_sendq" b) }
+  | tag, _ -> Value.decode_error "bad to_agent tag %s" tag
+
+let to_manager_to_value = function
+  | M_meta { node; pod_id; meta; meta_bytes } ->
+    Value.tag "meta"
+      (Value.assoc
+         [ ("node", Value.int node); ("pod", Value.int pod_id);
+           ("meta", Meta.to_value meta); ("meta_bytes", Value.int meta_bytes) ])
+  | M_done { node; pod_id; ok; detail; stats } ->
+    Value.tag "done"
+      (Value.assoc
+         [ ("node", Value.int node); ("pod", Value.int pod_id);
+           ("ok", Value.bool ok); ("detail", Value.str detail);
+           ("stats", stats_to_value stats) ])
+
+let to_manager_of_value v =
+  match Value.to_tag v with
+  | "meta", b ->
+    M_meta
+      { node = Value.to_int (Value.field "node" b);
+        pod_id = Value.to_int (Value.field "pod" b);
+        meta = Meta.of_value (Value.field "meta" b);
+        meta_bytes = Value.to_int (Value.field "meta_bytes" b) }
+  | "done", b ->
+    M_done
+      { node = Value.to_int (Value.field "node" b);
+        pod_id = Value.to_int (Value.field "pod" b);
+        ok = Value.to_bool (Value.field "ok" b);
+        detail = Value.to_str (Value.field "detail" b);
+        stats = stats_of_value (Value.field "stats" b) }
+  | tag, _ -> Value.decode_error "bad to_manager tag %s" tag
 
 type channel = (to_manager, to_agent) Control.t

@@ -5,6 +5,7 @@
     receiving Agent (direct migration streaming, paper section 4). *)
 
 module Simtime = Zapc_sim.Simtime
+module Value = Zapc_codec.Value
 module Addr = Zapc_simnet.Addr
 module Meta = Zapc_netckpt.Meta
 
@@ -13,6 +14,28 @@ type uri =
   | U_node of int  (** stream directly to the Agent on this node *)
 
 val uri_to_string : uri -> string
+
+(** {1 Structured failure reasons}
+
+    Every way a coordinated operation can fail, as a value rather than a
+    string, so callers (the chaos harness in particular) can assert on the
+    precise failure mode. *)
+
+type phase = Ph_meta | Ph_done
+(** The Manager's wait phases: gathering meta-data reports, then gathering
+    completion statuses (restart only has the latter). *)
+
+val phase_to_string : phase -> string
+
+type failure =
+  | F_agent of { node : int; pod_id : int; detail : string }
+      (** an Agent reported the operation failed on its side *)
+  | F_channel of { node : int }  (** a Manager<->Agent channel broke *)
+  | F_timeout of { phase : phase; waiting : int list }
+      (** a per-phase timeout expired with these pods still unreported *)
+  | F_missing_image of string  (** restart precondition failed *)
+
+val failure_to_string : failure -> string
 
 type agent_stats = {
   st_net_time : Simtime.t;  (** network-state save/restore time *)
@@ -52,5 +75,20 @@ val to_agent_bytes : to_agent -> int
 (** Approximate message size for the control-plane cost model. *)
 
 val to_manager_bytes : to_manager -> int
+
+(** {1 Value codecs}
+
+    Control messages share the checkpoint images' portable intermediate
+    format ({!Zapc_codec.Value}); round-tripping is property-tested in
+    [test/test_codec.ml]. *)
+
+val uri_to_value : uri -> Value.t
+val uri_of_value : Value.t -> uri
+val stats_to_value : agent_stats -> Value.t
+val stats_of_value : Value.t -> agent_stats
+val to_agent_to_value : to_agent -> Value.t
+val to_agent_of_value : Value.t -> to_agent
+val to_manager_to_value : to_manager -> Value.t
+val to_manager_of_value : Value.t -> to_manager
 
 type channel = (to_manager, to_agent) Control.t

@@ -16,14 +16,28 @@ type t = {
   latency : Simtime.t;
   images : (string, Image.t) Hashtbl.t;
   mutable bytes_written : int;
+  mutable fail_writes : string option;  (* injected outage: writes fail with this reason *)
+  mutable write_failures : int;
 }
 
 let create ?(bps = 180e6) ?(latency = Simtime.us 500) engine =
-  { engine; bps; latency; images = Hashtbl.create 16; bytes_written = 0 }
+  { engine; bps; latency; images = Hashtbl.create 16; bytes_written = 0;
+    fail_writes = None; write_failures = 0 }
+
+(* Failure injection (a SAN outage / full volume): while set, every write
+   fails with the given reason and stores nothing. *)
+let set_fail_writes t reason = t.fail_writes <- reason
+let write_failures t = t.write_failures
 
 let put t key image =
-  Hashtbl.replace t.images key image;
-  t.bytes_written <- t.bytes_written + image.Image.logical_size
+  match t.fail_writes with
+  | Some reason ->
+    t.write_failures <- t.write_failures + 1;
+    Error reason
+  | None ->
+    Hashtbl.replace t.images key image;
+    t.bytes_written <- t.bytes_written + image.Image.logical_size;
+    Ok ()
 
 let get t key = Hashtbl.find_opt t.images key
 let mem t key = Hashtbl.mem t.images key

@@ -13,8 +13,20 @@ module Image = Zapc_ckpt.Image
 type t
 
 val create : ?bps:float -> ?latency:Simtime.t -> Engine.t -> t
-val put : t -> string -> Image.t -> unit
+
+val put : t -> string -> Image.t -> (unit, string) result
+(** Fails (storing nothing) while a write outage is injected; the Agent
+    turns the error into a clean abort of its side of the operation. *)
+
 val get : t -> string -> Image.t option
+
+val set_fail_writes : t -> string option -> unit
+(** Failure injection: while [Some reason], every {!put} fails with that
+    reason (a SAN outage / full volume).  [None] heals the outage. *)
+
+val write_failures : t -> int
+(** Number of writes rejected by injected outages so far. *)
+
 val mem : t -> string -> bool
 val remove : t -> string -> unit
 

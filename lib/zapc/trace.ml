@@ -12,12 +12,24 @@ type event = {
   ev_what : string;
 }
 
-type t = { mutable events : event list; mutable enabled : bool }
+type t = {
+  mutable events : event list;
+  mutable enabled : bool;
+  mutable observers : (event -> unit) list;
+}
 
-let create () = { events = []; enabled = true }
+let create () = { events = []; enabled = true; observers = [] }
+
+(* Observers let external machinery (fault injection, live monitoring) key
+   off protocol phase boundaries without polling the event list. *)
+let on_record t fn = t.observers <- t.observers @ [ fn ]
 
 let record t ~time ~pod what =
-  if t.enabled then t.events <- { ev_time = time; ev_pod = pod; ev_what = what } :: t.events
+  if t.enabled then begin
+    let ev = { ev_time = time; ev_pod = pod; ev_what = what } in
+    t.events <- ev :: t.events;
+    List.iter (fun fn -> fn ev) t.observers
+  end
 
 let events t = List.rev t.events
 let clear t = t.events <- []

@@ -15,6 +15,13 @@ type t
 
 val create : unit -> t
 val record : t -> time:Simtime.t -> pod:int -> string -> unit
+
+val on_record : t -> (event -> unit) -> unit
+(** Subscribe to every recorded event as it happens; observers fire in
+    subscription order, synchronously with {!record}.  This is the hook the
+    fault-injection layer uses to schedule faults at protocol phase
+    boundaries. *)
+
 val events : t -> event list
 val clear : t -> unit
 val find : t -> pod:int -> string -> event option

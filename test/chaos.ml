@@ -1,0 +1,373 @@
+(* Chaos harness: seeded fault-injection scenarios against the coordinated
+   checkpoint-restart protocol.
+
+   Two layers:
+
+   - Directed cases pin down the failure semantics one fault at a time: a
+     control-channel break landing between the meta report and 'continue', a
+     hung (stalled but connected) Agent that only the per-phase timeouts can
+     unstick, a shared-storage outage, a whole-node crash mid-checkpoint,
+     and a packet-loss burst the protocol must simply ride out.
+
+   - A property-style sweep runs N random scenarios (topology x workload x
+     fault schedule, all derived from the scenario seed), asserting after
+     every one that the operation either completed fully or aborted cleanly:
+     a structured failure reason is present on failure, the Manager is idle
+     again, no netfilter rule or in-flight Agent operation leaks, every
+     surviving pod is running (not frozen), and — when no application node
+     crashed — the application still finishes and logs its result, which
+     also proves the surviving TCP connections carry data.
+
+   N comes from CHAOS_SEEDS (default 25): CHAOS_SEEDS=200 dune build @chaos. *)
+
+module Simtime = Zapc_sim.Simtime
+module Engine = Zapc_sim.Engine
+module Rng = Zapc_sim.Rng
+module Fabric = Zapc_simnet.Fabric
+module Netfilter = Zapc_simnet.Netfilter
+module Kernel = Zapc_simos.Kernel
+module Pod = Zapc_pod.Pod
+module Cluster = Zapc.Cluster
+module Manager = Zapc.Manager
+module Agent = Zapc.Agent
+module Protocol = Zapc.Protocol
+module Params = Zapc.Params
+module Storage = Zapc.Storage
+module Launch = Zapc_msg.Launch
+module Faultsim = Zapc_faultsim.Faultsim
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+
+let logged : string list ref = ref []
+
+let chaos_params = { Params.default with phase_timeout = Simtime.ms 200 }
+
+let make_cluster ?(params = chaos_params) ?(nodes = 4) ?(seed = 42) () =
+  Zapc_apps.Registry.register_all ();
+  let cluster = Cluster.make ~seed ~params ~node_count:nodes () in
+  logged := [];
+  for i = 0 to nodes - 1 do
+    Kernel.set_logger (Cluster.node cluster i).Cluster.n_kernel (fun _ _ m ->
+        logged := m :: !logged)
+  done;
+  cluster
+
+let has_log prefix =
+  List.exists
+    (fun s ->
+      String.length s >= String.length prefix
+      && String.equal (String.sub s 0 (String.length prefix)) prefix)
+    !logged
+
+let bt_args g iters =
+  Zapc_apps.Bt_nas.params_to_value { Zapc_apps.Bt_nas.default_params with g; iters }
+
+let cpi_args chunks =
+  Zapc_apps.Cpi.params_to_value
+    { Zapc_apps.Cpi.default_params with intervals = 200_000; chunks }
+
+let node_of_pod cluster (p : Pod.t) =
+  match Fabric.node_of_ip (Cluster.fabric cluster) p.rip with Some n -> n | None -> -1
+
+let ckpt_items cluster (app : Launch.app) ~prefix =
+  Launch.checkpoint_items app ~key_prefix:prefix ~node_of_pod:(node_of_pod cluster)
+
+(* Kick off a checkpoint and hand back a cell the engine loop can poll. *)
+let start_checkpoint cluster items =
+  let result = ref None in
+  Manager.checkpoint (Cluster.manager cluster) ~items ~resume:true ~on_done:(fun r ->
+      result := Some r);
+  result
+
+let wait_result ?(timeout = Simtime.sec 10.0) cluster result =
+  Cluster.run_until cluster ~timeout (fun () -> !result <> None);
+  Option.get !result
+
+(* --- the complete-or-clean-abort invariant ----------------------------- *)
+
+let assert_clean ctx cluster fs =
+  let fail fmt = Printf.ksprintf (fun m -> Alcotest.fail (ctx ^ ": " ^ m)) fmt in
+  if Manager.busy (Cluster.manager cluster) then fail "manager still busy";
+  let nf = Fabric.netfilter (Cluster.fabric cluster) in
+  if Netfilter.blocked_count nf <> 0 then
+    fail "%d leaked netfilter rule(s)" (Netfilter.blocked_count nf);
+  let crashed = Faultsim.crashed_nodes fs in
+  for i = 0 to Cluster.node_count cluster - 1 do
+    let node = Cluster.node cluster i in
+    if not (List.mem i crashed) then begin
+      if Agent.busy node.Cluster.n_agent then
+        fail "agent on node %d leaked an in-flight operation" i;
+      List.iter
+        (fun (p : Pod.t) ->
+          if p.frozen then fail "pod %d left suspended on node %d" p.pod_id i;
+          match Pod.find p.pod_id with
+          | Some q when q == p -> ()
+          | Some _ | None -> fail "pod %d leaked from the registry on node %d" p.pod_id i)
+        (Agent.live_pods node.Cluster.n_agent)
+    end
+  done
+
+let assert_result_shape ctx (r : Manager.op_result) =
+  match (r.r_ok, r.r_failure) with
+  | true, None | false, Some _ -> ()
+  | true, Some _ -> Alcotest.fail (ctx ^ ": ok result carries a failure reason")
+  | false, None -> Alcotest.fail (ctx ^ ": failed result lacks a failure reason")
+
+(* --- directed cases ---------------------------------------------------- *)
+
+(* Satellite: a channel break after the meta report but before 'continue'
+   aborts on both sides, and the pod processes resume and keep making
+   progress. *)
+let test_midckpt_channel_break () =
+  let cluster = make_cluster () in
+  let fs = Faultsim.create cluster in
+  let app =
+    Launch.launch cluster ~name:"bt" ~program:"bt_nas" ~placement:[ 0; 1 ]
+      ~app_args:(bt_args 96 25) ()
+  in
+  Cluster.run cluster ~until:(Simtime.ms 5) ();
+  (* the first meta_sent fires while the Manager still waits for the other
+     pod's meta: exactly the window between report and 'continue' *)
+  Faultsim.install fs
+    { fault = Break_channel { node = 1 };
+      trigger = On_phase { phase = "meta_sent"; pod = None; skip = 0 } };
+  let result = start_checkpoint cluster (ckpt_items cluster app ~prefix:"doomed") in
+  let r = wait_result cluster result in
+  check tbool "operation aborted" false r.Manager.r_ok;
+  assert_result_shape "midckpt-break" r;
+  (match r.Manager.r_failure with
+   | Some (Protocol.F_channel { node }) ->
+     check tbool "failure names the broken node" true (node = 1)
+   | _ -> Alcotest.fail "expected F_channel");
+  check tbool "fault fired" true (List.length (Faultsim.fired fs) = 1);
+  (* both sides resumed; the application still completes correctly *)
+  assert_clean "midckpt-break" cluster fs;
+  ignore (Launch.wait_done cluster app);
+  check tbool "app made progress after abort" true (has_log "bt_nas: checksum")
+
+(* Acceptance: a hung (stalled but not disconnected) Agent no longer stalls
+   the Manager indefinitely — the meta-phase timeout aborts the operation,
+   and the Agent's own continue-wait timeout resumes its suspended pod. *)
+let test_hung_agent_times_out () =
+  let cluster = make_cluster () in
+  let fs = Faultsim.create cluster in
+  let app =
+    Launch.launch cluster ~name:"bt" ~program:"bt_nas" ~placement:[ 0; 1 ]
+      ~app_args:(bt_args 96 25) ()
+  in
+  Cluster.run cluster ~until:(Simtime.ms 5) ();
+  (* stall node 1's control endpoint the instant its own pod suspends: its
+     meta report is buffered, never lost, and the connection never breaks —
+     so only the timeouts can save the protocol *)
+  let pod1 = (List.nth app.Launch.pods 1).Pod.pod_id in
+  Faultsim.install fs
+    { fault = Hang_agent { node = 1; duration = None };
+      trigger = On_phase { phase = "suspended"; pod = Some pod1; skip = 0 } };
+  let result = start_checkpoint cluster (ckpt_items cluster app ~prefix:"hung") in
+  let r = wait_result cluster result in
+  check tbool "operation aborted by timeout" false r.Manager.r_ok;
+  (match r.Manager.r_failure with
+   | Some (Protocol.F_timeout { phase = Protocol.Ph_meta; waiting }) ->
+     check tbool "timeout names a waiting pod" true (waiting <> [])
+   | _ -> Alcotest.fail "expected F_timeout in the meta-gather phase");
+  (* without healing the hang, the Agent-side continue-wait timeout must
+     resume the suspended pod on its own *)
+  Cluster.run cluster ~until:(Simtime.add (Cluster.now cluster) (Simtime.ms 500)) ();
+  Faultsim.heal_all fs;
+  Cluster.run cluster ~until:(Simtime.add (Cluster.now cluster) (Simtime.ms 500)) ();
+  assert_clean "hung-agent" cluster fs;
+  ignore (Launch.wait_done cluster app);
+  check tbool "app completed after hang" true (has_log "bt_nas: checksum")
+
+(* A storage write outage turns into a clean Agent-side abort (the pod
+   resumes even though its image went nowhere), and the same checkpoint
+   succeeds once the outage heals. *)
+let test_storage_outage_aborts_cleanly () =
+  let cluster = make_cluster () in
+  let fs = Faultsim.create cluster in
+  let app =
+    Launch.launch cluster ~name:"bt" ~program:"bt_nas" ~placement:[ 0; 1 ]
+      ~app_args:(bt_args 96 25) ()
+  in
+  Cluster.run cluster ~until:(Simtime.ms 5) ();
+  Faultsim.install fs { fault = Storage_outage { duration = None }; trigger = Now };
+  let r = wait_result cluster (start_checkpoint cluster (ckpt_items cluster app ~prefix:"san")) in
+  check tbool "outage fails the checkpoint" false r.Manager.r_ok;
+  assert_result_shape "storage-outage" r;
+  (match r.Manager.r_failure with
+   | Some (Protocol.F_agent { detail; _ }) ->
+     check tbool "failure mentions storage" true
+       (String.length detail >= 7 && String.sub detail 0 7 = "storage")
+   | _ -> Alcotest.fail "expected F_agent from the storage write");
+  check tbool "a write was rejected" true (Storage.write_failures (Cluster.storage cluster) > 0);
+  Cluster.run cluster ~until:(Simtime.add (Cluster.now cluster) (Simtime.ms 300)) ();
+  assert_clean "storage-outage" cluster fs;
+  (* heal and retry: full recovery *)
+  Faultsim.heal_all fs;
+  let r2 = wait_result cluster (start_checkpoint cluster (ckpt_items cluster app ~prefix:"san")) in
+  check tbool "retry succeeds after heal" true r2.Manager.r_ok;
+  ignore (Launch.wait_done cluster app);
+  check tbool "app completed" true (has_log "bt_nas: checksum")
+
+(* A node crash mid-checkpoint: the Manager aborts via the broken channel,
+   the dead node's pods are gone, and the survivor resumes cleanly. *)
+let test_node_crash_mid_checkpoint () =
+  let cluster = make_cluster () in
+  let fs = Faultsim.create cluster in
+  let app =
+    Launch.launch cluster ~name:"bt" ~program:"bt_nas" ~placement:[ 0; 1 ]
+      ~app_args:(bt_args 96 25) ()
+  in
+  Cluster.run cluster ~until:(Simtime.ms 5) ();
+  Faultsim.install fs
+    { fault = Crash_node { node = 1 };
+      trigger = On_phase { phase = "suspended"; pod = None; skip = 0 } };
+  let r = wait_result cluster (start_checkpoint cluster (ckpt_items cluster app ~prefix:"crash")) in
+  check tbool "operation aborted" false r.Manager.r_ok;
+  assert_result_shape "node-crash" r;
+  Cluster.run cluster ~until:(Simtime.add (Cluster.now cluster) (Simtime.ms 300)) ();
+  assert_clean "node-crash" cluster fs;
+  (* the crashed node's pod is gone from the registry; the survivor lives *)
+  let gone, alive =
+    List.partition (fun (p : Pod.t) -> node_of_pod cluster p = -1) app.Launch.pods
+  in
+  check tbool "crashed node lost its pod" true (List.length gone >= 1);
+  List.iter
+    (fun (p : Pod.t) -> check tbool "survivor registered" true (Pod.find p.pod_id <> None))
+    alive
+
+(* A packet-loss burst on the fabric is the protocol's bread and butter:
+   the checkpoint still completes (control channels are reliable; app TCP
+   retransmits) and the application finishes. *)
+let test_loss_burst_rides_out () =
+  let cluster = make_cluster () in
+  let fs = Faultsim.create cluster in
+  let app =
+    Launch.launch cluster ~name:"bt" ~program:"bt_nas" ~placement:[ 0; 1 ]
+      ~app_args:(bt_args 96 25) ()
+  in
+  Cluster.run cluster ~until:(Simtime.ms 5) ();
+  Faultsim.install fs
+    { fault = Loss_burst { prob = 0.2; duration = Simtime.ms 40 }; trigger = Now };
+  let r = wait_result cluster (start_checkpoint cluster (ckpt_items cluster app ~prefix:"lossy")) in
+  check tbool "checkpoint survives the burst" true r.Manager.r_ok;
+  assert_clean "loss-burst" cluster fs;
+  ignore (Launch.wait_done cluster app);
+  check tbool "app completed under loss" true (has_log "bt_nas: checksum")
+
+(* --- seeded random scenarios ------------------------------------------- *)
+
+type scenario_outcome = { so_kinds : string list }
+
+let kind_of = function
+  | Faultsim.Break_channel _ -> "break"
+  | Faultsim.Crash_node _ -> "crash"
+  | Faultsim.Hang_agent _ -> "hang"
+  | Faultsim.Loss_burst _ -> "loss"
+  | Faultsim.Latency_spike _ -> "latency"
+  | Faultsim.Storage_outage _ -> "storage"
+
+let run_scenario seed =
+  let prng = Rng.create ~seed:(9000 + seed) in
+  let nodes = 3 + Rng.int prng 2 in
+  let cluster = make_cluster ~nodes ~seed:(1000 + seed) () in
+  let fs = Faultsim.create cluster in
+  (* workload: two ranks on a random pair of distinct nodes *)
+  let n0 = Rng.int prng nodes in
+  let n1 = (n0 + 1 + Rng.int prng (nodes - 1)) mod nodes in
+  let program, args, done_log =
+    if Rng.bool prng 0.5 then
+      ("bt_nas", bt_args (64 + (32 * Rng.int prng 2)) (15 + Rng.int prng 15),
+       "bt_nas: checksum")
+    else ("cpi", cpi_args (3 + Rng.int prng 4), "cpi: pi")
+  in
+  let app =
+    Launch.launch cluster ~name:"chaos" ~program ~placement:[ n0; n1 ] ~app_args:args ()
+  in
+  Cluster.run cluster ~until:(Simtime.ms 5) ();
+  let plan =
+    Faultsim.random_plan prng ~node_count:nodes ~horizon:(Simtime.ms 30)
+      ~count:(1 + Rng.int prng 3)
+  in
+  let ctx =
+    Printf.sprintf "seed %d [%s]" seed
+      (String.concat "; " (List.map Faultsim.injection_to_string plan))
+  in
+  Faultsim.install_all fs plan;
+  let result = start_checkpoint cluster (ckpt_items cluster app ~prefix:"chaos") in
+  (* the operation must terminate: a stalled Manager is itself a failure *)
+  let r =
+    try wait_result cluster result
+    with Cluster.Timeout _ -> Alcotest.fail (ctx ^ ": manager stalled")
+  in
+  assert_result_shape ctx r;
+  (* let transient faults expire, then heal the permanent ones and drain the
+     Agent-side timeout paths *)
+  Cluster.run cluster ~until:(Simtime.add (Cluster.now cluster) (Simtime.ms 600)) ();
+  Faultsim.heal_all fs;
+  Cluster.run cluster ~until:(Simtime.add (Cluster.now cluster) (Simtime.ms 600)) ();
+  let crashed = Faultsim.crashed_nodes fs in
+  let app_nodes = [ n0; n1 ] in
+  if List.for_all (fun n -> not (List.mem n crashed)) app_nodes then begin
+    (* no application node died: the pods must still make progress all the
+       way to completion, whatever happened to the checkpoint *)
+    (try ignore (Launch.wait_done cluster ~timeout:(Simtime.sec 1200.0) app)
+     with Cluster.Timeout m -> Alcotest.fail (ctx ^ ": app stalled: " ^ m));
+    if not (has_log done_log) then Alcotest.fail (ctx ^ ": app produced no result")
+  end;
+  assert_clean ctx cluster fs;
+  { so_kinds = List.map (fun (i : Faultsim.injection) -> kind_of i.fault) plan }
+
+let n_seeds () =
+  match Sys.getenv_opt "CHAOS_SEEDS" with
+  | Some s -> (try Stdlib.max 1 (int_of_string (String.trim s)) with _ -> 25)
+  | None -> 25
+
+let test_random_scenarios () =
+  let n = n_seeds () in
+  let kinds = Hashtbl.create 8 in
+  for seed = 1 to n do
+    let o = run_scenario seed in
+    List.iter (fun k -> Hashtbl.replace kinds k ()) o.so_kinds
+  done;
+  Printf.printf "chaos: %d scenarios, fault kinds exercised: %s\n%!" n
+    (String.concat ", " (Hashtbl.fold (fun k () acc -> k :: acc) kinds []));
+  (* the sweep must exercise a meaningful slice of the fault space *)
+  check tbool "covers >= 4 fault kinds" true (Hashtbl.length kinds >= 4)
+
+(* determinism: the same seed yields the same injected-fault log *)
+let test_scenario_determinism () =
+  let fired_of seed =
+    let prng = Rng.create ~seed:(9000 + seed) in
+    let cluster = make_cluster ~seed:(1000 + seed) () in
+    let fs = Faultsim.create cluster in
+    let app =
+      Launch.launch cluster ~name:"bt" ~program:"bt_nas" ~placement:[ 0; 1 ]
+        ~app_args:(bt_args 96 20) ()
+    in
+    Cluster.run cluster ~until:(Simtime.ms 5) ();
+    Faultsim.install_all fs
+      (Faultsim.random_plan prng ~node_count:4 ~horizon:(Simtime.ms 30) ~count:3);
+    let r = wait_result cluster (start_checkpoint cluster (ckpt_items cluster app ~prefix:"det")) in
+    ignore r;
+    List.map
+      (fun (t, what) -> Printf.sprintf "%d %s" t what)
+      (Faultsim.fired fs)
+  in
+  let a = fired_of 7 and b = fired_of 7 in
+  check (Alcotest.list Alcotest.string) "same seed, same faults" a b
+
+let () =
+  Alcotest.run "chaos"
+    [ ( "directed",
+        [ Alcotest.test_case "mid-ckpt channel break" `Quick test_midckpt_channel_break;
+          Alcotest.test_case "hung agent times out" `Quick test_hung_agent_times_out;
+          Alcotest.test_case "storage outage aborts cleanly" `Quick
+            test_storage_outage_aborts_cleanly;
+          Alcotest.test_case "node crash mid-checkpoint" `Quick
+            test_node_crash_mid_checkpoint;
+          Alcotest.test_case "loss burst rides out" `Quick test_loss_burst_rides_out ] );
+      ( "random",
+        [ Alcotest.test_case "seeded scenarios" `Quick test_random_scenarios;
+          Alcotest.test_case "scenario determinism" `Quick test_scenario_determinism ] ) ]

@@ -95,6 +95,11 @@ let test_smallint_boundary () =
 
 (* --- properties --- *)
 
+module Protocol = Zapc.Protocol
+module Meta = Zapc_netckpt.Meta
+module Image = Zapc_ckpt.Image
+module Addr = Zapc_simnet.Addr
+
 let value_gen =
   let open QCheck.Gen in
   sized (fun size ->
@@ -158,6 +163,131 @@ let prop_bitflip_safe =
       | _ -> true
       | exception Value.Decode_error _ -> true)
 
+(* --- protocol message and image-section roundtrips ---------------------
+   The wire protocol between Manager and Agents, and the pod-image sections
+   the checkpointer stores, must survive encode/decode for arbitrary
+   (seeded-random) contents — these are the bytes a restart on a different
+   node has to make sense of. *)
+
+let ip_gen =
+  QCheck.Gen.map
+    (fun n -> Addr.make_ip 10 77 ((n lsr 8) land 0xff) (n land 0xff))
+    (QCheck.Gen.int_bound 65535)
+
+let addr_gen =
+  QCheck.Gen.map2 (fun ip port -> { Addr.ip; port }) ip_gen (QCheck.Gen.int_range 1 65535)
+
+let conn_state_gen =
+  QCheck.Gen.oneofl
+    [ Meta.Full; Meta.Half_out; Meta.Half_in; Meta.Closed_data; Meta.Connecting ]
+
+let role_gen = QCheck.Gen.oneofl [ Meta.Accept; Meta.Connect ]
+
+let entry_gen =
+  let open QCheck.Gen in
+  map
+    (fun (((local, remote), (state, role)), ((sent, recv), (acked, sock_ref))) ->
+      { Meta.local; remote; state; role; sent; recv; acked; sock_ref })
+    (pair
+       (pair (pair addr_gen addr_gen) (pair conn_state_gen role_gen))
+       (pair (pair nat nat) (pair nat (int_bound 32))))
+
+let pod_meta_gen =
+  let open QCheck.Gen in
+  map
+    (fun ((pm_pod, pm_vip), pm_entries) -> { Meta.pm_pod; pm_vip; pm_entries })
+    (pair (pair (int_bound 1000) ip_gen) (list_size (int_bound 5) entry_gen))
+
+let restart_entry_gen =
+  let open QCheck.Gen in
+  map
+    (fun (((ri_local, ri_remote), (ri_role, ri_state)),
+          ((ri_sock_ref, ri_peer_recv), ri_orphan)) ->
+      { Meta.ri_local; ri_remote; ri_role; ri_state; ri_sock_ref; ri_peer_recv;
+        ri_orphan })
+    (pair
+       (pair (pair addr_gen addr_gen) (pair role_gen conn_state_gen))
+       (pair (pair (int_bound 32) nat) bool))
+
+let uri_gen =
+  let open QCheck.Gen in
+  oneof
+    [ map (fun s -> Protocol.U_storage s) string_small;
+      map (fun n -> Protocol.U_node n) (int_bound 16) ]
+
+let stats_gen =
+  let open QCheck.Gen in
+  map
+    (fun ((st_net_time, st_local_time), (st_conn_time, st_image_bytes),
+          (st_net_bytes, (st_sockets, st_procs))) ->
+      { Protocol.st_net_time; st_local_time; st_conn_time; st_image_bytes;
+        st_net_bytes; st_sockets; st_procs })
+    (triple (pair nat nat) (pair nat nat) (pair nat (pair nat nat)))
+
+let to_agent_gen =
+  let open QCheck.Gen in
+  oneof
+    [ map
+        (fun ((pod_id, dest), resume) -> Protocol.A_checkpoint { pod_id; dest; resume })
+        (pair (pair nat uri_gen) bool);
+      map (fun pod_id -> Protocol.A_continue { pod_id }) nat;
+      map (fun pod_id -> Protocol.A_abort { pod_id }) nat;
+      map
+        (fun (((pod_id, name), (vip, rip)),
+              ((uri, entries), (vip_map, (extra_altq, skip_sendq)))) ->
+          Protocol.A_restart
+            { pod_id; name; vip; rip; uri; entries; vip_map; extra_altq; skip_sendq })
+        (pair
+           (pair (pair nat string_small) (pair ip_gen ip_gen))
+           (pair
+              (pair uri_gen (list_size (int_bound 4) restart_entry_gen))
+              (pair
+                 (list_size (int_bound 4) (pair ip_gen ip_gen))
+                 (pair (list_size (int_bound 3) (pair (int_bound 32) string_small))
+                    bool)))) ]
+
+let to_manager_gen =
+  let open QCheck.Gen in
+  oneof
+    [ map
+        (fun ((node, pod_id), (meta, meta_bytes)) ->
+          Protocol.M_meta { node; pod_id; meta; meta_bytes })
+        (pair (pair nat nat) (pair pod_meta_gen nat));
+      map
+        (fun ((node, pod_id), ((ok, detail), stats)) ->
+          Protocol.M_done { node; pod_id; ok; detail; stats })
+        (pair (pair nat nat) (pair (pair bool string_small) stats_gen)) ]
+
+let prop_protocol_agent_roundtrip =
+  QCheck.Test.make ~name:"Manager->Agent messages roundtrip" ~count:300
+    (QCheck.make to_agent_gen) (fun m ->
+      Protocol.to_agent_of_value (roundtrip (Protocol.to_agent_to_value m)) = m)
+
+let prop_protocol_manager_roundtrip =
+  QCheck.Test.make ~name:"Agent->Manager messages roundtrip" ~count:300
+    (QCheck.make to_manager_gen) (fun m ->
+      Protocol.to_manager_of_value (roundtrip (Protocol.to_manager_to_value m)) = m)
+
+(* a pod image: the three required header fields plus arbitrary extra
+   sections; Image serialization must preserve every section verbatim *)
+let pod_image_gen =
+  let open QCheck.Gen in
+  map
+    (fun ((pod_id, name), (mem, extra)) ->
+      Value.Assoc
+        ([ ("pod_id", Value.Int pod_id); ("name", Value.Str name);
+           ("memory_bytes", Value.Int mem) ]
+        @ List.mapi (fun i v -> (Printf.sprintf "sec%d" i, v)) extra))
+    (pair (pair nat string_small) (pair nat (list_size (int_bound 4) value_gen)))
+
+let prop_image_sections_roundtrip =
+  QCheck.Test.make ~name:"pod image sections roundtrip" ~count:300
+    (QCheck.make pod_image_gen) (fun v ->
+      let img = Image.of_pod_image v in
+      Value.equal v (Image.to_pod_image img)
+      && img.Image.pod_id = Value.to_int (Value.field "pod_id" v)
+      && String.equal img.Image.name (Value.to_str (Value.field "name" v)))
+
 let () =
   Alcotest.run "codec"
     [ ( "wire",
@@ -177,4 +307,8 @@ let () =
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
           [ prop_roundtrip; prop_size; prop_estimate_upper; prop_decode_never_crashes;
-            prop_bitflip_safe ] ) ]
+            prop_bitflip_safe ] );
+      ( "protocol",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_protocol_agent_roundtrip; prop_protocol_manager_roundtrip;
+            prop_image_sections_roundtrip ] ) ]
