@@ -1,6 +1,6 @@
 (* Experiment harness entry point.
 
-   Usage: bench/main.exe [fig5|fig6a|fig6b|fig6c|netstate|variance|ablation|micro|all|quick]
+   Usage: bench/main.exe [fig5|fig6a|fig6b|fig6c|netstate|variance|ablation|micro|availability|all|quick]
 
    Each experiment regenerates the corresponding table/figure of the paper
    (see DESIGN.md's experiment index and EXPERIMENTS.md for the comparison
@@ -8,7 +8,7 @@
 
 let usage () =
   print_endline
-    "usage: main.exe [fig5|fig6a|fig6b|fig6c|netstate|variance|ablation|timeline|storage|micro|all|quick]"
+    "usage: main.exe [fig5|fig6a|fig6b|fig6c|netstate|variance|ablation|timeline|storage|micro|availability|all|quick]"
 
 let () =
   let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
@@ -24,6 +24,7 @@ let () =
   | "timeline" -> Experiments.timeline ()
   | "storage" -> Experiments.storage_flush ()
   | "micro" -> Micro.run ()
+  | "availability" -> Experiments.availability ()
   | "all" ->
     Experiments.fig5 ();
     Experiments.fig6a ();
@@ -34,6 +35,7 @@ let () =
     Experiments.ablations ();
     Experiments.timeline ();
     Experiments.storage_flush ();
+    Experiments.availability ();
     Micro.run ()
   | "quick" ->
     (* smoke: one app, one size, one checkpoint series *)

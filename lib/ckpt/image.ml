@@ -27,6 +27,21 @@ let of_pod_image (image : Value.t) =
 
 let to_pod_image (t : t) : Value.t = Wire.decode t.encoded
 
+(* FNV-1a over the identifying fields and the encoded bytes.  Cheap,
+   deterministic, and sensitive to any single-byte mutation — enough to model
+   an end-to-end integrity check on stored images (storage verifies it on
+   every read and falls back to a replica on mismatch). *)
+let checksum (t : t) =
+  let prime = 0x100000001b3 in
+  let h = ref 0xcb29ce484222325 in
+  let mix byte = h := (!h lxor byte) * prime land max_int in
+  String.iter (fun c -> mix (Char.code c)) t.encoded;
+  String.iter (fun c -> mix (Char.code c)) t.name;
+  mix (t.pod_id land 0xff);
+  mix (t.logical_size land 0xff);
+  mix ((t.logical_size lsr 8) land 0xff);
+  !h
+
 let pp ppf t =
   Format.fprintf ppf "image(%s#%d, %d bytes logical, %d encoded)" t.name t.pod_id
     t.logical_size (String.length t.encoded)

@@ -16,4 +16,10 @@ type t = {
 
 val of_pod_image : Value.t -> t
 val to_pod_image : t -> Value.t
+
+val checksum : t -> int
+(** Deterministic content checksum (FNV-1a over the encoded bytes and the
+    identifying fields).  Storage computes it at [put] and verifies it at
+    [get] to detect corrupted replicas. *)
+
 val pp : Format.formatter -> t -> unit

@@ -28,6 +28,8 @@ type fault =
   | Loss_burst of { prob : float; duration : Simtime.t }
   | Latency_spike of { latency : Simtime.t; duration : Simtime.t }
   | Storage_outage of { duration : Simtime.t option }
+  | Replica_outage of { replica : int; duration : Simtime.t option }
+  | Corrupt_image of { replica : int; key : string option }
 
 type trigger =
   | Now
@@ -54,6 +56,14 @@ let fault_to_string = function
   | Storage_outage { duration = None } -> "storage-outage"
   | Storage_outage { duration = Some d } ->
     Printf.sprintf "storage-outage(%.1fms)" (Simtime.to_ms d)
+  | Replica_outage { replica; duration = None } ->
+    Printf.sprintf "replica-outage(replica %d)" replica
+  | Replica_outage { replica; duration = Some d } ->
+    Printf.sprintf "replica-outage(replica %d, %.1fms)" replica (Simtime.to_ms d)
+  | Corrupt_image { replica; key = None } ->
+    Printf.sprintf "corrupt-image(replica %d, all keys)" replica
+  | Corrupt_image { replica; key = Some k } ->
+    Printf.sprintf "corrupt-image(replica %d, %s)" replica k
 
 let trigger_to_string = function
   | Now -> "now"
@@ -121,6 +131,7 @@ let apply_crash t node =
   if not (List.mem node t.crashed) then begin
     note t (fault_to_string (Crash_node { node }));
     t.crashed <- node :: t.crashed;
+    Cluster.mark_node_dead t.cluster node;
     let n = Cluster.node t.cluster node in
     let nf = Fabric.netfilter (fabric t) in
     (* mark in-flight operations aborted first, so cost callbacks already on
@@ -187,6 +198,30 @@ let apply_storage t duration =
         Storage.set_fail_writes storage None)
   | None -> ()
 
+(* One replica of the store goes dark: writes skip it, reads fall back
+   past it.  The global store stays available throughout. *)
+let apply_replica_outage t replica duration =
+  note t (fault_to_string (Replica_outage { replica; duration }));
+  let storage = Cluster.storage t.cluster in
+  Storage.set_replica_fail storage ~replica (Some "injected replica outage");
+  match duration with
+  | Some d ->
+    after t d (fun () ->
+        note t (Printf.sprintf "heal: replica-outage(replica %d)" replica);
+        Storage.set_replica_fail storage ~replica None)
+  | None -> ()
+
+(* Silent bit rot on one replica's copy (or copies): the bytes change under
+   the stored checksum, so only a verifying read notices and falls back. *)
+let apply_corrupt t replica key =
+  note t (fault_to_string (Corrupt_image { replica; key }));
+  let storage = Cluster.storage t.cluster in
+  match key with
+  | Some k -> ignore (Storage.corrupt storage ~replica k)
+  | None ->
+    List.iter (fun k -> ignore (Storage.corrupt storage ~replica k))
+      (Storage.keys storage)
+
 let apply t fault =
   match fault with
   | Break_channel { node } -> apply_break t node
@@ -195,6 +230,8 @@ let apply t fault =
   | Loss_burst { prob; duration } -> apply_loss t prob duration
   | Latency_spike { latency; duration } -> apply_latency t latency duration
   | Storage_outage { duration } -> apply_storage t duration
+  | Replica_outage { replica; duration } -> apply_replica_outage t replica duration
+  | Corrupt_image { replica; key } -> apply_corrupt t replica key
 
 (* --- triggers --- *)
 
@@ -226,6 +263,7 @@ let install_all t = List.iter (install t)
 let heal_all t =
   Fabric.set_config (fabric t) t.base_cfg;
   Storage.set_fail_writes (Cluster.storage t.cluster) None;
+  Storage.heal_replicas (Cluster.storage t.cluster);
   List.iter (fun (node, _) -> resume_agent t node) t.hung
 
 (* --- seeded random scenarios --- *)
@@ -251,7 +289,7 @@ let random_injection rng ~node_count ~horizon =
     Simtime.ns (Stdlib.max 1 (int_of_float (float_of_int horizon *. f)))
   in
   let fault =
-    match Rng.int rng 6 with
+    match Rng.int rng 8 with
     | 0 -> Break_channel { node }
     | 1 -> Crash_node { node }
     | 2 ->
@@ -260,7 +298,9 @@ let random_injection rng ~node_count ~horizon =
       Hang_agent { node; duration }
     | 3 -> Loss_burst { prob = 0.02 +. Rng.float rng 0.18; duration = frac 0.1 0.5 }
     | 4 -> Latency_spike { latency = Simtime.us (40 + Rng.int rng 2000); duration = frac 0.1 0.5 }
-    | _ -> Storage_outage { duration = Some (frac 0.05 0.4) }
+    | 5 -> Storage_outage { duration = Some (frac 0.05 0.4) }
+    | 6 -> Replica_outage { replica = Rng.int rng 2; duration = Some (frac 0.1 0.5) }
+    | _ -> Corrupt_image { replica = Rng.int rng 2; key = None }
   in
   { fault; trigger = random_trigger rng ~horizon }
 

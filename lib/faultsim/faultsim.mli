@@ -33,6 +33,14 @@ type fault =
       (** Raise the fabric's one-way latency for a while (congestion). *)
   | Storage_outage of { duration : Simtime.t option }
       (** Every {!Zapc.Storage.put} fails; [None] lasts until {!heal_all}. *)
+  | Replica_outage of { replica : int; duration : Simtime.t option }
+      (** One replica of the store goes dark: writes skip it, reads fall
+          back past it; [None] lasts until {!heal_all}. *)
+  | Corrupt_image of { replica : int; key : string option }
+      (** Silent bit rot: mutate the named image ([None] = every image) on
+          one replica, keeping its stale checksum — only a verifying read
+          notices and falls back to the next replica.  Permanent ({!heal_all}
+          does not repair bytes). *)
 
 type trigger =
   | Now  (** install time *)
@@ -76,8 +84,9 @@ val armed : t -> int
 
 val heal_all : t -> unit
 (** Undo every *ongoing* environmental fault: restore the fabric config,
-    heal storage, resume hung Agents.  Crashed nodes and broken channels
-    stay down — those are permanent by design. *)
+    heal storage (global and per-replica outages), resume hung Agents.
+    Crashed nodes, broken channels, and already-corrupted image bytes stay
+    down — those are permanent by design. *)
 
 val crashed_nodes : t -> int list
 

@@ -753,6 +753,10 @@ let handle_command t (msg : Protocol.to_agent) =
   | Protocol.A_restart { pod_id; name; vip; rip; uri; entries; vip_map; extra_altq;
                          skip_sendq } ->
     start_restart t ~pod_id ~name ~vip ~rip ~uri ~entries ~vip_map ~extra_altq ~skip_sendq
+  | Protocol.A_ping { seq } ->
+    (* heartbeat: answer immediately, even mid-operation — only a dead,
+       hung, or disconnected Agent misses a beat *)
+    send_to_manager t (Protocol.M_pong { node = t.node; seq })
 
 let attach_channel t (ch : Protocol.channel) =
   t.chan <- Some ch;

@@ -18,6 +18,7 @@ type node = {
   n_agent : Agent.t;
   n_host_ip : Addr.ip;
   mutable n_rip_seq : int;
+  mutable n_alive : bool;  (* cleared when the supervisor declares it dead *)
 }
 
 type t = {
@@ -34,7 +35,10 @@ type t = {
 let make ?(seed = 42) ?(cpus = 1) ~params ~node_count () =
   let engine = Engine.create ~seed () in
   let fabric = Fabric.create ~config:params.Params.fabric engine in
-  let storage = Storage.create ~bps:params.Params.storage_bps engine in
+  let storage =
+    Storage.create ~bps:params.Params.storage_bps
+      ~replicas:params.Params.storage_replicas engine
+  in
   (* one SAN-backed file system mounted by every node *)
   let shared_fs = Zapc_simos.Simfs.create () in
   let nodes =
@@ -47,7 +51,8 @@ let make ?(seed = 42) ?(cpus = 1) ~params ~node_count () =
         Netstack.add_ip (Kernel.netstack kernel) host_ip;
         Kernel.set_fs kernel shared_fs;
         let agent = Agent.create ~node:i ~params ~storage ~fabric kernel in
-        { n_idx = i; n_kernel = kernel; n_agent = agent; n_host_ip = host_ip; n_rip_seq = 0 })
+        { n_idx = i; n_kernel = kernel; n_agent = agent; n_host_ip = host_ip;
+          n_rip_seq = 0; n_alive = true })
   in
   let alloc_rip node_idx =
     let n = nodes.(node_idx) in
@@ -71,12 +76,23 @@ let make ?(seed = 42) ?(cpus = 1) ~params ~node_count () =
   t
 
 let engine t = t.engine
+let params t = t.params
 let manager t = t.manager
 let storage t = t.storage
 let fabric t = t.fabric
 let node t i = t.nodes.(i)
 let node_count t = Array.length t.nodes
 let now t = Engine.now t.engine
+
+(* --- node liveness (supervisor bookkeeping) --- *)
+
+let mark_node_dead t i = t.nodes.(i).n_alive <- false
+let mark_node_alive t i = t.nodes.(i).n_alive <- true
+let node_alive t i = t.nodes.(i).n_alive
+
+let alive_nodes t =
+  Array.to_list t.nodes
+  |> List.filter_map (fun n -> if n.n_alive then Some n.n_idx else None)
 
 let alloc_vip t =
   t.next_vip_seq <- t.next_vip_seq + 1;
@@ -171,12 +187,20 @@ let snapshot t ~(pods : Pod.t list) ~key_prefix =
 
 (* Restart an application from storage onto the given nodes (same or
    different from the originals). *)
-let restart_app t ~(pod_ids : int list) ~(target_nodes : int list) ~key_prefix =
-  let items =
-    List.map2
-      (fun pod_id node ->
-        { Manager.ri_node = node; ri_pod = pod_id;
-          ri_uri = Protocol.U_storage (Printf.sprintf "%s.pod%d" key_prefix pod_id) })
-      pod_ids target_nodes
-  in
-  restart_sync t ~items
+let restart_items ~(pod_ids : int list) ~(target_nodes : int list) ~key_prefix =
+  List.map2
+    (fun pod_id node ->
+      { Manager.ri_node = node; ri_pod = pod_id;
+        ri_uri = Protocol.U_storage (Printf.sprintf "%s.pod%d" key_prefix pod_id) })
+    pod_ids target_nodes
+
+let restart_app t ~pod_ids ~target_nodes ~key_prefix =
+  restart_sync t ~items:(restart_items ~pod_ids ~target_nodes ~key_prefix)
+
+(* Callback flavour for callers already running inside an engine event (the
+   supervisor): [restart_sync] re-enters [Engine.run], which is illegal
+   there. *)
+let restart_app_async t ~pod_ids ~target_nodes ~key_prefix ~on_done =
+  Manager.restart t.manager
+    ~items:(restart_items ~pod_ids ~target_nodes ~key_prefix)
+    ~on_done

@@ -17,6 +17,7 @@ type node = {
   n_agent : Agent.t;
   n_host_ip : Addr.ip;
   mutable n_rip_seq : int;
+  mutable n_alive : bool;  (** cleared when the supervisor declares it dead *)
 }
 
 type t
@@ -24,12 +25,25 @@ type t
 val make : ?seed:int -> ?cpus:int -> params:Params.t -> node_count:int -> unit -> t
 
 val engine : t -> Engine.t
+val params : t -> Params.t
 val manager : t -> Manager.t
 val storage : t -> Storage.t
 val fabric : t -> Fabric.t
 val node : t -> int -> node
 val node_count : t -> int
 val now : t -> Simtime.t
+
+(** {1 Node liveness}
+
+    Bookkeeping used by the supervisor: which nodes are believed healthy and
+    therefore valid targets for an automatic recovery. *)
+
+val mark_node_dead : t -> int -> unit
+val mark_node_alive : t -> int -> unit
+val node_alive : t -> int -> bool
+
+val alive_nodes : t -> int list
+(** Indices of nodes still believed alive, ascending. *)
 
 val alloc_vip : t -> Addr.ip
 (** Fresh virtual address (10.77.0.0/16 pool, disjoint from real subnets). *)
@@ -76,3 +90,14 @@ val restart_app :
   t -> pod_ids:int list -> target_nodes:int list -> key_prefix:string -> Manager.op_result
 (** Restart an application from storage onto the given nodes (same or
     different from the originals). *)
+
+val restart_app_async :
+  t ->
+  pod_ids:int list ->
+  target_nodes:int list ->
+  key_prefix:string ->
+  on_done:(Manager.op_result -> unit) ->
+  unit
+(** Like {!restart_app} but callback-based, for callers already running
+    inside an engine event (the supervisor) where re-entering [Engine.run]
+    is illegal. *)

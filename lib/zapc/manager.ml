@@ -67,11 +67,13 @@ type t = {
   mutable trace : Trace.t option;
   mutable current : pending option;
   mutable gen : int;  (* bumped per operation *)
+  mutable on_pong : node:int -> seq:int -> unit;  (* supervisor heartbeat sink *)
 }
 
 let create ~engine ~params ~storage ~alloc_rip =
   { engine; params; storage; channels = Hashtbl.create 8; alloc_rip;
-    infos = Hashtbl.create 16; trace = None; current = None; gen = 0 }
+    infos = Hashtbl.create 16; trace = None; current = None; gen = 0;
+    on_pong = (fun ~node:_ ~seq:_ -> ()) }
 
 let set_trace t tr = t.trace <- Some tr
 
@@ -150,10 +152,15 @@ let arm_phase_timeout t (p : pending) (phase : Protocol.phase) =
         | Some _ | None -> ())
 
 let on_agent_message t (msg : Protocol.to_manager) =
+  (* heartbeat replies are independent of any running operation *)
+  match msg with
+  | Protocol.M_pong { node; seq } -> t.on_pong ~node ~seq
+  | Protocol.M_meta _ | Protocol.M_done _ ->
   match t.current with
   | None -> ()
   | Some p ->
     (match msg with
+     | Protocol.M_pong _ -> ()  (* handled above *)
      | Protocol.M_meta { pod_id; meta; _ } ->
        p.p_metas <- meta :: p.p_metas;
        p.p_wait_meta <- List.filter (fun id -> id <> pod_id) p.p_wait_meta;
@@ -200,6 +207,20 @@ let break_channel t ~node =
 
 let agent_channel t ~node = Hashtbl.find_opt t.channels node
 let agent_nodes t = Hashtbl.fold (fun n _ acc -> n :: acc) t.channels [] |> List.sort Int.compare
+
+(* --- heartbeats --- *)
+
+let set_on_pong t fn = t.on_pong <- fn
+
+(* Probe one Agent; pings to missing or broken channels vanish silently —
+   that silence is exactly what the supervisor counts as a missed beat. *)
+let ping t ~node ~seq =
+  match Hashtbl.find_opt t.channels node with
+  | Some ch when not (Control.is_broken ch) ->
+    Control.send_down ch
+      ~bytes:(Protocol.to_agent_bytes (Protocol.A_ping { seq }))
+      (Protocol.A_ping { seq })
+  | Some _ | None -> ()
 
 (* --- checkpoint --- *)
 

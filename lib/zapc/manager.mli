@@ -79,3 +79,14 @@ val agent_channel : t -> node:int -> Protocol.channel option
 
 val agent_nodes : t -> int list
 (** Nodes with an attached Agent, sorted. *)
+
+(** {1 Heartbeats (supervisor support)} *)
+
+val ping : t -> node:int -> seq:int -> unit
+(** Send a heartbeat probe to one Agent.  Probes to missing or broken
+    channels are dropped silently — the resulting missing pong is what the
+    supervisor counts as a missed beat. *)
+
+val set_on_pong : t -> (node:int -> seq:int -> unit) -> unit
+(** Install the heartbeat-reply sink; pongs are delivered here regardless of
+    any operation in progress. *)

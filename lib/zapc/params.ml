@@ -38,6 +38,14 @@ type t = {
   fs_snapshot : bool;
   (* take a file-system snapshot of the pod's directory immediately prior
      to reactivating it (paper section 4); the copy cost extends the pause *)
+  (* self-healing supervisor (heartbeats + automatic recovery) *)
+  heartbeat_period : Simtime.t;  (* interval between supervisor pings *)
+  heartbeat_misses : int;
+  (* consecutive unanswered pings before a node is declared dead *)
+  recover_backoff : Simtime.t;  (* base delay before a recovery retry *)
+  recover_backoff_max : Simtime.t;  (* cap on the exponential backoff *)
+  recover_retries : int;  (* recovery attempts before giving up *)
+  storage_replicas : int;  (* independent copies of every stored image *)
   (* design switches (ablations) *)
   redirect_sendq : bool;  (* merge send queues into the peer's ckpt stream *)
   serial_ckpt : bool;  (* barrier before the standalone checkpoint (OFF in ZapC) *)
@@ -66,6 +74,12 @@ let default =
     cost_jitter = 0.35;
     phase_timeout = Simtime.sec 60.0;
     fs_snapshot = false;
+    heartbeat_period = Simtime.ms 100;
+    heartbeat_misses = 3;
+    recover_backoff = Simtime.ms 50;
+    recover_backoff_max = Simtime.sec 2.0;
+    recover_retries = 5;
+    storage_replicas = 2;
     redirect_sendq = false;
     serial_ckpt = false;
     peek_mode = false;

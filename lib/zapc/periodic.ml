@@ -5,7 +5,9 @@
 
    Epochs that would overlap a still-running Manager operation are skipped
    (checkpoints must not queue up behind a slow one); old images beyond
-   [keep] epochs are pruned from storage. *)
+   [keep] epochs are pruned from storage, and a *failed* epoch's partial
+   images are garbage-collected right away so aborted checkpoints cannot
+   leak storage. *)
 
 module Simtime = Zapc_sim.Simtime
 module Engine = Zapc_sim.Engine
@@ -13,7 +15,8 @@ module Pod = Zapc_pod.Pod
 
 type t = {
   cluster : Cluster.t;
-  pods : Pod.t list;
+  pods : Pod.t list;  (* the original group; resolve by pod_id, records go
+                         stale after a recovery re-creates the pods *)
   prefix : string;
   period : Simtime.t;
   keep : int;
@@ -21,93 +24,155 @@ type t = {
   mutable last_good : int;
   mutable completed : int;
   mutable skipped : int;
+  mutable last_skip_reason : string option;
   mutable stopped : bool;
   mutable on_epoch : int -> Manager.op_result -> unit;
 }
 
 let key t epoch = Printf.sprintf "%s.e%d" t.prefix epoch
 
+let pod_ids t = List.map (fun (p : Pod.t) -> p.Pod.pod_id) t.pods
+
+let pod_key t epoch pod_id = Printf.sprintf "%s.pod%d" (key t epoch) pod_id
+
+(* Build the checkpoint items for one epoch, resolving each pod's current
+   incarnation and node.  A pod that is gone or whose address is not on the
+   fabric is a structured error — never a silent fallback to node 0. *)
 let items_for t epoch =
-  List.map
-    (fun (p : Pod.t) ->
-      let node =
-        match Zapc_simnet.Fabric.node_of_ip (Cluster.fabric t.cluster) p.rip with
-        | Some n -> n
-        | None -> 0
-      in
-      { Manager.ci_node = node; ci_pod = p.pod_id;
-        ci_dest = Protocol.U_storage (Printf.sprintf "%s.pod%d" (key t epoch) p.pod_id) })
-    t.pods
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | (p : Pod.t) :: rest ->
+      (match Pod.find p.pod_id with
+       | None -> Error (Printf.sprintf "pod %d not found" p.pod_id)
+       | Some live ->
+         (match Zapc_simnet.Fabric.node_of_ip (Cluster.fabric t.cluster) live.rip with
+          | None ->
+            Error
+              (Printf.sprintf "pod %d: address not attached to any node" p.pod_id)
+          | Some node ->
+            go
+              ({ Manager.ci_node = node; ci_pod = p.pod_id;
+                 ci_dest = Protocol.U_storage (pod_key t epoch p.pod_id) }
+               :: acc)
+              rest))
+  in
+  go [] t.pods
 
 let prune t epoch =
   if epoch > t.keep then begin
     let storage = Cluster.storage t.cluster in
     List.iter
-      (fun (p : Pod.t) ->
-        Storage.remove storage
-          (Printf.sprintf "%s.pod%d" (key t (epoch - t.keep)) p.pod_id))
-      t.pods
+      (fun pod_id -> Storage.remove storage (pod_key t (epoch - t.keep) pod_id))
+      (pod_ids t)
   end
+
+(* A failed epoch leaves partially written pod images behind (some Agents
+   may have completed their put before the abort); drop them immediately. *)
+let gc_failed_epoch t epoch =
+  let storage = Cluster.storage t.cluster in
+  List.iter (fun pod_id -> Storage.remove storage (pod_key t epoch pod_id)) (pod_ids t)
 
 (* a useful epoch needs every pod of the application intact *)
 let pods_alive t =
   List.for_all
-    (fun (p : Pod.t) -> Pod.find p.pod_id <> None && Pod.member_count p > 0)
+    (fun (p : Pod.t) ->
+      match Pod.find p.pod_id with
+      | None -> false
+      | Some live -> Pod.member_count live > 0)
     t.pods
+
+let skip t reason =
+  t.skipped <- t.skipped + 1;
+  t.last_skip_reason <- Some reason
 
 let rec tick t =
   Engine.schedule (Cluster.engine t.cluster) ~delay:t.period (fun () ->
       if not t.stopped then begin
         if not (pods_alive t) then t.stopped <- true
         else if Manager.busy (Cluster.manager t.cluster) then begin
-          t.skipped <- t.skipped + 1;
+          skip t "manager busy";
           tick t
         end
-        else begin
-          t.epoch <- t.epoch + 1;
-          let epoch = t.epoch in
-          Manager.checkpoint (Cluster.manager t.cluster) ~items:(items_for t epoch)
-            ~resume:true
-            ~on_done:(fun r ->
-              if r.Manager.r_ok && not t.stopped then begin
-                t.last_good <- epoch;
-                t.completed <- t.completed + 1;
-                prune t epoch
-              end;
-              t.on_epoch epoch r);
-          tick t
-        end
+        else
+          match items_for t (t.epoch + 1) with
+          | Error reason ->
+            (* unresolvable pod: skip this epoch rather than checkpointing
+               onto a wrong node *)
+            skip t reason;
+            tick t
+          | Ok items ->
+            t.epoch <- t.epoch + 1;
+            let epoch = t.epoch in
+            Manager.checkpoint (Cluster.manager t.cluster) ~items ~resume:true
+              ~on_done:(fun r ->
+                if r.Manager.r_ok then begin
+                  if not t.stopped then begin
+                    t.last_good <- epoch;
+                    t.completed <- t.completed + 1;
+                    prune t epoch
+                  end
+                end
+                else gc_failed_epoch t epoch;
+                t.on_epoch epoch r);
+            tick t
       end)
 
 let start cluster ~pods ~prefix ~period ?(keep = 2) () =
   let t =
     { cluster; pods; prefix; period; keep; epoch = 0; last_good = 0; completed = 0;
-      skipped = 0; stopped = false; on_epoch = (fun _ _ -> ()) }
+      skipped = 0; last_skip_reason = None; stopped = false;
+      on_epoch = (fun _ _ -> ()) }
   in
   tick t;
   t
 
 let stop t = t.stopped <- true
+let stopped t = t.stopped
 let last_good t = t.last_good
 let completed t = t.completed
 let skipped t = t.skipped
+let last_skip_reason t = t.last_skip_reason
 let set_on_epoch t fn = t.on_epoch <- fn
+
+(* Resume ticking after a recovery re-created the pod group (same pod ids,
+   fresh incarnations resolved by [items_for]). *)
+let resume t =
+  if t.stopped then begin
+    t.stopped <- false;
+    tick t
+  end
+
+let no_snapshot_result =
+  { Manager.r_ok = false;
+    r_failure = Some (Protocol.F_missing_image "no completed snapshot");
+    r_detail = "no completed snapshot"; r_duration = Simtime.zero;
+    r_stats = []; r_metas = [] }
+
+(* Tear down whatever survives of the group ahead of a restart. *)
+let destroy_survivors t =
+  List.iter
+    (fun pod_id ->
+      match Pod.find pod_id with Some pod -> Pod.destroy pod | None -> ())
+    (pod_ids t)
 
 (* Recover the application from the last good epoch onto [target_nodes]
    (surviving pods are torn down first). *)
 let recover t ~target_nodes =
-  if t.last_good = 0 then
-    { Manager.r_ok = false;
-      r_failure = Some (Protocol.F_missing_image "no completed snapshot");
-      r_detail = "no completed snapshot"; r_duration = Simtime.zero;
-      r_stats = []; r_metas = [] }
+  if t.last_good = 0 then no_snapshot_result
   else begin
     stop t;
-    List.iter
-      (fun (p : Pod.t) ->
-        match Pod.find p.pod_id with Some pod -> Pod.destroy pod | None -> ())
-      t.pods;
-    Cluster.restart_app t.cluster
-      ~pod_ids:(List.map (fun (p : Pod.t) -> p.Pod.pod_id) t.pods)
-      ~target_nodes ~key_prefix:(key t t.last_good)
+    destroy_survivors t;
+    Cluster.restart_app t.cluster ~pod_ids:(pod_ids t) ~target_nodes
+      ~key_prefix:(key t t.last_good)
+  end
+
+(* Callback flavour for the supervisor, which runs inside engine events
+   where the synchronous [recover] (it re-enters [Engine.run]) is illegal. *)
+let recover_async t ~target_nodes ~on_done =
+  if t.last_good = 0 then on_done no_snapshot_result
+  else begin
+    stop t;
+    destroy_survivors t;
+    Cluster.restart_app_async t.cluster ~pod_ids:(pod_ids t) ~target_nodes
+      ~key_prefix:(key t t.last_good) ~on_done
   end

@@ -79,16 +79,19 @@ type to_agent =
       extra_altq : (int * string) list;  (* sock_ref -> redirected peer data *)
       skip_sendq : bool;  (* send queues were redirected; do not resend *)
     }
+  | A_ping of { seq : int }  (* supervisor heartbeat probe *)
 
 type to_manager =
   | M_meta of { node : int; pod_id : int; meta : Meta.pod_meta; meta_bytes : int }
   | M_done of { node : int; pod_id : int; ok : bool; detail : string; stats : agent_stats }
+  | M_pong of { node : int; seq : int }  (* heartbeat reply *)
 
 (* Rough message sizes for the control-plane cost model. *)
 let to_agent_bytes = function
   | A_checkpoint _ -> 64
   | A_continue _ -> 16
   | A_abort _ -> 16
+  | A_ping _ -> 16
   | A_restart r ->
     128
     + (List.length r.entries * 64)
@@ -98,6 +101,7 @@ let to_agent_bytes = function
 let to_manager_bytes = function
   | M_meta m -> 32 + m.meta_bytes
   | M_done _ -> 64
+  | M_pong _ -> 16
 
 (* --- Value codecs ---
 
@@ -150,6 +154,7 @@ let to_agent_to_value = function
            ("vip_map", Value.list (Value.pair Value.int Value.int) vip_map);
            ("extra_altq", Value.list (Value.pair Value.int Value.str) extra_altq);
            ("skip_sendq", Value.bool skip_sendq) ])
+  | A_ping { seq } -> Value.tag "ping" (Value.int seq)
 
 let to_agent_of_value v =
   match Value.to_tag v with
@@ -174,6 +179,7 @@ let to_agent_of_value v =
           Value.to_list (Value.to_pair Value.to_int Value.to_str)
             (Value.field "extra_altq" b);
         skip_sendq = Value.to_bool (Value.field "skip_sendq" b) }
+  | "ping", b -> A_ping { seq = Value.to_int b }
   | tag, _ -> Value.decode_error "bad to_agent tag %s" tag
 
 let to_manager_to_value = function
@@ -188,6 +194,8 @@ let to_manager_to_value = function
          [ ("node", Value.int node); ("pod", Value.int pod_id);
            ("ok", Value.bool ok); ("detail", Value.str detail);
            ("stats", stats_to_value stats) ])
+  | M_pong { node; seq } ->
+    Value.tag "pong" (Value.assoc [ ("node", Value.int node); ("seq", Value.int seq) ])
 
 let to_manager_of_value v =
   match Value.to_tag v with
@@ -204,6 +212,10 @@ let to_manager_of_value v =
         ok = Value.to_bool (Value.field "ok" b);
         detail = Value.to_str (Value.field "detail" b);
         stats = stats_of_value (Value.field "stats" b) }
+  | "pong", b ->
+    M_pong
+      { node = Value.to_int (Value.field "node" b);
+        seq = Value.to_int (Value.field "seq" b) }
   | tag, _ -> Value.decode_error "bad to_manager tag %s" tag
 
 type channel = (to_manager, to_agent) Control.t

@@ -66,10 +66,12 @@ type to_agent =
               optimization) *)
       skip_sendq : bool;  (** send queues were redirected; do not resend *)
     }
+  | A_ping of { seq : int }  (** supervisor heartbeat probe *)
 
 type to_manager =
   | M_meta of { node : int; pod_id : int; meta : Meta.pod_meta; meta_bytes : int }
   | M_done of { node : int; pod_id : int; ok : bool; detail : string; stats : agent_stats }
+  | M_pong of { node : int; seq : int }  (** heartbeat reply *)
 
 val to_agent_bytes : to_agent -> int
 (** Approximate message size for the control-plane cost model. *)

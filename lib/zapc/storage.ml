@@ -4,30 +4,56 @@
    is part of the checkpoint time) and can be flushed to shared storage
    afterwards, which every node can read — this is what lets a restart
    happen on a different set of nodes.  Flushing is deliberately *not* part
-   of the checkpoint latency, matching the paper's measurement methodology. *)
+   of the checkpoint latency, matching the paper's measurement methodology.
+
+   The store holds [replicas] independent copies of every image, each with
+   the content checksum computed at [put].  A read walks the replicas in
+   order, skipping ones under an injected outage and ones whose bytes no
+   longer match their stored checksum, so a corrupted or unavailable primary
+   falls back to a healthy replica.  A global write outage
+   ([set_fail_writes]) models a SAN-wide failure and rejects the whole
+   write; a per-replica outage ([set_replica_fail]) only drops that copy. *)
 
 module Simtime = Zapc_sim.Simtime
 module Engine = Zapc_sim.Engine
 module Image = Zapc_ckpt.Image
 
+type replica = {
+  images : (string, Image.t * int) Hashtbl.t;  (* key -> image, checksum *)
+  mutable fail : string option;  (* injected per-replica outage *)
+}
+
 type t = {
   engine : Engine.t;
   bps : float;
   latency : Simtime.t;
-  images : (string, Image.t) Hashtbl.t;
+  replicas : replica array;
   mutable bytes_written : int;
   mutable fail_writes : string option;  (* injected outage: writes fail with this reason *)
   mutable write_failures : int;
+  mutable corruption_detected : int;
 }
 
-let create ?(bps = 180e6) ?(latency = Simtime.us 500) engine =
-  { engine; bps; latency; images = Hashtbl.create 16; bytes_written = 0;
-    fail_writes = None; write_failures = 0 }
+let create ?(bps = 180e6) ?(latency = Simtime.us 500) ?(replicas = 2) engine =
+  let replicas = Stdlib.max 1 replicas in
+  { engine; bps; latency;
+    replicas = Array.init replicas (fun _ -> { images = Hashtbl.create 16; fail = None });
+    bytes_written = 0; fail_writes = None; write_failures = 0; corruption_detected = 0 }
+
+let replica_count t = Array.length t.replicas
 
 (* Failure injection (a SAN outage / full volume): while set, every write
    fails with the given reason and stores nothing. *)
 let set_fail_writes t reason = t.fail_writes <- reason
 let write_failures t = t.write_failures
+let corruption_detected t = t.corruption_detected
+
+(* Per-replica outage: writes skip the replica, reads fall back past it. *)
+let set_replica_fail t ~replica reason =
+  if replica >= 0 && replica < Array.length t.replicas then
+    t.replicas.(replica).fail <- reason
+
+let heal_replicas t = Array.iter (fun r -> r.fail <- None) t.replicas
 
 let put t key image =
   match t.fail_writes with
@@ -35,13 +61,68 @@ let put t key image =
     t.write_failures <- t.write_failures + 1;
     Error reason
   | None ->
-    Hashtbl.replace t.images key image;
-    t.bytes_written <- t.bytes_written + image.Image.logical_size;
-    Ok ()
+    let sum = Image.checksum image in
+    let stored = ref 0 in
+    Array.iter
+      (fun r ->
+        if r.fail = None then begin
+          Hashtbl.replace r.images key (image, sum);
+          incr stored
+        end)
+      t.replicas;
+    if !stored = 0 then begin
+      t.write_failures <- t.write_failures + 1;
+      Error "all replicas unavailable"
+    end
+    else begin
+      t.bytes_written <- t.bytes_written + (!stored * image.Image.logical_size);
+      Ok ()
+    end
 
-let get t key = Hashtbl.find_opt t.images key
-let mem t key = Hashtbl.mem t.images key
-let remove t key = Hashtbl.remove t.images key
+(* Walk replicas in order; a copy under outage or failing its checksum is
+   skipped (the latter counted in [corruption_detected]). *)
+let get t key =
+  let n = Array.length t.replicas in
+  let rec go i =
+    if i >= n then None
+    else
+      let r = t.replicas.(i) in
+      if r.fail <> None then go (i + 1)
+      else
+        match Hashtbl.find_opt r.images key with
+        | None -> go (i + 1)
+        | Some (image, sum) ->
+          if Image.checksum image = sum then Some image
+          else begin
+            t.corruption_detected <- t.corruption_detected + 1;
+            go (i + 1)
+          end
+  in
+  go 0
+
+let mem t key = get t key <> None
+
+let remove t key = Array.iter (fun r -> Hashtbl.remove r.images key) t.replicas
+
+(* Corruption injection: mutate the stored bytes of one replica's copy while
+   keeping the stale checksum, so the damage is only visible to a verifying
+   reader.  Returns false if that replica holds no such key. *)
+let corrupt t ~replica key =
+  if replica < 0 || replica >= Array.length t.replicas then false
+  else
+    let r = t.replicas.(replica) in
+    match Hashtbl.find_opt r.images key with
+    | None -> false
+    | Some (image, sum) ->
+      let b = Bytes.of_string image.Image.encoded in
+      if Bytes.length b = 0 then false
+      else begin
+        let i = Bytes.length b / 2 in
+        Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x5a));
+        Hashtbl.replace r.images key
+          ({ image with Image.encoded = Bytes.to_string b }, sum);
+        true
+      end
 
 (* Model the asynchronous flush of an already-stored image to disk. *)
 let flush_time t key =
@@ -53,4 +134,9 @@ let flush_time t key =
 
 let flush t key ~on_done = Engine.schedule t.engine ~delay:(flush_time t key) on_done
 
-let keys t = Hashtbl.fold (fun k _ acc -> k :: acc) t.images [] |> List.sort String.compare
+let keys t =
+  let tbl = Hashtbl.create 16 in
+  Array.iter
+    (fun r -> Hashtbl.iter (fun k _ -> Hashtbl.replace tbl k ()) r.images)
+    t.replicas;
+  Hashtbl.fold (fun k () acc -> k :: acc) tbl [] |> List.sort String.compare

@@ -4,7 +4,13 @@
     is part of the checkpoint time) and can be flushed to shared storage
     afterwards; flushing is deliberately {e not} part of the checkpoint
     latency, matching the paper's methodology.  Every node reads the same
-    store, which is what allows restarting on a different set of nodes. *)
+    store, which is what allows restarting on a different set of nodes.
+
+    The store keeps [replicas] independent copies of every image, each
+    guarded by the content checksum computed at {!put}.  {!get} walks the
+    replicas in order, skipping copies under an injected outage or whose
+    bytes fail their checksum, so a damaged primary falls back to a healthy
+    replica. *)
 
 module Simtime = Zapc_sim.Simtime
 module Engine = Zapc_sim.Engine
@@ -12,13 +18,21 @@ module Image = Zapc_ckpt.Image
 
 type t
 
-val create : ?bps:float -> ?latency:Simtime.t -> Engine.t -> t
+val create : ?bps:float -> ?latency:Simtime.t -> ?replicas:int -> Engine.t -> t
+(** [replicas] (default 2, clamped to at least 1) independent copies are
+    kept for every image. *)
+
+val replica_count : t -> int
 
 val put : t -> string -> Image.t -> (unit, string) result
-(** Fails (storing nothing) while a write outage is injected; the Agent
-    turns the error into a clean abort of its side of the operation. *)
+(** Writes the image (with its {!Image.checksum}) to every replica not under
+    a per-replica outage.  Fails, storing nothing, during a global write
+    outage or when no replica is available; the Agent turns the error into a
+    clean abort of its side of the operation. *)
 
 val get : t -> string -> Image.t option
+(** First healthy, checksum-verified copy across the replicas (in order);
+    [None] if every replica is unavailable, missing the key, or corrupt. *)
 
 val set_fail_writes : t -> string option -> unit
 (** Failure injection: while [Some reason], every {!put} fails with that
@@ -27,11 +41,31 @@ val set_fail_writes : t -> string option -> unit
 val write_failures : t -> int
 (** Number of writes rejected by injected outages so far. *)
 
+val set_replica_fail : t -> replica:int -> string option -> unit
+(** Per-replica outage injection: while set, {!put} skips the replica and
+    {!get} falls back past it.  Out-of-range indices are ignored. *)
+
+val heal_replicas : t -> unit
+(** Clear every per-replica outage. *)
+
+val corrupt : t -> replica:int -> string -> bool
+(** Corruption injection: flip a byte of one replica's copy of the image
+    while keeping its stale checksum, so only a verifying read notices.
+    Returns [false] if that replica has no (non-empty) copy of the key. *)
+
+val corruption_detected : t -> int
+(** Number of reads that found a copy failing its checksum (each such copy
+    is skipped and the next replica tried), mirroring {!write_failures}. *)
+
 val mem : t -> string -> bool
+(** True iff {!get} would succeed (some healthy, verified copy exists). *)
+
 val remove : t -> string -> unit
+(** Drop the key from every replica. *)
 
 val flush_time : t -> string -> Simtime.t
 (** Virtual time to flush the named image to disk at the SAN bandwidth. *)
 
 val flush : t -> string -> on_done:(unit -> unit) -> unit
 val keys : t -> string list
+(** Sorted union of keys present on any replica (healthy or not). *)

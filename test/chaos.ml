@@ -33,6 +33,8 @@ module Agent = Zapc.Agent
 module Protocol = Zapc.Protocol
 module Params = Zapc.Params
 module Storage = Zapc.Storage
+module Periodic = Zapc.Periodic
+module Supervisor = Zapc.Supervisor
 module Launch = Zapc_msg.Launch
 module Faultsim = Zapc_faultsim.Faultsim
 
@@ -267,6 +269,8 @@ let kind_of = function
   | Faultsim.Loss_burst _ -> "loss"
   | Faultsim.Latency_spike _ -> "latency"
   | Faultsim.Storage_outage _ -> "storage"
+  | Faultsim.Replica_outage _ -> "replica"
+  | Faultsim.Corrupt_image _ -> "corrupt"
 
 let run_scenario seed =
   let prng = Rng.create ~seed:(9000 + seed) in
@@ -336,6 +340,185 @@ let test_random_scenarios () =
   (* the sweep must exercise a meaningful slice of the fault space *)
   check tbool "covers >= 4 fault kinds" true (Hashtbl.length kinds >= 4)
 
+(* --- availability: self-healing supervisor scenarios ------------------- *)
+
+(* Knobs sized so a whole detect-recover cycle fits in tens of virtual
+   milliseconds: fast heartbeats, cheap checkpoints/restores, and a phase
+   timeout short enough that a recovery attempt into a hung node fails
+   quickly but long enough for a healthy restore to finish. *)
+let avail_params =
+  { Params.default with
+    phase_timeout = Simtime.ms 400;
+    heartbeat_period = Simtime.ms 20;
+    heartbeat_misses = 3;
+    recover_backoff = Simtime.ms 40;
+    recover_backoff_max = Simtime.ms 400;
+    recover_retries = 5;
+    ckpt_fixed = Simtime.ms 20;
+    restore_fixed = Simtime.ms 60;
+    cost_jitter = 0.2 }
+
+(* Start an app plus periodic checkpoints plus the supervisor, and run
+   until [n] epochs have completed. *)
+let start_supervised ?(seed = 42) ?(epochs = 2) () =
+  let cluster = make_cluster ~params:avail_params ~seed () in
+  let fs = Faultsim.create cluster in
+  let app =
+    Launch.launch cluster ~name:"bt" ~program:"bt_nas" ~placement:[ 0; 1 ]
+      ~app_args:(bt_args 96 400) ()
+  in
+  Cluster.run cluster ~until:(Simtime.ms 5) ();
+  let svc =
+    Periodic.start cluster ~pods:app.Launch.pods ~prefix:"avail"
+      ~period:(Simtime.ms 50) ~keep:2 ()
+  in
+  let sup = Supervisor.start ~trace:(Faultsim.trace fs) cluster svc in
+  Cluster.run_until cluster ~timeout:(Simtime.sec 30.0) (fun () ->
+      Periodic.last_good svc >= epochs && not (Manager.busy (Cluster.manager cluster)));
+  (cluster, fs, app, svc, sup)
+
+(* Acceptance: one node crashes mid-run and the app completes end-to-end
+   with zero manual recovery calls — the supervisor detects the death via
+   missed heartbeats and restarts from the last good epoch on survivors.
+   Returns the observable timeline so the determinism test can replay it. *)
+let run_crash_autorecovery seed =
+  let cluster, fs, app, svc, sup = start_supervised ~seed () in
+  check tbool "app still running at crash time" true (not (Launch.is_done app));
+  let crash_time = Cluster.now cluster in
+  Faultsim.install fs { fault = Crash_node { node = 1 }; trigger = Now };
+  Cluster.run_until cluster ~timeout:(Simtime.sec 60.0) (fun () ->
+      Supervisor.recoveries sup >= 1 || Supervisor.gave_up sup);
+  check tbool "supervisor recovered (did not give up)" true
+    (Supervisor.recoveries sup = 1);
+  let detect = Option.get (Supervisor.last_detect sup) in
+  let mttr_end = Option.get (Supervisor.last_recovered sup) in
+  let detect_latency = Simtime.sub detect crash_time in
+  let mttr = Simtime.sub mttr_end crash_time in
+  (* detection needs heartbeat_misses consecutive silent beats, no more *)
+  check tbool "detection latency positive" true (detect_latency > Simtime.zero);
+  check tbool "detection within 10 heartbeats" true
+    (detect_latency <= Simtime.ms 200);
+  check tbool "recovery after detection" true (Simtime.compare mttr detect_latency > 0);
+  check tbool "MTTR under a virtual second" true (mttr <= Simtime.sec 1.0);
+  (* the recovered app must run to its correct result *)
+  Cluster.run_until cluster ~timeout:(Simtime.sec 2400.0) (fun () ->
+      has_log "bt_nas: checksum");
+  Supervisor.stop sup;
+  Periodic.stop svc;
+  Cluster.run cluster ~until:(Simtime.add (Cluster.now cluster) (Simtime.ms 200)) ();
+  assert_clean "auto-recovery" cluster fs;
+  check tbool "watch set moved off the dead node" true
+    (not (List.mem 1 (Supervisor.watched sup)));
+  List.map
+    (fun (t, w) -> Printf.sprintf "%d %s" t w)
+    (Supervisor.events sup)
+
+let test_crash_autorecovery () = ignore (run_crash_autorecovery 42)
+
+(* determinism: the same seed replays the identical supervisor timeline
+   (detect instant, attempts, backoffs, recovery instant) *)
+let test_autorecovery_deterministic () =
+  let a = run_crash_autorecovery 7 and b = run_crash_autorecovery 7 in
+  check (Alcotest.list Alcotest.string) "same seed, same timeline" a b
+
+(* Acceptance: the first recovery attempt runs into a *second* injected
+   fault (the target Agent hangs the moment the death is declared), times
+   out, and the supervisor retries with backoff until the hang heals. *)
+let test_backoff_retry_after_second_fault () =
+  let cluster, fs, app, svc, sup = start_supervised () in
+  ignore app;
+  (* the detection event itself triggers the second fault: node 2 — the
+     recovery target for the dead node's pod — stalls for 600 ms *)
+  Faultsim.install fs
+    { fault = Hang_agent { node = 2; duration = Some (Simtime.ms 600) };
+      trigger = On_phase { phase = "sup_detect:node1"; pod = None; skip = 0 } };
+  Faultsim.install fs { fault = Crash_node { node = 1 }; trigger = Now };
+  Cluster.run_until cluster ~timeout:(Simtime.sec 60.0) (fun () ->
+      Supervisor.recoveries sup >= 1 || Supervisor.gave_up sup);
+  check tbool "recovered despite the second fault" true
+    (Supervisor.recoveries sup = 1);
+  check tbool "first attempt failed, retried with backoff" true
+    (Supervisor.total_attempts sup >= 2);
+  check tbool "backoff event traced" true
+    (List.exists
+       (fun (_, w) ->
+         String.length w >= 11 && String.equal (String.sub w 0 11) "sup_backoff")
+       (Supervisor.events sup));
+  Cluster.run_until cluster ~timeout:(Simtime.sec 2400.0) (fun () ->
+      has_log "bt_nas: checksum");
+  Supervisor.stop sup;
+  Periodic.stop svc;
+  Cluster.run cluster ~until:(Simtime.add (Cluster.now cluster) (Simtime.ms 200)) ();
+  assert_clean "backoff-retry" cluster fs
+
+(* Acceptance (sibling): every image on the primary replica rots just
+   before the node crash; the automatic recovery reads from the intact
+   second replica and the corruption counter proves the fallback ran. *)
+let test_corrupt_primary_recovers_from_replica () =
+  let cluster, fs, app, svc, sup = start_supervised () in
+  ignore app;
+  let storage = Cluster.storage cluster in
+  check tbool "store is replicated" true (Storage.replica_count storage >= 2);
+  Faultsim.install fs
+    { fault = Corrupt_image { replica = 0; key = None }; trigger = Now };
+  Faultsim.install fs { fault = Crash_node { node = 1 }; trigger = Now };
+  Cluster.run_until cluster ~timeout:(Simtime.sec 60.0) (fun () ->
+      Supervisor.recoveries sup >= 1 || Supervisor.gave_up sup);
+  check tbool "recovered from the replica" true (Supervisor.recoveries sup = 1);
+  check tbool "corruption was detected on the primary" true
+    (Storage.corruption_detected storage > 0);
+  Cluster.run_until cluster ~timeout:(Simtime.sec 2400.0) (fun () ->
+      has_log "bt_nas: checksum");
+  Supervisor.stop sup;
+  Periodic.stop svc;
+  Cluster.run cluster ~until:(Simtime.add (Cluster.now cluster) (Simtime.ms 200)) ();
+  assert_clean "corrupt-primary" cluster fs
+
+(* Satellite: a failed epoch's partially written pod images are
+   garbage-collected — storage holds exactly the completed epochs' keys. *)
+let test_failed_epoch_gc () =
+  let cluster = make_cluster ~params:avail_params () in
+  let fs = Faultsim.create cluster in
+  let app =
+    Launch.launch cluster ~name:"bt" ~program:"bt_nas" ~placement:[ 0; 1 ]
+      ~app_args:(bt_args 96 400) ()
+  in
+  Cluster.run cluster ~until:(Simtime.ms 5) ();
+  let svc =
+    Periodic.start cluster ~pods:app.Launch.pods ~prefix:"gcsvc"
+      ~period:(Simtime.ms 50) ~keep:3 ()
+  in
+  let failures = ref 0 in
+  Periodic.set_on_epoch svc (fun _ r -> if not r.Manager.r_ok then incr failures);
+  Cluster.run_until cluster ~timeout:(Simtime.sec 30.0) (fun () ->
+      Periodic.completed svc >= 1 && not (Manager.busy (Cluster.manager cluster)));
+  let good = Periodic.last_good svc in
+  (* break a channel in the next epoch's meta window: that epoch aborts
+     after some pods may already have written their images *)
+  Faultsim.install fs
+    { fault = Break_channel { node = 1 };
+      trigger = On_phase { phase = "meta_sent"; pod = None; skip = 0 } };
+  Cluster.run_until cluster ~timeout:(Simtime.sec 30.0) (fun () -> !failures >= 1);
+  Periodic.stop svc;
+  Cluster.run cluster ~until:(Simtime.add (Cluster.now cluster) (Simtime.ms 300)) ();
+  let svc_keys =
+    List.filter
+      (fun k -> String.length k >= 5 && String.equal (String.sub k 0 5) "gcsvc")
+      (Storage.keys (Cluster.storage cluster))
+  in
+  (* exactly the completed epochs' images remain: two pods per good epoch,
+     nothing from the failed epoch *)
+  check (Alcotest.list Alcotest.string) "only completed epochs resident"
+    (List.sort String.compare
+       (List.concat_map
+          (fun e ->
+            List.map
+              (fun (p : Pod.t) -> Printf.sprintf "gcsvc.e%d.pod%d" e p.pod_id)
+              app.Launch.pods)
+          (List.init good (fun i -> i + 1))))
+    svc_keys;
+  assert_clean "failed-epoch-gc" cluster fs
+
 (* determinism: the same seed yields the same injected-fault log *)
 let test_scenario_determinism () =
   let fired_of seed =
@@ -368,6 +551,17 @@ let () =
           Alcotest.test_case "node crash mid-checkpoint" `Quick
             test_node_crash_mid_checkpoint;
           Alcotest.test_case "loss burst rides out" `Quick test_loss_burst_rides_out ] );
+      ( "availability",
+        [ Alcotest.test_case "crash auto-recovery, zero manual calls" `Quick
+            test_crash_autorecovery;
+          Alcotest.test_case "auto-recovery determinism" `Quick
+            test_autorecovery_deterministic;
+          Alcotest.test_case "backoff retry under a second fault" `Quick
+            test_backoff_retry_after_second_fault;
+          Alcotest.test_case "corrupt primary recovers from replica" `Quick
+            test_corrupt_primary_recovers_from_replica;
+          Alcotest.test_case "failed epoch GC'd from storage" `Quick
+            test_failed_epoch_gc ] );
       ( "random",
         [ Alcotest.test_case "seeded scenarios" `Quick test_random_scenarios;
           Alcotest.test_case "scenario determinism" `Quick test_scenario_determinism ] ) ]

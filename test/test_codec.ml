@@ -244,7 +244,8 @@ let to_agent_gen =
               (pair
                  (list_size (int_bound 4) (pair ip_gen ip_gen))
                  (pair (list_size (int_bound 3) (pair (int_bound 32) string_small))
-                    bool)))) ]
+                    bool))));
+      map (fun seq -> Protocol.A_ping { seq }) nat ]
 
 let to_manager_gen =
   let open QCheck.Gen in
@@ -256,7 +257,8 @@ let to_manager_gen =
       map
         (fun ((node, pod_id), ((ok, detail), stats)) ->
           Protocol.M_done { node; pod_id; ok; detail; stats })
-        (pair (pair nat nat) (pair (pair bool string_small) stats_gen)) ]
+        (pair (pair nat nat) (pair (pair bool string_small) stats_gen));
+      map (fun (node, seq) -> Protocol.M_pong { node; seq }) (pair nat nat) ]
 
 let prop_protocol_agent_roundtrip =
   QCheck.Test.make ~name:"Manager->Agent messages roundtrip" ~count:300
@@ -288,6 +290,25 @@ let prop_image_sections_roundtrip =
       && img.Image.pod_id = Value.to_int (Value.field "pod_id" v)
       && String.equal img.Image.name (Value.to_str (Value.field "name" v)))
 
+(* the storage integrity checksum: deterministic for the same image, and
+   any single-byte mutation of the encoded payload changes it *)
+let prop_image_checksum_detects_bitflips =
+  QCheck.Test.make ~name:"image checksum detects single-byte corruption" ~count:300
+    (QCheck.make (QCheck.Gen.pair pod_image_gen (QCheck.Gen.int_bound 10_000)))
+    (fun (v, pos) ->
+      let img = Image.of_pod_image v in
+      let sum = Image.checksum img in
+      sum = Image.checksum img
+      &&
+      let n = String.length img.Image.encoded in
+      if n = 0 then true
+      else begin
+        let i = pos mod n in
+        let b = Bytes.of_string img.Image.encoded in
+        Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x01));
+        Image.checksum { img with Image.encoded = Bytes.to_string b } <> sum
+      end)
+
 let () =
   Alcotest.run "codec"
     [ ( "wire",
@@ -311,4 +332,4 @@ let () =
       ( "protocol",
         List.map QCheck_alcotest.to_alcotest
           [ prop_protocol_agent_roundtrip; prop_protocol_manager_roundtrip;
-            prop_image_sections_roundtrip ] ) ]
+            prop_image_sections_roundtrip; prop_image_checksum_detects_bitflips ] ) ]

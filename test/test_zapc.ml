@@ -944,6 +944,113 @@ let test_periodic_service_recovery () =
       find_log "bt_nas: checksum" <> None);
   check tbool "identical result after recovery" true (List.mem reference !logged)
 
+(* recover before any epoch completed: a structured refusal, not a crash *)
+let test_periodic_recover_without_snapshot () =
+  let cluster = make_cluster () in
+  let app =
+    Launch.launch cluster ~name:"bt" ~program:"bt_nas" ~placement:[ 0; 1 ]
+      ~app_args:(bt_args 256 1500) ()
+  in
+  Cluster.run cluster ~until:(Simtime.ms 5) ();
+  let svc =
+    Zapc.Periodic.start cluster ~pods:app.Launch.pods ~prefix:"virgin"
+      ~period:(Simtime.sec 10.0) ()
+  in
+  check tint "no epoch yet" 0 (Zapc.Periodic.last_good svc);
+  let r = Zapc.Periodic.recover svc ~target_nodes:[ 2; 3 ] in
+  check tbool "recovery refused" true (not r.Manager.r_ok);
+  (match r.Manager.r_failure with
+   | Some (Protocol.F_missing_image _) -> ()
+   | _ -> Alcotest.fail "expected F_missing_image for last_good = 0");
+  Zapc.Periodic.stop svc
+
+(* a period shorter than a checkpoint: overlapping epochs are skipped while
+   the Manager is busy (never queued), with the reason recorded *)
+let test_periodic_skips_while_busy () =
+  let cluster = make_cluster () in
+  let app =
+    Launch.launch cluster ~name:"bt" ~program:"bt_nas" ~placement:[ 0; 1 ]
+      ~app_args:(bt_args 256 1500) ()
+  in
+  Cluster.run cluster ~until:(Simtime.ms 5) ();
+  let svc =
+    Zapc.Periodic.start cluster ~pods:app.Launch.pods ~prefix:"busy"
+      ~period:(Simtime.ms 20) ~keep:2 ()
+  in
+  Cluster.run cluster ~until:(Simtime.ms 800) ();
+  check tbool "some epochs completed" true (Zapc.Periodic.completed svc >= 1);
+  check tbool "overlapping epochs skipped" true (Zapc.Periodic.skipped svc > 0);
+  (match Zapc.Periodic.last_skip_reason svc with
+   | Some "manager busy" -> ()
+   | Some other -> Alcotest.fail ("unexpected skip reason: " ^ other)
+   | None -> Alcotest.fail "skip reason not recorded");
+  Zapc.Periodic.stop svc
+
+(* a pod whose address is no longer on the fabric must skip the epoch with
+   a recorded reason — never fall back to checkpointing on node 0 *)
+let test_periodic_skips_unresolvable_pod () =
+  let cluster = make_cluster () in
+  let app =
+    Launch.launch cluster ~name:"bt" ~program:"bt_nas" ~placement:[ 0; 1 ]
+      ~app_args:(bt_args 256 1500) ()
+  in
+  Cluster.run cluster ~until:(Simtime.ms 5) ();
+  let svc =
+    Zapc.Periodic.start cluster ~pods:app.Launch.pods ~prefix:"unres"
+      ~period:(Simtime.ms 200) ~keep:2 ()
+  in
+  Cluster.run_until cluster ~timeout:(Simtime.sec 10.0) (fun () ->
+      Zapc.Periodic.completed svc >= 1
+      && not (Manager.busy (Cluster.manager cluster)));
+  (* node 1 falls off the fabric but its pod object survives *)
+  Zapc_simnet.Fabric.detach_node (Cluster.fabric cluster) 1;
+  let before = Zapc.Periodic.skipped svc in
+  let good = Zapc.Periodic.last_good svc in
+  Cluster.run cluster ~until:(Simtime.add (Cluster.now cluster) (Simtime.ms 500)) ();
+  check tbool "epochs skipped, not misplaced" true (Zapc.Periodic.skipped svc > before);
+  (match Zapc.Periodic.last_skip_reason svc with
+   | Some reason ->
+     check tbool "reason names the unresolvable pod" true
+       (String.length reason > 0 && String.sub reason 0 3 = "pod")
+   | None -> Alcotest.fail "skip reason not recorded");
+  check tint "no further epoch completed" good (Zapc.Periodic.last_good svc);
+  Zapc.Periodic.stop svc
+
+(* pruning leaves exactly [keep] epochs resident (Storage.keys is exact) *)
+let test_periodic_prunes_to_keep () =
+  let cluster = make_cluster () in
+  let app =
+    Launch.launch cluster ~name:"bt" ~program:"bt_nas" ~placement:[ 0; 1 ]
+      ~app_args:(bt_args 256 1500) ()
+  in
+  Cluster.run cluster ~until:(Simtime.ms 5) ();
+  let keep = 2 in
+  let svc =
+    Zapc.Periodic.start cluster ~pods:app.Launch.pods ~prefix:"rot"
+      ~period:(Simtime.ms 150) ~keep ()
+  in
+  Cluster.run_until cluster ~timeout:(Simtime.sec 10.0) (fun () ->
+      Zapc.Periodic.last_good svc >= keep + 2
+      && not (Manager.busy (Cluster.manager cluster)));
+  Zapc.Periodic.stop svc;
+  let good = Zapc.Periodic.last_good svc in
+  let expected =
+    List.concat_map
+      (fun e ->
+        List.map
+          (fun (p : Pod.t) -> Printf.sprintf "rot.e%d.pod%d" e p.Pod.pod_id)
+          app.Launch.pods)
+      (List.init keep (fun i -> good - keep + 1 + i))
+    |> List.sort String.compare
+  in
+  let resident =
+    List.filter
+      (fun k -> String.length k >= 3 && String.equal (String.sub k 0 3) "rot")
+      (Zapc.Storage.keys (Cluster.storage cluster))
+  in
+  check (Alcotest.list Alcotest.string) "exactly keep epochs resident" expected
+    resident
+
 (* the Myrinet/GM extension (paper section 5): kernel-bypass messaging
    whose device-resident port state is extracted and reinstated across a
    migration; in-flight messages drop (unreliable) and the library's
@@ -1074,6 +1181,14 @@ let () =
             test_alarm_and_clock_across_restart;
           Alcotest.test_case "periodic service + recovery" `Quick
             test_periodic_service_recovery;
+          Alcotest.test_case "periodic: recover without snapshot" `Quick
+            test_periodic_recover_without_snapshot;
+          Alcotest.test_case "periodic: skips while busy" `Quick
+            test_periodic_skips_while_busy;
+          Alcotest.test_case "periodic: skips unresolvable pod" `Quick
+            test_periodic_skips_unresolvable_pod;
+          Alcotest.test_case "periodic: prunes to keep" `Quick
+            test_periodic_prunes_to_keep;
           Alcotest.test_case "gm (kernel-bypass) migration" `Quick
             test_gm_checkpoint_migration;
           Alcotest.test_case "N-to-M consolidation" `Quick test_n_to_m_consolidation ] );
