@@ -303,7 +303,14 @@ let timeline () =
     Cluster.checkpoint_sync env.cluster ~items:(items_for env.cluster env.app ~prefix:"tl")
       ~resume:true
   in
-  if r.Manager.r_ok then print_string (Zapc.Trace.render_checkpoint tr)
+  if r.Manager.r_ok then begin
+    print_string (Zapc.Trace.render_checkpoint tr);
+    (* same timeline as Chrome trace_event JSON: load in chrome://tracing or
+       https://ui.perfetto.dev and the per-pod standalone tracks visibly
+       straddle the manager's mgr_sync track (doc/OBSERVABILITY.md) *)
+    Zapc.Trace.dump_chrome tr "BENCH_timeline_trace.json";
+    Printf.printf "\nwrote BENCH_timeline_trace.json\n"
+  end
 
 let storage_flush () =
   section
@@ -368,11 +375,15 @@ type avail_sample = {
   av_detect_ms : float;  (* crash -> supervisor declares the node dead *)
   av_mttr_ms : float;  (* crash -> recovery checkpoint restored, app running *)
   av_attempts : int;
+  av_repair_ms : float;  (* declaration -> recovered (sup.mttr_ms histogram) *)
 }
 
 (* One seeded crash-recovery run (mirrors the chaos harness's acceptance
    scenario): BT/NAS on two of four nodes, periodic service at 50 ms,
-   supervisor watching; node 1 loses power after two good epochs. *)
+   supervisor watching; node 1 loses power after two good epochs.
+   Detection latency, MTTR and the attempt count are read back from the
+   cluster's metrics registry (sup.* instruments) rather than re-derived
+   from raw trace events. *)
 let avail_run seed =
   Zapc_apps.Registry.register_all ();
   let cluster = Cluster.make ~seed ~params:avail_params ~node_count:4 () in
@@ -397,15 +408,19 @@ let avail_run seed =
     { Faultsim.fault = Faultsim.Crash_node { node = 1 }; trigger = Faultsim.Now };
   Cluster.run_until cluster ~timeout:(Simtime.sec 60.0) (fun () ->
       Supervisor.recoveries sup >= 1 || Supervisor.gave_up sup);
+  let reg = Cluster.metrics cluster in
   let sample =
-    match (Supervisor.last_detect sup, Supervisor.last_recovered sup) with
-    | Some detect, Some healed ->
+    if Zapc_obs.Metrics.counter reg "sup.recoveries" >= 1 then begin
+      let crash_ms = Simtime.to_ms crash_time in
       Some
         { av_seed = seed;
-          av_detect_ms = Simtime.to_ms (Simtime.sub detect crash_time);
-          av_mttr_ms = Simtime.to_ms (Simtime.sub healed crash_time);
-          av_attempts = Supervisor.total_attempts sup }
-    | _ -> None
+          av_detect_ms = Zapc_obs.Metrics.gauge reg "sup.last_detect_ms" -. crash_ms;
+          av_mttr_ms =
+            Zapc_obs.Metrics.gauge reg "sup.last_recovered_ms" -. crash_ms;
+          av_attempts = Zapc_obs.Metrics.counter reg "sup.attempts";
+          av_repair_ms = Zapc_obs.Metrics.p50 reg "sup.mttr_ms" }
+    end
+    else None
   in
   Supervisor.stop sup;
   Periodic.stop svc;
@@ -415,13 +430,15 @@ let avail_json path samples detect mttr =
   let oc = open_out path in
   let field s =
     Printf.sprintf
-      "    {\"seed\": %d, \"detect_ms\": %.3f, \"mttr_ms\": %.3f, \"attempts\": %d}"
-      s.av_seed s.av_detect_ms s.av_mttr_ms s.av_attempts
+      "    {\"seed\": %d, \"detect_ms\": %.3f, \"mttr_ms\": %.3f, \
+       \"attempts\": %d, \"repair_ms\": %.3f}"
+      s.av_seed s.av_detect_ms s.av_mttr_ms s.av_attempts s.av_repair_ms
   in
   Printf.fprintf oc
     "{\n\
     \  \"experiment\": \"availability\",\n\
     \  \"scenario\": \"crash one of two BT/NAS nodes mid-run\",\n\
+    \  \"source\": \"sup.* metrics registry (see doc/OBSERVABILITY.md)\",\n\
     \  \"detect_ms\": {\"mean\": %.3f, \"stddev\": %.3f, \"max\": %.3f},\n\
     \  \"mttr_ms\": {\"mean\": %.3f, \"stddev\": %.3f, \"max\": %.3f},\n\
     \  \"runs\": [\n%s\n  ]\n}\n"
@@ -435,7 +452,8 @@ let availability () =
     "AVAIL  Self-healing supervisor: heartbeat detection latency and MTTR\n\
     \       (node crash mid-run; recovery from the last good periodic epoch\n\
     \       on the surviving nodes, zero manual intervention)";
-  row "%6s %14s %12s %10s\n" "seed" "detect (ms)" "mttr (ms)" "attempts";
+  row "%6s %14s %12s %12s %10s\n" "seed" "detect (ms)" "mttr (ms)" "repair (ms)"
+    "attempts";
   let seeds = List.init 8 (fun i -> 42 + (i * 1000)) in
   let samples = List.filter_map avail_run seeds in
   let detect = Stats.create () and mttr = Stats.create () in
@@ -443,8 +461,8 @@ let availability () =
     (fun s ->
       Stats.add detect s.av_detect_ms;
       Stats.add mttr s.av_mttr_ms;
-      row "%6d %14.1f %12.1f %10d\n" s.av_seed s.av_detect_ms s.av_mttr_ms
-        s.av_attempts)
+      row "%6d %14.1f %12.1f %12.1f %10d\n" s.av_seed s.av_detect_ms s.av_mttr_ms
+        s.av_repair_ms s.av_attempts)
     samples;
   if List.length samples < List.length seeds then
     row "(!) %d/%d runs did not recover\n"
@@ -454,3 +472,30 @@ let availability () =
   let path = "BENCH_availability.json" in
   avail_json path samples detect mttr;
   Printf.printf "\nwrote %s\n" path
+
+(* ------------------------------------------------------------------ *)
+(* Quick smoke (also the @obs alias input)                             *)
+(* ------------------------------------------------------------------ *)
+
+(* One app, one size, one checkpoint series — plus a traced checkpoint whose
+   Chrome trace and metrics snapshot are validated by bench/obs_check.ml. *)
+let quick () =
+  section "QUICK  smoke run: BT/NAS on 4 nodes";
+  let base = completion_run Bt 4 Base in
+  let zapc = completion_run Bt 4 Zapc_mode in
+  Printf.printf "completion base=%.2fs zapc=%.2fs\n" base zapc;
+  let s = checkpoint_run ~count:4 Bt 4 in
+  Printf.printf "ckpt avg=%.1fms image=%.1fMB restart=%.1fms\n"
+    (Stats.mean s.ckpt_times) (Stats.mean s.max_image) s.restart_time;
+  let env = launch_app Bt 4 in
+  let tr = Cluster.enable_trace env.cluster in
+  Cluster.run env.cluster ~until:(Simtime.sec 2.0) ();
+  let r =
+    Cluster.checkpoint_sync env.cluster
+      ~items:(items_for env.cluster env.app ~prefix:"quick")
+      ~resume:true
+  in
+  if not r.Manager.r_ok then failwith ("quick: traced checkpoint failed: " ^ r.Manager.r_detail);
+  Zapc.Trace.dump_chrome tr "BENCH_quick_trace.json";
+  Zapc_obs.Metrics.dump (Cluster.metrics env.cluster) "BENCH_quick_metrics.json";
+  Printf.printf "wrote BENCH_quick_trace.json BENCH_quick_metrics.json\n"

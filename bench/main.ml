@@ -37,16 +37,5 @@ let () =
     Experiments.storage_flush ();
     Experiments.availability ();
     Micro.run ()
-  | "quick" ->
-    (* smoke: one app, one size, one checkpoint series *)
-    let open Driver in
-    section "QUICK  smoke run: BT/NAS on 4 nodes";
-    let base = completion_run Bt 4 Base in
-    let zapc = completion_run Bt 4 Zapc_mode in
-    Printf.printf "completion base=%.2fs zapc=%.2fs\n" base zapc;
-    let s = checkpoint_run ~count:4 Bt 4 in
-    Printf.printf "ckpt avg=%.1fms image=%.1fMB restart=%.1fms\n"
-      (Zapc_sim.Stats.mean s.ckpt_times)
-      (Zapc_sim.Stats.mean s.max_image)
-      s.restart_time
+  | "quick" -> Experiments.quick ()
   | _ -> usage ()

@@ -1,0 +1,94 @@
+(* Validator behind the @obs alias: checks the artifacts `main.exe quick`
+   emits.
+
+     obs_check.exe [TRACE.json] [METRICS.json]
+
+   The Chrome trace must parse, be non-empty, and exhibit the Figure-2
+   overlap — every pod's "standalone" span straddles the end of the
+   Manager's "mgr_sync" span (the 'continue' broadcast lands while the
+   standalone checkpoints are running).  The metrics snapshot must parse
+   and carry a successful mgr.ckpt series. *)
+
+module Json = Zapc_obs.Json
+
+let fail fmt =
+  Printf.ksprintf
+    (fun m ->
+      prerr_endline ("obs_check: FAIL: " ^ m);
+      exit 1)
+    fmt
+
+let need what = function Some v -> v | None -> fail "%s" what
+
+let parse_file path =
+  match Json.parse_file path with
+  | Ok v -> v
+  | Error e -> fail "%s: %s" path e
+
+(* the X rows of the trace, as (name, tid, t0, t1) *)
+let complete_events trace =
+  let events =
+    need "traceEvents missing or not a list"
+      (Option.bind (Json.member "traceEvents" trace) Json.to_list)
+  in
+  if events = [] then fail "traceEvents is empty";
+  ( List.length events,
+    List.filter_map
+      (fun ev ->
+        match Option.bind (Json.member "ph" ev) Json.to_string_opt with
+        | Some "X" ->
+          let str k = Option.bind (Json.member k ev) Json.to_string_opt in
+          let num k = Option.bind (Json.member k ev) Json.to_float in
+          let name = need "X event without name" (str "name") in
+          let tid = need "X event without tid" (num "tid") in
+          let ts = need "X event without ts" (num "ts") in
+          let dur = need "X event without dur" (num "dur") in
+          Some (name, int_of_float tid, ts, ts +. dur)
+        | _ -> None)
+      events )
+
+let check_trace path =
+  let count, xs = complete_events (parse_file path) in
+  let sync_end =
+    match List.find_opt (fun (n, _, _, _) -> String.equal n "mgr_sync") xs with
+    | Some (_, _, _, t1) -> t1
+    | None -> fail "%s: no mgr_sync span" path
+  in
+  let standalones =
+    List.filter (fun (n, _, _, _) -> String.equal n "standalone") xs
+  in
+  if standalones = [] then fail "%s: no standalone spans" path;
+  List.iter
+    (fun (_, tid, t0, t1) ->
+      if not (t0 < sync_end && sync_end <= t1) then
+        fail
+          "%s: tid %d standalone [%.1f..%.1f]us does not straddle mgr_sync \
+           end %.1fus (Figure-2 overlap broken)"
+          path tid t0 t1 sync_end)
+    standalones;
+  Printf.printf
+    "obs_check: %s ok (%d events, %d standalone spans straddle mgr_sync end)\n"
+    path count (List.length standalones)
+
+let check_metrics path =
+  let v = parse_file path in
+  let counters =
+    need "counters missing" (Json.member "counters" v)
+  in
+  let counter name =
+    match Option.bind (Json.member name counters) Json.to_float with
+    | Some c -> int_of_float c
+    | None -> 0
+  in
+  if counter "mgr.ckpt.ok" < 1 then fail "%s: mgr.ckpt.ok < 1" path;
+  if counter "storage.puts" < 1 then fail "%s: storage.puts < 1" path;
+  (match Option.bind (Json.member "histograms" v) (Json.member "ckpt.image_bytes") with
+   | Some _ -> ()
+   | None -> fail "%s: ckpt.image_bytes histogram missing" path);
+  Printf.printf "obs_check: %s ok (mgr.ckpt.ok=%d storage.puts=%d)\n" path
+    (counter "mgr.ckpt.ok") (counter "storage.puts")
+
+let () =
+  let arg i d = if Array.length Sys.argv > i then Sys.argv.(i) else d in
+  check_trace (arg 1 "BENCH_quick_trace.json");
+  check_metrics (arg 2 "BENCH_quick_metrics.json")

@@ -84,8 +84,9 @@ let ranks_of_app program pod_ids =
 
 (* --- run --- *)
 
-let run_cmd app ranks nodes cpus scale seed snapshot_at restart_on =
+let run_cmd app ranks nodes cpus scale seed snapshot_at restart_on trace_out =
   let cluster = setup_cluster ~nodes ~cpus ~seed in
+  let tr = Option.map (fun _ -> Cluster.enable_trace cluster) trace_out in
   let placement = List.init ranks (fun r -> r mod nodes) in
   let program = program_of app in
   let appl =
@@ -129,6 +130,12 @@ let run_cmd app ranks nodes cpus scale seed snapshot_at restart_on =
          Cluster.run_until cluster ~timeout:(Simtime.sec 36000.0) (fun () ->
              List.for_all (fun (p : Proc.t) -> p.Proc.exit_code <> None) rks)
      end);
+  (match (trace_out, tr) with
+   | Some path, Some tr ->
+     Zapc.Trace.dump_chrome tr path;
+     Printf.printf "wrote Chrome trace to %s (load in chrome://tracing or ui.perfetto.dev)\n%!"
+       path
+   | _ -> ());
   Printf.printf "done at %.1f ms (virtual); %d engine events\n%!"
     (Simtime.to_ms (Cluster.now cluster))
     (Zapc_sim.Engine.events_processed (Cluster.engine cluster))
@@ -177,7 +184,7 @@ let migrate_cmd app ranks nodes cpus scale seed at to_ =
 
 (* --- timeline --- *)
 
-let timeline_cmd app ranks nodes cpus scale seed at =
+let timeline_cmd app ranks nodes cpus scale seed at trace_out =
   let cluster = setup_cluster ~nodes ~cpus ~seed in
   let tr = Cluster.enable_trace cluster in
   let placement = List.init ranks (fun r -> r mod nodes) in
@@ -191,7 +198,13 @@ let timeline_cmd app ranks nodes cpus scale seed at =
     let r = Cluster.snapshot cluster ~pods:appl.Launch.pods ~key_prefix:"tl" in
     Printf.printf "snapshot ok=%b duration=%.1fms\n\n%!" r.Manager.r_ok
       (Simtime.to_ms r.Manager.r_duration);
-    print_string (Zapc.Trace.render_checkpoint tr)
+    print_string (Zapc.Trace.render_checkpoint tr);
+    match trace_out with
+    | Some path ->
+      Zapc.Trace.dump_chrome tr path;
+      Printf.printf "\nwrote Chrome trace to %s (load in chrome://tracing or ui.perfetto.dev)\n%!"
+        path
+    | None -> ()
   end
 
 (* --- info --- *)
@@ -231,11 +244,17 @@ let restart_on_t =
        & info [ "restart-on" ] ~doc:"After completion, restart the snapshot on NODES (comma separated).")
 
 let at_t = Arg.(value & opt int 10 & info [ "at" ] ~doc:"Migrate at MS (virtual).")
+
+let trace_out_t =
+  Arg.(value & opt (some string) None
+       & info [ "trace-out" ]
+           ~doc:"Write the operation's span timeline as Chrome trace_event JSON to FILE \
+                 (open in chrome://tracing or ui.perfetto.dev).")
 let to_t = Arg.(required & opt (some string) None & info [ "to" ] ~doc:"Target NODES (comma separated).")
 
-let run_term = Term.(const run_cmd $ app_t $ ranks_t $ nodes_t $ cpus_t $ scale_t $ seed_t $ snapshot_t $ restart_on_t)
+let run_term = Term.(const run_cmd $ app_t $ ranks_t $ nodes_t $ cpus_t $ scale_t $ seed_t $ snapshot_t $ restart_on_t $ trace_out_t)
 let migrate_term = Term.(const migrate_cmd $ app_t $ ranks_t $ nodes_t $ cpus_t $ scale_t $ seed_t $ at_t $ to_t)
-let timeline_term = Term.(const timeline_cmd $ app_t $ ranks_t $ nodes_t $ cpus_t $ scale_t $ seed_t $ at_t)
+let timeline_term = Term.(const timeline_cmd $ app_t $ ranks_t $ nodes_t $ cpus_t $ scale_t $ seed_t $ at_t $ trace_out_t)
 
 let cmds =
   [ Cmd.v (Cmd.info "run" ~doc:"Run a distributed application (optionally snapshot + restart).") run_term;

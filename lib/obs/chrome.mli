@@ -1,0 +1,19 @@
+(** Chrome [trace_event] JSON exporter.
+
+    The output loads in [chrome://tracing] or {{:https://ui.perfetto.dev}
+    Perfetto}: one process row per node (the manager is its own process),
+    one thread row per pod, so the Figure-2 overlap — the standalone
+    checkpoint running while the manager sync is still open — is directly
+    visible.  Spans become ["ph":"X"] complete events (ts/dur in
+    microseconds of virtual time), instants become ["ph":"i"] events, and
+    process/thread names are emitted as ["ph":"M"] metadata.
+
+    Spans still open when the export happens are closed at the recorder's
+    {!Span.last_time} and tagged ["unfinished":true]. *)
+
+(** Render the recorder to a [{"traceEvents":[...],"displayTimeUnit":"ms"}]
+    JSON string. *)
+val to_string : Span.t -> string
+
+(** [dump recorder path] writes {!to_string} to [path]. *)
+val dump : Span.t -> string -> unit

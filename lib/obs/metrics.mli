@@ -1,0 +1,79 @@
+(** Always-on metrics registry: named counters, gauges and fixed-bucket
+    histograms.  A registry is cheap enough to leave enabled in every
+    simulation run — counters are a hashtable lookup plus an integer add,
+    histograms a binary-search into a small bucket array.
+
+    Naming convention (see doc/OBSERVABILITY.md): dotted lower-case paths,
+    subsystem first — ["mgr.ckpt.ok"], ["sup.mttr_ms"],
+    ["storage.replica_fallbacks"], ["net.tcp.retransmits"].  Histogram names
+    carry their unit as a suffix (["_ms"], ["_bytes"]). *)
+
+type t
+
+val create : unit -> t
+
+(** Drop every registered instrument. *)
+val clear : t -> unit
+
+(** {1 Counters} — monotonically increasing integers. *)
+
+val incr : t -> string -> unit
+val add : t -> string -> int -> unit
+
+(** [counter t name] is the current value, or [0] when [name] was never
+    incremented. *)
+val counter : t -> string -> int
+
+(** {1 Gauges} — last-write-wins floats, or callback-backed values sampled
+    at read/snapshot time (prometheus collect style). *)
+
+val set_gauge : t -> string -> float -> unit
+
+(** [gauge_fn t name f] registers [f] to be evaluated whenever the gauge is
+    read or the registry is snapshotted. *)
+val gauge_fn : t -> string -> (unit -> float) -> unit
+
+(** [gauge t name] evaluates the gauge, [0.] when absent. *)
+val gauge : t -> string -> float
+
+(** {1 Histograms} — fixed ascending bucket upper bounds plus an implicit
+    +inf overflow bucket.  Tracks count/sum/min/max exactly; quantiles are
+    estimated by linear interpolation inside the owning bucket and clamped
+    to the observed [min..max]. *)
+
+(** Default latency-oriented bounds, in milliseconds: 0.1 .. 10_000. *)
+val default_ms_buckets : float array
+
+(** Byte-size-oriented bounds: 1 KiB .. 4 GiB, factor-4 geometric. *)
+val default_bytes_buckets : float array
+
+(** [exp_buckets ~start ~factor ~n] builds [n] geometric bounds
+    [start, start*factor, ...].  Raises [Invalid_argument] unless
+    [start > 0.], [factor > 1.] and [n >= 1]. *)
+val exp_buckets : start:float -> factor:float -> n:int -> float array
+
+(** [observe t ?buckets name v] records [v] into histogram [name], creating
+    it with [buckets] (default {!default_ms_buckets}) on first use. *)
+val observe : t -> ?buckets:float array -> string -> float -> unit
+
+val hist_count : t -> string -> int
+val hist_sum : t -> string -> float
+
+(** [quantile t name q] with [q] in [0,1]; [0.] for an absent or empty
+    histogram. *)
+val quantile : t -> string -> float -> float
+
+val p50 : t -> string -> float
+val p90 : t -> string -> float
+val p99 : t -> string -> float
+
+(** {1 Snapshot} *)
+
+(** Flat JSON object, instrument names sorted, of the shape
+    [{"counters":{..},"gauges":{..},"histograms":{"x":{"count":..,"sum":..,
+    "min":..,"max":..,"p50":..,"p90":..,"p99":..,"buckets":[[ub,n],..]}}}].
+    Deterministic for a deterministic run. *)
+val to_json : t -> string
+
+val dump : t -> string -> unit
+(** [dump t path] writes [to_json t] to [path]. *)

@@ -1,0 +1,91 @@
+module Simtime = Zapc_sim.Simtime
+
+type span = {
+  sp_id : int;
+  sp_name : string;
+  sp_op : int;
+  sp_pod : int;
+  sp_node : int;
+  sp_begin : Simtime.t;
+  mutable sp_end : Simtime.t option;
+}
+
+type instant = {
+  in_time : Simtime.t;
+  in_pod : int;
+  in_node : int;
+  in_what : string;
+}
+
+type t = {
+  mutable spans : span list;       (* newest first *)
+  mutable instants : instant list; (* newest first *)
+  mutable open_ : span list;       (* newest first *)
+  mutable next_id : int;
+  mutable last : Simtime.t;
+}
+
+let create () =
+  { spans = []; instants = []; open_ = []; next_id = 0; last = Simtime.zero }
+
+let clear t =
+  t.spans <- [];
+  t.instants <- [];
+  t.open_ <- [];
+  t.next_id <- 0;
+  t.last <- Simtime.zero
+
+let touch t time = if Simtime.compare time t.last > 0 then t.last <- time
+
+let begin_span t ~time ?(op = 0) ?(node = -1) ~pod name =
+  let sp =
+    { sp_id = t.next_id; sp_name = name; sp_op = op; sp_pod = pod;
+      sp_node = node; sp_begin = time; sp_end = None }
+  in
+  t.next_id <- t.next_id + 1;
+  t.spans <- sp :: t.spans;
+  t.open_ <- sp :: t.open_;
+  touch t time;
+  sp
+
+let close t ~time sp =
+  sp.sp_end <- Some time;
+  t.open_ <- List.filter (fun s -> s != sp) t.open_;
+  touch t time
+
+let end_span t ~time sp =
+  match sp.sp_end with Some _ -> () | None -> close t ~time sp
+
+let end_named t ~time ~pod name =
+  match
+    List.find_opt (fun s -> s.sp_name = name && s.sp_pod = pod) t.open_
+  with
+  | Some sp -> close t ~time sp; true
+  | None -> false
+
+let end_all_for_pod t ~time ~pod =
+  List.iter
+    (fun sp -> if sp.sp_pod = pod then sp.sp_end <- Some time)
+    t.open_;
+  t.open_ <- List.filter (fun s -> s.sp_pod <> pod) t.open_;
+  touch t time
+
+let instant t ~time ?(node = -1) ~pod what =
+  t.instants <- { in_time = time; in_pod = pod; in_node = node; in_what = what }
+                :: t.instants;
+  touch t time
+
+let spans t =
+  List.sort
+    (fun a b ->
+      match Simtime.compare a.sp_begin b.sp_begin with
+      | 0 -> compare a.sp_id b.sp_id
+      | c -> c)
+    t.spans
+
+let instants t =
+  List.stable_sort
+    (fun a b -> Simtime.compare a.in_time b.in_time)
+    (List.rev t.instants)
+let open_spans t = List.rev t.open_
+let last_time t = t.last

@@ -1,0 +1,61 @@
+(** Typed span/instant recorder — the structured core behind [Zapc.Trace].
+
+    A span is a named interval keyed by (operation id, pod, node); an
+    instant is a point event.  Spans are opened with {!begin_span} and
+    closed either through the returned handle ({!end_span}) or by name
+    ({!end_named}), which closes the most recently opened still-open span
+    with that name and pod.  Recording is append-only and deterministic:
+    two runs with the same seed produce identical span lists. *)
+
+type span = {
+  sp_id : int;            (** unique per recorder, allocation order *)
+  sp_name : string;       (** e.g. ["standalone"], ["mgr_sync"] *)
+  sp_op : int;            (** operation id (manager generation), 0 if n/a *)
+  sp_pod : int;           (** pod id, [-1] for manager/cluster scope *)
+  sp_node : int;          (** node id, [-1] for manager/cluster scope *)
+  sp_begin : Zapc_sim.Simtime.t;
+  mutable sp_end : Zapc_sim.Simtime.t option;  (** [None] while open *)
+}
+
+type instant = {
+  in_time : Zapc_sim.Simtime.t;
+  in_pod : int;
+  in_node : int;
+  in_what : string;
+}
+
+type t
+
+val create : unit -> t
+
+(** Forget all spans and instants (open spans included). *)
+val clear : t -> unit
+
+val begin_span :
+  t -> time:Zapc_sim.Simtime.t -> ?op:int -> ?node:int -> pod:int ->
+  string -> span
+
+(** Close [span] at [time]; no-op if already closed. *)
+val end_span : t -> time:Zapc_sim.Simtime.t -> span -> unit
+
+(** [end_named t ~time ~pod name] closes the most recently opened still-open
+    span matching [name] and [pod]; returns [false] when none is open. *)
+val end_named : t -> time:Zapc_sim.Simtime.t -> pod:int -> string -> bool
+
+(** Close every open span belonging to [pod] (abort paths). *)
+val end_all_for_pod : t -> time:Zapc_sim.Simtime.t -> pod:int -> unit
+
+val instant :
+  t -> time:Zapc_sim.Simtime.t -> ?node:int -> pod:int -> string -> unit
+
+(** Chronological (begin-time, then id) order. *)
+val spans : t -> span list
+
+(** Chronological order. *)
+val instants : t -> instant list
+
+val open_spans : t -> span list
+
+(** Latest timestamp seen by any begin/end/instant, [Simtime.zero] when
+    empty.  Exporters use it to close unfinished spans. *)
+val last_time : t -> Zapc_sim.Simtime.t

@@ -4,16 +4,20 @@ type t = {
   mutable sumsq : float;
   mutable mn : float;
   mutable mx : float;
+  mutable samples : float list; (* newest first; retained for percentile *)
 }
 
-let create () = { n = 0; sum = 0.0; sumsq = 0.0; mn = infinity; mx = neg_infinity }
+let create () =
+  { n = 0; sum = 0.0; sumsq = 0.0; mn = infinity; mx = neg_infinity;
+    samples = [] }
 
 let add t x =
   t.n <- t.n + 1;
   t.sum <- t.sum +. x;
   t.sumsq <- t.sumsq +. (x *. x);
   if x < t.mn then t.mn <- x;
-  if x > t.mx then t.mx <- x
+  if x > t.mx then t.mx <- x;
+  t.samples <- x :: t.samples
 
 let count t = t.n
 let mean t = if t.n = 0 then 0.0 else t.sum /. float_of_int t.n
@@ -28,10 +32,31 @@ let stddev t =
 let min t = t.mn
 let max t = t.mx
 
+let percentile t p =
+  if t.n = 0 then 0.0
+  else begin
+    let p = if p < 0.0 then 0.0 else if p > 1.0 then 1.0 else p in
+    let a = Array.of_list t.samples in
+    Array.sort compare a;
+    let n = Array.length a in
+    (* linear interpolation between closest ranks *)
+    let rank = p *. float_of_int (n - 1) in
+    let lo = int_of_float (floor rank) in
+    let hi = int_of_float (ceil rank) in
+    if lo = hi then a.(lo)
+    else begin
+      let frac = rank -. float_of_int lo in
+      (a.(lo) *. (1.0 -. frac)) +. (a.(hi) *. frac)
+    end
+  end
+
 let of_list xs =
   let t = create () in
   List.iter (add t) xs;
   t
 
 let pp_ms ppf t =
-  Format.fprintf ppf "%.1f ± %.1f ms [%.1f..%.1f]" (mean t) (stddev t) t.mn t.mx
+  if t.n = 0 then Format.fprintf ppf "n=0"
+  else
+    Format.fprintf ppf "%.1f ± %.1f ms [%.1f..%.1f]" (mean t) (stddev t) t.mn
+      t.mx

@@ -11,5 +11,11 @@ val stddev : t -> float
 val min : t -> float
 val max : t -> float
 val of_list : float list -> t
+
+val percentile : t -> float -> float
+(** [percentile t p] with [p] in [0,1], computed from the retained samples
+    by linear interpolation between closest ranks; [0.0] when empty. *)
+
 val pp_ms : Format.formatter -> t -> unit
-(** Render as "mean ± stddev ms [min..max]" where samples are milliseconds. *)
+(** Render as "mean ± stddev ms [min..max]" where samples are milliseconds;
+    "n=0" for an empty accumulator. *)

@@ -82,6 +82,7 @@ let rec netctx t : Socket.netctx =
         nc_register_estab = (fun s -> register_estab t s);
         nc_unregister = (fun s -> unregister t s);
         nc_rng = t.rng;
+        nc_stats = { Socket.ns_retransmits = 0; ns_window_stalls = 0 };
       }
     in
     t.netctx <- Some ctx;
@@ -323,3 +324,7 @@ let send_packet t p = Fabric.send t.fabric p
 
 let socket_count t = Hashtbl.length t.socks
 let established_count t = Hashtbl.length t.estab
+
+let net_stats t = (netctx t).Socket.nc_stats
+let retransmit_count t = (net_stats t).Socket.ns_retransmits
+let window_stall_count t = (net_stats t).Socket.ns_window_stalls

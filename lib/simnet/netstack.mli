@@ -53,3 +53,13 @@ val send_packet : t -> Packet.t -> unit
 
 val socket_count : t -> int
 val established_count : t -> int
+
+val net_stats : t -> Socket.net_stats
+(** Aggregate transport counters for this stack (shared with every socket
+    via the netctx). *)
+
+val retransmit_count : t -> int
+(** Total TCP retransmissions fired by any socket of this stack. *)
+
+val window_stall_count : t -> int
+(** Total zero-window persist stalls entered by any socket of this stack. *)

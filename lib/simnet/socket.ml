@@ -150,6 +150,14 @@ and netctx = {
   nc_register_estab : t -> unit;
   nc_unregister : t -> unit;
   nc_rng : Rng.t;
+  nc_stats : net_stats;
+}
+
+(* Per-stack aggregate transport counters, shared by every socket of the
+   owning Netstack and sampled by the observability layer. *)
+and net_stats = {
+  mutable ns_retransmits : int;
+  mutable ns_window_stalls : int;
 }
 
 let rcvbuf s = Sockopt.get s.opts Sockopt.SO_RCVBUF

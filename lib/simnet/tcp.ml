@@ -96,6 +96,7 @@ and on_rto s gen =
     let item = Queue.peek tcb.retx in
     item.rx_retries <- item.rx_retries + 1;
     tcb.retransmits <- tcb.retransmits + 1;
+    s.netctx.nc_stats.ns_retransmits <- s.netctx.nc_stats.ns_retransmits + 1;
     if item.rx_retries > max_retries then abort_connection s Errno.ETIMEDOUT
     else begin
       emit s ~payload:item.rx_payload ~fin:item.rx_fin ~urg:item.rx_urg ~seq:item.rx_seq ();
@@ -148,6 +149,7 @@ and output s =
        Sockbuf.length s.sendq > 0 && in_flight = 0 && min tcb.snd_wnd tcb.cwnd = 0
        && Queue.is_empty tcb.retx
      then begin
+       s.netctx.nc_stats.ns_window_stalls <- s.netctx.nc_stats.ns_window_stalls + 1;
        let payload = Sockbuf.pop s.sendq 1 in
        let item =
          { rx_seq = tcb.snd_nxt; rx_payload = payload; rx_fin = false; rx_urg = false;
@@ -456,6 +458,7 @@ let process_ack s tcb ack_no window had_payload =
     if tcb.dup_acks = 3 then begin
       let item = Queue.peek tcb.retx in
       tcb.retransmits <- tcb.retransmits + 1;
+      s.netctx.nc_stats.ns_retransmits <- s.netctx.nc_stats.ns_retransmits + 1;
       emit s ~payload:item.rx_payload ~fin:item.rx_fin ~urg:item.rx_urg ~seq:item.rx_seq ();
       tcb.cwnd <- Stdlib.max (2 * mss s) (tcb.cwnd / 2)
     end

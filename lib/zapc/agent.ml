@@ -12,6 +12,7 @@
 
 module Simtime = Zapc_sim.Simtime
 module Engine = Zapc_sim.Engine
+module Metrics = Zapc_obs.Metrics
 module Value = Zapc_codec.Value
 module Addr = Zapc_simnet.Addr
 module Socket = Zapc_simnet.Socket
@@ -76,11 +77,15 @@ type t = {
   ckpts : (int, ckpt_op) Hashtbl.t;
   restores : (int, restore_op) Hashtbl.t;
   rng : Zapc_sim.Rng.t;
+  metrics : Metrics.t;
   mutable trace : Trace.t option;
   mutable peer_agents : (int -> t option);  (* resolve agents for streaming *)
 }
 
-let create ~node ~params ~storage ~fabric kernel =
+let create ?metrics ~node ~params ~storage ~fabric kernel =
+  let metrics =
+    match metrics with Some m -> m | None -> Metrics.create ()
+  in
   {
     node;
     kernel;
@@ -94,6 +99,7 @@ let create ~node ~params ~storage ~fabric kernel =
     ckpts = Hashtbl.create 4;
     restores = Hashtbl.create 4;
     rng = Zapc_sim.Rng.split (Engine.rng (Kernel.engine kernel));
+    metrics;
     trace = None;
     peer_agents = (fun _ -> None);
   }
@@ -102,7 +108,25 @@ let set_trace t tr = t.trace <- Some tr
 
 let trace t ~pod what =
   match t.trace with
-  | Some tr -> Trace.record tr ~time:(Engine.now t.engine) ~pod what
+  | Some tr -> Trace.record tr ~node:t.node ~time:(Engine.now t.engine) ~pod what
+  | None -> ()
+
+(* Typed phase spans on this agent's (node, pod) track; the standalone
+   span overlapping the manager's sync span is the Figure-2 picture. *)
+let span_begin t ~pod name =
+  match t.trace with
+  | Some tr ->
+    Trace.span_begin tr ~time:(Engine.now t.engine) ~node:t.node ~pod name
+  | None -> ()
+
+let span_end t ~pod name =
+  match t.trace with
+  | Some tr -> Trace.span_end tr ~time:(Engine.now t.engine) ~pod name
+  | None -> ()
+
+let span_end_all t ~pod =
+  match t.trace with
+  | Some tr -> Trace.span_end_all tr ~time:(Engine.now t.engine) ~pod
   | None -> ()
 
 let register_pod t pod = Hashtbl.replace t.pods pod.Pod.pod_id pod
@@ -148,7 +172,9 @@ let abort_checkpoint t pod_id =
     op.co_aborted <- true;
     Netfilter.unblock (nf t) op.co_pod.rip;
     Pod.resume op.co_pod;
+    Metrics.incr t.metrics "agent.ckpt_aborted";
     trace t ~pod:pod_id "ckpt_aborted";
+    span_end_all t ~pod:pod_id;
     Hashtbl.remove t.ckpts pod_id
 
 let abort_restart t pod_id =
@@ -161,7 +187,9 @@ let abort_restart t pod_id =
     op.ro_aborted <- true;
     Pod.destroy op.ro_pod;
     forget_pod t pod_id;
+    Metrics.incr t.metrics "agent.restart_aborted";
     trace t ~pod:pod_id "restart_aborted";
+    span_end_all t ~pod:pod_id;
     Hashtbl.remove t.restores pod_id
 
 let abort_all t =
@@ -189,6 +217,8 @@ let rec start_checkpoint t ~pod_id ~dest ~resume =
         co_net_time = Simtime.zero; co_finalizing = false; co_aborted = false }
     in
     Hashtbl.replace t.ckpts pod_id op;
+    span_begin t ~pod:pod_id "pod_ckpt";
+    span_begin t ~pod:pod_id "suspend";
     (* step 1: suspend the pod, block its network *)
     let suspend_cost =
       Simtime.add
@@ -199,12 +229,16 @@ let rec start_checkpoint t ~pod_id ~dest ~resume =
         if not op.co_aborted then begin
           Pod.suspend pod;
           Netfilter.block (nf t) pod.rip;
+          span_end t ~pod:pod.pod_id "suspend";
+          (* the network-blocked window: the application downtime story *)
+          span_begin t ~pod:pod.pod_id "paused";
           trace t ~pod:pod.pod_id "suspended";
           ckpt_network t op
         end)
 
 (* step 2: network-state checkpoint; 2a: report meta-data *)
 and ckpt_network t op =
+  span_begin t ~pod:op.co_pod.pod_id "net_ckpt";
   let t0 = Engine.now t.engine in
   let mode = if t.params.peek_mode then Sock_state.Peek else Sock_state.Read_inject in
   let net = Net_ckpt.checkpoint ~mode op.co_pod in
@@ -218,6 +252,7 @@ and ckpt_network t op =
   after t cost (fun () ->
       if not op.co_aborted then begin
         op.co_net_time <- Simtime.sub (Engine.now t.engine) t0;
+        span_end t ~pod:op.co_pod.pod_id "net_ckpt";
         trace t ~pod:op.co_pod.pod_id "net_ckpt_done";
         send_to_manager t
           (Protocol.M_meta
@@ -250,6 +285,7 @@ and wait_continue_then t op fn =
 
 (* step 3: standalone pod checkpoint, overlapped with the Manager sync *)
 and ckpt_standalone t op net =
+  span_begin t ~pod:op.co_pod.pod_id "standalone";
   let mode = if t.params.peek_mode then Sock_state.Peek else Sock_state.Read_inject in
   let res = Pod_ckpt.checkpoint ~mode ~net op.co_pod in
   let cost =
@@ -263,6 +299,7 @@ and ckpt_standalone t op net =
       if not op.co_aborted then begin
         op.co_result <- Some res;
         op.co_standalone_done <- true;
+        span_end t ~pod:op.co_pod.pod_id "standalone";
         trace t ~pod:op.co_pod.pod_id "standalone_done";
         maybe_finalize_ckpt t op
       end)
@@ -301,6 +338,7 @@ and finalize_ckpt t op =
     let pod = op.co_pod in
     let res = Option.get op.co_result in
     Netfilter.unblock (nf t) pod.rip;
+    span_end t ~pod:pod.pod_id "paused";
     let image = Image.of_pod_image res.image in
     let stored =
       match op.co_dest with
@@ -317,6 +355,7 @@ and finalize_ckpt t op =
          migration path — resume unconditionally and report the failure *)
       Pod.resume pod;
       trace t ~pod:pod.pod_id "resumed";
+      span_end_all t ~pod:pod.pod_id;
       Hashtbl.remove t.ckpts pod.pod_id;
       report_failure t pod.pod_id (Printf.sprintf "storage write failed: %s" reason)
     | Ok () ->
@@ -329,6 +368,7 @@ and finalize_ckpt t op =
        forget_pod t pod.pod_id;
        trace t ~pod:pod.pod_id "destroyed"
      end);
+    span_end t ~pod:pod.pod_id "pod_ckpt";
     Hashtbl.remove t.ckpts pod.pod_id;
     let stats =
       {
@@ -389,6 +429,8 @@ and start_restart t ~pod_id ~name ~vip ~rip ~uri ~entries ~vip_map ~extra_altq ~
   in
   with_image (fun image ->
       let image_v = Image.to_pod_image image in
+      span_begin t ~pod:pod_id "pod_restart";
+      span_begin t ~pod:pod_id "pod_create";
       after t t.params.pod_create_cost (fun () ->
           (* step 1: create a new (empty) pod *)
           let pod = Pod.create ~pod_id ~name ~vip ~rip t.kernel in
@@ -415,7 +457,9 @@ and start_restart t ~pod_id ~name ~vip ~rip ~uri ~entries ~vip_map ~extra_altq ~
             }
           in
           Hashtbl.replace t.restores pod_id op;
+          span_end t ~pod:pod_id "pod_create";
           trace t ~pod:pod_id "pod_created";
+          span_begin t ~pod:pod_id "conn_recovery";
           restore_connectivity t op))
 
 (* step 2: recover network connectivity — listeners first, then the two
@@ -581,7 +625,9 @@ and run_connector_task t op connects =
 
 and connectivity_done t op =
   op.ro_conn_done <- Engine.now t.engine;
+  span_end t ~pod:op.ro_pod.pod_id "conn_recovery";
   trace t ~pod:op.ro_pod.pod_id "conns_recovered";
+  span_begin t ~pod:op.ro_pod.pod_id "net_restore";
   (* retire temporary listeners *)
   let net = Kernel.netstack t.kernel in
   List.iter (fun s -> Netstack.close net s) op.ro_temp_listeners;
@@ -693,7 +739,9 @@ and restore_network_state t op =
   after t cost (fun () ->
       if not op.ro_aborted then begin
         op.ro_net_done <- Engine.now t.engine;
+        span_end t ~pod:op.ro_pod.pod_id "net_restore";
         trace t ~pod:op.ro_pod.pod_id "net_restored";
+        span_begin t ~pod:op.ro_pod.pod_id "standalone_restore";
         restore_standalone t op
       end)
 
@@ -714,6 +762,8 @@ and restore_standalone t op =
   after t cost (fun () ->
       if not op.ro_aborted then begin
         Pod.resume pod;
+        span_end t ~pod:pod.pod_id "standalone_restore";
+        span_end t ~pod:pod.pod_id "pod_restart";
         trace t ~pod:pod.pod_id "restart_resumed";
         Hashtbl.remove t.restores pod.pod_id;
         let stats =

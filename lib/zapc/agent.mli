@@ -21,7 +21,10 @@ module Addr = Zapc_simnet.Addr
 type t
 
 val create :
+  ?metrics:Zapc_obs.Metrics.t ->
   node:int -> params:Params.t -> storage:Storage.t -> fabric:Fabric.t -> Kernel.t -> t
+(** [metrics] receives the [agent.*] counters (abort outcomes); a private
+    registry is created when omitted. *)
 
 val attach_channel : t -> Protocol.channel -> unit
 (** Wire the Manager connection; a broken channel aborts every in-flight

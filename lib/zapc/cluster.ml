@@ -5,6 +5,7 @@
 
 module Simtime = Zapc_sim.Simtime
 module Engine = Zapc_sim.Engine
+module Metrics = Zapc_obs.Metrics
 module Addr = Zapc_simnet.Addr
 module Fabric = Zapc_simnet.Fabric
 module Netstack = Zapc_simnet.Netstack
@@ -28,15 +29,18 @@ type t = {
   params : Params.t;
   nodes : node array;
   manager : Manager.t;
+  metrics : Metrics.t;
   mutable next_pod_id : int;
   mutable next_vip_seq : int;
 }
 
 let make ?(seed = 42) ?(cpus = 1) ~params ~node_count () =
   let engine = Engine.create ~seed () in
+  (* one registry shared by every layer of this cluster; always on *)
+  let metrics = Metrics.create () in
   let fabric = Fabric.create ~config:params.Params.fabric engine in
   let storage =
-    Storage.create ~bps:params.Params.storage_bps
+    Storage.create ~metrics ~bps:params.Params.storage_bps
       ~replicas:params.Params.storage_replicas engine
   in
   (* one SAN-backed file system mounted by every node *)
@@ -50,7 +54,7 @@ let make ?(seed = 42) ?(cpus = 1) ~params ~node_count () =
         let host_ip = Addr.make_ip 192 168 1 (i + 1) in
         Netstack.add_ip (Kernel.netstack kernel) host_ip;
         Kernel.set_fs kernel shared_fs;
-        let agent = Agent.create ~node:i ~params ~storage ~fabric kernel in
+        let agent = Agent.create ~metrics ~node:i ~params ~storage ~fabric kernel in
         { n_idx = i; n_kernel = kernel; n_agent = agent; n_host_ip = host_ip;
           n_rip_seq = 0; n_alive = true })
   in
@@ -59,9 +63,10 @@ let make ?(seed = 42) ?(cpus = 1) ~params ~node_count () =
     n.n_rip_seq <- n.n_rip_seq + 1;
     Addr.make_ip 172 16 n.n_idx (10 + n.n_rip_seq)
   in
-  let manager = Manager.create ~engine ~params ~storage ~alloc_rip in
+  let manager = Manager.create ~metrics ~engine ~params ~storage ~alloc_rip () in
   let t =
-    { engine; fabric; storage; params; nodes; manager; next_pod_id = 1; next_vip_seq = 0 }
+    { engine; fabric; storage; params; nodes; manager; metrics;
+      next_pod_id = 1; next_vip_seq = 0 }
   in
   Array.iter
     (fun n ->
@@ -73,6 +78,29 @@ let make ?(seed = 42) ?(cpus = 1) ~params ~node_count () =
       Agent.set_peer_resolver n.n_agent (fun idx ->
           if idx >= 0 && idx < Array.length nodes then Some nodes.(idx).n_agent else None))
     nodes;
+  (* network-layer gauges, sampled at snapshot time (collect style) *)
+  Metrics.gauge_fn metrics "net.fabric.packets_delivered" (fun () ->
+      float_of_int (Fabric.packets_delivered fabric));
+  Metrics.gauge_fn metrics "net.fabric.bytes_delivered" (fun () ->
+      float_of_int (Fabric.bytes_delivered fabric));
+  Metrics.gauge_fn metrics "net.fabric.packets_dropped" (fun () ->
+      float_of_int (Fabric.packets_dropped fabric));
+  Metrics.gauge_fn metrics "net.netfilter.blocked_rules" (fun () ->
+      float_of_int
+        (Zapc_simnet.Netfilter.blocked_count (Fabric.netfilter fabric)));
+  Metrics.gauge_fn metrics "net.netfilter.drops" (fun () ->
+      float_of_int
+        (Zapc_simnet.Netfilter.drop_count (Fabric.netfilter fabric)));
+  let sum_stacks f () =
+    Array.fold_left
+      (fun acc n -> acc + f (Kernel.netstack n.n_kernel))
+      0 t.nodes
+    |> float_of_int
+  in
+  Metrics.gauge_fn metrics "net.tcp.retransmits"
+    (sum_stacks Netstack.retransmit_count);
+  Metrics.gauge_fn metrics "net.tcp.window_stalls"
+    (sum_stacks Netstack.window_stall_count);
   t
 
 let engine t = t.engine
@@ -80,6 +108,7 @@ let params t = t.params
 let manager t = t.manager
 let storage t = t.storage
 let fabric t = t.fabric
+let metrics t = t.metrics
 let node t i = t.nodes.(i)
 let node_count t = Array.length t.nodes
 let now t = Engine.now t.engine

@@ -29,6 +29,13 @@ val params : t -> Params.t
 val manager : t -> Manager.t
 val storage : t -> Storage.t
 val fabric : t -> Fabric.t
+
+val metrics : t -> Zapc_obs.Metrics.t
+(** The cluster-wide metrics registry, always on.  Shared by the Manager,
+    every Agent, Storage, the supervisor and Periodic; also carries
+    collect-time gauges over the fabric, netfilter and per-node TCP stacks
+    ([net.*]).  Snapshot with {!Zapc_obs.Metrics.to_json}. *)
+
 val node : t -> int -> node
 val node_count : t -> int
 val now : t -> Simtime.t

@@ -13,6 +13,7 @@
 
 module Simtime = Zapc_sim.Simtime
 module Engine = Zapc_sim.Engine
+module Metrics = Zapc_obs.Metrics
 module Addr = Zapc_simnet.Addr
 module Meta = Zapc_netckpt.Meta
 module Sock_state = Zapc_netckpt.Sock_state
@@ -64,22 +65,40 @@ type t = {
   channels : (int, Protocol.channel) Hashtbl.t;  (* node -> channel *)
   alloc_rip : int -> Addr.ip;
   infos : (int, pod_info) Hashtbl.t;
+  metrics : Metrics.t;
   mutable trace : Trace.t option;
   mutable current : pending option;
   mutable gen : int;  (* bumped per operation *)
   mutable on_pong : node:int -> seq:int -> unit;  (* supervisor heartbeat sink *)
 }
 
-let create ~engine ~params ~storage ~alloc_rip =
+let create ?metrics ~engine ~params ~storage ~alloc_rip () =
+  let metrics =
+    match metrics with Some m -> m | None -> Metrics.create ()
+  in
   { engine; params; storage; channels = Hashtbl.create 8; alloc_rip;
-    infos = Hashtbl.create 16; trace = None; current = None; gen = 0;
+    infos = Hashtbl.create 16; metrics; trace = None; current = None; gen = 0;
     on_pong = (fun ~node:_ ~seq:_ -> ()) }
 
 let set_trace t tr = t.trace <- Some tr
+let metrics t = t.metrics
 
 let trace t what =
   match t.trace with
   | Some tr -> Trace.record tr ~time:(Engine.now t.engine) ~pod:(-1) what
+  | None -> ()
+
+(* Manager-scope spans (pod -1): the whole operation plus the sync window
+   (broadcast -> 'continue'), whose overlap with the agents' standalone
+   spans is the Figure-2 story. *)
+let span_begin t ?op name =
+  match t.trace with
+  | Some tr -> Trace.span_begin tr ~time:(Engine.now t.engine) ?op ~pod:(-1) name
+  | None -> ()
+
+let span_end t name =
+  match t.trace with
+  | Some tr -> Trace.span_end tr ~time:(Engine.now t.engine) ~pod:(-1) name
   | None -> ()
 
 let channel_to t node =
@@ -97,6 +116,28 @@ let finish t result =
   | None -> ()
   | Some p ->
     t.current <- None;
+    let prefix, opname =
+      match p.p_kind with
+      | `Checkpoint -> "mgr.ckpt", "ckpt_op"
+      | `Restart -> "mgr.restart", "restart_op"
+    in
+    Metrics.incr t.metrics (prefix ^ if result.r_ok then ".ok" else ".failed");
+    Metrics.observe t.metrics (prefix ^ ".duration_ms")
+      (Simtime.to_ms result.r_duration);
+    (* bytes-written histograms (checkpoint only: restart stats report
+       restored sizes, not writes) *)
+    if p.p_kind = `Checkpoint then
+      List.iter
+        (fun ((_pod : int), (st : Protocol.agent_stats)) ->
+          Metrics.observe t.metrics ~buckets:Metrics.default_bytes_buckets
+            "ckpt.image_bytes"
+            (float_of_int st.Protocol.st_image_bytes);
+          Metrics.observe t.metrics ~buckets:Metrics.default_bytes_buckets
+            "netckpt.bytes"
+            (float_of_int st.Protocol.st_net_bytes))
+        result.r_stats;
+    span_end t "mgr_sync";
+    span_end t opname;
     p.p_done result
 
 let fail_op t failure =
@@ -146,6 +187,7 @@ let arm_phase_timeout t (p : pending) (phase : Protocol.phase) =
             | Protocol.Ph_done -> p'.p_wait_done <> []
           in
           if stuck then begin
+            Metrics.incr t.metrics "mgr.phase_timeouts";
             trace t (Printf.sprintf "phase_timeout:%s" (Protocol.phase_to_string phase));
             fail_op t (Protocol.F_timeout { phase; waiting })
           end
@@ -170,6 +212,7 @@ let on_agent_message t (msg : Protocol.to_manager) =
        (* step 3 of Figure 1: when every Agent has reported its meta-data,
           tell them all to continue *)
        if p.p_wait_meta = [] && p.p_kind = `Checkpoint then begin
+         span_end t "mgr_sync";
          trace t "continue_broadcast";
          List.iter
            (fun (pod, node) -> send t node (Protocol.A_continue { pod_id = pod }))
@@ -243,6 +286,9 @@ let checkpoint t ~(items : ckpt_item list) ~(resume : bool) ~(on_done : op_resul
     }
   in
   t.current <- Some p;
+  Metrics.incr t.metrics "mgr.ckpt.started";
+  span_begin t ~op:t.gen "ckpt_op";
+  span_begin t ~op:t.gen "mgr_sync";
   trace t "ckpt_broadcast";
   List.iter
     (fun i ->
@@ -322,9 +368,11 @@ let redirected_altq ~metas ~images (pod_id : int) (entries : Meta.restart_entry 
 
 let restart t ~(items : restart_item list) ~(on_done : op_result -> unit) =
   if t.current <> None then invalid_arg "Manager: operation already in progress";
+  Metrics.incr t.metrics "mgr.restart.started";
   let facts = List.map (fun i -> (i, pod_facts t i)) items in
   match List.find_opt (fun (_, f) -> Result.is_error f) facts with
   | Some (_, Error msg) ->
+    Metrics.incr t.metrics "mgr.restart.failed";
     on_done
       { r_ok = false; r_failure = Some (Protocol.F_missing_image msg); r_detail = msg;
         r_duration = Simtime.zero; r_stats = []; r_metas = [] }
@@ -364,6 +412,7 @@ let restart t ~(items : restart_item list) ~(on_done : op_result -> unit) =
       }
     in
     t.current <- Some p;
+    span_begin t ~op:t.gen "restart_op";
     arm_phase_timeout t p Protocol.Ph_done;
     List.iter2
       (fun item (i, (_, vip, name, _)) ->

@@ -41,13 +41,19 @@ type op_result = {
 type t
 
 val create :
+  ?metrics:Zapc_obs.Metrics.t ->
   engine:Engine.t ->
   params:Params.t ->
   storage:Storage.t ->
   alloc_rip:(int -> Addr.ip) ->
+  unit ->
   t
 (** [alloc_rip node] must yield a fresh real address on [node] (used to
-    build the restart connectivity map before pods are created). *)
+    build the restart connectivity map before pods are created).
+    [metrics] is the registry receiving [mgr.*], [ckpt.image_bytes] and
+    [netckpt.bytes] instruments (a private one is created when omitted). *)
+
+val metrics : t -> Zapc_obs.Metrics.t
 
 val attach_agent : t -> node:int -> Protocol.channel -> unit
 

@@ -11,6 +11,7 @@
 
 module Simtime = Zapc_sim.Simtime
 module Engine = Zapc_sim.Engine
+module Metrics = Zapc_obs.Metrics
 module Pod = Zapc_pod.Pod
 
 type t = {
@@ -83,6 +84,7 @@ let pods_alive t =
 
 let skip t reason =
   t.skipped <- t.skipped + 1;
+  Metrics.incr (Cluster.metrics t.cluster) "periodic.epochs_skipped";
   t.last_skip_reason <- Some reason
 
 let rec tick t =
@@ -106,13 +108,19 @@ let rec tick t =
             Manager.checkpoint (Cluster.manager t.cluster) ~items ~resume:true
               ~on_done:(fun r ->
                 if r.Manager.r_ok then begin
+                  Metrics.incr (Cluster.metrics t.cluster)
+                    "periodic.epochs_completed";
                   if not t.stopped then begin
                     t.last_good <- epoch;
                     t.completed <- t.completed + 1;
                     prune t epoch
                   end
                 end
-                else gc_failed_epoch t epoch;
+                else begin
+                  Metrics.incr (Cluster.metrics t.cluster)
+                    "periodic.epochs_failed";
+                  gc_failed_epoch t epoch
+                end;
                 t.on_epoch epoch r);
             tick t
       end)

@@ -16,6 +16,7 @@
 
 module Simtime = Zapc_sim.Simtime
 module Engine = Zapc_sim.Engine
+module Metrics = Zapc_obs.Metrics
 module Image = Zapc_ckpt.Image
 
 type replica = {
@@ -28,16 +29,19 @@ type t = {
   bps : float;
   latency : Simtime.t;
   replicas : replica array;
+  metrics : Metrics.t;
   mutable bytes_written : int;
   mutable fail_writes : string option;  (* injected outage: writes fail with this reason *)
   mutable write_failures : int;
   mutable corruption_detected : int;
 }
 
-let create ?(bps = 180e6) ?(latency = Simtime.us 500) ?(replicas = 2) engine =
+let create ?metrics ?(bps = 180e6) ?(latency = Simtime.us 500) ?(replicas = 2) engine =
   let replicas = Stdlib.max 1 replicas in
+  let metrics = match metrics with Some m -> m | None -> Metrics.create () in
   { engine; bps; latency;
     replicas = Array.init replicas (fun _ -> { images = Hashtbl.create 16; fail = None });
+    metrics;
     bytes_written = 0; fail_writes = None; write_failures = 0; corruption_detected = 0 }
 
 let replica_count t = Array.length t.replicas
@@ -59,6 +63,7 @@ let put t key image =
   match t.fail_writes with
   | Some reason ->
     t.write_failures <- t.write_failures + 1;
+    Metrics.incr t.metrics "storage.write_failures";
     Error reason
   | None ->
     let sum = Image.checksum image in
@@ -72,19 +77,30 @@ let put t key image =
       t.replicas;
     if !stored = 0 then begin
       t.write_failures <- t.write_failures + 1;
+      Metrics.incr t.metrics "storage.write_failures";
       Error "all replicas unavailable"
     end
     else begin
       t.bytes_written <- t.bytes_written + (!stored * image.Image.logical_size);
+      Metrics.incr t.metrics "storage.puts";
+      Metrics.add t.metrics "storage.bytes_written"
+        (!stored * image.Image.logical_size);
+      Metrics.observe t.metrics ~buckets:Metrics.default_bytes_buckets
+        "storage.put_bytes"
+        (float_of_int image.Image.logical_size);
       Ok ()
     end
 
 (* Walk replicas in order; a copy under outage or failing its checksum is
    skipped (the latter counted in [corruption_detected]). *)
 let get t key =
+  Metrics.incr t.metrics "storage.gets";
   let n = Array.length t.replicas in
   let rec go i =
-    if i >= n then None
+    if i >= n then begin
+      Metrics.incr t.metrics "storage.get_misses";
+      None
+    end
     else
       let r = t.replicas.(i) in
       if r.fail <> None then go (i + 1)
@@ -92,9 +108,15 @@ let get t key =
         match Hashtbl.find_opt r.images key with
         | None -> go (i + 1)
         | Some (image, sum) ->
-          if Image.checksum image = sum then Some image
+          if Image.checksum image = sum then begin
+            (* a success past replica 0 means the primary was skipped —
+               outaged, missing the key, or corrupt *)
+            if i > 0 then Metrics.incr t.metrics "storage.replica_fallbacks";
+            Some image
+          end
           else begin
             t.corruption_detected <- t.corruption_detected + 1;
+            Metrics.incr t.metrics "storage.corruption_detected";
             go (i + 1)
           end
   in

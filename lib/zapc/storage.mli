@@ -18,9 +18,13 @@ module Image = Zapc_ckpt.Image
 
 type t
 
-val create : ?bps:float -> ?latency:Simtime.t -> ?replicas:int -> Engine.t -> t
+val create :
+  ?metrics:Zapc_obs.Metrics.t ->
+  ?bps:float -> ?latency:Simtime.t -> ?replicas:int -> Engine.t -> t
 (** [replicas] (default 2, clamped to at least 1) independent copies are
-    kept for every image. *)
+    kept for every image.  [metrics] receives the [storage.*] instruments —
+    puts, put_bytes, bytes_written, gets, get_misses, write_failures,
+    corruption_detected, replica_fallbacks (a read served past replica 0). *)
 
 val replica_count : t -> int
 

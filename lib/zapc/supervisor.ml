@@ -25,6 +25,7 @@
 
 module Simtime = Zapc_sim.Simtime
 module Engine = Zapc_sim.Engine
+module Metrics = Zapc_obs.Metrics
 module Rng = Zapc_sim.Rng
 module Fabric = Zapc_simnet.Fabric
 module Pod = Zapc_pod.Pod
@@ -47,6 +48,7 @@ type t = {
   mutable watched : int list;  (* sticky node set under heartbeat watch *)
   misses : (int, int) Hashtbl.t;  (* node -> consecutive unanswered beats *)
   awaiting : (int, int) Hashtbl.t;  (* node -> seq of the unanswered ping *)
+  first_miss : (int, Simtime.t) Hashtbl.t;  (* node -> first missed-beat time *)
   mutable seq : int;
   mutable state : state;
   mutable attempts : int;  (* attempts of the recovery in progress *)
@@ -59,6 +61,7 @@ type t = {
 }
 
 let now t = Engine.now (Cluster.engine t.cluster)
+let reg t = Cluster.metrics t.cluster
 
 let note t what =
   t.log <- (now t, what) :: t.log;
@@ -114,6 +117,8 @@ and beat t =
         if Hashtbl.mem t.awaiting node then begin
           let m = miss_count t node + 1 in
           Hashtbl.replace t.misses node m;
+          Metrics.incr (reg t) "sup.misses";
+          if m = 1 then Hashtbl.replace t.first_miss node (now t);
           if m >= t.params.Params.heartbeat_misses then dead := node :: !dead
         end)
       t.watched;
@@ -123,9 +128,17 @@ and beat t =
        List.iter
          (fun node ->
            Cluster.mark_node_dead t.cluster node;
+           Metrics.incr (reg t) "sup.detections";
+           (* latency from the first missed beat to the declaration *)
+           (match Hashtbl.find_opt t.first_miss node with
+           | Some t0 ->
+             Metrics.observe (reg t) "sup.detect_latency_ms"
+               (Simtime.to_ms (Simtime.sub (now t) t0))
+           | None -> ());
            note t (Printf.sprintf "sup_detect:node%d" node))
          dead;
        t.last_detect <- Some (now t);
+       Metrics.set_gauge (reg t) "sup.last_detect_ms" (Simtime.to_ms (now t));
        t.state <- Recovering;
        t.attempts <- 0;
        schedule_beat t;
@@ -140,6 +153,7 @@ and beat t =
          (fun node ->
            t.seq <- t.seq + 1;
            Hashtbl.replace t.awaiting node t.seq;
+           Metrics.incr (reg t) "sup.pings";
            Manager.ping (Cluster.manager t.cluster) ~node ~seq:t.seq)
          t.watched;
        schedule_beat t)
@@ -150,6 +164,7 @@ and attempt_recovery t =
   else begin
     t.attempts <- t.attempts + 1;
     t.total_attempts <- t.total_attempts + 1;
+    Metrics.incr (reg t) "sup.attempts";
     note t (Printf.sprintf "sup_attempt:%d" t.attempts);
     let alive = Cluster.alive_nodes t.cluster in
     if alive = [] then give_up t
@@ -175,16 +190,26 @@ and attempt_recovery t =
 
 and retry_later t =
   let delay = backoff_delay t in
+  Metrics.incr (reg t) "sup.backoffs";
   note t (Printf.sprintf "sup_backoff:%.1fms" (Simtime.to_ms delay));
   Engine.schedule (Cluster.engine t.cluster) ~delay (fun () -> attempt_recovery t)
 
 and recovered t =
   t.recoveries <- t.recoveries + 1;
   t.last_recovered <- Some (now t);
+  Metrics.incr (reg t) "sup.recoveries";
+  Metrics.set_gauge (reg t) "sup.last_recovered_ms" (Simtime.to_ms (now t));
+  (* MTTR: declaration of death -> service restored *)
+  (match t.last_detect with
+  | Some d ->
+    Metrics.observe (reg t) "sup.mttr_ms"
+      (Simtime.to_ms (Simtime.sub (now t) d))
+  | None -> ());
   note t "sup_recovered";
   t.attempts <- 0;
   Hashtbl.reset t.misses;
   Hashtbl.reset t.awaiting;
+  Hashtbl.reset t.first_miss;
   (* the group may live on different nodes now: refresh the watch set *)
   t.watched <- nodes_of_group t;
   t.state <- Monitoring;
@@ -192,6 +217,7 @@ and recovered t =
 
 and give_up t =
   t.gave_up <- t.gave_up + 1;
+  Metrics.incr (reg t) "sup.gave_up";
   note t "sup_giveup";
   t.state <- Gave_up
 
@@ -206,6 +232,7 @@ let start ?trace cluster service =
       watched = [];
       misses = Hashtbl.create 8;
       awaiting = Hashtbl.create 8;
+      first_miss = Hashtbl.create 8;
       seq = 0;
       state = Monitoring;
       attempts = 0;
@@ -218,10 +245,12 @@ let start ?trace cluster service =
     }
   in
   Manager.set_on_pong (Cluster.manager cluster) (fun ~node ~seq ->
+      Metrics.incr (reg t) "sup.pongs";
       (match Hashtbl.find_opt t.awaiting node with
        | Some s when s = seq ->
          Hashtbl.remove t.awaiting node;
-         Hashtbl.replace t.misses node 0
+         Hashtbl.replace t.misses node 0;
+         Hashtbl.remove t.first_miss node
        | Some _ | None -> ());
       if t.state = Suspected
          && not (List.exists (fun n -> miss_count t n > 0) t.watched)

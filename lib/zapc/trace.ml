@@ -2,9 +2,18 @@
    checkpoint/restart operations so the Figure-2 timeline of the paper can
    be rendered (and asserted on) — in particular that the standalone
    checkpoint overlaps the Manager synchronization and that unblock waits
-   for both. *)
+   for both.
+
+   Since the observability refactor the structured core is a
+   Zapc_obs.Span recorder: phase boundaries are typed instants (and the
+   Manager/Agents additionally open/close typed spans through the
+   span_begin/span_end wrappers below).  The historical string-event API —
+   [events]/[find]/[pods]/[render_checkpoint] — is retained as a
+   compatibility view derived from the recorded instants, so existing
+   tests and the fault-injection observers keep working unchanged. *)
 
 module Simtime = Zapc_sim.Simtime
+module Span = Zapc_obs.Span
 
 type event = {
   ev_time : Simtime.t;
@@ -13,26 +22,42 @@ type event = {
 }
 
 type t = {
-  mutable events : event list;
+  recorder : Span.t;
   mutable enabled : bool;
   mutable observers : (event -> unit) list;
 }
 
-let create () = { events = []; enabled = true; observers = [] }
+let create () = { recorder = Span.create (); enabled = true; observers = [] }
+let recorder t = t.recorder
 
 (* Observers let external machinery (fault injection, live monitoring) key
    off protocol phase boundaries without polling the event list. *)
 let on_record t fn = t.observers <- t.observers @ [ fn ]
+let clear_observers t = t.observers <- []
 
-let record t ~time ~pod what =
+let record ?(node = -1) t ~time ~pod what =
   if t.enabled then begin
+    Span.instant t.recorder ~time ~node ~pod what;
     let ev = { ev_time = time; ev_pod = pod; ev_what = what } in
-    t.events <- ev :: t.events;
     List.iter (fun fn -> fn ev) t.observers
   end
 
-let events t = List.rev t.events
-let clear t = t.events <- []
+let span_begin t ~time ?op ?node ~pod name =
+  if t.enabled then ignore (Span.begin_span t.recorder ~time ?op ?node ~pod name)
+
+let span_end t ~time ~pod name =
+  if t.enabled then ignore (Span.end_named t.recorder ~time ~pod name)
+
+let span_end_all t ~time ~pod =
+  if t.enabled then Span.end_all_for_pod t.recorder ~time ~pod
+
+let events t =
+  List.map
+    (fun (i : Span.instant) ->
+      { ev_time = i.in_time; ev_pod = i.in_pod; ev_what = i.in_what })
+    (Span.instants t.recorder)
+
+let clear t = Span.clear t.recorder
 
 let find t ~pod what =
   List.find_opt (fun e -> e.ev_pod = pod && String.equal e.ev_what what) (events t)
@@ -40,6 +65,9 @@ let find t ~pod what =
 let pods t =
   List.sort_uniq Int.compare
     (List.filter_map (fun e -> if e.ev_pod >= 0 then Some e.ev_pod else None) (events t))
+
+let to_chrome t = Zapc_obs.Chrome.to_string t.recorder
+let dump_chrome t path = Zapc_obs.Chrome.dump t.recorder path
 
 (* Render the coordinated-checkpoint timeline (one line per pod, phases as
    offsets from the Manager's invocation), in the spirit of Figure 2. *)

@@ -1,7 +1,12 @@
 (** Protocol tracing: phase boundaries of coordinated checkpoint/restart
     operations, for rendering (and asserting on) the paper's Figure-2
     timeline — in particular that the standalone checkpoint overlaps the
-    Manager synchronization and that resume gates on both conditions. *)
+    Manager synchronization and that resume gates on both conditions.
+
+    The structured core is a {!Zapc_obs.Span} recorder: typed spans keyed
+    by (operation id, pod, node) plus instants for phase boundaries.  The
+    string-event API below is a compatibility view over the instants; the
+    span stream is what the Chrome-trace exporter consumes. *)
 
 module Simtime = Zapc_sim.Simtime
 
@@ -14,7 +19,23 @@ type event = {
 type t
 
 val create : unit -> t
-val record : t -> time:Simtime.t -> pod:int -> string -> unit
+
+val recorder : t -> Zapc_obs.Span.t
+(** The underlying span/instant recorder (for exporters and span-level
+    assertions). *)
+
+val record : ?node:int -> t -> time:Simtime.t -> pod:int -> string -> unit
+(** Record a phase-boundary instant.  [node] defaults to [-1]
+    (manager/cluster scope). *)
+
+val span_begin :
+  t -> time:Simtime.t -> ?op:int -> ?node:int -> pod:int -> string -> unit
+(** Open a typed span (no-op when tracing is disabled).  Closed by
+    {!span_end} on the same [name]/[pod]. *)
+
+val span_end : t -> time:Simtime.t -> pod:int -> string -> unit
+val span_end_all : t -> time:Simtime.t -> pod:int -> unit
+(** Close every open span of [pod] — abort paths. *)
 
 val on_record : t -> (event -> unit) -> unit
 (** Subscribe to every recorded event as it happens; observers fire in
@@ -22,10 +43,24 @@ val on_record : t -> (event -> unit) -> unit
     fault-injection layer uses to schedule faults at protocol phase
     boundaries. *)
 
+val clear_observers : t -> unit
+(** Drop all {!on_record} subscriptions.  Fault-injection/monitoring
+    callbacks otherwise survive {!clear} and fire into dead state on the
+    next run; the chaos harness calls this between seeds. *)
+
 val events : t -> event list
 val clear : t -> unit
+(** Forget recorded events and spans.  Observers survive — use
+    {!clear_observers} for those. *)
+
 val find : t -> pod:int -> string -> event option
 val pods : t -> int list
+
+val to_chrome : t -> string
+(** Render the span stream as Chrome [trace_event] JSON
+    (see {!Zapc_obs.Chrome}). *)
+
+val dump_chrome : t -> string -> unit
 
 val render_checkpoint : t -> string
 (** One line per pod with phase offsets (ms) from the Manager broadcast. *)

@@ -321,6 +321,10 @@ let run_scenario seed =
     if not (has_log done_log) then Alcotest.fail (ctx ^ ": app produced no result")
   end;
   assert_clean ctx cluster fs;
+  (* detach the fault-injection observers before the next seed: [Trace.clear]
+     deliberately keeps subscriptions, so a stale hook would otherwise fire
+     into this scenario's dead cluster from the next one's events *)
+  Zapc.Trace.clear_observers (Faultsim.trace fs);
   { so_kinds = List.map (fun (i : Faultsim.injection) -> kind_of i.fault) plan }
 
 let n_seeds () =
@@ -467,12 +471,56 @@ let test_corrupt_primary_recovers_from_replica () =
   check tbool "recovered from the replica" true (Supervisor.recoveries sup = 1);
   check tbool "corruption was detected on the primary" true
     (Storage.corruption_detected storage > 0);
+  (* the same facts through the metrics registry: fallbacks and detections
+     are first-class instruments, not derived from trace strings *)
+  let reg = Cluster.metrics cluster in
+  check tbool "registry counted corruption detections" true
+    (Zapc_obs.Metrics.counter reg "storage.corruption_detected" > 0);
+  check tbool "registry counted replica fallbacks" true
+    (Zapc_obs.Metrics.counter reg "storage.replica_fallbacks" > 0);
+  check tbool "registry agrees with the storage counter" true
+    (Zapc_obs.Metrics.counter reg "storage.corruption_detected"
+     = Storage.corruption_detected storage);
   Cluster.run_until cluster ~timeout:(Simtime.sec 2400.0) (fun () ->
       has_log "bt_nas: checksum");
   Supervisor.stop sup;
   Periodic.stop svc;
   Cluster.run cluster ~until:(Simtime.add (Cluster.now cluster) (Simtime.ms 200)) ();
   assert_clean "corrupt-primary" cluster fs
+
+(* The storage instruments alone, with a controlled single read: corrupting
+   the primary must cost exactly one corruption detection and exactly one
+   replica fallback in the registry. *)
+let test_replica_fallback_counters () =
+  let module Metrics = Zapc_obs.Metrics in
+  let module Value = Zapc_codec.Value in
+  let engine = Engine.create ~seed:1 () in
+  let metrics = Metrics.create () in
+  let storage = Storage.create ~metrics ~replicas:2 engine in
+  let img =
+    Zapc_ckpt.Image.of_pod_image
+      (Value.assoc
+         [ ("pod_id", Value.int 1); ("name", Value.str "m");
+           ("memory_bytes", Value.int 4096) ])
+  in
+  (match Storage.put storage "m.pod1" img with
+   | Ok () -> ()
+   | Error e -> Alcotest.fail ("put failed: " ^ e));
+  check tbool "put counted once" true (Metrics.counter metrics "storage.puts" = 1);
+  check tbool "healthy read served" true (Storage.get storage "m.pod1" <> None);
+  check tbool "healthy read is no fallback" true
+    (Metrics.counter metrics "storage.replica_fallbacks" = 0);
+  check tbool "primary corrupted" true (Storage.corrupt storage ~replica:0 "m.pod1");
+  check tbool "read survives via the replica" true
+    (Storage.get storage "m.pod1" <> None);
+  check tbool "exactly one corruption detected" true
+    (Metrics.counter metrics "storage.corruption_detected" = 1);
+  check tbool "exactly one replica fallback" true
+    (Metrics.counter metrics "storage.replica_fallbacks" = 1);
+  check tbool "absent key misses" true (Storage.get storage "nope" = None);
+  check tbool "miss counted, not a fallback" true
+    (Metrics.counter metrics "storage.get_misses" = 1
+     && Metrics.counter metrics "storage.replica_fallbacks" = 1)
 
 (* Satellite: a failed epoch's partially written pod images are
    garbage-collected — storage holds exactly the completed epochs' keys. *)
@@ -560,6 +608,8 @@ let () =
             test_backoff_retry_after_second_fault;
           Alcotest.test_case "corrupt primary recovers from replica" `Quick
             test_corrupt_primary_recovers_from_replica;
+          Alcotest.test_case "replica fallback counters" `Quick
+            test_replica_fallback_counters;
           Alcotest.test_case "failed epoch GC'd from storage" `Quick
             test_failed_epoch_gc ] );
       ( "random",

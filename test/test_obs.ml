@@ -1,0 +1,249 @@
+(* Unit tests of the observability layer: the metrics registry (counters,
+   gauges, histogram quantiles, JSON snapshot), the span recorder, the
+   Chrome trace_event exporter, the JSON reader used to validate the
+   exporters, the Stats percentile/empty-render fixes, and the Trace
+   observer lifecycle. *)
+
+module Simtime = Zapc_sim.Simtime
+module Stats = Zapc_sim.Stats
+module Metrics = Zapc_obs.Metrics
+module Span = Zapc_obs.Span
+module Chrome = Zapc_obs.Chrome
+module Json = Zapc_obs.Json
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+let tfloat = Alcotest.float 1e-6
+
+let ok_json s =
+  match Json.parse s with
+  | Ok v -> v
+  | Error e -> Alcotest.failf "JSON rejected: %s\n%s" e s
+
+(* --- metrics --- *)
+
+let test_counters () =
+  let m = Metrics.create () in
+  check tint "absent counter reads 0" 0 (Metrics.counter m "x");
+  Metrics.incr m "x";
+  Metrics.incr m "x";
+  Metrics.add m "x" 40;
+  check tint "incr/add accumulate" 42 (Metrics.counter m "x");
+  Metrics.clear m;
+  check tint "clear resets" 0 (Metrics.counter m "x")
+
+let test_gauges () =
+  let m = Metrics.create () in
+  check tfloat "absent gauge reads 0" 0.0 (Metrics.gauge m "g");
+  Metrics.set_gauge m "g" 1.5;
+  Metrics.set_gauge m "g" 2.5;
+  check tfloat "last write wins" 2.5 (Metrics.gauge m "g");
+  let n = ref 0 in
+  Metrics.gauge_fn m "f" (fun () -> Stdlib.incr n; float_of_int !n);
+  check tfloat "callback sampled at read" 1.0 (Metrics.gauge m "f");
+  check tfloat "resampled each read" 2.0 (Metrics.gauge m "f")
+
+let test_histogram_quantiles () =
+  let m = Metrics.create () in
+  check tfloat "empty quantile is 0" 0.0 (Metrics.p50 m "h");
+  for i = 1 to 100 do
+    Metrics.observe m "h" (float_of_int i)
+  done;
+  check tint "count" 100 (Metrics.hist_count m "h");
+  check tfloat "sum" 5050.0 (Metrics.hist_sum m "h");
+  let p50 = Metrics.p50 m "h" and p99 = Metrics.p99 m "h" in
+  check tbool "p50 in the middle" true (p50 >= 40.0 && p50 <= 60.0);
+  check tbool "p99 near the top" true (p99 >= 90.0 && p99 <= 100.0);
+  check tbool "quantiles ordered" true
+    (p50 <= Metrics.p90 m "h" && Metrics.p90 m "h" <= p99);
+  (* quantiles are clamped to the observed range even in the +inf bucket *)
+  Metrics.observe m "o" 1e12;
+  check tfloat "overflow clamps to max" 1e12 (Metrics.p99 m "o")
+
+let test_exp_buckets () =
+  let b = Metrics.exp_buckets ~start:1.0 ~factor:2.0 ~n:4 in
+  check tbool "geometric" true (b = [| 1.0; 2.0; 4.0; 8.0 |]);
+  check tbool "bad start rejected" true
+    (try ignore (Metrics.exp_buckets ~start:0.0 ~factor:2.0 ~n:2); false
+     with Invalid_argument _ -> true)
+
+let test_metrics_json () =
+  let m = Metrics.create () in
+  Metrics.incr m "a.count";
+  Metrics.set_gauge m "b.level" 3.25;
+  Metrics.observe m "c_ms" 7.0;
+  Metrics.observe m "c_ms" 9.0;
+  let v = ok_json (Metrics.to_json m) in
+  let num path1 path2 =
+    Option.bind (Json.member path1 v) (fun o ->
+        Option.bind (Json.member path2 o) Json.to_float)
+  in
+  check tbool "counter exported" true (num "counters" "a.count" = Some 1.0);
+  check tbool "gauge exported" true (num "gauges" "b.level" = Some 3.25);
+  (match Option.bind (Json.member "histograms" v) (Json.member "c_ms") with
+   | Some h ->
+     check tbool "hist count" true
+       (Option.bind (Json.member "count" h) Json.to_float = Some 2.0);
+     check tbool "hist sum" true
+       (Option.bind (Json.member "sum" h) Json.to_float = Some 16.0)
+   | None -> Alcotest.fail "histogram missing from snapshot");
+  (* snapshot of a deterministic registry is itself deterministic *)
+  check tbool "deterministic" true (String.equal (Metrics.to_json m) (Metrics.to_json m))
+
+(* --- spans --- *)
+
+let ms = Simtime.ms
+
+let test_span_basic () =
+  let r = Span.create () in
+  let s = Span.begin_span r ~time:(ms 1) ~op:7 ~pod:3 "work" in
+  check tint "one open" 1 (List.length (Span.open_spans r));
+  Span.end_span r ~time:(ms 5) s;
+  Span.end_span r ~time:(ms 9) s;
+  (match Span.spans r with
+   | [ sp ] ->
+     check tbool "close is idempotent" true (sp.Span.sp_end = Some (ms 5));
+     check tint "op kept" 7 sp.Span.sp_op
+   | l -> Alcotest.failf "expected 1 span, got %d" (List.length l));
+  check tint "none open" 0 (List.length (Span.open_spans r))
+
+let test_span_end_named () =
+  let r = Span.create () in
+  let _outer = Span.begin_span r ~time:(ms 1) ~pod:1 "phase" in
+  let _inner = Span.begin_span r ~time:(ms 2) ~pod:1 "phase" in
+  let _other = Span.begin_span r ~time:(ms 3) ~pod:2 "phase" in
+  check tbool "closes most recent of the pod" true
+    (Span.end_named r ~time:(ms 4) ~pod:1 "phase");
+  (match Span.spans r with
+   | [ a; b; c ] ->
+     check tbool "outer still open" true (a.Span.sp_end = None);
+     check tbool "inner closed" true (b.Span.sp_end = Some (ms 4));
+     check tbool "other pod untouched" true (c.Span.sp_end = None)
+   | _ -> Alcotest.fail "expected 3 spans");
+  check tbool "no match returns false" false
+    (Span.end_named r ~time:(ms 5) ~pod:9 "phase");
+  Span.end_all_for_pod r ~time:(ms 6) ~pod:1;
+  check tint "only pod 2 left open" 1 (List.length (Span.open_spans r));
+  check tbool "last_time tracks" true (Simtime.compare (Span.last_time r) (ms 6) = 0)
+
+let test_span_chronological () =
+  let r = Span.create () in
+  let a = Span.begin_span r ~time:(ms 5) ~pod:1 "b" in
+  let b = Span.begin_span r ~time:(ms 2) ~pod:1 "a" in
+  Span.end_span r ~time:(ms 6) a;
+  Span.end_span r ~time:(ms 7) b;
+  Span.instant r ~time:(ms 4) ~pod:1 "tick";
+  Span.instant r ~time:(ms 3) ~pod:1 "tock";
+  check tbool "spans sorted by begin time" true
+    (List.map (fun s -> s.Span.sp_name) (Span.spans r) = [ "a"; "b" ]);
+  check tbool "instants sorted by time" true
+    (List.map (fun i -> i.Span.in_what) (Span.instants r) = [ "tock"; "tick" ])
+
+(* --- chrome exporter --- *)
+
+let test_chrome_export () =
+  let r = Span.create () in
+  let s = Span.begin_span r ~time:(ms 1) ~op:1 ~node:0 ~pod:1 "pod_ckpt" in
+  ignore (Span.begin_span r ~time:(ms 2) ~pod:(-1) "mgr_sync");
+  Span.end_span r ~time:(ms 4) s;
+  Span.instant r ~time:(ms 3) ~node:0 ~pod:1 "meta_sent";
+  let v = ok_json (Chrome.to_string r) in
+  let events =
+    match Option.bind (Json.member "traceEvents" v) Json.to_list with
+    | Some l -> l
+    | None -> Alcotest.fail "no traceEvents"
+  in
+  let phase ev = Option.bind (Json.member "ph" ev) Json.to_string_opt in
+  let named ph name =
+    List.find_opt
+      (fun ev ->
+        phase ev = Some ph
+        && Option.bind (Json.member "name" ev) Json.to_string_opt = Some name)
+      events
+  in
+  check tbool "metadata rows present" true (named "M" "process_name" <> None);
+  (match named "X" "pod_ckpt" with
+   | Some ev ->
+     let num k = Option.bind (Json.member k ev) Json.to_float in
+     check tbool "ts in us" true (num "ts" = Some 1000.0);
+     check tbool "dur in us" true (num "dur" = Some 3000.0);
+     check tbool "pid = node+1" true (num "pid" = Some 1.0)
+   | None -> Alcotest.fail "pod_ckpt X event missing");
+  (* the still-open mgr_sync is closed at last_time and flagged *)
+  (match named "X" "mgr_sync" with
+   | Some ev ->
+     check tbool "unfinished flagged" true
+       (Option.bind (Json.member "args" ev) (Json.member "unfinished") <> None)
+   | None -> Alcotest.fail "open span not exported");
+  check tbool "instant exported" true (named "i" "meta_sent" <> None)
+
+(* --- the JSON reader itself --- *)
+
+let test_json_reader () =
+  (match ok_json {| {"a": [1, -2.5e1, true, null], "b\n": "xA"} |} with
+   | Json.Obj [ ("a", Json.List l); ("b\n", Json.Str s) ] ->
+     check tint "list length" 4 (List.length l);
+     check tbool "numbers" true (List.nth l 1 = Json.Num (-25.0));
+     check tbool "escape decoded" true (String.equal s "xA")
+   | _ -> Alcotest.fail "unexpected shape");
+  check tbool "trailing garbage rejected" true
+    (match Json.parse "{} x" with Error _ -> true | Ok _ -> false);
+  check tbool "unterminated rejected" true
+    (match Json.parse "[1, 2" with Error _ -> true | Ok _ -> false)
+
+(* --- Stats fixes --- *)
+
+let test_stats_empty_render () =
+  let s = Stats.create () in
+  check tbool "empty renders n=0" true
+    (String.equal (Format.asprintf "%a" Stats.pp_ms s) "n=0");
+  Stats.add s 1.0;
+  check tbool "non-empty has no inf" true
+    (let r = Format.asprintf "%a" Stats.pp_ms s in
+     not (String.length r >= 3 && String.equal (String.sub r 0 3) "inf"))
+
+let test_stats_percentile () =
+  let s = Stats.create () in
+  check tfloat "empty percentile is 0" 0.0 (Stats.percentile s 0.5);
+  List.iter (Stats.add s) [ 10.0; 20.0; 30.0; 40.0 ];
+  check tfloat "p0 = min" 10.0 (Stats.percentile s 0.0);
+  check tfloat "p100 = max" 40.0 (Stats.percentile s 1.0);
+  check tfloat "p50 interpolates" 25.0 (Stats.percentile s 0.5)
+
+(* --- Trace observer lifecycle --- *)
+
+let test_trace_observers () =
+  let tr = Zapc.Trace.create () in
+  let fired = ref 0 in
+  Zapc.Trace.on_record tr (fun _ -> Stdlib.incr fired);
+  Zapc.Trace.record tr ~time:(ms 1) ~pod:0 "a";
+  check tint "observer fires" 1 !fired;
+  Zapc.Trace.clear tr;
+  check tint "clear forgets events" 0 (List.length (Zapc.Trace.events tr));
+  Zapc.Trace.record tr ~time:(ms 2) ~pod:0 "b";
+  check tint "observers survive clear" 2 !fired;
+  Zapc.Trace.clear_observers tr;
+  Zapc.Trace.record tr ~time:(ms 3) ~pod:0 "c";
+  check tint "clear_observers detaches" 2 !fired
+
+let () =
+  Alcotest.run "obs"
+    [ ( "metrics",
+        [ Alcotest.test_case "counters" `Quick test_counters;
+          Alcotest.test_case "gauges" `Quick test_gauges;
+          Alcotest.test_case "histogram quantiles" `Quick test_histogram_quantiles;
+          Alcotest.test_case "exp buckets" `Quick test_exp_buckets;
+          Alcotest.test_case "json snapshot" `Quick test_metrics_json ] );
+      ( "spans",
+        [ Alcotest.test_case "begin/end" `Quick test_span_basic;
+          Alcotest.test_case "end_named" `Quick test_span_end_named;
+          Alcotest.test_case "chronological" `Quick test_span_chronological ] );
+      ( "export",
+        [ Alcotest.test_case "chrome trace" `Quick test_chrome_export;
+          Alcotest.test_case "json reader" `Quick test_json_reader ] );
+      ( "stats",
+        [ Alcotest.test_case "empty render" `Quick test_stats_empty_render;
+          Alcotest.test_case "percentile" `Quick test_stats_percentile ] );
+      ( "trace",
+        [ Alcotest.test_case "observer lifecycle" `Quick test_trace_observers ] ) ]

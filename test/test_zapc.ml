@@ -1144,6 +1144,54 @@ let test_figure2_timeline () =
   check tbool "render nonempty" true (String.length s > 100);
   ignore (Launch.wait_done cluster app)
 
+(* the same invariant asserted from the *rendered* timeline: the render is
+   what the bench harness and CLI print, so its numbers (ms offsets from
+   the Manager broadcast) must carry the Figure-2 structure too *)
+let test_rendered_timeline () =
+  let cluster = make_cluster () in
+  let tr = Cluster.enable_trace cluster in
+  let app =
+    Launch.launch cluster ~name:"bt" ~program:"bt_nas" ~placement:[ 0; 1 ]
+      ~app_args:(bt_args 128 30) ()
+  in
+  Cluster.run cluster ~until:(Simtime.ms 5) ();
+  let r = Cluster.snapshot cluster ~pods:app.Launch.pods ~key_prefix:"rfig2" in
+  check tbool "ok" true r.Manager.r_ok;
+  let s = Zapc.Trace.render_checkpoint tr in
+  (* pod rows: "pod suspnd netck meta standa contin resume" *)
+  let rows =
+    List.filter_map
+      (fun line ->
+        match
+          String.split_on_char ' ' line |> List.filter (fun x -> x <> "")
+        with
+        | [ pod; su; ne; me; st; co; re ] ->
+          (match int_of_string_opt pod with
+           | Some p ->
+             Some
+               ( p, float_of_string su, float_of_string ne, float_of_string me,
+                 float_of_string st, float_of_string co, float_of_string re )
+           | None -> None)
+        | _ -> None)
+      (String.split_on_char '\n' s)
+  in
+  check tint "one rendered row per pod" (List.length app.Launch.pods)
+    (List.length rows);
+  List.iter
+    (fun (pod, suspend, netck, meta, standalone, continue_, resume) ->
+      check tbool (Printf.sprintf "pod%d: suspend first" pod) true
+        (suspend <= netck && netck <= meta);
+      (* the overlap: 'continue' lands after the meta-data went out but
+         DURING the standalone checkpoint *)
+      check tbool (Printf.sprintf "pod%d: continue overlaps standalone" pod)
+        true
+        (meta <= continue_ && continue_ < standalone);
+      (* resume gates on standalone_done AND continue_received *)
+      check tbool (Printf.sprintf "pod%d: resume gates on both" pod) true
+        (resume >= standalone && resume >= continue_))
+    rows;
+  ignore (Launch.wait_done cluster app)
+
 let test_serial_ablation_slower () =
   let run_mode serial =
     let params =
@@ -1196,6 +1244,8 @@ let () =
         [ Alcotest.test_case "determinism" `Quick test_determinism;
           Alcotest.test_case "timing structure" `Quick test_checkpoint_timing_structure;
           Alcotest.test_case "figure-2 timeline" `Quick test_figure2_timeline;
+          Alcotest.test_case "figure-2 from rendered timeline" `Quick
+            test_rendered_timeline;
           Alcotest.test_case "serial ablation" `Quick test_serial_ablation_slower;
           Alcotest.test_case "agent failure aborts gracefully" `Quick
             test_manager_failure_aborts;
