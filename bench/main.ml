@@ -8,7 +8,7 @@
 
 let usage () =
   print_endline
-    "usage: main.exe [fig5|fig6a|fig6b|fig6c|netstate|variance|ablation|timeline|storage|micro|availability|all|quick]"
+    "usage: main.exe [fig5|fig6a|fig6b|fig6c|netstate|variance|ablation|timeline|storage|micro|availability|incremental|all|quick]"
 
 let () =
   let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
@@ -25,6 +25,7 @@ let () =
   | "storage" -> Experiments.storage_flush ()
   | "micro" -> Micro.run ()
   | "availability" -> Experiments.availability ()
+  | "incremental" -> Experiments.incremental ()
   | "all" ->
     Experiments.fig5 ();
     Experiments.fig6a ();
@@ -36,6 +37,7 @@ let () =
     Experiments.timeline ();
     Experiments.storage_flush ();
     Experiments.availability ();
+    Experiments.incremental ();
     Micro.run ()
   | "quick" -> Experiments.quick ()
   | _ -> usage ()

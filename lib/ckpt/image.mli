@@ -3,15 +3,19 @@
     An image is the Wire encoding of a pod-image Value plus a logical-size
     header.  [logical_size] is what a real checkpointer would have written:
     the structured state plus the modelled address-space bytes (the
-    simulation stores memory as region descriptors — see DESIGN.md). *)
+    simulation stores memory as region descriptors — see DESIGN.md).
+
+    A {e delta} image ({!Delta}) records its base's storage key in
+    [base_key] and charges only the dirty region bytes to [logical_size]. *)
 
 module Value = Zapc_codec.Value
 
 type t = {
   pod_id : int;
   name : string;
-  encoded : string;  (** Wire-encoded pod image *)
+  encoded : string;  (** Wire-encoded pod image (full or delta) *)
   logical_size : int;
+  base_key : string option;  (** [Some key] iff this is a delta image *)
 }
 
 val of_pod_image : Value.t -> t
@@ -19,7 +23,8 @@ val to_pod_image : t -> Value.t
 
 val checksum : t -> int
 (** Deterministic content checksum (FNV-1a over the encoded bytes and the
-    identifying fields).  Storage computes it at [put] and verifies it at
-    [get] to detect corrupted replicas. *)
+    identifying fields, including [base_key]).  Storage computes it at
+    [put] and verifies it at [get] — per chain link for deltas — to detect
+    corrupted replicas. *)
 
 val pp : Format.formatter -> t -> unit

@@ -112,9 +112,11 @@ let proc_to_value ~now ~sock_index ~pipe_index ~gm_index (vpid : int) (p : Proc.
       []
   in
   let stopped_from =
-    (* the pod is suspended during checkpoint, so every process is Stopped
-       and stopped_from records its pre-freeze state; a wakeup that raced
-       the freeze (retry_after_cont) means it should retry when thawed *)
+    (* the pod is suspended during checkpoint, so every live process is
+       Stopped and stopped_from records its pre-freeze state; a wakeup that
+       raced the freeze (retry_after_cont) means it should retry when
+       thawed.  Zombies keep their state — the exit status is application
+       data its parent has yet to collect *)
     match p.rstate with
     | Proc.Stopped -> stopped_from_to_string p.stopped_from
     | Proc.Ready | Proc.Running -> "ready"
@@ -133,6 +135,7 @@ let proc_to_value ~now ~sock_index ~pipe_index ~gm_index (vpid : int) (p : Proc.
       ("stopped_from", Value.str stopped_from);
       ("retry", Value.bool p.retry_after_cont);
       ("cpu_time", Value.int p.cpu_time);
+      ("exit_code", Value.option Value.int p.exit_code);
       ("fds", Value.List fd_entries);
       ("mem", Memory.to_value p.mem) ]
 
@@ -162,26 +165,24 @@ let checkpoint ?(mode = Zapc_netckpt.Sock_state.Read_inject) ?net (pod : Pod.t) 
   let sock_index s = Net_ckpt.index_of inv s in
   let pipes = collect_pipes pod in
   let gm_ports = collect_gm pod in
+  (* O(1) inventory lookups: with incremental checkpointing the checkpoint
+     path runs every epoch, and the old linear scans made fd translation
+     O(procs x fds x inventory) *)
+  let gm_tbl = Hashtbl.create (Array.length gm_ports) in
+  Array.iteri
+    (fun i (port : Gmdev.port) ->
+      Hashtbl.replace gm_tbl (port.Gmdev.gp_addr.ip, port.Gmdev.gp_addr.port) i)
+    gm_ports;
   let gm_index (port : Gmdev.port) =
-    let n = Array.length gm_ports in
-    let rec go i =
-      if i >= n then None
-      else if Addr.equal gm_ports.(i).Gmdev.gp_addr port.Gmdev.gp_addr then Some i
-      else go (i + 1)
-    in
-    go 0
+    Hashtbl.find_opt gm_tbl (port.Gmdev.gp_addr.ip, port.Gmdev.gp_addr.port)
   in
-  let pipe_index (pi : Pipe.t) =
-    let n = Array.length pipes in
-    let rec go i =
-      if i >= n then None else if pipes.(i).id = pi.id then Some i else go (i + 1)
-    in
-    go 0
-  in
+  let pipe_tbl = Hashtbl.create (Array.length pipes) in
+  Array.iteri (fun i (pi : Pipe.t) -> Hashtbl.replace pipe_tbl pi.id i) pipes;
+  let pipe_index (pi : Pipe.t) = Hashtbl.find_opt pipe_tbl pi.Pipe.id in
   let procs =
     List.map
       (fun (vpid, p) -> proc_to_value ~now ~sock_index ~pipe_index ~gm_index vpid p)
-      (Pod.members pod)
+      (Pod.members_all pod)
   in
   let memory_bytes = Pod.total_memory pod in
   let image =
@@ -230,9 +231,12 @@ let restore_processes (pod : Pod.t) (image : Value.t)
   let pipe_imgs = Value.to_list (fun v -> v) (Value.field "pipes" image) in
   let pipes =
     Array.of_list
-      (List.mapi
-         (fun i v ->
-           let pi = Pipe.create ~id:(i + 1) in
+      (List.map
+         (fun v ->
+           (* fresh node-unique ids: the image's pipe identities are the
+              array indices; reusing the saved (or positional) ids could
+              collide with pipes already live on this kernel *)
+           let pi = Pipe.create ~id:(Kernel.alloc_pipe_id kernel) in
            Sockbuf.push pi.buf (Value.to_str (Value.field "data" v));
            pi.rd_refs <- Value.to_int (Value.field "rd_refs" v);
            pi.wr_refs <- Value.to_int (Value.field "wr_refs" v);
@@ -293,17 +297,43 @@ let restore_processes (pod : Pod.t) (image : Value.t)
         | _ -> Value.decode_error "fd entry")
       fd_entries;
     (* processes come back frozen; resuming the pod re-issues blocked
-       syscalls (retry) or re-enqueues ready ones *)
-    p.rstate <- Proc.Stopped;
+       syscalls (retry) or re-enqueues ready ones.  A zombie comes back as
+       a zombie — stopped/ready would resurrect an exited process onto the
+       run queue, and its parent's wait would never find the exit status *)
     (match Value.to_str (Value.field "stopped_from" v) with
+     | "zombie" ->
+       p.rstate <- Proc.Zombie;
+       p.exit_code <-
+         (match Value.field_opt "exit_code" v with
+          | Some ec -> (match Value.to_option Value.to_int ec with
+                        | Some c -> Some c
+                        | None -> Some 0)
+          | None -> Some 0);
+       p.exit_time <- Some now
      | "blocked" ->
+       p.rstate <- Proc.Stopped;
        p.stopped_from <- Proc.Blocked;
        p.retry_after_cont <- true
-     | _ -> p.stopped_from <- Proc.Ready);
+     | _ ->
+       p.rstate <- Proc.Stopped;
+       p.stopped_from <- Proc.Ready);
     if Value.to_bool (Value.field "retry" v) then p.retry_after_cont <- true;
     p
   in
   List.map restore_proc (Value.to_list (fun x -> x) (Value.field "procs" image))
+
+(* --- incremental checkpoint support --- *)
+
+(* Address-space payload a delta must carry: regions modified since the
+   last durably stored snapshot, summed over every member. *)
+let dirty_memory_bytes pod =
+  List.fold_left
+    (fun acc (_, (p : Proc.t)) -> acc + Memory.dirty_bytes p.mem)
+    0 (Pod.members_all pod)
+
+(* Called by the Agent once an epoch's image has been durably stored. *)
+let clear_memory_dirty pod =
+  List.iter (fun (_, (p : Proc.t)) -> Memory.clear_dirty p.mem) (Pod.members_all pod)
 
 let meta_of_image image = Meta.of_value (Value.field "meta" image)
 let sockets_of_image image = Net_ckpt.images_of_value (Value.field "sockets" image)

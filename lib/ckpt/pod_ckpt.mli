@@ -40,6 +40,17 @@ val restore_processes :
     references to the connections the Agent re-established in the earlier
     restart steps.  Also applies the time-virtualization bias. *)
 
+(** {1 Incremental checkpoint support} *)
+
+val dirty_memory_bytes : Pod.t -> int
+(** Modelled address-space bytes modified since the last durably stored
+    snapshot (summed {!Zapc_simos.Memory.dirty_bytes} over every member,
+    zombies included). *)
+
+val clear_memory_dirty : Pod.t -> unit
+(** Clear every member's dirty-region set — call once an epoch's image has
+    been durably stored. *)
+
 (** {1 Image accessors} *)
 
 val meta_of_image : Value.t -> Meta.pod_meta

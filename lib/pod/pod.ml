@@ -162,6 +162,21 @@ let spawn pod ~program ~args =
   Kernel.enqueue pod.kernel proc;
   proc
 
+(* Every member the checkpoint must record, zombies included: an unreaped
+   child's exit status is application state — resurrecting it as runnable
+   after a restart (or dropping it so the parent's wait hangs) corrupts the
+   pod.  Live-only paths (suspend/resume/destroy/accounting) use [members]
+   below. *)
+let members_all pod =
+  Namespace.vpids pod.ns
+  |> List.filter_map (fun vpid ->
+         match Namespace.rpid_of_vpid pod.ns vpid with
+         | None -> None
+         | Some rpid ->
+           (match Kernel.find_proc pod.kernel rpid with
+            | Some p -> Some (vpid, p)
+            | None -> None))
+
 let members pod =
   Namespace.vpids pod.ns
   |> List.filter_map (fun vpid ->

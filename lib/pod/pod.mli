@@ -53,6 +53,11 @@ val spawn : t -> program:string -> args:Zapc_codec.Value.t -> Proc.t
 val members : t -> (int * Proc.t) list
 (** Live member processes, ordered by vpid. *)
 
+val members_all : t -> (int * Proc.t) list
+(** Every member process including zombies, ordered by vpid — what a
+    checkpoint must record (an unreaped exit status is application
+    state). *)
+
 val member_count : t -> int
 
 val suspend : t -> unit

@@ -70,6 +70,14 @@ let set_fs k fs = k.fs <- fs
 let fs k = k.fs
 let gm k = k.gm
 
+(* Pipe ids are node-unique handles; restore paths must draw from the same
+   counter as Syscall.Pipe or a restored pod's pipes could collide with a
+   live (or later-created) pipe on the destination node. *)
+let alloc_pipe_id k =
+  let id = k.next_pipe_id in
+  k.next_pipe_id <- k.next_pipe_id + 1;
+  id
+
 (* --- socket fd reference counting --- *)
 
 let ref_socket k (s : Socket.t) =
@@ -382,9 +390,7 @@ and exec k (p : Proc.t) (sc : Syscall.t) :
           block (fun waiter ->
               target.exit_watchers <- (fun _ -> waiter ()) :: target.exit_watchers)))
   | Syscall.Pipe ->
-    let id = k.next_pipe_id in
-    k.next_pipe_id <- k.next_pipe_id + 1;
-    let pi = Pipe.create ~id in
+    let pi = Pipe.create ~id:(alloc_pipe_id k) in
     let rfd = Fdtable.add p.fds (Fdtable.Fpipe_r pi) in
     let wfd = Fdtable.add p.fds (Fdtable.Fpipe_w pi) in
     ok (Syscall.Rpair (rfd, wfd))

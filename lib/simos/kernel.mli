@@ -60,6 +60,11 @@ val set_fs : t -> Simfs.t -> unit
 val fs : t -> Simfs.t
 val gm : t -> Zapc_simnet.Gmdev.t
 
+val alloc_pipe_id : t -> int
+(** Draw a fresh node-unique pipe id (the counter behind [Syscall.Pipe]);
+    restore paths must use this instead of inventing ids so restored pipes
+    never collide with live ones. *)
+
 (** {1 Socket fd reference counting}
 
     Sockets are shared between fd tables (spawn inherits descriptors); the

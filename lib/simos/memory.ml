@@ -4,21 +4,36 @@
    checkpoint charges these bytes to the pod image (a real checkpointer
    writes the address space — here the *computational* state travels in the
    program's Value encoding, and regions model the footprint of the
-   application at the paper's scale, e.g. BT/NAS's hundreds of MB). *)
+   application at the paper's scale, e.g. BT/NAS's hundreds of MB).
+
+   For incremental checkpointing every region carries a dirty bit: set when
+   the region is created, resized, freed or explicitly touched, cleared when
+   a checkpoint of this process has been durably stored.  [dirty_bytes] is
+   what a delta checkpoint must write for this process — only the regions
+   modified since the last stored snapshot. *)
 
 module Value = Zapc_codec.Value
 
 type t = {
   regions : (string, int) Hashtbl.t;
+  dirty : (string, unit) Hashtbl.t;  (* region names modified since last snapshot *)
+  mutable version : int;  (* bumped on every mutation *)
   mutable total : int;
   mutable peak : int;
 }
 
-let create () = { regions = Hashtbl.create 8; total = 0; peak = 0 }
+let create () =
+  { regions = Hashtbl.create 8; dirty = Hashtbl.create 8; version = 0; total = 0;
+    peak = 0 }
+
+let mark_dirty t name =
+  t.version <- t.version + 1;
+  Hashtbl.replace t.dirty name ()
 
 let alloc t name size =
   let old = match Hashtbl.find_opt t.regions name with Some s -> s | None -> 0 in
   Hashtbl.replace t.regions name size;
+  mark_dirty t name;
   t.total <- t.total - old + size;
   if t.total > t.peak then t.peak <- t.total
 
@@ -27,10 +42,32 @@ let free t name =
   | None -> ()
   | Some s ->
     Hashtbl.remove t.regions name;
+    mark_dirty t name;
     t.total <- t.total - s
+
+let touch t name = if Hashtbl.mem t.regions name then mark_dirty t name
 
 let total t = t.total
 let peak t = t.peak
+let version t = t.version
+
+let clear_dirty t = Hashtbl.reset t.dirty
+
+(* Bytes of the regions still present that were modified since the last
+   [clear_dirty]; a dirtied-then-freed region contributes nothing (there is
+   no page content left to write, the free itself travels in the region
+   descriptors). *)
+let dirty_bytes t =
+  Hashtbl.fold
+    (fun name () acc ->
+      match Hashtbl.find_opt t.regions name with
+      | Some size -> acc + size
+      | None -> acc)
+    t.dirty 0
+
+let dirty_regions t =
+  Hashtbl.fold (fun name () acc -> name :: acc) t.dirty []
+  |> List.sort String.compare
 
 let to_value t =
   let kvs = Hashtbl.fold (fun k v acc -> (k, Value.Int v) :: acc) t.regions [] in

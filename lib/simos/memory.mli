@@ -3,17 +3,42 @@
     Programs declare their working set through the mem_alloc/mem_free system
     calls; checkpoint images charge these bytes as the process's address
     space (see DESIGN.md: computational state itself travels in the
-    program's Value encoding). *)
+    program's Value encoding).
+
+    Every region carries a dirty bit for incremental checkpointing: set on
+    {!alloc}, {!free} and {!touch}, cleared by {!clear_dirty} once a
+    snapshot of the process has been durably stored.  {!dirty_bytes} is the
+    address-space payload a delta checkpoint must write. *)
 
 type t
 
 val create : unit -> t
 
 val alloc : t -> string -> int -> unit
-(** [alloc t name size] creates or resizes the named region. *)
+(** [alloc t name size] creates or resizes the named region (marks it
+    dirty). *)
 
 val free : t -> string -> unit
+
+val touch : t -> string -> unit
+(** Mark an existing region dirty without resizing (a write to its pages);
+    unknown names are ignored. *)
+
 val total : t -> int
 val peak : t -> int
+
+val version : t -> int
+(** Monotonic mutation counter (bumped by alloc/free/touch). *)
+
+val clear_dirty : t -> unit
+(** Forget the dirty set — call once a snapshot has been durably stored. *)
+
+val dirty_bytes : t -> int
+(** Total size of the still-present regions modified since the last
+    {!clear_dirty} (a freed region contributes nothing). *)
+
+val dirty_regions : t -> string list
+(** Names of the dirty regions, sorted. *)
+
 val to_value : t -> Zapc_codec.Value.t
 val of_value : Zapc_codec.Value.t -> t

@@ -28,6 +28,7 @@ module Sock_state = Zapc_netckpt.Sock_state
 module Net_ckpt = Zapc_netckpt.Net_ckpt
 module Pod_ckpt = Zapc_ckpt.Pod_ckpt
 module Image = Zapc_ckpt.Image
+module Delta = Zapc_ckpt.Delta
 
 let src = Logs.Src.create "zapc.agent" ~doc:"ZapC agent"
 
@@ -37,13 +38,24 @@ type ckpt_op = {
   co_pod : Pod.t;
   co_dest : Protocol.uri;
   co_resume : bool;
+  co_incremental : bool;
   co_started : Simtime.t;
   mutable co_continue : bool;
   mutable co_standalone_done : bool;
   mutable co_result : Pod_ckpt.checkpoint_result option;
+  mutable co_delta : Image.t option;  (* the delta actually written, if any *)
   mutable co_net_time : Simtime.t;
   mutable co_finalizing : bool;
   mutable co_aborted : bool;
+}
+
+(* What incremental checkpointing chains against: the key and materialized
+   value of the last image this Agent durably stored for a pod, plus the
+   delta count since the last full image (capped by Params.max_delta_chain). *)
+type delta_cache = {
+  dc_key : string;
+  dc_image : Value.t;  (* full pod image at that instant (deltas diff against it) *)
+  dc_chain : int;
 }
 
 type restore_op = {
@@ -74,6 +86,7 @@ type t = {
   mutable chan : Protocol.channel option;
   pods : (int, Pod.t) Hashtbl.t;
   streamed : (int, Image.t) Hashtbl.t;  (* images received by direct migration *)
+  deltas : (int, delta_cache) Hashtbl.t;  (* pod -> incremental base *)
   ckpts : (int, ckpt_op) Hashtbl.t;
   restores : (int, restore_op) Hashtbl.t;
   rng : Zapc_sim.Rng.t;
@@ -96,6 +109,7 @@ let create ?metrics ~node ~params ~storage ~fabric kernel =
     chan = None;
     pods = Hashtbl.create 4;
     streamed = Hashtbl.create 4;
+    deltas = Hashtbl.create 4;
     ckpts = Hashtbl.create 4;
     restores = Hashtbl.create 4;
     rng = Zapc_sim.Rng.split (Engine.rng (Kernel.engine kernel));
@@ -130,7 +144,10 @@ let span_end_all t ~pod =
   | None -> ()
 
 let register_pod t pod = Hashtbl.replace t.pods pod.Pod.pod_id pod
-let forget_pod t pod_id = Hashtbl.remove t.pods pod_id
+
+let forget_pod t pod_id =
+  Hashtbl.remove t.pods pod_id;
+  Hashtbl.remove t.deltas pod_id
 let find_pod t pod_id = Hashtbl.find_opt t.pods pod_id
 
 let send_to_manager t msg =
@@ -202,7 +219,7 @@ let abort_all t =
 (* Checkpoint (Figure 1, Agent side)                                   *)
 (* ------------------------------------------------------------------ *)
 
-let rec start_checkpoint t ~pod_id ~dest ~resume =
+let rec start_checkpoint ?(incremental = false) t ~pod_id ~dest ~resume =
   match find_pod t pod_id with
   | None -> report_failure t pod_id "no such pod"
   | Some pod when Pod.member_count pod = 0 ->
@@ -212,8 +229,10 @@ let rec start_checkpoint t ~pod_id ~dest ~resume =
     report_failure t pod_id "pod has no live processes"
   | Some pod ->
     let op =
-      { co_pod = pod; co_dest = dest; co_resume = resume; co_started = Engine.now t.engine;
+      { co_pod = pod; co_dest = dest; co_resume = resume; co_incremental = incremental;
+        co_started = Engine.now t.engine;
         co_continue = false; co_standalone_done = false; co_result = None;
+        co_delta = None;
         co_net_time = Simtime.zero; co_finalizing = false; co_aborted = false }
     in
     Hashtbl.replace t.ckpts pod_id op;
@@ -283,17 +302,45 @@ and wait_continue_then t op fn =
   if op.co_continue then fn ()
   else after t (Simtime.us 50) (fun () -> if not op.co_aborted then wait_continue_then t op fn)
 
+(* A delta is only worth (and only safe) writing when chaining to storage
+   and the base this Agent remembers for the pod is still resident there;
+   the chain cap is what periodically forces a fresh full image. *)
+and choose_delta t op (res : Pod_ckpt.checkpoint_result) =
+  if not op.co_incremental then None
+  else
+    match op.co_dest with
+    | Protocol.U_node _ -> None  (* migration streams a full image *)
+    | Protocol.U_storage _ ->
+      (match Hashtbl.find_opt t.deltas op.co_pod.pod_id with
+       | Some c when c.dc_chain < t.params.max_delta_chain
+                     && Storage.mem t.storage c.dc_key ->
+         let dirty_bytes = Pod_ckpt.dirty_memory_bytes op.co_pod in
+         let dv =
+           Delta.make ~base_key:c.dc_key ~base:c.dc_image ~full:res.image
+             ~dirty_bytes
+         in
+         Some (Image.of_pod_image dv)
+       | Some _ | None -> None)
+
 (* step 3: standalone pod checkpoint, overlapped with the Manager sync *)
 and ckpt_standalone t op net =
   span_begin t ~pod:op.co_pod.pod_id "standalone";
   let mode = if t.params.peek_mode then Sock_state.Peek else Sock_state.Read_inject in
   let res = Pod_ckpt.checkpoint ~mode ~net op.co_pod in
+  op.co_delta <- choose_delta t op res;
+  (* the copy cost scales with what will actually be written: only the
+     dirty regions and changed processes of a delta *)
+  let write_bytes =
+    match op.co_delta with
+    | Some d -> d.Image.logical_size
+    | None -> Pod_ckpt.logical_size res
+  in
   let cost =
     jittered t
       (Simtime.add t.params.ckpt_fixed
          (Simtime.add
             (Params.scale t.params.per_proc_ckpt res.proc_count)
-            (Params.copy_time ~bps:t.params.mem_bw (Pod_ckpt.logical_size res))))
+            (Params.copy_time ~bps:t.params.mem_bw write_bytes)))
   in
   after t cost (fun () ->
       if not op.co_aborted then begin
@@ -339,7 +386,11 @@ and finalize_ckpt t op =
     let res = Option.get op.co_result in
     Netfilter.unblock (nf t) pod.rip;
     span_end t ~pod:pod.pod_id "paused";
-    let image = Image.of_pod_image res.image in
+    let image =
+      match op.co_delta with
+      | Some d -> d
+      | None -> Image.of_pod_image res.image
+    in
     let stored =
       match op.co_dest with
       | Protocol.U_storage key -> Storage.put t.storage key image
@@ -359,6 +410,21 @@ and finalize_ckpt t op =
       Hashtbl.remove t.ckpts pod.pod_id;
       report_failure t pod.pod_id (Printf.sprintf "storage write failed: %s" reason)
     | Ok () ->
+    (* remember the durably stored image as the base for the next delta,
+       and reset dirty tracking — everything written so far is now safe *)
+    (match op.co_dest with
+     | Protocol.U_storage key when op.co_resume ->
+       let chain =
+         match op.co_delta, Hashtbl.find_opt t.deltas pod.pod_id with
+         | Some _, Some c -> c.dc_chain + 1
+         | _ -> 0
+       in
+       Hashtbl.replace t.deltas pod.pod_id
+         { dc_key = key; dc_image = res.image; dc_chain = chain };
+       Pod_ckpt.clear_memory_dirty pod;
+       Metrics.incr t.metrics
+         (if op.co_delta <> None then "agent.delta_ckpts" else "agent.full_ckpts")
+     | Protocol.U_storage _ | Protocol.U_node _ -> ());
     (if op.co_resume then begin
        Pod.resume pod;
        trace t ~pod:pod.pod_id "resumed"
@@ -376,6 +442,10 @@ and finalize_ckpt t op =
         st_local_time = Simtime.sub (Engine.now t.engine) op.co_started;
         st_conn_time = Simtime.zero;
         st_image_bytes = image.Image.logical_size;
+        st_full_bytes =
+          (match op.co_delta with
+           | Some _ -> Pod_ckpt.logical_size res  (* what a full would have cost *)
+           | None -> 0);
         st_net_bytes = res.net_result.image_bytes;
         st_sockets = res.net_result.socket_count;
         st_procs = res.proc_count;
@@ -772,6 +842,7 @@ and restore_standalone t op =
             st_local_time = Simtime.sub (Engine.now t.engine) op.ro_started;
             st_conn_time = Simtime.sub op.ro_conn_done op.ro_conn_started;
             st_image_bytes = image_bytes;
+            st_full_bytes = 0;
             st_net_bytes = 0;
             st_sockets = Array.length op.ro_sock_imgs;
             st_procs = List.length procs;
@@ -788,8 +859,8 @@ and restore_standalone t op =
 
 let handle_command t (msg : Protocol.to_agent) =
   match msg with
-  | Protocol.A_checkpoint { pod_id; dest; resume } ->
-    start_checkpoint t ~pod_id ~dest ~resume
+  | Protocol.A_checkpoint { pod_id; dest; resume; incremental } ->
+    start_checkpoint ~incremental t ~pod_id ~dest ~resume
   | Protocol.A_continue { pod_id } ->
     (match Hashtbl.find_opt t.ckpts pod_id with
      | Some op ->

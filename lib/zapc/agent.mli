@@ -42,7 +42,12 @@ val find_pod : t -> int -> Pod.t option
 
 val handle_command : t -> Protocol.to_agent -> unit
 
-val start_checkpoint : t -> pod_id:int -> dest:Protocol.uri -> resume:bool -> unit
+val start_checkpoint :
+  ?incremental:bool -> t -> pod_id:int -> dest:Protocol.uri -> resume:bool -> unit
+(** [incremental] (default false) writes a delta against the last image this
+    Agent durably stored for the pod, when one is still resident in storage
+    and the chain is shorter than [Params.max_delta_chain]; otherwise (and
+    always on the migration path) a full image is written. *)
 
 val start_restart :
   t ->

@@ -187,9 +187,10 @@ let procs_exited procs = List.for_all (fun (p : Proc.t) -> p.exit_code <> None) 
 
 (* --- synchronous wrappers over the Manager's callback API --- *)
 
-let checkpoint_sync t ~items ~resume =
+let checkpoint_sync ?(incremental = false) t ~items ~resume =
   let result = ref None in
-  Manager.checkpoint t.manager ~items ~resume ~on_done:(fun r -> result := Some r);
+  Manager.checkpoint ~incremental t.manager ~items ~resume
+    ~on_done:(fun r -> result := Some r);
   run_until t (fun () -> !result <> None);
   Option.get !result
 
@@ -201,7 +202,7 @@ let restart_sync t ~items =
 
 (* Take a snapshot of an application: checkpoint all its pods to storage and
    let them keep running. *)
-let snapshot t ~(pods : Pod.t list) ~key_prefix =
+let snapshot ?(incremental = false) t ~(pods : Pod.t list) ~key_prefix =
   let items =
     List.map
       (fun (p : Pod.t) ->
@@ -212,7 +213,7 @@ let snapshot t ~(pods : Pod.t list) ~key_prefix =
           ci_dest = Protocol.U_storage (Printf.sprintf "%s.pod%d" key_prefix p.pod_id) })
       pods
   in
-  checkpoint_sync t ~items ~resume:true
+  checkpoint_sync ~incremental t ~items ~resume:true
 
 (* Restart an application from storage onto the given nodes (same or
    different from the originals). *)

@@ -85,13 +85,18 @@ val procs_exited : Proc.t list -> bool
 (** {1 Synchronous wrappers over the Manager} *)
 
 val checkpoint_sync :
+  ?incremental:bool ->
   t -> items:Manager.ckpt_item list -> resume:bool -> Manager.op_result
 
 val restart_sync : t -> items:Manager.restart_item list -> Manager.op_result
 
-val snapshot : t -> pods:Pod.t list -> key_prefix:string -> Manager.op_result
+val snapshot :
+  ?incremental:bool ->
+  t -> pods:Pod.t list -> key_prefix:string -> Manager.op_result
 (** Checkpoint all pods of an application to storage keys
-    ["<prefix>.pod<id>"] and let them keep running. *)
+    ["<prefix>.pod<id>"] and let them keep running.  [incremental] asks the
+    Agents for delta images against their last stored snapshots (see
+    {!Manager.checkpoint}). *)
 
 val restart_app :
   t -> pod_ids:int list -> target_nodes:int list -> key_prefix:string -> Manager.op_result

@@ -134,7 +134,17 @@ let finish t result =
             (float_of_int st.Protocol.st_image_bytes);
           Metrics.observe t.metrics ~buckets:Metrics.default_bytes_buckets
             "netckpt.bytes"
-            (float_of_int st.Protocol.st_net_bytes))
+            (float_of_int st.Protocol.st_net_bytes);
+          (* delta writes: st_full_bytes carries the size a full checkpoint
+             would have written at the same instant *)
+          if st.Protocol.st_full_bytes > 0 then begin
+            Metrics.observe t.metrics ~buckets:Metrics.default_bytes_buckets
+              "ckpt.delta_bytes"
+              (float_of_int st.Protocol.st_image_bytes);
+            Metrics.observe t.metrics "ckpt.delta_ratio"
+              (float_of_int st.Protocol.st_image_bytes
+              /. float_of_int st.Protocol.st_full_bytes)
+          end)
         result.r_stats;
     span_end t "mgr_sync";
     span_end t opname;
@@ -220,7 +230,14 @@ let on_agent_message t (msg : Protocol.to_manager) =
          arm_phase_timeout t p Protocol.Ph_done
        end
      | Protocol.M_done { pod_id; ok; detail; stats; _ } ->
-       if not ok then begin
+       if not (List.mem pod_id p.p_wait_done) then begin
+         (* a duplicate or stale done-report (late abort fallout from an
+            earlier generation, or a re-delivered message) must not touch —
+            let alone abort — an operation that is not waiting on it *)
+         Metrics.incr t.metrics "mgr.stale_done";
+         trace t (Printf.sprintf "stale_done:pod%d" pod_id)
+       end
+       else if not ok then begin
          let node =
            match List.assoc_opt pod_id p.p_items with Some n -> n | None -> -1
          in
@@ -267,8 +284,8 @@ let ping t ~node ~seq =
 
 (* --- checkpoint --- *)
 
-let checkpoint t ~(items : ckpt_item list) ~(resume : bool) ~(on_done : op_result -> unit)
-  =
+let checkpoint ?(incremental = false) t ~(items : ckpt_item list) ~(resume : bool)
+    ~(on_done : op_result -> unit) =
   if t.current <> None then invalid_arg "Manager: operation already in progress";
   t.gen <- t.gen + 1;
   let p =
@@ -292,7 +309,9 @@ let checkpoint t ~(items : ckpt_item list) ~(resume : bool) ~(on_done : op_resul
   trace t "ckpt_broadcast";
   List.iter
     (fun i ->
-      send t i.ci_node (Protocol.A_checkpoint { pod_id = i.ci_pod; dest = i.ci_dest; resume }))
+      send t i.ci_node
+        (Protocol.A_checkpoint
+           { pod_id = i.ci_pod; dest = i.ci_dest; resume; incremental }))
     items;
   arm_phase_timeout t p Protocol.Ph_meta
 

@@ -66,10 +66,14 @@ val remember_pod : t -> pod_id:int -> name:string -> vip:Addr.ip -> Meta.pod_met
     Manager never sees. *)
 
 val checkpoint :
+  ?incremental:bool ->
   t -> items:ckpt_item list -> resume:bool -> on_done:(op_result -> unit) -> unit
 (** [resume = true] takes a snapshot (pods continue afterwards);
     [resume = false] is the migration path (pods are destroyed and their
     images shipped to the URI destinations).
+    [incremental] (default false) lets each Agent write a delta against its
+    last stored image for the pod; Agents fall back to a full image when no
+    usable base exists or [Params.max_delta_chain] is reached.
     @raise Invalid_argument if an operation is already in progress. *)
 
 val restart : t -> items:restart_item list -> on_done:(op_result -> unit) -> unit

@@ -46,6 +46,10 @@ type t = {
   recover_backoff_max : Simtime.t;  (* cap on the exponential backoff *)
   recover_retries : int;  (* recovery attempts before giving up *)
   storage_replicas : int;  (* independent copies of every stored image *)
+  max_delta_chain : int;
+  (* incremental checkpointing: how many consecutive delta images may chain
+     off one full image before the Agent forces a full checkpoint again
+     (bounds restart materialization work and lets old epochs be pruned) *)
   (* design switches (ablations) *)
   redirect_sendq : bool;  (* merge send queues into the peer's ckpt stream *)
   serial_ckpt : bool;  (* barrier before the standalone checkpoint (OFF in ZapC) *)
@@ -80,6 +84,7 @@ let default =
     recover_backoff_max = Simtime.sec 2.0;
     recover_retries = 5;
     storage_replicas = 2;
+    max_delta_chain = 4;
     redirect_sendq = false;
     serial_ckpt = false;
     peek_mode = false;

@@ -21,6 +21,8 @@ type t = {
   prefix : string;
   period : Simtime.t;
   keep : int;
+  incremental : bool;  (* write delta epochs; the Agents' chain cap forces
+                          a periodic full automatically *)
   mutable epoch : int;
   mutable last_good : int;
   mutable completed : int;
@@ -105,7 +107,8 @@ let rec tick t =
           | Ok items ->
             t.epoch <- t.epoch + 1;
             let epoch = t.epoch in
-            Manager.checkpoint (Cluster.manager t.cluster) ~items ~resume:true
+            Manager.checkpoint ~incremental:t.incremental
+              (Cluster.manager t.cluster) ~items ~resume:true
               ~on_done:(fun r ->
                 if r.Manager.r_ok then begin
                   Metrics.incr (Cluster.metrics t.cluster)
@@ -125,9 +128,10 @@ let rec tick t =
             tick t
       end)
 
-let start cluster ~pods ~prefix ~period ?(keep = 2) () =
+let start ?(incremental = false) cluster ~pods ~prefix ~period ?(keep = 2) () =
   let t =
-    { cluster; pods; prefix; period; keep; epoch = 0; last_good = 0; completed = 0;
+    { cluster; pods; prefix; period; keep; incremental;
+      epoch = 0; last_good = 0; completed = 0;
       skipped = 0; last_skip_reason = None; stopped = false;
       on_epoch = (fun _ _ -> ()) }
   in

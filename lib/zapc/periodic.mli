@@ -15,6 +15,7 @@ module Pod = Zapc_pod.Pod
 type t
 
 val start :
+  ?incremental:bool ->
   Cluster.t ->
   pods:Pod.t list ->
   prefix:string ->
@@ -22,7 +23,12 @@ val start :
   ?keep:int ->
   unit ->
   t
-(** Begin ticking; stops by itself once no pod of the group is alive. *)
+(** Begin ticking; stops by itself once no pod of the group is alive.
+    [incremental] (default false) asks for delta epochs: each Agent writes
+    only the changes since its last stored image for the pod, and its chain
+    cap ([Params.max_delta_chain]) — plus any base loss — forces a fresh
+    full image automatically.  Recovery is unchanged: {!Storage.get}
+    materializes chains transparently. *)
 
 val stop : t -> unit
 val stopped : t -> bool

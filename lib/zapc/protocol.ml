@@ -52,7 +52,11 @@ type agent_stats = {
   st_net_time : Simtime.t;  (* network-state save/restore time *)
   st_local_time : Simtime.t;  (* total local operation time *)
   st_conn_time : Simtime.t;  (* restart: connectivity recovery time *)
-  st_image_bytes : int;  (* logical image size *)
+  st_image_bytes : int;  (* logical size of what was written *)
+  st_full_bytes : int;
+  (* when the write was a delta: the logical size a full checkpoint would
+     have written (st_image_bytes / st_full_bytes is the delta ratio);
+     0 when the write was a full image *)
   st_net_bytes : int;  (* network-state bytes (queues + meta) *)
   st_sockets : int;
   st_procs : int;
@@ -60,12 +64,12 @@ type agent_stats = {
 
 let zero_stats =
   { st_net_time = 0; st_local_time = 0; st_conn_time = 0; st_image_bytes = 0;
-    st_net_bytes = 0; st_sockets = 0; st_procs = 0 }
+    st_full_bytes = 0; st_net_bytes = 0; st_sockets = 0; st_procs = 0 }
 
 (* --- messages --- *)
 
 type to_agent =
-  | A_checkpoint of { pod_id : int; dest : uri; resume : bool }
+  | A_checkpoint of { pod_id : int; dest : uri; resume : bool; incremental : bool }
   | A_continue of { pod_id : int }
   | A_abort of { pod_id : int }
   | A_restart of {
@@ -126,6 +130,7 @@ let stats_to_value st =
       ("local_time", Value.int st.st_local_time);
       ("conn_time", Value.int st.st_conn_time);
       ("image_bytes", Value.int st.st_image_bytes);
+      ("full_bytes", Value.int st.st_full_bytes);
       ("net_bytes", Value.int st.st_net_bytes);
       ("sockets", Value.int st.st_sockets);
       ("procs", Value.int st.st_procs) ]
@@ -134,14 +139,15 @@ let stats_of_value v =
   let i k = Value.to_int (Value.field k v) in
   { st_net_time = i "net_time"; st_local_time = i "local_time";
     st_conn_time = i "conn_time"; st_image_bytes = i "image_bytes";
-    st_net_bytes = i "net_bytes"; st_sockets = i "sockets"; st_procs = i "procs" }
+    st_full_bytes = i "full_bytes"; st_net_bytes = i "net_bytes";
+    st_sockets = i "sockets"; st_procs = i "procs" }
 
 let to_agent_to_value = function
-  | A_checkpoint { pod_id; dest; resume } ->
+  | A_checkpoint { pod_id; dest; resume; incremental } ->
     Value.tag "checkpoint"
       (Value.assoc
          [ ("pod", Value.int pod_id); ("dest", uri_to_value dest);
-           ("resume", Value.bool resume) ])
+           ("resume", Value.bool resume); ("incremental", Value.bool incremental) ])
   | A_continue { pod_id } -> Value.tag "continue" (Value.int pod_id)
   | A_abort { pod_id } -> Value.tag "abort" (Value.int pod_id)
   | A_restart { pod_id; name; vip; rip; uri; entries; vip_map; extra_altq; skip_sendq } ->
@@ -162,7 +168,8 @@ let to_agent_of_value v =
     A_checkpoint
       { pod_id = Value.to_int (Value.field "pod" b);
         dest = uri_of_value (Value.field "dest" b);
-        resume = Value.to_bool (Value.field "resume" b) }
+        resume = Value.to_bool (Value.field "resume" b);
+        incremental = Value.to_bool (Value.field "incremental" b) }
   | "continue", b -> A_continue { pod_id = Value.to_int b }
   | "abort", b -> A_abort { pod_id = Value.to_int b }
   | "restart", b ->

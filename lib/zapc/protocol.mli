@@ -41,7 +41,10 @@ type agent_stats = {
   st_net_time : Simtime.t;  (** network-state save/restore time *)
   st_local_time : Simtime.t;  (** total local operation time *)
   st_conn_time : Simtime.t;  (** restart: connectivity recovery time *)
-  st_image_bytes : int;  (** logical image size *)
+  st_image_bytes : int;  (** logical size of what was written *)
+  st_full_bytes : int;
+      (** when the write was a delta: the logical size a full checkpoint
+          would have written at the same instant; 0 for a full image *)
   st_net_bytes : int;  (** encoded network-state section size *)
   st_sockets : int;
   st_procs : int;
@@ -50,7 +53,15 @@ type agent_stats = {
 val zero_stats : agent_stats
 
 type to_agent =
-  | A_checkpoint of { pod_id : int; dest : uri; resume : bool }
+  | A_checkpoint of {
+      pod_id : int;
+      dest : uri;
+      resume : bool;
+      incremental : bool;
+          (** the Agent may write a delta against its last stored image for
+              this pod (it falls back to a full image when no usable base
+              exists or the chain cap is reached) *)
+    }
   | A_continue of { pod_id : int }  (** the single synchronization point *)
   | A_abort of { pod_id : int }
   | A_restart of {

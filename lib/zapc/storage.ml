@@ -18,6 +18,7 @@ module Simtime = Zapc_sim.Simtime
 module Engine = Zapc_sim.Engine
 module Metrics = Zapc_obs.Metrics
 module Image = Zapc_ckpt.Image
+module Delta = Zapc_ckpt.Delta
 
 type replica = {
   images : (string, Image.t * int) Hashtbl.t;  (* key -> image, checksum *)
@@ -30,6 +31,11 @@ type t = {
   latency : Simtime.t;
   replicas : replica array;
   metrics : Metrics.t;
+  (* delta-chain bookkeeping (shared by all replicas: chain structure is a
+     property of the keys, not of the copies) *)
+  bases : (string, string) Hashtbl.t;  (* delta key -> its base key *)
+  pins : (string, int) Hashtbl.t;  (* key -> # of live deltas based on it *)
+  condemned : (string, unit) Hashtbl.t;  (* removed while still pinned *)
   mutable bytes_written : int;
   mutable fail_writes : string option;  (* injected outage: writes fail with this reason *)
   mutable write_failures : int;
@@ -42,6 +48,7 @@ let create ?metrics ?(bps = 180e6) ?(latency = Simtime.us 500) ?(replicas = 2) e
   { engine; bps; latency;
     replicas = Array.init replicas (fun _ -> { images = Hashtbl.create 16; fail = None });
     metrics;
+    bases = Hashtbl.create 16; pins = Hashtbl.create 16; condemned = Hashtbl.create 8;
     bytes_written = 0; fail_writes = None; write_failures = 0; corruption_detected = 0 }
 
 let replica_count t = Array.length t.replicas
@@ -58,6 +65,56 @@ let set_replica_fail t ~replica reason =
     t.replicas.(replica).fail <- reason
 
 let heal_replicas t = Array.iter (fun r -> r.fail <- None) t.replicas
+
+(* --- delta-chain bookkeeping -------------------------------------------
+
+   A delta image references its base by storage key; the base must outlive
+   every delta chained on it or restarts stop being able to materialize the
+   chain.  [remove] therefore only *condemns* a pinned key (it disappears
+   from the public namespace but its bytes stay); the physical delete
+   cascades once the last delta referencing it is itself deleted. *)
+
+let pin_count t key = match Hashtbl.find_opt t.pins key with Some n -> n | None -> 0
+
+let pin t key = Hashtbl.replace t.pins key (pin_count t key + 1)
+
+let rec unpin t key =
+  match Hashtbl.find_opt t.pins key with
+  | None -> ()
+  | Some 1 ->
+    Hashtbl.remove t.pins key;
+    if Hashtbl.mem t.condemned key then really_remove t key
+  | Some n -> Hashtbl.replace t.pins key (n - 1)
+
+and really_remove t key =
+  Hashtbl.remove t.condemned key;
+  Array.iter (fun r -> Hashtbl.remove r.images key) t.replicas;
+  match Hashtbl.find_opt t.bases key with
+  | Some base ->
+    Hashtbl.remove t.bases key;
+    unpin t base
+  | None -> ()
+
+let remove t key =
+  if pin_count t key > 0 then begin
+    (* a live delta still needs this image: hide it, defer the delete *)
+    Hashtbl.replace t.condemned key ();
+    Metrics.incr t.metrics "storage.gc_deferred"
+  end
+  else really_remove t key
+
+(* Record (or clear) the chain link for a key being overwritten/created. *)
+let record_link t key (image : Image.t) =
+  (match Hashtbl.find_opt t.bases key with
+   | Some old_base ->
+     Hashtbl.remove t.bases key;
+     unpin t old_base
+   | None -> ());
+  match image.Image.base_key with
+  | Some base ->
+    Hashtbl.replace t.bases key base;
+    pin t base
+  | None -> ()
 
 let put t key image =
   match t.fail_writes with
@@ -81,6 +138,8 @@ let put t key image =
       Error "all replicas unavailable"
     end
     else begin
+      record_link t key image;
+      Hashtbl.remove t.condemned key;  (* a rewritten key is public again *)
       t.bytes_written <- t.bytes_written + (!stored * image.Image.logical_size);
       Metrics.incr t.metrics "storage.puts";
       Metrics.add t.metrics "storage.bytes_written"
@@ -91,16 +150,13 @@ let put t key image =
       Ok ()
     end
 
-(* Walk replicas in order; a copy under outage or failing its checksum is
-   skipped (the latter counted in [corruption_detected]). *)
-let get t key =
-  Metrics.incr t.metrics "storage.gets";
+(* One stored link, exactly as written.  Walk replicas in order; a copy
+   under outage or failing its checksum is skipped (the latter counted in
+   [corruption_detected]). *)
+let raw_get t key =
   let n = Array.length t.replicas in
   let rec go i =
-    if i >= n then begin
-      Metrics.incr t.metrics "storage.get_misses";
-      None
-    end
+    if i >= n then None
     else
       let r = t.replicas.(i) in
       if r.fail <> None then go (i + 1)
@@ -122,9 +178,51 @@ let get t key =
   in
   go 0
 
+(* Safety valve against reference cycles among hand-written keys; real
+   chains are bounded by Params.max_delta_chain, far below this. *)
+let max_resolve_depth = 64
+
+(* Materialize a key: fetch the chain link (checksum-verified, with replica
+   fallback), recurse to its base, apply the delta.  Callers always see a
+   full image, byte-identical to the full checkpoint taken at the same
+   instant. *)
+let get t key =
+  Metrics.incr t.metrics "storage.gets";
+  let miss () =
+    Metrics.incr t.metrics "storage.get_misses";
+    None
+  in
+  if Hashtbl.mem t.condemned key then miss ()
+  else
+    let rec resolve key depth =
+      if depth > max_resolve_depth then None
+      else
+        match raw_get t key with
+        | None -> None
+        | Some image ->
+          (match image.Image.base_key with
+           | None -> Some image
+           | Some base_key ->
+             (match resolve base_key (depth + 1) with
+              | None -> None
+              | Some base ->
+                (match
+                   Delta.apply ~base:(Image.to_pod_image base)
+                     (Image.to_pod_image image)
+                 with
+                 | full ->
+                   Metrics.incr t.metrics "storage.delta_resolved";
+                   Some (Image.of_pod_image full)
+                 | exception _ ->
+                   Metrics.incr t.metrics "storage.chain_broken";
+                   None)))
+    in
+    match resolve key 0 with None -> miss () | Some image -> Some image
+
 let mem t key = get t key <> None
 
-let remove t key = Array.iter (fun r -> Hashtbl.remove r.images key) t.replicas
+let base_key t key =
+  match raw_get t key with None -> None | Some image -> image.Image.base_key
 
 (* Corruption injection: mutate the stored bytes of one replica's copy while
    keeping the stale checksum, so the damage is only visible to a verifying
@@ -146,9 +244,11 @@ let corrupt t ~replica key =
         true
       end
 
-(* Model the asynchronous flush of an already-stored image to disk. *)
+(* Model the asynchronous flush of an already-stored image to disk: what
+   travels is the stored link (a delta flushes its delta bytes, not the
+   materialized size). *)
 let flush_time t key =
-  match get t key with
+  match raw_get t key with
   | None -> Simtime.zero
   | Some image ->
     Simtime.add t.latency
@@ -161,4 +261,7 @@ let keys t =
   Array.iter
     (fun r -> Hashtbl.iter (fun k _ -> Hashtbl.replace tbl k ()) r.images)
     t.replicas;
-  Hashtbl.fold (fun k () acc -> k :: acc) tbl [] |> List.sort String.compare
+  Hashtbl.fold
+    (fun k () acc -> if Hashtbl.mem t.condemned k then acc else k :: acc)
+    tbl []
+  |> List.sort String.compare

@@ -10,7 +10,15 @@
     guarded by the content checksum computed at {!put}.  {!get} walks the
     replicas in order, skipping copies under an injected outage or whose
     bytes fail their checksum, so a damaged primary falls back to a healthy
-    replica. *)
+    replica.
+
+    Delta (incremental) images are first-class: a stored image whose
+    [base_key] is set chains back to its base, {!get} materializes the
+    whole chain (each link checksum-verified with replica fallback) into a
+    full image, and {!remove} defers the physical delete of a base that
+    live deltas still reference (the key disappears from the public
+    namespace immediately; the bytes go once the last referencing delta is
+    deleted). *)
 
 module Simtime = Zapc_sim.Simtime
 module Engine = Zapc_sim.Engine
@@ -24,7 +32,10 @@ val create :
 (** [replicas] (default 2, clamped to at least 1) independent copies are
     kept for every image.  [metrics] receives the [storage.*] instruments —
     puts, put_bytes, bytes_written, gets, get_misses, write_failures,
-    corruption_detected, replica_fallbacks (a read served past replica 0). *)
+    corruption_detected, replica_fallbacks (a read served past replica 0),
+    delta_resolved (chain links applied by {!get}), chain_broken (a delta
+    whose base could not be materialized), gc_deferred ({!remove} of a key
+    still pinned by live deltas). *)
 
 val replica_count : t -> int
 
@@ -36,7 +47,16 @@ val put : t -> string -> Image.t -> (unit, string) result
 
 val get : t -> string -> Image.t option
 (** First healthy, checksum-verified copy across the replicas (in order);
-    [None] if every replica is unavailable, missing the key, or corrupt. *)
+    [None] if every replica is unavailable, missing the key, or corrupt.
+    A delta image is materialized transparently: every link of its chain is
+    fetched (checksum-verified, replica fallback per link) and applied, and
+    the result is the full image — byte-identical to the full checkpoint
+    taken at the same instant.  [None] if any link is unreadable. *)
+
+val base_key : t -> string -> string option
+(** The stored chain link's base reference, without materializing: [Some k]
+    iff the key holds a delta based on [k] (tests and tooling use this to
+    inspect chain structure). *)
 
 val set_fail_writes : t -> string option -> unit
 (** Failure injection: while [Some reason], every {!put} fails with that
@@ -65,7 +85,9 @@ val mem : t -> string -> bool
 (** True iff {!get} would succeed (some healthy, verified copy exists). *)
 
 val remove : t -> string -> unit
-(** Drop the key from every replica. *)
+(** Drop the key from every replica.  If live deltas still chain to it the
+    key only vanishes from the public namespace ({!get}/{!mem}/{!keys});
+    the bytes are reclaimed once the last referencing delta is removed. *)
 
 val flush_time : t -> string -> Simtime.t
 (** Virtual time to flush the named image to disk at the SAN bandwidth. *)

@@ -364,7 +364,7 @@ let avail_params =
 
 (* Start an app plus periodic checkpoints plus the supervisor, and run
    until [n] epochs have completed. *)
-let start_supervised ?(seed = 42) ?(epochs = 2) () =
+let start_supervised ?(seed = 42) ?(epochs = 2) ?(incremental = false) () =
   let cluster = make_cluster ~params:avail_params ~seed () in
   let fs = Faultsim.create cluster in
   let app =
@@ -373,7 +373,7 @@ let start_supervised ?(seed = 42) ?(epochs = 2) () =
   in
   Cluster.run cluster ~until:(Simtime.ms 5) ();
   let svc =
-    Periodic.start cluster ~pods:app.Launch.pods ~prefix:"avail"
+    Periodic.start ~incremental cluster ~pods:app.Launch.pods ~prefix:"avail"
       ~period:(Simtime.ms 50) ~keep:2 ()
   in
   let sup = Supervisor.start ~trace:(Faultsim.trace fs) cluster svc in
@@ -522,6 +522,50 @@ let test_replica_fallback_counters () =
     (Metrics.counter metrics "storage.get_misses" = 1
      && Metrics.counter metrics "storage.replica_fallbacks" = 1)
 
+(* Satellite: replica outage mid-delta-chain.  Incremental epochs chain
+   images across epochs (and prune condemns chained bases, exercising the
+   deferred-GC path); the whole primary replica then goes dark and a node
+   crashes.  The automatic recovery must fetch EVERY link of the last-good
+   chain from the surviving replica to materialize the restart image. *)
+let test_replica_outage_mid_delta_chain () =
+  let cluster, fs, app, svc, sup = start_supervised ~epochs:3 ~incremental:true () in
+  ignore app;
+  let storage = Cluster.storage cluster in
+  check tbool "store is replicated" true (Storage.replica_count storage >= 2);
+  (* Run on until the LAST GOOD epoch is itself a delta: every
+     (max_delta_chain + 1)-th epoch is a forced full, so the harness can
+     stop on a chain head that has no base.  A delta epoch is never more
+     than one period away. *)
+  let good_is_delta () =
+    let good = Periodic.last_good svc in
+    good >= 2
+    && List.exists
+         (fun pod_id ->
+           Storage.base_key storage (Printf.sprintf "avail.e%d.pod%d" good pod_id)
+           <> None)
+         (Periodic.pod_ids svc)
+  in
+  Cluster.run_until cluster ~timeout:(Simtime.sec 30.0) (fun () ->
+      good_is_delta () && not (Manager.busy (Cluster.manager cluster)));
+  check tbool "last good epoch is part of a delta chain" true (good_is_delta ());
+  Storage.set_replica_fail storage ~replica:0 (Some "controller dark");
+  Faultsim.install fs { fault = Crash_node { node = 1 }; trigger = Now };
+  Cluster.run_until cluster ~timeout:(Simtime.sec 60.0) (fun () ->
+      Supervisor.recoveries sup >= 1 || Supervisor.gave_up sup);
+  check tbool "recovered across the outage" true (Supervisor.recoveries sup = 1);
+  let reg = Cluster.metrics cluster in
+  check tbool "chain links were resolved" true
+    (Zapc_obs.Metrics.counter reg "storage.delta_resolved" > 0);
+  check tbool "reads fell back past the dark replica" true
+    (Zapc_obs.Metrics.counter reg "storage.replica_fallbacks" > 0);
+  Storage.heal_replicas storage;
+  Cluster.run_until cluster ~timeout:(Simtime.sec 2400.0) (fun () ->
+      has_log "bt_nas: checksum");
+  Supervisor.stop sup;
+  Periodic.stop svc;
+  Cluster.run cluster ~until:(Simtime.add (Cluster.now cluster) (Simtime.ms 200)) ();
+  assert_clean "replica-outage-chain" cluster fs
+
 (* Satellite: a failed epoch's partially written pod images are
    garbage-collected — storage holds exactly the completed epochs' keys. *)
 let test_failed_epoch_gc () =
@@ -610,6 +654,8 @@ let () =
             test_corrupt_primary_recovers_from_replica;
           Alcotest.test_case "replica fallback counters" `Quick
             test_replica_fallback_counters;
+          Alcotest.test_case "replica outage mid delta chain" `Quick
+            test_replica_outage_mid_delta_chain;
           Alcotest.test_case "failed epoch GC'd from storage" `Quick
             test_failed_epoch_gc ] );
       ( "random",

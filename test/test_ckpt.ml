@@ -24,6 +24,9 @@ module Sock_state = Zapc_netckpt.Sock_state
 module Net_ckpt = Zapc_netckpt.Net_ckpt
 module Pod_ckpt = Zapc_ckpt.Pod_ckpt
 module Image = Zapc_ckpt.Image
+module Delta = Zapc_ckpt.Delta
+module Memory = Zapc_simos.Memory
+module Storage = Zapc.Storage
 
 let check = Alcotest.check
 let tbool = Alcotest.bool
@@ -283,7 +286,58 @@ module Memhog = struct
   let of_value = Value.to_int
 end
 
+(* Exits almost immediately: left unreaped it sits in the pod as a zombie,
+   which a checkpoint must record and a restore must re-create as one. *)
+module Exiter = struct
+  type state = int
+
+  let name = "ckpttest.exiter"
+  let start _ = 0
+
+  let step phase (_ : Syscall.outcome) =
+    match phase with
+    | 0 -> (1, Zapc_simos.Program.Compute 1_000)
+    | _ -> (1, Zapc_simos.Program.Exit 7)
+
+  let to_value p = Value.Int p
+  let of_value = Value.to_int
+end
+
+(* Creates a pipe, writes into it, then sleeps holding both ends. *)
+module Piper = struct
+  type state = { mutable ph : int; mutable rfd : int; mutable wfd : int }
+
+  let name = "ckpttest.piper"
+  let start _ = { ph = 0; rfd = -1; wfd = -1 }
+
+  let step s (outcome : Syscall.outcome) =
+    match (s.ph, outcome) with
+    | 0, _ ->
+      s.ph <- 1;
+      (s, Zapc_simos.Program.Sys Syscall.Pipe)
+    | 1, Syscall.Ret (Syscall.Rpair (r, w)) ->
+      s.rfd <- r;
+      s.wfd <- w;
+      s.ph <- 2;
+      (s, Zapc_simos.Program.Sys (Syscall.Write (w, "pipe-payload")))
+    | 2, _ ->
+      s.ph <- 3;
+      (s, Zapc_simos.Program.Sys (Syscall.Nanosleep (Simtime.sec 50.0)))
+    | _, _ -> (s, Zapc_simos.Program.Exit 0)
+
+  let to_value s =
+    Value.assoc
+      [ ("ph", Value.int s.ph); ("rfd", Value.int s.rfd); ("wfd", Value.int s.wfd) ]
+
+  let of_value v =
+    { ph = Value.to_int (Value.field "ph" v);
+      rfd = Value.to_int (Value.field "rfd" v);
+      wfd = Value.to_int (Value.field "wfd" v) }
+end
+
 let () = Program.register_if_absent (module Memhog : Program.S)
+let () = Program.register_if_absent (module Exiter : Program.S)
+let () = Program.register_if_absent (module Piper : Program.S)
 
 let test_pod_checkpoint_image () =
   let engine = Engine.create ~seed:9 () in
@@ -349,6 +403,233 @@ let test_block_deadline_relative () =
        (rem > Simtime.sec 39.0 && rem <= Simtime.sec 41.0)
    | None -> Alcotest.fail "no block deadline saved")
 
+(* --- restore-path regression: zombies --- *)
+
+(* Pre-fix, the checkpoint silently dropped zombie processes (the image had
+   one proc instead of two) and a restore could never re-create one; a
+   parent blocked in waitpid would then hang forever after restart. *)
+let test_zombie_survives_restart () =
+  let engine = Engine.create ~seed:11 () in
+  let fabric = Fabric.create engine in
+  let k = Kernel.create ~node_id:0 fabric in
+  let pod =
+    Pod.create ~pod_id:81 ~name:"zpod" ~vip:(Addr.make_ip 10 1 0 11)
+      ~rip:(Addr.make_ip 172 16 0 11) k
+  in
+  let _sleeper = Pod.spawn pod ~program:"ckpttest.memhog" ~args:Value.Unit in
+  let child = Pod.spawn pod ~program:"ckpttest.exiter" ~args:Value.Unit in
+  Engine.run ~until:(Simtime.ms 5) ~max_events:10_000 engine;
+  check tbool "child is a zombie" true (child.Proc.rstate = Proc.Zombie);
+  check tint "zombie excluded from live members" 1 (Pod.member_count pod);
+  Pod.suspend pod;
+  let res = Pod_ckpt.checkpoint pod in
+  check tint "image records both processes" 2
+    (List.length (Value.to_list (fun x -> x) (Value.field "procs" res.Pod_ckpt.image)));
+  let v = Image.to_pod_image (Image.of_pod_image res.Pod_ckpt.image) in
+  let k2 = Kernel.create ~node_id:1 fabric in
+  let pod2 =
+    Pod.create ~pod_id:82 ~name:"zpod" ~vip:(Addr.make_ip 10 1 0 11)
+      ~rip:(Addr.make_ip 172 16 1 11) k2
+  in
+  let procs = Pod_ckpt.restore_processes pod2 v ~socket_of_ref:(fun _ -> None) in
+  check tint "both processes restored" 2 (List.length procs);
+  let z = List.find (fun (p : Proc.t) -> p.Proc.rstate = Proc.Zombie) procs in
+  check tbool "zombie exit code preserved" true (z.Proc.exit_code = Some 7);
+  check tint "restored zombie off the run queue" 1 (Pod.member_count pod2);
+  Pod.resume pod2;
+  Engine.run ~max_events:500_000 engine;
+  let live = List.find (fun (p : Proc.t) -> p != z) procs in
+  check tbool "survivor completes after resume" true (live.Proc.exit_code = Some 0);
+  check tbool "zombie never re-ran" true (z.Proc.exit_code = Some 7)
+
+(* --- restore-path regression: pipe identifiers --- *)
+
+let pipe_ids_of procs =
+  List.concat_map
+    (fun (p : Proc.t) ->
+      Zapc_simos.Fdtable.fold p.Proc.fds
+        (fun _ e acc ->
+          match e with
+          | Zapc_simos.Fdtable.Fpipe_r pi | Zapc_simos.Fdtable.Fpipe_w pi ->
+            pi.Zapc_simos.Pipe.id :: acc
+          | Zapc_simos.Fdtable.Fsock _ | Zapc_simos.Fdtable.Fgm _ -> acc)
+        [])
+    procs
+
+(* Pre-fix, restore numbered pipes 0,1,... from the image-local index, so
+   two pods restored onto one node got colliding kernel pipe ids (and new
+   pipes created after restore collided with restored ones). *)
+let test_restored_pipe_ids_unique () =
+  let engine = Engine.create ~seed:12 () in
+  let fabric = Fabric.create engine in
+  let k = Kernel.create ~node_id:0 fabric in
+  let mk kernel id name sub =
+    Pod.create ~pod_id:id ~name ~vip:(Addr.make_ip 10 1 0 sub)
+      ~rip:(Addr.make_ip 172 16 sub id) kernel
+  in
+  let pa = mk k 83 "pipeA" 0 and pb = mk k 84 "pipeB" 0 in
+  ignore (Pod.spawn pa ~program:"ckpttest.piper" ~args:Value.Unit);
+  ignore (Pod.spawn pb ~program:"ckpttest.piper" ~args:Value.Unit);
+  Engine.run ~until:(Simtime.ms 5) ~max_events:10_000 engine;
+  Pod.suspend pa;
+  Pod.suspend pb;
+  let ia = Image.to_pod_image (Image.of_pod_image (Pod_ckpt.checkpoint pa).Pod_ckpt.image) in
+  let ib = Image.to_pod_image (Image.of_pod_image (Pod_ckpt.checkpoint pb).Pod_ckpt.image) in
+  (* restore both pods onto ONE destination node *)
+  let k2 = Kernel.create ~node_id:1 fabric in
+  let ra = mk k2 93 "pipeA" 1 and rb = mk k2 94 "pipeB" 1 in
+  let procs_a = Pod_ckpt.restore_processes ra ia ~socket_of_ref:(fun _ -> None) in
+  let procs_b = Pod_ckpt.restore_processes rb ib ~socket_of_ref:(fun _ -> None) in
+  let ids = List.sort_uniq Int.compare (pipe_ids_of procs_a @ pipe_ids_of procs_b) in
+  (* one pipe per pod (each referenced by two fds): two distinct kernel ids *)
+  check tint "distinct kernel pipe ids" 2 (List.length ids);
+  (* the allocator advanced past the restored ids: a new pipe cannot collide *)
+  check tbool "fresh id collides with nothing" true
+    (not (List.mem (Kernel.alloc_pipe_id k2) ids))
+
+(* --- dirty-region tracking --- *)
+
+let test_memory_dirty_tracking () =
+  let m = Memory.create () in
+  Memory.alloc m "a" 100;
+  Memory.alloc m "b" 50;
+  check tint "everything dirty after alloc" 150 (Memory.dirty_bytes m);
+  Memory.clear_dirty m;
+  check tint "clean after clear" 0 (Memory.dirty_bytes m);
+  let v0 = Memory.version m in
+  Memory.touch m "a";
+  check tint "touch marks the region" 100 (Memory.dirty_bytes m);
+  check tbool "touch bumps version" true (Memory.version m > v0);
+  Memory.touch m "nonexistent";
+  check tint "unknown touch ignored" 100 (Memory.dirty_bytes m);
+  Memory.free m "b";
+  check tint "freed region contributes nothing" 100 (Memory.dirty_bytes m);
+  check tbool "the free itself is recorded" true
+    (Memory.dirty_regions m = [ "a"; "b" ]);
+  Memory.alloc m "a" 120;
+  check tint "resize accounted" 120 (Memory.dirty_bytes m)
+
+(* --- delta chains in storage --- *)
+
+(* One pod checkpointed at three instants; full at t1, deltas at t2/t3. *)
+let delta_env () =
+  let engine = Engine.create ~seed:13 () in
+  let fabric = Fabric.create engine in
+  let k = Kernel.create ~node_id:0 fabric in
+  let pod =
+    Pod.create ~pod_id:85 ~name:"deltapod" ~vip:(Addr.make_ip 10 1 0 14)
+      ~rip:(Addr.make_ip 172 16 0 14) k
+  in
+  ignore (Pod.spawn pod ~program:"ckpttest.memhog" ~args:Value.Unit);
+  let storage = Storage.create engine in
+  let snap at =
+    Engine.run ~until:at ~max_events:100_000 engine;
+    Pod.suspend pod;
+    let res = Pod_ckpt.checkpoint pod in
+    Pod.resume pod;
+    res
+  in
+  (engine, pod, storage, snap)
+
+let test_delta_chain_byte_identity () =
+  let _, pod, storage, snap = delta_env () in
+  let r1 = snap (Simtime.ms 5) in
+  (match Storage.put storage "base" (Image.of_pod_image r1.Pod_ckpt.image) with
+   | Ok () -> Pod_ckpt.clear_memory_dirty pod
+   | Error e -> Alcotest.failf "put base: %s" e);
+  let r2 = snap (Simtime.ms 10) in
+  let full2 = Image.of_pod_image r2.Pod_ckpt.image in
+  let d12 =
+    Delta.make ~base_key:"base" ~base:r1.Pod_ckpt.image ~full:r2.Pod_ckpt.image
+      ~dirty_bytes:(Pod_ckpt.dirty_memory_bytes pod)
+  in
+  let di12 = Image.of_pod_image d12 in
+  check tbool "image recognized as delta" true (di12.Image.base_key = Some "base");
+  (* the sleeping memhog never re-touches its region: the delta carries the
+     changed process records but none of the 1 MB address space *)
+  check tbool "delta is much smaller than the full" true
+    (di12.Image.logical_size * 2 <= full2.Image.logical_size);
+  (match Storage.put storage "d1" di12 with Ok () -> () | Error e -> Alcotest.failf "put d1: %s" e);
+  (* materialization is byte-identical to the full image at the same instant *)
+  (match Storage.get storage "d1" with
+   | None -> Alcotest.fail "delta did not materialize"
+   | Some img ->
+     check tbool "value identical" true
+       (Value.equal (Image.to_pod_image img) r2.Pod_ckpt.image);
+     check tstr "wire bytes identical" full2.Image.encoded img.Image.encoded;
+     check tint "logical size identical" full2.Image.logical_size img.Image.logical_size);
+  (* chain one more link and check the whole chain still materializes *)
+  Pod_ckpt.clear_memory_dirty pod;
+  let r3 = snap (Simtime.ms 15) in
+  let d23 =
+    Delta.make ~base_key:"d1" ~base:r2.Pod_ckpt.image ~full:r3.Pod_ckpt.image
+      ~dirty_bytes:(Pod_ckpt.dirty_memory_bytes pod)
+  in
+  (match Storage.put storage "d2" (Image.of_pod_image d23) with
+   | Ok () -> () | Error e -> Alcotest.failf "put d2: %s" e);
+  check tbool "chain structure visible" true (Storage.base_key storage "d2" = Some "d1");
+  (match Storage.get storage "d2" with
+   | None -> Alcotest.fail "two-link chain did not materialize"
+   | Some img ->
+     check tstr "two-link chain byte-identical"
+       (Image.of_pod_image r3.Pod_ckpt.image).Image.encoded img.Image.encoded)
+
+let test_delta_chain_corruption_and_gc () =
+  let _, pod, storage, snap = delta_env () in
+  let r1 = snap (Simtime.ms 5) in
+  ignore (Storage.put storage "base" (Image.of_pod_image r1.Pod_ckpt.image));
+  Pod_ckpt.clear_memory_dirty pod;
+  let r2 = snap (Simtime.ms 10) in
+  let d12 =
+    Delta.make ~base_key:"base" ~base:r1.Pod_ckpt.image ~full:r2.Pod_ckpt.image
+      ~dirty_bytes:(Pod_ckpt.dirty_memory_bytes pod)
+  in
+  ignore (Storage.put storage "d1" (Image.of_pod_image d12));
+  Pod_ckpt.clear_memory_dirty pod;
+  let r3 = snap (Simtime.ms 15) in
+  let d23 =
+    Delta.make ~base_key:"d1" ~base:r2.Pod_ckpt.image ~full:r3.Pod_ckpt.image
+      ~dirty_bytes:(Pod_ckpt.dirty_memory_bytes pod)
+  in
+  ignore (Storage.put storage "d2" (Image.of_pod_image d23));
+  let want = (Image.of_pod_image r3.Pod_ckpt.image).Image.encoded in
+  (* corrupt the PRIMARY copy of the middle link: every read of the chain
+     must fall back to the healthy replica and still materialize exactly *)
+  check tbool "corrupt middle link primary" true (Storage.corrupt storage ~replica:0 "d1");
+  (match Storage.get storage "d2" with
+   | None -> Alcotest.fail "chain must survive a corrupt primary"
+   | Some img -> check tstr "replica fallback byte-identical" want img.Image.encoded);
+  check tbool "corruption was detected" true (Storage.corruption_detected storage > 0);
+  (* kill the last healthy copy of the middle link: the chain is broken *)
+  check tbool "corrupt middle link replica" true (Storage.corrupt storage ~replica:1 "d1");
+  check tbool "broken chain yields no image" true (Storage.get storage "d2" = None);
+  (* GC safety: removing a pinned base hides it but keeps the chain readable *)
+  let _, pod2, storage2, snap2 =
+    let e = delta_env () in
+    e
+  in
+  let s1 = snap2 (Simtime.ms 5) in
+  ignore (Storage.put storage2 "base" (Image.of_pod_image s1.Pod_ckpt.image));
+  Pod_ckpt.clear_memory_dirty pod2;
+  let s2 = snap2 (Simtime.ms 10) in
+  let sd =
+    Delta.make ~base_key:"base" ~base:s1.Pod_ckpt.image ~full:s2.Pod_ckpt.image
+      ~dirty_bytes:(Pod_ckpt.dirty_memory_bytes pod2)
+  in
+  ignore (Storage.put storage2 "d1" (Image.of_pod_image sd));
+  Storage.remove storage2 "base";
+  check tbool "condemned base hidden from the namespace" true
+    (not (List.mem "base" (Storage.keys storage2)));
+  check tbool "condemned base no longer gettable" true (Storage.get storage2 "base" = None);
+  (match Storage.get storage2 "d1" with
+   | None -> Alcotest.fail "chain over a condemned base must stay readable"
+   | Some img ->
+     check tstr "still byte-identical" (Image.of_pod_image s2.Pod_ckpt.image).Image.encoded
+       img.Image.encoded);
+  (* deleting the last referencing delta reclaims the base's bytes *)
+  Storage.remove storage2 "d1";
+  check tbool "cascade reclaimed everything" true (Storage.keys storage2 = [])
+
 let () =
   Alcotest.run "ckpt"
     [ ( "sock_state",
@@ -367,4 +648,12 @@ let () =
           Alcotest.test_case "value roundtrip" `Quick test_meta_value_roundtrip ] );
       ( "pod image",
         [ Alcotest.test_case "checkpoint/restore" `Quick test_pod_checkpoint_image;
-          Alcotest.test_case "relative deadlines" `Quick test_block_deadline_relative ] ) ]
+          Alcotest.test_case "relative deadlines" `Quick test_block_deadline_relative;
+          Alcotest.test_case "zombie survives restart" `Quick test_zombie_survives_restart;
+          Alcotest.test_case "restored pipe ids unique" `Quick
+            test_restored_pipe_ids_unique ] );
+      ( "delta",
+        [ Alcotest.test_case "dirty tracking" `Quick test_memory_dirty_tracking;
+          Alcotest.test_case "chain byte-identity" `Quick test_delta_chain_byte_identity;
+          Alcotest.test_case "corruption + gc" `Quick
+            test_delta_chain_corruption_and_gc ] ) ]

@@ -219,17 +219,18 @@ let stats_gen =
   let open QCheck.Gen in
   map
     (fun ((st_net_time, st_local_time), (st_conn_time, st_image_bytes),
-          (st_net_bytes, (st_sockets, st_procs))) ->
+          ((st_full_bytes, st_net_bytes), (st_sockets, st_procs))) ->
       { Protocol.st_net_time; st_local_time; st_conn_time; st_image_bytes;
-        st_net_bytes; st_sockets; st_procs })
-    (triple (pair nat nat) (pair nat nat) (pair nat (pair nat nat)))
+        st_full_bytes; st_net_bytes; st_sockets; st_procs })
+    (triple (pair nat nat) (pair nat nat) (pair (pair nat nat) (pair nat nat)))
 
 let to_agent_gen =
   let open QCheck.Gen in
   oneof
     [ map
-        (fun ((pod_id, dest), resume) -> Protocol.A_checkpoint { pod_id; dest; resume })
-        (pair (pair nat uri_gen) bool);
+        (fun ((pod_id, dest), (resume, incremental)) ->
+          Protocol.A_checkpoint { pod_id; dest; resume; incremental })
+        (pair (pair nat uri_gen) (pair bool bool));
       map (fun pod_id -> Protocol.A_continue { pod_id }) nat;
       map (fun pod_id -> Protocol.A_abort { pod_id }) nat;
       map

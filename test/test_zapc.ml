@@ -1051,6 +1051,101 @@ let test_periodic_prunes_to_keep () =
   check (Alcotest.list Alcotest.string) "exactly keep epochs resident" expected
     resident
 
+(* --- incremental (delta) checkpointing --- *)
+
+(* The first incremental epoch has no base and falls back to a full image;
+   the second chains on the first and writes a fraction of the bytes (BT's
+   untouched rss dominates the full image), and a restart from the *delta*
+   epoch reproduces the exact result — Storage.get materializes the chain
+   transparently. *)
+let test_incremental_snapshot_and_restart () =
+  let cluster = make_cluster () in
+  let app =
+    Launch.launch cluster ~name:"bt" ~program:"bt_nas" ~placement:[ 0; 1 ]
+      ~app_args:(bt_args 96 30) ()
+  in
+  Cluster.run cluster ~until:(Simtime.ms 5) ();
+  let storage = Cluster.storage cluster in
+  let r1 =
+    Cluster.snapshot ~incremental:true cluster ~pods:app.Launch.pods
+      ~key_prefix:"inc-e1"
+  in
+  check tbool "first epoch ok" true r1.Manager.r_ok;
+  List.iter
+    (fun (p : Pod.t) ->
+      check tbool "first epoch is full" true
+        (Zapc.Storage.base_key storage (Printf.sprintf "inc-e1.pod%d" p.Pod.pod_id)
+         = None))
+    app.Launch.pods;
+  List.iter
+    (fun (_, st) -> check tint "full write flagged as full" 0 st.Protocol.st_full_bytes)
+    r1.Manager.r_stats;
+  Cluster.run cluster ~until:(Simtime.ms 10) ();
+  let r2 =
+    Cluster.snapshot ~incremental:true cluster ~pods:app.Launch.pods
+      ~key_prefix:"inc-e2"
+  in
+  check tbool "second epoch ok" true r2.Manager.r_ok;
+  List.iter
+    (fun (p : Pod.t) ->
+      check tbool "second epoch chains on the first" true
+        (Zapc.Storage.base_key storage (Printf.sprintf "inc-e2.pod%d" p.Pod.pod_id)
+         = Some (Printf.sprintf "inc-e1.pod%d" p.Pod.pod_id)))
+    app.Launch.pods;
+  List.iter
+    (fun (_, st) ->
+      check tbool "delta write flagged" true (st.Protocol.st_full_bytes > 0);
+      check tbool "delta <= 50% of the full bytes" true
+        (st.Protocol.st_image_bytes * 2 <= st.Protocol.st_full_bytes))
+    r2.Manager.r_stats;
+  (* the app continues to its reference answer... *)
+  ignore (Launch.wait_done cluster app);
+  let reference = Option.get (find_log "bt_nas: checksum") in
+  logged := [];
+  (* ...and a restart from the delta epoch on other nodes reproduces it *)
+  let rr =
+    Cluster.restart_app cluster ~pod_ids:(Launch.pod_ids app) ~target_nodes:[ 2; 3 ]
+      ~key_prefix:"inc-e2"
+  in
+  check tbool "restart from delta epoch ok" true rr.Manager.r_ok;
+  let ranks = restarted_ranks (Launch.pod_ids app) "bt_nas" in
+  Cluster.run_until cluster ~timeout:(Simtime.sec 1200.0) (fun () -> exited ranks);
+  check tbool "same checksum from the delta epoch" true (List.mem reference !logged)
+
+(* the Agents' chain cap is the only full-image forcing mechanism: with
+   max_delta_chain = 2 the write pattern over five incremental epochs must
+   be full, delta, delta, full, delta *)
+let test_delta_chain_cap_forces_full () =
+  let params = { Params.default with Params.max_delta_chain = 2 } in
+  let cluster = make_cluster ~params () in
+  let app =
+    Launch.launch cluster ~name:"bt" ~program:"bt_nas" ~placement:[ 0; 1 ]
+      ~app_args:(bt_args 256 1500) ()
+  in
+  Cluster.run cluster ~until:(Simtime.ms 5) ();
+  let storage = Cluster.storage cluster in
+  for e = 1 to 5 do
+    Cluster.run cluster ~until:(Simtime.ms (5 + (10 * e))) ();
+    let r =
+      Cluster.snapshot ~incremental:true cluster ~pods:app.Launch.pods
+        ~key_prefix:(Printf.sprintf "cap.e%d" e)
+    in
+    check tbool (Printf.sprintf "epoch %d ok" e) true r.Manager.r_ok
+  done;
+  let base_of e pid =
+    Zapc.Storage.base_key storage (Printf.sprintf "cap.e%d.pod%d" e pid)
+  in
+  List.iter
+    (fun (p : Pod.t) ->
+      let pid = p.Pod.pod_id in
+      let link e = Some (Printf.sprintf "cap.e%d.pod%d" e pid) in
+      check tbool "e1 full" true (base_of 1 pid = None);
+      check tbool "e2 chains on e1" true (base_of 2 pid = link 1);
+      check tbool "e3 chains on e2" true (base_of 3 pid = link 2);
+      check tbool "e4 full again (cap reached)" true (base_of 4 pid = None);
+      check tbool "e5 chains on e4" true (base_of 5 pid = link 4))
+    app.Launch.pods
+
 (* the Myrinet/GM extension (paper section 5): kernel-bypass messaging
    whose device-resident port state is extracted and reinstated across a
    migration; in-flight messages drop (unreliable) and the library's
@@ -1235,6 +1330,10 @@ let () =
             test_periodic_skips_while_busy;
           Alcotest.test_case "periodic: skips unresolvable pod" `Quick
             test_periodic_skips_unresolvable_pod;
+          Alcotest.test_case "incremental snapshot + restart" `Quick
+            test_incremental_snapshot_and_restart;
+          Alcotest.test_case "delta chain cap forces full" `Quick
+            test_delta_chain_cap_forces_full;
           Alcotest.test_case "periodic: prunes to keep" `Quick
             test_periodic_prunes_to_keep;
           Alcotest.test_case "gm (kernel-bypass) migration" `Quick
