@@ -88,7 +88,64 @@ let check_metrics path =
   Printf.printf "obs_check: %s ok (mgr.ckpt.ok=%d storage.puts=%d)\n" path
     (counter "mgr.ckpt.ok") (counter "storage.puts")
 
+(* --mig: the artifacts of `main.exe migration` (a traced pre-copy
+   migration).  The trace must hold a Manager-level "migrate" span with the
+   Agent-side "blackout" strictly inside it — the pod is only ever dark for
+   a proper sub-window of the operation, never from its first instant (the
+   rounds run before the stop) nor to its last (the activation hands back a
+   running pod).  The metrics must record the success and the blackout. *)
+let check_mig_trace path =
+  let count, xs = complete_events (parse_file path) in
+  let span name =
+    match List.find_opt (fun (n, _, _, _) -> String.equal n name) xs with
+    | Some (_, _, t0, t1) -> (t0, t1)
+    | None -> fail "%s: no %s span" path name
+  in
+  let m0, m1 = span "migrate" in
+  let b0, b1 = span "blackout" in
+  if not (m0 < b0 && b1 < m1) then
+    fail
+      "%s: blackout [%.1f..%.1f]us not strictly inside migrate [%.1f..%.1f]us"
+      path b0 b1 m0 m1;
+  let p0, p1 = span "mig_precopy" in
+  if not (p1 <= b0) then
+    fail "%s: pre-copy [%.1f..%.1f]us overlaps the blackout from %.1fus" path
+      p0 p1 b0;
+  Printf.printf
+    "obs_check: %s ok (%d events; blackout %.1fms strictly inside migrate \
+     %.1fms, after %.1fms of pre-copy)\n"
+    path count
+    ((b1 -. b0) /. 1000.0)
+    ((m1 -. m0) /. 1000.0)
+    ((p1 -. p0) /. 1000.0)
+
+let check_mig_metrics path =
+  let v = parse_file path in
+  let counters = need "counters missing" (Json.member "counters" v) in
+  let counter name =
+    match Option.bind (Json.member name counters) Json.to_float with
+    | Some c -> int_of_float c
+    | None -> 0
+  in
+  if counter "mgr.mig.ok" < 1 then fail "%s: mgr.mig.ok < 1" path;
+  let hist name =
+    match Option.bind (Json.member "histograms" v) (Json.member name) with
+    | Some _ -> ()
+    | None -> fail "%s: %s histogram missing" path name
+  in
+  hist "mig.blackout_ms";
+  hist "mig.rounds";
+  hist "mig.bytes_per_round";
+  Printf.printf "obs_check: %s ok (mgr.mig.ok=%d, blackout/rounds recorded)\n"
+    path (counter "mgr.mig.ok")
+
 let () =
   let arg i d = if Array.length Sys.argv > i then Sys.argv.(i) else d in
-  check_trace (arg 1 "BENCH_quick_trace.json");
-  check_metrics (arg 2 "BENCH_quick_metrics.json")
+  if Array.length Sys.argv > 1 && String.equal Sys.argv.(1) "--mig" then begin
+    check_mig_trace (arg 2 "BENCH_migration_trace.json");
+    check_mig_metrics (arg 3 "BENCH_migration_metrics.json")
+  end
+  else begin
+    check_trace (arg 1 "BENCH_quick_trace.json");
+    check_metrics (arg 2 "BENCH_quick_metrics.json")
+  end

@@ -335,6 +335,15 @@ let dirty_memory_bytes pod =
 let clear_memory_dirty pod =
   List.iter (fun (_, (p : Proc.t)) -> Memory.clear_dirty p.mem) (Pod.members_all pod)
 
+(* One pre-copy round boundary: capture-and-clear every member's dirty set,
+   returning the bytes this round must ship.  Mutations from here on
+   accumulate toward the next round. *)
+let snapshot_memory_dirty pod =
+  List.fold_left
+    (fun acc (_, (p : Proc.t)) ->
+      List.fold_left (fun a (_, size) -> a + size) acc (Memory.snapshot_dirty p.mem))
+    0 (Pod.members_all pod)
+
 let meta_of_image image = Meta.of_value (Value.field "meta" image)
 let sockets_of_image image = Net_ckpt.images_of_value (Value.field "sockets" image)
 let memory_bytes_of_image image = Value.to_int (Value.field "memory_bytes" image)

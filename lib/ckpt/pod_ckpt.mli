@@ -51,6 +51,12 @@ val clear_memory_dirty : Pod.t -> unit
 (** Clear every member's dirty-region set — call once an epoch's image has
     been durably stored. *)
 
+val snapshot_memory_dirty : Pod.t -> int
+(** One pre-copy round boundary: atomically capture-and-clear every member's
+    dirty set ({!Zapc_simos.Memory.snapshot_dirty}) and return the total
+    bytes the round must ship.  Mutations after the call accumulate toward
+    the next round. *)
+
 (** {1 Image accessors} *)
 
 val meta_of_image : Value.t -> Meta.pod_meta

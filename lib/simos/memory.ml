@@ -20,11 +20,12 @@ type t = {
   mutable version : int;  (* bumped on every mutation *)
   mutable total : int;
   mutable peak : int;
+  mutable epochs : int;  (* dirty-set snapshots taken (pre-copy rounds) *)
 }
 
 let create () =
   { regions = Hashtbl.create 8; dirty = Hashtbl.create 8; version = 0; total = 0;
-    peak = 0 }
+    peak = 0; epochs = 0 }
 
 let mark_dirty t name =
   t.version <- t.version + 1;
@@ -68,6 +69,25 @@ let dirty_bytes t =
 let dirty_regions t =
   Hashtbl.fold (fun name () acc -> name :: acc) t.dirty []
   |> List.sort String.compare
+
+(* One pre-copy round: atomically capture the dirty set (still-present
+   regions with their sizes, sorted) and clear it, so mutations from here
+   on accumulate toward the *next* round. *)
+let snapshot_dirty t =
+  let captured =
+    Hashtbl.fold
+      (fun name () acc ->
+        match Hashtbl.find_opt t.regions name with
+        | Some size -> (name, size) :: acc
+        | None -> acc)
+      t.dirty []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  Hashtbl.reset t.dirty;
+  t.epochs <- t.epochs + 1;
+  captured
+
+let epochs t = t.epochs
 
 let to_value t =
   let kvs = Hashtbl.fold (fun k v acc -> (k, Value.Int v) :: acc) t.regions [] in

@@ -40,5 +40,14 @@ val dirty_bytes : t -> int
 val dirty_regions : t -> string list
 (** Names of the dirty regions, sorted. *)
 
+val snapshot_dirty : t -> (string * int) list
+(** Atomically capture-and-clear the dirty set: returns the still-present
+    dirty regions with their sizes (sorted by name) and resets the dirty
+    bits, so subsequent mutations accumulate toward the next pre-copy
+    round.  Bumps the {!epochs} counter. *)
+
+val epochs : t -> int
+(** How many {!snapshot_dirty} rounds have been taken. *)
+
 val to_value : t -> Zapc_codec.Value.t
 val of_value : Zapc_codec.Value.t -> t

@@ -34,11 +34,40 @@ let src = Logs.Src.create "zapc.agent" ~doc:"ZapC agent"
 
 module Log = (val Logs.src_log src : Logs.LOG)
 
+(* Source side of a live migration: the iterative pre-copy loop.  The pod
+   keeps RUNNING while rounds are captured (non-destructive Peek) and
+   shipped; only the final stop-and-copy suspends it. *)
+type mig_op = {
+  mi_pod : Pod.t;
+  mi_dest : int;
+  mi_max_rounds : int;
+  mi_threshold : float;  (* converged when round dirty <= this x full image *)
+  mi_started : Simtime.t;
+  mutable mi_round : int;  (* next round number; 0 ships the full image *)
+  mutable mi_last : Value.t option;  (* newest full capture shipped (delta base) *)
+  mutable mi_full_bytes : int;  (* logical size of the round-0 full image *)
+  mutable mi_precopy_bytes : int;
+  mutable mi_forced : bool;  (* round cap hit without converging *)
+  mutable mi_suspend : Simtime.t;  (* blackout start: the final suspend *)
+  mutable mi_aborted : bool;
+}
+
+(* Destination side of a live migration: the staged image assembled from
+   the pre-copy rounds, prestaged (skeleton created, memory preloaded)
+   while the source keeps running so the final activation skips the full
+   restore cost. *)
+type mig_stage = {
+  mutable sg_image : Value.t;  (* materialized full pod image so far *)
+  mutable sg_residue : int;  (* logical bytes of the final stop-and-copy *)
+  mutable sg_suspend_at : Simtime.t;  (* source suspend time (blackout start) *)
+}
+
 type ckpt_op = {
   co_pod : Pod.t;
   co_dest : Protocol.uri;
   co_resume : bool;
   co_incremental : bool;
+  co_mig : mig_op option;  (* Some: this is a migration's final stop-and-copy *)
   co_started : Simtime.t;
   mutable co_continue : bool;
   mutable co_standalone_done : bool;
@@ -60,6 +89,7 @@ type delta_cache = {
 
 type restore_op = {
   ro_pod : Pod.t;
+  ro_mig : mig_stage option;  (* live migration: staged rounds to activate *)
   ro_image : Value.t;
   ro_entries : Meta.restart_entry list;
   ro_extra_altq : (int * string) list;
@@ -89,6 +119,12 @@ type t = {
   deltas : (int, delta_cache) Hashtbl.t;  (* pod -> incremental base *)
   ckpts : (int, ckpt_op) Hashtbl.t;
   restores : (int, restore_op) Hashtbl.t;
+  migs : (int, mig_op) Hashtbl.t;  (* source-side pre-copy loops in flight *)
+  stages : (int, mig_stage) Hashtbl.t;  (* dest-side staged migration images *)
+  skeletons : (int, bool ref) Hashtbl.t;
+  (* dest-side pod skeleton builds, started at the migration announce so the
+     [restore_fixed] work overlaps the pre-copy rounds; the flag flips to
+     true when the skeleton is ready for a fast activation *)
   rng : Zapc_sim.Rng.t;
   metrics : Metrics.t;
   mutable trace : Trace.t option;
@@ -112,6 +148,9 @@ let create ?metrics ~node ~params ~storage ~fabric kernel =
     deltas = Hashtbl.create 4;
     ckpts = Hashtbl.create 4;
     restores = Hashtbl.create 4;
+    migs = Hashtbl.create 4;
+    stages = Hashtbl.create 4;
+    skeletons = Hashtbl.create 4;
     rng = Zapc_sim.Rng.split (Engine.rng (Kernel.engine kernel));
     metrics;
     trace = None;
@@ -175,6 +214,10 @@ let jittered t cost =
 (* (node, pod_id) -> parked restart continuation awaiting a streamed image *)
 let parked : (int * int, unit -> unit) Hashtbl.t = Hashtbl.create 8
 
+(* Base key for migration residue deltas: never stored, the destination
+   applies them onto its staged image immediately. *)
+let mig_base_key pod_id = Printf.sprintf "mig:pod%d" pod_id
+
 (* ------------------------------------------------------------------ *)
 (* Abort paths (Manager failure / explicit abort / timeouts)           *)
 (* ------------------------------------------------------------------ *)
@@ -209,9 +252,35 @@ let abort_restart t pod_id =
     span_end_all t ~pod:pod_id;
     Hashtbl.remove t.restores pod_id
 
+(* Aborting a migration on the source just stops the pre-copy loop — the
+   pod was never suspended, so it simply keeps running (the final
+   stop-and-copy, if in flight, is a ckpt_op and abort_checkpoint resumes
+   it).  On the destination it drops whatever was staged. *)
+let abort_migrate t pod_id =
+  if Hashtbl.mem t.stages pod_id || Hashtbl.mem t.skeletons pod_id then begin
+    Hashtbl.remove t.stages pod_id;
+    Hashtbl.remove t.streamed pod_id;
+    Hashtbl.remove t.skeletons pod_id;
+    trace t ~pod:pod_id "mig_stage_dropped"
+  end;
+  match Hashtbl.find_opt t.migs pod_id with
+  | None -> ()
+  | Some mop ->
+    mop.mi_aborted <- true;
+    Hashtbl.remove t.migs pod_id;
+    Metrics.incr t.metrics "agent.mig_aborted";
+    trace t ~pod:pod_id "mig_aborted";
+    if not (Hashtbl.mem t.ckpts pod_id) then span_end_all t ~pod:pod_id
+
 let abort_all t =
   let cks = Hashtbl.fold (fun k _ acc -> k :: acc) t.ckpts [] in
   List.iter (abort_checkpoint t) cks;
+  let mgs =
+    Hashtbl.fold (fun k _ acc -> k :: acc) t.migs []
+    @ Hashtbl.fold (fun k _ acc -> k :: acc) t.stages []
+    @ Hashtbl.fold (fun k _ acc -> k :: acc) t.skeletons []
+  in
+  List.iter (abort_migrate t) (List.sort_uniq Int.compare mgs);
   let rss = Hashtbl.fold (fun k _ acc -> k :: acc) t.restores [] in
   List.iter (abort_restart t) rss
 
@@ -219,7 +288,7 @@ let abort_all t =
 (* Checkpoint (Figure 1, Agent side)                                   *)
 (* ------------------------------------------------------------------ *)
 
-let rec start_checkpoint ?(incremental = false) t ~pod_id ~dest ~resume =
+let rec start_ckpt_op ?(incremental = false) ?mig t ~pod_id ~dest ~resume =
   match find_pod t pod_id with
   | None -> report_failure t pod_id "no such pod"
   | Some pod when Pod.member_count pod = 0 ->
@@ -230,6 +299,7 @@ let rec start_checkpoint ?(incremental = false) t ~pod_id ~dest ~resume =
   | Some pod ->
     let op =
       { co_pod = pod; co_dest = dest; co_resume = resume; co_incremental = incremental;
+        co_mig = mig;
         co_started = Engine.now t.engine;
         co_continue = false; co_standalone_done = false; co_result = None;
         co_delta = None;
@@ -251,6 +321,15 @@ let rec start_checkpoint ?(incremental = false) t ~pod_id ~dest ~resume =
           span_end t ~pod:pod.pod_id "suspend";
           (* the network-blocked window: the application downtime story *)
           span_begin t ~pod:pod.pod_id "paused";
+          (match op.co_mig with
+           | Some mop ->
+             (* the migration blackout starts here and only ends when the
+                destination Agent resumes the pod, which is also who closes
+                the span (Trace matches open spans by name and pod) *)
+             mop.mi_suspend <- Engine.now t.engine;
+             span_begin t ~pod:pod.pod_id "blackout";
+             trace t ~pod:pod.pod_id "mig_blackout"
+           | None -> ());
           trace t ~pod:pod.pod_id "suspended";
           ckpt_network t op
         end)
@@ -304,23 +383,34 @@ and wait_continue_then t op fn =
 
 (* A delta is only worth (and only safe) writing when chaining to storage
    and the base this Agent remembers for the pod is still resident there;
-   the chain cap is what periodically forces a fresh full image. *)
+   the chain cap is what periodically forces a fresh full image — or, on a
+   live migration's final stop-and-copy, when the destination already holds
+   the last pre-copy round: the residue diffs against it. *)
 and choose_delta t op (res : Pod_ckpt.checkpoint_result) =
-  if not op.co_incremental then None
-  else
-    match op.co_dest with
-    | Protocol.U_node _ -> None  (* migration streams a full image *)
-    | Protocol.U_storage _ ->
-      (match Hashtbl.find_opt t.deltas op.co_pod.pod_id with
-       | Some c when c.dc_chain < t.params.max_delta_chain
-                     && Storage.mem t.storage c.dc_key ->
-         let dirty_bytes = Pod_ckpt.dirty_memory_bytes op.co_pod in
-         let dv =
-           Delta.make ~base_key:c.dc_key ~base:c.dc_image ~full:res.image
-             ~dirty_bytes
-         in
-         Some (Image.of_pod_image dv)
-       | Some _ | None -> None)
+  match op.co_mig with
+  | Some { mi_last = Some base; _ } ->
+    let dirty_bytes = Pod_ckpt.dirty_memory_bytes op.co_pod in
+    Some
+      (Image.of_pod_image
+         (Delta.make ~base_key:(mig_base_key op.co_pod.pod_id) ~base
+            ~full:res.image ~dirty_bytes))
+  | Some { mi_last = None; _ } -> None  (* round cap 0: plain stop-and-copy *)
+  | None ->
+    if not op.co_incremental then None
+    else
+      match op.co_dest with
+      | Protocol.U_node _ -> None  (* migration streams a full image *)
+      | Protocol.U_storage _ ->
+        (match Hashtbl.find_opt t.deltas op.co_pod.pod_id with
+         | Some c when c.dc_chain < t.params.max_delta_chain
+                       && Storage.mem t.storage c.dc_key ->
+           let dirty_bytes = Pod_ckpt.dirty_memory_bytes op.co_pod in
+           let dv =
+             Delta.make ~base_key:c.dc_key ~base:c.dc_image ~full:res.image
+               ~dirty_bytes
+           in
+           Some (Image.of_pod_image dv)
+         | Some _ | None -> None)
 
 (* step 3: standalone pod checkpoint, overlapped with the Manager sync *)
 and ckpt_standalone t op net =
@@ -335,9 +425,16 @@ and ckpt_standalone t op net =
     | Some d -> d.Image.logical_size
     | None -> Pod_ckpt.logical_size res
   in
+  (* a migration's final stop after pre-copy rounds already enumerated the
+     kernel objects: only the dirty-residue scan remains *)
+  let fixed =
+    match op.co_mig with
+    | Some { mi_last = Some _; _ } -> t.params.mig_stop_fixed
+    | Some { mi_last = None; _ } | None -> t.params.ckpt_fixed
+  in
   let cost =
     jittered t
-      (Simtime.add t.params.ckpt_fixed
+      (Simtime.add fixed
          (Simtime.add
             (Params.scale t.params.per_proc_ckpt res.proc_count)
             (Params.copy_time ~bps:t.params.mem_bw write_bytes)))
@@ -381,7 +478,10 @@ and maybe_finalize_ckpt t op =
   end
 
 and finalize_ckpt t op =
-  if not op.co_aborted then begin
+  if op.co_aborted then ()
+  else match op.co_mig with
+  | Some mop -> finalize_migration t op mop
+  | None -> begin
     let pod = op.co_pod in
     let res = Option.get op.co_result in
     Netfilter.unblock (nf t) pod.rip;
@@ -455,6 +555,275 @@ and finalize_ckpt t op =
       (Protocol.M_done { node = t.node; pod_id = pod.pod_id; ok = true; detail = ""; stats })
   end
 
+(* The migration residue: stream the last (stop-and-copy) image to the
+   destination and, once it lands there, hand the pod off — the source only
+   destroys its copy after the destination holds the authoritative one, so
+   an abort or a broken link anywhere before that leaves the pod alive on
+   the source (no lost-pod window, no split brain). *)
+and finalize_migration t op mop =
+  let pod = op.co_pod in
+  let res = Option.get op.co_result in
+  let image =
+    match op.co_delta with
+    | Some d -> d
+    | None -> Image.of_pod_image res.image
+  in
+  trace t ~pod:pod.pod_id "mig_residue";
+  if op.co_aborted || mop.mi_aborted then ()  (* the trace can inject faults *)
+  else begin
+    let delay =
+      Simtime.add t.params.ctrl_latency
+        (Params.copy_time ~bps:t.params.fabric.bandwidth_bps image.Image.logical_size)
+    in
+    after t delay (fun () ->
+        if op.co_aborted || mop.mi_aborted then ()
+        else
+          let peer_ok =
+            match t.peer_agents mop.mi_dest with
+            | Some p ->
+              (match p.chan with
+               | Some ch -> not (Control.is_broken ch)
+               | None -> false)
+            | None -> false
+          in
+          if not peer_ok then begin
+            (* the residue went nowhere: the pod must survive on the source *)
+            Netfilter.unblock (nf t) pod.rip;
+            Pod.resume pod;
+            trace t ~pod:pod.pod_id "resumed";
+            span_end_all t ~pod:pod.pod_id;
+            Hashtbl.remove t.ckpts pod.pod_id;
+            Hashtbl.remove t.migs pod.pod_id;
+            report_failure t pod.pod_id "migration stream failed: destination unreachable"
+          end
+          else begin
+            let peer = Option.get (t.peer_agents mop.mi_dest) in
+            (* commit point: the destination stages the final image and
+               sends M_migrate_done before the source lets go *)
+            receive_mig_final peer ~pod_id:pod.pod_id ~image ~rounds:mop.mi_round
+              ~precopy_bytes:mop.mi_precopy_bytes ~forced:mop.mi_forced
+              ~suspend_at:mop.mi_suspend;
+            Netfilter.unblock (nf t) pod.rip;
+            span_end t ~pod:pod.pod_id "paused";
+            Pod.destroy pod;
+            forget_pod t pod.pod_id;
+            span_end t ~pod:pod.pod_id "pod_ckpt";
+            Hashtbl.remove t.ckpts pod.pod_id;
+            Hashtbl.remove t.migs pod.pod_id;
+            trace t ~pod:pod.pod_id "mig_handoff";
+            let stats =
+              {
+                Protocol.st_net_time = op.co_net_time;
+                st_local_time = Simtime.sub (Engine.now t.engine) mop.mi_started;
+                st_conn_time = Simtime.zero;
+                st_image_bytes = image.Image.logical_size;
+                st_full_bytes =
+                  (match op.co_delta with
+                   | Some _ -> Pod_ckpt.logical_size res
+                   | None -> 0);
+                st_net_bytes = res.net_result.image_bytes;
+                st_sockets = res.net_result.socket_count;
+                st_procs = res.proc_count;
+              }
+            in
+            send_to_manager t
+              (Protocol.M_done
+                 { node = t.node; pod_id = pod.pod_id; ok = true; detail = ""; stats })
+          end)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Live migration: source round loop and destination staging           *)
+(* ------------------------------------------------------------------ *)
+
+and start_migrate t ~pod_id ~dest ~max_rounds ~dirty_threshold =
+  match find_pod t pod_id with
+  | None -> report_failure t pod_id "no such pod"
+  | Some pod when Pod.member_count pod = 0 ->
+    report_failure t pod_id "pod has no live processes"
+  | Some _ when t.peer_agents dest = None ->
+    report_failure t pod_id (Printf.sprintf "no agent on node %d" dest)
+  | Some pod ->
+    let mop =
+      { mi_pod = pod; mi_dest = dest; mi_max_rounds = max_rounds;
+        mi_threshold = dirty_threshold; mi_started = Engine.now t.engine;
+        mi_round = 0; mi_last = None; mi_full_bytes = 0; mi_precopy_bytes = 0;
+        mi_forced = false; mi_suspend = Simtime.zero; mi_aborted = false }
+    in
+    Hashtbl.replace t.migs pod_id mop;
+    Metrics.incr t.metrics "agent.mig_started";
+    trace t ~pod:pod_id "mig_start";
+    if max_rounds <= 0 then mig_final t mop  (* degenerate: pure stop-and-copy *)
+    else begin
+      span_begin t ~pod:pod_id "mig_precopy";
+      (* announce the migration to the destination right away: the pod
+         skeleton build (the [restore_fixed] work) overlaps the rounds *)
+      after t t.params.ctrl_latency (fun () ->
+          if not mop.mi_aborted then
+            match t.peer_agents mop.mi_dest with
+            | Some peer -> receive_mig_announce peer ~pod_id
+            | None -> ());
+      mig_round t mop
+    end
+
+(* One pre-copy round: capture the RUNNING pod (the non-destructive Peek —
+   the proper read-inject extraction would drain queues the application is
+   about to read), ship the full image (round 0) or a delta of the regions
+   dirtied during the previous round, then decide: converged, forced, or
+   another round.  The pod keeps dirtying memory under the copy; that is
+   what the next round picks up. *)
+and mig_round t mop =
+  if mop.mi_aborted then ()
+  else begin
+    let pod = mop.mi_pod in
+    let round = mop.mi_round in
+    let t0 = Engine.now t.engine in
+    let res = Pod_ckpt.checkpoint ~mode:Sock_state.Peek pod in
+    let dirty_snap = Pod_ckpt.snapshot_memory_dirty pod in
+    let image =
+      match round, mop.mi_last with
+      | 0, _ | _, None ->
+        mop.mi_full_bytes <- Pod_ckpt.logical_size res;
+        Image.of_pod_image res.image
+      | _, Some base ->
+        Image.of_pod_image
+          (Delta.make ~base_key:(mig_base_key pod.pod_id) ~base ~full:res.image
+             ~dirty_bytes:dirty_snap)
+    in
+    mop.mi_last <- Some res.image;
+    let bytes = image.Image.logical_size in
+    (* capture at memory bandwidth, then stream over the fabric *)
+    let delay =
+      Simtime.add
+        (jittered t (Params.copy_time ~bps:t.params.mem_bw bytes))
+        (Simtime.add t.params.ctrl_latency
+           (Params.copy_time ~bps:t.params.fabric.bandwidth_bps bytes))
+    in
+    after t delay (fun () ->
+        if mop.mi_aborted then ()
+        else begin
+          (match t.peer_agents mop.mi_dest with
+           | Some peer -> receive_mig_round peer ~pod_id:pod.pod_id ~round image
+           | None -> ());
+          mop.mi_precopy_bytes <- mop.mi_precopy_bytes + bytes;
+          mop.mi_round <- round + 1;
+          let dirty_now = Pod_ckpt.dirty_memory_bytes pod in
+          trace t ~pod:pod.pod_id "mig_round";
+          send_to_manager t
+            (Protocol.M_migrate_round
+               { node = t.node; pod_id = pod.pod_id;
+                 stats =
+                   { Protocol.mg_round = round; mg_bytes = bytes;
+                     mg_dirty = dirty_now;
+                     mg_duration = Simtime.sub (Engine.now t.engine) t0 } });
+          if mop.mi_aborted then ()  (* the trace can inject faults *)
+          else if
+            float_of_int dirty_now
+            <= mop.mi_threshold *. float_of_int mop.mi_full_bytes
+          then begin
+            trace t ~pod:pod.pod_id "mig_converged";
+            span_end t ~pod:pod.pod_id "mig_precopy";
+            mig_final t mop
+          end
+          else if mop.mi_round >= mop.mi_max_rounds then begin
+            mop.mi_forced <- true;
+            trace t ~pod:pod.pod_id "mig_forced";
+            span_end t ~pod:pod.pod_id "mig_precopy";
+            mig_final t mop
+          end
+          else mig_round t mop
+        end)
+  end
+
+(* The convergence policy said stop: run the final stop-and-copy through
+   the ordinary coordinated-checkpoint machine (suspend, net-ckpt, meta to
+   the Manager, continue, standalone, residue stream + handoff). *)
+and mig_final t mop =
+  if not mop.mi_aborted then
+    start_ckpt_op ~mig:mop t ~pod_id:mop.mi_pod.pod_id
+      ~dest:(Protocol.U_node mop.mi_dest) ~resume:false
+
+(* Destination: a migration was announced.  Start building the pod skeleton
+   (the [restore_fixed] work: image validation scaffolding, kernel-object
+   re-creation) immediately so it overlaps the source's pre-copy rounds;
+   the activation after the final stop-and-copy then only pays
+   [mig_resume_fixed] plus the residue copy. *)
+and receive_mig_announce t ~pod_id =
+  let dead = match t.chan with Some ch -> Control.is_broken ch | None -> true in
+  if dead then ()
+  else begin
+    let flag = ref false in
+    Hashtbl.replace t.skeletons pod_id flag;
+    trace t ~pod:pod_id "mig_skeleton";
+    after t (jittered t t.params.restore_fixed) (fun () ->
+        match Hashtbl.find_opt t.skeletons pod_id with
+        | Some f when f == flag ->
+          f := true;
+          trace t ~pod:pod_id "mig_prestaged"
+        | Some _ | None -> ())
+  end
+
+(* Destination: one pre-copy round landed.  Round 0 stages the full image;
+   later rounds fold their deltas into the staged image.  The memory
+   preload needs no extra delay of its own: the write-back proceeds as the
+   bytes arrive, and memory bandwidth exceeds the fabric's. *)
+and receive_mig_round t ~pod_id ~round (image : Image.t) =
+  let dead = match t.chan with Some ch -> Control.is_broken ch | None -> true in
+  if dead then ()  (* a crashed destination never sees the stream *)
+  else begin
+    let v = Image.to_pod_image image in
+    if round = 0 then begin
+      let stage = { sg_image = v; sg_residue = 0; sg_suspend_at = Simtime.zero } in
+      Hashtbl.replace t.stages pod_id stage;
+      trace t ~pod:pod_id "mig_stage0"
+    end
+    else
+      match Hashtbl.find_opt t.stages pod_id with
+      | None -> ()  (* stage dropped by an abort; ignore the stray round *)
+      | Some sg -> sg.sg_image <- Delta.apply ~base:sg.sg_image v
+  end
+
+(* Destination: the final stop-and-copy landed.  Materialize the full
+   image, make it restartable (the streamed table), and COMMIT by telling
+   the Manager — from here on the destination copy wins even if the source
+   dies before its own done-report gets out. *)
+and receive_mig_final t ~pod_id ~(image : Image.t) ~rounds ~precopy_bytes ~forced
+    ~suspend_at =
+  let dead = match t.chan with Some ch -> Control.is_broken ch | None -> true in
+  if dead then ()
+  else begin
+    let v = Image.to_pod_image image in
+    let full_opt =
+      if Delta.is_delta v then
+        match Hashtbl.find_opt t.stages pod_id with
+        | Some sg -> Some (Delta.apply ~base:sg.sg_image v)
+        | None -> None  (* stage dropped by an abort racing the residue *)
+      else Some v
+    in
+    match full_opt with
+    | None -> trace t ~pod:pod_id "mig_residue_dropped"
+    | Some full ->
+      let stage =
+        match Hashtbl.find_opt t.stages pod_id with
+        | Some sg -> sg
+        | None ->
+          (* round cap 0: nothing was prestaged, the restore pays full cost *)
+          let sg =
+            { sg_image = full; sg_residue = 0; sg_suspend_at = suspend_at }
+          in
+          Hashtbl.replace t.stages pod_id sg;
+          sg
+      in
+      stage.sg_image <- full;
+      stage.sg_residue <- image.Image.logical_size;
+      stage.sg_suspend_at <- suspend_at;
+      Hashtbl.replace t.streamed pod_id (Image.of_pod_image full);
+      trace t ~pod:pod_id "mig_final_staged";
+      send_to_manager t
+        (Protocol.M_migrate_done { node = t.node; pod_id; rounds; precopy_bytes; forced });
+      try_start_parked_restart t pod_id
+  end
+
 and stream_image t ~target ~image =
   match t.peer_agents target with
   | None -> Log.err (fun m -> m "no agent on node %d to stream to" target)
@@ -510,6 +879,7 @@ and start_restart t ~pod_id ~name ~vip ~rip ~uri ~entries ~vip_map ~extra_altq ~
           let op =
             {
               ro_pod = pod;
+              ro_mig = Hashtbl.find_opt t.stages pod_id;
               ro_image = image_v;
               ro_entries = entries;
               ro_extra_altq = extra_altq;
@@ -815,19 +1185,37 @@ and restore_network_state t op =
         restore_standalone t op
       end)
 
-(* step 4: standalone restart, then resume without further delay *)
+(* step 4: standalone restart, then resume without further delay.  A live
+   migration whose announce prestaged this pod's skeleton skips the fixed
+   restore cost and the full-image copy: only the residue still has to be
+   applied.  A skeleton build still in flight is waited out — the remainder
+   of that build is the blackout's cost, never a second full restore. *)
 and restore_standalone t op =
+  let skel = Hashtbl.find_opt t.skeletons op.ro_pod.pod_id in
+  match op.ro_mig, skel with
+  | Some _, Some ready when not !ready ->
+    after t (Simtime.us 250) (fun () ->
+        if not op.ro_aborted then restore_standalone t op)
+  | _ ->
   let pod = op.ro_pod in
   let socket_of_ref i = Hashtbl.find_opt op.ro_sockets i in
   let procs = Pod_ckpt.restore_processes pod op.ro_image ~socket_of_ref in
   let mem_bytes = Pod_ckpt.memory_bytes_of_image op.ro_image in
   let image_bytes = Zapc_codec.Wire.encoded_size op.ro_image + mem_bytes in
   let cost =
-    jittered t
-      (Simtime.add t.params.restore_fixed
-         (Simtime.add
-            (Params.scale t.params.per_proc_restore (List.length procs))
-            (Params.copy_time ~bps:t.params.mem_bw image_bytes)))
+    match op.ro_mig, skel with
+    | Some sg, Some _ ->
+      jittered t
+        (Simtime.add t.params.mig_resume_fixed
+           (Simtime.add
+              (Params.scale t.params.per_proc_restore (List.length procs))
+              (Params.copy_time ~bps:t.params.mem_bw sg.sg_residue)))
+    | Some _, None | None, _ ->
+      jittered t
+        (Simtime.add t.params.restore_fixed
+           (Simtime.add
+              (Params.scale t.params.per_proc_restore (List.length procs))
+              (Params.copy_time ~bps:t.params.mem_bw image_bytes)))
   in
   after t cost (fun () ->
       if not op.ro_aborted then begin
@@ -835,6 +1223,18 @@ and restore_standalone t op =
         span_end t ~pod:pod.pod_id "standalone_restore";
         span_end t ~pod:pod.pod_id "pod_restart";
         trace t ~pod:pod.pod_id "restart_resumed";
+        (match op.ro_mig with
+         | Some sg ->
+           (* end of the migration blackout: the span was opened by the
+              source Agent at the final suspend *)
+           Hashtbl.remove t.stages pod.pod_id;
+           Hashtbl.remove t.streamed pod.pod_id;
+           Hashtbl.remove t.skeletons pod.pod_id;
+           Metrics.observe t.metrics "mig.blackout_ms"
+             (Simtime.to_ms (Simtime.sub (Engine.now t.engine) sg.sg_suspend_at));
+           span_end t ~pod:pod.pod_id "blackout";
+           trace t ~pod:pod.pod_id "mig_activated"
+         | None -> ());
         Hashtbl.remove t.restores pod.pod_id;
         let stats =
           {
@@ -857,6 +1257,9 @@ and restore_standalone t op =
 (* Wiring                                                              *)
 (* ------------------------------------------------------------------ *)
 
+let start_checkpoint ?incremental t ~pod_id ~dest ~resume =
+  start_ckpt_op ?incremental t ~pod_id ~dest ~resume
+
 let handle_command t (msg : Protocol.to_agent) =
   match msg with
   | Protocol.A_checkpoint { pod_id; dest; resume; incremental } ->
@@ -870,7 +1273,10 @@ let handle_command t (msg : Protocol.to_agent) =
      | None -> ())
   | Protocol.A_abort { pod_id } ->
     abort_checkpoint t pod_id;
+    abort_migrate t pod_id;
     abort_restart t pod_id
+  | Protocol.A_migrate { pod_id; dest; max_rounds; dirty_threshold } ->
+    start_migrate t ~pod_id ~dest ~max_rounds ~dirty_threshold
   | Protocol.A_restart { pod_id; name; vip; rip; uri; entries; vip_map; extra_altq;
                          skip_sendq } ->
     start_restart t ~pod_id ~name ~vip ~rip ~uri ~entries ~vip_map ~extra_altq ~skip_sendq
@@ -894,4 +1300,6 @@ let live_pods t =
   Hashtbl.fold (fun _ p acc -> p :: acc) t.pods []
   |> List.sort (fun (a : Pod.t) (b : Pod.t) -> Int.compare a.pod_id b.pod_id)
 
-let busy t = Hashtbl.length t.ckpts > 0 || Hashtbl.length t.restores > 0
+let busy t =
+  Hashtbl.length t.ckpts > 0 || Hashtbl.length t.restores > 0
+  || Hashtbl.length t.migs > 0

@@ -62,12 +62,26 @@ val start_restart :
   skip_sendq:bool ->
   unit
 
+val start_migrate :
+  t -> pod_id:int -> dest:int -> max_rounds:int -> dirty_threshold:float -> unit
+(** Source side of a live migration: iterative pre-copy rounds (the pod
+    keeps running) followed by a stop-and-copy of the residue plus
+    process/socket/netfilter state.  [max_rounds = 0] degenerates to plain
+    stop-and-copy; convergence is reached when a round's dirty residue
+    falls to [dirty_threshold] x the pod's full image size. *)
+
 val abort_checkpoint : t -> int -> unit
 (** Idempotent: unblocks the pod's network, resumes it, drops the op. *)
 
 val abort_restart : t -> int -> unit
 (** Idempotent: destroys the half-restored pod (or drops a parked restart
     that is still waiting for its streamed image). *)
+
+val abort_migrate : t -> int -> unit
+(** Idempotent.  Source side: stops the pre-copy loop (the pod was never
+    suspended, so it simply keeps running — a final stop-and-copy in flight
+    is aborted through {!abort_checkpoint}).  Destination side: drops the
+    staged rounds. *)
 
 val abort_all : t -> unit
 
@@ -78,4 +92,4 @@ val live_pods : t -> Pod.t list
     kills these on a node crash; the chaos harness audits them). *)
 
 val busy : t -> bool
-(** An in-flight checkpoint or restart operation exists. *)
+(** An in-flight checkpoint, restart, or migration operation exists. *)

@@ -234,3 +234,15 @@ let restart_app_async t ~pod_ids ~target_nodes ~key_prefix ~on_done =
   Manager.restart t.manager
     ~items:(restart_items ~pod_ids ~target_nodes ~key_prefix)
     ~on_done
+
+(* Live-migrate one pod between nodes; the source node is looked up from the
+   pod's real address so callers only name the destination. *)
+let migrate_sync ?max_rounds ?dirty_threshold t ~(pod : Pod.t) ~dest_node =
+  let src_node =
+    match Fabric.node_of_ip t.fabric pod.Pod.rip with Some n -> n | None -> -1
+  in
+  let result = ref None in
+  Manager.migrate ?max_rounds ?dirty_threshold t.manager ~pod:pod.Pod.pod_id
+    ~src_node ~dest_node ~on_done:(fun r -> result := Some r);
+  run_until t (fun () -> !result <> None);
+  Option.get !result

@@ -113,3 +113,11 @@ val restart_app_async :
 (** Like {!restart_app} but callback-based, for callers already running
     inside an engine event (the supervisor) where re-entering [Engine.run]
     is illegal. *)
+
+val migrate_sync :
+  ?max_rounds:int ->
+  ?dirty_threshold:float ->
+  t -> pod:Pod.t -> dest_node:int -> Manager.op_result
+(** Live-migrate one pod to [dest_node] (iterative pre-copy; see
+    {!Manager.migrate}).  The source node is derived from the pod's real
+    address.  Runs the engine until the operation completes. *)

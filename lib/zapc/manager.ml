@@ -51,11 +51,32 @@ type pending = {
   mutable p_stats : (int * Protocol.agent_stats) list;
   mutable p_metas : Meta.pod_meta list;
   mutable p_failed : Protocol.failure option;
+  mutable p_arm : int;
+  (* phase-timeout keepalive: each pre-copy round report bumps this, killing
+     the armed watchdog and re-arming from now (a live migration's copy
+     phase legitimately outlives one [phase_timeout] as long as rounds keep
+     landing) *)
   p_items : (int * int) list;  (* (pod, node) *)
   p_started : Simtime.t;
-  p_kind : [ `Checkpoint | `Restart ];
+  p_kind : [ `Checkpoint | `Restart | `Mig_copy | `Mig_restore ];
   p_gen : int;  (* guards stale timeout closures *)
   p_done : op_result -> unit;
+}
+
+(* One live migration spans two pendings (copy phase, then restore phase);
+   this is the state that outlives them.  [mg_committed] flips when the
+   destination's M_migrate_done lands: from that instant the destination
+   copy is authoritative and losing the source is NOT a failure. *)
+type mig_state = {
+  mg_pod : int;
+  mg_src : int;
+  mg_dest : int;
+  mg_started : Simtime.t;
+  mutable mg_rounds : int;
+  mutable mg_forced : bool;
+  mutable mg_committed : bool;
+  mg_gen : int;
+  mg_done : op_result -> unit;
 }
 
 type t = {
@@ -68,8 +89,12 @@ type t = {
   metrics : Metrics.t;
   mutable trace : Trace.t option;
   mutable current : pending option;
+  mutable mig : mig_state option;  (* live migration in progress *)
   mutable gen : int;  (* bumped per operation *)
   mutable on_pong : node:int -> seq:int -> unit;  (* supervisor heartbeat sink *)
+  mutable on_migrated : pod:int -> src:int -> dest:int -> unit;
+  (* fired at a successful handoff, before the caller's on_done: watchers
+     (Supervisor) observe the pod's new home atomically with completion *)
 }
 
 let create ?metrics ~engine ~params ~storage ~alloc_rip () =
@@ -77,8 +102,10 @@ let create ?metrics ~engine ~params ~storage ~alloc_rip () =
     match metrics with Some m -> m | None -> Metrics.create ()
   in
   { engine; params; storage; channels = Hashtbl.create 8; alloc_rip;
-    infos = Hashtbl.create 16; metrics; trace = None; current = None; gen = 0;
-    on_pong = (fun ~node:_ ~seq:_ -> ()) }
+    infos = Hashtbl.create 16; metrics; trace = None; current = None;
+    mig = None; gen = 0;
+    on_pong = (fun ~node:_ ~seq:_ -> ());
+    on_migrated = (fun ~pod:_ ~src:_ ~dest:_ -> ()) }
 
 let set_trace t tr = t.trace <- Some tr
 let metrics t = t.metrics
@@ -120,6 +147,8 @@ let finish t result =
       match p.p_kind with
       | `Checkpoint -> "mgr.ckpt", "ckpt_op"
       | `Restart -> "mgr.restart", "restart_op"
+      | `Mig_copy -> "mgr.mig.copy", "mig_copy"
+      | `Mig_restore -> "mgr.mig.restore", "mig_restore"
     in
     Metrics.incr t.metrics (prefix ^ if result.r_ok then ".ok" else ".failed");
     Metrics.observe t.metrics (prefix ^ ".duration_ms")
@@ -179,12 +208,13 @@ let fail_op t failure =
    The generation counter keeps a stale timer from touching a later
    operation that reuses pod ids. *)
 let arm_phase_timeout t (p : pending) (phase : Protocol.phase) =
-  if Simtime.compare t.params.phase_timeout Simtime.zero > 0 then
+  if Simtime.compare t.params.phase_timeout Simtime.zero > 0 then begin
+    let arm = p.p_arm in
     Engine.schedule_at t.engine
       ~at:(Simtime.add (Engine.now t.engine) t.params.phase_timeout)
       (fun () ->
         match t.current with
-        | Some p' when p' == p && p'.p_gen = p.p_gen ->
+        | Some p' when p' == p && p'.p_gen = p.p_gen && p'.p_arm = arm ->
           let waiting =
             match phase with
             | Protocol.Ph_meta -> p'.p_wait_meta
@@ -202,17 +232,45 @@ let arm_phase_timeout t (p : pending) (phase : Protocol.phase) =
             fail_op t (Protocol.F_timeout { phase; waiting })
           end
         | Some _ | None -> ())
+  end
 
 let on_agent_message t (msg : Protocol.to_manager) =
   (* heartbeat replies are independent of any running operation *)
   match msg with
   | Protocol.M_pong { node; seq } -> t.on_pong ~node ~seq
+  | Protocol.M_migrate_round { stats; _ } ->
+    (match t.mig, t.current with
+     | Some mg, Some p when p.p_kind = `Mig_copy ->
+       mg.mg_rounds <- stats.Protocol.mg_round + 1;
+       Metrics.observe t.metrics ~buckets:Metrics.default_bytes_buckets
+         "mig.bytes_per_round" (float_of_int stats.Protocol.mg_bytes);
+       trace t (Printf.sprintf "mig_round_report:%d" stats.Protocol.mg_round);
+       (* keepalive: a converging pre-copy legitimately outlives one
+          phase_timeout; every round report pushes the watchdog out *)
+       p.p_arm <- p.p_arm + 1;
+       arm_phase_timeout t p Protocol.Ph_meta
+     | _ -> ())
+  | Protocol.M_migrate_done { rounds; precopy_bytes; forced; _ } ->
+    (* the destination's commit: its staged copy is now complete and
+       authoritative even if the source is lost from here on *)
+    (match t.mig with
+     | Some mg ->
+       mg.mg_committed <- true;
+       mg.mg_rounds <- rounds;
+       mg.mg_forced <- forced;
+       Metrics.observe t.metrics "mig.rounds" (float_of_int rounds);
+       Metrics.observe t.metrics ~buckets:Metrics.default_bytes_buckets
+         "mig.precopy_bytes" (float_of_int precopy_bytes);
+       if forced then Metrics.incr t.metrics "mig.forced_stops";
+       trace t "mig_committed"
+     | None -> ())
   | Protocol.M_meta _ | Protocol.M_done _ ->
   match t.current with
   | None -> ()
   | Some p ->
     (match msg with
-     | Protocol.M_pong _ -> ()  (* handled above *)
+     | Protocol.M_pong _ | Protocol.M_migrate_round _ | Protocol.M_migrate_done _ ->
+       ()  (* handled above *)
      | Protocol.M_meta { pod_id; meta; _ } ->
        p.p_metas <- meta :: p.p_metas;
        p.p_wait_meta <- List.filter (fun id -> id <> pod_id) p.p_wait_meta;
@@ -220,8 +278,11 @@ let on_agent_message t (msg : Protocol.to_manager) =
         | Some info -> Hashtbl.replace t.infos pod_id { info with pi_meta = meta }
         | None -> ());
        (* step 3 of Figure 1: when every Agent has reported its meta-data,
-          tell them all to continue *)
-       if p.p_wait_meta = [] && p.p_kind = `Checkpoint then begin
+          tell them all to continue (a migration's final stop-and-copy runs
+          the same gated protocol; the destination's stray 'continue' is
+          harmless) *)
+       if p.p_wait_meta = [] && (p.p_kind = `Checkpoint || p.p_kind = `Mig_copy)
+       then begin
          span_end t "mgr_sync";
          trace t "continue_broadcast";
          List.iter
@@ -253,10 +314,42 @@ let on_agent_message t (msg : Protocol.to_manager) =
                r_stats = p.p_stats; r_metas = p.p_metas }
        end)
 
+(* A broken channel normally fails the operation outright.  One exception:
+   losing the *source* during a migration's copy phase is only fatal if the
+   destination has not committed.  The break and the destination's
+   M_migrate_done race on independent channels, so wait a few control
+   latencies for an in-flight commit to land before deciding. *)
+let channel_broke t ~node =
+  match t.mig, t.current with
+  | Some mg, Some p when p.p_kind = `Mig_copy && node = mg.mg_src ->
+    let gen = p.p_gen in
+    trace t "mig_src_break";
+    Engine.schedule_at t.engine
+      ~at:(Simtime.add (Engine.now t.engine) (5 * t.params.ctrl_latency))
+      (fun () ->
+        match t.mig, t.current with
+        | Some mg', Some p' when mg' == mg && p' == p && p'.p_gen = gen
+                                 && mg.mg_gen = gen ->
+          if mg.mg_committed then begin
+            (* the destination copy already won: the pod survives there *)
+            Metrics.incr t.metrics "mgr.mig.src_lost_after_commit";
+            trace t
+              (Printf.sprintf "mig_src_lost:pod%d->node%d" mg.mg_pod mg.mg_dest);
+            p.p_wait_meta <- [];
+            p.p_wait_done <- [];
+            finish t
+              { r_ok = true; r_failure = None; r_detail = "";
+                r_duration = Simtime.sub (Engine.now t.engine) p.p_started;
+                r_stats = p.p_stats; r_metas = p.p_metas }
+          end
+          else fail_op t (Protocol.F_channel { node })
+        | _ -> ())
+  | _ -> fail_op t (Protocol.F_channel { node })
+
 let attach_agent t ~node (ch : Protocol.channel) =
   Hashtbl.replace t.channels node ch;
   Control.set_up_handler ch (fun msg -> on_agent_message t msg);
-  Control.on_break ch (fun () -> fail_op t (Protocol.F_channel { node }))
+  Control.on_break ch (fun () -> channel_broke t ~node)
 
 (* failure injection for tests and demos: sever the control connection to
    one Agent (both sides then abort, per section 4) *)
@@ -295,6 +388,7 @@ let checkpoint ?(incremental = false) t ~(items : ckpt_item list) ~(resume : boo
       p_stats = [];
       p_metas = [];
       p_failed = None;
+      p_arm = 0;
       p_items = List.map (fun i -> (i.ci_pod, i.ci_node)) items;
       p_started = Engine.now t.engine;
       p_kind = `Checkpoint;
@@ -385,13 +479,19 @@ let redirected_altq ~metas ~images (pod_id : int) (entries : Meta.restart_entry 
            | _, _ -> None))
     entries
 
-let restart t ~(items : restart_item list) ~(on_done : op_result -> unit) =
+let restart ?(kind = `Restart) t ~(items : restart_item list)
+    ~(on_done : op_result -> unit) =
   if t.current <> None then invalid_arg "Manager: operation already in progress";
-  Metrics.incr t.metrics "mgr.restart.started";
+  let prefix, opname =
+    match kind with
+    | `Restart -> "mgr.restart", "restart_op"
+    | `Mig_restore -> "mgr.mig.restore", "mig_restore"
+  in
+  Metrics.incr t.metrics (prefix ^ ".started");
   let facts = List.map (fun i -> (i, pod_facts t i)) items in
   match List.find_opt (fun (_, f) -> Result.is_error f) facts with
   | Some (_, Error msg) ->
-    Metrics.incr t.metrics "mgr.restart.failed";
+    Metrics.incr t.metrics (prefix ^ ".failed");
     on_done
       { r_ok = false; r_failure = Some (Protocol.F_missing_image msg); r_detail = msg;
         r_duration = Simtime.zero; r_stats = []; r_metas = [] }
@@ -423,15 +523,16 @@ let restart t ~(items : restart_item list) ~(on_done : op_result -> unit) =
         p_stats = [];
         p_metas = metas;
         p_failed = None;
+        p_arm = 0;
         p_items = List.map (fun i -> (i.ri_pod, i.ri_node)) items;
         p_started = Engine.now t.engine;
-        p_kind = `Restart;
+        p_kind = (kind :> [ `Checkpoint | `Restart | `Mig_copy | `Mig_restore ]);
         p_gen = t.gen;
         p_done = on_done;
       }
     in
     t.current <- Some p;
-    span_begin t ~op:t.gen "restart_op";
+    span_begin t ~op:t.gen opname;
     arm_phase_timeout t p Protocol.Ph_done;
     List.iter2
       (fun item (i, (_, vip, name, _)) ->
@@ -451,4 +552,98 @@ let restart t ~(items : restart_item list) ~(on_done : op_result -> unit) =
                extra_altq; skip_sendq = redirect }))
       items facts
 
-let busy t = t.current <> None
+(* --- live migration --- *)
+
+let set_on_migrated t fn = t.on_migrated <- fn
+
+(* Two phases under one generation-guarded operation: (A) the source Agent
+   iterates pre-copy rounds into the destination's stage, then runs the
+   gated stop-and-copy of the residue (same meta/continue/done protocol as
+   a checkpoint — that is the blackout window); (B) the staged copy is
+   activated on the destination through the ordinary restart path, which
+   finds it prestaged and only pays the residue-apply cost. *)
+let migrate ?max_rounds ?dirty_threshold t ~(pod : int) ~(src_node : int)
+    ~(dest_node : int) ~(on_done : op_result -> unit) =
+  if t.current <> None || t.mig <> None then
+    invalid_arg "Manager: operation already in progress";
+  let max_rounds =
+    match max_rounds with Some r -> r | None -> t.params.mig_max_rounds
+  in
+  let dirty_threshold =
+    match dirty_threshold with
+    | Some f -> f
+    | None -> t.params.mig_dirty_threshold
+  in
+  t.gen <- t.gen + 1;
+  let mg =
+    { mg_pod = pod; mg_src = src_node; mg_dest = dest_node;
+      mg_started = Engine.now t.engine; mg_rounds = 0; mg_forced = false;
+      mg_committed = false; mg_gen = t.gen; mg_done = on_done }
+  in
+  t.mig <- Some mg;
+  Metrics.incr t.metrics "mgr.mig.started";
+  span_begin t ~op:t.gen "migrate";
+  trace t (Printf.sprintf "migrate_start:pod%d:%d->%d" pod src_node dest_node);
+  let finish_mig (r : op_result) =
+    t.mig <- None;
+    Metrics.incr t.metrics (if r.r_ok then "mgr.mig.ok" else "mgr.mig.failed");
+    Metrics.observe t.metrics "mgr.mig.duration_ms" (Simtime.to_ms r.r_duration);
+    if r.r_ok then
+      trace t
+        (Printf.sprintf "mig_done:rounds%d%s" mg.mg_rounds
+           (if mg.mg_forced then ":forced" else ""));
+    span_end t "migrate";
+    (* watchers learn the new home before (and regardless of how) the
+       caller reacts to completion *)
+    if r.r_ok then t.on_migrated ~pod ~src:src_node ~dest:dest_node;
+    mg.mg_done r
+  in
+  let p =
+    {
+      p_wait_meta = [ pod ];
+      p_wait_done = [ pod ];
+      p_stats = [];
+      p_metas = [];
+      p_failed = None;
+      p_arm = 0;
+      (* the destination is a party to the copy phase: an abort broadcast
+         must also clear its staged rounds *)
+      p_items = [ (pod, src_node); (pod, dest_node) ];
+      p_started = Engine.now t.engine;
+      p_kind = `Mig_copy;
+      p_gen = t.gen;
+      p_done =
+        (fun (copy : op_result) ->
+          if not copy.r_ok then
+            finish_mig
+              { copy with
+                r_duration = Simtime.sub (Engine.now t.engine) mg.mg_started }
+          else begin
+            trace t "mig_copy_done";
+            (* phase B, synchronously in the same engine callback (finish
+               cleared t.current first, and nothing can interleave): the
+               handoff to the activated destination copy is atomic as far
+               as Periodic and the Supervisor can observe *)
+            restart ~kind:`Mig_restore t
+              ~items:
+                [ { ri_node = dest_node; ri_pod = pod;
+                    ri_uri = Protocol.U_node dest_node } ]
+              ~on_done:(fun (res : op_result) ->
+                finish_mig
+                  { res with
+                    r_stats = res.r_stats @ copy.r_stats;
+                    r_metas =
+                      (match res.r_metas with [] -> copy.r_metas | ms -> ms);
+                    r_duration =
+                      Simtime.sub (Engine.now t.engine) mg.mg_started })
+          end);
+    }
+  in
+  t.current <- Some p;
+  span_begin t ~op:t.gen "mig_copy";
+  span_begin t ~op:t.gen "mgr_sync";
+  send t src_node
+    (Protocol.A_migrate { pod_id = pod; dest = dest_node; max_rounds; dirty_threshold });
+  arm_phase_timeout t p Protocol.Ph_meta
+
+let busy t = t.current <> None || t.mig <> None

@@ -76,9 +76,42 @@ val checkpoint :
     usable base exists or [Params.max_delta_chain] is reached.
     @raise Invalid_argument if an operation is already in progress. *)
 
-val restart : t -> items:restart_item list -> on_done:(op_result -> unit) -> unit
+val restart :
+  ?kind:[ `Restart | `Mig_restore ] ->
+  t -> items:restart_item list -> on_done:(op_result -> unit) -> unit
+(** [kind] (default [`Restart]) only changes observability labels: a
+    migration's phase B reports under [mgr.mig.restore.*] and the
+    [mig_restore] span instead of the plain restart names. *)
+
+val migrate :
+  ?max_rounds:int ->
+  ?dirty_threshold:float ->
+  t ->
+  pod:int ->
+  src_node:int ->
+  dest_node:int ->
+  on_done:(op_result -> unit) ->
+  unit
+(** Live-migrate one pod: iterative pre-copy rounds stream to the
+    destination Agent while the pod keeps running, a stop-and-copy of the
+    dirty residue plus process/socket/netfilter state forms the blackout
+    window, and the staged copy is activated on the destination.
+    [max_rounds]/[dirty_threshold] default to the {!Params} knobs;
+    [max_rounds = 0] degenerates to checkpoint-migrate-restart.
+    The source keeps the frozen pod until the destination commits, so a
+    failure at any point before the commit aborts cleanly and the pod
+    resumes at the source; after the commit the destination copy wins even
+    if the source is lost.
+    @raise Invalid_argument if an operation is already in progress. *)
+
+val set_on_migrated : t -> (pod:int -> src:int -> dest:int -> unit) -> unit
+(** Install the handoff hook, fired on successful migration before the
+    caller's [on_done]: watchers (the Supervisor) observe the pod's new
+    home atomically with completion. *)
 
 val busy : t -> bool
+(** An operation — including any phase of a live migration — is in
+    progress. *)
 
 val break_channel : t -> node:int -> unit
 (** Failure injection (tests/demos): sever the control connection to one

@@ -50,6 +50,20 @@ type t = {
   (* incremental checkpointing: how many consecutive delta images may chain
      off one full image before the Agent forces a full checkpoint again
      (bounds restart materialization work and lets old epochs be pruned) *)
+  (* live migration (iterative pre-copy) *)
+  mig_max_rounds : int;
+  (* pre-copy rounds before the source gives up and stop-and-copies the
+     residue anyway (0 degenerates to plain stop-and-copy migration) *)
+  mig_dirty_threshold : float;
+  (* convergence: stop pre-copying once a round's dirty residue falls to
+     this fraction of the pod's full image *)
+  mig_resume_fixed : Simtime.t;
+  (* destination-side activation cost when the pod skeleton and memory were
+     prestaged by the pre-copy rounds (replaces [restore_fixed]) *)
+  mig_stop_fixed : Simtime.t;
+  (* source-side fixed cost of the final stop-and-copy when pre-copy rounds
+     already ran: the kernel objects were enumerated by the rounds, only the
+     dirty-residue scan remains (replaces [ckpt_fixed]) *)
   (* design switches (ablations) *)
   redirect_sendq : bool;  (* merge send queues into the peer's ckpt stream *)
   serial_ckpt : bool;  (* barrier before the standalone checkpoint (OFF in ZapC) *)
@@ -85,6 +99,10 @@ let default =
     recover_retries = 5;
     storage_replicas = 2;
     max_delta_chain = 4;
+    mig_max_rounds = 8;
+    mig_dirty_threshold = 0.05;
+    mig_resume_fixed = Simtime.ms 12;
+    mig_stop_fixed = Simtime.ms 8;
     redirect_sendq = false;
     serial_ckpt = false;
     peek_mode = false;

@@ -66,6 +66,14 @@ let zero_stats =
   { st_net_time = 0; st_local_time = 0; st_conn_time = 0; st_image_bytes = 0;
     st_full_bytes = 0; st_net_bytes = 0; st_sockets = 0; st_procs = 0 }
 
+(* One pre-copy round as the source Agent reports it. *)
+type mig_round_stats = {
+  mg_round : int;  (* 0 = the full-image round *)
+  mg_bytes : int;  (* logical bytes shipped this round *)
+  mg_dirty : int;  (* dirty bytes observed when the round's stream landed *)
+  mg_duration : Simtime.t;
+}
+
 (* --- messages --- *)
 
 type to_agent =
@@ -84,11 +92,26 @@ type to_agent =
       skip_sendq : bool;  (* send queues were redirected; do not resend *)
     }
   | A_ping of { seq : int }  (* supervisor heartbeat probe *)
+  | A_migrate of {
+      pod_id : int;
+      dest : int;  (* destination node: rounds stream to its Agent *)
+      max_rounds : int;  (* pre-copy round cap; 0 = plain stop-and-copy *)
+      dirty_threshold : float;  (* converged when round dirty <= this x full *)
+    }
 
 type to_manager =
   | M_meta of { node : int; pod_id : int; meta : Meta.pod_meta; meta_bytes : int }
   | M_done of { node : int; pod_id : int; ok : bool; detail : string; stats : agent_stats }
   | M_pong of { node : int; seq : int }  (* heartbeat reply *)
+  | M_migrate_round of { node : int; pod_id : int; stats : mig_round_stats }
+      (* the source: one pre-copy round's stream has landed at the dest *)
+  | M_migrate_done of {
+      node : int;  (* the DESTINATION node: this is the commit message *)
+      pod_id : int;
+      rounds : int;  (* pre-copy rounds that ran (cap 0 => 0) *)
+      precopy_bytes : int;  (* bytes shipped before the stop-and-copy *)
+      forced : bool;  (* round cap hit without converging *)
+    }
 
 (* Rough message sizes for the control-plane cost model. *)
 let to_agent_bytes = function
@@ -96,6 +119,7 @@ let to_agent_bytes = function
   | A_continue _ -> 16
   | A_abort _ -> 16
   | A_ping _ -> 16
+  | A_migrate _ -> 32
   | A_restart r ->
     128
     + (List.length r.entries * 64)
@@ -106,6 +130,8 @@ let to_manager_bytes = function
   | M_meta m -> 32 + m.meta_bytes
   | M_done _ -> 64
   | M_pong _ -> 16
+  | M_migrate_round _ -> 48
+  | M_migrate_done _ -> 32
 
 (* --- Value codecs ---
 
@@ -142,6 +168,18 @@ let stats_of_value v =
     st_full_bytes = i "full_bytes"; st_net_bytes = i "net_bytes";
     st_sockets = i "sockets"; st_procs = i "procs" }
 
+let mig_round_stats_to_value st =
+  Value.assoc
+    [ ("round", Value.int st.mg_round);
+      ("bytes", Value.int st.mg_bytes);
+      ("dirty", Value.int st.mg_dirty);
+      ("duration", Value.int st.mg_duration) ]
+
+let mig_round_stats_of_value v =
+  let i k = Value.to_int (Value.field k v) in
+  { mg_round = i "round"; mg_bytes = i "bytes"; mg_dirty = i "dirty";
+    mg_duration = i "duration" }
+
 let to_agent_to_value = function
   | A_checkpoint { pod_id; dest; resume; incremental } ->
     Value.tag "checkpoint"
@@ -161,6 +199,12 @@ let to_agent_to_value = function
            ("extra_altq", Value.list (Value.pair Value.int Value.str) extra_altq);
            ("skip_sendq", Value.bool skip_sendq) ])
   | A_ping { seq } -> Value.tag "ping" (Value.int seq)
+  | A_migrate { pod_id; dest; max_rounds; dirty_threshold } ->
+    Value.tag "migrate"
+      (Value.assoc
+         [ ("pod", Value.int pod_id); ("dest", Value.int dest);
+           ("max_rounds", Value.int max_rounds);
+           ("dirty_threshold", Value.Float dirty_threshold) ])
 
 let to_agent_of_value v =
   match Value.to_tag v with
@@ -187,6 +231,12 @@ let to_agent_of_value v =
             (Value.field "extra_altq" b);
         skip_sendq = Value.to_bool (Value.field "skip_sendq" b) }
   | "ping", b -> A_ping { seq = Value.to_int b }
+  | "migrate", b ->
+    A_migrate
+      { pod_id = Value.to_int (Value.field "pod" b);
+        dest = Value.to_int (Value.field "dest" b);
+        max_rounds = Value.to_int (Value.field "max_rounds" b);
+        dirty_threshold = Value.to_float (Value.field "dirty_threshold" b) }
   | tag, _ -> Value.decode_error "bad to_agent tag %s" tag
 
 let to_manager_to_value = function
@@ -203,6 +253,18 @@ let to_manager_to_value = function
            ("stats", stats_to_value stats) ])
   | M_pong { node; seq } ->
     Value.tag "pong" (Value.assoc [ ("node", Value.int node); ("seq", Value.int seq) ])
+  | M_migrate_round { node; pod_id; stats } ->
+    Value.tag "mig_round"
+      (Value.assoc
+         [ ("node", Value.int node); ("pod", Value.int pod_id);
+           ("stats", mig_round_stats_to_value stats) ])
+  | M_migrate_done { node; pod_id; rounds; precopy_bytes; forced } ->
+    Value.tag "mig_done"
+      (Value.assoc
+         [ ("node", Value.int node); ("pod", Value.int pod_id);
+           ("rounds", Value.int rounds);
+           ("precopy_bytes", Value.int precopy_bytes);
+           ("forced", Value.bool forced) ])
 
 let to_manager_of_value v =
   match Value.to_tag v with
@@ -223,6 +285,18 @@ let to_manager_of_value v =
     M_pong
       { node = Value.to_int (Value.field "node" b);
         seq = Value.to_int (Value.field "seq" b) }
+  | "mig_round", b ->
+    M_migrate_round
+      { node = Value.to_int (Value.field "node" b);
+        pod_id = Value.to_int (Value.field "pod" b);
+        stats = mig_round_stats_of_value (Value.field "stats" b) }
+  | "mig_done", b ->
+    M_migrate_done
+      { node = Value.to_int (Value.field "node" b);
+        pod_id = Value.to_int (Value.field "pod" b);
+        rounds = Value.to_int (Value.field "rounds" b);
+        precopy_bytes = Value.to_int (Value.field "precopy_bytes" b);
+        forced = Value.to_bool (Value.field "forced" b) }
   | tag, _ -> Value.decode_error "bad to_manager tag %s" tag
 
 type channel = (to_manager, to_agent) Control.t

@@ -52,6 +52,14 @@ type agent_stats = {
 
 val zero_stats : agent_stats
 
+type mig_round_stats = {
+  mg_round : int;  (** 0 = the full-image round *)
+  mg_bytes : int;  (** logical bytes shipped this round *)
+  mg_dirty : int;  (** dirty bytes observed when the round's stream landed *)
+  mg_duration : Simtime.t;
+}
+(** One iterative pre-copy round as the source Agent reports it. *)
+
 type to_agent =
   | A_checkpoint of {
       pod_id : int;
@@ -78,11 +86,28 @@ type to_agent =
       skip_sendq : bool;  (** send queues were redirected; do not resend *)
     }
   | A_ping of { seq : int }  (** supervisor heartbeat probe *)
+  | A_migrate of {
+      pod_id : int;
+      dest : int;  (** destination node: rounds stream to its Agent *)
+      max_rounds : int;  (** pre-copy round cap; 0 = plain stop-and-copy *)
+      dirty_threshold : float;
+          (** converged once a round's dirty residue falls to this fraction
+              of the pod's full image *)
+    }
 
 type to_manager =
   | M_meta of { node : int; pod_id : int; meta : Meta.pod_meta; meta_bytes : int }
   | M_done of { node : int; pod_id : int; ok : bool; detail : string; stats : agent_stats }
   | M_pong of { node : int; seq : int }  (** heartbeat reply *)
+  | M_migrate_round of { node : int; pod_id : int; stats : mig_round_stats }
+      (** from the source: one pre-copy round's stream landed at the dest *)
+  | M_migrate_done of {
+      node : int;  (** the {e destination} node: this is the commit message *)
+      pod_id : int;
+      rounds : int;  (** pre-copy rounds that ran (cap 0 => 0) *)
+      precopy_bytes : int;  (** bytes shipped before the stop-and-copy *)
+      forced : bool;  (** round cap hit without converging *)
+    }
 
 val to_agent_bytes : to_agent -> int
 (** Approximate message size for the control-plane cost model. *)
@@ -99,6 +124,8 @@ val uri_to_value : uri -> Value.t
 val uri_of_value : Value.t -> uri
 val stats_to_value : agent_stats -> Value.t
 val stats_of_value : Value.t -> agent_stats
+val mig_round_stats_to_value : mig_round_stats -> Value.t
+val mig_round_stats_of_value : Value.t -> mig_round_stats
 val to_agent_to_value : to_agent -> Value.t
 val to_agent_of_value : Value.t -> to_agent
 val to_manager_to_value : to_manager -> Value.t

@@ -82,6 +82,15 @@ let nodes_of_group t =
 
 let miss_count t node = try Hashtbl.find t.misses node with Not_found -> 0
 
+(* Refresh the watch set when the group's footprint changes (a migration
+   handoff, or a completed recovery): the union of the nodes now hosting
+   the group and any node already under suspicion — recomputing from live
+   pods alone would silently drop the very node being detected. *)
+let refresh_watched t =
+  let fresh = nodes_of_group t in
+  let suspected = List.filter (fun n -> miss_count t n > 0) t.watched in
+  t.watched <- List.sort_uniq Int.compare (fresh @ suspected)
+
 (* Capped exponential backoff with deterministic jitter: attempt k waits
    min(max, base * 2^(k-1)) stretched by a factor in [1, 1.5). *)
 let backoff_delay t =
@@ -211,7 +220,7 @@ and recovered t =
   Hashtbl.reset t.awaiting;
   Hashtbl.reset t.first_miss;
   (* the group may live on different nodes now: refresh the watch set *)
-  t.watched <- nodes_of_group t;
+  refresh_watched t;
   t.state <- Monitoring;
   Periodic.resume t.service
 
@@ -255,6 +264,12 @@ let start ?trace cluster service =
       if t.state = Suspected
          && not (List.exists (fun n -> miss_count t n > 0) t.watched)
       then t.state <- Monitoring);
+  (* a live migration moves a watched pod: observe its new home at the
+     handoff, atomically with the Manager completing the operation *)
+  Manager.set_on_migrated (Cluster.manager cluster)
+    (fun ~pod ~src ~dest ->
+      note t (Printf.sprintf "sup_watch_refresh:pod%d:%d->%d" pod src dest);
+      refresh_watched t);
   t.watched <- nodes_of_group t;
   schedule_beat t;
   t

@@ -258,6 +258,234 @@ let test_loss_burst_rides_out () =
   ignore (Launch.wait_done cluster app);
   check tbool "app completed under loss" true (has_log "bt_nas: checksum")
 
+(* --- live migration under faults --------------------------------------- *)
+
+let n_seeds () =
+  match Sys.getenv_opt "CHAOS_SEEDS" with
+  | Some s -> (try Stdlib.max 1 (int_of_string (String.trim s)) with _ -> 25)
+  | None -> 25
+
+(* Fixed costs sized so a whole pre-copy migration (announce, rounds,
+   stop-and-copy, destination activation) fits comfortably inside the
+   chaos phase timeout, while the faults still land mid-flight. *)
+let mig_params =
+  { chaos_params with
+    phase_timeout = Simtime.ms 400;
+    ckpt_fixed = Simtime.ms 20;
+    restore_fixed = Simtime.ms 60;
+    mig_stop_fixed = Simtime.ms 4;
+    mig_resume_fixed = Simtime.ms 6;
+    cost_jitter = 0.2 }
+
+let find_log prefix =
+  List.find_opt
+    (fun s ->
+      String.length s >= String.length prefix
+      && String.equal (String.sub s 0 (String.length prefix)) prefix)
+    !logged
+
+(* Where the pod with this id lives RIGHT NOW: migration re-creates the
+   Pod.t on the destination, so stale launch-time references go dark. *)
+let pod_node cluster pod_id =
+  match Pod.find pod_id with Some p -> node_of_pod cluster p | None -> -1
+
+let mig_pod cluster (app : Launch.app) ~on_node =
+  match
+    List.find_opt (fun (p : Pod.t) -> node_of_pod cluster p = on_node) app.Launch.pods
+  with
+  | Some p -> p
+  | None -> Alcotest.fail "no app pod on the expected node"
+
+let start_migrate ?max_rounds cluster ~pod_id ~dest =
+  let result = ref None in
+  Manager.migrate ?max_rounds (Cluster.manager cluster) ~pod:pod_id
+    ~src_node:(pod_node cluster pod_id) ~dest_node:dest ~on_done:(fun r ->
+      result := Some r);
+  result
+
+(* The checksum a clean, unmigrated run of the scenario workload logs —
+   every migration scenario must end on the byte-identical line, which
+   rules out data loss or duplication across the move. *)
+let mig_reference =
+  lazy
+    (let cluster = make_cluster ~params:mig_params () in
+     let app =
+       Launch.launch cluster ~name:"ref" ~program:"bt_nas" ~placement:[ 0; 1 ]
+         ~app_args:(bt_args 64 15) ()
+     in
+     ignore (Launch.wait_done cluster app);
+     match find_log "bt_nas: checksum" with
+     | Some l -> l
+     | None -> Alcotest.fail "reference run produced no checksum")
+
+(* Launch the standard 2-rank workload and return the rank-1 pod (the one
+   every migration scenario moves). *)
+let mig_setup seed =
+  let reference = Lazy.force mig_reference in
+  let cluster = make_cluster ~params:mig_params ~seed () in
+  let fs = Faultsim.create cluster in
+  let app =
+    Launch.launch cluster ~name:"mig" ~program:"bt_nas" ~placement:[ 0; 1 ]
+      ~app_args:(bt_args 64 15) ()
+  in
+  Cluster.run cluster ~until:(Simtime.ms 5) ();
+  (cluster, fs, app, mig_pod cluster app ~on_node:1, reference)
+
+let mig_app_intact ctx cluster reference =
+  Cluster.run_until cluster ~timeout:(Simtime.sec 1200.0) (fun () ->
+      has_log "bt_nas: checksum");
+  if not (List.mem reference !logged) then
+    Alcotest.fail (ctx ^ ": checksum differs from the unmigrated run")
+
+let mig_digest fs r pod_id cluster =
+  let fired =
+    List.map (fun (t, w) -> Printf.sprintf "%d %s" t w) (Faultsim.fired fs)
+  in
+  Zapc.Trace.clear_observers (Faultsim.trace fs);
+  fired
+  @ [ Printf.sprintf "ok=%b pod@%d t=%.3fms" r.Manager.r_ok
+        (pod_node cluster pod_id) (Simtime.to_ms (Cluster.now cluster)) ]
+
+(* Smoke: live-migrate one rank of a connected application while its peer
+   keeps sending, no faults.  The pre-copy rounds, the netfilter-gated
+   blackout and the destination activation all run under real traffic, and
+   the final checksum proves the TCP stream lost nothing in the move. *)
+let run_mig_under_traffic seed =
+  let cluster, fs, _app, p, reference = mig_setup (3000 + seed) in
+  let r = wait_result cluster (start_migrate cluster ~pod_id:p.Pod.pod_id ~dest:2) in
+  check tbool "live migrate ok" true r.Manager.r_ok;
+  assert_result_shape "mig-smoke" r;
+  check tbool "pod now on the destination" true (pod_node cluster p.Pod.pod_id = 2);
+  assert_clean "mig-smoke" cluster fs;
+  mig_app_intact "mig-smoke" cluster reference;
+  mig_digest fs r p.Pod.pod_id cluster
+
+(* Scenario 1: the DESTINATION node crashes mid-round, with the supervisor
+   watching the app.  The operation must fail with a structured reason, the
+   source copy keeps running untouched, and the supervisor must not
+   double-recover (the pod never left its watched home). *)
+let run_mig_dest_crash seed =
+  let cluster, fs, app, p, reference = mig_setup (3100 + seed) in
+  let svc =
+    Periodic.start cluster ~pods:app.Launch.pods ~prefix:"migsup"
+      ~period:(Simtime.ms 50) ~keep:2 ()
+  in
+  let sup = Supervisor.start ~trace:(Faultsim.trace fs) cluster svc in
+  Cluster.run_until cluster ~timeout:(Simtime.sec 30.0) (fun () ->
+      Periodic.last_good svc >= 1 && not (Manager.busy (Cluster.manager cluster)));
+  Faultsim.install fs
+    { fault = Crash_node { node = 2 };
+      trigger = On_phase { phase = "mig_round"; pod = Some p.Pod.pod_id; skip = 0 } };
+  let r = wait_result cluster (start_migrate cluster ~pod_id:p.Pod.pod_id ~dest:2) in
+  check tbool "migration aborted" false r.Manager.r_ok;
+  assert_result_shape "mig-dest-crash" r;
+  (match r.Manager.r_failure with
+   | Some (Protocol.F_channel { node }) ->
+     check tbool "failure names the dead destination" true (node = 2)
+   | _ -> Alcotest.fail "expected F_channel naming the destination");
+  check tbool "fault fired" true (List.length (Faultsim.fired fs) = 1);
+  check tbool "pod still on the source" true (pod_node cluster p.Pod.pod_id = 1);
+  (* run on across another periodic epoch: plenty of time for a confused
+     supervisor to act, and proof the epoch machinery still checkpoints the
+     unmoved pod from its source node *)
+  let good = Periodic.last_good svc in
+  Cluster.run_until cluster ~timeout:(Simtime.sec 30.0) (fun () ->
+      Periodic.last_good svc > good && not (Manager.busy (Cluster.manager cluster)));
+  check tbool "supervisor did not double-recover" true (Supervisor.recoveries sup = 0);
+  check tbool "watch set never moved to the dead destination" true
+    (not (List.mem 2 (Supervisor.watched sup)));
+  Supervisor.stop sup;
+  Periodic.stop svc;
+  Cluster.run cluster ~until:(Simtime.add (Cluster.now cluster) (Simtime.ms 200)) ();
+  assert_clean "mig-dest-crash" cluster fs;
+  mig_app_intact "mig-dest-crash" cluster reference;
+  mig_digest fs r p.Pod.pod_id cluster
+
+(* Scenario 2: the SOURCE node crashes the instant it hands the pod off —
+   its own done-report never gets out, but the destination committed first.
+   The Manager's grace window must let the in-flight commit win: exactly
+   one live copy afterwards, on the destination, and no split brain. *)
+let run_mig_src_crash seed =
+  let cluster, fs, _app, p, reference = mig_setup (3200 + seed) in
+  Faultsim.install fs
+    { fault = Crash_node { node = 1 };
+      trigger = On_phase { phase = "mig_handoff"; pod = Some p.Pod.pod_id; skip = 0 } };
+  let r = wait_result cluster (start_migrate cluster ~pod_id:p.Pod.pod_id ~dest:2) in
+  check tbool "destination copy wins" true r.Manager.r_ok;
+  assert_result_shape "mig-src-crash" r;
+  check tbool "fault fired" true (List.length (Faultsim.fired fs) = 1);
+  check tbool "source loss after commit counted once" true
+    (Zapc_obs.Metrics.counter (Cluster.metrics cluster) "mgr.mig.src_lost_after_commit"
+     = 1);
+  check tbool "exactly one live copy, on the destination" true
+    (pod_node cluster p.Pod.pod_id = 2);
+  Cluster.run cluster ~until:(Simtime.add (Cluster.now cluster) (Simtime.ms 300)) ();
+  assert_clean "mig-src-crash" cluster fs;
+  mig_app_intact "mig-src-crash" cluster reference;
+  mig_digest fs r p.Pod.pod_id cluster
+
+(* Scenario 3: the destination's channel breaks during the residue
+   transfer — after the source suspended the pod, before the commit.  The
+   operation aborts cleanly, the pod resumes on the source, the destination
+   drops everything it staged, and the pod is immediately migratable again
+   to a healthy node. *)
+let run_mig_residue_break seed =
+  let cluster, fs, _app, p, reference = mig_setup (3300 + seed) in
+  let stage_drops = ref 0 in
+  Zapc.Trace.on_record (Faultsim.trace fs) (fun (ev : Zapc.Trace.event) ->
+      if String.equal ev.ev_what "mig_stage_dropped" && ev.ev_pod = p.Pod.pod_id
+      then incr stage_drops);
+  Faultsim.install fs
+    { fault = Break_channel { node = 2 };
+      trigger = On_phase { phase = "mig_residue"; pod = Some p.Pod.pod_id; skip = 0 } };
+  let r = wait_result cluster (start_migrate cluster ~pod_id:p.Pod.pod_id ~dest:2) in
+  check tbool "migration aborted" false r.Manager.r_ok;
+  assert_result_shape "mig-residue-break" r;
+  (match r.Manager.r_failure with
+   | Some (Protocol.F_channel { node }) ->
+     check tbool "break names the destination" true (node = 2)
+   | _ -> Alcotest.fail "expected F_channel naming the destination");
+  Cluster.run cluster ~until:(Simtime.add (Cluster.now cluster) (Simtime.ms 300)) ();
+  check tbool "pod resumed on the source" true (pod_node cluster p.Pod.pod_id = 1);
+  check tbool "destination dropped its staged rounds" true (!stage_drops >= 1);
+  assert_clean "mig-residue-break" cluster fs;
+  (* the abort left no residue in the way: a retry to a healthy node wins *)
+  let r2 = wait_result cluster (start_migrate cluster ~pod_id:p.Pod.pod_id ~dest:3) in
+  check tbool "retry to a healthy destination succeeds" true r2.Manager.r_ok;
+  check tbool "pod now on the retry destination" true
+    (pod_node cluster p.Pod.pod_id = 3);
+  assert_clean "mig-residue-retry" cluster fs;
+  mig_app_intact "mig-residue-break" cluster reference;
+  mig_digest fs r p.Pod.pod_id cluster
+
+let test_mig_under_traffic () = ignore (run_mig_under_traffic 42)
+let test_mig_dest_crash () = ignore (run_mig_dest_crash 42)
+let test_mig_src_crash () = ignore (run_mig_src_crash 42)
+let test_mig_residue_break () = ignore (run_mig_residue_break 42)
+
+(* Every scenario must hold across the seed sweep (jitter moves every cost,
+   so the faults land at different instants each time). *)
+let test_mig_seed_sweep () =
+  let n = Stdlib.max 3 (n_seeds () / 3) in
+  for seed = 1 to n do
+    ignore (run_mig_dest_crash seed);
+    ignore (run_mig_src_crash seed);
+    ignore (run_mig_residue_break seed)
+  done;
+  Printf.printf "chaos: migration scenarios swept over %d seeds\n%!" n
+
+(* ... and bit-identically: the same seed replays the same fault instants
+   and the same outcome. *)
+let test_mig_deterministic () =
+  List.iter
+    (fun (name, f) ->
+      let a = f 11 and b = f 11 in
+      check (Alcotest.list Alcotest.string) (name ^ ": same seed, same run") a b)
+    [ ("under-traffic", run_mig_under_traffic);
+      ("dest-crash", run_mig_dest_crash);
+      ("src-crash", run_mig_src_crash);
+      ("residue-break", run_mig_residue_break) ]
+
 (* --- seeded random scenarios ------------------------------------------- *)
 
 type scenario_outcome = { so_kinds : string list }
@@ -326,11 +554,6 @@ let run_scenario seed =
      into this scenario's dead cluster from the next one's events *)
   Zapc.Trace.clear_observers (Faultsim.trace fs);
   { so_kinds = List.map (fun (i : Faultsim.injection) -> kind_of i.fault) plan }
-
-let n_seeds () =
-  match Sys.getenv_opt "CHAOS_SEEDS" with
-  | Some s -> (try Stdlib.max 1 (int_of_string (String.trim s)) with _ -> 25)
-  | None -> 25
 
 let test_random_scenarios () =
   let n = n_seeds () in
@@ -643,6 +866,14 @@ let () =
           Alcotest.test_case "node crash mid-checkpoint" `Quick
             test_node_crash_mid_checkpoint;
           Alcotest.test_case "loss burst rides out" `Quick test_loss_burst_rides_out ] );
+      ( "migration",
+        [ Alcotest.test_case "live migrate under traffic" `Quick test_mig_under_traffic;
+          Alcotest.test_case "destination crash mid-round" `Quick test_mig_dest_crash;
+          Alcotest.test_case "source crash after handoff" `Quick test_mig_src_crash;
+          Alcotest.test_case "channel break during residue" `Quick
+            test_mig_residue_break;
+          Alcotest.test_case "scenarios across seeds" `Quick test_mig_seed_sweep;
+          Alcotest.test_case "scenario determinism" `Quick test_mig_deterministic ] );
       ( "availability",
         [ Alcotest.test_case "crash auto-recovery, zero manual calls" `Quick
             test_crash_autorecovery;

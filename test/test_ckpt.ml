@@ -630,6 +630,123 @@ let test_delta_chain_corruption_and_gc () =
   Storage.remove storage2 "d1";
   check tbool "cascade reclaimed everything" true (Storage.keys storage2 = [])
 
+(* --- live-migration pre-copy properties --------------------------------
+   The destination of a live migration folds round deltas over the round-0
+   full image and finally the stop-and-copy residue (Agent.receive_mig_round
+   / receive_mig_final).  Whatever the touch pattern, that composition must
+   be Value- and byte-identical to a plain stop-and-copy image taken at the
+   final instant; and when the dirty rate decays, the per-round residue must
+   shrink monotonically. *)
+
+let mig_pod_seq = ref 9000
+
+let precopy_env () =
+  incr mig_pod_seq;
+  let engine = Engine.create ~seed:!mig_pod_seq () in
+  let fabric = Fabric.create engine in
+  let k = Kernel.create ~node_id:0 fabric in
+  let pod =
+    Pod.create ~pod_id:!mig_pod_seq ~name:"migpod" ~vip:(Addr.make_ip 10 1 0 21)
+      ~rip:(Addr.make_ip 172 16 0 21) k
+  in
+  ignore (Pod.spawn pod ~program:"ckpttest.memhog" ~args:Value.Unit);
+  Engine.run ~until:(Simtime.ms 2) ~max_events:100_000 engine;
+  (engine, pod)
+
+let proc_mem pod =
+  match Pod.members pod with
+  | (_, (p : Proc.t)) :: _ -> p.Proc.mem
+  | [] -> Alcotest.fail "pod has no live process"
+
+let region i = Printf.sprintf "r%d" i
+
+(* Emulate one source-side pre-copy round: capture the running pod, clear
+   the dirty set (capture-and-clear, as Agent.mig_round does), diff against
+   the previous capture. *)
+let capture_round pod ~last =
+  let r = Pod_ckpt.checkpoint ~mode:Sock_state.Peek pod in
+  let dirty = Pod_ckpt.snapshot_memory_dirty pod in
+  let d = Delta.make ~base_key:"mig" ~base:last ~full:r.Pod_ckpt.image ~dirty_bytes:dirty in
+  (r.Pod_ckpt.image, d)
+
+let precopy_case_gen =
+  let open QCheck.Gen in
+  let sizes = list_size (int_range 2 6) (int_range 1_000 80_000) in
+  (* (region index, new size); size 0 = touch without resizing *)
+  let touch = pair (int_bound 7) (oneof [ return 0; int_range 500 60_000 ]) in
+  let round = list_size (int_range 0 5) touch in
+  pair sizes (list_size (int_range 1 4) round)
+
+let prop_precopy_composition_identity =
+  QCheck.Test.make ~name:"pre-copy composition is byte-identical to stop-and-copy"
+    ~count:60 (QCheck.make precopy_case_gen) (fun (sizes, rounds) ->
+      let engine, pod = precopy_env () in
+      let mem = proc_mem pod in
+      let sizes = Array.of_list sizes in
+      Array.iteri (fun i sz -> Memory.alloc mem (region i) sz) sizes;
+      (* round 0 ships the full image of the running pod *)
+      let r0 = Pod_ckpt.checkpoint ~mode:Sock_state.Peek pod in
+      ignore (Pod_ckpt.snapshot_memory_dirty pod);
+      let staged = ref r0.Pod_ckpt.image in
+      let last = ref r0.Pod_ckpt.image in
+      List.iteri
+        (fun k touches ->
+          Engine.run ~until:(Simtime.ms (4 + k)) ~max_events:100_000 engine;
+          List.iter
+            (fun (i, sz) ->
+              let name = region (i mod Array.length sizes) in
+              if sz = 0 then Memory.touch mem name else Memory.alloc mem name sz)
+            touches;
+          let image, d = capture_round pod ~last:!last in
+          staged := Delta.apply ~base:!staged d;
+          last := image)
+        rounds;
+      (* the final stop-and-copy: residue of the now-suspended pod *)
+      Pod.suspend pod;
+      let rf = Pod_ckpt.checkpoint pod in
+      let residue =
+        Delta.make ~base_key:"mig" ~base:!last ~full:rf.Pod_ckpt.image
+          ~dirty_bytes:(Pod_ckpt.dirty_memory_bytes pod)
+      in
+      let final = Delta.apply ~base:!staged residue in
+      let want = Image.of_pod_image rf.Pod_ckpt.image in
+      let got = Image.of_pod_image final in
+      Value.equal final rf.Pod_ckpt.image
+      && String.equal want.Image.encoded got.Image.encoded
+      && Image.checksum want = Image.checksum got)
+
+let prop_precopy_residue_monotone =
+  QCheck.Test.make ~name:"residue shrinks monotonically under a decaying dirty rate"
+    ~count:40
+    (QCheck.make QCheck.Gen.(pair (int_range 8 16) (int_range 4_000 40_000)))
+    (fun (nregions, size) ->
+      let engine, pod = precopy_env () in
+      let mem = proc_mem pod in
+      for i = 0 to nregions - 1 do
+        Memory.alloc mem (region i) size
+      done;
+      let r0 = Pod_ckpt.checkpoint ~mode:Sock_state.Peek pod in
+      ignore (Pod_ckpt.snapshot_memory_dirty pod);
+      let last = ref r0.Pod_ckpt.image in
+      let residues = ref [] in
+      (* round k re-touches nregions / 2^k regions: a decaying dirty rate *)
+      let touched = ref nregions in
+      for k = 1 to 4 do
+        touched := Stdlib.max 1 (!touched / 2);
+        Engine.run ~until:(Simtime.ms (2 + k)) ~max_events:100_000 engine;
+        for i = 0 to !touched - 1 do
+          Memory.touch mem (region i)
+        done;
+        let image, d = capture_round pod ~last:!last in
+        residues := (Image.of_pod_image d).Image.logical_size :: !residues;
+        last := image
+      done;
+      let rec non_increasing = function
+        | a :: (b :: _ as rest) -> a >= b && non_increasing rest
+        | _ -> true
+      in
+      non_increasing (List.rev !residues))
+
 let () =
   Alcotest.run "ckpt"
     [ ( "sock_state",
@@ -656,4 +773,7 @@ let () =
         [ Alcotest.test_case "dirty tracking" `Quick test_memory_dirty_tracking;
           Alcotest.test_case "chain byte-identity" `Quick test_delta_chain_byte_identity;
           Alcotest.test_case "corruption + gc" `Quick
-            test_delta_chain_corruption_and_gc ] ) ]
+            test_delta_chain_corruption_and_gc ] );
+      ( "migration properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_precopy_composition_identity; prop_precopy_residue_monotone ] ) ]

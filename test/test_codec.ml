@@ -246,7 +246,21 @@ let to_agent_gen =
                  (list_size (int_bound 4) (pair ip_gen ip_gen))
                  (pair (list_size (int_bound 3) (pair (int_bound 32) string_small))
                     bool))));
-      map (fun seq -> Protocol.A_ping { seq }) nat ]
+      map (fun seq -> Protocol.A_ping { seq }) nat;
+      map
+        (fun ((pod_id, dest), (max_rounds, dirty_threshold)) ->
+          Protocol.A_migrate { pod_id; dest; max_rounds; dirty_threshold })
+        (pair (pair nat (int_bound 16))
+           (pair (int_bound 32)
+              (* exact binary fractions so float equality is trustworthy *)
+              (map (fun n -> float_of_int n /. 256.0) (int_bound 256)))) ]
+
+let mig_round_stats_gen =
+  let open QCheck.Gen in
+  map
+    (fun ((mg_round, mg_bytes), (mg_dirty, mg_duration)) ->
+      { Protocol.mg_round; mg_bytes; mg_dirty; mg_duration })
+    (pair (pair (int_bound 32) nat) (pair nat nat))
 
 let to_manager_gen =
   let open QCheck.Gen in
@@ -259,7 +273,15 @@ let to_manager_gen =
         (fun ((node, pod_id), ((ok, detail), stats)) ->
           Protocol.M_done { node; pod_id; ok; detail; stats })
         (pair (pair nat nat) (pair (pair bool string_small) stats_gen));
-      map (fun (node, seq) -> Protocol.M_pong { node; seq }) (pair nat nat) ]
+      map (fun (node, seq) -> Protocol.M_pong { node; seq }) (pair nat nat);
+      map
+        (fun ((node, pod_id), stats) ->
+          Protocol.M_migrate_round { node; pod_id; stats })
+        (pair (pair nat nat) mig_round_stats_gen);
+      map
+        (fun ((node, pod_id), ((rounds, precopy_bytes), forced)) ->
+          Protocol.M_migrate_done { node; pod_id; rounds; precopy_bytes; forced })
+        (pair (pair nat nat) (pair (pair (int_bound 32) nat) bool)) ]
 
 let prop_protocol_agent_roundtrip =
   QCheck.Test.make ~name:"Manager->Agent messages roundtrip" ~count:300
@@ -270,6 +292,13 @@ let prop_protocol_manager_roundtrip =
   QCheck.Test.make ~name:"Agent->Manager messages roundtrip" ~count:300
     (QCheck.make to_manager_gen) (fun m ->
       Protocol.to_manager_of_value (roundtrip (Protocol.to_manager_to_value m)) = m)
+
+let prop_mig_round_stats_roundtrip =
+  QCheck.Test.make ~name:"migration round stats roundtrip" ~count:300
+    (QCheck.make mig_round_stats_gen) (fun s ->
+      Protocol.mig_round_stats_of_value
+        (roundtrip (Protocol.mig_round_stats_to_value s))
+      = s)
 
 (* a pod image: the three required header fields plus arbitrary extra
    sections; Image serialization must preserve every section verbatim *)
@@ -333,4 +362,5 @@ let () =
       ( "protocol",
         List.map QCheck_alcotest.to_alcotest
           [ prop_protocol_agent_roundtrip; prop_protocol_manager_roundtrip;
-            prop_image_sections_roundtrip; prop_image_checksum_detects_bitflips ] ) ]
+            prop_mig_round_stats_roundtrip; prop_image_sections_roundtrip;
+            prop_image_checksum_detects_bitflips ] ) ]

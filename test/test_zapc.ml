@@ -462,12 +462,89 @@ module Gm_pong = struct
     | _ -> failwith "bad"
 end
 
+(* Allocates [regions] regions of [size] bytes, then rewrites [stride] of
+   them (rotating) every [period_us] for [loops] iterations — a
+   controllable dirty rate for the live-migration tests.  [loops = 0]
+   allocates, logs and sleeps: a quiescent working set. *)
+module Dirtyhog = struct
+  type state = {
+    regions : int;
+    size : int;
+    stride : int;
+    period_us : int;
+    loops : int;
+    mutable ph : int;  (* 0..regions-1: allocation; then past-the-end *)
+    mutable iter : int;
+    mutable next : int;  (* 0 = sleep next; 1..stride = touch next *)
+  }
+
+  let name = "test.dirtyhog"
+
+  let start args =
+    { regions = Value.to_int (Value.field "regions" args);
+      size = Value.to_int (Value.field "size" args);
+      stride = Value.to_int (Value.field "stride" args);
+      period_us = Value.to_int (Value.field "period_us" args);
+      loops = Value.to_int (Value.field "loops" args);
+      ph = 0; iter = 0; next = 0 }
+
+  let region i = Printf.sprintf "hog.%d" i
+
+  let step s (_ : Syscall.outcome) =
+    if s.ph < s.regions then begin
+      let i = s.ph in
+      s.ph <- s.ph + 1;
+      (s, Program.Sys (Syscall.Mem_alloc (region i, s.size)))
+    end
+    else if s.iter >= s.loops then
+      match s.ph - s.regions with
+      | 0 ->
+        s.ph <- s.ph + 1;
+        (s, Program.Sys (Syscall.Log "dirtyhog ready"))
+      | _ ->
+        (* park like a long-running server: sleep forever in a loop, so the
+           process is still alive whenever the engine is sampled *)
+        (s, Program.Sys (Syscall.Nanosleep (Simtime.sec 50.0)))
+    else if s.next = 0 then begin
+      s.next <- 1;
+      (s, Program.Sys (Syscall.Nanosleep (Simtime.us s.period_us)))
+    end
+    else begin
+      (* re-alloc at the same size: marks the region dirty (a page write) *)
+      let i = ((s.iter * s.stride) + (s.next - 1)) mod s.regions in
+      if s.next >= s.stride then begin
+        s.next <- 0;
+        s.iter <- s.iter + 1
+      end
+      else s.next <- s.next + 1;
+      (s, Program.Sys (Syscall.Mem_alloc (region i, s.size)))
+    end
+
+  let to_value s =
+    Value.assoc
+      [ ("regions", Value.int s.regions); ("size", Value.int s.size);
+        ("stride", Value.int s.stride); ("period_us", Value.int s.period_us);
+        ("loops", Value.int s.loops); ("ph", Value.int s.ph);
+        ("iter", Value.int s.iter); ("next", Value.int s.next) ]
+
+  let of_value v =
+    { regions = Value.to_int (Value.field "regions" v);
+      size = Value.to_int (Value.field "size" v);
+      stride = Value.to_int (Value.field "stride" v);
+      period_us = Value.to_int (Value.field "period_us" v);
+      loops = Value.to_int (Value.field "loops" v);
+      ph = Value.to_int (Value.field "ph" v);
+      iter = Value.to_int (Value.field "iter" v);
+      next = Value.to_int (Value.field "next" v) }
+end
+
 let () =
   Program.register_if_absent (module Ring : Program.S);
   Program.register_if_absent (module Udp_chat : Program.S);
   Program.register_if_absent (module Alarm_prog : Program.S);
   Program.register_if_absent (module Gm_ping : Program.S);
-  Program.register_if_absent (module Gm_pong : Program.S)
+  Program.register_if_absent (module Gm_pong : Program.S);
+  Program.register_if_absent (module Dirtyhog : Program.S)
 
 (* launch [n] pods on the given nodes running a raw (non-Mpi) program *)
 let launch_raw cluster ~name ~program ~placement ~mk_args =
@@ -1306,6 +1383,189 @@ let test_serial_ablation_slower () =
   let serial = run_mode true in
   check tbool "overlapped checkpoint is not slower" true (overlapped <= serial)
 
+(* --- live migration (iterative pre-copy) --- *)
+
+let hog_args ~regions ~size ~stride ~period_us ~loops =
+  Value.assoc
+    [ ("regions", Value.int regions); ("size", Value.int size);
+      ("stride", Value.int stride); ("period_us", Value.int period_us);
+      ("loops", Value.int loops) ]
+
+(* One pod on [node_idx] running a dirtyhog with the given touch pattern. *)
+let launch_hog cluster ~node_idx ~args =
+  let pod = Cluster.create_pod cluster ~node_idx ~name:"hog" in
+  Cluster.link_pods [ pod ];
+  let _proc = Pod.spawn pod ~program:"test.dirtyhog" ~args in
+  pod
+
+let pod_node cluster id =
+  match Pod.find id with
+  | None -> -1
+  | Some p ->
+    (match Zapc_simnet.Fabric.node_of_ip (Cluster.fabric cluster) p.Pod.rip with
+     | Some n -> n
+     | None -> -1)
+
+(* A quiescent pod (allocated, now sleeping) converges in at most two
+   pre-copy rounds, lands on the destination with its working set intact,
+   and its blackout beats a stop-and-copy of the same pod. *)
+let migrate_quiescent_blackout ~max_rounds =
+  let cluster = make_cluster ~nodes:2 () in
+  let m = Cluster.metrics cluster in
+  (* 256 x 256 KB = 64 MB working set: big enough that the image transfer
+     and restore dominate the fixed costs, which is where pre-copy pays *)
+  let pod =
+    launch_hog cluster ~node_idx:0
+      ~args:(hog_args ~regions:256 ~size:262_144 ~stride:0 ~period_us:0 ~loops:0)
+  in
+  Cluster.run_until cluster ~timeout:(Simtime.sec 5.0) (fun () ->
+      has_log "dirtyhog ready");
+  let r = Cluster.migrate_sync cluster ~pod ~dest_node:1 ?max_rounds:(Some max_rounds) in
+  check tbool "migrate ok" true r.Manager.r_ok;
+  check tint "pod lives on the destination" 1 (pod_node cluster pod.Pod.pod_id);
+  (* working set survived the trip *)
+  let pod' = Option.get (Pod.find pod.Pod.pod_id) in
+  let mem_total =
+    List.fold_left
+      (fun acc (_, (p : Proc.t)) -> acc + Zapc_simos.Memory.total p.Proc.mem)
+      0 (Pod.members pod')
+  in
+  check tint "working set intact" (256 * 262_144) mem_total;
+  check tint "one migration succeeded" 1 (Zapc_obs.Metrics.counter m "mgr.mig.ok");
+  (Zapc_obs.Metrics.hist_sum m "mig.rounds",
+   Zapc_obs.Metrics.hist_sum m "mig.blackout_ms",
+   Zapc_obs.Metrics.counter m "mig.forced_stops")
+
+let test_live_migrate_quiescent () =
+  let rounds, blackout_pc, forced = migrate_quiescent_blackout ~max_rounds:8 in
+  check tbool "converged in at most 2 rounds" true (rounds >= 1.0 && rounds <= 2.0);
+  check tint "no forced stop" 0 forced;
+  check tbool "blackout recorded" true (blackout_pc > 0.0);
+  (* same pod, same instant, stop-and-copy (round cap 0): the pre-copy
+     blackout must be well under it — the full image travels while the pod
+     still runs, and the prestaged restore skips the cold-start fixed cost *)
+  let rounds0, blackout_sc, _ = migrate_quiescent_blackout ~max_rounds:0 in
+  check tbool "cap 0 ships no pre-copy round" true (rounds0 = 0.0);
+  check tbool
+    (Printf.sprintf "pre-copy blackout (%.1f ms) < 50%% of stop-and-copy (%.1f ms)"
+       blackout_pc blackout_sc)
+    true
+    (blackout_pc < 0.5 *. blackout_sc)
+
+(* A pod dirtying its whole working set faster than the link can ship it
+   never converges: the round cap forces the stop-and-copy, the operation
+   still succeeds, and the forced stop is visible in the metrics. *)
+let test_live_migrate_forced_stop () =
+  let cluster = make_cluster ~nodes:2 () in
+  let m = Cluster.metrics cluster in
+  (* 16 x 128 KB = 2 MB, all of it rewritten every ~0.5 ms: a round's copy
+     (~17 ms on the Gigabit fabric) always leaves 2 MB dirty again *)
+  let pod =
+    launch_hog cluster ~node_idx:0
+      ~args:(hog_args ~regions:16 ~size:131_072 ~stride:16 ~period_us:500
+               ~loops:100_000)
+  in
+  Cluster.run cluster ~until:(Simtime.ms 20) ();
+  let r = Cluster.migrate_sync cluster ~pod ~dest_node:1 ~max_rounds:3 in
+  check tbool "migrate ok despite non-convergence" true r.Manager.r_ok;
+  check tint "forced stop counted" 1
+    (Zapc_obs.Metrics.counter m "mig.forced_stops");
+  check tbool "ran exactly the round cap" true
+    (Zapc_obs.Metrics.hist_sum m "mig.rounds" = 3.0);
+  check tint "pod lives on the destination" 1 (pod_node cluster pod.Pod.pod_id);
+  (* bounded blackout: the forced stop-and-copy ships only the residue (one
+     round's dirtying), not rounds x the working set *)
+  let blackout = Zapc_obs.Metrics.hist_sum m "mig.blackout_ms" in
+  check tbool "blackout bounded" true (blackout > 0.0 && blackout < 1000.0)
+
+(* Round cap 0 degenerates to today's checkpoint-migrate-restart: no
+   pre-copy round is ever sent, the destination pays the full cold-start
+   restore, and the pod still arrives correctly. *)
+let test_live_migrate_cap0_degenerates () =
+  let cluster = make_cluster ~nodes:2 () in
+  let m = Cluster.metrics cluster in
+  let tr = Cluster.enable_trace cluster in
+  let pod =
+    launch_hog cluster ~node_idx:0
+      ~args:(hog_args ~regions:8 ~size:65_536 ~stride:0 ~period_us:0 ~loops:0)
+  in
+  Cluster.run_until cluster ~timeout:(Simtime.sec 5.0) (fun () ->
+      has_log "dirtyhog ready");
+  let r = Cluster.migrate_sync cluster ~pod ~dest_node:1 ~max_rounds:0 in
+  check tbool "migrate ok" true r.Manager.r_ok;
+  check tint "no pre-copy round streamed" 0
+    (Zapc_obs.Metrics.hist_count m "mig.bytes_per_round");
+  check tbool "no mig_round trace event" true
+    (not
+       (List.exists
+          (fun (e : Zapc.Trace.event) -> String.equal e.Zapc.Trace.ev_what "mig_round")
+          (Zapc.Trace.events tr)));
+  check tbool "commit reported zero rounds" true
+    (Zapc_obs.Metrics.hist_count m "mig.rounds" = 1
+     && Zapc_obs.Metrics.hist_sum m "mig.rounds" = 0.0);
+  check tint "pod lives on the destination" 1 (pod_node cluster pod.Pod.pod_id)
+
+(* Regression: Periodic and the Supervisor observe a migrated pod's new
+   home atomically at the handoff.  An epoch that fires mid-migration is
+   skipped (manager busy), the first epoch after the handoff checkpoints
+   the pod exactly once on its NEW node, and the supervisor's watch set
+   follows the pod. *)
+let test_periodic_epoch_mid_migration () =
+  let cluster = make_cluster ~nodes:3 () in
+  let m = Cluster.metrics cluster in
+  (* a working set big enough that the migration spans several epochs *)
+  let pod =
+    launch_hog cluster ~node_idx:0
+      ~args:(hog_args ~regions:64 ~size:262_144 ~stride:4 ~period_us:400
+               ~loops:100_000)
+  in
+  let svc =
+    Zapc.Periodic.start cluster ~pods:[ pod ] ~prefix:"mg" ~period:(Simtime.ms 40)
+      ~keep:2 ()
+  in
+  let sup = Zapc.Supervisor.start cluster svc in
+  Cluster.run_until cluster ~timeout:(Simtime.sec 10.0) (fun () ->
+      Zapc.Periodic.last_good svc >= 1
+      && not (Manager.busy (Cluster.manager cluster)));
+  check (Alcotest.list tint) "watching the source node" [ 0 ]
+    (Zapc.Supervisor.watched sup);
+  let skipped_before = Zapc.Periodic.skipped svc in
+  let failed_before = Zapc_obs.Metrics.counter m "mgr.ckpt.failed" in
+  (* async: the periodic service keeps ticking while the migration runs *)
+  let result = ref None in
+  Manager.migrate (Cluster.manager cluster) ~pod:pod.Pod.pod_id ~src_node:0
+    ~dest_node:1 ~max_rounds:4 ~on_done:(fun r -> result := Some r);
+  Cluster.run_until cluster ~timeout:(Simtime.sec 10.0) (fun () -> !result <> None);
+  check tbool "migration ok" true (Option.get !result).Manager.r_ok;
+  check tbool "mid-migration epochs were skipped, not misplaced" true
+    (Zapc.Periodic.skipped svc > skipped_before);
+  (match Zapc.Periodic.last_skip_reason svc with
+   | Some "manager busy" -> ()
+   | Some other -> Alcotest.fail ("unexpected skip reason: " ^ other)
+   | None -> Alcotest.fail "skip reason not recorded");
+  (* the supervisor's watch set followed the pod at the handoff *)
+  check (Alcotest.list tint) "watching the destination node" [ 1 ]
+    (Zapc.Supervisor.watched sup);
+  (* the next epoch checkpoints the pod exactly once, on the new node *)
+  let good = Zapc.Periodic.last_good svc in
+  Cluster.run_until cluster ~timeout:(Simtime.sec 10.0) (fun () ->
+      Zapc.Periodic.last_good svc > good
+      && not (Manager.busy (Cluster.manager cluster)));
+  check tint "no epoch targeted the stale source node" failed_before
+    (Zapc_obs.Metrics.counter m "mgr.ckpt.failed");
+  let epoch = Zapc.Periodic.last_good svc in
+  let keys =
+    List.filter
+      (fun k ->
+        let p = Printf.sprintf "mg.e%d." epoch in
+        String.length k >= String.length p
+        && String.equal (String.sub k 0 (String.length p)) p)
+      (Zapc.Storage.keys (Cluster.storage cluster))
+  in
+  check tint "exactly one image per post-handoff epoch" 1 (List.length keys);
+  Zapc.Supervisor.stop sup;
+  Zapc.Periodic.stop svc
+
 let () =
   Alcotest.run "zapc"
     [ ( "coordinated",
@@ -1336,6 +1596,14 @@ let () =
             test_delta_chain_cap_forces_full;
           Alcotest.test_case "periodic: prunes to keep" `Quick
             test_periodic_prunes_to_keep;
+          Alcotest.test_case "live migrate: quiescent converges" `Quick
+            test_live_migrate_quiescent;
+          Alcotest.test_case "live migrate: forced stop" `Quick
+            test_live_migrate_forced_stop;
+          Alcotest.test_case "live migrate: cap 0 degenerates" `Quick
+            test_live_migrate_cap0_degenerates;
+          Alcotest.test_case "periodic epoch mid-migration" `Quick
+            test_periodic_epoch_mid_migration;
           Alcotest.test_case "gm (kernel-bypass) migration" `Quick
             test_gm_checkpoint_migration;
           Alcotest.test_case "N-to-M consolidation" `Quick test_n_to_m_consolidation ] );
