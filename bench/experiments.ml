@@ -221,6 +221,63 @@ let ablation_redirect () =
   row "-> the redirected variant moves %.0f%% fewer bytes during restart\n"
     ((1.0 -. (float_of_int b_on /. float_of_int b_off)) *. 100.0)
 
+(* ABL-2b: the same choice while the application is a live service under
+   outside traffic.  The kv shards replicate to each other over an in-set
+   connection whose send queues are deep while 800 clients keep both pods
+   loaded; the whole service is migrated ZapC-style (coordinated suspend,
+   restart on new nodes) with redirection on and off.  Client connections
+   terminate outside the checkpoint set, so only the replication stream is
+   redirected — the win is smaller than ABL-2's bulk pair, but it is the
+   serving-path number: bytes the fabric moves again while clients are
+   already retrying into the restart. *)
+let ablation_redirect_traffic () =
+  section
+    "ABL-2b Send-queue redirection while migrating a live service\n\
+    \       (kv shards + replication stream under 800 client connections)";
+  row "%-18s %14s %18s\n" "mode" "restart (ms)" "bytes re-sent";
+  let module Serve = Zapc_apps.Serve in
+  let run_case redirect =
+    let params = { Serve.serve_params with Params.redirect_sendq = redirect } in
+    let cfg =
+      { Serve.default_cfg with
+        n_conns = 800; reqs_per_conn = 8; period = Simtime.ms 60 }
+    in
+    let t = Serve.setup ~nodes:4 ~seed:7 ~params ~cfg () in
+    let cluster = t.Serve.cluster in
+    (* peak load: every connection established, replication in flight *)
+    Cluster.run cluster ~until:(Simtime.ms 120) ();
+    (* a drop window on the mirror backs the owner's replication send
+       queue up with unacked frames — the deep-queue regime the
+       redirection decides; without it both shards' queues are drained at
+       any instant a healthy service is suspended *)
+    let nf = Zapc_simnet.Fabric.netfilter (Cluster.fabric cluster) in
+    let mirror = List.nth t.Serve.servers 1 in
+    Zapc_simnet.Netfilter.block nf mirror.Pod.rip;
+    Zapc_simnet.Netfilter.block nf mirror.Pod.vip;
+    Cluster.run cluster ~until:(Simtime.ms 170) ();
+    let items = Serve.ckpt_items t ~prefix:"abl2kv" in
+    let r = Cluster.checkpoint_sync cluster ~items ~resume:false in
+    assert r.Manager.r_ok;
+    Zapc_simnet.Netfilter.unblock nf mirror.Pod.rip;
+    Zapc_simnet.Netfilter.unblock nf mirror.Pod.vip;
+    let bytes_before = Zapc_simnet.Fabric.bytes_delivered (Cluster.fabric cluster) in
+    let rr =
+      Cluster.restart_app cluster
+        ~pod_ids:(List.map (fun (p : Pod.t) -> p.Pod.pod_id) t.Serve.servers)
+        ~target_nodes:[ 2; 3 ] ~key_prefix:"abl2kv"
+    in
+    assert rr.Manager.r_ok;
+    let bytes_after = Zapc_simnet.Fabric.bytes_delivered (Cluster.fabric cluster) in
+    (Simtime.to_ms rr.Manager.r_duration, bytes_after - bytes_before)
+  in
+  let t_off, b_off = run_case false in
+  let t_on, b_on = run_case true in
+  row "%-18s %14.1f %18d\n" "resend (baseline)" t_off b_off;
+  row "%-18s %14.1f %18d\n" "redirected" t_on b_on;
+  if b_off > 0 then
+    row "-> redirection saves %.0f%% of the restart-window fabric traffic\n"
+      ((1.0 -. (float_of_int b_on /. float_of_int b_off)) *. 100.0)
+
 (* ABL-3: peek-based receive-queue capture (the Cruz-style approach the
    paper criticises) silently loses the urgent byte; ZapC's read-inject
    extraction does not. *)
@@ -285,6 +342,7 @@ let ablation_peek () =
 let ablations () =
   ablation_serial ();
   ablation_redirect ();
+  ablation_redirect_traffic ();
   ablation_peek ()
 
 (* ------------------------------------------------------------------ *)
@@ -935,3 +993,223 @@ let migration () =
   mig_json path rows;
   Printf.printf
     "\nwrote %s BENCH_migration_trace.json BENCH_migration_metrics.json\n" path
+
+(* ------------------------------------------------------------------ *)
+(* Served traffic: client-side SLO under the full robustness matrix    *)
+(* ------------------------------------------------------------------ *)
+
+module Serve = Zapc_apps.Serve
+module Obs = Zapc_obs.Metrics
+
+(* One seeded run of the sharded key-value service under 1000 concurrent
+   client connections that sweeps the whole matrix while traffic flows: a
+   steady-state window, periodic coordinated checkpoints, a live pre-copy
+   migration of the loaded shard-0 pod, and a node crash healed by the
+   supervisor from the last epoch.  The client-side latency samples are cut
+   into per-phase windows and the p99s become the SLO table of
+   BENCH_serve.json; the exactly-once contract (issued == completed, zero
+   duplicates) is enforced, not just reported. *)
+
+let serve_cfg =
+  { Serve.default_cfg with
+    n_conns = 1000;
+    reqs_per_conn = 12;
+    period = Simtime.ms 100;
+    req_timeout = Simtime.ms 150 }
+
+type serve_result = {
+  sv_stats : Serve.stats;
+  sv_expected : int;
+  sv_windows : Serve.window_report list;
+  sv_detect_ms : float;
+  sv_mttr_ms : float;
+}
+
+let serve_run () =
+  let t = Serve.setup ~nodes:5 ~seed:42 ~cfg:serve_cfg () in
+  let cluster = t.Serve.cluster in
+  let tr = Cluster.enable_trace cluster in
+  (* phase 1 — steady state, no control plane: 100..300 ms *)
+  Cluster.run cluster ~until:(Simtime.ms 300) ();
+  (* phase 2 — periodic coordinated checkpoints: 300..550 ms *)
+  let per =
+    Periodic.start cluster ~pods:t.Serve.servers ~prefix:"slo"
+      ~period:(Simtime.ms 80) ~keep:2 ()
+  in
+  (* share the span trace: Faultsim.create with no ~trace would install a
+     fresh one and orphan [tr] *)
+  let fs = Faultsim.create ~trace:tr cluster in
+  let sup = Supervisor.start ~trace:(Faultsim.trace fs) cluster per in
+  Cluster.run cluster ~until:(Simtime.ms 550) ();
+  (* phase 3 — live pre-copy migration of the loaded shard-0 pod; let any
+     in-flight epoch finish first (the Manager runs one op at a time) *)
+  Cluster.run_until cluster ~timeout:(Simtime.sec 10.0) (fun () ->
+      not (Manager.busy (Cluster.manager cluster)));
+  let p0 = List.hd t.Serve.servers in
+  let m = Cluster.migrate_sync cluster ~pod:p0 ~dest_node:3 in
+  if not m.Manager.r_ok then failwith ("serve: migration failed: " ^ m.Manager.r_detail);
+  Cluster.run cluster ~until:(Simtime.ms 750) ();
+  (* phase 4 — crash the node hosting shard 1; the supervisor detects the
+     missed heartbeats and restores both shards from the last good epoch *)
+  if Periodic.last_good per < 1 then failwith "serve: no good epoch before the crash";
+  let crash_node =
+    match Pod.find (List.nth t.Serve.servers 1).Pod.pod_id with
+    | Some p ->
+      (match Zapc_simnet.Fabric.node_of_ip (Cluster.fabric cluster) p.Pod.rip with
+       | Some n -> n
+       | None -> failwith "serve: shard 1 has no node")
+    | None -> failwith "serve: shard 1 pod vanished before the crash"
+  in
+  let crash_time = Cluster.now cluster in
+  Faultsim.install fs
+    { Faultsim.fault = Faultsim.Crash_node { node = crash_node };
+      trigger = Faultsim.Now };
+  Cluster.run_until cluster ~timeout:(Simtime.sec 60.0) (fun () ->
+      Supervisor.recoveries sup >= 1 || Supervisor.gave_up sup);
+  if Supervisor.gave_up sup then failwith "serve: supervisor gave up";
+  Serve.wait_done ~timeout:(Simtime.sec 300.0) t;
+  Supervisor.stop sup;
+  Periodic.stop per;
+  (* drain any epoch still in flight before reading quiescent state *)
+  Cluster.run cluster ~until:(Simtime.add (Cluster.now cluster) (Simtime.ms 300)) ();
+  let reg = Cluster.metrics cluster in
+  let s = Serve.feed_metrics t in
+  let expected = Serve.total_expected t in
+  (* the exactly-once contract is the experiment's precondition: a lost or
+     doubled response makes the latency table meaningless *)
+  if s.Serve.st_issued <> expected || s.st_completed <> expected then
+    failwith
+      (Printf.sprintf "serve: issued %d completed %d, expected %d" s.st_issued
+         s.st_completed expected);
+  if s.st_dups <> 0 then
+    failwith (Printf.sprintf "serve: %d duplicate responses" s.st_dups);
+  if s.st_inflight <> 0 then
+    failwith (Printf.sprintf "serve: %d requests still in flight" s.st_inflight);
+  for shard = 0 to serve_cfg.nshards - 1 do
+    if Serve.digest t ~shard = 0 then
+      failwith (Printf.sprintf "serve: shard %d digest is zero" shard)
+  done;
+  let nf = Zapc_simnet.Fabric.netfilter (Cluster.fabric cluster) in
+  if Zapc_simnet.Netfilter.blocked_count nf <> 0 then
+    failwith
+      (Printf.sprintf "serve: %d leaked netfilter rule(s)"
+         (Zapc_simnet.Netfilter.blocked_count nf));
+  let crash_ms = Simtime.to_ms crash_time in
+  let detect_ms = Obs.gauge reg "sup.last_detect_ms" -. crash_ms in
+  let mttr_ms = Obs.gauge reg "sup.last_recovered_ms" -. crash_ms in
+  let crash_end = Simtime.ms (int_of_float (crash_ms +. mttr_ms) + 200) in
+  let windows =
+    [ { Serve.w_name = "steady"; w_from = Simtime.ms 100; w_until = Simtime.ms 300 };
+      { Serve.w_name = "checkpoint"; w_from = Simtime.ms 300; w_until = Simtime.ms 550 };
+      { Serve.w_name = "migration"; w_from = Simtime.ms 550; w_until = Simtime.ms 750 };
+      { Serve.w_name = "crash"; w_from = crash_time; w_until = crash_end } ]
+  in
+  let reports = List.map (Serve.window_report s) windows in
+  Zapc.Trace.dump_chrome tr "BENCH_serve_trace.json";
+  Obs.dump reg "BENCH_serve_metrics.json";
+  { sv_stats = s; sv_expected = expected; sv_windows = reports;
+    sv_detect_ms = detect_ms; sv_mttr_ms = mttr_ms }
+
+(* Mass-socket restore scaling (the hashtable-index claim): suspend the
+   service mid-traffic with every connection established and time the
+   host-side restart at two population sizes.  With the per-port and
+   per-4-tuple indexes the restore is near-linear in the socket count; the
+   old per-socket linear scans made it quadratic.  4x the connections must
+   cost clearly less than the quadratic 16x. *)
+
+type mass_sample = { mc_conns : int; mc_sockets : int; mc_host_s : float }
+
+let serve_mass_restore n_conns =
+  let cfg =
+    { serve_cfg with n_conns; reqs_per_conn = 40; period = Simtime.ms 40 }
+  in
+  let t = Serve.setup ~nodes:4 ~seed:23 ~cfg () in
+  let cluster = t.Serve.cluster in
+  (* every connection established and mid-flight *)
+  Cluster.run cluster ~until:(Simtime.ms 250) ();
+  let items = Serve.ckpt_items t ~prefix:"mass" in
+  let r = Cluster.checkpoint_sync cluster ~items ~resume:false in
+  if not r.Manager.r_ok then failwith ("serve: mass checkpoint failed: " ^ r.r_detail);
+  let sockets =
+    List.fold_left
+      (fun acc (_, (st : Protocol.agent_stats)) -> acc + st.Protocol.st_sockets)
+      0 r.Manager.r_stats
+  in
+  let t0 = Sys.time () in
+  let rr =
+    Cluster.restart_app cluster
+      ~pod_ids:(List.map (fun (p : Pod.t) -> p.Pod.pod_id) t.Serve.servers)
+      ~target_nodes:[ 2; 3 ] ~key_prefix:"mass"
+  in
+  let host = Sys.time () -. t0 in
+  if not rr.Manager.r_ok then failwith ("serve: mass restart failed: " ^ rr.r_detail);
+  { mc_conns = n_conns; mc_sockets = sockets; mc_host_s = host }
+
+let serve_json path r (small : mass_sample) (big : mass_sample) ratio =
+  let oc = open_out path in
+  let s = r.sv_stats in
+  let w (wr : Serve.window_report) =
+    Printf.sprintf
+      "    {\"name\": \"%s\", \"count\": %d, \"p50_ms\": %.3f, \"p90_ms\": \
+       %.3f, \"p99_ms\": %.3f}"
+      wr.Serve.wr_name wr.wr_count wr.wr_p50_ms wr.wr_p90_ms wr.wr_p99_ms
+  in
+  let mass m =
+    Printf.sprintf "    {\"conns\": %d, \"sockets\": %d, \"restore_host_s\": %.4f}"
+      m.mc_conns m.mc_sockets m.mc_host_s
+  in
+  Printf.fprintf oc
+    "{\n\
+    \  \"experiment\": \"serve\",\n\
+    \  \"scenario\": \"sharded kv service, 1000 client connections; steady \
+     state, periodic checkpoints, live migration, node crash + supervised \
+     recovery\",\n\
+    \  \"exactly_once\": {\"expected\": %d, \"issued\": %d, \"completed\": \
+     %d, \"duplicates\": %d, \"timeouts\": %d, \"retries\": %d, \
+     \"redirects\": %d, \"reconnects\": %d, \"inflight\": %d},\n\
+    \  \"windows\": [\n%s\n  ],\n\
+    \  \"crash\": {\"detect_ms\": %.3f, \"mttr_ms\": %.3f},\n\
+    \  \"mass_restore\": [\n%s\n  ],\n\
+    \  \"mass_restore_ratio\": %.3f\n\
+     }\n"
+    r.sv_expected s.Serve.st_issued s.st_completed s.st_dups s.st_timeouts
+    s.st_retries s.st_redirects s.st_reconnects s.st_inflight
+    (String.concat ",\n" (List.map w r.sv_windows))
+    r.sv_detect_ms r.sv_mttr_ms
+    (String.concat ",\n" [ mass small; mass big ])
+    ratio;
+  close_out oc
+
+let serve () =
+  section
+    "SERVE  Availability of a served application: p99 client latency while\n\
+    \       the service is checkpointed, migrated and crash-recovered\n\
+    \       (1000 connections, exactly-once delivery enforced)";
+  let r = serve_run () in
+  row "%-12s %8s %10s %10s %10s\n" "window" "reqs" "p50 (ms)" "p90 (ms)" "p99 (ms)";
+  List.iter
+    (fun (wr : Serve.window_report) ->
+      row "%-12s %8d %10.2f %10.2f %10.2f\n" wr.Serve.wr_name wr.wr_count
+        wr.wr_p50_ms wr.wr_p90_ms wr.wr_p99_ms)
+    r.sv_windows;
+  row "crash: detect %.1fms, mttr %.1fms; %d/%d exactly-once (%d retries, %d dups)\n"
+    r.sv_detect_ms r.sv_mttr_ms r.sv_stats.Serve.st_completed r.sv_expected
+    r.sv_stats.Serve.st_retries r.sv_stats.Serve.st_dups;
+  let small = serve_mass_restore 500 in
+  let big = serve_mass_restore 2000 in
+  let ratio =
+    if small.mc_host_s > 1e-6 then big.mc_host_s /. small.mc_host_s else 0.0
+  in
+  row "mass restore: %d sockets %.3fs -> %d sockets %.3fs (x%.1f)\n"
+    small.mc_sockets small.mc_host_s big.mc_sockets big.mc_host_s ratio;
+  (* enforce the scaling claim only when the small run is long enough for
+     the host clock to mean anything *)
+  if small.mc_host_s > 0.01 && ratio > 12.0 then
+    failwith
+      (Printf.sprintf
+         "serve: mass restore scaled x%.1f for 4x the sockets — the restore \
+          indexes look broken (quadratic rescan)"
+         ratio);
+  let path = "BENCH_serve.json" in
+  serve_json path r small big ratio;
+  Printf.printf "\nwrote %s BENCH_serve_trace.json BENCH_serve_metrics.json\n" path

@@ -1,6 +1,6 @@
 (* Experiment harness entry point.
 
-   Usage: bench/main.exe [fig5|fig6a|fig6b|fig6c|netstate|variance|ablation|micro|availability|migration|all|quick]
+   Usage: bench/main.exe [fig5|fig6a|fig6b|fig6c|netstate|variance|ablation|micro|availability|migration|serve|all|quick]
 
    Each experiment regenerates the corresponding table/figure of the paper
    (see DESIGN.md's experiment index and EXPERIMENTS.md for the comparison
@@ -8,7 +8,7 @@
 
 let usage () =
   print_endline
-    "usage: main.exe [fig5|fig6a|fig6b|fig6c|netstate|variance|ablation|timeline|storage|micro|availability|incremental|migration|all|quick]"
+    "usage: main.exe [fig5|fig6a|fig6b|fig6c|netstate|variance|ablation|timeline|storage|micro|availability|incremental|migration|serve|all|quick]"
 
 let () =
   let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
@@ -27,6 +27,7 @@ let () =
   | "availability" -> Experiments.availability ()
   | "incremental" -> Experiments.incremental ()
   | "migration" -> Experiments.migration ()
+  | "serve" -> Experiments.serve ()
   | "all" ->
     Experiments.fig5 ();
     Experiments.fig6a ();
@@ -40,6 +41,7 @@ let () =
     Experiments.availability ();
     Experiments.incremental ();
     Experiments.migration ();
+    Experiments.serve ();
     Micro.run ()
   | "quick" -> Experiments.quick ()
   | _ -> usage ()

@@ -139,11 +139,105 @@ let check_mig_metrics path =
   Printf.printf "obs_check: %s ok (mgr.mig.ok=%d, blackout/rounds recorded)\n"
     path (counter "mgr.mig.ok")
 
+(* --serve: the artifacts of `main.exe serve` (the served-traffic SLO run).
+   BENCH_serve.json must carry all four phase windows with samples and an
+   intact exactly-once block; the trace must show the service actually went
+   dark and came back — "paused" spans for the periodic checkpoints (never
+   overlapping on the same pod: a pod is suspended by at most one operation
+   at a time) and a migration "blackout"; the metrics must hold a non-empty
+   client latency histogram and a clean duplicate counter. *)
+
+let check_serve_json path =
+  let v = parse_file path in
+  let eo = need "exactly_once missing" (Json.member "exactly_once" v) in
+  let num obj k = need (k ^ " missing") (Option.bind (Json.member k obj) Json.to_float) in
+  let expected = num eo "expected" and completed = num eo "completed" in
+  if expected < 1000.0 then fail "%s: expected %.0f < 1000 requests" path expected;
+  if completed <> expected then
+    fail "%s: completed %.0f <> expected %.0f" path completed expected;
+  if num eo "duplicates" <> 0.0 then fail "%s: duplicate responses" path;
+  if num eo "inflight" <> 0.0 then fail "%s: requests left in flight" path;
+  let windows =
+    need "windows missing or not a list"
+      (Option.bind (Json.member "windows" v) Json.to_list)
+  in
+  let wname w = Option.bind (Json.member "name" w) Json.to_string_opt in
+  List.iter
+    (fun name ->
+      match List.find_opt (fun w -> wname w = Some name) windows with
+      | None -> fail "%s: no %S window" path name
+      | Some w ->
+        if num w "count" <= 0.0 then fail "%s: %S window has no samples" path name;
+        if num w "p99_ms" <= 0.0 then fail "%s: %S window p99 is zero" path name)
+    [ "steady"; "checkpoint"; "migration"; "crash" ];
+  let crash = need "crash block missing" (Json.member "crash" v) in
+  if num crash "mttr_ms" <= 0.0 then fail "%s: mttr_ms not positive" path;
+  Printf.printf "obs_check: %s ok (%.0f requests exactly-once, 4 windows)\n"
+    path expected
+
+let check_serve_trace path =
+  let count, xs = complete_events (parse_file path) in
+  let paused = List.filter (fun (n, _, _, _) -> String.equal n "paused") xs in
+  if paused = [] then fail "%s: no paused spans (no checkpoint ever ran)" path;
+  (match List.find_opt (fun (n, _, _, _) -> String.equal n "blackout") xs with
+   | Some _ -> ()
+   | None -> fail "%s: no blackout span (no migration ran)" path);
+  (* per pod (tid), the dark windows must be disjoint *)
+  let by_tid = Hashtbl.create 8 in
+  List.iter
+    (fun (_, tid, t0, t1) ->
+      Hashtbl.replace by_tid tid ((t0, t1) :: (try Hashtbl.find by_tid tid with Not_found -> [])))
+    paused;
+  Hashtbl.iter
+    (fun tid spans ->
+      let sorted = List.sort compare spans in
+      let rec go = function
+        | (_, e1) :: ((s2, _) :: _ as rest) ->
+          if s2 < e1 then
+            fail "%s: tid %d has overlapping paused spans (%.1f < %.1f)" path tid
+              s2 e1;
+          go rest
+        | _ -> ()
+      in
+      go sorted)
+    by_tid;
+  Printf.printf "obs_check: %s ok (%d events, %d disjoint paused spans, blackout present)\n"
+    path count (List.length paused)
+
+let check_serve_metrics path =
+  let v = parse_file path in
+  let counters = need "counters missing" (Json.member "counters" v) in
+  let counter name =
+    match Option.bind (Json.member name counters) Json.to_float with
+    | Some c -> int_of_float c
+    | None -> 0
+  in
+  if counter "client.completed" < 1000 then
+    fail "%s: client.completed < 1000" path;
+  if counter "client.duplicates" <> 0 then fail "%s: client.duplicates != 0" path;
+  if counter "net.vip_rebound" < 1 then
+    fail "%s: net.vip_rebound < 1 (no restore ever re-announced its address)" path;
+  let lat =
+    need "client.lat_ms histogram missing"
+      (Option.bind (Json.member "histograms" v) (Json.member "client.lat_ms"))
+  in
+  (match Option.bind (Json.member "count" lat) Json.to_float with
+   | Some c when c >= 1000.0 -> ()
+   | Some c -> fail "%s: client.lat_ms has only %.0f samples" path c
+   | None -> fail "%s: client.lat_ms has no count" path);
+  Printf.printf "obs_check: %s ok (client.completed=%d, latency histogram populated)\n"
+    path (counter "client.completed")
+
 let () =
   let arg i d = if Array.length Sys.argv > i then Sys.argv.(i) else d in
   if Array.length Sys.argv > 1 && String.equal Sys.argv.(1) "--mig" then begin
     check_mig_trace (arg 2 "BENCH_migration_trace.json");
     check_mig_metrics (arg 3 "BENCH_migration_metrics.json")
+  end
+  else if Array.length Sys.argv > 1 && String.equal Sys.argv.(1) "--serve" then begin
+    check_serve_json (arg 2 "BENCH_serve.json");
+    check_serve_trace (arg 3 "BENCH_serve_trace.json");
+    check_serve_metrics (arg 4 "BENCH_serve_metrics.json")
   end
   else begin
     check_trace (arg 1 "BENCH_quick_trace.json");

@@ -1,0 +1,599 @@
+(* Open-loop client population for the key-value service.
+
+   One process drives [n] concurrent TCP connections (typically 1000+), each
+   modelling an independent client: it issues requests on a fixed open-loop
+   schedule (next_send advances by [period] at issue time, so a blackout is
+   followed by a catch-up burst, not a silent gap), arms a per-request
+   deadline, and on timeout closes the connection and retries the SAME
+   request id after a capped exponential backoff with seeded jitter.  The
+   server's idempotent apply makes the retry safe; the client's per-request
+   id makes duplicate responses detectable.  This is the client half of the
+   exactly-once argument (DESIGN.md §11).
+
+   Connections are never checkpointed in the served-traffic scenarios — the
+   population plays the outside world.  After a server crash restore its old
+   connections are orphaned server-side and segments to them vanish, so the
+   ONLY way a client discovers the crash is its request deadline; that is
+   deliberate and mirrors real WAN clients.
+
+   Latency samples (completion time, latency) and all counters live in
+   program state and are drained host-side through Program.snapshot. *)
+
+module Value = Zapc_codec.Value
+module Program = Zapc_simos.Program
+module Syscall = Zapc_simos.Syscall
+module Socket = Zapc_simnet.Socket
+module Sockopt = Zapc_simnet.Sockopt
+module Addr = Zapc_simnet.Addr
+module Errno = Zapc_simnet.Errno
+
+type conn = {
+  ix : int;
+  home : int;  (* shard this client normally talks to *)
+  mutable fd : int;
+  mutable target : int;  (* current shard (follows redirects) *)
+  mutable cst : int;  (* 0 closed, 1 connecting, 2 idle, 3 inflight, 4 backoff, 5 done *)
+  mutable inbuf : string;
+  mutable outbuf : string;
+  mutable rq_id : int;
+  mutable pending : Kv_wire.req option;  (* request awaiting its response *)
+  mutable first_sent : int;  (* ns of the FIRST attempt (latency base) *)
+  mutable deadline : int;  (* request OR connect deadline, depending on cst *)
+  mutable attempts : int;
+  mutable wait_until : int;  (* backoff expiry *)
+  mutable next_send : int;  (* open-loop schedule *)
+  mutable issued : int;
+  mutable done_ : int;
+}
+
+type work = K_sock of int | K_setnb of int | K_conn of int | K_send of int | K_recv of int | K_close of int
+
+type state = {
+  n : int;
+  nshards : int;
+  base : int;  (* client-id base for this pod *)
+  targets : Addr.t array;  (* vip per shard *)
+  period : int;
+  timeout_ns : int;
+  base_backoff : int;
+  max_backoff : int;
+  reqs_per_conn : int;
+  keys_by_shard : string array array;
+  conns : conn array;
+  fd_map : (int, int) Hashtbl.t;  (* fd -> conn index *)
+  mutable rng : int;
+  mutable now : int;
+  mutable started : bool;
+  mutable todo : work list;
+  mutable last : work option;
+  mutable polling : bool;
+  mutable clk_pending : bool;
+  mutable to_stamp : int list;  (* first_sent of completions awaiting a clock *)
+  mutable samples_t : float list;  (* completion timestamps, ns, newest first *)
+  mutable samples_lat : float list;
+  mutable completed : int;
+  mutable retries : int;
+  mutable timeouts : int;
+  mutable dups : int;
+  mutable redirects : int;
+  mutable reconnects : int;
+  mutable eofs : int;
+}
+
+let name = "kv_client"
+
+let keyspace = 64
+
+let make_keys nshards =
+  let by = Array.make (Stdlib.max 1 nshards) [] in
+  for k = keyspace - 1 downto 0 do
+    let key = Printf.sprintf "k%04d" k in
+    let o = Kv_wire.owner ~nshards key in
+    by.(o) <- key :: by.(o)
+  done;
+  Array.map Array.of_list by
+
+let start args =
+  let n = Value.to_int (Value.field "n" args) in
+  let nshards = Value.to_int (Value.field "nshards" args) in
+  let targets =
+    Array.of_list (Value.to_list Addr.of_value (Value.field "targets" args))
+  in
+  {
+    n;
+    nshards;
+    base = Value.to_int (Value.field "base" args);
+    targets;
+    period = Value.to_int (Value.field "period" args);
+    timeout_ns = Value.to_int (Value.field "timeout" args);
+    base_backoff = Value.to_int (Value.field "base_backoff" args);
+    max_backoff = Value.to_int (Value.field "max_backoff" args);
+    reqs_per_conn = Value.to_int (Value.field "reqs" args);
+    keys_by_shard = make_keys nshards;
+    conns =
+      Array.init n (fun i ->
+          {
+            ix = i;
+            home = i mod nshards;
+            fd = -1;
+            target = i mod nshards;
+            cst = 0;
+            inbuf = "";
+            outbuf = "";
+            rq_id = 0;
+            pending = None;
+            first_sent = 0;
+            deadline = 0;
+            attempts = 0;
+            wait_until = 0;
+            next_send = -1;
+            issued = 0;
+            done_ = 0;
+          });
+    fd_map = Hashtbl.create 2048;
+    rng = Value.to_int (Value.field "seed" args);
+    now = 0;
+    started = false;
+    todo = [];
+    last = None;
+    polling = false;
+    clk_pending = true;
+    to_stamp = [];
+    samples_t = [];
+    samples_lat = [];
+    completed = 0;
+    retries = 0;
+    timeouts = 0;
+    dups = 0;
+    redirects = 0;
+    reconnects = 0;
+    eofs = 0;
+  }
+
+let push s w = s.todo <- s.todo @ [ w ]
+
+let rand s bound =
+  s.rng <- ((s.rng * 25214903917) + 11) land 0xFFFFFFFFFFFF;
+  if bound <= 0 then 0 else (s.rng lsr 16) mod bound
+
+let jitter s span = if span <= 0 then 0 else rand s span
+
+(* capped exponential backoff with seeded jitter *)
+let backoff_ns s attempts =
+  let raw = s.base_backoff * (1 lsl Stdlib.min attempts 16) in
+  let capped = Stdlib.min raw s.max_backoff in
+  capped + jitter s (capped / 2)
+
+let next_req s (c : conn) : Kv_wire.req =
+  c.rq_id <- c.rq_id + 1;
+  let shard =
+    (* mostly the home shard; occasionally deliberately wrong, to exercise
+       the redirect path end to end *)
+    if s.nshards > 1 && rand s 16 = 0 then (c.home + 1) mod s.nshards else c.target
+  in
+  let pool = s.keys_by_shard.(shard) in
+  let key = pool.(rand s (Array.length pool)) in
+  let op =
+    match rand s 10 with
+    | 0 -> Kv_wire.Del key
+    | 1 | 2 -> Kv_wire.Get key
+    | _ -> Kv_wire.Set (key, Printf.sprintf "v%d.%d" (s.base + c.ix) c.rq_id)
+  in
+  { Kv_wire.rq_client = s.base + c.ix; rq_id = c.rq_id; rq_op = op }
+
+let close_fd s (c : conn) =
+  if c.fd >= 0 then begin
+    Hashtbl.remove s.fd_map c.fd;
+    push s (K_close c.fd);
+    c.fd <- -1
+  end;
+  c.inbuf <- "";
+  c.outbuf <- ""
+
+(* the request (if any) will be retried after a backoff *)
+let fail_conn s (c : conn) =
+  close_fd s c;
+  c.attempts <- c.attempts + 1;
+  c.wait_until <- s.now + backoff_ns s c.attempts;
+  c.cst <- 4
+
+let on_connected s (c : conn) =
+  s.reconnects <- s.reconnects + 1;
+  match c.pending with
+  | Some r ->
+    (* resend the in-flight request (same id: the server dedups) *)
+    if c.attempts > 0 then s.retries <- s.retries + 1;
+    c.outbuf <- Kv_wire.frame (Kv_wire.Req r);
+    c.deadline <- s.now + s.timeout_ns;
+    c.cst <- 3;
+    push s (K_send c.ix)
+  | None -> c.cst <- 2
+
+let complete s (c : conn) =
+  c.pending <- None;
+  c.attempts <- 0;
+  c.done_ <- c.done_ + 1;
+  s.completed <- s.completed + 1;
+  s.to_stamp <- c.first_sent :: s.to_stamp;
+  c.cst <- (if c.done_ >= s.reqs_per_conn then 5 else 2)
+
+let handle_resp s (c : conn) (r : Kv_wire.resp) =
+  match c.pending with
+  | Some p when r.rs_id = p.rq_id && r.rs_client = p.rq_client -> (
+    match r.rs_status with
+    | Kv_wire.S_redirect o ->
+      (* wrong shard: chase the owner with the same request id *)
+      s.redirects <- s.redirects + 1;
+      c.target <- o;
+      close_fd s c;
+      c.cst <- 0
+    | Kv_wire.S_ok | Kv_wire.S_not_found -> complete s c)
+  | Some _ | None ->
+    (* stale or repeated response for an id already completed *)
+    s.dups <- s.dups + 1
+
+let handle_recv s (c : conn) (outcome : Syscall.outcome) =
+  match outcome with
+  | Syscall.Ret (Syscall.Rdata "") ->
+    s.eofs <- s.eofs + 1;
+    if c.pending <> None then fail_conn s c
+    else begin
+      close_fd s c;
+      c.cst <- (if c.done_ >= s.reqs_per_conn then 5 else 0)
+    end
+  | Syscall.Ret (Syscall.Rdata d) ->
+    let msgs, rest = Kv_wire.split (c.inbuf ^ d) in
+    c.inbuf <- rest;
+    List.iter
+      (function Kv_wire.Resp r -> handle_resp s c r | _ -> ())
+      msgs;
+    if c.fd >= 0 then push s (K_recv c.ix)
+  | Syscall.Err Errno.EAGAIN -> ()
+  | _ -> if c.pending <> None then fail_conn s c else (close_fd s c; c.cst <- 0)
+
+let apply_result s (w : work) (outcome : Syscall.outcome) =
+  match w with
+  | K_sock i -> (
+    let c = s.conns.(i) in
+    match outcome with
+    | Syscall.Ret (Syscall.Rint fd) ->
+      c.fd <- fd;
+      Hashtbl.replace s.fd_map fd i;
+      c.cst <- 1;
+      (* a SYN sent into a crashed node vanishes without an error: the
+         handshake needs its own deadline, not just the request *)
+      c.deadline <- s.now + s.timeout_ns;
+      push s (K_setnb i);
+      push s (K_conn i)
+    | _ -> fail_conn s c)
+  | K_setnb _ -> ()
+  | K_conn i -> (
+    let c = s.conns.(i) in
+    match outcome with
+    | Syscall.Ret _ -> on_connected s c
+    | Syscall.Err Errno.EAGAIN -> ()  (* handshake in flight; poll writable *)
+    | Syscall.Err _ -> fail_conn s c
+    | Syscall.Started | Syscall.Done_compute -> ())
+  | K_recv i -> handle_recv s s.conns.(i) outcome
+  | K_send i -> (
+    let c = s.conns.(i) in
+    match outcome with
+    | Syscall.Ret (Syscall.Rint nb) ->
+      c.outbuf <- String.sub c.outbuf nb (String.length c.outbuf - nb);
+      if c.outbuf <> "" then push s (K_send i)
+    | Syscall.Err Errno.EAGAIN -> ()
+    | Syscall.Err _ -> if c.pending <> None then fail_conn s c else (close_fd s c; c.cst <- 0)
+    | _ -> ())
+  | K_close _ -> ()
+
+let syscall_of s (w : work) : Syscall.t option =
+  match w with
+  | K_sock _ -> Some (Syscall.Sock_create Socket.Stream)
+  | K_setnb i ->
+    let c = s.conns.(i) in
+    if c.fd >= 0 then Some (Syscall.Setsockopt (c.fd, Sockopt.SO_NONBLOCK, 1)) else None
+  | K_conn i ->
+    let c = s.conns.(i) in
+    if c.fd >= 0 && c.cst = 1 then Some (Syscall.Connect (c.fd, s.targets.(c.target)))
+    else None
+  | K_send i ->
+    let c = s.conns.(i) in
+    if c.fd >= 0 && c.outbuf <> "" then Some (Syscall.Send (c.fd, c.outbuf)) else None
+  | K_recv i ->
+    let c = s.conns.(i) in
+    if c.fd >= 0 then Some (Syscall.Recv (c.fd, 65536, Socket.plain_recv)) else None
+  | K_close fd -> Some (Syscall.Close fd)
+
+(* Stamp completions, then fire every due timer.  Runs on each clock tick. *)
+let run_timers s =
+  List.iter
+    (fun fs ->
+      s.samples_t <- float_of_int s.now :: s.samples_t;
+      s.samples_lat <- float_of_int (s.now - fs) :: s.samples_lat)
+    (List.rev s.to_stamp);
+  s.to_stamp <- [];
+  if not s.started then begin
+    (* stagger the open-loop schedules across one period *)
+    s.started <- true;
+    Array.iter
+      (fun (c : conn) ->
+        c.next_send <- s.now + (c.ix * s.period / Stdlib.max 1 s.n) + jitter s (s.period / 8))
+      s.conns
+  end;
+  Array.iter
+    (fun (c : conn) ->
+      match c.cst with
+      | 0 -> if c.done_ < s.reqs_per_conn || c.pending <> None then push s (K_sock c.ix)
+      | 4 -> if s.now >= c.wait_until then begin c.cst <- 0; push s (K_sock c.ix) end
+      | 2 ->
+        if c.issued < s.reqs_per_conn && s.now >= c.next_send then begin
+          let r = next_req s c in
+          c.pending <- Some r;
+          c.issued <- c.issued + 1;
+          c.first_sent <- s.now;
+          c.deadline <- s.now + s.timeout_ns;
+          c.next_send <- c.next_send + s.period;
+          c.outbuf <- c.outbuf ^ Kv_wire.frame (Kv_wire.Req r);
+          c.cst <- 3;
+          push s (K_send c.ix)
+        end
+      | 1 | 3 ->
+        if s.now >= c.deadline then begin
+          if c.pending <> None then s.timeouts <- s.timeouts + 1;
+          fail_conn s c
+        end
+      | _ -> ())
+    s.conns
+
+let poll_timeout s =
+  let next = ref max_int in
+  Array.iter
+    (fun (c : conn) ->
+      match c.cst with
+      | 2 -> if c.issued < s.reqs_per_conn then next := Stdlib.min !next c.next_send
+      | 1 | 3 -> next := Stdlib.min !next c.deadline
+      | 4 -> next := Stdlib.min !next c.wait_until
+      | _ -> ())
+    s.conns;
+  if !next = max_int then None else Some (Stdlib.max 1 (!next - s.now))
+
+let rec next_action s =
+  match s.todo with
+  | w :: rest ->
+    s.todo <- rest;
+    (match syscall_of s w with
+     | Some sc ->
+       s.last <- Some w;
+       Program.Sys sc
+     | None -> next_action s)
+  | [] ->
+    if s.clk_pending then begin
+      s.last <- None;
+      Program.Sys Syscall.Clock_gettime
+    end
+    else begin
+      s.last <- None;
+      s.polling <- true;
+      s.clk_pending <- true;  (* every poll wake is followed by a clock tick *)
+      let reqs =
+        Array.fold_left
+          (fun acc (c : conn) ->
+            if c.fd >= 0 then
+              { Syscall.pfd = c.fd;
+                want_read = true;
+                want_write = c.cst = 1 || c.outbuf <> "" }
+              :: acc
+            else acc)
+          [] s.conns
+      in
+      Program.Sys (Syscall.Poll (reqs, poll_timeout s))
+    end
+
+let on_poll s evs =
+  List.iter
+    (fun (fd, (ev : Socket.poll_events)) ->
+      match Hashtbl.find_opt s.fd_map fd with
+      | None -> ()
+      | Some i ->
+        let c = s.conns.(i) in
+        if c.cst = 1 then begin
+          if ev.writable || ev.pollerr || ev.hangup then push s (K_conn i)
+        end
+        else begin
+          if ev.readable || ev.hangup || ev.pollerr then push s (K_recv i);
+          if ev.writable && c.outbuf <> "" then push s (K_send i)
+        end)
+    evs
+
+let step s (outcome : Syscall.outcome) =
+  if s.polling then begin
+    s.polling <- false;
+    match outcome with Syscall.Ret (Syscall.Rpoll evs) -> on_poll s evs | _ -> ()
+  end
+  else begin
+    match s.last with
+    | Some w -> apply_result s w outcome
+    | None -> (
+      match outcome with
+      | Syscall.Ret (Syscall.Rtime t) ->
+        s.now <- t;
+        s.clk_pending <- false;
+        run_timers s
+      | _ -> ())
+  end;
+  (s, next_action s)
+
+(* --- persistence --- *)
+
+let conn_to_value (c : conn) =
+  Value.list Fun.id
+    [ Value.int c.fd; Value.int c.target; Value.int c.cst; Value.str c.inbuf;
+      Value.str c.outbuf; Value.int c.rq_id;
+      Value.option Kv_wire.req_to_value c.pending;
+      Value.int c.first_sent; Value.int c.deadline; Value.int c.attempts;
+      Value.int c.wait_until; Value.int c.next_send; Value.int c.issued;
+      Value.int c.done_ ]
+
+let conn_of_value ~nshards ix v =
+  match Value.to_list Fun.id v with
+  | [ fd; target; cst; inbuf; outbuf; rq_id; pending; first_sent; deadline; attempts;
+      wait_until; next_send; issued; done_ ] ->
+    {
+      ix;
+      home = ix mod nshards;
+      fd = Value.to_int fd;
+      target = Value.to_int target;
+      cst = Value.to_int cst;
+      inbuf = Value.to_str inbuf;
+      outbuf = Value.to_str outbuf;
+      rq_id = Value.to_int rq_id;
+      pending = Value.to_option Kv_wire.req_of_value pending;
+      first_sent = Value.to_int first_sent;
+      deadline = Value.to_int deadline;
+      attempts = Value.to_int attempts;
+      wait_until = Value.to_int wait_until;
+      next_send = Value.to_int next_send;
+      issued = Value.to_int issued;
+      done_ = Value.to_int done_;
+    }
+  | _ -> Value.decode_error "kv_client conn"
+
+let work_to_value = function
+  | K_sock i -> Value.tag "so" (Value.int i)
+  | K_setnb i -> Value.tag "nb" (Value.int i)
+  | K_conn i -> Value.tag "co" (Value.int i)
+  | K_send i -> Value.tag "tx" (Value.int i)
+  | K_recv i -> Value.tag "rx" (Value.int i)
+  | K_close fd -> Value.tag "cl" (Value.int fd)
+
+let work_of_value v =
+  match Value.to_tag v with
+  | "so", i -> K_sock (Value.to_int i)
+  | "nb", i -> K_setnb (Value.to_int i)
+  | "co", i -> K_conn (Value.to_int i)
+  | "tx", i -> K_send (Value.to_int i)
+  | "rx", i -> K_recv (Value.to_int i)
+  | "cl", fd -> K_close (Value.to_int fd)
+  | t, _ -> Value.decode_error "kv_client work %s" t
+
+let to_value s =
+  Value.assoc
+    [ ("n", Value.int s.n);
+      ("nshards", Value.int s.nshards);
+      ("base", Value.int s.base);
+      ("targets", Value.list Addr.to_value (Array.to_list s.targets));
+      ("period", Value.int s.period);
+      ("timeout", Value.int s.timeout_ns);
+      ("base_backoff", Value.int s.base_backoff);
+      ("max_backoff", Value.int s.max_backoff);
+      ("reqs", Value.int s.reqs_per_conn);
+      ("conns", Value.list conn_to_value (Array.to_list s.conns));
+      ("rng", Value.int s.rng);
+      ("now", Value.int s.now);
+      ("started", Value.bool s.started);
+      ("todo", Value.list work_to_value s.todo);
+      ("last", Value.option work_to_value s.last);
+      ("polling", Value.bool s.polling);
+      ("clk_pending", Value.bool s.clk_pending);
+      ("to_stamp", Value.list Value.int s.to_stamp);
+      ("samples_t", Value.f64s (Array.of_list (List.rev s.samples_t)));
+      ("samples_lat", Value.f64s (Array.of_list (List.rev s.samples_lat)));
+      ( "ctrs",
+        Value.list Value.int
+          [ s.completed; s.retries; s.timeouts; s.dups; s.redirects; s.reconnects; s.eofs ] ) ]
+
+let of_value v =
+  let nshards = Value.to_int (Value.field "nshards" v) in
+  let conns =
+    Array.of_list
+      (List.mapi (conn_of_value ~nshards) (Value.to_list Fun.id (Value.field "conns" v)))
+  in
+  let fd_map = Hashtbl.create 2048 in
+  Array.iteri (fun i (c : conn) -> if c.fd >= 0 then Hashtbl.replace fd_map c.fd i) conns;
+  let ctrs = Value.to_list Value.to_int (Value.field "ctrs" v) in
+  let ctr i = List.nth ctrs i in
+  {
+    n = Value.to_int (Value.field "n" v);
+    nshards;
+    base = Value.to_int (Value.field "base" v);
+    targets = Array.of_list (Value.to_list Addr.of_value (Value.field "targets" v));
+    period = Value.to_int (Value.field "period" v);
+    timeout_ns = Value.to_int (Value.field "timeout" v);
+    base_backoff = Value.to_int (Value.field "base_backoff" v);
+    max_backoff = Value.to_int (Value.field "max_backoff" v);
+    reqs_per_conn = Value.to_int (Value.field "reqs" v);
+    keys_by_shard = make_keys nshards;
+    conns;
+    fd_map;
+    rng = Value.to_int (Value.field "rng" v);
+    now = Value.to_int (Value.field "now" v);
+    started = Value.to_bool (Value.field "started" v);
+    todo = Value.to_list work_of_value (Value.field "todo" v);
+    last = Value.to_option work_of_value (Value.field "last" v);
+    polling = Value.to_bool (Value.field "polling" v);
+    clk_pending = Value.to_bool (Value.field "clk_pending" v);
+    to_stamp = Value.to_list Value.to_int (Value.field "to_stamp" v);
+    samples_t = List.rev (Array.to_list (Value.to_f64s (Value.field "samples_t" v)));
+    samples_lat = List.rev (Array.to_list (Value.to_f64s (Value.field "samples_lat" v)));
+    completed = ctr 0;
+    retries = ctr 1;
+    timeouts = ctr 2;
+    dups = ctr 3;
+    redirects = ctr 4;
+    reconnects = ctr 5;
+    eofs = ctr 6;
+  }
+
+(* --- host-side snapshot decoding (stats drain) --- *)
+
+type stats = {
+  st_issued : int;
+  st_completed : int;
+  st_retries : int;
+  st_timeouts : int;
+  st_dups : int;
+  st_redirects : int;
+  st_reconnects : int;
+  st_eofs : int;
+  st_inflight : int;
+  st_samples : (float * float) array;  (* (completion ns, latency ns) *)
+}
+
+let stats_of_snapshot v =
+  let ctrs = Value.to_list Value.to_int (Value.field "ctrs" v) in
+  let ctr i = List.nth ctrs i in
+  let conns = Value.to_list Fun.id (Value.field "conns" v) in
+  let issued = ref 0 and inflight = ref 0 in
+  List.iter
+    (fun cv ->
+      match Value.to_list Fun.id cv with
+      | [ _fd; _tg; _cst; _ib; _ob; _id; pending; _fs; _dl; _at; _wu; _ns; iss; _dn ] ->
+        issued := !issued + Value.to_int iss;
+        if Value.to_option Fun.id pending <> None then incr inflight
+      | _ -> Value.decode_error "kv_client conn snapshot")
+    conns;
+  let issued = !issued and inflight = !inflight in
+  let t = Value.to_f64s (Value.field "samples_t" v) in
+  let lat = Value.to_f64s (Value.field "samples_lat" v) in
+  {
+    st_issued = issued;
+    st_completed = ctr 0;
+    st_retries = ctr 1;
+    st_timeouts = ctr 2;
+    st_dups = ctr 3;
+    st_redirects = ctr 4;
+    st_reconnects = ctr 5;
+    st_eofs = ctr 6;
+    st_inflight = inflight;
+    st_samples = Array.init (Array.length t) (fun i -> (t.(i), lat.(i)));
+  }
+
+let register () = Program.register_if_absent (module struct
+  type nonrec state = state
+
+  let name = name
+  let start = start
+  let step = step
+  let to_value = to_value
+  let of_value = of_value
+end : Program.S)

@@ -1,0 +1,156 @@
+(* Wire protocol of the replicated key-value service: request / response /
+   redirect / replication messages, their Value codecs, and the
+   length-prefixed framing used on the TCP connections.
+
+   Requests carry a (client, id) pair so servers can apply idempotently: a
+   retried request hits the in-memory log and is answered from it without a
+   second apply.  A server that does not own a key's shard answers with a
+   redirect naming the owner.  The framing is deliberately trivial — a
+   4-byte big-endian length followed by the headerless Value encoding — so
+   partial reads and writes (the normal case under checkpoint blackouts)
+   reassemble from plain string buffers that live inside checkpointable
+   program state. *)
+
+module Value = Zapc_codec.Value
+module Wire = Zapc_codec.Wire
+
+type op = Set of string * string | Get of string | Del of string
+
+type req = { rq_client : int; rq_id : int; rq_op : op }
+
+type status =
+  | S_ok
+  | S_not_found
+  | S_redirect of int  (* index of the owning shard *)
+
+type resp = { rs_client : int; rs_id : int; rs_status : status; rs_value : string }
+
+(* owner -> mirror replication: the owner's applied operation, tagged with
+   its log sequence number; the mirror applies idempotently and acks. *)
+type repl = { rp_seq : int; rp_client : int; rp_id : int; rp_op : op }
+
+type msg = Req of req | Resp of resp | Repl of repl | Repl_ack of int
+
+(* --- shard ownership (FNV-1a over the key, deterministic) --- *)
+
+let hash_key key =
+  let h = ref 0x811c9dc5 in
+  String.iter
+    (fun c ->
+      h := !h lxor Char.code c;
+      h := !h * 0x01000193 land 0x3FFFFFFF)
+    key;
+  !h
+
+let owner ~nshards key = if nshards <= 1 then 0 else hash_key key mod nshards
+
+(* --- codecs --- *)
+
+let op_to_value = function
+  | Set (k, v) -> Value.tag "set" (Value.pair Value.str Value.str (k, v))
+  | Get k -> Value.tag "get" (Value.str k)
+  | Del k -> Value.tag "del" (Value.str k)
+
+let op_of_value v =
+  match Value.to_tag v with
+  | "set", kv ->
+    let k, d = Value.to_pair Value.to_str Value.to_str kv in
+    Set (k, d)
+  | "get", k -> Get (Value.to_str k)
+  | "del", k -> Del (Value.to_str k)
+  | t, _ -> Value.decode_error "kv op %s" t
+
+let status_to_value = function
+  | S_ok -> Value.tag "ok" Value.unit
+  | S_not_found -> Value.tag "not_found" Value.unit
+  | S_redirect o -> Value.tag "redirect" (Value.int o)
+
+let status_of_value v =
+  match Value.to_tag v with
+  | "ok", _ -> S_ok
+  | "not_found", _ -> S_not_found
+  | "redirect", o -> S_redirect (Value.to_int o)
+  | t, _ -> Value.decode_error "kv status %s" t
+
+let req_to_value r =
+  Value.assoc
+    [ ("client", Value.int r.rq_client);
+      ("id", Value.int r.rq_id);
+      ("op", op_to_value r.rq_op) ]
+
+let req_of_value v =
+  {
+    rq_client = Value.to_int (Value.field "client" v);
+    rq_id = Value.to_int (Value.field "id" v);
+    rq_op = op_of_value (Value.field "op" v);
+  }
+
+let resp_to_value r =
+  Value.assoc
+    [ ("client", Value.int r.rs_client);
+      ("id", Value.int r.rs_id);
+      ("status", status_to_value r.rs_status);
+      ("value", Value.str r.rs_value) ]
+
+let resp_of_value v =
+  {
+    rs_client = Value.to_int (Value.field "client" v);
+    rs_id = Value.to_int (Value.field "id" v);
+    rs_status = status_of_value (Value.field "status" v);
+    rs_value = Value.to_str (Value.field "value" v);
+  }
+
+let repl_to_value r =
+  Value.assoc
+    [ ("seq", Value.int r.rp_seq);
+      ("client", Value.int r.rp_client);
+      ("id", Value.int r.rp_id);
+      ("op", op_to_value r.rp_op) ]
+
+let repl_of_value v =
+  {
+    rp_seq = Value.to_int (Value.field "seq" v);
+    rp_client = Value.to_int (Value.field "client" v);
+    rp_id = Value.to_int (Value.field "id" v);
+    rp_op = op_of_value (Value.field "op" v);
+  }
+
+let msg_to_value = function
+  | Req r -> Value.tag "req" (req_to_value r)
+  | Resp r -> Value.tag "resp" (resp_to_value r)
+  | Repl r -> Value.tag "repl" (repl_to_value r)
+  | Repl_ack s -> Value.tag "repl_ack" (Value.int s)
+
+let msg_of_value v =
+  match Value.to_tag v with
+  | "req", r -> Req (req_of_value r)
+  | "resp", r -> Resp (resp_of_value r)
+  | "repl", r -> Repl (repl_of_value r)
+  | "repl_ack", s -> Repl_ack (Value.to_int s)
+  | t, _ -> Value.decode_error "kv msg %s" t
+
+(* --- framing --- *)
+
+let frame m =
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf "\000\000\000\000";
+  Wire.encode_raw buf (msg_to_value m);
+  let b = Buffer.to_bytes buf in
+  Bytes.set_int32_be b 0 (Int32.of_int (Bytes.length b - 4));
+  Bytes.unsafe_to_string b
+
+(* Parse every complete frame at the head of [buf]; return the messages and
+   the unconsumed tail.  Pure, so it composes with checkpointable program
+   state: the tail is exactly the bytes a restart must keep. *)
+let split buf =
+  let n = String.length buf in
+  let rec go off acc =
+    if off + 4 > n then (List.rev acc, String.sub buf off (n - off))
+    else
+      let len = Int32.to_int (String.get_int32_be buf off) in
+      if off + 4 + len > n then (List.rev acc, String.sub buf off (n - off))
+      else
+        let m, _ = Wire.decode_raw buf (off + 4) in
+        go (off + 4 + len) (msg_of_value m :: acc)
+  in
+  go 0 []

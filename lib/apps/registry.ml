@@ -8,4 +8,6 @@ let register_all () =
   Bt_nas.register ();
   Bratu.register ();
   Povray.register ();
-  Pipeline.register ()
+  Pipeline.register ();
+  Kvstore.register ();
+  Kv_client.register ()

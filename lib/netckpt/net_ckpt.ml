@@ -13,15 +13,12 @@ module Pod = Zapc_pod.Pod
 
 type inventory = {
   sockets : Socket.t array;  (* deterministic order (by socket id) *)
+  by_id : (int, int) Hashtbl.t;  (* socket id -> index (O(1) mass lookups) *)
   queued_on : (int, int) Hashtbl.t;  (* socket index -> listener index *)
+  syn_on : (int, int) Hashtbl.t;  (* half-open child index -> listener index *)
 }
 
-let index_of inv (s : Socket.t) =
-  let n = Array.length inv.sockets in
-  let rec go i =
-    if i >= n then None else if inv.sockets.(i).id = s.id then Some i else go (i + 1)
-  in
-  go 0
+let index_of inv (s : Socket.t) = Hashtbl.find_opt inv.by_id s.id
 
 let collect (pod : Pod.t) : inventory =
   let seen = Hashtbl.create 16 in
@@ -34,25 +31,39 @@ let collect (pod : Pod.t) : inventory =
           | Fdtable.Fpipe_r _ | Fdtable.Fpipe_w _ | Fdtable.Fgm _ -> ()))
     (Pod.members pod);
   (* connections established but not yet accepted belong to the network
-     state too: they live on listeners' accept queues *)
+     state too: they live on listeners' accept queues; so do half-open
+     children still on the SYN queue (SYN_RECEIVED) *)
   Hashtbl.iter
-    (fun _ (s : Socket.t) -> if Socket.is_listening s then Queue.iter add s.accept_q)
+    (fun _ (s : Socket.t) ->
+      if Socket.is_listening s then begin
+        Queue.iter add s.accept_q;
+        List.iter add s.synq
+      end)
     (Hashtbl.copy seen);
   let sockets =
     Hashtbl.fold (fun _ s acc -> s :: acc) seen []
     |> List.sort (fun (a : Socket.t) b -> Int.compare a.id b.id)
     |> Array.of_list
   in
-  let inv = { sockets; queued_on = Hashtbl.create 4 } in
+  let by_id = Hashtbl.create (Array.length sockets) in
+  Array.iteri (fun i (s : Socket.t) -> Hashtbl.replace by_id s.id i) sockets;
+  let inv = { sockets; by_id; queued_on = Hashtbl.create 4; syn_on = Hashtbl.create 4 } in
   Array.iteri
     (fun li (s : Socket.t) ->
-      if Socket.is_listening s then
+      if Socket.is_listening s then begin
         Queue.iter
           (fun child ->
             match index_of inv child with
             | Some ci -> Hashtbl.replace inv.queued_on ci li
             | None -> ())
-          s.accept_q)
+          s.accept_q;
+        List.iter
+          (fun child ->
+            match index_of inv child with
+            | Some ci -> Hashtbl.replace inv.syn_on ci li
+            | None -> ())
+          s.synq
+      end)
     sockets;
   inv
 
@@ -70,7 +81,11 @@ let checkpoint ?(mode = Sock_state.Read_inject) (pod : Pod.t) : result =
     Array.mapi
       (fun i s ->
         let im = Sock_state.save ~mode ~ns:pod.ns s in
-        { im with Sock_state.queued_on = Hashtbl.find_opt inv.queued_on i })
+        {
+          im with
+          Sock_state.queued_on = Hashtbl.find_opt inv.queued_on i;
+          syn_child_of = Hashtbl.find_opt inv.syn_on i;
+        })
       inv.sockets
   in
   let entries =

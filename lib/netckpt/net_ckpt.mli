@@ -10,7 +10,9 @@ module Pod = Zapc_pod.Pod
 
 type inventory = {
   sockets : Socket.t array;  (** deterministic order (by socket id) *)
+  by_id : (int, int) Hashtbl.t;  (** socket id -> index (O(1) mass lookups) *)
   queued_on : (int, int) Hashtbl.t;  (** socket index -> listener index *)
+  syn_on : (int, int) Hashtbl.t;  (** half-open child index -> listener index *)
 }
 
 val collect : Pod.t -> inventory

@@ -41,6 +41,7 @@ type image = {
   send_data : string;
   dgrams : (Addr.t * string) list;  (* virtual source addresses *)
   queued_on : int option;  (* index of the listener whose accept queue held us *)
+  syn_child_of : int option;  (* index of the listener whose SYN queue held us *)
   nonblock_pending : bool;
 }
 
@@ -79,7 +80,8 @@ let to_value (im : image) =
       ("oob", Value.option (fun c -> Value.int (Char.code c)) im.oob);
       ("send", Value.str im.send_data);
       ("dgrams", Value.list (Value.pair Addr.to_value Value.str) im.dgrams);
-      ("queued_on", Value.option Value.int im.queued_on) ]
+      ("queued_on", Value.option Value.int im.queued_on);
+      ("syn_child_of", Value.option Value.int im.syn_child_of) ]
 
 let of_value v : image =
   {
@@ -94,6 +96,11 @@ let of_value v : image =
     send_data = Value.to_str (Value.field "send" v);
     dgrams = Value.to_list (Value.to_pair Addr.of_value Value.to_str) (Value.field "dgrams" v);
     queued_on = Value.to_option Value.to_int (Value.field "queued_on" v);
+    syn_child_of =
+      (* absent in images written before SYN-queue fidelity *)
+      (match Value.field_opt "syn_child_of" v with
+       | Some x -> Value.to_option Value.to_int x
+       | None -> None);
     nonblock_pending = false;
   }
 
@@ -174,6 +181,7 @@ let save ?(mode = Read_inject) ~(ns : Namespace.t) (s : Socket.t) : image =
     send_data;
     dgrams;
     queued_on = None;
+    syn_child_of = None;
     nonblock_pending = false;
   }
 

@@ -38,6 +38,8 @@ type image = {
   dgrams : (Addr.t * string) list;  (** virtual source addresses *)
   queued_on : int option;
       (** index of the listener whose accept queue held this connection *)
+  syn_child_of : int option;
+      (** index of the listener whose SYN queue held this half-open child *)
   nonblock_pending : bool;
 }
 

@@ -54,6 +54,16 @@ let vpids t =
 
 let set_vip_map t map = t.vip_to_rip <- map
 
+(* Gratuitous-ARP-style update: a pod re-acquired its virtual address on a
+   new node.  Namespaces that never knew the vip are left untouched, like
+   an ARP cache without the entry. *)
+let rebind_vip t ~vip ~rip =
+  if List.exists (fun (v, _) -> Addr.equal_ip v vip) t.vip_to_rip then
+    t.vip_to_rip <-
+      List.map
+        (fun (v, r) -> if Addr.equal_ip v vip then (v, rip) else (v, r))
+        t.vip_to_rip
+
 let rip_of_vip t vip =
   match List.assoc_opt vip t.vip_to_rip with Some rip -> rip | None -> vip
 

@@ -34,6 +34,10 @@ val vpids : t -> int list
 
 val set_vip_map : t -> (Addr.ip * Addr.ip) list -> unit
 
+val rebind_vip : t -> vip:Addr.ip -> rip:Addr.ip -> unit
+(** Gratuitous-ARP-style update: repoint an existing [vip] entry at a new
+    real address.  Namespaces without the entry are left untouched. *)
+
 val rip_of_vip : t -> Addr.ip -> Addr.ip
 (** Unknown addresses pass through unchanged (out-of-cluster traffic is out
     of scope, per the paper). *)

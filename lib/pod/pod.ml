@@ -156,6 +156,20 @@ let set_vip_map pod map =
   in
   Namespace.set_vip_map pod.ns map
 
+(* The current (vip, rip) binding of every live pod.  The restore path
+   extends its partial map with this so a restored pod can still reach
+   application pods outside the restored set. *)
+let current_vip_map () =
+  Hashtbl.fold (fun _ (p : t) acc -> (p.vip, p.rip) :: acc) registry []
+
+(* Gratuitous ARP: a pod re-acquired its virtual address at a new real
+   address (restart on another node, live migration).  Every live pod that
+   knows the vip — including ones outside the restored application, e.g. a
+   client population talking to a restored server — repoints its namespace
+   entry, exactly like hosts updating their ARP caches. *)
+let rebind_vip ~vip ~rip =
+  Hashtbl.iter (fun _ (p : t) -> Namespace.rebind_vip p.ns ~vip ~rip) registry
+
 let spawn pod ~program ~args =
   let proc = Kernel.create_proc pod.kernel (Zapc_simos.Program.spawn program args) in
   adopt pod proc;

@@ -121,6 +121,7 @@ type t = {
   accept_q : t Queue.t;
   mutable backlog : int;
   mutable pending_children : int;  (* SYN_RECEIVED children not yet accepted *)
+  mutable synq : t list;  (* the SYN queue: those children, arrival order *)
   mutable parent : t option;
   mutable born_by_accept : bool;
   mutable err : Errno.t option;
@@ -192,6 +193,11 @@ let wake_all s =
 
 let wait_readable s w = s.rd_waiters <- w :: s.rd_waiters
 let wait_writable s w = s.wr_waiters <- w :: s.wr_waiters
+
+let synq_add listener child = listener.synq <- listener.synq @ [ child ]
+
+let synq_remove listener child =
+  listener.synq <- List.filter (fun c -> not (c == child)) listener.synq
 
 (* --- default dispatch implementations --- *)
 
@@ -299,6 +305,7 @@ let create ~id ~kind ~netctx =
     accept_q = Queue.create ();
     backlog = 0;
     pending_children = 0;
+    synq = [];
     parent = None;
     born_by_accept = false;
     err = None;

@@ -110,6 +110,7 @@ type t = {
   accept_q : t Queue.t;
   mutable backlog : int;
   mutable pending_children : int;  (** SYN_RECEIVED children not yet accepted *)
+  mutable synq : t list;  (** the SYN queue: those children, arrival order *)
   mutable parent : t option;
   mutable born_by_accept : bool;  (** provenance, drives the restart schedule *)
   mutable err : Errno.t option;
@@ -173,6 +174,11 @@ val wake_writers : t -> unit
 val wake_all : t -> unit
 val wait_readable : t -> (unit -> unit) -> unit
 val wait_writable : t -> (unit -> unit) -> unit
+
+(** {1 SYN-queue maintenance (listener half-open children)} *)
+
+val synq_add : t -> t -> unit
+val synq_remove : t -> t -> unit
 
 (** {1 Alternate receive queue interposition (paper section 5)} *)
 

@@ -108,6 +108,12 @@ and on_rto s gen =
 
 and abort_connection s err =
   let tcb = the_tcb s in
+  (* a half-open child leaving the SYN queue releases its backlog slot *)
+  (match (tcb.st, s.parent) with
+   | St_syn_received, Some parent when is_listening parent ->
+     parent.pending_children <- Stdlib.max 0 (parent.pending_children - 1);
+     synq_remove parent s
+   | _ -> ());
   tcb.st <- St_closed;
   disarm_rto s;
   Queue.clear tcb.retx;
@@ -305,12 +311,21 @@ let close s =
   | Some tcb ->
     (match tcb.st with
      | St_listen ->
-       (* Reset connections waiting in the accept queue. *)
+       (* Reset connections waiting in the accept queue and the SYN queue. *)
        Queue.iter (fun child -> abort_connection child Errno.ECONNRESET) s.accept_q;
        Queue.clear s.accept_q;
+       let syn_children = s.synq in
+       s.synq <- [];
+       s.pending_children <- 0;
+       List.iter (fun child -> abort_connection child Errno.ECONNRESET) syn_children;
        tcb.st <- St_closed;
        s.netctx.nc_unregister s
      | St_syn_sent | St_syn_received ->
+       (match (tcb.st, s.parent) with
+        | St_syn_received, Some parent when is_listening parent ->
+          parent.pending_children <- Stdlib.max 0 (parent.pending_children - 1);
+          synq_remove parent s
+        | _ -> ());
        tcb.st <- St_closed;
        disarm_rto s;
        s.netctx.nc_unregister s
@@ -466,6 +481,37 @@ let process_ack s tcb ack_no window had_payload =
 
 let all_sent_acked tcb = tcb.snd_una = tcb.snd_nxt
 
+(* SYN arriving at a listening socket: create the child connection
+   (SYN queue), reply SYN+ACK; it reaches the accept queue when the
+   handshake completes. *)
+let on_listener_segment s (src : Addr.t) (dst : Addr.t) (seg : Packet.tcp_seg) =
+  if seg.flags.syn && not seg.flags.ack then begin
+    if Queue.length s.accept_q + s.pending_children >= s.backlog then () (* drop *)
+    else begin
+      let child = s.netctx.nc_new_socket Stream in
+      Sockopt.copy_into ~src:s.opts ~dst:child.opts;
+      Sockopt.set child.opts Sockopt.SO_NONBLOCK 0;
+      child.local <- Some dst;
+      child.remote <- Some src;
+      child.parent <- Some s;
+      child.born_by_accept <- true;
+      let iss = random_iss child in
+      let tcb = fresh_tcb ~iss in
+      tcb.st <- St_syn_received;
+      tcb.irs <- seg.seq;
+      tcb.rcv_nxt <- seg.seq + 1;
+      tcb.snd_nxt <- iss + 1;
+      tcb.snd_wnd <- seg.window;
+      child.tcb <- Some tcb;
+      s.pending_children <- s.pending_children + 1;
+      synq_add s child;
+      child.netctx.nc_register_estab child;
+      emit child ~syn:true ~seq:iss ();
+      tcb.rto_gen <- tcb.rto_gen + 1;
+      arm_handshake child tcb.rto_gen 1
+    end
+  end
+
 (* Main segment input for a socket in any synchronized (non-listen) state. *)
 let on_segment s (seg : Packet.tcp_seg) =
   match s.tcb with
@@ -509,6 +555,7 @@ let on_segment s (seg : Packet.tcp_seg) =
           (match s.parent with
            | Some parent when is_listening parent ->
              parent.pending_children <- Stdlib.max 0 (parent.pending_children - 1);
+             synq_remove parent s;
              Queue.add s parent.accept_q;
              wake_readers parent
            | Some _ | None -> ());
@@ -518,9 +565,22 @@ let on_segment s (seg : Packet.tcp_seg) =
             send_pure_ack s
           end
         end
-        else if seg.flags.syn then
-          (* retransmitted SYN: re-send SYN+ACK *)
-          emit s ~syn:true ~seq:tcb.iss ()
+        else if seg.flags.syn && not seg.flags.ack then begin
+          if seg.seq + 1 = tcb.rcv_nxt then
+            (* retransmitted SYN: re-send SYN+ACK *)
+            emit s ~syn:true ~seq:tcb.iss ()
+          else begin
+            (* brand-new handshake on this 4-tuple (e.g. a connect re-executed
+               after a restart): drop the stale half-open child and start the
+               handshake over on the listener *)
+            let parent = s.parent and local = s.local and remote = s.remote in
+            abort_connection s Errno.ECONNRESET;
+            match (parent, local, remote) with
+            | Some p, Some dst, Some src when is_listening p ->
+              on_listener_segment p src dst seg
+            | _ -> ()
+          end
+        end
       | St_established | St_fin_wait_1 | St_fin_wait_2 | St_close_wait | St_closing
       | St_last_ack | St_time_wait ->
         (* any activity feeds the keepalive idle clock *)
@@ -574,35 +634,24 @@ let on_segment s (seg : Packet.tcp_seg) =
       | St_listen -> () (* handled by on_listener_segment *)
     end
 
-(* SYN arriving at a listening socket: create the child connection
-   (SYN queue), reply SYN+ACK; it reaches the accept queue when the
-   handshake completes. *)
-let on_listener_segment s (src : Addr.t) (dst : Addr.t) (seg : Packet.tcp_seg) =
-  if seg.flags.syn && not seg.flags.ack then begin
-    if Queue.length s.accept_q + s.pending_children >= s.backlog then () (* drop *)
-    else begin
-      let child = s.netctx.nc_new_socket Stream in
-      Sockopt.copy_into ~src:s.opts ~dst:child.opts;
-      Sockopt.set child.opts Sockopt.SO_NONBLOCK 0;
-      child.local <- Some dst;
-      child.remote <- Some src;
-      child.parent <- Some s;
-      child.born_by_accept <- true;
-      let iss = random_iss child in
-      let tcb = fresh_tcb ~iss in
-      tcb.st <- St_syn_received;
-      tcb.irs <- seg.seq;
-      tcb.rcv_nxt <- seg.seq + 1;
-      tcb.snd_nxt <- iss + 1;
-      tcb.snd_wnd <- seg.window;
-      child.tcb <- Some tcb;
-      s.pending_children <- s.pending_children + 1;
-      child.netctx.nc_register_estab child;
-      emit child ~syn:true ~seq:iss ();
-      tcb.rto_gen <- tcb.rto_gen + 1;
-      arm_handshake child tcb.rto_gen 1
-    end
-  end
+(* Rebuild a half-open (SYN_RECEIVED) child at restart.  The caller has set
+   local/remote and attached the socket to its restored listener (parent,
+   pending_children, synq); this reconstructs the PCB from the checkpointed
+   sequence numbers, registers the 4-tuple for demux, and re-emits the
+   SYN+ACK so the peer's ACK — or its retransmitted SYN, or first data
+   segment — completes the handshake exactly as it would have without the
+   restart. *)
+let restore_syn_received s ~iss ~irs =
+  let tcb = fresh_tcb ~iss in
+  tcb.st <- St_syn_received;
+  tcb.irs <- irs;
+  tcb.rcv_nxt <- irs + 1;
+  tcb.snd_nxt <- iss + 1;
+  s.tcb <- Some tcb;
+  s.netctx.nc_register_estab s;
+  emit s ~syn:true ~seq:iss ();
+  tcb.rto_gen <- tcb.rto_gen + 1;
+  arm_handshake s tcb.rto_gen 1
 
 (* Receiver-side window update: called after the application drains the
    receive queue, so a sender stalled on a zero window resumes. *)

@@ -33,6 +33,12 @@ val on_listener_segment :
     reply SYN+ACK; it reaches the accept queue when the handshake
     completes. *)
 
+val restore_syn_received : Socket.t -> iss:int -> irs:int -> unit
+(** Rebuild a half-open (SYN_RECEIVED) child at restart from its
+    checkpointed sequence numbers and re-emit the SYN+ACK.  The caller must
+    have set [local]/[remote] and attached the socket to its restored
+    listener ([parent], [pending_children], [synq]). *)
+
 val shutdown_write : Socket.t -> unit
 (** Queue a FIN behind any buffered data (half close). *)
 

@@ -17,6 +17,7 @@ module Value = Zapc_codec.Value
 module Addr = Zapc_simnet.Addr
 module Socket = Zapc_simnet.Socket
 module Netstack = Zapc_simnet.Netstack
+module Tcp = Zapc_simnet.Tcp
 module Netfilter = Zapc_simnet.Netfilter
 module Fabric = Zapc_simnet.Fabric
 module Errno = Zapc_simnet.Errno
@@ -874,7 +875,10 @@ and start_restart t ~pod_id ~name ~vip ~rip ~uri ~entries ~vip_map ~extra_altq ~
           (* step 1: create a new (empty) pod *)
           let pod = Pod.create ~pod_id ~name ~vip ~rip t.kernel in
           pod.virtualize_time <- t.params.virtualize_time;
-          Pod.set_vip_map pod vip_map;
+          (* [vip_map] covers only the restored set; saved connections may
+             also reference application pods outside it, so extend with the
+             rest of the world (first match wins, new bindings shadow) *)
+          Pod.set_vip_map pod (vip_map @ Pod.current_vip_map ());
           register_pod t pod;
           let op =
             {
@@ -963,18 +967,21 @@ and run_acceptor_task t op accepts =
         let l = Hashtbl.find_opt by_port e.ri_local.port in
         Hashtbl.replace by_port e.ri_local.port (e :: Option.value l ~default:[]))
       accepts;
+    (* index the restored listeners by port once (mass restores bring
+       thousands of sockets; a per-port scan over all of them is O(n^2)) *)
+    let listeners_by_port = Hashtbl.create 8 in
+    Hashtbl.iter
+      (fun _ (s : Socket.t) ->
+        if Socket.is_listening s then
+          match s.local with
+          | Some l when not (Hashtbl.mem listeners_by_port l.port) ->
+            Hashtbl.replace listeners_by_port l.port s
+          | Some _ | None -> ())
+      op.ro_sockets;
     Hashtbl.iter
       (fun port entries ->
         let listener =
-          let found = ref None in
-          Hashtbl.iter
-            (fun _ (s : Socket.t) ->
-              if Socket.is_listening s then
-                match s.local with
-                | Some l when l.port = port -> found := Some s
-                | Some _ | None -> ())
-            op.ro_sockets;
-          match !found with
+          match Hashtbl.find_opt listeners_by_port port with
           | Some s -> s
           | None ->
             let s = Netstack.new_socket net Socket.Stream in
@@ -1079,12 +1086,14 @@ and restore_network_state t op =
   let pod = op.ro_pod in
   let ns = pod.Pod.ns in
   let net = Kernel.netstack t.kernel in
+  (* own-meta entries indexed by sock_ref: the restore loops below do one
+     lookup per socket, and mass restores carry thousands of them *)
+  let my_entries = Hashtbl.create (List.length op.ro_my_meta.pm_entries) in
+  List.iter
+    (fun (e : Meta.entry) -> Hashtbl.replace my_entries e.sock_ref e)
+    op.ro_my_meta.pm_entries;
   let acked_of ref_ =
-    match
-      List.find_opt (fun (e : Meta.entry) -> e.sock_ref = ref_) op.ro_my_meta.pm_entries
-    with
-    | Some e -> e.acked
-    | None -> 0
+    match Hashtbl.find_opt my_entries ref_ with Some e -> e.Meta.acked | None -> 0
   in
   let bytes = ref 0 in
   (* established connections *)
@@ -1150,11 +1159,42 @@ and restore_network_state t op =
         Sock_state.restore_options s im;
         Hashtbl.replace op.ro_sockets i s
       | `Conn Meta.Connecting ->
-        (* transient connection: the blocked connect re-executes on resume *)
-        let s = Netstack.new_socket net Socket.Stream in
-        s.src_hint <- Some pod.rip;
-        Sock_state.restore_options s im;
-        Hashtbl.replace op.ro_sockets i s
+        let restored_half_open =
+          (* a SYN-queued child of a restored listener: rebuild it half-open
+             so the peer's pending ACK (or retransmitted SYN, or first data
+             segment) completes the handshake after the restart *)
+          match Option.bind im.syn_child_of (Hashtbl.find_opt op.ro_sockets) with
+          | Some listener when Socket.is_listening listener ->
+            (match (Hashtbl.find_opt my_entries i, im.local, im.remote) with
+             | Some e, Some l, Some r when e.Meta.sent > 0 && e.Meta.recv > 0 ->
+               let s = Netstack.new_socket net Socket.Stream in
+               s.src_hint <- Some pod.rip;
+               Sock_state.restore_options s im;
+               let local = Namespace.translate_addr_out ns l in
+               let local =
+                 if Addr.equal_ip local.ip Addr.any then { local with Addr.ip = pod.rip }
+                 else local
+               in
+               s.Socket.local <- Some local;
+               s.Socket.remote <- Some (Namespace.translate_addr_out ns r);
+               s.Socket.parent <- Some listener;
+               s.Socket.born_by_accept <- true;
+               listener.Socket.pending_children <- listener.Socket.pending_children + 1;
+               Socket.synq_add listener s;
+               Tcp.restore_syn_received s ~iss:(e.Meta.sent - 1) ~irs:(e.Meta.recv - 1);
+               Metrics.incr t.metrics "net.synq_restored";
+               Hashtbl.replace op.ro_sockets i s;
+               true
+             | _ -> false)
+          | Some _ | None -> false
+        in
+        if not restored_half_open then begin
+          (* transient connection: the blocked connect re-executes on resume *)
+          let s = Netstack.new_socket net Socket.Stream in
+          s.src_hint <- Some pod.rip;
+          Sock_state.restore_options s im;
+          Hashtbl.replace op.ro_sockets i s
+        end
       | `Conn _ | `Listener _ -> ())
     op.ro_sock_imgs;
   (* re-insert never-accepted connections into their listener's queue *)
@@ -1220,6 +1260,11 @@ and restore_standalone t op =
   after t cost (fun () ->
       if not op.ro_aborted then begin
         Pod.resume pod;
+        (* gratuitous ARP: the vip now lives at this pod's new rip — update
+           every live namespace so pods outside the restored set (clients!)
+           can reach it with NEW connections, not just recovered ones *)
+        Pod.rebind_vip ~vip:pod.vip ~rip:pod.rip;
+        Metrics.incr t.metrics "net.vip_rebound";
         span_end t ~pod:pod.pod_id "standalone_restore";
         span_end t ~pod:pod.pod_id "pod_restart";
         trace t ~pod:pod.pod_id "restart_resumed";

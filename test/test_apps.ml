@@ -313,6 +313,36 @@ let test_daemons_run_alongside () =
     (fun (d : Proc.t) -> check tbool "daemon alive" true (d.Proc.exit_code = None))
     app.Launch.daemons
 
+(* --- served traffic (smoke) --- *)
+
+(* Fast version of the @serve battery pipeline: a small client population
+   against the sharded kv service, one coordinated checkpoint while requests
+   are in flight, exactly-once delivery asserted at the end.  The full
+   1000-connection chaos matrix lives in serve_battery.ml behind the @serve
+   alias. *)
+let test_serve_smoke () =
+  let cfg =
+    { Zapc_apps.Serve.default_cfg with
+      n_conns = 120; reqs_per_conn = 2; period = Simtime.ms 40 }
+  in
+  let t = Zapc_apps.Serve.setup ~nodes:4 ~seed:7 ~cfg () in
+  let cluster = t.Zapc_apps.Serve.cluster in
+  Cluster.run cluster ~until:(Simtime.ms 30) ();
+  let r = Cluster.snapshot cluster ~pods:t.Zapc_apps.Serve.servers ~key_prefix:"smoke" in
+  check tbool "checkpoint under load ok" true r.Manager.r_ok;
+  Zapc_apps.Serve.wait_done t;
+  let s = Zapc_apps.Serve.client_stats t in
+  let expected = Zapc_apps.Serve.total_expected t in
+  check tint "issued" expected s.st_issued;
+  check tint "completed exactly once" expected s.st_completed;
+  check tint "no duplicate responses" 0 s.st_dups;
+  check tint "nothing in flight" 0 s.st_inflight;
+  for shard = 0 to cfg.nshards - 1 do
+    check tbool "shard digest non-zero" true (Zapc_apps.Serve.digest t ~shard <> 0)
+  done;
+  let nf = Zapc_simnet.Fabric.netfilter (Cluster.fabric cluster) in
+  check tint "no leaked netfilter rules" 0 (Zapc_simnet.Netfilter.blocked_count nf)
+
 let () =
   Alcotest.run "apps"
     [ ( "cpi",
@@ -337,4 +367,7 @@ let () =
           Alcotest.test_case "transparent restart" `Quick
             test_pipeline_transparent_restart ] );
       ("daemons", [ Alcotest.test_case "alongside" `Quick test_daemons_run_alongside ]);
+      ( "serve",
+        [ Alcotest.test_case "checkpoint under live clients" `Quick test_serve_smoke ]
+      );
       ("properties", [ QCheck_alcotest.to_alcotest prop_restart_any_time ]) ]

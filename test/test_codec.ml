@@ -99,6 +99,7 @@ module Protocol = Zapc.Protocol
 module Meta = Zapc_netckpt.Meta
 module Image = Zapc_ckpt.Image
 module Addr = Zapc_simnet.Addr
+module Kv_wire = Zapc_apps.Kv_wire
 
 let value_gen =
   let open QCheck.Gen in
@@ -339,6 +340,71 @@ let prop_image_checksum_detects_bitflips =
         Image.checksum { img with Image.encoded = Bytes.to_string b } <> sum
       end)
 
+(* --- key-value service wire protocol -----------------------------------
+   The request/response/redirect/replication messages of the served-traffic
+   battery and their length-prefixed framing: a retried request is only
+   idempotent if the bytes a server logs and re-sends survive the codec
+   bit for bit, and a checkpoint can cut the TCP stream at ANY byte — the
+   framing must reassemble from an arbitrary split. *)
+
+let kv_op_gen =
+  let open QCheck.Gen in
+  oneof
+    [ map (fun (k, v) -> Kv_wire.Set (k, v)) (pair string_small string_small);
+      map (fun k -> Kv_wire.Get k) string_small;
+      map (fun k -> Kv_wire.Del k) string_small ]
+
+let kv_status_gen =
+  let open QCheck.Gen in
+  oneof
+    [ return Kv_wire.S_ok;
+      return Kv_wire.S_not_found;
+      map (fun o -> Kv_wire.S_redirect o) (int_bound 15) ]
+
+let kv_msg_gen =
+  let open QCheck.Gen in
+  oneof
+    [ map
+        (fun ((rq_client, rq_id), rq_op) -> Kv_wire.Req { rq_client; rq_id; rq_op })
+        (pair (pair nat nat) kv_op_gen);
+      map
+        (fun (((rs_client, rs_id), rs_status), rs_value) ->
+          Kv_wire.Resp { rs_client; rs_id; rs_status; rs_value })
+        (pair (pair (pair nat nat) kv_status_gen) string_small);
+      map
+        (fun ((rp_seq, (rp_client, rp_id)), rp_op) ->
+          Kv_wire.Repl { rp_seq; rp_client; rp_id; rp_op })
+        (pair (pair nat (pair nat nat)) kv_op_gen);
+      map (fun s -> Kv_wire.Repl_ack s) nat ]
+
+let prop_kv_msg_roundtrip =
+  QCheck.Test.make ~name:"kv messages roundtrip" ~count:300
+    (QCheck.make kv_msg_gen) (fun m ->
+      Kv_wire.msg_of_value (roundtrip (Kv_wire.msg_to_value m)) = m)
+
+(* cut a framed stream at an arbitrary byte: the head parses to a prefix of
+   the messages, the tail carried over plus the remainder parses to the
+   rest, and nothing is left — exactly what a restored connection buffer
+   must guarantee *)
+let prop_kv_frame_split =
+  QCheck.Test.make ~name:"kv framing reassembles at any cut" ~count:300
+    (QCheck.make QCheck.Gen.(pair (list_size (int_bound 6) kv_msg_gen) nat))
+    (fun (msgs, cut) ->
+      let s = String.concat "" (List.map Kv_wire.frame msgs) in
+      let cut = if String.length s = 0 then 0 else cut mod (String.length s + 1) in
+      let head, tail = Kv_wire.split (String.sub s 0 cut) in
+      let more, rest =
+        Kv_wire.split (tail ^ String.sub s cut (String.length s - cut))
+      in
+      head @ more = msgs && String.equal rest "")
+
+let prop_kv_owner_stable =
+  QCheck.Test.make ~name:"kv shard owner is stable and in range" ~count:300
+    (QCheck.make QCheck.Gen.(pair string_small (int_range 1 8)))
+    (fun (key, nshards) ->
+      let o = Kv_wire.owner ~nshards key in
+      o >= 0 && o < nshards && o = Kv_wire.owner ~nshards key)
+
 let () =
   Alcotest.run "codec"
     [ ( "wire",
@@ -363,4 +429,7 @@ let () =
         List.map QCheck_alcotest.to_alcotest
           [ prop_protocol_agent_roundtrip; prop_protocol_manager_roundtrip;
             prop_mig_round_stats_roundtrip; prop_image_sections_roundtrip;
-            prop_image_checksum_detects_bitflips ] ) ]
+            prop_image_checksum_detects_bitflips ] );
+      ( "kv wire",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_kv_msg_roundtrip; prop_kv_frame_split; prop_kv_owner_stable ] ) ]
