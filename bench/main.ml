@@ -8,7 +8,7 @@
 
 let usage () =
   print_endline
-    "usage: main.exe [fig5|fig6a|fig6b|fig6c|netstate|variance|ablation|timeline|storage|micro|availability|incremental|migration|serve|all|quick]"
+    "usage: main.exe [fig5|fig6a|fig6b|fig6c|netstate|variance|ablation|timeline|storage|micro|availability|incremental|migration|serve|profile|all|quick]"
 
 let () =
   let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
@@ -28,6 +28,7 @@ let () =
   | "incremental" -> Experiments.incremental ()
   | "migration" -> Experiments.migration ()
   | "serve" -> Experiments.serve ()
+  | "profile" -> Experiments.profile ()
   | "all" ->
     Experiments.fig5 ();
     Experiments.fig6a ();
@@ -42,6 +43,7 @@ let () =
     Experiments.incremental ();
     Experiments.migration ();
     Experiments.serve ();
+    Experiments.profile ();
     Micro.run ()
   | "quick" -> Experiments.quick ()
   | _ -> usage ()

@@ -76,7 +76,38 @@ let t_tcp =
          ignore (Zapc_simnet.Tcp.send_data client "ping");
          Engine.run engine))
 
-let tests = [ t_encode; t_decode; t_sockbuf; t_heap; t_engine; t_tcp ]
+(* The recorder's open-span set is a hashtable keyed by span id: closing
+   by handle is O(1) however many spans are concurrently open (the serve
+   runs hold hundreds), and the by-name close only scans the open set, not
+   the full history.  The asserts pin the semantics the tracing layer
+   depends on: every close resolves, and the set drains to empty. *)
+module Span = Zapc_obs.Span
+
+let t_span =
+  Test.make ~name:"span.256-open/close"
+    (Staged.stage (fun () ->
+         let r = Span.create () in
+         let handles =
+           List.init 256 (fun i ->
+               Span.begin_span r ~time:(Simtime.ns i) ~pod:(i mod 16) ~node:0
+                 "phase")
+         in
+         List.iter (fun sp -> Span.end_span r ~time:(Simtime.ns 1000) sp) handles;
+         assert (Span.open_count r = 0)))
+
+let t_span_named =
+  Test.make ~name:"span.end_named-64-open"
+    (Staged.stage (fun () ->
+         let r = Span.create () in
+         for i = 0 to 63 do
+           ignore (Span.begin_span r ~time:(Simtime.ns i) ~pod:i ~node:0 "ph")
+         done;
+         for i = 63 downto 0 do
+           assert (Span.end_named r ~time:(Simtime.ns 100) ~pod:i "ph")
+         done;
+         assert (Span.open_count r = 0)))
+
+let tests = [ t_encode; t_decode; t_sockbuf; t_heap; t_engine; t_tcp; t_span; t_span_named ]
 
 let run () =
   Driver.section "MICRO  Wall-clock microbenchmarks of core operations (Bechamel)";

@@ -2,6 +2,9 @@
    emits.
 
      obs_check.exe [TRACE.json] [METRICS.json]
+     obs_check.exe --mig [TRACE.json] [METRICS.json]
+     obs_check.exe --serve [SERVE.json] [TRACE.json] [METRICS.json]
+     obs_check.exe --causal TRACE.json...
 
    The Chrome trace must parse, be non-empty, and exhibit the Figure-2
    overlap — every pod's "standalone" span straddles the end of the
@@ -228,9 +231,100 @@ let check_serve_metrics path =
   Printf.printf "obs_check: %s ok (client.completed=%d, latency histogram populated)\n"
     path (counter "client.completed")
 
+(* --causal: structural validation of the cross-node causal tree in any of
+   the Chrome traces.  Every span carries its recorder-unique sid (and its
+   parent's sid) in the args, so the tree is reconstructible from the
+   artifact alone.  Checks: sids are unique and every parent resolves with
+   no cycles; every agent-side operation span (pod_ckpt / pod_restart /
+   mig_precopy, node >= 0) climbs to a manager-scope ancestor (node = -1)
+   — the trace-context plumbing stitched the operation across the control
+   plane; flow events come in s/f pairs whose ids are real sids; and at
+   least one cross-node parent edge exists. *)
+let check_causal path =
+  let trace = parse_file path in
+  let events =
+    need "traceEvents missing or not a list"
+      (Option.bind (Json.member "traceEvents" trace) Json.to_list)
+  in
+  let spans = Hashtbl.create 256 in  (* sid -> (name, node, parent option) *)
+  let flows_s = ref [] and flows_f = ref [] in
+  List.iter
+    (fun ev ->
+      let str k = Option.bind (Json.member k ev) Json.to_string_opt in
+      let num k = Option.bind (Json.member k ev) Json.to_float in
+      match str "ph" with
+      | Some "X" ->
+        let args = need "X event without args" (Json.member "args" ev) in
+        let anum k = Option.bind (Json.member k args) Json.to_float in
+        let sid = int_of_float (need "X event without sid" (anum "sid")) in
+        let node = int_of_float (need "X event without node" (anum "node")) in
+        let name = need "X event without name" (str "name") in
+        let parent = Option.map int_of_float (anum "parent") in
+        if Hashtbl.mem spans sid then fail "%s: duplicate sid %d" path sid;
+        Hashtbl.replace spans sid (name, node, parent)
+      | Some "s" ->
+        flows_s := int_of_float (need "flow start without id" (num "id")) :: !flows_s
+      | Some "f" ->
+        flows_f := int_of_float (need "flow finish without id" (num "id")) :: !flows_f
+      | _ -> ())
+    events;
+  if Hashtbl.length spans = 0 then fail "%s: no spans" path;
+  let rec climbs_to_manager seen sid =
+    if List.mem sid seen then fail "%s: parent cycle through sid %d" path sid;
+    match Hashtbl.find_opt spans sid with
+    | None -> fail "%s: dangling parent sid %d" path sid
+    | Some (_, node, parent) ->
+      node = -1
+      || (match parent with
+          | None -> false
+          | Some p -> climbs_to_manager (sid :: seen) p)
+  in
+  let ops =
+    Hashtbl.fold
+      (fun sid (name, node, _) acc ->
+        if node >= 0 && List.mem name [ "pod_ckpt"; "pod_restart"; "mig_precopy" ]
+        then (sid, name) :: acc
+        else acc)
+      spans []
+  in
+  if ops = [] then fail "%s: no agent-side operation spans" path;
+  List.iter
+    (fun (sid, name) ->
+      if not (climbs_to_manager [] sid) then
+        fail "%s: %s span sid %d never reaches a manager-scope ancestor" path
+          name sid)
+    ops;
+  let cross =
+    Hashtbl.fold
+      (fun _ (_, node, parent) acc ->
+        match Option.bind parent (Hashtbl.find_opt spans) with
+        | Some (_, pnode, _) when pnode <> node -> acc + 1
+        | Some _ | None -> acc)
+      spans 0
+  in
+  if cross = 0 then fail "%s: no cross-node causal edges" path;
+  List.iter
+    (fun id ->
+      if not (Hashtbl.mem spans id) then
+        fail "%s: flow event id %d is not a span sid" path id)
+    (!flows_s @ !flows_f);
+  if List.sort compare !flows_s <> List.sort compare !flows_f then
+    fail "%s: unpaired flow events" path;
+  Printf.printf
+    "obs_check: %s ok (causal: %d spans, %d op spans rooted at the manager, \
+     %d cross-node edges, %d flow pairs)\n"
+    path (Hashtbl.length spans) (List.length ops) cross (List.length !flows_s)
+
 let () =
   let arg i d = if Array.length Sys.argv > i then Sys.argv.(i) else d in
-  if Array.length Sys.argv > 1 && String.equal Sys.argv.(1) "--mig" then begin
+  if Array.length Sys.argv > 1 && String.equal Sys.argv.(1) "--causal" then begin
+    if Array.length Sys.argv > 2 then
+      for i = 2 to Array.length Sys.argv - 1 do
+        check_causal Sys.argv.(i)
+      done
+    else check_causal "BENCH_quick_trace.json"
+  end
+  else if Array.length Sys.argv > 1 && String.equal Sys.argv.(1) "--mig" then begin
     check_mig_trace (arg 2 "BENCH_migration_trace.json");
     check_mig_metrics (arg 3 "BENCH_migration_metrics.json")
   end

@@ -115,7 +115,7 @@ let fired t = List.rev t.log
 let armed t = List.length (List.filter (fun a -> not a.a_fired) t.installed)
 let crashed_nodes t = List.sort Int.compare t.crashed
 
-let after t delay fn = Engine.schedule (engine t) ~delay fn
+let after t delay fn = Engine.schedule (engine t) ~label:"fault.timer" ~delay fn
 
 (* --- applying individual faults --- *)
 
@@ -238,6 +238,11 @@ let apply t fault =
 let fire t a =
   if not a.a_fired then begin
     a.a_fired <- true;
+    (* the [fault:*] instant is what trips the flight recorder into a dump
+       (Cluster.enable_flight) — record it before the fault mutates state so
+       the rings still hold the pre-fault tail *)
+    Trace.record t.tr ~time:(now t) ~pod:(-1)
+      ("fault:" ^ fault_to_string a.a_inj.fault);
     apply t a.a_inj.fault
   end
 
@@ -247,7 +252,8 @@ let install t inj =
   match inj.trigger with
   | Now -> fire t a
   | At at ->
-    Engine.schedule_at (engine t) ~at:(Simtime.max at (now t)) (fun () -> fire t a)
+    Engine.schedule_at (engine t) ~label:"fault.timer"
+      ~at:(Simtime.max at (now t)) (fun () -> fire t a)
   | After d -> after t d (fun () -> fire t a)
   | On_phase { phase; pod; skip } ->
     Trace.on_record t.tr (fun (ev : Trace.event) ->

@@ -66,6 +66,8 @@ let to_string rec_ =
            "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":%d,\"tid\":%d,\"args\":{\"name\":\"%s\"}}"
            (node + 1) (pod + 1) name))
     thread_list;
+  let by_id = Hashtbl.create 64 in
+  List.iter (fun (sp : Span.span) -> Hashtbl.replace by_id sp.sp_id sp) spans;
   List.iter
     (fun (sp : Span.span) ->
       let finish, unfinished =
@@ -77,10 +79,37 @@ let to_string rec_ =
       emit
         (Printf.sprintf
            "{\"ph\":\"X\",\"name\":\"%s\",\"cat\":\"zapc\",\"pid\":%d,\"tid\":%d,\
-            \"ts\":%s,\"dur\":%s,\"args\":{\"op\":%d,\"pod\":%d,\"node\":%d%s}}"
+            \"ts\":%s,\"dur\":%s,\"args\":{\"op\":%d,\"pod\":%d,\"node\":%d,\
+            \"sid\":%d%s%s}}"
            (esc sp.sp_name) (sp.sp_node + 1) (sp.sp_pod + 1)
-           (us sp.sp_begin) (us dur) sp.sp_op sp.sp_pod sp.sp_node
+           (us sp.sp_begin) (us dur) sp.sp_op sp.sp_pod sp.sp_node sp.sp_id
+           (match sp.sp_parent with
+            | Some p -> Printf.sprintf ",\"parent\":%d" p
+            | None -> "")
            (if unfinished then ",\"unfinished\":true" else "")))
+    spans;
+  (* Flow events for the cross-node causal edges: when a span's parent was
+     recorded on a different node, join the two slices with an s/f pair
+     (id = the child's span id, unique per recorder). *)
+  List.iter
+    (fun (sp : Span.span) ->
+      match sp.sp_parent with
+      | Some pid -> (
+        match Hashtbl.find_opt by_id pid with
+        | Some (parent : Span.span) when parent.sp_node <> sp.sp_node ->
+          emit
+            (Printf.sprintf
+               "{\"ph\":\"s\",\"name\":\"causal\",\"cat\":\"zapc\",\"id\":%d,\
+                \"pid\":%d,\"tid\":%d,\"ts\":%s}"
+               sp.sp_id (parent.sp_node + 1) (parent.sp_pod + 1)
+               (us parent.sp_begin));
+          emit
+            (Printf.sprintf
+               "{\"ph\":\"f\",\"bp\":\"e\",\"name\":\"causal\",\"cat\":\"zapc\",\
+                \"id\":%d,\"pid\":%d,\"tid\":%d,\"ts\":%s}"
+               sp.sp_id (sp.sp_node + 1) (sp.sp_pod + 1) (us sp.sp_begin))
+        | _ -> ())
+      | None -> ())
     spans;
   List.iter
     (fun (i : Span.instant) ->

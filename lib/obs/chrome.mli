@@ -9,7 +9,14 @@
     process/thread names are emitted as ["ph":"M"] metadata.
 
     Spans still open when the export happens are closed at the recorder's
-    {!Span.last_time} and tagged ["unfinished":true]. *)
+    {!Span.last_time} and tagged ["unfinished":true].
+
+    Causal structure: every X event's args carry the span id (["sid"]) and,
+    when present, its parent span id (["parent"]).  Parent edges that cross
+    a node boundary are additionally exported as Chrome flow events — a
+    ["ph":"s"] on the parent's slice and a ["ph":"f","bp":"e"] on the
+    child's, joined by [id = child sid] — so Perfetto draws the
+    manager-to-agent arrows. *)
 
 (** Render the recorder to a [{"traceEvents":[...],"displayTimeUnit":"ms"}]
     JSON string. *)

@@ -92,6 +92,8 @@ let parse s =
     in
     while !pos < n && is_num_char s.[!pos] do advance () done;
     if !pos = start then fail "expected number";
+    (* float_of_string is laxer than JSON and would take "+1" *)
+    if s.[start] = '+' then fail "leading '+' is not JSON";
     match float_of_string_opt (String.sub s start (!pos - start)) with
     | Some f -> f
     | None -> fail "bad number"

@@ -20,24 +20,32 @@ type t = {
   counters : (string, int ref) Hashtbl.t;
   gauges : (string, gauge) Hashtbl.t;
   hists : (string, hist) Hashtbl.t;
+  mutable on_record : (string -> float -> unit) option;
 }
 
 let create () =
   { counters = Hashtbl.create 64;
     gauges = Hashtbl.create 16;
-    hists = Hashtbl.create 32 }
+    hists = Hashtbl.create 32;
+    on_record = None }
 
 let clear t =
   Hashtbl.reset t.counters;
   Hashtbl.reset t.gauges;
   Hashtbl.reset t.hists
 
+let set_on_record t obs = t.on_record <- obs
+
+let notify t name v =
+  match t.on_record with Some f -> f name v | None -> ()
+
 (* Counters *)
 
 let add t name n =
-  match Hashtbl.find_opt t.counters name with
-  | Some r -> r := !r + n
-  | None -> Hashtbl.replace t.counters name (ref n)
+  (match Hashtbl.find_opt t.counters name with
+   | Some r -> r := !r + n
+   | None -> Hashtbl.replace t.counters name (ref n));
+  notify t name (float_of_int n)
 
 let incr t name = add t name 1
 let counter t name =
@@ -101,7 +109,8 @@ let observe t ?(buckets = default_ms_buckets) name v =
   h.h_count <- h.h_count + 1;
   h.h_sum <- h.h_sum +. v;
   if v < h.h_min then h.h_min <- v;
-  if v > h.h_max then h.h_max <- v
+  if v > h.h_max then h.h_max <- v;
+  notify t name v
 
 let hist_count t name =
   match Hashtbl.find_opt t.hists name with Some h -> h.h_count | None -> 0

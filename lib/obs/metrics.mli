@@ -12,8 +12,14 @@ type t
 
 val create : unit -> t
 
-(** Drop every registered instrument. *)
+(** Drop every registered instrument (the {!set_on_record} observer is
+    kept). *)
 val clear : t -> unit
+
+val set_on_record : t -> (string -> float -> unit) option -> unit
+(** At most one observer, fired on every counter {!add}/{!incr} (with the
+    delta) and every histogram {!observe} (with the sample) — the flight
+    recorder's metric-delta feed.  Gauge writes are not observed. *)
 
 (** {1 Counters} — monotonically increasing integers. *)
 

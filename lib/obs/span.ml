@@ -6,6 +6,7 @@ type span = {
   sp_op : int;
   sp_pod : int;
   sp_node : int;
+  sp_parent : int option;
   sp_begin : Simtime.t;
   mutable sp_end : Simtime.t option;
 }
@@ -17,57 +18,80 @@ type instant = {
   in_what : string;
 }
 
+type event = Opened of span | Closed of span
+
 type t = {
   mutable spans : span list;       (* newest first *)
   mutable instants : instant list; (* newest first *)
-  mutable open_ : span list;       (* newest first *)
+  open_ : (int, span) Hashtbl.t;   (* sp_id -> still-open span *)
   mutable next_id : int;
   mutable last : Simtime.t;
+  mutable observer : (event -> unit) option;
 }
 
 let create () =
-  { spans = []; instants = []; open_ = []; next_id = 0; last = Simtime.zero }
+  { spans = []; instants = []; open_ = Hashtbl.create 32; next_id = 0;
+    last = Simtime.zero; observer = None }
 
 let clear t =
   t.spans <- [];
   t.instants <- [];
-  t.open_ <- [];
+  Hashtbl.reset t.open_;
   t.next_id <- 0;
   t.last <- Simtime.zero
 
+let set_observer t obs = t.observer <- obs
+
+let notify t ev = match t.observer with Some f -> f ev | None -> ()
+
 let touch t time = if Simtime.compare time t.last > 0 then t.last <- time
 
-let begin_span t ~time ?(op = 0) ?(node = -1) ~pod name =
+let begin_span t ~time ?(op = 0) ?(node = -1) ?parent ~pod name =
   let sp =
     { sp_id = t.next_id; sp_name = name; sp_op = op; sp_pod = pod;
-      sp_node = node; sp_begin = time; sp_end = None }
+      sp_node = node; sp_parent = parent; sp_begin = time; sp_end = None }
   in
   t.next_id <- t.next_id + 1;
   t.spans <- sp :: t.spans;
-  t.open_ <- sp :: t.open_;
+  Hashtbl.replace t.open_ sp.sp_id sp;
   touch t time;
+  notify t (Opened sp);
   sp
 
 let close t ~time sp =
   sp.sp_end <- Some time;
-  t.open_ <- List.filter (fun s -> s != sp) t.open_;
-  touch t time
+  Hashtbl.remove t.open_ sp.sp_id;
+  touch t time;
+  notify t (Closed sp)
 
 let end_span t ~time sp =
   match sp.sp_end with Some _ -> () | None -> close t ~time sp
 
 let end_named t ~time ~pod name =
-  match
-    List.find_opt (fun s -> s.sp_name = name && s.sp_pod = pod) t.open_
-  with
+  (* most recently opened match = the open span with the largest id *)
+  let best =
+    Hashtbl.fold
+      (fun _ s acc ->
+        if s.sp_name = name && s.sp_pod = pod then
+          match acc with
+          | Some b when b.sp_id > s.sp_id -> acc
+          | _ -> Some s
+        else acc)
+      t.open_ None
+  in
+  match best with
   | Some sp -> close t ~time sp; true
   | None -> false
 
 let end_all_for_pod t ~time ~pod =
-  List.iter
-    (fun sp -> if sp.sp_pod = pod then sp.sp_end <- Some time)
-    t.open_;
-  t.open_ <- List.filter (fun s -> s.sp_pod <> pod) t.open_;
+  let victims =
+    Hashtbl.fold
+      (fun _ s acc -> if s.sp_pod = pod then s :: acc else acc)
+      t.open_ []
+  in
+  (* close in id order so observers see a deterministic sequence *)
+  List.iter (fun sp -> close t ~time sp)
+    (List.sort (fun a b -> compare a.sp_id b.sp_id) victims);
   touch t time
 
 let instant t ~time ?(node = -1) ~pod what =
@@ -87,5 +111,13 @@ let instants t =
   List.stable_sort
     (fun a b -> Simtime.compare a.in_time b.in_time)
     (List.rev t.instants)
-let open_spans t = List.rev t.open_
+
+let open_spans t =
+  Hashtbl.fold (fun _ s acc -> s :: acc) t.open_ []
+  |> List.sort (fun a b -> compare a.sp_id b.sp_id)
+
+let open_count t = Hashtbl.length t.open_
 let last_time t = t.last
+
+let find_span t id =
+  List.find_opt (fun s -> s.sp_id = id) t.spans

@@ -1,11 +1,16 @@
 (** Typed span/instant recorder — the structured core behind [Zapc.Trace].
 
-    A span is a named interval keyed by (operation id, pod, node); an
-    instant is a point event.  Spans are opened with {!begin_span} and
-    closed either through the returned handle ({!end_span}) or by name
-    ({!end_named}), which closes the most recently opened still-open span
-    with that name and pod.  Recording is append-only and deterministic:
-    two runs with the same seed produce identical span lists. *)
+    A span is a named interval keyed by (operation id, pod, node), with an
+    optional causal parent (another span's id — possibly recorded on a
+    different node; ids are unique per recorder, and one recorder is shared
+    cluster-wide, so parent links resolve across nodes).  An instant is a
+    point event.  Spans are opened with {!begin_span} and closed either
+    through the returned handle ({!end_span}) or by name ({!end_named}),
+    which closes the most recently opened still-open span with that name
+    and pod.  The open-span set is a hashtable keyed by span id, so closing
+    is O(1) on the handle path and O(open) only for the by-name search.
+    Recording is append-only and deterministic: two runs with the same seed
+    produce identical span lists. *)
 
 type span = {
   sp_id : int;            (** unique per recorder, allocation order *)
@@ -13,6 +18,7 @@ type span = {
   sp_op : int;            (** operation id (manager generation), 0 if n/a *)
   sp_pod : int;           (** pod id, [-1] for manager/cluster scope *)
   sp_node : int;          (** node id, [-1] for manager/cluster scope *)
+  sp_parent : int option; (** causal parent span id, [None] for roots *)
   sp_begin : Zapc_sim.Simtime.t;
   mutable sp_end : Zapc_sim.Simtime.t option;  (** [None] while open *)
 }
@@ -24,6 +30,9 @@ type instant = {
   in_what : string;
 }
 
+(** Observer callback payload: [Closed] fires with [sp_end] already set. *)
+type event = Opened of span | Closed of span
+
 type t
 
 val create : unit -> t
@@ -31,9 +40,13 @@ val create : unit -> t
 (** Forget all spans and instants (open spans included). *)
 val clear : t -> unit
 
+val set_observer : t -> (event -> unit) option -> unit
+(** At most one observer (the flight recorder); fired on every open and
+    close, including the closes of {!end_all_for_pod}. *)
+
 val begin_span :
-  t -> time:Zapc_sim.Simtime.t -> ?op:int -> ?node:int -> pod:int ->
-  string -> span
+  t -> time:Zapc_sim.Simtime.t -> ?op:int -> ?node:int -> ?parent:int ->
+  pod:int -> string -> span
 
 (** Close [span] at [time]; no-op if already closed. *)
 val end_span : t -> time:Zapc_sim.Simtime.t -> span -> unit
@@ -42,7 +55,7 @@ val end_span : t -> time:Zapc_sim.Simtime.t -> span -> unit
     span matching [name] and [pod]; returns [false] when none is open. *)
 val end_named : t -> time:Zapc_sim.Simtime.t -> pod:int -> string -> bool
 
-(** Close every open span belonging to [pod] (abort paths). *)
+(** Close every open span belonging to [pod] (abort paths), oldest first. *)
 val end_all_for_pod : t -> time:Zapc_sim.Simtime.t -> pod:int -> unit
 
 val instant :
@@ -54,7 +67,13 @@ val spans : t -> span list
 (** Chronological order. *)
 val instants : t -> instant list
 
+(** Still-open spans, ascending id (= opening order). *)
 val open_spans : t -> span list
+
+val open_count : t -> int
+
+val find_span : t -> int -> span option
+(** Lookup by id over all recorded spans (O(spans); tooling only). *)
 
 (** Latest timestamp seen by any begin/end/instant, [Simtime.zero] when
     empty.  Exporters use it to close unfinished spans. *)

@@ -1,23 +1,68 @@
 exception Deadlock of string
 
+type prof = { mutable p_count : int; mutable p_host : float }
+
 type t = {
   mutable clock : Simtime.t;
   queue : (unit -> unit) Pheap.t;
   rng : Rng.t;
   mutable processed : int;
+  mutable profile : (string, prof) Hashtbl.t option;
 }
 
 let create ?(seed = 42) () =
-  { clock = Simtime.zero; queue = Pheap.create (); rng = Rng.create ~seed; processed = 0 }
+  { clock = Simtime.zero; queue = Pheap.create (); rng = Rng.create ~seed;
+    processed = 0; profile = None }
 
 let now t = t.clock
 let rng t = t.rng
 
-let schedule_at t ~at fn =
-  let at = if Simtime.compare at t.clock < 0 then t.clock else at in
-  Pheap.push t.queue ~key:at fn
+let set_profiling t on =
+  if on then begin
+    match t.profile with
+    | Some _ -> ()
+    | None -> t.profile <- Some (Hashtbl.create 32)
+  end
+  else t.profile <- None
 
-let schedule t ~delay fn = schedule_at t ~at:(Simtime.add t.clock delay) fn
+let profiling t = t.profile <> None
+
+let prof_for tbl label =
+  match Hashtbl.find_opt tbl label with
+  | Some p -> p
+  | None ->
+    let p = { p_count = 0; p_host = 0. } in
+    Hashtbl.replace tbl label p;
+    p
+
+(* Profiling wraps the callback at schedule time, so the run loop itself
+   stays untouched: with profiling off (the default) the hot path is
+   exactly the unlabeled push/pop it always was. *)
+let instrument t label fn =
+  match t.profile with
+  | None -> fn
+  | Some tbl ->
+    let p = prof_for tbl (match label with Some l -> l | None -> "unlabeled") in
+    fun () ->
+      let t0 = Sys.time () in
+      fn ();
+      p.p_count <- p.p_count + 1;
+      p.p_host <- p.p_host +. (Sys.time () -. t0)
+
+let schedule_at t ?label ~at fn =
+  let at = if Simtime.compare at t.clock < 0 then t.clock else at in
+  Pheap.push t.queue ~key:at (instrument t label fn)
+
+let schedule t ?label ~delay fn =
+  schedule_at t ?label ~at:(Simtime.add t.clock delay) fn
+
+let profile t =
+  match t.profile with
+  | None -> []
+  | Some tbl ->
+    Hashtbl.fold (fun l p acc -> (l, p.p_count, p.p_host) :: acc) tbl []
+    |> List.sort (fun (la, ca, _) (lb, cb, _) ->
+           match compare cb ca with 0 -> compare la lb | c -> c)
 
 let run ?until ?max_events t =
   let budget = ref (match max_events with None -> max_int | Some n -> n) in

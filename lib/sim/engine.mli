@@ -11,10 +11,12 @@ val create : ?seed:int -> unit -> t
 val now : t -> Simtime.t
 val rng : t -> Rng.t
 
-val schedule : t -> delay:Simtime.t -> (unit -> unit) -> unit
-(** Run the callback [delay] after the current virtual time. *)
+val schedule : t -> ?label:string -> delay:Simtime.t -> (unit -> unit) -> unit
+(** Run the callback [delay] after the current virtual time.  [label] is a
+    cheap callsite tag for the profiler (e.g. ["net.deliver"]); it is
+    ignored — not even captured — unless profiling is on. *)
 
-val schedule_at : t -> at:Simtime.t -> (unit -> unit) -> unit
+val schedule_at : t -> ?label:string -> at:Simtime.t -> (unit -> unit) -> unit
 
 val run : ?until:Simtime.t -> ?max_events:int -> t -> unit
 (** Process events until the queue is empty, [until] is reached, or
@@ -25,6 +27,27 @@ val pending : t -> int
 (** Number of queued events. *)
 
 val events_processed : t -> int
+
+(** {1 Profiler}
+
+    Off by default; when enabled, each scheduled callback is wrapped at
+    schedule time to count executions and accumulate host CPU time per
+    label.  The run loop itself is untouched, so the default hot path pays
+    nothing.  Event counts are deterministic for a seeded run; host times
+    are wall-clock measurements and are not (keep them out of regression
+    gates). *)
+
+val set_profiling : t -> bool -> unit
+(** Enabling keeps any counts accumulated so far; disabling drops them.
+    Events already queued keep the instrumentation they were scheduled
+    with. *)
+
+val profiling : t -> bool
+
+val profile : t -> (string * int * float) list
+(** [(label, executed count, host seconds)] per label, sorted by count
+    descending then label; [[]] when profiling is off.  Callbacks scheduled
+    without a label accumulate under ["unlabeled"]. *)
 
 exception Deadlock of string
 (** Raised by [run_until_quiescent] helpers elsewhere when forward progress

@@ -116,7 +116,7 @@ and send t (p : Packet.t) =
       else Simtime.zero
     in
     let arrive = Simtime.add (Simtime.add (Simtime.add tx_start ser) t.cfg.latency) jitter in
-    Engine.schedule_at t.engine ~at:arrive (fun () -> deliver t p)
+    Engine.schedule_at t.engine ~label:"net.deliver" ~at:arrive (fun () -> deliver t p)
   end
 
 let packets_delivered t = t.delivered

@@ -76,7 +76,7 @@ let rec netctx t : Socket.netctx =
     let ctx =
       {
         Socket.nc_now = (fun () -> Engine.now t.engine);
-        nc_schedule = (fun delay fn -> Engine.schedule t.engine ~delay fn);
+        nc_schedule = (fun delay fn -> Engine.schedule t.engine ~label:"net.timer" ~delay fn);
         nc_tx = (fun p -> Fabric.send t.fabric p);
         nc_new_socket = (fun kind -> new_socket t kind);
         nc_register_estab = (fun s -> register_estab t s);

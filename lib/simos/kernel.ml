@@ -108,7 +108,8 @@ and kick k =
     if p.rstate = Proc.Ready then begin
       k.idle_cpus <- k.idle_cpus - 1;
       p.rstate <- Proc.Running;
-      Engine.schedule k.engine ~delay:k.config.context_switch (fun () -> dispatch k p)
+      Engine.schedule k.engine ~label:"os.dispatch" ~delay:k.config.context_switch
+        (fun () -> dispatch k p)
     end
     else kick k (* stale entry: stopped or killed while queued *)
   end
@@ -149,7 +150,7 @@ and dispatch k (p : Proc.t) =
 
 and run_slice k (p : Proc.t) remaining =
   let slice = min remaining k.config.quantum in
-  Engine.schedule k.engine ~delay:slice (fun () ->
+  Engine.schedule k.engine ~label:"os.slice" ~delay:slice (fun () ->
       p.cpu_time <- Simtime.add p.cpu_time slice;
       let left = Simtime.sub remaining slice in
       if left > 0 then p.pending_compute <- Some left
@@ -180,7 +181,7 @@ and run_syscall k (p : Proc.t) sc_orig ~retrying =
       | None -> cost
     in
     p.cpu_time <- Simtime.add p.cpu_time cost;
-    Engine.schedule k.engine ~delay:cost (fun () -> yield k p)
+    Engine.schedule k.engine ~label:"os.syscall" ~delay:cost (fun () -> yield k p)
   | `Block register ->
     p.pending_sys <- Some sc_orig;
     p.rstate <- Proc.Blocked;
@@ -334,14 +335,16 @@ and exec k (p : Proc.t) (sc : Syscall.t) :
      | Some deadline when Simtime.compare (now k) deadline >= 0 -> ok Syscall.Rnone
      | Some deadline ->
        block (fun waiter ->
-           Engine.schedule_at k.engine ~at:deadline (fun () -> waiter ()))
+           Engine.schedule_at k.engine ~label:"os.sleep" ~at:deadline
+             (fun () -> waiter ()))
      | None ->
        if Simtime.compare d Simtime.zero <= 0 then ok Syscall.Rnone
        else begin
          let deadline = Simtime.add (now k) d in
          p.block_deadline <- Some deadline;
          block (fun waiter ->
-             Engine.schedule_at k.engine ~at:deadline (fun () -> waiter ()))
+             Engine.schedule_at k.engine ~label:"os.sleep" ~at:deadline
+               (fun () -> waiter ()))
        end)
   | Syscall.Alarm_set d ->
     p.alarm_deadline <- Some (Simtime.add (now k) d);
@@ -641,7 +644,9 @@ and exec_poll k (p : Proc.t) reqs timeout =
                 | None -> ())
               reqs;
             match deadline with
-            | Some d -> Engine.schedule_at k.engine ~at:d (fun () -> waiter ())
+            | Some d ->
+              Engine.schedule_at k.engine ~label:"os.sleep" ~at:d
+                (fun () -> waiter ())
             | None -> ()),
         Simtime.zero )
   end

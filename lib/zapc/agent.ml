@@ -43,6 +43,8 @@ type mig_op = {
   mi_dest : int;
   mi_max_rounds : int;
   mi_threshold : float;  (* converged when round dirty <= this x full image *)
+  mi_op : int;  (* manager operation id (trace_ctx), 0 when untraced *)
+  mi_span : int;  (* id of this op's "mig_precopy" span, -1 when untraced *)
   mi_started : Simtime.t;
   mutable mi_round : int;  (* next round number; 0 ships the full image *)
   mutable mi_last : Value.t option;  (* newest full capture shipped (delta base) *)
@@ -69,6 +71,8 @@ type ckpt_op = {
   co_resume : bool;
   co_incremental : bool;
   co_mig : mig_op option;  (* Some: this is a migration's final stop-and-copy *)
+  co_op : int;  (* manager operation id (trace_ctx), 0 when untraced *)
+  co_span : int;  (* id of this op's "pod_ckpt" span, -1 when untraced *)
   co_started : Simtime.t;
   mutable co_continue : bool;
   mutable co_standalone_done : bool;
@@ -98,6 +102,8 @@ type restore_op = {
   ro_sock_imgs : Sock_state.image array;
   ro_my_meta : Meta.pod_meta;
   ro_sockets : (int, Socket.t) Hashtbl.t;  (* sock_ref -> live socket *)
+  ro_op : int;  (* manager operation id (trace_ctx), 0 when untraced *)
+  ro_span : int;  (* id of this op's "pod_restart" span, -1 when untraced *)
   ro_started : Simtime.t;
   mutable ro_conn_started : Simtime.t;
   mutable ro_conn_done : Simtime.t;
@@ -166,12 +172,23 @@ let trace t ~pod what =
   | None -> ()
 
 (* Typed phase spans on this agent's (node, pod) track; the standalone
-   span overlapping the manager's sync span is the Figure-2 picture. *)
-let span_begin t ~pod name =
+   span overlapping the manager's sync span is the Figure-2 picture.
+   [op]/[parent] stitch the span into the cross-node causal tree: the
+   operation id and parent span id arrive in the command's
+   [Protocol.trace_ctx] and are threaded through the op records below. *)
+let span_begin t ?op ?parent ~pod name =
   match t.trace with
   | Some tr ->
-    Trace.span_begin tr ~time:(Engine.now t.engine) ~node:t.node ~pod name
+    Trace.span_begin tr ~time:(Engine.now t.engine) ?op ~node:t.node ?parent
+      ~pod name
   | None -> ()
+
+let span_begin_id t ?op ?parent ~pod name =
+  match t.trace with
+  | Some tr ->
+    Trace.span_begin_id tr ~time:(Engine.now t.engine) ?op ~node:t.node
+      ?parent ~pod name
+  | None -> -1
 
 let span_end t ~pod name =
   match t.trace with
@@ -200,8 +217,14 @@ let report_failure t pod_id detail =
     (Protocol.M_done
        { node = t.node; pod_id; ok = false; detail; stats = Protocol.zero_stats })
 
-let after t delay fn = Engine.schedule t.engine ~delay fn
+let after t delay fn = Engine.schedule t.engine ~label:"agent.after" ~delay fn
 let nf t = Fabric.netfilter t.fabric
+
+(* Unpack a wire trace context into (operation id, parent span id). *)
+let ctx_args (ctx : Protocol.trace_ctx option) =
+  match ctx with
+  | Some c -> (c.Protocol.tc_op, Some c.Protocol.tc_parent)
+  | None -> (0, None)
 
 (* Agent-side costs carry uniform jitter (background load, cache state);
    the paper's checkpoint-time std-devs are 10-60% of the average. *)
@@ -289,7 +312,7 @@ let abort_all t =
 (* Checkpoint (Figure 1, Agent side)                                   *)
 (* ------------------------------------------------------------------ *)
 
-let rec start_ckpt_op ?(incremental = false) ?mig t ~pod_id ~dest ~resume =
+let rec start_ckpt_op ?(incremental = false) ?mig ?ctx t ~pod_id ~dest ~resume =
   match find_pod t pod_id with
   | None -> report_failure t pod_id "no such pod"
   | Some pod when Pod.member_count pod = 0 ->
@@ -298,17 +321,27 @@ let rec start_ckpt_op ?(incremental = false) ?mig t ~pod_id ~dest ~resume =
        dead application as a good recovery point *)
     report_failure t pod_id "pod has no live processes"
   | Some pod ->
+    (* the causal context comes off the wire for a manager-driven
+       checkpoint, or from the enclosing pre-copy loop for a migration's
+       final stop-and-copy *)
+    let op_id, parent =
+      match (ctx, mig) with
+      | Some _, _ -> ctx_args ctx
+      | None, Some (m : mig_op) -> (m.mi_op, Trace.parent_arg m.mi_span)
+      | None, None -> (0, None)
+    in
+    let top = span_begin_id t ~op:op_id ?parent ~pod:pod_id "pod_ckpt" in
     let op =
       { co_pod = pod; co_dest = dest; co_resume = resume; co_incremental = incremental;
         co_mig = mig;
+        co_op = op_id; co_span = top;
         co_started = Engine.now t.engine;
         co_continue = false; co_standalone_done = false; co_result = None;
         co_delta = None;
         co_net_time = Simtime.zero; co_finalizing = false; co_aborted = false }
     in
     Hashtbl.replace t.ckpts pod_id op;
-    span_begin t ~pod:pod_id "pod_ckpt";
-    span_begin t ~pod:pod_id "suspend";
+    span_begin t ~op:op_id ?parent:(Trace.parent_arg top) ~pod:pod_id "suspend";
     (* step 1: suspend the pod, block its network *)
     let suspend_cost =
       Simtime.add
@@ -321,14 +354,16 @@ let rec start_ckpt_op ?(incremental = false) ?mig t ~pod_id ~dest ~resume =
           Netfilter.block (nf t) pod.rip;
           span_end t ~pod:pod.pod_id "suspend";
           (* the network-blocked window: the application downtime story *)
-          span_begin t ~pod:pod.pod_id "paused";
+          span_begin t ~op:op.co_op ?parent:(Trace.parent_arg op.co_span)
+            ~pod:pod.pod_id "paused";
           (match op.co_mig with
            | Some mop ->
              (* the migration blackout starts here and only ends when the
                 destination Agent resumes the pod, which is also who closes
                 the span (Trace matches open spans by name and pod) *)
              mop.mi_suspend <- Engine.now t.engine;
-             span_begin t ~pod:pod.pod_id "blackout";
+             span_begin t ~op:op.co_op ?parent:(Trace.parent_arg mop.mi_span)
+               ~pod:pod.pod_id "blackout";
              trace t ~pod:pod.pod_id "mig_blackout"
            | None -> ());
           trace t ~pod:pod.pod_id "suspended";
@@ -337,7 +372,8 @@ let rec start_ckpt_op ?(incremental = false) ?mig t ~pod_id ~dest ~resume =
 
 (* step 2: network-state checkpoint; 2a: report meta-data *)
 and ckpt_network t op =
-  span_begin t ~pod:op.co_pod.pod_id "net_ckpt";
+  span_begin t ~op:op.co_op ?parent:(Trace.parent_arg op.co_span)
+    ~pod:op.co_pod.pod_id "net_ckpt";
   let t0 = Engine.now t.engine in
   let mode = if t.params.peek_mode then Sock_state.Peek else Sock_state.Read_inject in
   let net = Net_ckpt.checkpoint ~mode op.co_pod in
@@ -415,7 +451,8 @@ and choose_delta t op (res : Pod_ckpt.checkpoint_result) =
 
 (* step 3: standalone pod checkpoint, overlapped with the Manager sync *)
 and ckpt_standalone t op net =
-  span_begin t ~pod:op.co_pod.pod_id "standalone";
+  span_begin t ~op:op.co_op ?parent:(Trace.parent_arg op.co_span)
+    ~pod:op.co_pod.pod_id "standalone";
   let mode = if t.params.peek_mode then Sock_state.Peek else Sock_state.Read_inject in
   let res = Pod_ckpt.checkpoint ~mode ~net op.co_pod in
   op.co_delta <- choose_delta t op res;
@@ -494,7 +531,9 @@ and finalize_ckpt t op =
     in
     let stored =
       match op.co_dest with
-      | Protocol.U_storage key -> Storage.put t.storage key image
+      | Protocol.U_storage key ->
+        Storage.put ~op:op.co_op ?parent:(Trace.parent_arg op.co_span)
+          t.storage key image
       | Protocol.U_node target ->
         (* direct migration: stream the image to the receiving Agent without
            touching secondary storage *)
@@ -637,7 +676,7 @@ and finalize_migration t op mop =
 (* Live migration: source round loop and destination staging           *)
 (* ------------------------------------------------------------------ *)
 
-and start_migrate t ~pod_id ~dest ~max_rounds ~dirty_threshold =
+and start_migrate ?ctx t ~pod_id ~dest ~max_rounds ~dirty_threshold =
   match find_pod t pod_id with
   | None -> report_failure t pod_id "no such pod"
   | Some pod when Pod.member_count pod = 0 ->
@@ -645,9 +684,18 @@ and start_migrate t ~pod_id ~dest ~max_rounds ~dirty_threshold =
   | Some _ when t.peer_agents dest = None ->
     report_failure t pod_id (Printf.sprintf "no agent on node %d" dest)
   | Some pod ->
+    let op_id, parent = ctx_args ctx in
+    (* with no pre-copy span (round cap 0) the final stop-and-copy parents
+       directly under the manager's span *)
+    let top =
+      if max_rounds <= 0 then (match parent with Some p -> p | None -> -1)
+      else span_begin_id t ~op:op_id ?parent ~pod:pod_id "mig_precopy"
+    in
     let mop =
       { mi_pod = pod; mi_dest = dest; mi_max_rounds = max_rounds;
-        mi_threshold = dirty_threshold; mi_started = Engine.now t.engine;
+        mi_threshold = dirty_threshold;
+        mi_op = op_id; mi_span = top;
+        mi_started = Engine.now t.engine;
         mi_round = 0; mi_last = None; mi_full_bytes = 0; mi_precopy_bytes = 0;
         mi_forced = false; mi_suspend = Simtime.zero; mi_aborted = false }
     in
@@ -656,7 +704,6 @@ and start_migrate t ~pod_id ~dest ~max_rounds ~dirty_threshold =
     trace t ~pod:pod_id "mig_start";
     if max_rounds <= 0 then mig_final t mop  (* degenerate: pure stop-and-copy *)
     else begin
-      span_begin t ~pod:pod_id "mig_precopy";
       (* announce the migration to the destination right away: the pod
          skeleton build (the [restore_fixed] work) overlaps the rounds *)
       after t t.params.ctrl_latency (fun () ->
@@ -849,8 +896,8 @@ and try_start_parked_restart t pod_id =
 (* Restart (Figure 3, Agent side)                                      *)
 (* ------------------------------------------------------------------ *)
 
-and start_restart t ~pod_id ~name ~vip ~rip ~uri ~entries ~vip_map ~extra_altq ~skip_sendq
-  =
+and start_restart ?ctx t ~pod_id ~name ~vip ~rip ~uri ~entries ~vip_map ~extra_altq
+    ~skip_sendq =
   let with_image fn =
     match uri with
     | Protocol.U_storage key ->
@@ -869,8 +916,10 @@ and start_restart t ~pod_id ~name ~vip ~rip ~uri ~entries ~vip_map ~extra_altq ~
   in
   with_image (fun image ->
       let image_v = Image.to_pod_image image in
-      span_begin t ~pod:pod_id "pod_restart";
-      span_begin t ~pod:pod_id "pod_create";
+      let op_id, parent = ctx_args ctx in
+      let top = span_begin_id t ~op:op_id ?parent ~pod:pod_id "pod_restart" in
+      span_begin t ~op:op_id ?parent:(Trace.parent_arg top) ~pod:pod_id
+        "pod_create";
       after t t.params.pod_create_cost (fun () ->
           (* step 1: create a new (empty) pod *)
           let pod = Pod.create ~pod_id ~name ~vip ~rip t.kernel in
@@ -891,6 +940,8 @@ and start_restart t ~pod_id ~name ~vip ~rip ~uri ~entries ~vip_map ~extra_altq ~
               ro_sock_imgs = Pod_ckpt.sockets_of_image image_v;
               ro_my_meta = Pod_ckpt.meta_of_image image_v;
               ro_sockets = Hashtbl.create 8;
+              ro_op = op_id;
+              ro_span = top;
               ro_started = Engine.now t.engine;
               ro_conn_started = Engine.now t.engine;
               ro_conn_done = Engine.now t.engine;
@@ -903,7 +954,8 @@ and start_restart t ~pod_id ~name ~vip ~rip ~uri ~entries ~vip_map ~extra_altq ~
           Hashtbl.replace t.restores pod_id op;
           span_end t ~pod:pod_id "pod_create";
           trace t ~pod:pod_id "pod_created";
-          span_begin t ~pod:pod_id "conn_recovery";
+          span_begin t ~op:op.ro_op ?parent:(Trace.parent_arg op.ro_span)
+            ~pod:pod_id "conn_recovery";
           restore_connectivity t op))
 
 (* step 2: recover network connectivity — listeners first, then the two
@@ -1074,7 +1126,8 @@ and connectivity_done t op =
   op.ro_conn_done <- Engine.now t.engine;
   span_end t ~pod:op.ro_pod.pod_id "conn_recovery";
   trace t ~pod:op.ro_pod.pod_id "conns_recovered";
-  span_begin t ~pod:op.ro_pod.pod_id "net_restore";
+  span_begin t ~op:op.ro_op ?parent:(Trace.parent_arg op.ro_span)
+    ~pod:op.ro_pod.pod_id "net_restore";
   (* retire temporary listeners *)
   let net = Kernel.netstack t.kernel in
   List.iter (fun s -> Netstack.close net s) op.ro_temp_listeners;
@@ -1221,7 +1274,8 @@ and restore_network_state t op =
         op.ro_net_done <- Engine.now t.engine;
         span_end t ~pod:op.ro_pod.pod_id "net_restore";
         trace t ~pod:op.ro_pod.pod_id "net_restored";
-        span_begin t ~pod:op.ro_pod.pod_id "standalone_restore";
+        span_begin t ~op:op.ro_op ?parent:(Trace.parent_arg op.ro_span)
+          ~pod:op.ro_pod.pod_id "standalone_restore";
         restore_standalone t op
       end)
 
@@ -1302,13 +1356,13 @@ and restore_standalone t op =
 (* Wiring                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let start_checkpoint ?incremental t ~pod_id ~dest ~resume =
-  start_ckpt_op ?incremental t ~pod_id ~dest ~resume
+let start_checkpoint ?incremental ?ctx t ~pod_id ~dest ~resume =
+  start_ckpt_op ?incremental ?ctx t ~pod_id ~dest ~resume
 
 let handle_command t (msg : Protocol.to_agent) =
   match msg with
-  | Protocol.A_checkpoint { pod_id; dest; resume; incremental } ->
-    start_checkpoint ~incremental t ~pod_id ~dest ~resume
+  | Protocol.A_checkpoint { pod_id; dest; resume; incremental; ctx } ->
+    start_checkpoint ~incremental ?ctx t ~pod_id ~dest ~resume
   | Protocol.A_continue { pod_id } ->
     (match Hashtbl.find_opt t.ckpts pod_id with
      | Some op ->
@@ -1320,11 +1374,12 @@ let handle_command t (msg : Protocol.to_agent) =
     abort_checkpoint t pod_id;
     abort_migrate t pod_id;
     abort_restart t pod_id
-  | Protocol.A_migrate { pod_id; dest; max_rounds; dirty_threshold } ->
-    start_migrate t ~pod_id ~dest ~max_rounds ~dirty_threshold
+  | Protocol.A_migrate { pod_id; dest; max_rounds; dirty_threshold; ctx } ->
+    start_migrate ?ctx t ~pod_id ~dest ~max_rounds ~dirty_threshold
   | Protocol.A_restart { pod_id; name; vip; rip; uri; entries; vip_map; extra_altq;
-                         skip_sendq } ->
-    start_restart t ~pod_id ~name ~vip ~rip ~uri ~entries ~vip_map ~extra_altq ~skip_sendq
+                         skip_sendq; ctx } ->
+    start_restart ?ctx t ~pod_id ~name ~vip ~rip ~uri ~entries ~vip_map ~extra_altq
+      ~skip_sendq
   | Protocol.A_ping { seq } ->
     (* heartbeat: answer immediately, even mid-operation — only a dead,
        hung, or disconnected Agent misses a beat *)

@@ -43,13 +43,17 @@ val find_pod : t -> int -> Pod.t option
 val handle_command : t -> Protocol.to_agent -> unit
 
 val start_checkpoint :
-  ?incremental:bool -> t -> pod_id:int -> dest:Protocol.uri -> resume:bool -> unit
+  ?incremental:bool -> ?ctx:Protocol.trace_ctx ->
+  t -> pod_id:int -> dest:Protocol.uri -> resume:bool -> unit
 (** [incremental] (default false) writes a delta against the last image this
     Agent durably stored for the pod, when one is still resident in storage
     and the chain is shorter than [Params.max_delta_chain]; otherwise (and
-    always on the migration path) a full image is written. *)
+    always on the migration path) a full image is written.  [ctx] is the
+    Manager's causal trace context: the Agent's local spans parent under
+    [ctx.tc_parent] and carry operation id [ctx.tc_op]. *)
 
 val start_restart :
+  ?ctx:Protocol.trace_ctx ->
   t ->
   pod_id:int ->
   name:string ->
@@ -63,6 +67,7 @@ val start_restart :
   unit
 
 val start_migrate :
+  ?ctx:Protocol.trace_ctx ->
   t -> pod_id:int -> dest:int -> max_rounds:int -> dirty_threshold:float -> unit
 (** Source side of a live migration: iterative pre-copy rounds (the pod
     keeps running) followed by a stop-and-copy of the residue plus

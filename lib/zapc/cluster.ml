@@ -32,6 +32,8 @@ type t = {
   metrics : Metrics.t;
   mutable next_pod_id : int;
   mutable next_vip_seq : int;
+  mutable trace : Trace.t option;  (* the cluster-wide recorder, once enabled *)
+  mutable flight : Zapc_obs.Flight.t option;
 }
 
 let make ?(seed = 42) ?(cpus = 1) ~params ~node_count () =
@@ -66,8 +68,11 @@ let make ?(seed = 42) ?(cpus = 1) ~params ~node_count () =
   let manager = Manager.create ~metrics ~engine ~params ~storage ~alloc_rip () in
   let t =
     { engine; fabric; storage; params; nodes; manager; metrics;
-      next_pod_id = 1; next_vip_seq = 0 }
+      next_pod_id = 1; next_vip_seq = 0; trace = None; flight = None }
   in
+  (* the engine profiler is opt-in (Params knob): the default hot path
+     schedules closures unwrapped *)
+  if params.Params.profile_engine then Engine.set_profiling engine true;
   Array.iter
     (fun n ->
       let ch =
@@ -147,12 +152,75 @@ let create_pod t ~node_idx ~name =
     { Zapc_netckpt.Meta.pm_pod = pod_id; pm_vip = vip; pm_entries = [] };
   pod
 
-(* Attach a fresh protocol trace to the Manager and every Agent. *)
+(* Attach a fresh protocol trace to the Manager, every Agent, and the
+   shared storage (idempotent: the same recorder is returned once one is
+   attached, so tracing and the flight recorder can be enabled in either
+   order). *)
 let enable_trace t =
-  let tr = Trace.create () in
-  Manager.set_trace t.manager tr;
-  Array.iter (fun n -> Agent.set_trace n.n_agent tr) t.nodes;
-  tr
+  match t.trace with
+  | Some tr -> tr
+  | None ->
+    let tr = Trace.create () in
+    Manager.set_trace t.manager tr;
+    Array.iter (fun n -> Agent.set_trace n.n_agent tr) t.nodes;
+    Storage.set_trace t.storage tr;
+    t.trace <- Some tr;
+    tr
+
+let trace t = t.trace
+
+(* The flight recorder: bounded per-node rings fed by the span recorder,
+   the trace instants, and the metric stream; tripped into a JSON dump by
+   the abort/fault/death markers below. *)
+let flight_trip_reason what =
+  let has_prefix p =
+    String.length what >= String.length p && String.sub what 0 (String.length p) = p
+  in
+  has_prefix "op_failed:" || has_prefix "fault:" || has_prefix "sup_detect:"
+
+let enable_flight ?cap ?dump_dir t =
+  match t.flight with
+  | Some fl -> fl
+  | None ->
+    let module Flight = Zapc_obs.Flight in
+    let module Span = Zapc_obs.Span in
+    let tr = enable_trace t in
+    let fl = Flight.create ?cap () in
+    Flight.set_dump_dir fl dump_dir;
+    t.flight <- Some fl;
+    Span.set_observer (Trace.recorder tr)
+      (Some
+         (function
+           | Span.Opened sp ->
+             Flight.record fl ~node:sp.Span.sp_node
+               (Flight.Span_open
+                  { f_time = sp.Span.sp_begin; f_id = sp.Span.sp_id;
+                    f_name = sp.Span.sp_name; f_op = sp.Span.sp_op;
+                    f_pod = sp.Span.sp_pod; f_parent = sp.Span.sp_parent })
+           | Span.Closed sp ->
+             Flight.record fl ~node:sp.Span.sp_node
+               (Flight.Span_close
+                  { f_time =
+                      (match sp.Span.sp_end with
+                       | Some e -> e
+                       | None -> sp.Span.sp_begin);
+                    f_id = sp.Span.sp_id })));
+    Metrics.set_on_record t.metrics
+      (Some
+         (fun name value ->
+           Flight.record fl ~node:(-1)
+             (Flight.Metric
+                { f_time = Engine.now t.engine; f_name = name; f_value = value })));
+    Trace.on_record tr (fun (ev : Trace.event) ->
+        Flight.record fl ~node:(-1)
+          (Flight.Instant
+             { f_time = ev.Trace.ev_time; f_pod = ev.Trace.ev_pod;
+               f_what = ev.Trace.ev_what });
+        if flight_trip_reason ev.Trace.ev_what then
+          Flight.trip fl ~time:ev.Trace.ev_time ~reason:ev.Trace.ev_what);
+    fl
+
+let flight t = t.flight
 
 (* Install the application-wide virtual address map on a group of pods that
    form one distributed application. *)
@@ -230,8 +298,8 @@ let restart_app t ~pod_ids ~target_nodes ~key_prefix =
 (* Callback flavour for callers already running inside an engine event (the
    supervisor): [restart_sync] re-enters [Engine.run], which is illegal
    there. *)
-let restart_app_async t ~pod_ids ~target_nodes ~key_prefix ~on_done =
-  Manager.restart t.manager
+let restart_app_async ?parent t ~pod_ids ~target_nodes ~key_prefix ~on_done =
+  Manager.restart ?parent t.manager
     ~items:(restart_items ~pod_ids ~target_nodes ~key_prefix)
     ~on_done
 

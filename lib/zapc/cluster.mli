@@ -66,8 +66,25 @@ val link_pods : Pod.t list -> unit
 (** Install the application-wide virtual address map on a pod group. *)
 
 val enable_trace : t -> Trace.t
-(** Attach a fresh protocol trace to the Manager and every Agent; returns it
-    for rendering/assertions ({!Trace.render_checkpoint}). *)
+(** Attach a fresh protocol trace to the Manager, every Agent, and the
+    shared storage; returns it for rendering/assertions
+    ({!Trace.render_checkpoint}).  Idempotent: the first call creates the
+    cluster-wide recorder, later calls return the same one. *)
+
+val trace : t -> Trace.t option
+(** The recorder attached by {!enable_trace}, if any. *)
+
+val enable_flight : ?cap:int -> ?dump_dir:string -> t -> Zapc_obs.Flight.t
+(** Wire the flight recorder: bounded per-node rings fed by the span
+    recorder (per-node routing), the trace instants, and the metric stream
+    (both on the manager ring, node [-1]).  Trips into a JSON dump — to
+    [dump_dir] when given, always retained as
+    {!Zapc_obs.Flight.last_dump} — whenever a trace instant marks an
+    operation failure ([op_failed:*]), an injected fault ([fault:*]), or a
+    supervisor death declaration ([sup_detect:*]).  Enables tracing if not
+    already on.  Idempotent like {!enable_trace}. *)
+
+val flight : t -> Zapc_obs.Flight.t option
 
 (** {1 Running the simulation} *)
 
@@ -104,6 +121,7 @@ val restart_app :
     different from the originals). *)
 
 val restart_app_async :
+  ?parent:int ->
   t ->
   pod_ids:int list ->
   target_nodes:int list ->
@@ -112,7 +130,8 @@ val restart_app_async :
   unit
 (** Like {!restart_app} but callback-based, for callers already running
     inside an engine event (the supervisor) where re-entering [Engine.run]
-    is illegal. *)
+    is illegal.  [parent] links the restart's operation span under the
+    caller's span (see {!Manager.restart}). *)
 
 val migrate_sync :
   ?max_rounds:int ->

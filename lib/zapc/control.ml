@@ -59,7 +59,8 @@ let transfer_delay t bytes =
 let send_up t ~bytes msg =
   if not t.broken then begin
     t.up_count <- t.up_count + 1;
-    Engine.schedule t.engine ~delay:(transfer_delay t bytes) (fun () ->
+    Engine.schedule t.engine ~label:"ctrl.up" ~delay:(transfer_delay t bytes)
+      (fun () ->
         if not t.broken then
           if t.up_paused then Queue.add msg t.up_buf else t.up_handler msg)
   end
@@ -67,7 +68,8 @@ let send_up t ~bytes msg =
 let send_down t ~bytes msg =
   if not t.broken then begin
     t.down_count <- t.down_count + 1;
-    Engine.schedule t.engine ~delay:(transfer_delay t bytes) (fun () ->
+    Engine.schedule t.engine ~label:"ctrl.down" ~delay:(transfer_delay t bytes)
+      (fun () ->
         if not t.broken then
           if t.down_paused then Queue.add msg t.down_buf else t.down_handler msg)
   end
@@ -93,7 +95,7 @@ let break t =
     Queue.clear t.up_buf;
     Queue.clear t.down_buf;
     (* both endpoints notice the broken connection after one latency *)
-    Engine.schedule t.engine ~delay:t.latency (fun () ->
+    Engine.schedule t.engine ~label:"ctrl.break" ~delay:t.latency (fun () ->
         List.iter (fun fn -> fn ()) (List.rev t.on_break))
   end
 

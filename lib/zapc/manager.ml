@@ -14,6 +14,8 @@
 module Simtime = Zapc_sim.Simtime
 module Engine = Zapc_sim.Engine
 module Metrics = Zapc_obs.Metrics
+module Span = Zapc_obs.Span
+module Critpath = Zapc_obs.Critpath
 module Addr = Zapc_simnet.Addr
 module Meta = Zapc_netckpt.Meta
 module Sock_state = Zapc_netckpt.Sock_state
@@ -91,6 +93,8 @@ type t = {
   mutable current : pending option;
   mutable mig : mig_state option;  (* live migration in progress *)
   mutable gen : int;  (* bumped per operation *)
+  mutable last_critpath : (string * Critpath.report) option;
+  (* (operation span name, analysis) of the most recent successful op *)
   mutable on_pong : node:int -> seq:int -> unit;  (* supervisor heartbeat sink *)
   mutable on_migrated : pod:int -> src:int -> dest:int -> unit;
   (* fired at a successful handoff, before the caller's on_done: watchers
@@ -103,7 +107,7 @@ let create ?metrics ~engine ~params ~storage ~alloc_rip () =
   in
   { engine; params; storage; channels = Hashtbl.create 8; alloc_rip;
     infos = Hashtbl.create 16; metrics; trace = None; current = None;
-    mig = None; gen = 0;
+    mig = None; gen = 0; last_critpath = None;
     on_pong = (fun ~node:_ ~seq:_ -> ());
     on_migrated = (fun ~pod:_ ~src:_ ~dest:_ -> ()) }
 
@@ -118,10 +122,23 @@ let trace t what =
 (* Manager-scope spans (pod -1): the whole operation plus the sync window
    (broadcast -> 'continue'), whose overlap with the agents' standalone
    spans is the Figure-2 story. *)
-let span_begin t ?op name =
+let span_begin t ?op ?parent name =
   match t.trace with
-  | Some tr -> Trace.span_begin tr ~time:(Engine.now t.engine) ?op ~pod:(-1) name
+  | Some tr ->
+    Trace.span_begin tr ~time:(Engine.now t.engine) ?op ?parent ~pod:(-1) name
   | None -> ()
+
+(* As span_begin, returning the span id (-1 without a trace) so it can ride
+   as [Protocol.trace_ctx.tc_parent] and parent the agents' spans. *)
+let span_begin_id t ?op ?parent name =
+  match t.trace with
+  | Some tr ->
+    Trace.span_begin_id tr ~time:(Engine.now t.engine) ?op ?parent ~pod:(-1) name
+  | None -> -1
+
+let ctx_for t span_id =
+  if span_id >= 0 then Some { Protocol.tc_op = t.gen; tc_parent = span_id }
+  else None
 
 let span_end t name =
   match t.trace with
@@ -177,7 +194,36 @@ let finish t result =
         result.r_stats;
     span_end t "mgr_sync";
     span_end t opname;
+    (* Critical-path attribution: with the op span now closed, walk the
+       spans of this operation (sp_op = generation — the agents' spans
+       carry it via the wire trace context) and report which phase
+       dominated the end-to-end latency. *)
+    (match t.trace with
+     | Some tr when result.r_ok ->
+       let sps =
+         List.filter
+           (fun (s : Span.span) -> s.Span.sp_op = p.p_gen)
+           (Span.spans (Trace.recorder tr))
+       in
+       let rep =
+         Critpath.analyze ~spans:sps ~t0:p.p_started
+           ~t1:(Engine.now t.engine)
+       in
+       if rep.Critpath.cp_dominant <> "" then begin
+         List.iter
+           (fun (name, d) ->
+             Metrics.observe t.metrics
+               (Printf.sprintf "mgr.critpath.%s_ms" name)
+               (Simtime.to_ms d))
+           rep.Critpath.cp_phases;
+         Metrics.incr t.metrics
+           (Printf.sprintf "mgr.critpath.dominant.%s" rep.Critpath.cp_dominant);
+         t.last_critpath <- Some (opname, rep)
+       end
+     | Some _ | None -> ());
     p.p_done result
+
+let last_critpath t = t.last_critpath
 
 let fail_op t failure =
   match t.current with
@@ -185,6 +231,15 @@ let fail_op t failure =
   | Some p ->
     if p.p_failed = None then begin
       p.p_failed <- Some failure;
+      (* the flight recorder trips on this instant *)
+      let kind =
+        match p.p_kind with
+        | `Checkpoint -> "ckpt"
+        | `Restart -> "restart"
+        | `Mig_copy -> "mig_copy"
+        | `Mig_restore -> "mig_restore"
+      in
+      trace t (Printf.sprintf "op_failed:%s" kind);
       (* abort everyone still involved; skip nodes whose channel is gone
          (the abort path must itself survive a broken channel) *)
       List.iter
@@ -210,7 +265,7 @@ let fail_op t failure =
 let arm_phase_timeout t (p : pending) (phase : Protocol.phase) =
   if Simtime.compare t.params.phase_timeout Simtime.zero > 0 then begin
     let arm = p.p_arm in
-    Engine.schedule_at t.engine
+    Engine.schedule_at t.engine ~label:"mgr.timeout"
       ~at:(Simtime.add (Engine.now t.engine) t.params.phase_timeout)
       (fun () ->
         match t.current with
@@ -324,7 +379,7 @@ let channel_broke t ~node =
   | Some mg, Some p when p.p_kind = `Mig_copy && node = mg.mg_src ->
     let gen = p.p_gen in
     trace t "mig_src_break";
-    Engine.schedule_at t.engine
+    Engine.schedule_at t.engine ~label:"mgr.mig_grace"
       ~at:(Simtime.add (Engine.now t.engine) (5 * t.params.ctrl_latency))
       (fun () ->
         match t.mig, t.current with
@@ -377,8 +432,8 @@ let ping t ~node ~seq =
 
 (* --- checkpoint --- *)
 
-let checkpoint ?(incremental = false) t ~(items : ckpt_item list) ~(resume : bool)
-    ~(on_done : op_result -> unit) =
+let checkpoint ?(incremental = false) ?parent t ~(items : ckpt_item list)
+    ~(resume : bool) ~(on_done : op_result -> unit) =
   if t.current <> None then invalid_arg "Manager: operation already in progress";
   t.gen <- t.gen + 1;
   let p =
@@ -398,14 +453,15 @@ let checkpoint ?(incremental = false) t ~(items : ckpt_item list) ~(resume : boo
   in
   t.current <- Some p;
   Metrics.incr t.metrics "mgr.ckpt.started";
-  span_begin t ~op:t.gen "ckpt_op";
-  span_begin t ~op:t.gen "mgr_sync";
+  let op_span = span_begin_id t ~op:t.gen ?parent "ckpt_op" in
+  span_begin t ~op:t.gen ?parent:(Trace.parent_arg op_span) "mgr_sync";
+  let ctx = ctx_for t op_span in
   trace t "ckpt_broadcast";
   List.iter
     (fun i ->
       send t i.ci_node
         (Protocol.A_checkpoint
-           { pod_id = i.ci_pod; dest = i.ci_dest; resume; incremental }))
+           { pod_id = i.ci_pod; dest = i.ci_dest; resume; incremental; ctx }))
     items;
   arm_phase_timeout t p Protocol.Ph_meta
 
@@ -479,7 +535,7 @@ let redirected_altq ~metas ~images (pod_id : int) (entries : Meta.restart_entry 
            | _, _ -> None))
     entries
 
-let restart ?(kind = `Restart) t ~(items : restart_item list)
+let restart ?(kind = `Restart) ?parent t ~(items : restart_item list)
     ~(on_done : op_result -> unit) =
   if t.current <> None then invalid_arg "Manager: operation already in progress";
   let prefix, opname =
@@ -532,7 +588,8 @@ let restart ?(kind = `Restart) t ~(items : restart_item list)
       }
     in
     t.current <- Some p;
-    span_begin t ~op:t.gen opname;
+    let op_span = span_begin_id t ~op:t.gen ?parent opname in
+    let ctx = ctx_for t op_span in
     arm_phase_timeout t p Protocol.Ph_done;
     List.iter2
       (fun item (i, (_, vip, name, _)) ->
@@ -549,7 +606,7 @@ let restart ?(kind = `Restart) t ~(items : restart_item list)
         send t item.ri_node
           (Protocol.A_restart
              { pod_id = item.ri_pod; name; vip; rip; uri = item.ri_uri; entries; vip_map;
-               extra_altq; skip_sendq = redirect }))
+               extra_altq; skip_sendq = redirect; ctx }))
       items facts
 
 (* --- live migration --- *)
@@ -562,8 +619,8 @@ let set_on_migrated t fn = t.on_migrated <- fn
    a checkpoint — that is the blackout window); (B) the staged copy is
    activated on the destination through the ordinary restart path, which
    finds it prestaged and only pays the residue-apply cost. *)
-let migrate ?max_rounds ?dirty_threshold t ~(pod : int) ~(src_node : int)
-    ~(dest_node : int) ~(on_done : op_result -> unit) =
+let migrate ?max_rounds ?dirty_threshold ?parent t ~(pod : int)
+    ~(src_node : int) ~(dest_node : int) ~(on_done : op_result -> unit) =
   if t.current <> None || t.mig <> None then
     invalid_arg "Manager: operation already in progress";
   let max_rounds =
@@ -582,7 +639,7 @@ let migrate ?max_rounds ?dirty_threshold t ~(pod : int) ~(src_node : int)
   in
   t.mig <- Some mg;
   Metrics.incr t.metrics "mgr.mig.started";
-  span_begin t ~op:t.gen "migrate";
+  let mig_span = span_begin_id t ~op:t.gen ?parent "migrate" in
   trace t (Printf.sprintf "migrate_start:pod%d:%d->%d" pod src_node dest_node);
   let finish_mig (r : op_result) =
     t.mig <- None;
@@ -624,7 +681,7 @@ let migrate ?max_rounds ?dirty_threshold t ~(pod : int) ~(src_node : int)
                cleared t.current first, and nothing can interleave): the
                handoff to the activated destination copy is atomic as far
                as Periodic and the Supervisor can observe *)
-            restart ~kind:`Mig_restore t
+            restart ~kind:`Mig_restore ?parent:(Trace.parent_arg mig_span) t
               ~items:
                 [ { ri_node = dest_node; ri_pod = pod;
                     ri_uri = Protocol.U_node dest_node } ]
@@ -640,10 +697,14 @@ let migrate ?max_rounds ?dirty_threshold t ~(pod : int) ~(src_node : int)
     }
   in
   t.current <- Some p;
-  span_begin t ~op:t.gen "mig_copy";
-  span_begin t ~op:t.gen "mgr_sync";
+  let copy_span =
+    span_begin_id t ~op:t.gen ?parent:(Trace.parent_arg mig_span) "mig_copy"
+  in
+  span_begin t ~op:t.gen ?parent:(Trace.parent_arg copy_span) "mgr_sync";
+  let ctx = ctx_for t copy_span in
   send t src_node
-    (Protocol.A_migrate { pod_id = pod; dest = dest_node; max_rounds; dirty_threshold });
+    (Protocol.A_migrate
+       { pod_id = pod; dest = dest_node; max_rounds; dirty_threshold; ctx });
   arm_phase_timeout t p Protocol.Ph_meta
 
 let busy t = t.current <> None || t.mig <> None

@@ -67,6 +67,7 @@ val remember_pod : t -> pod_id:int -> name:string -> vip:Addr.ip -> Meta.pod_met
 
 val checkpoint :
   ?incremental:bool ->
+  ?parent:int ->
   t -> items:ckpt_item list -> resume:bool -> on_done:(op_result -> unit) -> unit
 (** [resume = true] takes a snapshot (pods continue afterwards);
     [resume = false] is the migration path (pods are destroyed and their
@@ -74,18 +75,23 @@ val checkpoint :
     [incremental] (default false) lets each Agent write a delta against its
     last stored image for the pod; Agents fall back to a full image when no
     usable base exists or [Params.max_delta_chain] is reached.
+    [parent] links the operation span under a caller-side span (Periodic's
+    epoch, the Supervisor's recovery) in the causal trace.
     @raise Invalid_argument if an operation is already in progress. *)
 
 val restart :
   ?kind:[ `Restart | `Mig_restore ] ->
+  ?parent:int ->
   t -> items:restart_item list -> on_done:(op_result -> unit) -> unit
 (** [kind] (default [`Restart]) only changes observability labels: a
     migration's phase B reports under [mgr.mig.restore.*] and the
-    [mig_restore] span instead of the plain restart names. *)
+    [mig_restore] span instead of the plain restart names.  [parent] as in
+    {!checkpoint}. *)
 
 val migrate :
   ?max_rounds:int ->
   ?dirty_threshold:float ->
+  ?parent:int ->
   t ->
   pod:int ->
   src_node:int ->
@@ -112,6 +118,13 @@ val set_on_migrated : t -> (pod:int -> src:int -> dest:int -> unit) -> unit
 val busy : t -> bool
 (** An operation — including any phase of a live migration — is in
     progress. *)
+
+val last_critpath : t -> (string * Zapc_obs.Critpath.report) option
+(** The critical-path analysis of the most recent successful operation, as
+    [(operation span name, report)] — also emitted per-op into the
+    [mgr.critpath.*] metrics (a duration histogram per phase plus a
+    [mgr.critpath.dominant.<phase>] counter).  [None] until a traced
+    operation succeeds. *)
 
 val break_channel : t -> node:int -> unit
 (** Failure injection (tests/demos): sever the control connection to one

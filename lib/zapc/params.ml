@@ -69,6 +69,9 @@ type t = {
   serial_ckpt : bool;  (* barrier before the standalone checkpoint (OFF in ZapC) *)
   peek_mode : bool;  (* Cruz-style receive-queue capture (flawed baseline) *)
   virtualize_time : bool;
+  profile_engine : bool;
+  (* per-callsite engine profiling (Engine.set_profiling); off by default so
+     the scheduler hot path stays unlabeled and unwrapped *)
 }
 
 let default =
@@ -107,6 +110,7 @@ let default =
     serial_ckpt = false;
     peek_mode = false;
     virtualize_time = true;
+    profile_engine = false;
   }
 
 (* Virtual time to copy [bytes] at [bps]. *)

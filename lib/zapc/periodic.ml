@@ -89,8 +89,27 @@ let skip t reason =
   Metrics.incr (Cluster.metrics t.cluster) "periodic.epochs_skipped";
   t.last_skip_reason <- Some reason
 
+(* Each epoch wraps the Manager operation in a [periodic_epoch] span, so
+   the causal tree shows WHY the checkpoint ran (the service's clock, not a
+   user request); the Manager's op span parents under it via [?parent]. *)
+let epoch_span_begin t =
+  match Cluster.trace t.cluster with
+  | Some tr ->
+    Trace.span_begin_id tr
+      ~time:(Engine.now (Cluster.engine t.cluster))
+      ~pod:(-1) "periodic_epoch"
+  | None -> -1
+
+let epoch_span_end t =
+  match Cluster.trace t.cluster with
+  | Some tr ->
+    Trace.span_end tr ~time:(Engine.now (Cluster.engine t.cluster)) ~pod:(-1)
+      "periodic_epoch"
+  | None -> ()
+
 let rec tick t =
-  Engine.schedule (Cluster.engine t.cluster) ~delay:t.period (fun () ->
+  Engine.schedule (Cluster.engine t.cluster) ~label:"periodic.tick"
+    ~delay:t.period (fun () ->
       if not t.stopped then begin
         if not (pods_alive t) then t.stopped <- true
         else if Manager.busy (Cluster.manager t.cluster) then begin
@@ -107,9 +126,12 @@ let rec tick t =
           | Ok items ->
             t.epoch <- t.epoch + 1;
             let epoch = t.epoch in
+            let esp = epoch_span_begin t in
             Manager.checkpoint ~incremental:t.incremental
+              ?parent:(Trace.parent_arg esp)
               (Cluster.manager t.cluster) ~items ~resume:true
               ~on_done:(fun r ->
+                epoch_span_end t;
                 if r.Manager.r_ok then begin
                   Metrics.incr (Cluster.metrics t.cluster)
                     "periodic.epochs_completed";
@@ -180,11 +202,11 @@ let recover t ~target_nodes =
 
 (* Callback flavour for the supervisor, which runs inside engine events
    where the synchronous [recover] (it re-enters [Engine.run]) is illegal. *)
-let recover_async t ~target_nodes ~on_done =
+let recover_async ?parent t ~target_nodes ~on_done =
   if t.last_good = 0 then on_done no_snapshot_result
   else begin
     stop t;
     destroy_survivors t;
-    Cluster.restart_app_async t.cluster ~pod_ids:(pod_ids t) ~target_nodes
-      ~key_prefix:(key t t.last_good) ~on_done
+    Cluster.restart_app_async ?parent t.cluster ~pod_ids:(pod_ids t)
+      ~target_nodes ~key_prefix:(key t t.last_good) ~on_done
   end

@@ -56,6 +56,10 @@ val recover : t -> target_nodes:int list -> Manager.op_result
     good epoch on [target_nodes]. *)
 
 val recover_async :
+  ?parent:int ->
   t -> target_nodes:int list -> on_done:(Manager.op_result -> unit) -> unit
 (** Like {!recover} but callback-based, usable from inside engine events
-    (the supervisor's context, where re-entering [Engine.run] is illegal). *)
+    (the supervisor's context, where re-entering [Engine.run] is illegal).
+    [parent] links the restart's operation span under the caller's span —
+    the supervisor passes its [sup_recover] span so the whole recovery
+    stitches into one causal tree. *)

@@ -74,10 +74,26 @@ type mig_round_stats = {
   mg_duration : Simtime.t;
 }
 
-(* --- messages --- *)
+(* --- trace context ---
+
+   Causal propagation across the control plane: the Manager stamps the
+   operation-starting commands with its operation id and the span id of the
+   operation's manager-side span, and the Agent parents its local spans
+   under it — stitching every node's phases into one cross-node tree (the
+   span recorder is shared cluster-wide, so ids resolve globally).  The
+   field is optional on the wire: frames encoded before the field existed
+   (or by a non-tracing Manager) decode to [None]. *)
+
+type trace_ctx = {
+  tc_op : int;  (* manager operation id (generation counter) *)
+  tc_parent : int;  (* span id of the manager-side operation span *)
+}
 
 type to_agent =
-  | A_checkpoint of { pod_id : int; dest : uri; resume : bool; incremental : bool }
+  | A_checkpoint of {
+      pod_id : int; dest : uri; resume : bool; incremental : bool;
+      ctx : trace_ctx option;
+    }
   | A_continue of { pod_id : int }
   | A_abort of { pod_id : int }
   | A_restart of {
@@ -90,6 +106,7 @@ type to_agent =
       vip_map : (Addr.ip * Addr.ip) list;
       extra_altq : (int * string) list;  (* sock_ref -> redirected peer data *)
       skip_sendq : bool;  (* send queues were redirected; do not resend *)
+      ctx : trace_ctx option;
     }
   | A_ping of { seq : int }  (* supervisor heartbeat probe *)
   | A_migrate of {
@@ -97,6 +114,7 @@ type to_agent =
       dest : int;  (* destination node: rounds stream to its Agent *)
       max_rounds : int;  (* pre-copy round cap; 0 = plain stop-and-copy *)
       dirty_threshold : float;  (* converged when round dirty <= this x full *)
+      ctx : trace_ctx option;
     }
 
 type to_manager =
@@ -180,31 +198,54 @@ let mig_round_stats_of_value v =
   { mg_round = i "round"; mg_bytes = i "bytes"; mg_dirty = i "dirty";
     mg_duration = i "duration" }
 
+(* The trace context rides as an optional trailing assoc entry, so frames
+   encoded without it (older encoders, tracing off) stay decodable — the
+   backward-compatibility property test_codec.ml exercises. *)
+let ctx_entries = function
+  | None -> []
+  | Some c ->
+    [ ( "ctx",
+        Value.assoc
+          [ ("op", Value.int c.tc_op); ("parent", Value.int c.tc_parent) ] ) ]
+
+let ctx_of_body b =
+  match Value.field_opt "ctx" b with
+  | None -> None
+  | Some cv ->
+    Some
+      { tc_op = Value.to_int (Value.field "op" cv);
+        tc_parent = Value.to_int (Value.field "parent" cv) }
+
 let to_agent_to_value = function
-  | A_checkpoint { pod_id; dest; resume; incremental } ->
+  | A_checkpoint { pod_id; dest; resume; incremental; ctx } ->
     Value.tag "checkpoint"
       (Value.assoc
-         [ ("pod", Value.int pod_id); ("dest", uri_to_value dest);
-           ("resume", Value.bool resume); ("incremental", Value.bool incremental) ])
+         ([ ("pod", Value.int pod_id); ("dest", uri_to_value dest);
+            ("resume", Value.bool resume); ("incremental", Value.bool incremental) ]
+          @ ctx_entries ctx))
   | A_continue { pod_id } -> Value.tag "continue" (Value.int pod_id)
   | A_abort { pod_id } -> Value.tag "abort" (Value.int pod_id)
-  | A_restart { pod_id; name; vip; rip; uri; entries; vip_map; extra_altq; skip_sendq } ->
+  | A_restart
+      { pod_id; name; vip; rip; uri; entries; vip_map; extra_altq; skip_sendq;
+        ctx } ->
     Value.tag "restart"
       (Value.assoc
-         [ ("pod", Value.int pod_id); ("name", Value.str name);
-           ("vip", Value.int vip); ("rip", Value.int rip);
-           ("uri", uri_to_value uri);
-           ("entries", Value.list Meta.restart_entry_to_value entries);
-           ("vip_map", Value.list (Value.pair Value.int Value.int) vip_map);
-           ("extra_altq", Value.list (Value.pair Value.int Value.str) extra_altq);
-           ("skip_sendq", Value.bool skip_sendq) ])
+         ([ ("pod", Value.int pod_id); ("name", Value.str name);
+            ("vip", Value.int vip); ("rip", Value.int rip);
+            ("uri", uri_to_value uri);
+            ("entries", Value.list Meta.restart_entry_to_value entries);
+            ("vip_map", Value.list (Value.pair Value.int Value.int) vip_map);
+            ("extra_altq", Value.list (Value.pair Value.int Value.str) extra_altq);
+            ("skip_sendq", Value.bool skip_sendq) ]
+          @ ctx_entries ctx))
   | A_ping { seq } -> Value.tag "ping" (Value.int seq)
-  | A_migrate { pod_id; dest; max_rounds; dirty_threshold } ->
+  | A_migrate { pod_id; dest; max_rounds; dirty_threshold; ctx } ->
     Value.tag "migrate"
       (Value.assoc
-         [ ("pod", Value.int pod_id); ("dest", Value.int dest);
-           ("max_rounds", Value.int max_rounds);
-           ("dirty_threshold", Value.Float dirty_threshold) ])
+         ([ ("pod", Value.int pod_id); ("dest", Value.int dest);
+            ("max_rounds", Value.int max_rounds);
+            ("dirty_threshold", Value.Float dirty_threshold) ]
+          @ ctx_entries ctx))
 
 let to_agent_of_value v =
   match Value.to_tag v with
@@ -213,7 +254,8 @@ let to_agent_of_value v =
       { pod_id = Value.to_int (Value.field "pod" b);
         dest = uri_of_value (Value.field "dest" b);
         resume = Value.to_bool (Value.field "resume" b);
-        incremental = Value.to_bool (Value.field "incremental" b) }
+        incremental = Value.to_bool (Value.field "incremental" b);
+        ctx = ctx_of_body b }
   | "continue", b -> A_continue { pod_id = Value.to_int b }
   | "abort", b -> A_abort { pod_id = Value.to_int b }
   | "restart", b ->
@@ -229,14 +271,16 @@ let to_agent_of_value v =
         extra_altq =
           Value.to_list (Value.to_pair Value.to_int Value.to_str)
             (Value.field "extra_altq" b);
-        skip_sendq = Value.to_bool (Value.field "skip_sendq" b) }
+        skip_sendq = Value.to_bool (Value.field "skip_sendq" b);
+        ctx = ctx_of_body b }
   | "ping", b -> A_ping { seq = Value.to_int b }
   | "migrate", b ->
     A_migrate
       { pod_id = Value.to_int (Value.field "pod" b);
         dest = Value.to_int (Value.field "dest" b);
         max_rounds = Value.to_int (Value.field "max_rounds" b);
-        dirty_threshold = Value.to_float (Value.field "dirty_threshold" b) }
+        dirty_threshold = Value.to_float (Value.field "dirty_threshold" b);
+        ctx = ctx_of_body b }
   | tag, _ -> Value.decode_error "bad to_agent tag %s" tag
 
 let to_manager_to_value = function

@@ -60,6 +60,17 @@ type mig_round_stats = {
 }
 (** One iterative pre-copy round as the source Agent reports it. *)
 
+type trace_ctx = {
+  tc_op : int;  (** manager operation id (generation counter) *)
+  tc_parent : int;  (** span id of the manager-side operation span *)
+}
+(** Causal trace context: the Manager stamps operation-starting commands
+    with its operation id and operation-span id; the receiving Agent
+    parents its local spans under [tc_parent], stitching every node's
+    phases into one cross-node tree.  Optional on the wire — frames
+    encoded without the field (older encoders, tracing off) decode to
+    [None] (see [test/test_codec.ml]). *)
+
 type to_agent =
   | A_checkpoint of {
       pod_id : int;
@@ -69,6 +80,7 @@ type to_agent =
           (** the Agent may write a delta against its last stored image for
               this pod (it falls back to a full image when no usable base
               exists or the chain cap is reached) *)
+      ctx : trace_ctx option;
     }
   | A_continue of { pod_id : int }  (** the single synchronization point *)
   | A_abort of { pod_id : int }
@@ -84,6 +96,7 @@ type to_agent =
           (** sock_ref -> redirected peer send-queue data (section 5
               optimization) *)
       skip_sendq : bool;  (** send queues were redirected; do not resend *)
+      ctx : trace_ctx option;
     }
   | A_ping of { seq : int }  (** supervisor heartbeat probe *)
   | A_migrate of {
@@ -93,6 +106,7 @@ type to_agent =
       dirty_threshold : float;
           (** converged once a round's dirty residue falls to this fraction
               of the pod's full image *)
+      ctx : trace_ctx option;
     }
 
 type to_manager =

@@ -40,6 +40,7 @@ type t = {
   mutable fail_writes : string option;  (* injected outage: writes fail with this reason *)
   mutable write_failures : int;
   mutable corruption_detected : int;
+  mutable trace : Trace.t option;  (* causal tracing of writes *)
 }
 
 let create ?metrics ?(bps = 180e6) ?(latency = Simtime.us 500) ?(replicas = 2) engine =
@@ -49,9 +50,12 @@ let create ?metrics ?(bps = 180e6) ?(latency = Simtime.us 500) ?(replicas = 2) e
     replicas = Array.init replicas (fun _ -> { images = Hashtbl.create 16; fail = None });
     metrics;
     bases = Hashtbl.create 16; pins = Hashtbl.create 16; condemned = Hashtbl.create 8;
-    bytes_written = 0; fail_writes = None; write_failures = 0; corruption_detected = 0 }
+    bytes_written = 0; fail_writes = None; write_failures = 0; corruption_detected = 0;
+    trace = None }
 
 let replica_count t = Array.length t.replicas
+
+let set_trace t tr = t.trace <- Some tr
 
 (* Failure injection (a SAN outage / full volume): while set, every write
    fails with the given reason and stores nothing. *)
@@ -116,7 +120,10 @@ let record_link t key (image : Image.t) =
     pin t base
   | None -> ()
 
-let put t key image =
+(* [op]/[parent] stitch the write into the operation's causal trace (the
+   Agent passes its pod_ckpt span); the span is instantaneous in sim time
+   because the copy cost is charged to the checkpoint itself. *)
+let put ?op ?parent t key image =
   match t.fail_writes with
   | Some reason ->
     t.write_failures <- t.write_failures + 1;
@@ -147,6 +154,13 @@ let put t key image =
       Metrics.observe t.metrics ~buckets:Metrics.default_bytes_buckets
         "storage.put_bytes"
         (float_of_int image.Image.logical_size);
+      (match t.trace with
+       | Some tr ->
+         let now = Engine.now t.engine in
+         Trace.span_begin tr ~time:now ?op ?parent ~pod:image.Image.pod_id
+           "storage_put";
+         Trace.span_end tr ~time:now ~pod:image.Image.pod_id "storage_put"
+       | None -> ());
       Ok ()
     end
 
@@ -254,7 +268,8 @@ let flush_time t key =
     Simtime.add t.latency
       (Simtime.ns (int_of_float (float_of_int image.Image.logical_size /. t.bps *. 1e9)))
 
-let flush t key ~on_done = Engine.schedule t.engine ~delay:(flush_time t key) on_done
+let flush t key ~on_done =
+  Engine.schedule t.engine ~label:"storage.flush" ~delay:(flush_time t key) on_done
 
 let keys t =
   let tbl = Hashtbl.create 16 in

@@ -39,11 +39,18 @@ val create :
 
 val replica_count : t -> int
 
-val put : t -> string -> Image.t -> (unit, string) result
+val set_trace : t -> Trace.t -> unit
+(** Record successful writes as [storage_put] spans in the causal trace
+    (parented under the writing Agent's operation span via {!put}'s
+    [op]/[parent]). *)
+
+val put : ?op:int -> ?parent:int -> t -> string -> Image.t -> (unit, string) result
 (** Writes the image (with its {!Image.checksum}) to every replica not under
     a per-replica outage.  Fails, storing nothing, during a global write
     outage or when no replica is available; the Agent turns the error into a
-    clean abort of its side of the operation. *)
+    clean abort of its side of the operation.  [op]/[parent] stitch the
+    write into the operation's causal trace when one is attached
+    ({!set_trace}). *)
 
 val get : t -> string -> Image.t option
 (** First healthy, checksum-verified copy across the replicas (in order);

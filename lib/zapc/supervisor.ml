@@ -57,6 +57,7 @@ type t = {
   mutable gave_up : int;  (* recoveries abandoned after the retry budget *)
   mutable last_detect : Simtime.t option;
   mutable last_recovered : Simtime.t option;
+  mutable recover_span : int;  (* open [sup_recover] span id, -1 when none *)
   mutable log : (Simtime.t * string) list;  (* newest first *)
 }
 
@@ -68,6 +69,22 @@ let note t what =
   match t.trace with
   | Some tr -> Trace.record tr ~time:(now t) ~pod:(-1) what
   | None -> ()
+
+(* The whole recovery episode (declaration -> recovered/gave up) is one
+   [sup_recover] span; each restart attempt's Manager op span parents under
+   it through [Periodic.recover_async ?parent]. *)
+let recover_span_begin t =
+  t.recover_span <-
+    (match t.trace with
+     | Some tr -> Trace.span_begin_id tr ~time:(now t) ~pod:(-1) "sup_recover"
+     | None -> -1)
+
+let recover_span_end t =
+  (match t.trace with
+   | Some tr when t.recover_span >= 0 ->
+     Trace.span_end tr ~time:(now t) ~pod:(-1) "sup_recover"
+   | Some _ | None -> ());
+  t.recover_span <- -1
 
 (* Nodes currently hosting the group's pods (for the initial watch set and
    its refresh after a recovery). *)
@@ -110,7 +127,7 @@ let unrecoverable (r : Manager.op_result) =
   | Some _ | None -> false
 
 let rec schedule_beat t =
-  Engine.schedule (Cluster.engine t.cluster)
+  Engine.schedule (Cluster.engine t.cluster) ~label:"sup.beat"
     ~delay:t.params.Params.heartbeat_period (fun () -> beat t)
 
 and beat t =
@@ -150,6 +167,7 @@ and beat t =
        Metrics.set_gauge (reg t) "sup.last_detect_ms" (Simtime.to_ms (now t));
        t.state <- Recovering;
        t.attempts <- 0;
+       recover_span_begin t;
        schedule_beat t;
        attempt_recovery t
      | [] ->
@@ -188,7 +206,9 @@ and attempt_recovery t =
           (fun i _ -> List.nth alive (i mod n))
           (Periodic.pod_ids t.service)
       in
-      Periodic.recover_async t.service ~target_nodes:targets
+      Periodic.recover_async
+        ?parent:(Trace.parent_arg t.recover_span)
+        t.service ~target_nodes:targets
         ~on_done:(fun r ->
           if t.state <> Recovering then ()
           else if r.Manager.r_ok then recovered t
@@ -201,7 +221,8 @@ and retry_later t =
   let delay = backoff_delay t in
   Metrics.incr (reg t) "sup.backoffs";
   note t (Printf.sprintf "sup_backoff:%.1fms" (Simtime.to_ms delay));
-  Engine.schedule (Cluster.engine t.cluster) ~delay (fun () -> attempt_recovery t)
+  Engine.schedule (Cluster.engine t.cluster) ~label:"sup.retry" ~delay (fun () ->
+      attempt_recovery t)
 
 and recovered t =
   t.recoveries <- t.recoveries + 1;
@@ -215,6 +236,7 @@ and recovered t =
       (Simtime.to_ms (Simtime.sub (now t) d))
   | None -> ());
   note t "sup_recovered";
+  recover_span_end t;
   t.attempts <- 0;
   Hashtbl.reset t.misses;
   Hashtbl.reset t.awaiting;
@@ -228,6 +250,7 @@ and give_up t =
   t.gave_up <- t.gave_up + 1;
   Metrics.incr (reg t) "sup.gave_up";
   note t "sup_giveup";
+  recover_span_end t;
   t.state <- Gave_up
 
 let start ?trace cluster service =
@@ -250,6 +273,7 @@ let start ?trace cluster service =
       gave_up = 0;
       last_detect = None;
       last_recovered = None;
+      recover_span = -1;
       log = [];
     }
   in

@@ -42,8 +42,23 @@ let record ?(node = -1) t ~time ~pod what =
     List.iter (fun fn -> fn ev) t.observers
   end
 
-let span_begin t ~time ?op ?node ~pod name =
-  if t.enabled then ignore (Span.begin_span t.recorder ~time ?op ?node ~pod name)
+let span_begin t ~time ?op ?node ?parent ~pod name =
+  if t.enabled then
+    ignore (Span.begin_span t.recorder ~time ?op ?node ?parent ~pod name)
+
+(* As span_begin, but hand back the span id so the caller can propagate it
+   as a causal parent (into Protocol messages, child spans, ...).  -1 when
+   tracing is disabled — begin_span/`parent` treat negatives as "no link"
+   only in the sense that no span -1 exists, and callers pass the id along
+   blindly, so normalize at the consumption sites via parent_arg. *)
+let span_begin_id t ~time ?op ?node ?parent ~pod name =
+  if t.enabled then
+    (Span.begin_span t.recorder ~time ?op ?node ?parent ~pod name).Span.sp_id
+  else -1
+
+(* Turn a span_begin_id result (or a wire tc_parent) back into an optional
+   parent argument: negative ids mean "tracing was off, no link". *)
+let parent_arg id = if id >= 0 then Some id else None
 
 let span_end t ~time ~pod name =
   if t.enabled then ignore (Span.end_named t.recorder ~time ~pod name)

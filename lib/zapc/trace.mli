@@ -29,9 +29,22 @@ val record : ?node:int -> t -> time:Simtime.t -> pod:int -> string -> unit
     (manager/cluster scope). *)
 
 val span_begin :
-  t -> time:Simtime.t -> ?op:int -> ?node:int -> pod:int -> string -> unit
+  t -> time:Simtime.t -> ?op:int -> ?node:int -> ?parent:int -> pod:int ->
+  string -> unit
 (** Open a typed span (no-op when tracing is disabled).  Closed by
-    {!span_end} on the same [name]/[pod]. *)
+    {!span_end} on the same [name]/[pod].  [parent] is the causal parent's
+    span id (see {!span_begin_id}). *)
+
+val span_begin_id :
+  t -> time:Simtime.t -> ?op:int -> ?node:int -> ?parent:int -> pod:int ->
+  string -> int
+(** As {!span_begin}, returning the new span's id so it can be propagated
+    as a causal parent — into child spans and across the control plane via
+    [Protocol.trace_ctx].  Returns [-1] when tracing is disabled. *)
+
+val parent_arg : int -> int option
+(** [Some id] when [id >= 0], else [None] — normalizes a {!span_begin_id}
+    result (or a wire [tc_parent]) into a [?parent] argument. *)
 
 val span_end : t -> time:Simtime.t -> pod:int -> string -> unit
 val span_end_all : t -> time:Simtime.t -> pod:int -> unit

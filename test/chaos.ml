@@ -37,6 +37,8 @@ module Periodic = Zapc.Periodic
 module Supervisor = Zapc.Supervisor
 module Launch = Zapc_msg.Launch
 module Faultsim = Zapc_faultsim.Faultsim
+module Flight = Zapc_obs.Flight
+module Json = Zapc_obs.Json
 
 let check = Alcotest.check
 let tbool = Alcotest.bool
@@ -123,6 +125,15 @@ let assert_result_shape ctx (r : Manager.op_result) =
    progress. *)
 let test_midckpt_channel_break () =
   let cluster = make_cluster () in
+  (* flight recorder armed before the fault harness: the seeded abort below
+     must trip a dump both in memory and on disk *)
+  let dump_dir =
+    let f = Filename.temp_file "zapc_flight" ".d" in
+    Sys.remove f;
+    Sys.mkdir f 0o755;
+    f
+  in
+  let fl = Cluster.enable_flight ~dump_dir cluster in
   let fs = Faultsim.create cluster in
   let app =
     Launch.launch cluster ~name:"bt" ~program:"bt_nas" ~placement:[ 0; 1 ]
@@ -143,6 +154,32 @@ let test_midckpt_channel_break () =
      check tbool "failure names the broken node" true (node = 1)
    | _ -> Alcotest.fail "expected F_channel");
   check tbool "fault fired" true (List.length (Faultsim.fired fs) = 1);
+  (* the abort tripped the flight recorder: an in-memory dump that parses
+     and decodes back into entries, plus a FLIGHT_*.json file on disk *)
+  check tbool "flight recorder tripped" true (Flight.trips fl >= 1);
+  (match Flight.last_dump fl with
+   | None -> Alcotest.fail "no flight dump after seeded abort"
+   | Some dump ->
+     (match Json.parse dump with
+      | Error e -> Alcotest.fail ("flight dump is not valid JSON: " ^ e)
+      | Ok j ->
+        (match Flight.entries_of_json j with
+         | None -> Alcotest.fail "flight dump does not decode into entries"
+         | Some entries ->
+           check tbool "flight dump is non-empty" true (entries <> []);
+           check tbool "flight dump captured open spans" true
+             (List.exists
+                (fun (_, e) ->
+                  match e with Flight.Span_open _ -> true | _ -> false)
+                entries))));
+  let dumped =
+    Sys.readdir dump_dir |> Array.to_list
+    |> List.filter (fun f -> String.length f > 7 && String.sub f 0 7 = "FLIGHT_")
+  in
+  check tbool "flight dump written to disk" true (dumped <> []);
+  List.iter (fun f -> Sys.remove (Filename.concat dump_dir f))
+    (Array.to_list (Sys.readdir dump_dir));
+  Sys.rmdir dump_dir;
   (* both sides resumed; the application still completes correctly *)
   assert_clean "midckpt-break" cluster fs;
   ignore (Launch.wait_done cluster app);

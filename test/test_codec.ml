@@ -225,36 +225,49 @@ let stats_gen =
         st_full_bytes; st_net_bytes; st_sockets; st_procs })
     (triple (pair nat nat) (pair nat nat) (pair (pair nat nat) (pair nat nat)))
 
+let ctx_gen =
+  let open QCheck.Gen in
+  oneof
+    [ return None;
+      map
+        (fun (tc_op, tc_parent) -> Some { Protocol.tc_op; tc_parent })
+        (pair nat nat) ]
+
 let to_agent_gen =
   let open QCheck.Gen in
   oneof
     [ map
-        (fun ((pod_id, dest), (resume, incremental)) ->
-          Protocol.A_checkpoint { pod_id; dest; resume; incremental })
-        (pair (pair nat uri_gen) (pair bool bool));
+        (fun (((pod_id, dest), (resume, incremental)), ctx) ->
+          Protocol.A_checkpoint { pod_id; dest; resume; incremental; ctx })
+        (pair (pair (pair nat uri_gen) (pair bool bool)) ctx_gen);
       map (fun pod_id -> Protocol.A_continue { pod_id }) nat;
       map (fun pod_id -> Protocol.A_abort { pod_id }) nat;
       map
-        (fun (((pod_id, name), (vip, rip)),
-              ((uri, entries), (vip_map, (extra_altq, skip_sendq)))) ->
+        (fun ((((pod_id, name), (vip, rip)),
+               ((uri, entries), (vip_map, (extra_altq, skip_sendq)))), ctx) ->
           Protocol.A_restart
-            { pod_id; name; vip; rip; uri; entries; vip_map; extra_altq; skip_sendq })
+            { pod_id; name; vip; rip; uri; entries; vip_map; extra_altq; skip_sendq;
+              ctx })
         (pair
-           (pair (pair nat string_small) (pair ip_gen ip_gen))
            (pair
-              (pair uri_gen (list_size (int_bound 4) restart_entry_gen))
+              (pair (pair nat string_small) (pair ip_gen ip_gen))
               (pair
-                 (list_size (int_bound 4) (pair ip_gen ip_gen))
-                 (pair (list_size (int_bound 3) (pair (int_bound 32) string_small))
-                    bool))));
+                 (pair uri_gen (list_size (int_bound 4) restart_entry_gen))
+                 (pair
+                    (list_size (int_bound 4) (pair ip_gen ip_gen))
+                    (pair (list_size (int_bound 3) (pair (int_bound 32) string_small))
+                       bool))))
+           ctx_gen);
       map (fun seq -> Protocol.A_ping { seq }) nat;
       map
-        (fun ((pod_id, dest), (max_rounds, dirty_threshold)) ->
-          Protocol.A_migrate { pod_id; dest; max_rounds; dirty_threshold })
-        (pair (pair nat (int_bound 16))
-           (pair (int_bound 32)
-              (* exact binary fractions so float equality is trustworthy *)
-              (map (fun n -> float_of_int n /. 256.0) (int_bound 256)))) ]
+        (fun (((pod_id, dest), (max_rounds, dirty_threshold)), ctx) ->
+          Protocol.A_migrate { pod_id; dest; max_rounds; dirty_threshold; ctx })
+        (pair
+           (pair (pair nat (int_bound 16))
+              (pair (int_bound 32)
+                 (* exact binary fractions so float equality is trustworthy *)
+                 (map (fun n -> float_of_int n /. 256.0) (int_bound 256))))
+           ctx_gen) ]
 
 let mig_round_stats_gen =
   let open QCheck.Gen in
@@ -288,6 +301,28 @@ let prop_protocol_agent_roundtrip =
   QCheck.Test.make ~name:"Manager->Agent messages roundtrip" ~count:300
     (QCheck.make to_agent_gen) (fun m ->
       Protocol.to_agent_of_value (roundtrip (Protocol.to_agent_to_value m)) = m)
+
+(* backward compatibility: frames from encoders that predate the trace
+   context (or were written with tracing off) carry no "ctx" entry at all;
+   they must decode to the same message with [ctx = None], not fail *)
+let strip_ctx v =
+  match v with
+  | Value.Tag (tag, Value.Assoc fields) ->
+    Value.Tag (tag, Value.Assoc (List.filter (fun (k, _) -> k <> "ctx") fields))
+  | v -> v
+
+let drop_ctx (m : Protocol.to_agent) =
+  match m with
+  | Protocol.A_checkpoint r -> Protocol.A_checkpoint { r with ctx = None }
+  | Protocol.A_restart r -> Protocol.A_restart { r with ctx = None }
+  | Protocol.A_migrate r -> Protocol.A_migrate { r with ctx = None }
+  | (Protocol.A_continue _ | Protocol.A_abort _ | Protocol.A_ping _) as m -> m
+
+let prop_protocol_agent_no_ctx_decodes =
+  QCheck.Test.make ~name:"frames without trace ctx decode to None" ~count:300
+    (QCheck.make to_agent_gen) (fun m ->
+      Protocol.to_agent_of_value (roundtrip (strip_ctx (Protocol.to_agent_to_value m)))
+      = drop_ctx m)
 
 let prop_protocol_manager_roundtrip =
   QCheck.Test.make ~name:"Agent->Manager messages roundtrip" ~count:300
@@ -427,7 +462,8 @@ let () =
             prop_bitflip_safe ] );
       ( "protocol",
         List.map QCheck_alcotest.to_alcotest
-          [ prop_protocol_agent_roundtrip; prop_protocol_manager_roundtrip;
+          [ prop_protocol_agent_roundtrip; prop_protocol_agent_no_ctx_decodes;
+            prop_protocol_manager_roundtrip;
             prop_mig_round_stats_roundtrip; prop_image_sections_roundtrip;
             prop_image_checksum_detects_bitflips ] );
       ( "kv wire",

@@ -10,6 +10,8 @@ module Metrics = Zapc_obs.Metrics
 module Span = Zapc_obs.Span
 module Chrome = Zapc_obs.Chrome
 module Json = Zapc_obs.Json
+module Flight = Zapc_obs.Flight
+module Critpath = Zapc_obs.Critpath
 
 let check = Alcotest.check
 let tbool = Alcotest.bool
@@ -140,6 +142,40 @@ let test_span_chronological () =
   check tbool "instants sorted by time" true
     (List.map (fun i -> i.Span.in_what) (Span.instants r) = [ "tock"; "tick" ])
 
+let test_span_parent_links () =
+  let r = Span.create () in
+  let events = ref [] in
+  Span.set_observer r (Some (fun e -> events := e :: !events));
+  let root = Span.begin_span r ~time:(ms 1) ~pod:(-1) ~node:(-1) "op" in
+  let child =
+    Span.begin_span r ~time:(ms 2) ~parent:root.Span.sp_id ~pod:3 ~node:1
+      "pod_ckpt"
+  in
+  check tbool "root has no parent" true (root.Span.sp_parent = None);
+  check tbool "child links its parent" true
+    (child.Span.sp_parent = Some root.Span.sp_id);
+  check tbool "ids are distinct" true (root.Span.sp_id <> child.Span.sp_id);
+  check tbool "parent resolves" true
+    (match Span.find_span r root.Span.sp_id with
+     | Some sp -> String.equal sp.Span.sp_name "op"
+     | None -> false);
+  Span.end_span r ~time:(ms 4) child;
+  Span.end_span r ~time:(ms 5) root;
+  (* observer saw two opens then two closes, closes with sp_end set *)
+  let opens, closes =
+    List.partition (function Span.Opened _ -> true | Span.Closed _ -> false)
+      !events
+  in
+  check tint "observer saw the opens" 2 (List.length opens);
+  check tint "observer saw the closes" 2 (List.length closes);
+  check tbool "close carries the end time" true
+    (List.for_all
+       (function Span.Closed sp -> sp.Span.sp_end <> None | _ -> true)
+       closes);
+  Span.set_observer r None;
+  ignore (Span.begin_span r ~time:(ms 6) ~pod:0 "quiet");
+  check tint "observer detached" 4 (List.length !events)
+
 (* --- chrome exporter --- *)
 
 let test_chrome_export () =
@@ -178,6 +214,54 @@ let test_chrome_export () =
    | None -> Alcotest.fail "open span not exported");
   check tbool "instant exported" true (named "i" "meta_sent" <> None)
 
+(* Cross-node parent: the child's X row carries sid + parent args and the
+   exporter joins the two tracks with an s/f flow pair keyed by the child's
+   sid. *)
+let test_chrome_causal_args () =
+  let r = Span.create () in
+  let root = Span.begin_span r ~time:(ms 1) ~pod:(-1) ~node:(-1) "op" in
+  let child =
+    Span.begin_span r ~time:(ms 2) ~parent:root.Span.sp_id ~pod:3 ~node:1
+      "pod_ckpt"
+  in
+  Span.end_span r ~time:(ms 4) child;
+  Span.end_span r ~time:(ms 5) root;
+  let v = ok_json (Chrome.to_string r) in
+  let events =
+    match Option.bind (Json.member "traceEvents" v) Json.to_list with
+    | Some l -> l
+    | None -> Alcotest.fail "no traceEvents"
+  in
+  let phase ev = Option.bind (Json.member "ph" ev) Json.to_string_opt in
+  (match
+     List.find_opt
+       (fun ev ->
+         phase ev = Some "X"
+         && Option.bind (Json.member "name" ev) Json.to_string_opt
+            = Some "pod_ckpt")
+       events
+   with
+   | Some ev ->
+     let arg k =
+       Option.bind (Json.member "args" ev) (fun a ->
+           Option.bind (Json.member k a) Json.to_float)
+     in
+     check tbool "sid arg" true
+       (arg "sid" = Some (float_of_int child.Span.sp_id));
+     check tbool "parent arg" true
+       (arg "parent" = Some (float_of_int root.Span.sp_id))
+   | None -> Alcotest.fail "child X event missing");
+  let flow ph =
+    List.find_opt
+      (fun ev ->
+        phase ev = Some ph
+        && Option.bind (Json.member "id" ev) Json.to_float
+           = Some (float_of_int child.Span.sp_id))
+      events
+  in
+  check tbool "flow start on the parent's track" true (flow "s" <> None);
+  check tbool "flow finish on the child's track" true (flow "f" <> None)
+
 (* --- the JSON reader itself --- *)
 
 let test_json_reader () =
@@ -191,6 +275,135 @@ let test_json_reader () =
     (match Json.parse "{} x" with Error _ -> true | Ok _ -> false);
   check tbool "unterminated rejected" true
     (match Json.parse "[1, 2" with Error _ -> true | Ok _ -> false)
+
+(* every escape our exporters emit (Chrome.esc, Flight.esc) must decode *)
+let test_json_escapes () =
+  (match ok_json {| "a\"b\\c\nd\re\tf" |} with
+   | Json.Str s -> check tbool "simple escapes" true (String.equal s "a\"b\\c\nd\re\tf")
+   | _ -> Alcotest.fail "expected a string");
+  (match ok_json {| "\u0041\u005f" |} with
+   | Json.Str s -> check tbool "uXXXX decoded" true (String.equal s "A_")
+   | _ -> Alcotest.fail "expected a string");
+  (* a control character escaped the way Chrome.esc writes it *)
+  (match ok_json {| "x\u0007y" |} with
+   | Json.Str s -> check tbool "control escape" true (String.equal s "x\007y")
+   | _ -> Alcotest.fail "expected a string");
+  check tbool "bad escape rejected" true
+    (match Json.parse {| "\q" |} with Error _ -> true | Ok _ -> false);
+  check tbool "truncated \\u rejected" true
+    (match Json.parse {| "\u00" |} with Error _ -> true | Ok _ -> false)
+
+(* deep nesting parses without blowing the stack at trace-file depths, and
+   malformed documents come back as [Error], never as an exception *)
+let test_json_nesting_and_malformed () =
+  let depth = 512 in
+  let deep =
+    String.concat "" (List.init depth (fun _ -> "["))
+    ^ "1"
+    ^ String.concat "" (List.init depth (fun _ -> "]"))
+  in
+  let rec count v = match v with Json.List [ x ] -> 1 + count x | _ -> 0 in
+  check tint "512-deep array" depth (count (ok_json deep));
+  let nested_obj = {| {"a": {"b": {"c": {"d": [{"e": 1}]}}}} |} in
+  check tbool "nested object path" true
+    (let open Option in
+     bind (Json.member "a" (ok_json nested_obj)) (Json.member "b")
+     |> Fun.flip bind (Json.member "c")
+     |> Fun.flip bind (Json.member "d")
+     <> None);
+  List.iter
+    (fun s ->
+      match Json.parse s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "malformed accepted: %s" s)
+    [ "{"; "}"; {| {"a"} |}; {| {"a":} |}; "[1,]"; {| {"a":1,} |}; "tru";
+      "nul"; "+1"; {| {1: 2} |}; ""; "\"unterminated" ]
+
+(* --- flight recorder --- *)
+
+let test_flight_ring_bounds () =
+  let fl = Flight.create ~cap:4 () in
+  for i = 1 to 10 do
+    Flight.record fl ~node:0
+      (Flight.Instant { f_time = ms i; f_pod = 0; f_what = Printf.sprintf "i%d" i })
+  done;
+  Flight.record fl ~node:1
+    (Flight.Instant { f_time = ms 99; f_pod = -1; f_what = "other-ring" });
+  let entries = Flight.entries fl ~node:0 in
+  check tint "ring keeps only cap entries" 4 (List.length entries);
+  check tbool "oldest evicted, order kept" true
+    (List.map
+       (function Flight.Instant { f_what; _ } -> f_what | _ -> "?")
+       entries
+     = [ "i7"; "i8"; "i9"; "i10" ]);
+  check tint "rings are per node" 1 (List.length (Flight.entries fl ~node:1));
+  check tbool "nodes listed" true (List.sort compare (Flight.nodes fl) = [ 0; 1 ])
+
+let test_flight_dump_roundtrip () =
+  let fl = Flight.create ~cap:8 () in
+  let recorded =
+    [ (0,
+       Flight.Span_open
+         { f_time = ms 1; f_id = 7; f_name = "pod_ckpt"; f_op = 3; f_pod = 2;
+           f_parent = Some 5 });
+      (0, Flight.Span_close { f_time = ms 2; f_id = 7 });
+      (1,
+       Flight.Span_open
+         { f_time = ms 3; f_id = 9; f_name = "net_ckpt\"x"; f_op = 3; f_pod = 4;
+           f_parent = None });
+      (-1, Flight.Instant { f_time = ms 4; f_pod = -1; f_what = "op_failed:channel" });
+      (-1, Flight.Metric { f_time = ms 5; f_name = "mgr.ckpt.failed"; f_value = 1.5 }) ]
+  in
+  List.iter (fun (node, e) -> Flight.record fl ~node e) recorded;
+  let json = Flight.to_string fl ~time:(ms 6) ~reason:"op_failed:channel" in
+  let v = ok_json json in
+  check tbool "reason kept" true
+    (Option.bind (Json.member "reason" v) Json.to_string_opt
+     = Some "op_failed:channel");
+  (match Flight.entries_of_json v with
+   | None -> Alcotest.fail "dump does not decode"
+   | Some decoded ->
+     check tint "all entries decoded" (List.length recorded) (List.length decoded);
+     List.iter
+       (fun (node, e) ->
+         if not (List.exists (fun (n, d) -> n = node && d = e) decoded) then
+           Alcotest.failf "entry of node %d lost in the round-trip" node)
+       recorded);
+  (* trip with no dump dir still snapshots to last_dump, and clear drains *)
+  Flight.trip fl ~time:(ms 7) ~reason:"fault:crash_node";
+  check tint "trip counted" 1 (Flight.trips fl);
+  check tbool "last_dump parses" true
+    (match Flight.last_dump fl with
+     | Some s -> (match Json.parse s with Ok _ -> true | Error _ -> false)
+     | None -> false);
+  Flight.clear fl;
+  check tint "clear drains the rings" 0 (List.length (Flight.nodes fl))
+
+(* --- critical path --- *)
+
+let test_critpath () =
+  let r = Span.create () in
+  (* the op span covers the whole window: skipped, attributes nothing *)
+  let op = Span.begin_span r ~time:(ms 0) ~pod:(-1) "ckpt_op" in
+  let a = Span.begin_span r ~time:(ms 0) ~pod:1 "standalone" in
+  let b = Span.begin_span r ~time:(ms 6) ~pod:1 "net_ckpt" in
+  Span.end_span r ~time:(ms 6) a;
+  Span.end_span r ~time:(ms 9) b;
+  Span.end_span r ~time:(ms 10) op;
+  let rep = Critpath.analyze ~spans:(Span.spans r) ~t0:(ms 0) ~t1:(ms 10) in
+  check tbool "total is the window" true (Simtime.compare rep.Critpath.cp_total (ms 10) = 0);
+  check tbool "dominant phase" true (String.equal rep.Critpath.cp_dominant "standalone");
+  let phase n = List.assoc_opt n rep.Critpath.cp_phases in
+  check tbool "standalone charged 6ms" true (phase "standalone" = Some (ms 6));
+  check tbool "net_ckpt charged 3ms" true (phase "net_ckpt" = Some (ms 3));
+  check tbool "uncovered tail charged to other" true (phase "other" = Some (ms 1));
+  check tbool "op span attributes nothing" true (phase "ckpt_op" = None);
+  (* every charged nanosecond is charged exactly once *)
+  let sum =
+    List.fold_left (fun acc (_, d) -> Simtime.add acc d) Simtime.zero
+      rep.Critpath.cp_phases
+  in
+  check tbool "phases sum to total" true (Simtime.compare sum rep.Critpath.cp_total = 0)
 
 (* --- Stats fixes --- *)
 
@@ -238,10 +451,21 @@ let () =
       ( "spans",
         [ Alcotest.test_case "begin/end" `Quick test_span_basic;
           Alcotest.test_case "end_named" `Quick test_span_end_named;
-          Alcotest.test_case "chronological" `Quick test_span_chronological ] );
+          Alcotest.test_case "chronological" `Quick test_span_chronological;
+          Alcotest.test_case "parent links + observer" `Quick
+            test_span_parent_links ] );
       ( "export",
         [ Alcotest.test_case "chrome trace" `Quick test_chrome_export;
-          Alcotest.test_case "json reader" `Quick test_json_reader ] );
+          Alcotest.test_case "chrome causal args" `Quick test_chrome_causal_args;
+          Alcotest.test_case "json reader" `Quick test_json_reader;
+          Alcotest.test_case "json escapes" `Quick test_json_escapes;
+          Alcotest.test_case "json nesting + malformed" `Quick
+            test_json_nesting_and_malformed ] );
+      ( "flight",
+        [ Alcotest.test_case "ring bounds" `Quick test_flight_ring_bounds;
+          Alcotest.test_case "dump round-trip" `Quick test_flight_dump_roundtrip ] );
+      ( "critpath",
+        [ Alcotest.test_case "phase attribution" `Quick test_critpath ] );
       ( "stats",
         [ Alcotest.test_case "empty render" `Quick test_stats_empty_render;
           Alcotest.test_case "percentile" `Quick test_stats_percentile ] );
