@@ -1316,3 +1316,194 @@ let serve () =
   let path = "BENCH_serve.json" in
   serve_json path r small big ratio;
   Printf.printf "\nwrote %s BENCH_serve_trace.json BENCH_serve_metrics.json\n" path
+
+(* ------------------------------------------------------------------ *)
+(* SCALE: cluster-scale coordination — flat star vs hierarchical tree  *)
+(* ------------------------------------------------------------------ *)
+
+(* Coordinated checkpoint of one (contentless) pod per node at N up to
+   1000.  With the per-pod image costs pinned small and jitter off, the
+   sweep isolates the CONTROL PLANE: per-message serial processing at
+   each coordinator (ctrl_proc) plus per-hop channel latency.  A flat
+   star pays O(N) serial sends and receives at the root every phase; a
+   fanout-k tree pays O(log_k N) hops of latency but only O(k) serial
+   work per coordinator, so the two curves cross in the low hundreds of
+   nodes and the tree pulls away from there (DESIGN.md section 13).
+
+   The same artifact carries the engine hot-path rework numbers: raw
+   events/s of the heap baseline vs the calendar queue under steady-state
+   churn (micro.ml), gated at >= 5x.  Those two rates are host facts —
+   they live under "host" keys so the obs_diff baseline skips them — but
+   the ratio floor is enforced right here with a hard failure. *)
+
+let scale_fanout = 4
+let scale_counts = [ 16; 64; 128; 256; 512; 1000 ]
+
+(* The smallest possible resident: allocate one page, then park in a
+   sleep loop forever.  One of these per node keeps every Agent's
+   checkpoint real (a live process, a memory region, program state to
+   encode) while contributing nothing to the latency being measured. *)
+module Idler = struct
+  module Program = Zapc_simos.Program
+  module Syscall = Zapc_simos.Syscall
+
+  type state = { mutable booted : bool }
+
+  let name = "bench.idler"
+  let start _args = { booted = false }
+
+  let step s (_ : Syscall.outcome) =
+    if not s.booted then begin
+      s.booted <- true;
+      (s, Program.Sys (Syscall.Mem_alloc ("idle", 4096)))
+    end
+    else (s, Program.Sys (Syscall.Nanosleep (Simtime.sec 50.0)))
+
+  let to_value s = Value.Bool s.booted
+  let of_value v = { booted = Value.to_bool v }
+end
+
+let scale_params fanout =
+  { Params.default with
+    Params.ctrl_latency = Simtime.us 300;
+    ctrl_proc = Simtime.us 25;
+    tree_fanout = fanout;
+    cost_jitter = 0.0;
+    storage_bps = 1e12;
+    ckpt_fixed = Simtime.us 200;
+    restore_fixed = Simtime.us 200 }
+
+type scale_row = {
+  sc_nodes : int;
+  sc_flat_ms : float;
+  sc_tree_ms : float;
+  sc_depth : int;  (* relay hops below the manager in the tree arm *)
+}
+
+let scale_arm ~nodes ~fanout =
+  Zapc_simos.Program.register_if_absent (module Idler);
+  let cluster =
+    Cluster.make ~seed:42 ~params:(scale_params fanout) ~node_count:nodes ()
+  in
+  let pods =
+    List.init nodes (fun i ->
+        Cluster.create_pod cluster ~node_idx:i
+          ~name:(Printf.sprintf "idler%d" i))
+  in
+  Cluster.link_pods pods;
+  List.iter
+    (fun pod -> ignore (Pod.spawn pod ~program:Idler.name ~args:Value.unit))
+    pods;
+  (* let every idler boot and park before the measured checkpoint *)
+  Cluster.run cluster ~until:(Simtime.ms 5) ();
+  let r = Cluster.snapshot cluster ~pods ~key_prefix:"scale" in
+  if not r.Manager.r_ok then
+    failwith
+      (Printf.sprintf "scale: checkpoint failed at %d nodes (fanout %d): %s"
+         nodes fanout r.Manager.r_detail);
+  let depth =
+    int_of_float (Zapc_obs.Metrics.gauge (Cluster.metrics cluster) "mgr.tree.depth")
+  in
+  (Simtime.to_sec r.Manager.r_duration *. 1000.0, depth)
+
+let scale_measure nodes =
+  let flat_ms, _ = scale_arm ~nodes ~fanout:0 in
+  let tree_ms, depth = scale_arm ~nodes ~fanout:scale_fanout in
+  { sc_nodes = nodes; sc_flat_ms = flat_ms; sc_tree_ms = tree_ms;
+    sc_depth = depth }
+
+let scale_json path rows crossover (heap_rate, cal_rate, eng_ratio) =
+  let oc = open_out path in
+  let field r =
+    Printf.sprintf
+      "    {\"nodes\": %d, \"flat_ms\": %.3f, \"tree_ms\": %.3f, \
+       \"tree_depth\": %d, \"speedup_ratio\": %.3f}"
+      r.sc_nodes r.sc_flat_ms r.sc_tree_ms r.sc_depth
+      (r.sc_flat_ms /. r.sc_tree_ms)
+  in
+  let last = List.nth rows (List.length rows - 1) in
+  Printf.fprintf oc
+    "{\n\
+    \  \"experiment\": \"scale\",\n\
+    \  \"scenario\": \"coordinated checkpoint of one pod per node, flat star \
+     vs fanout-%d tree\",\n\
+    \  \"source\": \"Manager r_duration; mgr.tree.* gauges (see \
+     doc/OBSERVABILITY.md)\",\n\
+    \  \"fanout\": %d,\n\
+    \  \"sweep\": [\n%s\n  ],\n\
+    \  \"crossover_nodes\": %d,\n\
+    \  \"max_nodes_speedup_ratio\": %.3f,\n\
+    \  \"engine\": {\"events\": %d, \"standing\": %d,\n\
+    \             \"host_heap_events_per_sec\": %.0f,\n\
+    \             \"host_calendar_events_per_sec\": %.0f,\n\
+    \             \"host_speedup\": %.2f, \"floor_ratio\": 5.0}\n\
+     }\n"
+    scale_fanout scale_fanout
+    (String.concat ",\n" (List.map field rows))
+    crossover
+    (last.sc_flat_ms /. last.sc_tree_ms)
+    Micro.churn_events Micro.churn_standing heap_rate cal_rate eng_ratio;
+  close_out oc
+
+let scale () =
+  section
+    (Printf.sprintf
+       "SCALE  Coordinated-checkpoint latency, flat star vs fanout-%d tree\n\
+       \       (one pod per node; 25us serial per message at every\n\
+       \       coordinator, 300us per-hop latency) + engine events/s, heap\n\
+       \       baseline vs calendar queue"
+       scale_fanout);
+  row "%6s %12s %12s %7s %9s\n" "nodes" "flat (ms)" "tree (ms)" "depth"
+    "speedup";
+  let rows = List.map scale_measure scale_counts in
+  List.iter
+    (fun r ->
+      row "%6d %12.2f %12.2f %7d %8.2fx\n" r.sc_nodes r.sc_flat_ms r.sc_tree_ms
+        r.sc_depth (r.sc_flat_ms /. r.sc_tree_ms))
+    rows;
+  let crossover =
+    match List.find_opt (fun r -> r.sc_tree_ms < r.sc_flat_ms) rows with
+    | Some r -> r.sc_nodes
+    | None -> failwith "scale: tree never beat flat — hierarchy is broken"
+  in
+  let last = List.nth rows (List.length rows - 1) in
+  if last.sc_tree_ms >= last.sc_flat_ms then
+    failwith
+      (Printf.sprintf
+         "scale: tree slower than flat at %d nodes (%.2fms vs %.2fms)"
+         last.sc_nodes last.sc_tree_ms last.sc_flat_ms);
+  row "crossover at %d nodes; %.2fx at %d nodes\n" crossover
+    (last.sc_flat_ms /. last.sc_tree_ms) last.sc_nodes;
+  let ((heap_rate, cal_rate, eng_ratio) as eng) = Micro.engine_throughput () in
+  row "engine churn: heap %.2f Mev/s, calendar %.2f Mev/s (%.2fx)\n"
+    (heap_rate /. 1e6) (cal_rate /. 1e6) eng_ratio;
+  if eng_ratio < 5.0 then
+    failwith
+      (Printf.sprintf
+         "scale: calendar queue only %.2fx over the heap baseline (floor 5x)"
+         eng_ratio);
+  (* a traced tree-mode checkpoint: the causal tree must survive the
+     extra relay hop (manager op span -> agent pod spans, cross-node
+     parent edges intact), validated by obs_check --causal in @scale *)
+  Zapc_simos.Program.register_if_absent (module Idler);
+  let cluster =
+    Cluster.make ~seed:42 ~params:(scale_params scale_fanout) ~node_count:16 ()
+  in
+  let pods =
+    List.init 16 (fun i ->
+        Cluster.create_pod cluster ~node_idx:i
+          ~name:(Printf.sprintf "idler%d" i))
+  in
+  Cluster.link_pods pods;
+  List.iter
+    (fun pod -> ignore (Pod.spawn pod ~program:Idler.name ~args:Value.unit))
+    pods;
+  let tr = Cluster.enable_trace cluster in
+  Cluster.run cluster ~until:(Simtime.ms 5) ();
+  let r = Cluster.snapshot cluster ~pods ~key_prefix:"scale_traced" in
+  if not r.Manager.r_ok then
+    failwith ("scale: traced tree checkpoint failed: " ^ r.Manager.r_detail);
+  Zapc.Trace.dump_chrome tr "BENCH_scale_trace.json";
+  let path = "BENCH_scale.json" in
+  scale_json path rows crossover eng;
+  Printf.printf "\nwrote %s BENCH_scale_trace.json\n" path

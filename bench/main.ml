@@ -8,7 +8,7 @@
 
 let usage () =
   print_endline
-    "usage: main.exe [fig5|fig6a|fig6b|fig6c|netstate|variance|ablation|timeline|storage|micro|availability|incremental|migration|serve|profile|all|quick]"
+    "usage: main.exe [fig5|fig6a|fig6b|fig6c|netstate|variance|ablation|timeline|storage|micro|availability|incremental|migration|serve|profile|scale|all|quick]"
 
 let () =
   let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
@@ -29,6 +29,7 @@ let () =
   | "migration" -> Experiments.migration ()
   | "serve" -> Experiments.serve ()
   | "profile" -> Experiments.profile ()
+  | "scale" -> Experiments.scale ()
   | "all" ->
     Experiments.fig5 ();
     Experiments.fig6a ();
@@ -44,6 +45,7 @@ let () =
     Experiments.migration ();
     Experiments.serve ();
     Experiments.profile ();
+    Experiments.scale ();
     Micro.run ()
   | "quick" -> Experiments.quick ()
   | _ -> usage ()

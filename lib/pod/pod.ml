@@ -206,12 +206,18 @@ let member_count pod = List.length (members pod)
 (* Freeze every member with SIGSTOP (paper: step 1 of the Agent checkpoint
    procedure; network blocking is done separately by the Agent through
    netfilter). *)
+(* Suspend/resume freeze the pod's network state along with its processes:
+   retransmission timers stop while the pod is frozen and restart with a
+   fresh backoff when it thaws, so repeated checkpoint freeze windows never
+   consume a connection's retry budget (paper section 5). *)
 let suspend pod =
   List.iter (fun (_, p) -> Kernel.signal_proc pod.kernel p Signal.Sigstop) (members pod);
+  Zapc_simnet.Netstack.freeze_ip (Kernel.netstack pod.kernel) pod.rip;
   pod.frozen <- true
 
 let resume pod =
   List.iter (fun (_, p) -> Kernel.signal_proc pod.kernel p Signal.Sigcont) (members pod);
+  Zapc_simnet.Netstack.thaw_ip (Kernel.netstack pod.kernel) pod.rip;
   pod.frozen <- false
 
 (* Destroy the pod locally (after migration, or on abort): kill members,

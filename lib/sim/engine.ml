@@ -2,16 +2,29 @@ exception Deadlock of string
 
 type prof = { mutable p_count : int; mutable p_host : float }
 
+type queue_kind = Heap | Calendar
+
+type queue =
+  | Q_heap of (unit -> unit) Pheap.t
+  | Q_cal of (unit -> unit) Calq.t
+
 type t = {
   mutable clock : Simtime.t;
-  queue : (unit -> unit) Pheap.t;
+  queue : queue;
   rng : Rng.t;
   mutable processed : int;
   mutable profile : (string, prof) Hashtbl.t option;
 }
 
-let create ?(seed = 42) () =
-  { clock = Simtime.zero; queue = Pheap.create (); rng = Rng.create ~seed;
+let nop () = ()
+
+let create ?(seed = 42) ?(queue = Calendar) () =
+  let queue =
+    match queue with
+    | Heap -> Q_heap (Pheap.create ())
+    | Calendar -> Q_cal (Calq.create ~dummy:nop ())
+  in
+  { clock = Simtime.zero; queue; rng = Rng.create ~seed;
     processed = 0; profile = None }
 
 let now t = t.clock
@@ -51,7 +64,10 @@ let instrument t label fn =
 
 let schedule_at t ?label ~at fn =
   let at = if Simtime.compare at t.clock < 0 then t.clock else at in
-  Pheap.push t.queue ~key:at (instrument t label fn)
+  let fn = instrument t label fn in
+  match t.queue with
+  | Q_heap q -> Pheap.push q ~key:at fn
+  | Q_cal q -> Calq.push q ~key:at fn
 
 let schedule t ?label ~delay fn =
   schedule_at t ?label ~at:(Simtime.add t.clock delay) fn
@@ -64,26 +80,80 @@ let profile t =
     |> List.sort (fun (la, ca, _) (lb, cb, _) ->
            match compare cb ca with 0 -> compare la lb | c -> c)
 
+let pending t =
+  match t.queue with Q_heap q -> Pheap.length q | Q_cal q -> Calq.length q
+
 let run ?until ?max_events t =
   let budget = ref (match max_events with None -> max_int | Some n -> n) in
   let continue = ref true in
   while !continue && !budget > 0 do
-    match Pheap.peek_key t.queue with
-    | None -> continue := false
-    | Some key ->
+    let next =
+      (* a single root access per event: pop-if-due instead of peek+pop *)
+      match t.queue, until with
+      | Q_heap q, None -> Pheap.pop q
+      | Q_heap q, Some limit -> Pheap.pop_if_le q ~limit
+      | Q_cal q, None -> Calq.pop q
+      | Q_cal q, Some limit -> Calq.pop_if_le q ~limit
+    in
+    match next with
+    | Some (at, fn) ->
+      t.clock <- at;
+      t.processed <- t.processed + 1;
+      decr budget;
+      fn ()
+    | None ->
       (match until with
-       | Some limit when Simtime.compare key limit > 0 ->
-         t.clock <- limit;
-         continue := false
-       | _ ->
-         (match Pheap.pop t.queue with
-          | None -> continue := false
-          | Some (at, fn) ->
-            t.clock <- at;
-            t.processed <- t.processed + 1;
-            decr budget;
-            fn ()))
+       | Some limit when pending t > 0 ->
+         (* queue non-empty but nothing due: the horizon was reached *)
+         t.clock <- limit
+       | _ -> ());
+      continue := false
   done
 
-let pending t = Pheap.length t.queue
 let events_processed t = t.processed
+
+(* ---- cancellable timers ----
+
+   A timer keeps at most one live trampoline in the queue however often it
+   is re-armed: re-arming later just moves the deadline and lets the queued
+   trampoline lazily re-queue itself when it fires early, and cancelling
+   clears the deadline so the trampoline becomes a no-op.  Hot rescheduling
+   paths (TCP retransmit on every ACK, heartbeats) therefore stop flooding
+   the queue with dead closures. *)
+
+type timer = {
+  mutable tm_deadline : Simtime.t;  (* negative = inactive *)
+  mutable tm_queued : Simtime.t;    (* earliest queued trampoline, negative = none *)
+  tm_fn : unit -> unit;
+  tm_label : string option;
+}
+
+let rec timer_tick t tm () =
+  tm.tm_queued <- Simtime.ns (-1);
+  let d = tm.tm_deadline in
+  if Simtime.compare d Simtime.zero >= 0 then begin
+    if Simtime.compare d t.clock <= 0 then begin
+      tm.tm_deadline <- Simtime.ns (-1);
+      tm.tm_fn ()
+    end
+    else timer_queue t tm (* re-armed later: lazily re-queue at the deadline *)
+  end
+
+and timer_queue t tm =
+  tm.tm_queued <- tm.tm_deadline;
+  schedule_at t ?label:tm.tm_label ~at:tm.tm_deadline (timer_tick t tm)
+
+let timer ?label fn =
+  { tm_deadline = Simtime.ns (-1); tm_queued = Simtime.ns (-1);
+    tm_fn = fn; tm_label = label }
+
+let timer_arm t tm ~at =
+  let at = if Simtime.compare at t.clock < 0 then t.clock else at in
+  tm.tm_deadline <- at;
+  if Simtime.compare tm.tm_queued Simtime.zero < 0
+     || Simtime.compare tm.tm_queued at > 0
+  then timer_queue t tm
+
+let timer_arm_in t tm ~delay = timer_arm t tm ~at:(Simtime.add t.clock delay)
+let timer_cancel tm = tm.tm_deadline <- Simtime.ns (-1)
+let timer_active tm = Simtime.compare tm.tm_deadline Simtime.zero >= 0

@@ -7,7 +7,16 @@
 
 type t
 
-val create : ?seed:int -> unit -> t
+type queue_kind =
+  | Heap      (** plain binary heap ({!Pheap}) *)
+  | Calendar  (** bucketed calendar queue with heap overflow ({!Calq}) *)
+
+val create : ?seed:int -> ?queue:queue_kind -> unit -> t
+(** [queue] selects the event-queue backend (default [Calendar]).  Both
+    backends implement the same [(time, sequence)] total order, so a seeded
+    run is bit-identical under either; [Heap] is kept as the reference
+    implementation and throughput baseline. *)
+
 val now : t -> Simtime.t
 val rng : t -> Rng.t
 
@@ -27,6 +36,33 @@ val pending : t -> int
 (** Number of queued events. *)
 
 val events_processed : t -> int
+
+(** {1 Cancellable timers}
+
+    A [timer] wraps a callback that is re-armed far more often than it
+    fires (TCP retransmit on every ACK, heartbeat rescheduling).  However
+    often it is re-armed, at most one trampoline sits in the event queue:
+    arming later just moves the deadline (the queued trampoline lazily
+    re-queues itself), and cancelling clears the deadline so the pending
+    trampoline degenerates to a no-op instead of a dead closure per
+    re-arm. *)
+
+type timer
+
+val timer : ?label:string -> (unit -> unit) -> timer
+(** Create an inactive timer around [fn]; [label] tags its queue entries
+    for the profiler. *)
+
+val timer_arm : t -> timer -> at:Simtime.t -> unit
+(** (Re-)arm to fire at [at] (clamped to now).  Arming an active timer
+    moves its deadline; the callback fires once per arm..fire cycle. *)
+
+val timer_arm_in : t -> timer -> delay:Simtime.t -> unit
+
+val timer_cancel : timer -> unit
+(** Deactivate; a queued trampoline, if any, becomes a no-op. *)
+
+val timer_active : timer -> bool
 
 (** {1 Profiler}
 

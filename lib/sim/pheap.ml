@@ -42,35 +42,58 @@ let push h ~key value =
     i := p
   done
 
+(* Remove the root (caller has already read it); assumes size > 0. *)
+let remove_top h =
+  h.size <- h.size - 1;
+  if h.size > 0 then begin
+    h.arr.(0) <- h.arr.(h.size);
+    (* sift down *)
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let m = ref !i in
+      if l < h.size && less h.arr.(l) h.arr.(!m) then m := l;
+      if r < h.size && less h.arr.(r) h.arr.(!m) then m := r;
+      if !m = !i then continue := false
+      else begin
+        let tmp = h.arr.(!m) in
+        h.arr.(!m) <- h.arr.(!i);
+        h.arr.(!i) <- tmp;
+        i := !m
+      end
+    done
+  end
+
 let pop h =
   if h.size = 0 then None
   else begin
     let top = h.arr.(0) in
-    h.size <- h.size - 1;
-    if h.size > 0 then begin
-      h.arr.(0) <- h.arr.(h.size);
-      (* sift down *)
-      let i = ref 0 in
-      let continue = ref true in
-      while !continue do
-        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
-        let m = ref !i in
-        if l < h.size && less h.arr.(l) h.arr.(!m) then m := l;
-        if r < h.size && less h.arr.(r) h.arr.(!m) then m := r;
-        if !m = !i then continue := false
-        else begin
-          let tmp = h.arr.(!m) in
-          h.arr.(!m) <- h.arr.(!i);
-          h.arr.(!i) <- tmp;
-          i := !m
-        end
-      done
-    end;
+    remove_top h;
     Some (top.key, top.value)
+  end
+
+let pop_if_le h ~limit =
+  if h.size = 0 then None
+  else begin
+    let top = h.arr.(0) in
+    if top.key > limit then None
+    else begin
+      remove_top h;
+      Some (top.key, top.value)
+    end
   end
 
 let peek_key h = if h.size = 0 then None else Some h.arr.(0).key
 
+let iter h f =
+  for i = 0 to h.size - 1 do
+    let e = h.arr.(i) in
+    f e.key e.value
+  done
+
 let clear h =
+  (* drop the backing array so a cleared heap releases its entries *)
+  h.arr <- [||];
   h.size <- 0;
   h.next_seq <- 0

@@ -13,5 +13,14 @@ val push : 'a t -> key:int -> 'a -> unit
 val pop : 'a t -> (int * 'a) option
 (** Remove and return the minimum [(key, value)]. *)
 
+val pop_if_le : 'a t -> limit:int -> (int * 'a) option
+(** [pop] only if the minimum key is [<= limit]; a single root access
+    instead of the [peek_key]-then-[pop] double traversal. *)
+
 val peek_key : 'a t -> int option
+
+val iter : 'a t -> (int -> 'a -> unit) -> unit
+(** Visit every [(key, value)] in unspecified (heap) order. *)
+
 val clear : 'a t -> unit
+(** Empty the heap and release the backing array. *)

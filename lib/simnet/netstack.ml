@@ -77,6 +77,13 @@ let rec netctx t : Socket.netctx =
       {
         Socket.nc_now = (fun () -> Engine.now t.engine);
         nc_schedule = (fun delay fn -> Engine.schedule t.engine ~label:"net.timer" ~delay fn);
+        nc_new_timer =
+          (fun fn ->
+            let tm = Engine.timer ~label:"net.timer" fn in
+            {
+              Socket.nct_arm_in = (fun delay -> Engine.timer_arm_in t.engine tm ~delay);
+              nct_cancel = (fun () -> Engine.timer_cancel tm);
+            });
         nc_tx = (fun p -> Fabric.send t.fabric p);
         nc_new_socket = (fun kind -> new_socket t kind);
         nc_register_estab = (fun s -> register_estab t s);
@@ -318,6 +325,21 @@ let close t (s : Socket.t) =
       s.closed <- true;
       unregister t s
   end
+
+(* Freeze/thaw the TCP timers of every socket bound to [ip] (a pod's real
+   address).  Pod suspend/resume call these so a checkpoint-frozen pod's
+   network state stops and restarts with the pod instead of burning its
+   retransmission budget against the netfilter block. *)
+let iter_streams_on t ip f =
+  Hashtbl.iter
+    (fun _ (s : Socket.t) ->
+      match (s.kind, s.local) with
+      | Socket.Stream, Some l when Addr.equal_ip l.ip ip && s.tcb <> None -> f s
+      | (Socket.Stream | Socket.Dgram | Socket.Raw _), (Some _ | None) -> ())
+    t.socks
+
+let freeze_ip t ip = iter_streams_on t ip Tcp.net_freeze
+let thaw_ip t ip = iter_streams_on t ip Tcp.net_thaw
 
 let set_gm_handler t h = t.gm <- Some h
 let send_packet t p = Fabric.send t.fabric p

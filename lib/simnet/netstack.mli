@@ -44,6 +44,17 @@ val accept_take : Socket.t -> Socket.t option
 val sendto : t -> Socket.t -> Addr.t -> string -> (int, Errno.t) result
 val close : t -> Socket.t -> unit
 
+val freeze_ip : t -> Addr.ip -> unit
+(** Stop the TCP retransmission timers of every socket bound to [ip]: a
+    checkpoint-frozen pod's network state freezes with the pod (paper
+    section 5), so the netfilter-blocked window does not consume its
+    connections' retry budgets. *)
+
+val thaw_ip : t -> Addr.ip -> unit
+(** Undo {!freeze_ip}: reset each bound socket's backoff and re-arm its
+    retransmission timer so recovery starts promptly after the pod
+    resumes. *)
+
 val set_gm_handler : t -> (Packet.t -> string -> unit) -> unit
 (** Kernel-bypass device hook: Raw-IP packets with {!Gmdev.gm_proto} are
     handed to the device instead of the raw-socket path. *)

@@ -130,6 +130,7 @@ type t = {
   mutable closed : bool;
   mutable rd_waiters : (unit -> unit) list;
   mutable wr_waiters : (unit -> unit) list;
+  mutable rto_tm : nc_timer option;  (* lazily-created retransmission timer *)
   dispatch : dispatch;
   netctx : netctx;
 }
@@ -146,12 +147,21 @@ and dispatch = {
 and netctx = {
   nc_now : unit -> Simtime.t;
   nc_schedule : Simtime.t -> (unit -> unit) -> unit;
+  nc_new_timer : (unit -> unit) -> nc_timer;
   nc_tx : Packet.t -> unit;
   nc_new_socket : kind -> t;
   nc_register_estab : t -> unit;
   nc_unregister : t -> unit;
   nc_rng : Rng.t;
   nc_stats : net_stats;
+}
+
+(* A cancellable timer handed out by the owning stack (backed by
+   [Engine.timer]): re-arming moves the deadline instead of queueing
+   another closure, so per-ACK RTO restarts cost no queue traffic. *)
+and nc_timer = {
+  nct_arm_in : Simtime.t -> unit;
+  nct_cancel : unit -> unit;
 }
 
 (* Per-stack aggregate transport counters, shared by every socket of the
@@ -314,6 +324,7 @@ let create ~id ~kind ~netctx =
     closed = false;
     rd_waiters = [];
     wr_waiters = [];
+    rto_tm = None;
     dispatch = make_dispatch ();
     netctx;
   }

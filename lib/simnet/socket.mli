@@ -119,6 +119,7 @@ type t = {
   mutable closed : bool;
   mutable rd_waiters : (unit -> unit) list;
   mutable wr_waiters : (unit -> unit) list;
+  mutable rto_tm : nc_timer option;  (* lazily-created retransmission timer *)
   dispatch : dispatch;
   netctx : netctx;
 }
@@ -137,12 +138,21 @@ and dispatch = {
 and netctx = {
   nc_now : unit -> Simtime.t;
   nc_schedule : Simtime.t -> (unit -> unit) -> unit;
+  nc_new_timer : (unit -> unit) -> nc_timer;
   nc_tx : Packet.t -> unit;
   nc_new_socket : kind -> t;
   nc_register_estab : t -> unit;
   nc_unregister : t -> unit;
   nc_rng : Rng.t;
   nc_stats : net_stats;
+}
+
+(** A cancellable timer handed out by the owning stack: re-arming moves the
+    deadline instead of queueing another closure, so hot restart paths (RTO
+    on every ACK) stop flooding the event queue with dead closures. *)
+and nc_timer = {
+  nct_arm_in : Simtime.t -> unit;
+  nct_cancel : unit -> unit;
 }
 
 (** Per-stack aggregate transport counters (retransmissions fired,

@@ -78,21 +78,32 @@ let retx_len item = String.length item.rx_payload + (if item.rx_fin then 1 else 
 
 (* --- retransmission timer --- *)
 
+(* The RTO restarts on every ACK that advances [snd_una] — by far the
+   hottest (re-)arm path in the stack — so it runs on a cancellable
+   [nc_timer] (one per socket, created lazily): re-arming just moves the
+   deadline instead of queueing a fresh closure per ACK.  [rto_armed]
+   stays authoritative so a fire that raced a disarm is a no-op. *)
 let rec arm_rto s =
   let tcb = the_tcb s in
-  tcb.rto_gen <- tcb.rto_gen + 1;
   tcb.rto_armed <- true;
-  let gen = tcb.rto_gen in
-  s.netctx.nc_schedule tcb.rto (fun () -> on_rto s gen)
+  let tm =
+    match s.rto_tm with
+    | Some tm -> tm
+    | None ->
+      let tm = s.netctx.nc_new_timer (fun () -> on_rto s) in
+      s.rto_tm <- Some tm;
+      tm
+  in
+  tm.nct_arm_in tcb.rto
 
 and disarm_rto s =
   let tcb = the_tcb s in
-  tcb.rto_gen <- tcb.rto_gen + 1;
-  tcb.rto_armed <- false
+  tcb.rto_armed <- false;
+  match s.rto_tm with Some tm -> tm.nct_cancel () | None -> ()
 
-and on_rto s gen =
+and on_rto s =
   let tcb = the_tcb s in
-  if tcb.rto_armed && tcb.rto_gen = gen && not (Queue.is_empty tcb.retx) then begin
+  if tcb.rto_armed && not (Queue.is_empty tcb.retx) then begin
     let item = Queue.peek tcb.retx in
     item.rx_retries <- item.rx_retries + 1;
     tcb.retransmits <- tcb.retransmits + 1;
@@ -447,6 +458,32 @@ let refresh_keepalive s =
       s.netctx.nc_schedule
         (Simtime.sec (float_of_int (Stdlib.max 1 (Sockopt.get s.opts Sockopt.TCP_KEEPIDLE))))
         (fun () -> keepalive_tick s tcb.ka_gen)
+
+(* Checkpoint freeze/thaw (paper section 5): a frozen pod's network state —
+   including its retransmission timers — stops with the pod, and the thawed
+   stack retransmits with a fresh backoff.  Without this, periodic
+   checkpointing lets RTO backoff and the retry budget accumulate across
+   freeze windows until a perfectly healthy connection aborts with
+   ETIMEDOUT. *)
+let net_freeze s = match s.tcb with Some _ -> disarm_rto s | None -> ()
+
+let net_thaw s =
+  match s.tcb with
+  | None -> ()
+  | Some tcb ->
+    if not (Queue.is_empty tcb.retx) then begin
+      (* Kick: retransmit the head right away, like the restore path does
+         after refilling the send queue.  If the freeze window was shorter
+         than the (reset) RTO the timer alone would be disarmed again by
+         the next freeze before ever firing, deferring the retransmission
+         forever under back-to-back checkpoint epochs. *)
+      let item = Queue.peek tcb.retx in
+      item.rx_retries <- 0;
+      tcb.rto <- initial_rto;
+      emit s ~payload:item.rx_payload ~fin:item.rx_fin ~urg:item.rx_urg
+        ~seq:item.rx_seq ();
+      arm_rto s
+    end
 
 let send_pure_ack s = emit s ~seq:(the_tcb s).snd_nxt ()
 

@@ -68,3 +68,15 @@ val refresh_keepalive : Socket.t -> unit
     the connection resets with ETIMEDOUT.  Called automatically when a
     connection establishes, and by network-state restore after re-applying
     the saved socket options (the paper's keepalive-timer protocol state). *)
+
+val net_freeze : Socket.t -> unit
+(** Stop the retransmission timer: a checkpoint-frozen pod's network state
+    — timers included — freezes with the pod (paper section 5), so retries
+    are not burned against a netfilter-blocked address. *)
+
+val net_thaw : Socket.t -> unit
+(** Undo [net_freeze]: reset the backoff to the initial RTO, refresh the
+    head retry budget and re-arm if unacknowledged data is outstanding, so
+    a thawed connection recovers promptly instead of waiting out a backed-
+    off timer (and never aborts just because freeze windows kept landing on
+    its retransmissions). *)

@@ -1359,8 +1359,12 @@ and restore_standalone t op =
 let start_checkpoint ?incremental ?ctx t ~pod_id ~dest ~resume =
   start_ckpt_op ?incremental ?ctx t ~pod_id ~dest ~resume
 
-let handle_command t (msg : Protocol.to_agent) =
+let rec handle_command t (msg : Protocol.to_agent) =
   match msg with
+  | Protocol.A_batch items ->
+    (* tree mode puts a relay in front of the agent which unwraps bundles;
+       a bundle reaching the agent directly carries only local items *)
+    List.iter (fun (_, m) -> handle_command t m) items
   | Protocol.A_checkpoint { pod_id; dest; resume; incremental; ctx } ->
     start_checkpoint ~incremental ?ctx t ~pod_id ~dest ~resume
   | Protocol.A_continue { pod_id } ->
@@ -1391,6 +1395,11 @@ let attach_channel t (ch : Protocol.channel) =
   (* a broken Manager connection aborts every in-flight operation and lets
      the application resume (paper section 4) *)
   Control.on_break ch (fun () -> abort_all t)
+
+(* Hand a command to this agent directly — the entry point a tree
+   sub-coordinator ({!Relay}) uses after claiming the channel's down
+   handler for routing. *)
+let deliver = handle_command
 
 let set_peer_resolver t fn = t.peer_agents <- fn
 

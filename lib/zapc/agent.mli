@@ -30,6 +30,11 @@ val attach_channel : t -> Protocol.channel -> unit
 (** Wire the Manager connection; a broken channel aborts every in-flight
     operation and lets the applications resume (paper section 4). *)
 
+val deliver : t -> Protocol.to_agent -> unit
+(** Hand one command to this agent directly.  Hierarchical coordination
+    wires the channel's down handler to a {!Relay}, which dispatches
+    locally-addressed commands here after routing the rest. *)
+
 val set_peer_resolver : t -> (int -> t option) -> unit
 (** How to reach other Agents for direct migration streaming. *)
 

@@ -34,7 +34,90 @@ type t = {
   mutable next_vip_seq : int;
   mutable trace : Trace.t option;  (* the cluster-wide recorder, once enabled *)
   mutable flight : Zapc_obs.Flight.t option;
+  mutable relays : Relay.t list;  (* tree mode: one sub-coordinator per node *)
+  mutable tree_sig : int list;  (* alive set the current tree was formed over *)
 }
+
+(* --- node liveness (supervisor bookkeeping) --- *)
+
+let mark_node_dead t i = t.nodes.(i).n_alive <- false
+let mark_node_alive t i = t.nodes.(i).n_alive <- true
+let node_alive t i = t.nodes.(i).n_alive
+
+let alive_nodes t =
+  Array.to_list t.nodes
+  |> List.filter_map (fun n -> if n.n_alive then Some n.n_idx else None)
+
+(* --- hierarchical coordination (Params.tree_fanout > 0) ---
+
+   The control plane becomes a k-rooted k-ary forest laid over the sorted
+   alive-node list by position: positions 0..k-1 hang directly off the
+   Manager, position p >= k hangs off position (p-k)/k.  Every node gets a
+   fresh uplink channel; its Agent attaches first (keeping the on-break
+   abort), then a Relay claims the downward dispatch.  Re-forming closes
+   the old relays — stale traffic on abandoned edges is dropped, the
+   Manager's generation guards absorb any late reports. *)
+
+let form_tree t =
+  let k = t.params.Params.tree_fanout in
+  if k > 0 then begin
+    let alive = Array.of_list (alive_nodes t) in
+    let n = Array.length alive in
+    List.iter Relay.close t.relays;
+    t.relays <- [];
+    t.tree_sig <- Array.to_list alive;
+    let edges =
+      Array.map
+        (fun _ ->
+          Control.create ~engine:t.engine ~latency:t.params.Params.ctrl_latency
+            ~bps:t.params.Params.ctrl_bps)
+        alive
+    in
+    (* agents first: the Relay overrides the down handler afterwards *)
+    Array.iteri
+      (fun p _ -> Agent.attach_channel t.nodes.(alive.(p)).n_agent edges.(p))
+      alive;
+    (* direct children per coordinator position *)
+    let children_r = Array.make (max n 1) [] in
+    for q = n - 1 downto k do
+      let pr = (q - k) / k in
+      children_r.(pr) <- (alive.(q), edges.(q)) :: children_r.(pr)
+    done;
+    (* routing tables: walk each node up to its forest root, recording at
+       every coordinator on the path which child subtree holds it *)
+    let routes_m = ref [] in
+    let routes_r = Array.make (max n 1) [] in
+    for r = n - 1 downto 0 do
+      let p = ref r in
+      while !p >= k do
+        let pr = (!p - k) / k in
+        routes_r.(pr) <- (alive.(r), alive.(!p)) :: routes_r.(pr);
+        p := pr
+      done;
+      routes_m := (alive.(r), alive.(!p)) :: !routes_m
+    done;
+    let mgr_children =
+      List.init (min k n) (fun p -> (alive.(p), edges.(p)))
+    in
+    let edge_list = List.init n (fun p -> (alive.(p), edges.(p))) in
+    Manager.set_tree t.manager ~children:mgr_children ~routes:!routes_m
+      ~edges:edge_list;
+    t.relays <-
+      List.init n (fun p ->
+          Relay.create ~engine:t.engine ~params:t.params ~metrics:t.metrics
+            ~agent:t.nodes.(alive.(p)).n_agent ~node:alive.(p)
+            ~parent:edges.(p) ~children:children_r.(p) ~routes:routes_r.(p));
+    let rec depth p = if p < k then 1 else 1 + depth ((p - k) / k) in
+    Metrics.set_gauge t.metrics "mgr.tree.depth"
+      (float_of_int (if n = 0 then 0 else depth (n - 1)));
+    Metrics.set_gauge t.metrics "mgr.tree.nodes" (float_of_int n)
+  end
+
+let reform_tree t =
+  if t.params.Params.tree_fanout > 0 then begin
+    let alive = alive_nodes t in
+    if alive <> t.tree_sig then form_tree t
+  end
 
 let make ?(seed = 42) ?(cpus = 1) ~params ~node_count () =
   let engine = Engine.create ~seed () in
@@ -68,21 +151,26 @@ let make ?(seed = 42) ?(cpus = 1) ~params ~node_count () =
   let manager = Manager.create ~metrics ~engine ~params ~storage ~alloc_rip () in
   let t =
     { engine; fabric; storage; params; nodes; manager; metrics;
-      next_pod_id = 1; next_vip_seq = 0; trace = None; flight = None }
+      next_pod_id = 1; next_vip_seq = 0; trace = None; flight = None;
+      relays = []; tree_sig = [] }
   in
   (* the engine profiler is opt-in (Params knob): the default hot path
      schedules closures unwrapped *)
   if params.Params.profile_engine then Engine.set_profiling engine true;
   Array.iter
     (fun n ->
-      let ch =
-        Control.create ~engine ~latency:params.Params.ctrl_latency ~bps:params.Params.ctrl_bps
-      in
-      Manager.attach_agent manager ~node:n.n_idx ch;
-      Agent.attach_channel n.n_agent ch;
       Agent.set_peer_resolver n.n_agent (fun idx ->
-          if idx >= 0 && idx < Array.length nodes then Some nodes.(idx).n_agent else None))
+          if idx >= 0 && idx < Array.length nodes then Some nodes.(idx).n_agent else None);
+      if params.Params.tree_fanout = 0 then begin
+        (* flat topology: one direct channel per node *)
+        let ch =
+          Control.create ~engine ~latency:params.Params.ctrl_latency ~bps:params.Params.ctrl_bps
+        in
+        Manager.attach_agent manager ~node:n.n_idx ch;
+        Agent.attach_channel n.n_agent ch
+      end)
     nodes;
+  if params.Params.tree_fanout > 0 then form_tree t;
   (* network-layer gauges, sampled at snapshot time (collect style) *)
   Metrics.gauge_fn metrics "net.fabric.packets_delivered" (fun () ->
       float_of_int (Fabric.packets_delivered fabric));
@@ -117,16 +205,6 @@ let metrics t = t.metrics
 let node t i = t.nodes.(i)
 let node_count t = Array.length t.nodes
 let now t = Engine.now t.engine
-
-(* --- node liveness (supervisor bookkeeping) --- *)
-
-let mark_node_dead t i = t.nodes.(i).n_alive <- false
-let mark_node_alive t i = t.nodes.(i).n_alive <- true
-let node_alive t i = t.nodes.(i).n_alive
-
-let alive_nodes t =
-  Array.to_list t.nodes
-  |> List.filter_map (fun n -> if n.n_alive then Some n.n_idx else None)
 
 let alloc_vip t =
   t.next_vip_seq <- t.next_vip_seq + 1;

@@ -52,6 +52,15 @@ val node_alive : t -> int -> bool
 val alive_nodes : t -> int list
 (** Indices of nodes still believed alive, ascending. *)
 
+val reform_tree : t -> unit
+(** Re-form the hierarchical control tree over the currently alive nodes:
+    fresh uplink channels, new {!Relay}s (old ones retired), the Manager's
+    children/routes replaced ({!Manager.set_tree}).  A no-op in flat mode
+    ([Params.tree_fanout] = 0) or when the alive set is unchanged since the
+    last formation.  The supervisor calls this the moment it declares a
+    node dead — {e before} recovery — so restart commands never route
+    through the dead hop. *)
+
 val alloc_vip : t -> Addr.ip
 (** Fresh virtual address (10.77.0.0/16 pool, disjoint from real subnets). *)
 

@@ -85,7 +85,25 @@ type t = {
   engine : Engine.t;
   params : Params.t;
   storage : Storage.t;
-  channels : (int, Protocol.channel) Hashtbl.t;  (* node -> channel *)
+  channels : (int, Protocol.channel) Hashtbl.t;
+  (* node -> direct channel: every node in the flat topology, only the
+     manager's direct children once a tree is installed *)
+  routes : (int, int) Hashtbl.t;
+  (* hierarchical coordination: node -> the direct child whose subtree
+     contains it (every tree node appears, children map to themselves);
+     empty in the flat topology, where sends go straight to [channels] *)
+  edges : (int, Protocol.channel) Hashtbl.t;
+  (* tree mode: node -> the channel its PARENT uses to reach it, for every
+     node — lets fault injection sever (or hang) any node's uplink even
+     when the manager is not that parent *)
+  out_buf : (int, (int * Protocol.to_agent) list) Hashtbl.t;
+  (* per-first-hop command bundle under assembly (items reversed); drained
+     by a same-instant flush so one broadcast loop becomes one A_batch per
+     direct child *)
+  mutable out_flush : bool;  (* a flush event is already scheduled *)
+  mutable proc_free : Simtime.t;
+  (* serial control-plane CPU: the instant the manager finishes processing
+     its current message backlog (Params.ctrl_proc per message) *)
   alloc_rip : int -> Addr.ip;
   infos : (int, pod_info) Hashtbl.t;
   metrics : Metrics.t;
@@ -105,7 +123,10 @@ let create ?metrics ~engine ~params ~storage ~alloc_rip () =
   let metrics =
     match metrics with Some m -> m | None -> Metrics.create ()
   in
-  { engine; params; storage; channels = Hashtbl.create 8; alloc_rip;
+  { engine; params; storage; channels = Hashtbl.create 8;
+    routes = Hashtbl.create 8; edges = Hashtbl.create 8;
+    out_buf = Hashtbl.create 8; out_flush = false; proc_free = Simtime.zero;
+    alloc_rip;
     infos = Hashtbl.create 16; metrics; trace = None; current = None;
     mig = None; gen = 0; last_critpath = None;
     on_pong = (fun ~node:_ ~seq:_ -> ());
@@ -150,7 +171,78 @@ let channel_to t node =
   | Some ch -> ch
   | None -> invalid_arg (Printf.sprintf "Manager: no agent channel for node %d" node)
 
-let send t node msg = Control.send_down (channel_to t node) ~bytes:(Protocol.to_agent_bytes msg) msg
+(* Serial control-plane CPU: every message the manager sends or receives
+   costs [ctrl_proc] of a single server — the per-message overhead that
+   turns N direct channels into a root bottleneck at cluster scale (a tree
+   batch counts as one message).  Zero cost (the default) runs [fn] inline,
+   keeping the flat topology bit-identical to the uncosted behaviour. *)
+let proc t fn =
+  if t.params.Params.ctrl_proc = Simtime.zero then fn ()
+  else begin
+    let now = Engine.now t.engine in
+    let start = if Simtime.compare t.proc_free now > 0 then t.proc_free else now in
+    let fin = Simtime.add start t.params.Params.ctrl_proc in
+    t.proc_free <- fin;
+    Engine.schedule_at t.engine ~label:"mgr.proc" ~at:fin fn
+  end
+
+let send_direct t ch msg =
+  proc t (fun () ->
+      Control.send_down ch ~bytes:(Protocol.to_agent_bytes msg) msg)
+
+(* Drain the per-hop command bundles: each direct child gets its subtree's
+   commands as ONE [A_batch] message (one proc slot, one frame), fanned out
+   further by the relays.  Hops are flushed in node order so seeded runs
+   stay deterministic. *)
+let flush_out t =
+  t.out_flush <- false;
+  let hops =
+    Hashtbl.fold (fun hop items acc -> (hop, List.rev items) :: acc) t.out_buf []
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  in
+  Hashtbl.reset t.out_buf;
+  List.iter
+    (fun (hop, items) ->
+      match Hashtbl.find_opt t.channels hop with
+      | Some ch when not (Control.is_broken ch) ->
+        Metrics.incr t.metrics "mgr.tree.down_batches";
+        Metrics.add t.metrics "mgr.tree.down_msgs" (List.length items);
+        send_direct t ch (Protocol.A_batch items)
+      | Some _ | None -> ())
+    hops
+
+let enqueue_routed t hop node msg =
+  let prev =
+    match Hashtbl.find_opt t.out_buf hop with Some l -> l | None -> []
+  in
+  Hashtbl.replace t.out_buf hop ((node, msg) :: prev);
+  if not t.out_flush then begin
+    t.out_flush <- true;
+    (* same-instant flush: every send of the current broadcast loop lands
+       in this bundle *)
+    Engine.schedule t.engine ~label:"mgr.fanout" ~delay:Simtime.zero (fun () ->
+        flush_out t)
+  end
+
+(* [strict] raises on a missing channel (operation sends assume the wiring
+   exists); non-strict sends vanish silently, which is what the abort and
+   heartbeat paths want when a node is already gone. *)
+let send_via t ~strict node msg =
+  match Hashtbl.find_opt t.routes node with
+  | Some hop ->
+    (match Hashtbl.find_opt t.channels hop with
+     | Some ch when not (Control.is_broken ch) -> enqueue_routed t hop node msg
+     | Some _ -> ()
+     | None -> if strict then ignore (channel_to t hop))
+  | None ->
+    if strict then send_direct t (channel_to t node) msg
+    else (
+      match Hashtbl.find_opt t.channels node with
+      | Some ch when not (Control.is_broken ch) -> send_direct t ch msg
+      | Some _ | None -> ())
+
+let send t node msg = send_via t ~strict:true node msg
+let send_opt t node msg = send_via t ~strict:false node msg
 
 let remember_pod t ~pod_id ~name ~vip meta =
   Hashtbl.replace t.infos pod_id { pi_vip = vip; pi_name = name; pi_meta = meta }
@@ -240,16 +332,10 @@ let fail_op t failure =
         | `Mig_restore -> "mig_restore"
       in
       trace t (Printf.sprintf "op_failed:%s" kind);
-      (* abort everyone still involved; skip nodes whose channel is gone
-         (the abort path must itself survive a broken channel) *)
+      (* abort everyone still involved; skip nodes whose channel (or route)
+         is gone — the abort path must itself survive a broken channel *)
       List.iter
-        (fun (pod, node) ->
-          match Hashtbl.find_opt t.channels node with
-          | Some ch when not (Control.is_broken ch) ->
-            Control.send_down ch
-              ~bytes:(Protocol.to_agent_bytes (Protocol.A_abort { pod_id = pod }))
-              (Protocol.A_abort { pod_id = pod })
-          | Some _ | None -> ())
+        (fun (pod, node) -> send_opt t node (Protocol.A_abort { pod_id = pod }))
         p.p_items;
       finish t
         { r_ok = false; r_failure = Some failure;
@@ -289,9 +375,53 @@ let arm_phase_timeout t (p : pending) (phase : Protocol.phase) =
         | Some _ | None -> ())
   end
 
-let on_agent_message t (msg : Protocol.to_manager) =
+(* A broken channel normally fails the operation outright.  One exception:
+   losing the *source* during a migration's copy phase is only fatal if the
+   destination has not committed.  The break and the destination's
+   M_migrate_done race on independent channels, so wait a few control
+   latencies for an in-flight commit to land before deciding.  In tree mode
+   the same logic serves breaks the manager hears about second-hand
+   ([M_subtree_down] from a relay whose child edge severed). *)
+let channel_broke t ~node =
+  match t.mig, t.current with
+  | Some mg, Some p when p.p_kind = `Mig_copy && node = mg.mg_src ->
+    let gen = p.p_gen in
+    trace t "mig_src_break";
+    Engine.schedule_at t.engine ~label:"mgr.mig_grace"
+      ~at:(Simtime.add (Engine.now t.engine) (5 * t.params.ctrl_latency))
+      (fun () ->
+        match t.mig, t.current with
+        | Some mg', Some p' when mg' == mg && p' == p && p'.p_gen = gen
+                                 && mg.mg_gen = gen ->
+          if mg.mg_committed then begin
+            (* the destination copy already won: the pod survives there *)
+            Metrics.incr t.metrics "mgr.mig.src_lost_after_commit";
+            trace t
+              (Printf.sprintf "mig_src_lost:pod%d->node%d" mg.mg_pod mg.mg_dest);
+            p.p_wait_meta <- [];
+            p.p_wait_done <- [];
+            finish t
+              { r_ok = true; r_failure = None; r_detail = "";
+                r_duration = Simtime.sub (Engine.now t.engine) p.p_started;
+                r_stats = p.p_stats; r_metas = p.p_metas }
+          end
+          else fail_op t (Protocol.F_channel { node })
+        | _ -> ())
+  | _ -> fail_op t (Protocol.F_channel { node })
+
+let rec on_agent_message t (msg : Protocol.to_manager) =
   (* heartbeat replies are independent of any running operation *)
   match msg with
+  | Protocol.M_batch items ->
+    (* one aggregated frame from a direct child's subtree (already one proc
+       slot); the reports inside are handled in arrival order *)
+    Metrics.incr t.metrics "mgr.tree.up_batches";
+    Metrics.add t.metrics "mgr.tree.up_msgs" (List.length items);
+    List.iter (fun m -> on_agent_message t m) items
+  | Protocol.M_subtree_down { node } ->
+    Metrics.incr t.metrics "mgr.tree.subtree_down";
+    trace t (Printf.sprintf "subtree_down:node%d" node);
+    channel_broke t ~node
   | Protocol.M_pong { node; seq } -> t.on_pong ~node ~seq
   | Protocol.M_migrate_round { stats; _ } ->
     (match t.mig, t.current with
@@ -324,7 +454,8 @@ let on_agent_message t (msg : Protocol.to_manager) =
   | None -> ()
   | Some p ->
     (match msg with
-     | Protocol.M_pong _ | Protocol.M_migrate_round _ | Protocol.M_migrate_done _ ->
+     | Protocol.M_pong _ | Protocol.M_migrate_round _ | Protocol.M_migrate_done _
+     | Protocol.M_batch _ | Protocol.M_subtree_down _ ->
        ()  (* handled above *)
      | Protocol.M_meta { pod_id; meta; _ } ->
        p.p_metas <- meta :: p.p_metas;
@@ -369,52 +500,50 @@ let on_agent_message t (msg : Protocol.to_manager) =
                r_stats = p.p_stats; r_metas = p.p_metas }
        end)
 
-(* A broken channel normally fails the operation outright.  One exception:
-   losing the *source* during a migration's copy phase is only fatal if the
-   destination has not committed.  The break and the destination's
-   M_migrate_done race on independent channels, so wait a few control
-   latencies for an in-flight commit to land before deciding. *)
-let channel_broke t ~node =
-  match t.mig, t.current with
-  | Some mg, Some p when p.p_kind = `Mig_copy && node = mg.mg_src ->
-    let gen = p.p_gen in
-    trace t "mig_src_break";
-    Engine.schedule_at t.engine ~label:"mgr.mig_grace"
-      ~at:(Simtime.add (Engine.now t.engine) (5 * t.params.ctrl_latency))
-      (fun () ->
-        match t.mig, t.current with
-        | Some mg', Some p' when mg' == mg && p' == p && p'.p_gen = gen
-                                 && mg.mg_gen = gen ->
-          if mg.mg_committed then begin
-            (* the destination copy already won: the pod survives there *)
-            Metrics.incr t.metrics "mgr.mig.src_lost_after_commit";
-            trace t
-              (Printf.sprintf "mig_src_lost:pod%d->node%d" mg.mg_pod mg.mg_dest);
-            p.p_wait_meta <- [];
-            p.p_wait_done <- [];
-            finish t
-              { r_ok = true; r_failure = None; r_detail = "";
-                r_duration = Simtime.sub (Engine.now t.engine) p.p_started;
-                r_stats = p.p_stats; r_metas = p.p_metas }
-          end
-          else fail_op t (Protocol.F_channel { node })
-        | _ -> ())
-  | _ -> fail_op t (Protocol.F_channel { node })
-
 let attach_agent t ~node (ch : Protocol.channel) =
   Hashtbl.replace t.channels node ch;
-  Control.set_up_handler ch (fun msg -> on_agent_message t msg);
+  (* receiving costs one proc slot per channel message (a batch is one) *)
+  Control.set_up_handler ch (fun msg -> proc t (fun () -> on_agent_message t msg));
   Control.on_break ch (fun () -> channel_broke t ~node)
 
-(* failure injection for tests and demos: sever the control connection to
-   one Agent (both sides then abort, per section 4) *)
-let break_channel t ~node =
-  match Hashtbl.find_opt t.channels node with
-  | Some ch -> Control.break ch
-  | None -> ()
+(* (Re)install the hierarchical topology: [children] are the manager's
+   direct sub-coordinators with their edges, [routes] maps every tree node
+   to its first-hop child, and [edges] maps every node to the channel its
+   parent reaches it by.  Replaces whatever topology was installed before —
+   the Cluster re-forms the tree over the surviving nodes after a
+   recovery. *)
+let set_tree t ~children ~routes ~edges =
+  Hashtbl.reset t.channels;
+  Hashtbl.reset t.routes;
+  Hashtbl.reset t.edges;
+  Hashtbl.reset t.out_buf;
+  List.iter (fun (node, ch) -> attach_agent t ~node ch) children;
+  List.iter (fun (node, hop) -> Hashtbl.replace t.routes node hop) routes;
+  List.iter (fun (node, ch) -> Hashtbl.replace t.edges node ch) edges;
+  Metrics.set_gauge t.metrics "mgr.tree.children"
+    (float_of_int (List.length children))
 
-let agent_channel t ~node = Hashtbl.find_opt t.channels node
-let agent_nodes t = Hashtbl.fold (fun n _ acc -> n :: acc) t.channels [] |> List.sort Int.compare
+(* failure injection for tests and demos: sever the control connection to
+   one Agent (both sides then abort, per section 4).  In tree mode the
+   severed link is the node's uplink from its parent, wherever that is. *)
+let break_channel t ~node =
+  match Hashtbl.find_opt t.edges node with
+  | Some ch -> Control.break ch
+  | None ->
+    (match Hashtbl.find_opt t.channels node with
+     | Some ch -> Control.break ch
+     | None -> ())
+
+let agent_channel t ~node =
+  match Hashtbl.find_opt t.edges node with
+  | Some _ as ch -> ch
+  | None -> Hashtbl.find_opt t.channels node
+
+let agent_nodes t =
+  (if Hashtbl.length t.edges > 0 then
+     Hashtbl.fold (fun n _ acc -> n :: acc) t.edges []
+   else Hashtbl.fold (fun n _ acc -> n :: acc) t.channels [])
+  |> List.sort Int.compare
 
 (* --- heartbeats --- *)
 
@@ -422,13 +551,7 @@ let set_on_pong t fn = t.on_pong <- fn
 
 (* Probe one Agent; pings to missing or broken channels vanish silently —
    that silence is exactly what the supervisor counts as a missed beat. *)
-let ping t ~node ~seq =
-  match Hashtbl.find_opt t.channels node with
-  | Some ch when not (Control.is_broken ch) ->
-    Control.send_down ch
-      ~bytes:(Protocol.to_agent_bytes (Protocol.A_ping { seq }))
-      (Protocol.A_ping { seq })
-  | Some _ | None -> ()
+let ping t ~node ~seq = send_opt t node (Protocol.A_ping { seq })
 
 (* --- checkpoint --- *)
 

@@ -56,6 +56,23 @@ val create :
 val metrics : t -> Zapc_obs.Metrics.t
 
 val attach_agent : t -> node:int -> Protocol.channel -> unit
+(** Wire one node's control channel directly to the manager (the flat
+    topology, and the manager's own children of a tree). *)
+
+val set_tree : t ->
+  children:(int * Protocol.channel) list ->
+  routes:(int * int) list ->
+  edges:(int * Protocol.channel) list ->
+  unit
+(** (Re)install a hierarchical topology: [children] are the manager's
+    direct sub-coordinators, [routes] maps every deeper node to the direct
+    child whose subtree contains it (children map to themselves), and
+    [edges] maps every node to the channel its parent reaches it by (fault
+    injection severs uplinks through it).  Replaces any topology installed
+    before — {!Cluster.reform_tree} calls this over the surviving nodes
+    after a recovery.  Commands to routed nodes are bundled per direct
+    child ({!Protocol.to_agent.A_batch}) and fanned out by the {!Relay}s;
+    subtree reports arrive aggregated ({!Protocol.to_manager.M_batch}). *)
 
 val set_trace : t -> Trace.t -> unit
 (** Record broadcast/synchronization instants (Figure 2). *)

@@ -12,6 +12,20 @@ type t = {
   (* Manager <-> Agent control plane *)
   ctrl_latency : Simtime.t;
   ctrl_bps : float;
+  ctrl_proc : Simtime.t;
+  (* serial CPU cost of sending or receiving one control message at a
+     coordinator (the Manager or a tree sub-coordinator): marshalling plus
+     the syscall/wakeup.  This is the per-message overhead that makes N
+     direct channels converge into a root bottleneck at cluster scale; a
+     batch forwarded through the tree counts as ONE message.  Zero (the
+     default) disables the cost model entirely — handlers run inline and
+     the flat configuration is bit-identical to earlier behaviour. *)
+  tree_fanout : int;
+  (* hierarchical coordination: fan-out of the sub-coordinator tree the
+     control plane is organized into (the manager talks to [tree_fanout]
+     direct children; each relays for a k-ary subtree, aggregating acks
+     upward and fanning commands out downward).  0 (the default) keeps the
+     flat topology: one direct channel per node. *)
   (* checkpoint-restart cost model *)
   per_proc_ckpt : Simtime.t;  (* fixed kernel work to save one process *)
   per_proc_restore : Simtime.t;
@@ -80,6 +94,8 @@ let default =
     kconfig = Kconfig.default;
     ctrl_latency = Simtime.us 120;
     ctrl_bps = 1e9;
+    ctrl_proc = Simtime.zero;
+    tree_fanout = 0;
     per_proc_ckpt = Simtime.us 400;
     per_proc_restore = Simtime.us 700;
     per_socket_ckpt = Simtime.us 400;

@@ -182,11 +182,23 @@ let no_snapshot_result =
     r_detail = "no completed snapshot"; r_duration = Simtime.zero;
     r_stats = []; r_metas = [] }
 
-(* Tear down whatever survives of the group ahead of a restart. *)
+(* Tear down whatever survives of the group ahead of a restart.  The
+   hosting Agent must drop its registration too: the restart may place the
+   pod on a different node, and a stale entry would leave the old Agent
+   listing (and willing to operate on) a pod that now lives elsewhere. *)
 let destroy_survivors t =
   List.iter
     (fun pod_id ->
-      match Pod.find pod_id with Some pod -> Pod.destroy pod | None -> ())
+      match Pod.find pod_id with
+      | Some pod ->
+        (match
+           Zapc_simnet.Fabric.node_of_ip (Cluster.fabric t.cluster) pod.Pod.rip
+         with
+         | Some node ->
+           Agent.forget_pod (Cluster.node t.cluster node).Cluster.n_agent pod_id
+         | None -> ());
+        Pod.destroy pod
+      | None -> ())
     (pod_ids t)
 
 (* Recover the application from the last good epoch onto [target_nodes]

@@ -116,6 +116,12 @@ type to_agent =
       dirty_threshold : float;  (* converged when round dirty <= this x full *)
       ctx : trace_ctx option;
     }
+  | A_batch of (int * to_agent) list
+      (* hierarchical coordination: a bundle of addressed commands sent as
+         ONE control message down a tree edge.  Each (node, msg) item is
+         delivered locally when [node] is the receiver, else forwarded
+         toward it (re-bundled per next hop).  Never nested: coordinators
+         flatten before forwarding. *)
 
 type to_manager =
   | M_meta of { node : int; pod_id : int; meta : Meta.pod_meta; meta_bytes : int }
@@ -130,9 +136,16 @@ type to_manager =
       precopy_bytes : int;  (* bytes shipped before the stop-and-copy *)
       forced : bool;  (* round cap hit without converging *)
     }
+  | M_batch of to_manager list
+      (* hierarchical coordination: reports from one subtree aggregated into
+         ONE control message up a tree edge (flattened, never nested) *)
+  | M_subtree_down of { node : int }
+      (* a sub-coordinator's edge to child [node] broke: that whole subtree
+         is unreachable.  Relayed up so the Manager can abort exactly as if
+         its own channel to [node] had broken. *)
 
 (* Rough message sizes for the control-plane cost model. *)
-let to_agent_bytes = function
+let rec to_agent_bytes = function
   | A_checkpoint _ -> 64
   | A_continue _ -> 16
   | A_abort _ -> 16
@@ -143,13 +156,20 @@ let to_agent_bytes = function
     + (List.length r.entries * 64)
     + (List.length r.vip_map * 8)
     + List.fold_left (fun acc (_, d) -> acc + String.length d) 0 r.extra_altq
+  | A_batch items ->
+    (* one frame: per-item routing header + payload, amortizing the
+       per-message framing the flat topology pays N times *)
+    List.fold_left (fun acc (_, m) -> acc + 8 + to_agent_bytes m) 16 items
 
-let to_manager_bytes = function
+let rec to_manager_bytes = function
   | M_meta m -> 32 + m.meta_bytes
   | M_done _ -> 64
   | M_pong _ -> 16
   | M_migrate_round _ -> 48
   | M_migrate_done _ -> 32
+  | M_batch items ->
+    List.fold_left (fun acc m -> acc + 4 + to_manager_bytes m) 16 items
+  | M_subtree_down _ -> 16
 
 (* --- Value codecs ---
 
@@ -216,7 +236,7 @@ let ctx_of_body b =
       { tc_op = Value.to_int (Value.field "op" cv);
         tc_parent = Value.to_int (Value.field "parent" cv) }
 
-let to_agent_to_value = function
+let rec to_agent_to_value = function
   | A_checkpoint { pod_id; dest; resume; incremental; ctx } ->
     Value.tag "checkpoint"
       (Value.assoc
@@ -246,8 +266,11 @@ let to_agent_to_value = function
             ("max_rounds", Value.int max_rounds);
             ("dirty_threshold", Value.Float dirty_threshold) ]
           @ ctx_entries ctx))
+  | A_batch items ->
+    Value.tag "batch"
+      (Value.list (Value.pair Value.int to_agent_to_value) items)
 
-let to_agent_of_value v =
+let rec to_agent_of_value v =
   match Value.to_tag v with
   | "checkpoint", b ->
     A_checkpoint
@@ -281,9 +304,11 @@ let to_agent_of_value v =
         max_rounds = Value.to_int (Value.field "max_rounds" b);
         dirty_threshold = Value.to_float (Value.field "dirty_threshold" b);
         ctx = ctx_of_body b }
+  | "batch", b ->
+    A_batch (Value.to_list (Value.to_pair Value.to_int to_agent_of_value) b)
   | tag, _ -> Value.decode_error "bad to_agent tag %s" tag
 
-let to_manager_to_value = function
+let rec to_manager_to_value = function
   | M_meta { node; pod_id; meta; meta_bytes } ->
     Value.tag "meta"
       (Value.assoc
@@ -309,8 +334,10 @@ let to_manager_to_value = function
            ("rounds", Value.int rounds);
            ("precopy_bytes", Value.int precopy_bytes);
            ("forced", Value.bool forced) ])
+  | M_batch items -> Value.tag "batch" (Value.list to_manager_to_value items)
+  | M_subtree_down { node } -> Value.tag "subtree_down" (Value.int node)
 
-let to_manager_of_value v =
+let rec to_manager_of_value v =
   match Value.to_tag v with
   | "meta", b ->
     M_meta
@@ -341,6 +368,8 @@ let to_manager_of_value v =
         rounds = Value.to_int (Value.field "rounds" b);
         precopy_bytes = Value.to_int (Value.field "precopy_bytes" b);
         forced = Value.to_bool (Value.field "forced" b) }
+  | "batch", b -> M_batch (Value.to_list to_manager_of_value b)
+  | "subtree_down", b -> M_subtree_down { node = Value.to_int b }
   | tag, _ -> Value.decode_error "bad to_manager tag %s" tag
 
 type channel = (to_manager, to_agent) Control.t

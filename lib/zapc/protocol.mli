@@ -108,6 +108,11 @@ type to_agent =
               of the pod's full image *)
       ctx : trace_ctx option;
     }
+  | A_batch of (int * to_agent) list
+      (** hierarchical coordination: a bundle of addressed commands carried
+          as one control message down a tree edge.  Each [(node, msg)] item
+          is delivered locally when [node] is the receiver, else re-bundled
+          per next hop and forwarded.  Never nested. *)
 
 type to_manager =
   | M_meta of { node : int; pod_id : int; meta : Meta.pod_meta; meta_bytes : int }
@@ -122,6 +127,14 @@ type to_manager =
       precopy_bytes : int;  (** bytes shipped before the stop-and-copy *)
       forced : bool;  (** round cap hit without converging *)
     }
+  | M_batch of to_manager list
+      (** hierarchical coordination: reports from one subtree aggregated
+          into one control message up a tree edge (flattened, never
+          nested) *)
+  | M_subtree_down of { node : int }
+      (** a sub-coordinator's edge to child [node] broke — its whole
+          subtree is unreachable; the Manager aborts exactly as if its own
+          channel to [node] had broken *)
 
 val to_agent_bytes : to_agent -> int
 (** Approximate message size for the control-plane cost model. *)

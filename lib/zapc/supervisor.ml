@@ -59,6 +59,7 @@ type t = {
   mutable last_recovered : Simtime.t option;
   mutable recover_span : int;  (* open [sup_recover] span id, -1 when none *)
   mutable log : (Simtime.t * string) list;  (* newest first *)
+  mutable beat_tm : Engine.timer option;  (* cancellable heartbeat timer *)
 }
 
 let now t = Engine.now (Cluster.engine t.cluster)
@@ -126,9 +127,20 @@ let unrecoverable (r : Manager.op_result) =
   | Some (Protocol.F_missing_image _) -> true
   | Some _ | None -> false
 
+(* The heartbeat rides a cancellable timer so [stop] retires the pending
+   trampoline instead of leaving a dead closure to fire into a stopped
+   supervisor. *)
 let rec schedule_beat t =
-  Engine.schedule (Cluster.engine t.cluster) ~label:"sup.beat"
-    ~delay:t.params.Params.heartbeat_period (fun () -> beat t)
+  let tm =
+    match t.beat_tm with
+    | Some tm -> tm
+    | None ->
+      let tm = Engine.timer ~label:"sup.beat" (fun () -> beat t) in
+      t.beat_tm <- Some tm;
+      tm
+  in
+  Engine.timer_arm_in (Cluster.engine t.cluster) tm
+    ~delay:t.params.Params.heartbeat_period
 
 and beat t =
   match t.state with
@@ -165,6 +177,10 @@ and beat t =
          dead;
        t.last_detect <- Some (now t);
        Metrics.set_gauge (reg t) "sup.last_detect_ms" (Simtime.to_ms (now t));
+       (* tree mode: re-form the control hierarchy over the survivors NOW,
+          before any recovery traffic — restart commands routed through a
+          dead relay hop would vanish and every attempt would time out *)
+       Cluster.reform_tree t.cluster;
        t.state <- Recovering;
        t.attempts <- 0;
        recover_span_begin t;
@@ -275,6 +291,7 @@ let start ?trace cluster service =
       last_recovered = None;
       recover_span = -1;
       log = [];
+      beat_tm = None;
     }
   in
   Manager.set_on_pong (Cluster.manager cluster) (fun ~node ~seq ->
@@ -298,7 +315,9 @@ let start ?trace cluster service =
   schedule_beat t;
   t
 
-let stop t = t.state <- Stopped
+let stop t =
+  t.state <- Stopped;
+  match t.beat_tm with Some tm -> Engine.timer_cancel tm | None -> ()
 
 let state t = t.state
 let watched t = t.watched

@@ -871,6 +871,61 @@ let test_failed_epoch_gc () =
     svc_keys;
   assert_clean "failed-epoch-gc" cluster fs
 
+(* Tentpole scenario: hierarchical coordination under fire.  Fanout 3 over
+   13 nodes hangs subtree {6,7,8} under node 1, which also hosts a pod; the
+   node crashes in the checkpoint's ack-aggregation window.  The root must
+   abort cleanly (no pod left paused anywhere — including deep under the
+   severed hop), the supervisor detects the death, re-forms the tree over
+   the 12 survivors BEFORE recovering, and subsequent periodic epochs
+   checkpoint successfully over the re-formed topology. *)
+let test_tree_subcoordinator_crash () =
+  let params = { avail_params with Params.tree_fanout = 3 } in
+  let cluster = make_cluster ~params ~nodes:13 () in
+  let fs = Faultsim.create cluster in
+  let app =
+    Launch.launch cluster ~name:"bt" ~program:"bt_nas" ~placement:[ 0; 1; 4; 5 ]
+      ~app_args:(bt_args 96 400) ()
+  in
+  Cluster.run cluster ~until:(Simtime.ms 5) ();
+  let svc =
+    Periodic.start cluster ~pods:app.Launch.pods ~prefix:"tree"
+      ~period:(Simtime.ms 50) ~keep:2 ()
+  in
+  let sup = Supervisor.start ~trace:(Faultsim.trace fs) cluster svc in
+  Cluster.run_until cluster ~timeout:(Simtime.sec 30.0) (fun () ->
+      Periodic.last_good svc >= 1 && not (Manager.busy (Cluster.manager cluster)));
+  let reg = Cluster.metrics cluster in
+  check tbool "commands flowed through the tree" true
+    (Zapc_obs.Metrics.counter reg "mgr.tree.down_batches" > 0);
+  check tbool "reports were aggregated by the relays" true
+    (Zapc_obs.Metrics.counter reg "relay.up_batches" > 0);
+  check tbool "formed over all 13 nodes" true
+    (Zapc_obs.Metrics.gauge reg "mgr.tree.nodes" = 13.0);
+  Faultsim.install fs
+    { fault = Crash_node { node = 1 };
+      trigger = On_phase { phase = "meta_sent"; pod = None; skip = 0 } };
+  Cluster.run_until cluster ~timeout:(Simtime.sec 60.0) (fun () ->
+      Supervisor.recoveries sup >= 1 || Supervisor.gave_up sup);
+  check tbool "supervisor recovered (did not give up)" true
+    (Supervisor.recoveries sup = 1);
+  check tbool "tree re-formed over the 12 survivors" true
+    (Zapc_obs.Metrics.gauge reg "mgr.tree.nodes" = 12.0);
+  (* epochs keep completing through the re-formed hierarchy *)
+  let good = Periodic.last_good svc in
+  Cluster.run_until cluster ~timeout:(Simtime.sec 30.0) (fun () ->
+      Periodic.last_good svc > good && not (Manager.busy (Cluster.manager cluster)));
+  Cluster.run_until cluster ~timeout:(Simtime.sec 2400.0) (fun () ->
+      has_log "bt_nas: checksum");
+  Supervisor.stop sup;
+  Periodic.stop svc;
+  Cluster.run cluster ~until:(Simtime.add (Cluster.now cluster) (Simtime.ms 200)) ();
+  (* "no orphaned paused pods": assert_clean audits every surviving node,
+     including the re-attached pod-free subtree, for frozen pods and leaked
+     in-flight operations *)
+  assert_clean "tree-subcoordinator-crash" cluster fs;
+  check tbool "watch set moved off the dead node" true
+    (not (List.mem 1 (Supervisor.watched sup)))
+
 (* determinism: the same seed yields the same injected-fault log *)
 let test_scenario_determinism () =
   let fired_of seed =
@@ -925,7 +980,9 @@ let () =
           Alcotest.test_case "replica outage mid delta chain" `Quick
             test_replica_outage_mid_delta_chain;
           Alcotest.test_case "failed epoch GC'd from storage" `Quick
-            test_failed_epoch_gc ] );
+            test_failed_epoch_gc;
+          Alcotest.test_case "mid-tree sub-coordinator crash" `Quick
+            test_tree_subcoordinator_crash ] );
       ( "random",
         [ Alcotest.test_case "seeded scenarios" `Quick test_random_scenarios;
           Alcotest.test_case "scenario determinism" `Quick test_scenario_determinism ] ) ]

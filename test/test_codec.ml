@@ -317,6 +317,7 @@ let drop_ctx (m : Protocol.to_agent) =
   | Protocol.A_restart r -> Protocol.A_restart { r with ctx = None }
   | Protocol.A_migrate r -> Protocol.A_migrate { r with ctx = None }
   | (Protocol.A_continue _ | Protocol.A_abort _ | Protocol.A_ping _) as m -> m
+  | Protocol.A_batch _ as m -> m  (* generator never nests batches *)
 
 let prop_protocol_agent_no_ctx_decodes =
   QCheck.Test.make ~name:"frames without trace ctx decode to None" ~count:300
@@ -327,6 +328,30 @@ let prop_protocol_agent_no_ctx_decodes =
 let prop_protocol_manager_roundtrip =
   QCheck.Test.make ~name:"Agent->Manager messages roundtrip" ~count:300
     (QCheck.make to_manager_gen) (fun m ->
+      Protocol.to_manager_of_value (roundtrip (Protocol.to_manager_to_value m)) = m)
+
+(* the tree-coordination bundles: an addressed command batch down an edge
+   and an aggregated report batch (plus the subtree-loss notice) up one *)
+let agent_batch_gen =
+  let open QCheck.Gen in
+  map (fun items -> Protocol.A_batch items)
+    (list_size (int_bound 5) (pair nat to_agent_gen))
+
+let manager_batch_gen =
+  let open QCheck.Gen in
+  oneof
+    [ map (fun items -> Protocol.M_batch items)
+        (list_size (int_bound 5) to_manager_gen);
+      map (fun node -> Protocol.M_subtree_down { node }) nat ]
+
+let prop_agent_batch_roundtrip =
+  QCheck.Test.make ~name:"command batches roundtrip" ~count:300
+    (QCheck.make agent_batch_gen) (fun m ->
+      Protocol.to_agent_of_value (roundtrip (Protocol.to_agent_to_value m)) = m)
+
+let prop_manager_batch_roundtrip =
+  QCheck.Test.make ~name:"report batches + subtree_down roundtrip" ~count:300
+    (QCheck.make manager_batch_gen) (fun m ->
       Protocol.to_manager_of_value (roundtrip (Protocol.to_manager_to_value m)) = m)
 
 let prop_mig_round_stats_roundtrip =
@@ -464,6 +489,7 @@ let () =
         List.map QCheck_alcotest.to_alcotest
           [ prop_protocol_agent_roundtrip; prop_protocol_agent_no_ctx_decodes;
             prop_protocol_manager_roundtrip;
+            prop_agent_batch_roundtrip; prop_manager_batch_roundtrip;
             prop_mig_round_stats_roundtrip; prop_image_sections_roundtrip;
             prop_image_checksum_detects_bitflips ] );
       ( "kv wire",

@@ -53,6 +53,113 @@ let prop_heap_sorted =
       let out = drain [] in
       out = List.sort Int.compare keys)
 
+(* --- calendar queue vs the sorted-list model --- *)
+
+module Calq = Zapc_sim.Calq
+
+(* Reference: a plain insertion-ordered list.  The expected pop is the
+   earliest-inserted entry among those with the minimal key — exactly the
+   [(key, seq)] total order both real queues implement. *)
+let model_take_min model =
+  match model with
+  | [] -> None
+  | _ ->
+    let k = List.fold_left (fun acc (key, _) -> min acc key) max_int model in
+    let rec go acc = function
+      | (key, v) :: rest when key = k -> Some ((key, v), List.rev_append acc rest)
+      | x :: rest -> go (x :: acc) rest
+      | [] -> None
+    in
+    go [] model
+
+(* Tiny geometry (fine width 16, fine horizon 256, coarse horizon 2048) so
+   a short random op sequence crosses every layer: fine ring, coarse ring,
+   the latecomer heap, and the overflow pheap. *)
+let prop_calq_vs_model =
+  QCheck.Test.make ~name:"calendar queue matches sorted-list model" ~count:300
+    QCheck.(list (pair (int_bound 3) (int_bound 5_000)))
+    (fun ops ->
+      let q = Calq.create ~shift:4 ~b1:4 ~buckets2:8 ~dummy:(-1) () in
+      let model = ref [] in
+      let seq = ref 0 in
+      let clock = ref 0 in  (* pushes never land before the last pop *)
+      let ok = ref true in
+      let push k =
+        let v = !seq in
+        incr seq;
+        Calq.push q ~key:k v;
+        model := !model @ [ (k, v) ]
+      in
+      List.iter
+        (fun (kind, n) ->
+          match kind with
+          | 0 -> push (!clock + (n mod 300))  (* fine/coarse horizons *)
+          | 1 -> push (!clock + n)  (* up to overflow *)
+          | 2 ->
+            (match (Calq.pop q, model_take_min !model) with
+             | Some (k, v), Some ((k', v'), rest) ->
+               if k <> k' || v <> v' then ok := false;
+               model := rest;
+               clock := max !clock k
+             | None, None -> ()
+             | _ -> ok := false)
+          | _ ->
+            let limit = !clock + (n mod 500) in
+            (match (Calq.pop_if_le q ~limit, model_take_min !model) with
+             | Some (k, v), Some ((k', v'), rest) when k' <= limit ->
+               if k <> k' || v <> v' then ok := false;
+               model := rest;
+               clock := max !clock k
+             | None, Some ((k', _), _) when k' > limit -> ()
+             | None, None -> ()
+             | _ -> ok := false))
+        ops;
+      (* drain: the remainder must come out in model order too *)
+      let rec drain () =
+        match (Calq.pop q, model_take_min !model) with
+        | Some (k, v), Some ((k', v'), rest) ->
+          if k <> k' || v <> v' then ok := false;
+          model := rest;
+          drain ()
+        | None, None -> ()
+        | _ -> ok := false
+      in
+      drain ();
+      !ok && Calq.is_empty q)
+
+(* Keys sitting exactly on fine-bucket, fine-horizon and coarse-horizon
+   boundaries, with FIFO ties straddling the layers. *)
+let test_calq_bucket_boundaries () =
+  let q = Calq.create ~shift:2 ~b1:2 ~buckets2:4 ~dummy:(-1) () in
+  (* fine width 4, fine horizon 16, coarse horizon 64 *)
+  let keys = [ 0; 3; 4; 15; 16; 17; 63; 64; 64; 65; 200; 1_000_000; 0 ] in
+  List.iteri (fun i k -> Calq.push q ~key:k i) keys;
+  check tint "length" (List.length keys) (Calq.length q);
+  let rec drain acc =
+    match Calq.pop q with Some (k, v) -> drain ((k, v) :: acc) | None -> List.rev acc
+  in
+  let out = drain [] in
+  let expected =
+    (* sort by key, stable in insertion order (= value order here) *)
+    List.stable_sort
+      (fun (a, _) (b, _) -> Int.compare a b)
+      (List.mapi (fun i k -> (k, i)) keys)
+  in
+  Alcotest.(check (list (pair int int))) "boundary order + fifo ties" expected out;
+  check tbool "empty" true (Calq.is_empty q)
+
+let test_calq_clear_iter () =
+  let q = Calq.create ~shift:2 ~b1:2 ~buckets2:4 ~dummy:(-1) () in
+  List.iteri (fun i k -> Calq.push q ~key:k i) [ 1; 40; 9_999 ];
+  let seen = ref [] in
+  Calq.iter q (fun k v -> seen := (k, v) :: !seen);
+  check tint "iter visits all" 3 (List.length !seen);
+  Calq.clear q;
+  check tbool "cleared" true (Calq.is_empty q);
+  check tint "cleared length" 0 (Calq.length q);
+  Calq.push q ~key:5 7;
+  check tint "usable after clear" 1 (Calq.length q)
+
 (* --- engine --- *)
 
 let test_engine_ordering () =
@@ -110,6 +217,48 @@ let test_max_events () =
   Engine.run ~max_events:50 e;
   check tint "bounded" 50 !count
 
+(* Both queue backends implement the same (time, sequence) total order, so
+   a seeded schedule fires identically under either. *)
+let prop_engine_queue_equivalence =
+  QCheck.Test.make ~name:"heap and calendar engines fire identically" ~count:100
+    QCheck.(list (int_bound 10_000))
+    (fun delays ->
+      let run kind =
+        let e = Engine.create ~queue:kind () in
+        let log = ref [] in
+        List.iteri
+          (fun i d ->
+            Engine.schedule e ~delay:(Simtime.us d) (fun () ->
+                log := (i, Engine.now e) :: !log))
+          delays;
+        Engine.run e;
+        List.rev !log
+      in
+      run Engine.Heap = run Engine.Calendar)
+
+(* Cancellable timer handles: re-arming moves the deadline (one fire per
+   arm..fire cycle), cancelling turns the queued trampoline into a no-op,
+   and a cancelled timer re-arms cleanly. *)
+let test_timer_cancel_rearm () =
+  let e = Engine.create () in
+  let fired = ref [] in
+  let tm = Engine.timer (fun () -> fired := Engine.now e :: !fired) in
+  Engine.timer_arm_in e tm ~delay:(Simtime.ms 1);
+  Engine.timer_arm_in e tm ~delay:(Simtime.ms 3);
+  check tbool "active while armed" true (Engine.timer_active tm);
+  Engine.run e;
+  Alcotest.(check (list int)) "one fire, at the moved deadline"
+    [ Simtime.ms 3 ] (List.rev !fired);
+  check tbool "inactive after fire" false (Engine.timer_active tm);
+  Engine.timer_arm_in e tm ~delay:(Simtime.ms 1);
+  Engine.timer_cancel tm;
+  check tbool "inactive after cancel" false (Engine.timer_active tm);
+  Engine.run e;
+  check tint "cancelled arm never fires" 1 (List.length !fired);
+  Engine.timer_arm_in e tm ~delay:(Simtime.ms 2);
+  Engine.run e;
+  check tint "re-arms after cancel" 2 (List.length !fired)
+
 (* --- rng determinism --- *)
 
 let test_rng_deterministic () =
@@ -161,12 +310,19 @@ let () =
         [ Alcotest.test_case "order" `Quick test_heap_order;
           Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
           QCheck_alcotest.to_alcotest prop_heap_sorted ] );
+      ( "calq",
+        [ QCheck_alcotest.to_alcotest prop_calq_vs_model;
+          Alcotest.test_case "bucket boundaries + fifo ties" `Quick
+            test_calq_bucket_boundaries;
+          Alcotest.test_case "clear + iter" `Quick test_calq_clear_iter ] );
       ( "engine",
         [ Alcotest.test_case "ordering" `Quick test_engine_ordering;
           Alcotest.test_case "until" `Quick test_engine_until;
           Alcotest.test_case "nested" `Quick test_engine_nested_schedule;
           Alcotest.test_case "past clamped" `Quick test_engine_past_schedule_clamped;
-          Alcotest.test_case "max events" `Quick test_max_events ] );
+          Alcotest.test_case "max events" `Quick test_max_events;
+          QCheck_alcotest.to_alcotest prop_engine_queue_equivalence;
+          Alcotest.test_case "timer cancel + re-arm" `Quick test_timer_cancel_rearm ] );
       ( "rng",
         [ Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
           Alcotest.test_case "split" `Quick test_rng_split_independent;

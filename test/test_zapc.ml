@@ -1566,6 +1566,122 @@ let test_periodic_epoch_mid_migration () =
   Zapc.Supervisor.stop sup;
   Zapc.Periodic.stop svc
 
+(* ------------------------------------------------------------------ *)
+(* Hierarchical coordination (Params.tree_fanout > 0): the control plane
+   fans out through a tree of per-node relays instead of N direct
+   channels. *)
+
+(* With a zero-cost control plane, command arrival instants are identical
+   in both topologies, so the checkpoint captures the same pod state and
+   the stored image bytes must match bit-for-bit. *)
+let test_tree_snapshot_byte_identical () =
+  let run fanout =
+    let params =
+      { Params.default with
+        Params.ctrl_latency = Simtime.zero; ctrl_bps = 1e18;
+        cost_jitter = 0.0; tree_fanout = fanout }
+    in
+    let cluster = make_cluster ~params ~nodes:6 () in
+    let app =
+      Launch.launch cluster ~name:"bt" ~program:"bt_nas" ~placement:[ 0; 1; 2; 3 ]
+        ~app_args:(bt_args 96 30) ()
+    in
+    Cluster.run cluster ~until:(Simtime.ms 5) ();
+    let r = Cluster.snapshot cluster ~pods:app.Launch.pods ~key_prefix:"tf" in
+    check tbool "snapshot ok" true r.Manager.r_ok;
+    List.map
+      (fun id ->
+        let img =
+          Option.get
+            (Zapc.Storage.get (Cluster.storage cluster)
+               (Printf.sprintf "tf.pod%d" id))
+        in
+        img.Zapc_ckpt.Image.encoded)
+      (Launch.pod_ids app)
+  in
+  let flat = run 0 in
+  let tree = run 2 in
+  check tint "same pod count" (List.length flat) (List.length tree);
+  List.iteri
+    (fun i (a, b) ->
+      check tbool (Printf.sprintf "pod %d image bytes identical" i) true
+        (String.equal a b))
+    (List.combine flat tree)
+
+(* End-to-end through a depth-3 tree with real latencies and the serial
+   per-message cost model on: snapshot over the tree, restart on different
+   nodes, bit-identical result — and the traffic demonstrably flowed as
+   batches through the relays. *)
+let test_tree_checkpoint_restart () =
+  let params =
+    { Params.default with
+      Params.tree_fanout = 2; ctrl_proc = Simtime.us 5; cost_jitter = 0.0 }
+  in
+  let cluster = make_cluster ~params ~nodes:9 () in
+  let m = Cluster.metrics cluster in
+  let app =
+    Launch.launch cluster ~name:"bt" ~program:"bt_nas" ~placement:[ 2; 5; 7; 8 ]
+      ~app_args:(bt_args 96 30) ()
+  in
+  Cluster.run cluster ~until:(Simtime.ms 5) ();
+  let r = Cluster.snapshot cluster ~pods:app.Launch.pods ~key_prefix:"tr" in
+  check tbool "snapshot ok" true r.Manager.r_ok;
+  check tint "four stats" 4 (List.length r.Manager.r_stats);
+  check tbool "commands left the root as batches" true
+    (Zapc_obs.Metrics.counter m "mgr.tree.down_batches" > 0);
+  check tbool "reports arrived aggregated" true
+    (Zapc_obs.Metrics.counter m "mgr.tree.up_batches" > 0);
+  check tbool "relays aggregated subtree reports" true
+    (Zapc_obs.Metrics.counter m "relay.up_batches" > 0);
+  ignore (Launch.wait_done cluster app);
+  let reference = Option.get (find_log "bt_nas: checksum") in
+  logged := [];
+  let rr =
+    Cluster.restart_app cluster ~pod_ids:(Launch.pod_ids app)
+      ~target_nodes:[ 0; 1; 3; 4 ] ~key_prefix:"tr"
+  in
+  check tbool "restart ok" true rr.Manager.r_ok;
+  let ranks = restarted_ranks (Launch.pod_ids app) "bt_nas" in
+  check tint "all ranks restored" 4 (List.length ranks);
+  Cluster.run_until cluster ~timeout:(Simtime.sec 1200.0) (fun () -> exited ranks);
+  check tbool "same checksum" true (List.mem reference !logged)
+
+(* Severing a mid-tree relay's uplink during a checkpoint orphans its whole
+   subtree: the cascade must abort the deep agents too (their pods resume),
+   the root sees the failure, and the application completes untouched.
+   Fanout 2 over 7 nodes puts nodes 4 and 5 two hops down under node 1. *)
+let test_tree_subtree_break_aborts () =
+  let params =
+    { Params.default with
+      Params.tree_fanout = 2; phase_timeout = Simtime.ms 200; cost_jitter = 0.0 }
+  in
+  let cluster = make_cluster ~params ~nodes:7 () in
+  let app =
+    Launch.launch cluster ~name:"bt" ~program:"bt_nas" ~placement:[ 0; 4; 5 ]
+      ~app_args:(bt_args 96 25) ()
+  in
+  Cluster.run cluster ~until:(Simtime.ms 5) ();
+  let result = ref None in
+  let items =
+    List.map
+      (fun (p : Pod.t) ->
+        { Manager.ci_node =
+            (match Zapc_simnet.Fabric.node_of_ip (Cluster.fabric cluster) p.rip with
+             | Some n -> n
+             | None -> -1);
+          ci_pod = p.pod_id; ci_dest = Protocol.U_storage "doomed" })
+      app.Launch.pods
+  in
+  Manager.checkpoint (Cluster.manager cluster) ~items ~resume:true
+    ~on_done:(fun r -> result := Some r);
+  Engine.schedule (Cluster.engine cluster) ~delay:(Simtime.ms 20) (fun () ->
+      Manager.break_channel (Cluster.manager cluster) ~node:1);
+  Cluster.run_until cluster (fun () -> !result <> None);
+  check tbool "operation failed" true (not (Option.get !result).Manager.r_ok);
+  (* no orphaned frozen pods: everything below the severed hop resumed *)
+  ignore (Launch.wait_done cluster app);
+  check tbool "app completed after subtree abort" true (has_log "bt_nas: checksum")
+
 let () =
   Alcotest.run "zapc"
     [ ( "coordinated",
@@ -1620,4 +1736,11 @@ let () =
             test_checkpoint_completes_without_failure;
           Alcotest.test_case "control channel break" `Quick test_agent_channel_break;
           Alcotest.test_case "missing image fails cleanly" `Quick
-            test_restart_missing_image_fails_cleanly ] ) ]
+            test_restart_missing_image_fails_cleanly ] );
+      ( "tree",
+        [ Alcotest.test_case "tree vs flat: byte-identical snapshot" `Quick
+            test_tree_snapshot_byte_identical;
+          Alcotest.test_case "checkpoint + restart through the tree" `Quick
+            test_tree_checkpoint_restart;
+          Alcotest.test_case "mid-tree break aborts the subtree" `Quick
+            test_tree_subtree_break_aborts ] ) ]
