@@ -8,7 +8,7 @@
 
 let usage () =
   print_endline
-    "usage: main.exe [fig5|fig6a|fig6b|fig6c|netstate|variance|ablation|timeline|storage|micro|availability|incremental|migration|serve|profile|scale|all|quick]"
+    "usage: main.exe [fig5|fig6a|fig6b|fig6c|netstate|variance|ablation|timeline|flush|storage|micro|availability|incremental|migration|serve|profile|scale|all|quick]"
 
 let () =
   let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
@@ -22,7 +22,8 @@ let () =
   | "netstate" -> Experiments.netstate ()
   | "ablation" -> Experiments.ablations ()
   | "timeline" -> Experiments.timeline ()
-  | "storage" -> Experiments.storage_flush ()
+  | "flush" -> Experiments.storage_flush ()
+  | "storage" -> Experiments.storage_backends ()
   | "micro" -> Micro.run ()
   | "availability" -> Experiments.availability ()
   | "incremental" -> Experiments.incremental ()
@@ -40,6 +41,7 @@ let () =
     Experiments.ablations ();
     Experiments.timeline ();
     Experiments.storage_flush ();
+    Experiments.storage_backends ();
     Experiments.availability ();
     Experiments.incremental ();
     Experiments.migration ();

@@ -1,0 +1,28 @@
+(** Modelled compression stage of the checkpoint image pipeline.
+
+    Computes the deterministic compressed size of an image — the Wire
+    encoding at a byte-histogram entropy estimate plus the modelled memory
+    regions at per-region entropy tags.  The actual bytes are never
+    transformed (restart stays byte-identical); only the storage/flush
+    accounting and the virtual-CPU compression cost use this size. *)
+
+val fnv : string -> int
+(** FNV-1a hash of a string, folded positive (62-bit). *)
+
+val entropy_of_tag : string -> float
+(** Deterministic compressed fraction of a memory region, drawn from the
+    region name's hash; in [0.15, 0.90). *)
+
+val encoded_ratio : string -> float
+(** Shannon-entropy estimate (bits-per-byte / 8) of a string, clamped to
+    [0.12, 0.98]: the modelled compressed fraction of the Wire bytes. *)
+
+val regions_of_image : Zapc_codec.Value.t -> (string * int * int) list
+(** (name, size, generation) of every modelled memory region a full or
+    delta pod image describes (full: all live regions; delta: the regions
+    of changed processes only). *)
+
+val modelled_size : Zapc_codec.Value.t -> encoded:string -> int
+(** [modelled_size v ~encoded] is the modelled compressed byte count of the
+    full or delta pod image whose decoded Value is [v] and whose Wire
+    encoding is [encoded].  Deterministic; at least 1. *)

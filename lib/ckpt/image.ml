@@ -17,17 +17,25 @@ type t = {
   name : string;
   encoded : string;  (* Wire-encoded pod image (full or delta) *)
   logical_size : int;
+  comp_size : int;  (* modelled compressed size (Compress.modelled_size) *)
+  regions : (string * int * int) list;
+      (* modelled memory region tags (name, size, gen) — the content
+         addresses the dedup backend chunks virtual memory by *)
   base_key : string option;  (* Some key iff this is a delta image *)
 }
 
 let of_pod_image (image : Value.t) =
   let encoded = Wire.encode image in
+  let comp_size = Compress.modelled_size image ~encoded in
+  let regions = Compress.regions_of_image image in
   if Delta.is_delta image then
     {
       pod_id = Delta.pod_id image;
       name = Delta.name image;
       encoded;
       logical_size = String.length encoded + Delta.dirty_bytes image;
+      comp_size;
+      regions;
       base_key = Some (Delta.base_key image);
     }
   else
@@ -37,6 +45,8 @@ let of_pod_image (image : Value.t) =
       name = Value.to_str (Value.field "name" image);
       encoded;
       logical_size = String.length encoded + memory_bytes;
+      comp_size;
+      regions;
       base_key = None;
     }
 

@@ -15,6 +15,12 @@ type t = {
   name : string;
   encoded : string;  (** Wire-encoded pod image (full or delta) *)
   logical_size : int;
+  comp_size : int;
+      (** modelled compressed size ({!Compress.modelled_size}); what a
+          compressing storage backend accounts/flushes for this image *)
+  regions : (string * int * int) list;
+      (** modelled memory region tags (name, size, generation) — the
+          content addresses the dedup backend chunks virtual memory by *)
   base_key : string option;  (** [Some key] iff this is a delta image *)
 }
 

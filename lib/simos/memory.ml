@@ -10,12 +10,21 @@
    the region is created, resized, freed or explicitly touched, cleared when
    a checkpoint of this process has been durably stored.  [dirty_bytes] is
    what a delta checkpoint must write for this process — only the regions
-   modified since the last stored snapshot. *)
+   modified since the last stored snapshot.
+
+   For content-addressed dedup every region additionally carries a *write
+   generation*: a counter bumped on every mutation of the region, persisted
+   through checkpoint images.  The simulation does not store page contents,
+   so (name, size, generation) is the model of a region's bytes: two regions
+   agreeing on all three hold identical modelled content.  Sibling ranks of
+   an SPMD program allocate the same regions with the same history, which is
+   exactly the cross-rank text/data redundancy dedup exploits. *)
 
 module Value = Zapc_codec.Value
 
 type t = {
   regions : (string, int) Hashtbl.t;
+  gens : (string, int) Hashtbl.t;  (* region name -> write generation *)
   dirty : (string, unit) Hashtbl.t;  (* region names modified since last snapshot *)
   mutable version : int;  (* bumped on every mutation *)
   mutable total : int;
@@ -24,11 +33,13 @@ type t = {
 }
 
 let create () =
-  { regions = Hashtbl.create 8; dirty = Hashtbl.create 8; version = 0; total = 0;
-    peak = 0; epochs = 0 }
+  { regions = Hashtbl.create 8; gens = Hashtbl.create 8; dirty = Hashtbl.create 8;
+    version = 0; total = 0; peak = 0; epochs = 0 }
 
 let mark_dirty t name =
   t.version <- t.version + 1;
+  Hashtbl.replace t.gens name
+    (1 + (match Hashtbl.find_opt t.gens name with Some g -> g | None -> 0));
   Hashtbl.replace t.dirty name ()
 
 let alloc t name size =
@@ -44,6 +55,7 @@ let free t name =
   | Some s ->
     Hashtbl.remove t.regions name;
     mark_dirty t name;
+    Hashtbl.remove t.gens name;  (* a freed region has no content to tag *)
     t.total <- t.total - s
 
 let touch t name = if Hashtbl.mem t.regions name then mark_dirty t name
@@ -89,12 +101,42 @@ let snapshot_dirty t =
 
 let epochs t = t.epochs
 
+let gen t name =
+  match Hashtbl.find_opt t.gens name with Some g -> g | None -> 0
+
+(* (name, size, generation) of every live region, sorted by name — the
+   content tags the dedup chunker addresses regions by. *)
+let region_tags t =
+  Hashtbl.fold (fun name size acc -> (name, size, gen t name) :: acc) t.regions []
+  |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
+
+(* Each region encodes as [size; gen] so the content tag survives a
+   checkpoint-restart cycle (dedup addresses stay stable across restarts). *)
 let to_value t =
-  let kvs = Hashtbl.fold (fun k v acc -> (k, Value.Int v) :: acc) t.regions [] in
+  let kvs =
+    Hashtbl.fold
+      (fun k size acc -> (k, Value.List [ Value.Int size; Value.Int (gen t k) ]) :: acc)
+      t.regions []
+  in
   let kvs = List.sort (fun (a, _) (b, _) -> String.compare a b) kvs in
   Value.Assoc kvs
 
 let of_value v =
   let t = create () in
-  List.iter (fun (k, sz) -> alloc t k (Value.to_int sz)) (Value.to_assoc v);
+  List.iter
+    (fun (k, rv) ->
+      let size, g =
+        match rv with
+        | Value.List [ s; g ] -> (Value.to_int s, Value.to_int g)
+        | _ -> (Value.to_int rv, 1)  (* legacy shape: plain size *)
+      in
+      Hashtbl.replace t.regions k size;
+      Hashtbl.replace t.gens k g;
+      (* restored regions start dirty: the first post-restart delta must
+         write them (the conservative, always-safe default) *)
+      Hashtbl.replace t.dirty k ();
+      t.version <- t.version + 1;
+      t.total <- t.total + size;
+      if t.total > t.peak then t.peak <- t.total)
+    (Value.to_assoc v);
   t

@@ -49,5 +49,21 @@ val snapshot_dirty : t -> (string * int) list
 val epochs : t -> int
 (** How many {!snapshot_dirty} rounds have been taken. *)
 
+val gen : t -> string -> int
+(** The region's write generation: bumped on every mutation, persisted
+    through {!to_value}/{!of_value}.  The simulation does not store page
+    contents, so (name, size, gen) models a region's bytes — two regions
+    agreeing on all three hold identical modelled content (the
+    content-addressed dedup tag).  0 for unknown names. *)
+
+val region_tags : t -> (string * int * int) list
+(** Every live region as (name, size, generation), sorted by name. *)
+
 val to_value : t -> Zapc_codec.Value.t
+(** Regions encode as name -> [size; generation] so dedup content tags
+    survive a checkpoint-restart cycle. *)
+
 val of_value : Zapc_codec.Value.t -> t
+(** Inverse of {!to_value} (a bare name -> size assoc is also accepted,
+    with generation 1).  Every restored region starts dirty: the first
+    post-restart delta must write it. *)

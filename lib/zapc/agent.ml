@@ -470,12 +470,21 @@ and ckpt_standalone t op net =
     | Some { mi_last = Some _; _ } -> t.params.mig_stop_fixed
     | Some { mi_last = None; _ } | None -> t.params.ckpt_fixed
   in
+  (* the compressor is a virtual-CPU stage of the image pipeline: every
+     written byte passes through it at compress_bps before hitting storage
+     (the stored bytes shrink; the checkpoint pays the CPU time) *)
+  let compress_cost =
+    if t.params.compress then
+      Params.copy_time ~bps:t.params.compress_bps write_bytes
+    else Simtime.zero
+  in
   let cost =
     jittered t
       (Simtime.add fixed
-         (Simtime.add
-            (Params.scale t.params.per_proc_ckpt res.proc_count)
-            (Params.copy_time ~bps:t.params.mem_bw write_bytes)))
+         (Simtime.add compress_cost
+            (Simtime.add
+               (Params.scale t.params.per_proc_ckpt res.proc_count)
+               (Params.copy_time ~bps:t.params.mem_bw write_bytes))))
   in
   after t cost (fun () ->
       if not op.co_aborted then begin
@@ -533,7 +542,7 @@ and finalize_ckpt t op =
       match op.co_dest with
       | Protocol.U_storage key ->
         Storage.put ~op:op.co_op ?parent:(Trace.parent_arg op.co_span)
-          t.storage key image
+          ~node:t.node t.storage key image
       | Protocol.U_node target ->
         (* direct migration: stream the image to the receiving Agent without
            touching secondary storage *)
@@ -1305,11 +1314,19 @@ and restore_standalone t op =
               (Params.scale t.params.per_proc_restore (List.length procs))
               (Params.copy_time ~bps:t.params.mem_bw sg.sg_residue)))
     | Some _, None | None, _ ->
+      (* a storage-path restore of a compressed image pays the decompressor
+         (migration streams travel uncompressed and skip it) *)
+      let decompress_cost =
+        if t.params.compress && op.ro_mig = None then
+          Params.copy_time ~bps:t.params.compress_bps image_bytes
+        else Simtime.zero
+      in
       jittered t
         (Simtime.add t.params.restore_fixed
-           (Simtime.add
-              (Params.scale t.params.per_proc_restore (List.length procs))
-              (Params.copy_time ~bps:t.params.mem_bw image_bytes)))
+           (Simtime.add decompress_cost
+              (Simtime.add
+                 (Params.scale t.params.per_proc_restore (List.length procs))
+                 (Params.copy_time ~bps:t.params.mem_bw image_bytes))))
   in
   after t cost (fun () ->
       if not op.ro_aborted then begin

@@ -40,8 +40,16 @@ type t = {
 
 (* --- node liveness (supervisor bookkeeping) --- *)
 
-let mark_node_dead t i = t.nodes.(i).n_alive <- false
-let mark_node_alive t i = t.nodes.(i).n_alive <- true
+(* Node liveness feeds the buddy storage backend: a declared-dead node's
+   RAM copies are gone and get re-buddied; a recovered node rejoins with an
+   empty buddy store (no-ops on the other backends). *)
+let mark_node_dead t i =
+  t.nodes.(i).n_alive <- false;
+  Storage.node_died t.storage i
+
+let mark_node_alive t i =
+  t.nodes.(i).n_alive <- true;
+  Storage.node_healed t.storage i
 let node_alive t i = t.nodes.(i).n_alive
 
 let alive_nodes t =
@@ -126,7 +134,10 @@ let make ?(seed = 42) ?(cpus = 1) ~params ~node_count () =
   let fabric = Fabric.create ~config:params.Params.fabric engine in
   let storage =
     Storage.create ~metrics ~bps:params.Params.storage_bps
-      ~replicas:params.Params.storage_replicas engine
+      ~replicas:params.Params.storage_replicas
+      ~backend:params.Params.storage_backend
+      ~compress:params.Params.compress ~buddy_bps:params.Params.buddy_bps
+      ~nodes:node_count engine
   in
   (* one SAN-backed file system mounted by every node *)
   let shared_fs = Zapc_simos.Simfs.create () in

@@ -6,6 +6,23 @@ module Simtime = Zapc_sim.Simtime
 module Fabric = Zapc_simnet.Fabric
 module Kconfig = Zapc_simos.Kconfig
 
+(* Where checkpoint images live (see DESIGN.md §14):
+   - [Sb_plain]: every image verbatim on every replica of the shared store
+     (the pre-PR-10 behaviour, and the default).
+   - [Sb_dedup]: content-addressed chunk store — encoded bytes and modelled
+     memory regions split into FNV-addressed chunks stored once, refcounted
+     against the pin/condemn GC.
+   - [Sb_buddy]: peer-memory backend — each image lands in the owner node's
+     RAM plus a partner ("buddy") node's RAM over the per-node links,
+     bypassing the shared SAN entirely; the Supervisor re-buddies surviving
+     copies when a node dies. *)
+type storage_backend = Sb_plain | Sb_dedup | Sb_buddy
+
+let backend_name = function
+  | Sb_plain -> "plain"
+  | Sb_dedup -> "dedup"
+  | Sb_buddy -> "buddy"
+
 type t = {
   fabric : Fabric.config;
   kconfig : Kconfig.t;
@@ -39,6 +56,16 @@ type t = {
   pod_create_cost : Simtime.t;
   mem_bw : float;  (* image write/read bandwidth to memory, bytes/s *)
   storage_bps : float;  (* SAN flush bandwidth (not in checkpoint time) *)
+  storage_backend : storage_backend;
+  compress : bool;
+  (* compress images before storing: stored/flushed bytes shrink to the
+     image's modelled compressed size while checkpoint (and storage-path
+     restore) pay the virtual-CPU compressor cost below *)
+  compress_bps : float;  (* virtual-CPU (de)compression throughput, bytes/s *)
+  buddy_bps : float;
+  (* per-node link bandwidth of the buddy backend's peer-memory transfers;
+     flushes ride each owner's own link, in parallel across nodes, instead
+     of serializing on the shared SAN *)
   cost_jitter : float;
   (* relative uniform jitter on agent-side costs, modelling background
      activity and cache effects (the paper reports checkpoint-time std-devs
@@ -108,6 +135,10 @@ let default =
     pod_create_cost = Simtime.ms 2;
     mem_bw = 1.5e9;
     storage_bps = 180e6;
+    storage_backend = Sb_plain;
+    compress = false;
+    compress_bps = 450e6;
+    buddy_bps = 1e9;
     cost_jitter = 0.35;
     phase_timeout = Simtime.sec 60.0;
     fs_snapshot = false;

@@ -1,156 +1,432 @@
-(* Shared storage infrastructure (the SAN/NAS of the paper's cluster).
+(* Checkpoint image storage: one interface, three composable backends.
 
-   Checkpoint images are written to memory during the checkpoint (that cost
-   is part of the checkpoint time) and can be flushed to shared storage
-   afterwards, which every node can read — this is what lets a restart
-   happen on a different set of nodes.  Flushing is deliberately *not* part
-   of the checkpoint latency, matching the paper's measurement methodology.
+   [Sb_plain] is the SAN/NAS of the paper's cluster: every image verbatim on
+   every replica, reads falling back past outaged or corrupt copies.
 
-   The store holds [replicas] independent copies of every image, each with
-   the content checksum computed at [put].  A read walks the replicas in
-   order, skipping ones under an injected outage and ones whose bytes no
-   longer match their stored checksum, so a corrupted or unavailable primary
-   falls back to a healthy replica.  A global write outage
-   ([set_fail_writes]) models a SAN-wide failure and rejects the whole
-   write; a per-replica outage ([set_replica_fail]) only drops that copy. *)
+   [Sb_dedup] is a content-addressed store layered on the same replica
+   model: an image is split into FNV-addressed chunks (Zapc_ckpt.Chunk) —
+   real chunks of the Wire encoding plus virtual chunks of the modelled
+   memory regions — and each distinct chunk is stored once, refcounted.
+   Identical text/data across epochs, replicas and sibling pods (the 16 BT
+   ranks all declare the same regions) collapses to one stored copy, and
+   the savings multiply with delta chains: an unchanged region dedupes even
+   inside a full checkpoint.
+
+   [Sb_buddy] is the peer-memory backend: each image lands in the owner
+   node's RAM plus a partner ("buddy") node's RAM over the per-node links,
+   bypassing the shared SAN entirely — LiveStack's argument that cluster-
+   scale checkpoint traffic must avoid any central choke point.  When a
+   node dies the Supervisor calls [node_died]; surviving copies are
+   re-buddied onto the next live node.
+
+   Compression ([compress]) composes with all three: the stored/flushed
+   byte accounting shrinks to the image's modelled compressed size
+   (Image.comp_size) while the virtual-CPU compressor cost is charged by
+   the Agent.  The bytes that restart must reproduce are never transformed,
+   so restart stays checksum-identical across every backend combination.
+
+   Keys are *versioned* internally: each [put key] allocates a fresh
+   physical name (key, version) and retires the previous version.  If live
+   deltas still pin the previous version its bytes are preserved under the
+   shadow name (copy-on-write) until the last referencing delta goes —
+   without this, overwriting a delta's base silently swaps the bytes the
+   chain resolves against and [get] materializes a wrong image with a valid
+   per-link checksum.  Chain links recorded at [put] bind to the base
+   *version* current at write time, so later overwrites of the base key
+   cannot retarget existing chains. *)
 
 module Simtime = Zapc_sim.Simtime
 module Engine = Zapc_sim.Engine
 module Metrics = Zapc_obs.Metrics
 module Image = Zapc_ckpt.Image
 module Delta = Zapc_ckpt.Delta
+module Chunk = Zapc_ckpt.Chunk
 
-type replica = {
-  images : (string, Image.t * int) Hashtbl.t;  (* key -> image, checksum *)
+(* One distinct chunk in the content-addressed pool.  [c_bytes] is the real
+   content for encoded-bytes chunks and [None] for virtual region chunks
+   (the simulation models region content as (name, size, generation) tags —
+   there are no page bytes to keep, only accounting). *)
+type chunk = {
+  c_size : int;
+  c_bytes : string option;
+  mutable c_refs : int;  (* referencing stored entries (per occurrence) *)
+}
+
+(* One encoded-bytes chunk of a recipe: normally a pool reference; inline
+   when the pool address collided with different content (never observed —
+   the safety valve keeps a hash collision from corrupting images). *)
+type ch = Cref of int | Cinline of string
+
+type stored =
+  | Whole of Image.t  (* plain/buddy: the image, verbatim *)
+  | Recipe of {
+      skel : Image.t;  (* the image minus its encoded bytes *)
+      chs : ch array;  (* encoded bytes, in chunk order *)
+      vrefs : int array;  (* virtual region-chunk addresses (accounting) *)
+    }
+
+type copyset = {
+  images : (string, stored * int) Hashtbl.t;  (* pname -> stored, checksum *)
   mutable fail : string option;  (* injected per-replica outage *)
 }
 
+(* Copy-independent record of a stored physical name: the pristine stored
+   form, its checksum and its accounted (flush/backfill) byte size.  The
+   source of truth for chunk refcounts, heal-time re-replication and flush
+   sizing; corruption injection only ever touches replica copies. *)
+type entry = { e_stored : stored; e_sum : int; e_bytes : int }
+
 type t = {
   engine : Engine.t;
-  bps : float;
+  backend : Params.storage_backend;
+  compress : bool;
+  bps : float;  (* shared SAN flush bandwidth *)
+  buddy_bps : float;  (* per-node link bandwidth (buddy transfers) *)
   latency : Simtime.t;
-  replicas : replica array;
+  nodes : int;  (* cluster size the buddy backend assigns partners from *)
+  replicas : copyset array;
+  (* buddy backend state: per-node RAM copies, per-pname (owner, partner)
+     placement (-1 = no live partner), and the dead-node set *)
+  rams : (int, (string, stored * int) Hashtbl.t) Hashtbl.t;
+  locs : (string, int * int) Hashtbl.t;
+  dead : (int, unit) Hashtbl.t;
+  (* content-addressed chunk pool (dedup backend) *)
+  chunks : (int, chunk) Hashtbl.t;
+  (* versioned keyspace *)
+  versions : (string, int) Hashtbl.t;  (* public key -> current version *)
+  vseq : (string, int) Hashtbl.t;  (* public key -> last version ever issued *)
+  logical : (string, entry) Hashtbl.t;  (* pname -> pristine stored record *)
+  (* delta-chain bookkeeping, keyed by physical name *)
+  bases : (string, string) Hashtbl.t;  (* delta pname -> its base pname *)
+  pins : (string, int) Hashtbl.t;  (* pname -> # of live deltas based on it *)
+  condemned : (string, unit) Hashtbl.t;  (* retired/removed while pinned *)
   metrics : Metrics.t;
-  (* delta-chain bookkeeping (shared by all replicas: chain structure is a
-     property of the keys, not of the copies) *)
-  bases : (string, string) Hashtbl.t;  (* delta key -> its base key *)
-  pins : (string, int) Hashtbl.t;  (* key -> # of live deltas based on it *)
-  condemned : (string, unit) Hashtbl.t;  (* removed while still pinned *)
   mutable bytes_written : int;
-  mutable fail_writes : string option;  (* injected outage: writes fail with this reason *)
+  mutable fail_writes : string option;
   mutable write_failures : int;
   mutable corruption_detected : int;
-  mutable trace : Trace.t option;  (* causal tracing of writes *)
+  mutable trace : Trace.t option;
+  (* contention: the shared SAN serializes flushes; each node's buddy link
+     serializes its own transfers but runs in parallel with other nodes *)
+  mutable san_free : Simtime.t;
+  links_free : (int, Simtime.t) Hashtbl.t;
+  (* running totals behind the dedup_factor / compress_ratio gauges *)
+  mutable dd_logical : int;
+  mutable dd_unique : int;
+  mutable comp_in : int;
+  mutable comp_out : int;
 }
 
-let create ?metrics ?(bps = 180e6) ?(latency = Simtime.us 500) ?(replicas = 2) engine =
+let create ?metrics ?(bps = 180e6) ?(latency = Simtime.us 500) ?(replicas = 2)
+    ?(backend = Params.Sb_plain) ?(compress = false) ?(buddy_bps = 1e9)
+    ?(nodes = 2) engine =
   let replicas = Stdlib.max 1 replicas in
   let metrics = match metrics with Some m -> m | None -> Metrics.create () in
-  { engine; bps; latency;
+  { engine; backend; compress; bps; buddy_bps; latency;
+    nodes = Stdlib.max 1 nodes;
     replicas = Array.init replicas (fun _ -> { images = Hashtbl.create 16; fail = None });
-    metrics;
+    rams = Hashtbl.create 8; locs = Hashtbl.create 16; dead = Hashtbl.create 4;
+    chunks = Hashtbl.create 64;
+    versions = Hashtbl.create 16; vseq = Hashtbl.create 16;
+    logical = Hashtbl.create 16;
     bases = Hashtbl.create 16; pins = Hashtbl.create 16; condemned = Hashtbl.create 8;
+    metrics;
     bytes_written = 0; fail_writes = None; write_failures = 0; corruption_detected = 0;
-    trace = None }
+    trace = None;
+    san_free = Simtime.zero; links_free = Hashtbl.create 8;
+    dd_logical = 0; dd_unique = 0; comp_in = 0; comp_out = 0 }
 
 let replica_count t = Array.length t.replicas
+let backend t = t.backend
 
 let set_trace t tr = t.trace <- Some tr
 
-(* Failure injection (a SAN outage / full volume): while set, every write
-   fails with the given reason and stores nothing. *)
 let set_fail_writes t reason = t.fail_writes <- reason
 let write_failures t = t.write_failures
 let corruption_detected t = t.corruption_detected
 
-(* Per-replica outage: writes skip the replica, reads fall back past it. *)
 let set_replica_fail t ~replica reason =
   if replica >= 0 && replica < Array.length t.replicas then
     t.replicas.(replica).fail <- reason
 
-let heal_replicas t = Array.iter (fun r -> r.fail <- None) t.replicas
+(* --- versioned keyspace ------------------------------------------------ *)
 
-(* --- delta-chain bookkeeping -------------------------------------------
+(* Physical name of (key, version); '\x00' cannot appear in user keys. *)
+let pname key v = key ^ "\x00" ^ string_of_int v
 
-   A delta image references its base by storage key; the base must outlive
-   every delta chained on it or restarts stop being able to materialize the
-   chain.  [remove] therefore only *condemns* a pinned key (it disappears
-   from the public namespace but its bytes stay); the physical delete
-   cascades once the last delta referencing it is itself deleted. *)
+let current t key =
+  match Hashtbl.find_opt t.versions key with
+  | Some v -> Some (pname key v)
+  | None -> None
 
-let pin_count t key = match Hashtbl.find_opt t.pins key with Some n -> n | None -> 0
+let ram t node =
+  match Hashtbl.find_opt t.rams node with
+  | Some tbl -> tbl
+  | None ->
+    let tbl = Hashtbl.create 16 in
+    Hashtbl.replace t.rams node tbl;
+    tbl
 
-let pin t key = Hashtbl.replace t.pins key (pin_count t key + 1)
+(* --- chunk pool --------------------------------------------------------- *)
 
-let rec unpin t key =
-  match Hashtbl.find_opt t.pins key with
+let unref_chunk t h =
+  match Hashtbl.find_opt t.chunks h with
+  | None -> ()
+  | Some c ->
+    c.c_refs <- c.c_refs - 1;
+    if c.c_refs <= 0 then begin
+      Hashtbl.remove t.chunks h;
+      Metrics.incr t.metrics "storage.dedup_chunks_freed"
+    end
+
+let unref_stored t = function
+  | Whole _ -> ()
+  | Recipe r ->
+    Array.iter (function Cref h -> unref_chunk t h | Cinline _ -> ()) r.chs;
+    Array.iter (unref_chunk t) r.vrefs
+
+(* Rebuild the image a stored form describes.  [None] if a referenced chunk
+   vanished from the pool (treated as corruption by the caller). *)
+let materialize t = function
+  | Whole img -> Some img
+  | Recipe { skel; chs; _ } ->
+    (try
+       let buf = Buffer.create 1024 in
+       Array.iter
+         (function
+           | Cinline s -> Buffer.add_string buf s
+           | Cref h ->
+             (match Hashtbl.find_opt t.chunks h with
+              | Some { c_bytes = Some b; _ } -> Buffer.add_string buf b
+              | _ -> raise Exit))
+         chs;
+       Some { skel with Image.encoded = Buffer.contents buf }
+     with Exit -> None)
+
+(* --- delta-chain GC (pnames) --------------------------------------------
+
+   A delta pins the exact base *version* it was written against.  A pinned
+   pname that gets retired (overwritten or removed) is only condemned — its
+   bytes stay until the last referencing delta is itself deleted, then the
+   physical delete cascades (dropping chunk refs on the way). *)
+
+let pin_count t p = match Hashtbl.find_opt t.pins p with Some n -> n | None -> 0
+
+let pin t p = Hashtbl.replace t.pins p (pin_count t p + 1)
+
+let rec unpin t p =
+  match Hashtbl.find_opt t.pins p with
   | None -> ()
   | Some 1 ->
-    Hashtbl.remove t.pins key;
-    if Hashtbl.mem t.condemned key then really_remove t key
-  | Some n -> Hashtbl.replace t.pins key (n - 1)
+    Hashtbl.remove t.pins p;
+    if Hashtbl.mem t.condemned p then really_remove t p
+  | Some n -> Hashtbl.replace t.pins p (n - 1)
 
-and really_remove t key =
-  Hashtbl.remove t.condemned key;
-  Array.iter (fun r -> Hashtbl.remove r.images key) t.replicas;
-  match Hashtbl.find_opt t.bases key with
+and really_remove t p =
+  Hashtbl.remove t.condemned p;
+  (match Hashtbl.find_opt t.logical p with
+   | Some e ->
+     unref_stored t e.e_stored;
+     Hashtbl.remove t.logical p
+   | None -> ());
+  Array.iter (fun r -> Hashtbl.remove r.images p) t.replicas;
+  Hashtbl.iter (fun _ tbl -> Hashtbl.remove tbl p) t.rams;
+  Hashtbl.remove t.locs p;
+  match Hashtbl.find_opt t.bases p with
   | Some base ->
-    Hashtbl.remove t.bases key;
+    Hashtbl.remove t.bases p;
     unpin t base
   | None -> ()
 
-let remove t key =
-  if pin_count t key > 0 then begin
-    (* a live delta still needs this image: hide it, defer the delete *)
-    Hashtbl.replace t.condemned key ();
-    Metrics.incr t.metrics "storage.gc_deferred"
+(* Retire a superseded or removed version: free it now, or — when live
+   deltas still resolve against it — keep the bytes under the shadow name.
+   [why] distinguishes the copy-on-write preserve at overwrite
+   (storage.cow_preserved) from the deferred delete at remove
+   (storage.gc_deferred). *)
+let retire t p ~why =
+  if pin_count t p > 0 then begin
+    Hashtbl.replace t.condemned p ();
+    Metrics.incr t.metrics why
   end
-  else really_remove t key
+  else really_remove t p
 
-(* Record (or clear) the chain link for a key being overwritten/created. *)
-let record_link t key (image : Image.t) =
-  (match Hashtbl.find_opt t.bases key with
-   | Some old_base ->
-     Hashtbl.remove t.bases key;
-     unpin t old_base
-   | None -> ());
+let remove t key =
+  match Hashtbl.find_opt t.versions key with
+  | None -> ()
+  | Some v ->
+    Hashtbl.remove t.versions key;
+    retire t (pname key v) ~why:"storage.gc_deferred"
+
+(* Bind a fresh pname's chain link to the base version current right now;
+   later overwrites of the base key cannot retarget this chain. *)
+let record_link t p (image : Image.t) =
   match image.Image.base_key with
-  | Some base ->
-    Hashtbl.replace t.bases key base;
-    pin t base
+  | Some bkey ->
+    let bp =
+      match Hashtbl.find_opt t.versions bkey with
+      | Some bv -> pname bkey bv
+      | None -> pname bkey 0  (* base never stored: chain is already broken *)
+    in
+    Hashtbl.replace t.bases p bp;
+    pin t bp
   | None -> ()
 
-(* [op]/[parent] stitch the write into the operation's causal trace (the
-   Agent passes its pod_ckpt span); the span is instantaneous in sim time
-   because the copy cost is charged to the checkpoint itself. *)
-let put ?op ?parent t key image =
+(* --- writes -------------------------------------------------------------- *)
+
+(* Next live node after [after], skipping [not_this]; None if no other node
+   is alive. *)
+let next_alive t ~after ~not_this =
+  let n = t.nodes in
+  let rec go i =
+    if i > n then None
+    else
+      let cand = (after + i) mod n in
+      if cand <> not_this && not (Hashtbl.mem t.dead cand) then Some cand
+      else go (i + 1)
+  in
+  go 1
+
+(* Split the image into pool chunks, interning new ones (refs counted per
+   occurrence).  Returns the stored recipe plus this put's distinct-new
+   byte count — the only bytes the store actually grows by. *)
+let intern_chunks t (image : Image.t) =
+  let new_bytes = ref 0 in
+  let intern h size bytes =
+    match Hashtbl.find_opt t.chunks h with
+    | Some c ->
+      (match bytes, c.c_bytes with
+       | Some b, Some b' when not (String.equal b b') -> `Collision
+       | _ ->
+         c.c_refs <- c.c_refs + 1;
+         Metrics.incr t.metrics "storage.dedup_chunk_hits";
+         `Ref)
+    | None ->
+      Hashtbl.add t.chunks h { c_size = size; c_bytes = bytes; c_refs = 1 };
+      Metrics.incr t.metrics "storage.dedup_chunks_new";
+      new_bytes := !new_bytes + size;
+      `Ref
+  in
+  let chs =
+    List.map
+      (fun (h, b) ->
+        match intern h (String.length b) (Some b) with
+        | `Ref -> Cref h
+        | `Collision ->
+          new_bytes := !new_bytes + String.length b;
+          Cinline b)
+      (Chunk.split image.Image.encoded)
+    |> Array.of_list
+  in
+  let vrefs =
+    List.concat_map
+      (fun (name, size, gen) ->
+        List.filter_map
+          (fun (addr, csize) ->
+            match intern addr csize None with `Ref | `Collision -> Some addr)
+          (Chunk.region_chunks ~name ~size ~gen))
+      image.Image.regions
+    |> Array.of_list
+  in
+  (Recipe { skel = { image with Image.encoded = "" }; chs; vrefs }, !new_bytes)
+
+let fail_put t reason =
+  t.write_failures <- t.write_failures + 1;
+  Metrics.incr t.metrics "storage.write_failures";
+  Error reason
+
+(* [node] is the writing Agent's node — the owner of the buddy backend's
+   primary copy (ignored by the other backends).  [op]/[parent] stitch the
+   write into the operation's causal trace. *)
+let put ?op ?parent ?(node = 0) t key image =
   match t.fail_writes with
-  | Some reason ->
-    t.write_failures <- t.write_failures + 1;
-    Metrics.incr t.metrics "storage.write_failures";
-    Error reason
+  | Some reason -> fail_put t reason
   | None ->
     let sum = Image.checksum image in
-    let stored = ref 0 in
-    Array.iter
-      (fun r ->
-        if r.fail = None then begin
-          Hashtbl.replace r.images key (image, sum);
-          incr stored
-        end)
-      t.replicas;
-    if !stored = 0 then begin
-      t.write_failures <- t.write_failures + 1;
-      Metrics.incr t.metrics "storage.write_failures";
-      Error "all replicas unavailable"
-    end
+    (* Resolve write targets first: a write with nowhere to land must fail
+       without touching the chunk pool or the keyspace. *)
+    let buddy_owner = ((node mod t.nodes) + t.nodes) mod t.nodes in
+    let slot_ok i = i >= Array.length t.replicas || t.replicas.(i).fail = None in
+    (* The buddy partner: next live node after the owner; -1 when the owner
+       is the last node standing (a degraded single-copy write). *)
+    let buddy_partner =
+      match next_alive t ~after:buddy_owner ~not_this:buddy_owner with
+      | Some p -> p
+      | None -> -1
+    in
+    let targets =
+      match t.backend with
+      | Params.Sb_buddy ->
+        (if slot_ok 0 then [ buddy_owner ] else [])
+        @ (if buddy_partner >= 0 && slot_ok 1 then [ buddy_partner ] else [])
+      | _ ->
+        Array.to_list
+          (Array.mapi (fun i r -> if r.fail = None then Some i else None) t.replicas)
+        |> List.filter_map (fun x -> x)
+    in
+    if targets = [] then fail_put t "all replicas unavailable"
     else begin
-      record_link t key image;
-      Hashtbl.remove t.condemned key;  (* a rewritten key is public again *)
-      t.bytes_written <- t.bytes_written + (!stored * image.Image.logical_size);
+      let logical_bytes = image.Image.logical_size in
+      let asize = if t.compress then image.Image.comp_size else logical_bytes in
+      let ratio = float_of_int asize /. float_of_int (Stdlib.max 1 logical_bytes) in
+      (* Build the stored form and the byte accounting: plain/buddy write
+         [asize] per copy; dedup grows the shared pool by this put's
+         distinct-new bytes only (compressed at the image's ratio). *)
+      let stored, per_copy, once =
+        match t.backend with
+        | Params.Sb_plain | Params.Sb_buddy -> (Whole image, asize, 0)
+        | Params.Sb_dedup ->
+          let recipe, uniq = intern_chunks t image in
+          t.dd_logical <- t.dd_logical + logical_bytes;
+          t.dd_unique <- t.dd_unique + uniq;
+          Metrics.add t.metrics "storage.dedup_bytes_logical" logical_bytes;
+          Metrics.add t.metrics "storage.dedup_bytes_unique" uniq;
+          Metrics.set_gauge t.metrics "storage.dedup_factor"
+            (float_of_int t.dd_logical
+            /. float_of_int (Stdlib.max 1 t.dd_unique));
+          (recipe, 0, int_of_float (ratio *. float_of_int uniq))
+      in
+      if t.compress then begin
+        t.comp_in <- t.comp_in + logical_bytes;
+        t.comp_out <- t.comp_out + image.Image.comp_size;
+        Metrics.add t.metrics "storage.compress_in_bytes" logical_bytes;
+        Metrics.add t.metrics "storage.compress_out_bytes" image.Image.comp_size;
+        Metrics.add t.metrics "storage.compress_saved_bytes"
+          (logical_bytes - image.Image.comp_size);
+        Metrics.set_gauge t.metrics "storage.compress_ratio"
+          (float_of_int t.comp_out /. float_of_int (Stdlib.max 1 t.comp_in))
+      end;
+      (* Allocate the fresh version and install the copies. *)
+      let v = 1 + (match Hashtbl.find_opt t.vseq key with Some n -> n | None -> 0) in
+      Hashtbl.replace t.vseq key v;
+      let p = pname key v in
+      let copies = ref 0 in
+      (match t.backend with
+       | Params.Sb_buddy ->
+         List.iter (fun n -> Hashtbl.replace (ram t n) p (stored, sum); incr copies)
+           targets;
+         if buddy_partner < 0 then Metrics.incr t.metrics "storage.buddy_degraded";
+         Hashtbl.replace t.locs p (buddy_owner, buddy_partner);
+         Metrics.incr t.metrics "storage.buddy_puts"
+       | _ ->
+         List.iter
+           (fun i -> Hashtbl.replace t.replicas.(i).images p (stored, sum); incr copies)
+           targets);
+      let e_bytes = match t.backend with Params.Sb_dedup -> once | _ -> per_copy in
+      Hashtbl.replace t.logical p { e_stored = stored; e_sum = sum; e_bytes };
+      record_link t p image;
+      (* Retire the previous version: copy-on-write if chains pin it. *)
+      (match Hashtbl.find_opt t.versions key with
+       | Some vold -> retire t (pname key vold) ~why:"storage.cow_preserved"
+       | None -> ());
+      Hashtbl.replace t.versions key v;
+      let written =
+        match t.backend with
+        | Params.Sb_dedup -> once
+        | _ -> !copies * per_copy
+      in
+      t.bytes_written <- t.bytes_written + written;
       Metrics.incr t.metrics "storage.puts";
-      Metrics.add t.metrics "storage.bytes_written"
-        (!stored * image.Image.logical_size);
+      Metrics.add t.metrics "storage.bytes_written" written;
       Metrics.observe t.metrics ~buckets:Metrics.default_bytes_buckets
         "storage.put_bytes"
         (float_of_int image.Image.logical_size);
@@ -164,60 +440,94 @@ let put ?op ?parent t key image =
       Ok ()
     end
 
-(* One stored link, exactly as written.  Walk replicas in order; a copy
-   under outage or failing its checksum is skipped (the latter counted in
-   [corruption_detected]). *)
-let raw_get t key =
-  let n = Array.length t.replicas in
-  let rec go i =
-    if i >= n then None
-    else
-      let r = t.replicas.(i) in
-      if r.fail <> None then go (i + 1)
-      else
-        match Hashtbl.find_opt r.images key with
-        | None -> go (i + 1)
-        | Some (image, sum) ->
-          if Image.checksum image = sum then begin
-            (* a success past replica 0 means the primary was skipped —
-               outaged, missing the key, or corrupt *)
-            if i > 0 then Metrics.incr t.metrics "storage.replica_fallbacks";
-            Some image
-          end
-          else begin
-            t.corruption_detected <- t.corruption_detected + 1;
-            Metrics.incr t.metrics "storage.corruption_detected";
-            go (i + 1)
-          end
+(* --- reads --------------------------------------------------------------- *)
+
+(* One stored link by physical name, exactly as written: walk the copies in
+   priority order (replicas, or buddy owner-then-partner), skipping outaged
+   locations and copies that fail to materialize byte-identically. *)
+let raw_get t p =
+  let verify i (st, sum) next =
+    match materialize t st with
+    | Some img when Image.checksum img = sum ->
+      if i > 0 then Metrics.incr t.metrics "storage.replica_fallbacks";
+      Some img
+    | Some _ | None ->
+      t.corruption_detected <- t.corruption_detected + 1;
+      Metrics.incr t.metrics "storage.corruption_detected";
+      next ()
   in
-  go 0
+  match t.backend with
+  | Params.Sb_buddy ->
+    (match Hashtbl.find_opt t.locs p with
+     | None -> None
+     | Some (owner, partner) ->
+       let slot_ok i = i >= Array.length t.replicas || t.replicas.(i).fail = None in
+       let copy i n =
+         if n < 0 || Hashtbl.mem t.dead n || not (slot_ok i) then None
+         else
+           match Hashtbl.find_opt t.rams n with
+           | None -> None
+           | Some tbl -> Hashtbl.find_opt tbl p
+       in
+       let rec go = function
+         | [] -> None
+         | (i, n) :: rest ->
+           (match copy i n with
+            | None -> go rest
+            | Some cs -> verify i cs (fun () -> go rest))
+       in
+       go [ (0, owner); (1, partner) ])
+  | _ ->
+    let n = Array.length t.replicas in
+    let rec go i =
+      if i >= n then None
+      else
+        let r = t.replicas.(i) in
+        if r.fail <> None then go (i + 1)
+        else
+          match Hashtbl.find_opt r.images p with
+          | None -> go (i + 1)
+          | Some cs -> verify i cs (fun () -> go (i + 1))
+    in
+    go 0
 
 (* Safety valve against reference cycles among hand-written keys; real
    chains are bounded by Params.max_delta_chain, far below this. *)
 let max_resolve_depth = 64
 
-(* Materialize a key: fetch the chain link (checksum-verified, with replica
-   fallback), recurse to its base, apply the delta.  Callers always see a
-   full image, byte-identical to the full checkpoint taken at the same
-   instant. *)
+(* Materialize a public key: fetch the chain link (checksum-verified, with
+   copy fallback), recurse to the recorded base *version*, apply the delta.
+   Callers always see a full image, byte-identical to the full checkpoint
+   taken at the same instant — on every backend. *)
 let get t key =
   Metrics.incr t.metrics "storage.gets";
   let miss () =
     Metrics.incr t.metrics "storage.get_misses";
     None
   in
-  if Hashtbl.mem t.condemned key then miss ()
-  else
-    let rec resolve key depth =
+  match current t key with
+  | None -> miss ()
+  | Some p0 ->
+    let rec resolve p depth =
       if depth > max_resolve_depth then None
       else
-        match raw_get t key with
+        match raw_get t p with
         | None -> None
         | Some image ->
           (match image.Image.base_key with
            | None -> Some image
-           | Some base_key ->
-             (match resolve base_key (depth + 1) with
+           | Some bkey ->
+             let bp =
+               match Hashtbl.find_opt t.bases p with
+               | Some bp -> bp
+               | None ->
+                 (* pre-versioning stored state cannot exist in one process
+                    lifetime; resolve against the current base version *)
+                 (match current t bkey with
+                  | Some bp -> bp
+                  | None -> pname bkey 0)
+             in
+             (match resolve bp (depth + 1) with
               | None -> None
               | Some base ->
                 (match
@@ -231,52 +541,249 @@ let get t key =
                    Metrics.incr t.metrics "storage.chain_broken";
                    None)))
     in
-    match resolve key 0 with None -> miss () | Some image -> Some image
+    (match resolve p0 0 with None -> miss () | Some image -> Some image)
 
-let mem t key = get t key <> None
+(* Cheap, side-effect-free existence check: the key's current version is
+   present at some non-outaged location.  No chain walk, no metrics, no
+   materialization — a corrupt-everywhere key still answers true (only a
+   verifying [get] can tell). *)
+let mem t key =
+  match current t key with
+  | None -> false
+  | Some p ->
+    (match t.backend with
+     | Params.Sb_buddy ->
+       (match Hashtbl.find_opt t.locs p with
+        | None -> false
+        | Some (owner, partner) ->
+          let live n =
+            n >= 0
+            && (not (Hashtbl.mem t.dead n))
+            && (match Hashtbl.find_opt t.rams n with
+                | Some tbl -> Hashtbl.mem tbl p
+                | None -> false)
+          in
+          live owner || live partner)
+     | _ ->
+       Array.exists
+         (fun r -> r.fail = None && Hashtbl.mem r.images p)
+         t.replicas)
 
 let base_key t key =
-  match raw_get t key with None -> None | Some image -> image.Image.base_key
+  match current t key with
+  | None -> None
+  | Some p ->
+    (match raw_get t p with
+     | None -> None
+     | Some image -> image.Image.base_key)
 
-(* Corruption injection: mutate the stored bytes of one replica's copy while
-   keeping the stale checksum, so the damage is only visible to a verifying
-   reader.  Returns false if that replica holds no such key. *)
+(* Does this replica (buddy: 0 = owner copy, 1 = partner copy) physically
+   hold the key's current version?  Ignores outage flags — tests use this
+   to observe replication factor directly. *)
+let replica_has t ~replica key =
+  match current t key with
+  | None -> false
+  | Some p ->
+    (match t.backend with
+     | Params.Sb_buddy ->
+       (match Hashtbl.find_opt t.locs p with
+        | None -> false
+        | Some (owner, partner) ->
+          let n = if replica = 0 then owner else if replica = 1 then partner else -1 in
+          n >= 0
+          && (match Hashtbl.find_opt t.rams n with
+              | Some tbl -> Hashtbl.mem tbl p
+              | None -> false))
+     | _ ->
+       replica >= 0
+       && replica < Array.length t.replicas
+       && Hashtbl.mem t.replicas.(replica).images p)
+
+(* --- healing ------------------------------------------------------------- *)
+
+(* Clear the per-replica outages AND restore the replication factor: any
+   copy a replica missed (typically a put during its outage) is backfilled
+   from the pristine logical record.  Without the backfill a key written
+   during an outage silently runs below its replication factor forever. *)
+let heal_replicas t =
+  Array.iter (fun r -> r.fail <- None) t.replicas;
+  match t.backend with
+  | Params.Sb_buddy -> ()  (* buddy repair rides node_died reassignment *)
+  | _ ->
+    Hashtbl.iter
+      (fun p e ->
+        Array.iter
+          (fun r ->
+            if not (Hashtbl.mem r.images p) then begin
+              Hashtbl.replace r.images p (e.e_stored, e.e_sum);
+              Metrics.incr t.metrics "storage.rereplicated";
+              Metrics.add t.metrics "storage.rereplicated_bytes" e.e_bytes
+            end)
+          t.replicas)
+      t.logical
+
+(* A node died: its RAM (and every buddy copy in it) is gone.  Every entry
+   that kept a copy there is re-buddied from its surviving copy onto the
+   next live node; an entry whose both copies are gone is lost (that is the
+   peer-memory trade-off the bench quantifies). *)
+let node_died t node =
+  if t.backend = Params.Sb_buddy && not (Hashtbl.mem t.dead node) then begin
+    Hashtbl.replace t.dead node ();
+    Hashtbl.remove t.rams node;
+    let affected =
+      Hashtbl.fold
+        (fun p (o, pr) acc -> if o = node || pr = node then (p, o, pr) :: acc else acc)
+        t.locs []
+    in
+    List.iter
+      (fun (p, o, pr) ->
+        let survivor = if o = node then pr else o in
+        let surviving_copy =
+          if survivor < 0 || Hashtbl.mem t.dead survivor then None
+          else
+            match Hashtbl.find_opt t.rams survivor with
+            | None -> None
+            | Some tbl -> Hashtbl.find_opt tbl p
+        in
+        match surviving_copy with
+        | None ->
+          Hashtbl.remove t.locs p;
+          Metrics.incr t.metrics "storage.buddy_lost"
+        | Some cs ->
+          (match next_alive t ~after:survivor ~not_this:survivor with
+           | Some np ->
+             Hashtbl.replace (ram t np) p cs;
+             Hashtbl.replace t.locs p (survivor, np);
+             Metrics.incr t.metrics "storage.buddy_reassigned"
+           | None ->
+             Hashtbl.replace t.locs p (survivor, -1);
+             Metrics.incr t.metrics "storage.buddy_degraded"))
+      affected
+  end
+
+(* A dead node came back: it rejoins with an empty RAM (its buddy copies
+   died with it; surviving data was already re-buddied). *)
+let node_healed t node = Hashtbl.remove t.dead node
+
+(* --- corruption injection ------------------------------------------------ *)
+
+(* Flip a byte of one location's copy of the key's current version while
+   keeping its stale checksum, so only a verifying read notices.  On a
+   dedup recipe the mutation shadows the first encoded chunk inline in
+   that copy only — the shared pool (and the other replicas' recipes)
+   stays pristine, exactly like flipping one replica's disk block. *)
 let corrupt t ~replica key =
-  if replica < 0 || replica >= Array.length t.replicas then false
-  else
-    let r = t.replicas.(replica) in
-    match Hashtbl.find_opt r.images key with
-    | None -> false
-    | Some (image, sum) ->
-      let b = Bytes.of_string image.Image.encoded in
-      if Bytes.length b = 0 then false
-      else begin
-        let i = Bytes.length b / 2 in
-        Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x5a));
-        Hashtbl.replace r.images key
-          ({ image with Image.encoded = Bytes.to_string b }, sum);
-        true
-      end
+  let table =
+    match t.backend with
+    | Params.Sb_buddy ->
+      (match current t key with
+       | None -> None
+       | Some p ->
+         (match Hashtbl.find_opt t.locs p with
+          | None -> None
+          | Some (owner, partner) ->
+            let n = if replica = 0 then owner else if replica = 1 then partner else -1 in
+            if n < 0 then None else Hashtbl.find_opt t.rams n))
+    | _ ->
+      if replica < 0 || replica >= Array.length t.replicas then None
+      else Some t.replicas.(replica).images
+  in
+  match table, current t key with
+  | None, _ | _, None -> false
+  | Some tbl, Some p ->
+    (match Hashtbl.find_opt tbl p with
+     | None -> false
+     | Some (Whole image, sum) ->
+       let b = Bytes.of_string image.Image.encoded in
+       if Bytes.length b = 0 then false
+       else begin
+         let i = Bytes.length b / 2 in
+         Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x5a));
+         Hashtbl.replace tbl p
+           (Whole { image with Image.encoded = Bytes.to_string b }, sum);
+         true
+       end
+     | Some (Recipe r, sum) ->
+       if Array.length r.chs = 0 then false
+       else
+         let bytes =
+           match r.chs.(0) with
+           | Cinline s -> s
+           | Cref h ->
+             (match Hashtbl.find_opt t.chunks h with
+              | Some { c_bytes = Some b; _ } -> b
+              | _ -> "")
+         in
+         if String.length bytes = 0 then false
+         else begin
+           let b = Bytes.of_string bytes in
+           let i = Bytes.length b / 2 in
+           Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x5a));
+           let chs = Array.copy r.chs in
+           chs.(0) <- Cinline (Bytes.to_string b);
+           Hashtbl.replace tbl p
+             (Recipe { skel = r.skel; chs; vrefs = r.vrefs }, sum);
+           true
+         end)
 
-(* Model the asynchronous flush of an already-stored image to disk: what
-   travels is the stored link (a delta flushes its delta bytes, not the
-   materialized size). *)
+(* --- flushing ------------------------------------------------------------ *)
+
+(* Per-key flush size: what actually travels for the key's current version
+   (a delta flushes its delta bytes; a dedup put flushes only its
+   distinct-new bytes; compression shrinks both). *)
+let flush_bytes t key =
+  match current t key with
+  | None -> None
+  | Some p ->
+    (match Hashtbl.find_opt t.logical p with
+     | None -> None
+     | Some e -> Some e.e_bytes)
+
+let flush_bps t =
+  match t.backend with Params.Sb_buddy -> t.buddy_bps | _ -> t.bps
+
+(* Uncontended single-transfer time (latency + bytes at the backend's
+   bandwidth) — what one flush costs with the fabric to itself. *)
 let flush_time t key =
-  match raw_get t key with
+  match flush_bytes t key with
   | None -> Simtime.zero
-  | Some image ->
+  | Some bytes ->
     Simtime.add t.latency
-      (Simtime.ns (int_of_float (float_of_int image.Image.logical_size /. t.bps *. 1e9)))
+      (Simtime.ns (int_of_float (float_of_int bytes /. flush_bps t *. 1e9)))
 
+(* Contended flush: the shared SAN serializes every flush in the cluster
+   behind one queue; the buddy backend rides each owner's own link, so
+   flushes from different nodes proceed in parallel.  This queueing is what
+   turns the SAN into the choke point at fleet scale — and what the buddy
+   backend exists to bypass. *)
 let flush t key ~on_done =
-  Engine.schedule t.engine ~label:"storage.flush" ~delay:(flush_time t key) on_done
+  let xfer = flush_time t key in
+  let now = Engine.now t.engine in
+  let fin =
+    match t.backend with
+    | Params.Sb_buddy ->
+      let owner =
+        match current t key with
+        | Some p ->
+          (match Hashtbl.find_opt t.locs p with Some (o, _) -> o | None -> 0)
+        | None -> 0
+      in
+      let free =
+        match Hashtbl.find_opt t.links_free owner with
+        | Some f -> f
+        | None -> Simtime.zero
+      in
+      let fin = Simtime.add (Simtime.max now free) xfer in
+      Hashtbl.replace t.links_free owner fin;
+      fin
+    | _ ->
+      let fin = Simtime.add (Simtime.max now t.san_free) xfer in
+      t.san_free <- fin;
+      fin
+  in
+  Engine.schedule t.engine ~label:"storage.flush" ~delay:(Simtime.sub fin now)
+    on_done
 
 let keys t =
-  let tbl = Hashtbl.create 16 in
-  Array.iter
-    (fun r -> Hashtbl.iter (fun k _ -> Hashtbl.replace tbl k ()) r.images)
-    t.replicas;
-  Hashtbl.fold
-    (fun k () acc -> if Hashtbl.mem t.condemned k then acc else k :: acc)
-    tbl []
+  Hashtbl.fold (fun k _ acc -> k :: acc) t.versions []
   |> List.sort String.compare

@@ -1,24 +1,29 @@
-(** Shared storage (the SAN/NAS of the paper's cluster).
+(** Checkpoint image storage: one interface, three composable backends.
 
-    Checkpoint images are written to memory during the checkpoint (that cost
-    is part of the checkpoint time) and can be flushed to shared storage
-    afterwards; flushing is deliberately {e not} part of the checkpoint
-    latency, matching the paper's methodology.  Every node reads the same
-    store, which is what allows restarting on a different set of nodes.
+    {b Plain} ([Sb_plain], the default) is the SAN/NAS of the paper's
+    cluster: [replicas] verbatim copies of every image, reads falling back
+    past outaged or corrupt copies.  {b Dedup} ([Sb_dedup]) layers a
+    content-addressed chunk store on the same replica model: encoded bytes
+    and modelled memory regions split into FNV-addressed chunks stored
+    once, refcounted — identical text/data across epochs, replicas and
+    sibling pods collapses to one stored copy.  {b Buddy} ([Sb_buddy])
+    checkpoints to the owner node's RAM plus a partner node's RAM,
+    bypassing the shared SAN; on node death ({!node_died}, driven by the
+    Supervisor) surviving copies are re-buddied onto the next live node.
+    Compression composes with all three: stored/flushed byte accounting
+    shrinks to the image's modelled compressed size while the Agent
+    charges the virtual-CPU compressor cost.
 
-    The store keeps [replicas] independent copies of every image, each
-    guarded by the content checksum computed at {!put}.  {!get} walks the
-    replicas in order, skipping copies under an injected outage or whose
-    bytes fail their checksum, so a damaged primary falls back to a healthy
-    replica.
+    Keys are versioned internally: {!put} retires the previous version of
+    the key, preserving its bytes under a shadow name while live delta
+    chains still pin it (copy-on-write), and chain links bind to the base
+    {e version} current at write time — overwriting a delta's base can
+    never retarget or corrupt an existing chain.
 
-    Delta (incremental) images are first-class: a stored image whose
-    [base_key] is set chains back to its base, {!get} materializes the
-    whole chain (each link checksum-verified with replica fallback) into a
-    full image, and {!remove} defers the physical delete of a base that
-    live deltas still reference (the key disappears from the public
-    namespace immediately; the bytes go once the last referencing delta is
-    deleted). *)
+    Flushing is deliberately {e not} part of checkpoint latency (the
+    paper's methodology).  {!flush} models contention: the shared SAN
+    serializes all flushes behind one queue; buddy flushes ride each
+    owner's own link in parallel. *)
 
 module Simtime = Zapc_sim.Simtime
 module Engine = Zapc_sim.Engine
@@ -28,42 +33,56 @@ type t
 
 val create :
   ?metrics:Zapc_obs.Metrics.t ->
-  ?bps:float -> ?latency:Simtime.t -> ?replicas:int -> Engine.t -> t
-(** [replicas] (default 2, clamped to at least 1) independent copies are
-    kept for every image.  [metrics] receives the [storage.*] instruments —
-    puts, put_bytes, bytes_written, gets, get_misses, write_failures,
-    corruption_detected, replica_fallbacks (a read served past replica 0),
-    delta_resolved (chain links applied by {!get}), chain_broken (a delta
-    whose base could not be materialized), gc_deferred ({!remove} of a key
-    still pinned by live deltas). *)
+  ?bps:float ->
+  ?latency:Simtime.t ->
+  ?replicas:int ->
+  ?backend:Params.storage_backend ->
+  ?compress:bool ->
+  ?buddy_bps:float ->
+  ?nodes:int ->
+  Engine.t -> t
+(** [replicas] (default 2, clamped to at least 1) copies are kept by the
+    plain/dedup backends; [nodes] (default 2) is the cluster size the buddy
+    backend assigns partners from.  [metrics] receives the [storage.*]
+    instruments — puts, put_bytes, bytes_written, gets, get_misses,
+    write_failures, corruption_detected, replica_fallbacks, delta_resolved,
+    chain_broken, gc_deferred, cow_preserved, rereplicated(_bytes),
+    dedup_chunks_new / dedup_chunk_hits / dedup_bytes_logical /
+    dedup_bytes_unique / dedup_chunks_freed / dedup_factor (gauge),
+    compress_in_bytes / compress_out_bytes / compress_saved_bytes /
+    compress_ratio (gauge), buddy_puts / buddy_reassigned / buddy_degraded
+    / buddy_lost. *)
 
 val replica_count : t -> int
+
+val backend : t -> Params.storage_backend
 
 val set_trace : t -> Trace.t -> unit
 (** Record successful writes as [storage_put] spans in the causal trace
     (parented under the writing Agent's operation span via {!put}'s
     [op]/[parent]). *)
 
-val put : ?op:int -> ?parent:int -> t -> string -> Image.t -> (unit, string) result
-(** Writes the image (with its {!Image.checksum}) to every replica not under
-    a per-replica outage.  Fails, storing nothing, during a global write
-    outage or when no replica is available; the Agent turns the error into a
-    clean abort of its side of the operation.  [op]/[parent] stitch the
-    write into the operation's causal trace when one is attached
-    ({!set_trace}). *)
+val put :
+  ?op:int -> ?parent:int -> ?node:int ->
+  t -> string -> Image.t -> (unit, string) result
+(** Store the image (with its {!Image.checksum}) under the key's fresh
+    internal version; the previous version is freed, or kept as a
+    copy-on-write shadow while live deltas still chain to it
+    ([storage.cow_preserved]).  [node] is the writing Agent's node — the
+    buddy backend's owner copy lands in its RAM, the partner copy in the
+    next live node's.  Fails, storing nothing, during a global write outage
+    or when no copy location is available. *)
 
 val get : t -> string -> Image.t option
-(** First healthy, checksum-verified copy across the replicas (in order);
-    [None] if every replica is unavailable, missing the key, or corrupt.
-    A delta image is materialized transparently: every link of its chain is
-    fetched (checksum-verified, replica fallback per link) and applied, and
-    the result is the full image — byte-identical to the full checkpoint
-    taken at the same instant.  [None] if any link is unreadable. *)
+(** First healthy, checksum-verified copy; [None] if every location is
+    unavailable, missing the key, or corrupt.  A delta image is
+    materialized transparently against the exact base version its chain
+    was written over — byte-identical to the full checkpoint taken at the
+    same instant, on every backend. *)
 
 val base_key : t -> string -> string option
 (** The stored chain link's base reference, without materializing: [Some k]
-    iff the key holds a delta based on [k] (tests and tooling use this to
-    inspect chain structure). *)
+    iff the key currently holds a delta based on public key [k]. *)
 
 val set_fail_writes : t -> string option -> unit
 (** Failure injection: while [Some reason], every {!put} fails with that
@@ -74,31 +93,68 @@ val write_failures : t -> int
 
 val set_replica_fail : t -> replica:int -> string option -> unit
 (** Per-replica outage injection: while set, {!put} skips the replica and
-    {!get} falls back past it.  Out-of-range indices are ignored. *)
+    {!get} falls back past it.  For the buddy backend, replica 0 is the
+    owner copy and replica 1 the partner copy.  Out-of-range indices are
+    ignored. *)
 
 val heal_replicas : t -> unit
-(** Clear every per-replica outage. *)
+(** Clear every per-replica outage {e and} restore the replication factor:
+    copies a replica missed (writes during its outage) are backfilled from
+    the pristine stored record, counted in [storage.rereplicated] /
+    [storage.rereplicated_bytes].  Buddy repair instead rides {!node_died}
+    reassignment. *)
+
+val node_died : t -> int -> unit
+(** Buddy backend: the node's RAM (and every buddy copy in it) is gone.
+    Entries with a surviving copy are re-buddied onto the next live node
+    ([storage.buddy_reassigned]; [storage.buddy_degraded] when no other
+    node is alive); entries that lost both copies are gone
+    ([storage.buddy_lost]).  No-op on the other backends. *)
+
+val node_healed : t -> int -> unit
+(** The node rejoined (with an empty RAM — its buddy copies died with it). *)
 
 val corrupt : t -> replica:int -> string -> bool
-(** Corruption injection: flip a byte of one replica's copy of the image
+(** Corruption injection: flip a byte of one location's copy of the image
     while keeping its stale checksum, so only a verifying read notices.
-    Returns [false] if that replica has no (non-empty) copy of the key. *)
+    On a dedup recipe the damage shadows the copy's first chunk without
+    touching the shared pool.  Returns [false] if that location has no
+    (non-empty) copy of the key. *)
 
 val corruption_detected : t -> int
-(** Number of reads that found a copy failing its checksum (each such copy
-    is skipped and the next replica tried), mirroring {!write_failures}. *)
+(** Number of reads that found a copy failing verification (each such copy
+    is skipped and the next location tried). *)
 
 val mem : t -> string -> bool
-(** True iff {!get} would succeed (some healthy, verified copy exists). *)
+(** Cheap, side-effect-free existence check: the key's current version is
+    present at some non-outaged location.  No chain walk, no metric
+    traffic, no materialization — a copy that would fail verification
+    still answers [true]; only a full {!get} can tell. *)
 
 val remove : t -> string -> unit
-(** Drop the key from every replica.  If live deltas still chain to it the
+(** Drop the key.  If live deltas still chain to its current version the
     key only vanishes from the public namespace ({!get}/{!mem}/{!keys});
-    the bytes are reclaimed once the last referencing delta is removed. *)
+    the bytes (and their chunk references) are reclaimed once the last
+    referencing delta is removed. *)
+
+val replica_has : t -> replica:int -> string -> bool
+(** Does this location (buddy: 0 = owner, 1 = partner) physically hold the
+    key's current version?  Ignores outage flags — tests observe the
+    replication factor directly with this. *)
+
+val flush_bytes : t -> string -> int option
+(** Bytes that travel when flushing the key's current version: a delta's
+    delta bytes, a dedup put's distinct-new bytes only, shrunk by
+    compression when enabled. *)
 
 val flush_time : t -> string -> Simtime.t
-(** Virtual time to flush the named image to disk at the SAN bandwidth. *)
+(** Uncontended single-transfer flush time at the backend's bandwidth
+    (shared SAN, or the owner's link for buddy). *)
 
 val flush : t -> string -> on_done:(unit -> unit) -> unit
+(** Contended flush: shared-SAN flushes serialize behind one cluster-wide
+    queue; buddy flushes serialize per owner link but run in parallel
+    across nodes. *)
+
 val keys : t -> string list
-(** Sorted union of keys present on any replica (healthy or not). *)
+(** Sorted public keys currently stored. *)

@@ -743,6 +743,25 @@ let test_corrupt_primary_recovers_from_replica () =
      = Storage.corruption_detected storage);
   Cluster.run_until cluster ~timeout:(Simtime.sec 2400.0) (fun () ->
       has_log "bt_nas: checksum");
+  (* Extension (storage bugfix 3): take the second replica out while the
+     periodic service keeps writing epochs, so those epochs land on the
+     primary only; healing must restore the replication factor by
+     backfilling the missed copies, not just clear the outage flag. *)
+  Storage.set_replica_fail storage ~replica:1 (Some "maintenance");
+  check tbool "no re-replication before the outage" true
+    (Zapc_obs.Metrics.counter reg "storage.rereplicated" = 0);
+  let puts0 = Zapc_obs.Metrics.counter reg "storage.puts" in
+  Cluster.run_until cluster ~timeout:(Simtime.sec 120.0) (fun () ->
+      Zapc_obs.Metrics.counter reg "storage.puts" > puts0);
+  check tbool "epochs were written during the outage" true
+    (Zapc_obs.Metrics.counter reg "storage.puts" > puts0);
+  Storage.heal_replicas storage;
+  check tbool "heal re-replicated the outage-era copies" true
+    (Zapc_obs.Metrics.counter reg "storage.rereplicated" > 0);
+  check tbool "every key back at full replication" true
+    (List.for_all
+       (fun k -> Storage.replica_has storage ~replica:1 k)
+       (Storage.keys storage));
   Supervisor.stop sup;
   Periodic.stop svc;
   Cluster.run cluster ~until:(Simtime.add (Cluster.now cluster) (Simtime.ms 200)) ();

@@ -747,6 +747,263 @@ let prop_precopy_residue_monotone =
       in
       non_increasing (List.rev !residues))
 
+(* --- storage backends: COW shadows, heal re-replication, dedup, buddy --- *)
+
+module Metrics = Zapc_obs.Metrics
+module ZParams = Zapc.Params
+module Chunk = Zapc_ckpt.Chunk
+module Compress = Zapc_ckpt.Compress
+
+(* delta_env with a readable metrics registry and a configurable backend. *)
+let delta_env_m ?backend ?compress ?replicas ?nodes () =
+  let engine = Engine.create ~seed:13 () in
+  let fabric = Fabric.create engine in
+  let k = Kernel.create ~node_id:0 fabric in
+  let pod =
+    Pod.create ~pod_id:85 ~name:"deltapod" ~vip:(Addr.make_ip 10 1 0 14)
+      ~rip:(Addr.make_ip 172 16 0 14) k
+  in
+  ignore (Pod.spawn pod ~program:"ckpttest.memhog" ~args:Value.Unit);
+  let metrics = Metrics.create () in
+  let storage = Storage.create ~metrics ?backend ?compress ?replicas ?nodes engine in
+  let snap at =
+    Engine.run ~until:at ~max_events:100_000 engine;
+    Pod.suspend pod;
+    let res = Pod_ckpt.checkpoint pod in
+    Pod.resume pod;
+    res
+  in
+  (engine, pod, storage, metrics, snap)
+
+(* Regression (storage bugfix 1): overwriting a key that live deltas are
+   pinned on must not swap the bytes their chains resolve against.  Pre-fix,
+   [put] replaced the stored bytes in place and [get] of the delta
+   materialized a WRONG image with a valid per-link checksum. *)
+let test_overwrite_pinned_base_cow () =
+  let _, pod, storage, metrics, snap = delta_env_m () in
+  let r1 = snap (Simtime.ms 5) in
+  ignore (Storage.put storage "base" (Image.of_pod_image r1.Pod_ckpt.image));
+  Pod_ckpt.clear_memory_dirty pod;
+  let r2 = snap (Simtime.ms 10) in
+  let want = (Image.of_pod_image r2.Pod_ckpt.image).Image.encoded in
+  let d12 =
+    Delta.make ~base_key:"base" ~base:r1.Pod_ckpt.image ~full:r2.Pod_ckpt.image
+      ~dirty_bytes:(Pod_ckpt.dirty_memory_bytes pod)
+  in
+  ignore (Storage.put storage "d1" (Image.of_pod_image d12));
+  (* overwrite the pinned base with a later full image *)
+  Pod_ckpt.clear_memory_dirty pod;
+  let r3 = snap (Simtime.ms 15) in
+  let r3_bytes = (Image.of_pod_image r3.Pod_ckpt.image).Image.encoded in
+  ignore (Storage.put storage "base" (Image.of_pod_image r3.Pod_ckpt.image));
+  check tbool "old base kept under a COW shadow" true
+    (Metrics.counter metrics "storage.cow_preserved" = 1);
+  (match Storage.get storage "d1" with
+   | None -> Alcotest.fail "chain must survive its base being overwritten"
+   | Some img ->
+     check tstr "delta still materializes the ORIGINAL bytes" want
+       img.Image.encoded);
+  (match Storage.get storage "base" with
+   | None -> Alcotest.fail "overwritten base must be readable"
+   | Some img -> check tstr "public key serves the new bytes" r3_bytes img.Image.encoded);
+  (* dropping the last referencing delta reclaims the shadow *)
+  Storage.remove storage "d1";
+  check tbool "namespace: only base remains" true (Storage.keys storage = [ "base" ]);
+  (match Storage.get storage "base" with
+   | Some img -> check tstr "base unaffected by shadow GC" r3_bytes img.Image.encoded
+   | None -> Alcotest.fail "base lost by shadow GC")
+
+(* Regression (storage bugfix 3): a copy skipped by a per-replica outage
+   during [put] must be backfilled by [heal_replicas].  Pre-fix, heal only
+   cleared the outage flag and the key ran below its replication factor
+   forever — a later primary outage then lost the only copy. *)
+let test_heal_rereplicates () =
+  let _, pod, storage, metrics, snap = delta_env_m () in
+  let r1 = snap (Simtime.ms 5) in
+  ignore (Storage.put storage "k0" (Image.of_pod_image r1.Pod_ckpt.image));
+  check tbool "k0 on both replicas" true
+    (Storage.replica_has storage ~replica:0 "k0"
+     && Storage.replica_has storage ~replica:1 "k0");
+  Storage.set_replica_fail storage ~replica:1 (Some "outage");
+  Pod_ckpt.clear_memory_dirty pod;
+  let r2 = snap (Simtime.ms 10) in
+  let want = (Image.of_pod_image r2.Pod_ckpt.image).Image.encoded in
+  ignore (Storage.put storage "k1" (Image.of_pod_image r2.Pod_ckpt.image));
+  check tbool "outaged replica missed the put" true
+    (not (Storage.replica_has storage ~replica:1 "k1"));
+  Storage.heal_replicas storage;
+  check tbool "heal backfilled the missing copy" true
+    (Storage.replica_has storage ~replica:1 "k1");
+  check tbool "re-replication counted" true
+    (Metrics.counter metrics "storage.rereplicated" >= 1);
+  (* the backfilled copy is a real copy: it alone can serve the key *)
+  Storage.set_replica_fail storage ~replica:0 (Some "down");
+  (match Storage.get storage "k1" with
+   | None -> Alcotest.fail "backfilled replica must serve the read"
+   | Some got -> check tstr "byte-identical from the backfill" want got.Image.encoded)
+
+(* Hand-rolled full image with explicit region tags, for dedup tests:
+   sibling ranks declare the same regions, so their chunks share
+   addresses. *)
+let mk_img ?(regions = []) ~pod_id ~name ~mem () =
+  Image.of_pod_image
+    (Value.assoc
+       [ ("pod_id", Value.int pod_id); ("name", Value.str name);
+         ("memory_bytes", Value.int mem);
+         ("procs",
+          Value.list
+            (fun x -> x)
+            [ Value.assoc
+                [ ("mem",
+                   Value.Assoc
+                     (List.map
+                        (fun (n, s, g) ->
+                          (n, Value.List [ Value.Int s; Value.Int g ]))
+                        regions)) ] ]) ])
+
+(* Dedup-aware pin/condemn GC: removing one sibling's epoch must not free
+   chunks shared with another sibling. *)
+let test_dedup_sibling_gc () =
+  let engine = Engine.create ~seed:7 () in
+  let metrics = Metrics.create () in
+  let storage = Storage.create ~metrics ~backend:ZParams.Sb_dedup engine in
+  let mb = 1 lsl 20 in
+  let regions = [ ("bt.rss", mb, 1) ] in
+  let a = mk_img ~regions ~pod_id:1 ~name:"rank0" ~mem:mb () in
+  let b = mk_img ~regions ~pod_id:2 ~name:"rank1" ~mem:mb () in
+  ignore (Storage.put storage "e0.pod1" a);
+  let unique_a = Metrics.counter metrics "storage.dedup_bytes_unique" in
+  ignore (Storage.put storage "e0.pod2" b);
+  let unique_ab = Metrics.counter metrics "storage.dedup_bytes_unique" in
+  (* the sibling's modelled memory dedupes; only its (tiny) distinct
+     encoded bytes are new *)
+  check tbool "sibling's memory fully dedupes" true
+    (unique_ab - unique_a < a.Image.logical_size / 4);
+  check tbool "dedup factor reflects the sharing" true
+    (Metrics.gauge metrics "storage.dedup_factor" > 1.5);
+  let freed_before = Metrics.counter metrics "storage.dedup_chunks_freed" in
+  Storage.remove storage "e0.pod1";
+  (* pod1's own encoded chunks may go, the shared region chunks must not *)
+  (match Storage.get storage "e0.pod2" with
+   | None -> Alcotest.fail "sibling read broken by the other's GC"
+   | Some got -> check tstr "sibling bytes intact" b.Image.encoded got.Image.encoded);
+  Storage.remove storage "e0.pod2";
+  check tbool "last reference frees the shared chunks" true
+    (Metrics.counter metrics "storage.dedup_chunks_freed" > freed_before);
+  check tbool "store empty" true (Storage.keys storage = [])
+
+(* Restart byte-identity across every backend x compression combination:
+   the same full+delta chain, stored and materialized, must come back
+   checksum-equal everywhere (the deterministic seed makes the captured
+   images identical across environments). *)
+let test_backend_restart_byte_identity () =
+  let run backend compress =
+    let _, pod, storage, _metrics, snap = delta_env_m ~backend ~compress () in
+    let r1 = snap (Simtime.ms 5) in
+    (match Storage.put storage "base" (Image.of_pod_image r1.Pod_ckpt.image) with
+     | Ok () -> ()
+     | Error e -> Alcotest.failf "put base: %s" e);
+    Pod_ckpt.clear_memory_dirty pod;
+    let r2 = snap (Simtime.ms 10) in
+    let d =
+      Delta.make ~base_key:"base" ~base:r1.Pod_ckpt.image ~full:r2.Pod_ckpt.image
+        ~dirty_bytes:(Pod_ckpt.dirty_memory_bytes pod)
+    in
+    (match Storage.put storage "d1" (Image.of_pod_image d) with
+     | Ok () -> ()
+     | Error e -> Alcotest.failf "put d1: %s" e);
+    match Storage.get storage "d1" with
+    | None -> Alcotest.fail "chain must materialize"
+    | Some img -> (img.Image.encoded, Image.checksum img)
+  in
+  let ref_bytes, ref_sum = run ZParams.Sb_plain false in
+  List.iter
+    (fun (b, c, label) ->
+      let bytes, sum = run b c in
+      check tstr (label ^ ": bytes identical") ref_bytes bytes;
+      check tbool (label ^ ": checksum identical") true (sum = ref_sum))
+    [ (ZParams.Sb_plain, true, "plain+compress");
+      (ZParams.Sb_dedup, false, "dedup");
+      (ZParams.Sb_dedup, true, "dedup+compress");
+      (ZParams.Sb_buddy, false, "buddy");
+      (ZParams.Sb_buddy, true, "buddy+compress") ]
+
+(* Buddy backend: copies live in two nodes' RAM; a node death re-buddies
+   the surviving copy and the data stays readable. *)
+let test_buddy_reassign_on_death () =
+  let engine = Engine.create ~seed:11 () in
+  let metrics = Metrics.create () in
+  let storage =
+    Storage.create ~metrics ~backend:ZParams.Sb_buddy ~nodes:4 engine
+  in
+  let img = mk_img ~pod_id:3 ~name:"svc" ~mem:65536 () in
+  (match Storage.put ~node:1 storage "b.pod3" img with
+   | Ok () -> ()
+   | Error e -> Alcotest.failf "buddy put: %s" e);
+  check tbool "owner holds a copy" true (Storage.replica_has storage ~replica:0 "b.pod3");
+  check tbool "partner holds a copy" true (Storage.replica_has storage ~replica:1 "b.pod3");
+  (* the owner dies: the partner's copy survives and is re-buddied *)
+  Storage.node_died storage 1;
+  check tbool "reassignment counted" true
+    (Metrics.counter metrics "storage.buddy_reassigned" = 1);
+  (match Storage.get storage "b.pod3" with
+   | None -> Alcotest.fail "buddy data must survive the owner's death"
+   | Some got -> check tstr "bytes intact after re-buddy" img.Image.encoded got.Image.encoded);
+  check tbool "still two live copies" true
+    (Storage.replica_has storage ~replica:0 "b.pod3"
+     && Storage.replica_has storage ~replica:1 "b.pod3");
+  (* both remaining holders die: the entry is lost (the peer-memory
+     trade-off) *)
+  Storage.node_died storage 2;
+  Storage.node_died storage 3;
+  Storage.node_died storage 0;
+  check tbool "data lost with its last holder" true
+    (Storage.get storage "b.pod3" = None);
+  check tbool "loss counted" true (Metrics.counter metrics "storage.buddy_lost" >= 1)
+
+(* --- qcheck: chunking and compression ----------------------------------- *)
+
+let prop_chunk_roundtrip =
+  QCheck.Test.make ~name:"chunk split/reassemble is byte-identical" ~count:200
+    (QCheck.string_of_size QCheck.Gen.(int_range 0 20_000))
+    (fun s ->
+      let chunks = Chunk.split s in
+      String.equal (Chunk.reassemble chunks) s
+      && List.for_all
+           (fun (h, b) ->
+             h = Chunk.hash b
+             && String.length b <= Chunk.chunk_bytes
+             && String.length b > 0)
+           chunks
+      && List.length chunks
+         = (String.length s + Chunk.chunk_bytes - 1) / Chunk.chunk_bytes)
+
+let prop_compress_roundtrip =
+  QCheck.Test.make
+    ~name:"compression model is deterministic, bounded and roundtrip-safe"
+    ~count:60
+    QCheck.(pair (string_of_size Gen.(int_range 1 5_000)) (int_range 0 1_000_000))
+    (fun (blob, mem) ->
+      let ratio = Compress.encoded_ratio blob in
+      let v =
+        Value.assoc
+          [ ("pod_id", Value.int 1); ("name", Value.str "p");
+            ("memory_bytes", Value.int mem); ("blob", Value.str blob) ]
+      in
+      let img = Image.of_pod_image v in
+      let engine = Engine.create ~seed:1 () in
+      let st = Storage.create ~compress:true engine in
+      ignore (Storage.put st "k" img);
+      ratio >= 0.12 && ratio <= 0.98
+      && Float.equal (Compress.encoded_ratio blob) ratio
+      && img.Image.comp_size >= 1
+      && img.Image.comp_size <= img.Image.logical_size
+      && (match Storage.get st "k" with
+          | Some got ->
+            String.equal got.Image.encoded img.Image.encoded
+            && Image.checksum got = Image.checksum img
+          | None -> false))
+
 let () =
   Alcotest.run "ckpt"
     [ ( "sock_state",
@@ -774,6 +1031,16 @@ let () =
           Alcotest.test_case "chain byte-identity" `Quick test_delta_chain_byte_identity;
           Alcotest.test_case "corruption + gc" `Quick
             test_delta_chain_corruption_and_gc ] );
+      ( "storage backends",
+        [ Alcotest.test_case "COW shadow on pinned overwrite" `Quick
+            test_overwrite_pinned_base_cow;
+          Alcotest.test_case "heal re-replicates" `Quick test_heal_rereplicates;
+          Alcotest.test_case "dedup sibling GC" `Quick test_dedup_sibling_gc;
+          Alcotest.test_case "restart byte-identity across backends" `Quick
+            test_backend_restart_byte_identity;
+          Alcotest.test_case "buddy reassignment on node death" `Quick
+            test_buddy_reassign_on_death ] );
       ( "migration properties",
         List.map QCheck_alcotest.to_alcotest
-          [ prop_precopy_composition_identity; prop_precopy_residue_monotone ] ) ]
+          [ prop_precopy_composition_identity; prop_precopy_residue_monotone;
+            prop_chunk_roundtrip; prop_compress_roundtrip ] ) ]

@@ -93,6 +93,39 @@ let test_metrics_json () =
   (* snapshot of a deterministic registry is itself deterministic *)
   check tbool "deterministic" true (String.equal (Metrics.to_json m) (Metrics.to_json m))
 
+(* A membership probe is pure instrumentation-wise: [Storage.mem] used to be
+   implemented as [get t key <> None], so every liveness poll inflated
+   storage.gets/get_misses (and paid a full materialize+verify).  The whole
+   registry snapshot must be byte-identical across any number of probes. *)
+let test_storage_mem_metric_neutral () =
+  let module Engine = Zapc_sim.Engine in
+  let module Storage = Zapc.Storage in
+  let module Value = Zapc_codec.Value in
+  let engine = Engine.create ~seed:3 () in
+  let m = Metrics.create () in
+  let storage = Storage.create ~metrics:m ~replicas:2 engine in
+  let img =
+    Zapc_ckpt.Image.of_pod_image
+      (Value.assoc
+         [ ("pod_id", Value.int 7); ("name", Value.str "probe");
+           ("memory_bytes", Value.int 8192) ])
+  in
+  (match Storage.put storage "probe.k" img with
+   | Ok () -> ()
+   | Error e -> Alcotest.failf "put failed: %s" e);
+  let before = Metrics.to_json m in
+  for _ = 1 to 50 do
+    check tbool "present key answers true" true (Storage.mem storage "probe.k");
+    check tbool "absent key answers false" false (Storage.mem storage "nope")
+  done;
+  check Alcotest.string "registry untouched by mem probes" before
+    (Metrics.to_json m);
+  check tint "no reads counted" 0 (Metrics.counter m "storage.gets");
+  check tint "no misses counted" 0 (Metrics.counter m "storage.get_misses");
+  (* a real read still counts, proving the registry is live *)
+  check tbool "get serves" true (Storage.get storage "probe.k" <> None);
+  check tint "get counted" 1 (Metrics.counter m "storage.gets")
+
 (* --- spans --- *)
 
 let ms = Simtime.ms
@@ -447,7 +480,9 @@ let () =
           Alcotest.test_case "gauges" `Quick test_gauges;
           Alcotest.test_case "histogram quantiles" `Quick test_histogram_quantiles;
           Alcotest.test_case "exp buckets" `Quick test_exp_buckets;
-          Alcotest.test_case "json snapshot" `Quick test_metrics_json ] );
+          Alcotest.test_case "json snapshot" `Quick test_metrics_json;
+          Alcotest.test_case "storage.mem is metric-neutral" `Quick
+            test_storage_mem_metric_neutral ] );
       ( "spans",
         [ Alcotest.test_case "begin/end" `Quick test_span_basic;
           Alcotest.test_case "end_named" `Quick test_span_end_named;
